@@ -1,0 +1,23 @@
+# Convenience targets for the Concurrent Breakpoints reproduction.
+
+PYTHON ?= python
+TRIALS ?= 100
+
+.PHONY: install test bench report examples all
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	REPRO_TRIALS=$(TRIALS) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+report:
+	$(PYTHON) -m repro report --trials $(TRIALS) --out results.md
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f >/dev/null || exit 1; done; echo "all examples OK"
+
+all: test bench

@@ -1,0 +1,71 @@
+"""A4 — ablation: the #CBR column is minimal.
+
+For every multi-breakpoint Table 2 bug, reproduce with the full
+breakpoint set and with every proper subset.  Expected shape: full set
+~1.00, every subset substantially lower (most exactly 0) — the paper's
+"number of concurrent breakpoints *required* to consistently reproduce".
+"""
+
+import dataclasses
+import itertools
+
+from repro.apps import AppConfig, get_app
+from repro.harness import render
+
+from conftest import emit
+
+MULTI_CBR = {
+    ("pbzip2", "crash1"): ["crash1:cbr1", "crash1:cbr2"],
+    ("mysql-4.0.12", "logomit1"): ["logomit1:cbr1", "logomit1:cbr2"],
+    ("mysql-4.0.19", "crash1"): ["crash1:cbr1", "crash1:cbr2", "crash1:cbr3"],
+    ("httpd", "crash1"): ["crash1:cbr1", "crash1:cbr2", "crash1:cbr3"],
+}
+
+
+@dataclasses.dataclass
+class CbrRow:
+    label: str
+    enabled: str
+    probability: float
+
+    HEADER = ["Bug", "Breakpoints enabled", "P(error)"]
+
+    def cells(self):
+        return [self.label, self.enabled, f"{self.probability:.2f}"]
+
+
+def _prob(app_name, bug, only, n):
+    cls = get_app(app_name)
+    hits = 0
+    for seed in range(n):
+        cfg = AppConfig(bug=bug, only_breakpoints=None if only is None else frozenset(only))
+        hits += cls(cfg).run(seed=seed).bug_hit
+    return hits / n
+
+
+def test_cbr_minimality(benchmark, trials):
+    n = max(trials // 3, 8)
+
+    def experiment():
+        rows = []
+        for (app_name, bug), cbrs in sorted(MULTI_CBR.items()):
+            label = f"{app_name}/{bug}"
+            rows.append(CbrRow(label, "ALL", _prob(app_name, bug, None, n)))
+            for k in range(1, len(cbrs)):
+                for subset in itertools.combinations(cbrs, k):
+                    short = "+".join(s.split(":")[1] for s in subset)
+                    rows.append(CbrRow(label, short, _prob(app_name, bug, subset, n)))
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit(f"Ablation A4 — #CBR minimality ({n} trials per row)", render(rows))
+
+    by_bug = {}
+    for row in rows:
+        by_bug.setdefault(row.label, []).append(row)
+    for label, group in by_bug.items():
+        full = next(r for r in group if r.enabled == "ALL")
+        assert full.probability >= 0.9, label
+        for row in group:
+            if row.enabled != "ALL":
+                assert row.probability <= full.probability - 0.25, (label, row.enabled)

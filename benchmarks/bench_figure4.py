@@ -1,0 +1,52 @@
+"""E7 — the Figure 4 program: a hard-to-reach concurrent breakpoint.
+
+The paper's two-threaded example where ``bar`` writes ``o.x = 1`` at its
+first statement and ``foo`` tests ``o.x == 0`` only after five long
+calls.  Unaided, the ERROR state is (nearly) unreachable; the breakpoint
+``(8, 10, t1.o1 == t2.o2)`` with a sufficient pause makes it
+near-certain.  The sweep over T is the empirical counterpart of the
+Section 3 boost analysis: probability climbs from ~0 to ~1 as the pause
+covers foo's arrival-time spread.
+"""
+
+import dataclasses
+
+from repro.apps import Figure4App
+from repro.harness import render, run_trials
+
+from conftest import emit
+
+
+@dataclasses.dataclass
+class F4Row:
+    label: str
+    probability: float
+    runtime: float
+
+    HEADER = ["Configuration", "P(ERROR)", "Runtime(s)"]
+
+    def cells(self):
+        return [self.label, f"{self.probability:.2f}", f"{self.runtime:.4f}"]
+
+
+def test_figure4_unaided_vs_breakpoint(benchmark, trials):
+    def experiment():
+        rows = [
+            F4Row("no breakpoint", *_pr(run_trials(Figure4App, n=trials, bug=None))),
+        ]
+        for T in (0.01, 0.03, 0.05, 0.07, 0.1, 0.2):
+            stats = run_trials(Figure4App, n=trials, bug="error1", timeout=T)
+            rows.append(F4Row(f"breakpoint, T={T * 1000:.0f}ms", stats.probability, stats.mean_runtime))
+        return rows
+
+    def _pr(stats):
+        return stats.probability, stats.mean_runtime
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit(f"Figure 4 — hard-to-reach breakpoint ({trials} trials/point)", render(rows))
+
+    assert rows[0].probability <= 0.05  # unaided: almost never
+    probs = [r.probability for r in rows[1:]]
+    for a, b in zip(probs, probs[1:]):
+        assert b >= a - 0.1  # climbs with T
+    assert probs[-1] >= 0.95  # T past foo's span: near-certain

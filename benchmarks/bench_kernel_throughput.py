@@ -1,0 +1,57 @@
+"""A3 — ablation: simulation kernel throughput.
+
+Measures scheduling steps per wall-clock second for a contended-lock
+workload, with and without trace recording, and the per-trial cost of a
+full Table-1-style app execution.  These numbers justify the substrate
+choice: 100-trial probability estimates complete in seconds, which a
+wall-clock implementation with 100 ms pauses could never do.
+"""
+
+from repro.apps import AppConfig, JigsawApp
+from repro.sim import Kernel, SharedCell, SimLock
+
+
+def _workload(record_trace):
+    counter = SharedCell(0)
+    lock = SimLock()
+
+    def worker():
+        for _ in range(500):
+            yield from lock.acquire()
+            v = yield from counter.get()
+            yield from counter.set(v + 1)
+            yield from lock.release()
+
+    k = Kernel(seed=1, record_trace=record_trace)
+    for _ in range(4):
+        k.spawn(worker)
+    result = k.run()
+    assert result.ok
+    return result.steps
+
+
+def test_kernel_steps_per_second(benchmark):
+    steps = benchmark(_workload, False)
+    rate = steps / benchmark.stats["mean"]
+    print(f"\nkernel throughput: {rate:,.0f} steps/s (no tracing)")
+    assert rate > 20_000  # generous floor; typical is >200k/s
+
+
+def test_kernel_steps_per_second_traced(benchmark):
+    steps = benchmark(_workload, True)
+    rate = steps / benchmark.stats["mean"]
+    print(f"\nkernel throughput: {rate:,.0f} steps/s (tracing on)")
+    assert rate > 10_000
+
+
+def test_app_trial_cost(benchmark):
+    """Wall-clock cost of one jigsaw trial (the heaviest Table 1 app)."""
+    seeds = iter(range(10_000))
+
+    def one_trial():
+        return JigsawApp(AppConfig(bug="deadlock1")).run(seed=next(seeds))
+
+    run = benchmark(one_trial)
+    assert run.bug_hit
+    # A full 100-trial row must stay interactive.
+    assert benchmark.stats["mean"] < 0.5

@@ -1,0 +1,102 @@
+"""E6 — the Section 3 probability model, analytic vs Monte-Carlo.
+
+Three artefacts:
+
+1. the unaided hit probability ``1 - C(N-m,m)/C(N,m)`` vs Monte-Carlo;
+2. the BTrigger-boosted probability vs Monte-Carlo across pause lengths;
+3. the boost factor ``T(N-m+1)/(N+MT-M)`` — growing in ``T``, shrinking
+   in ``M`` (the quantitative argument for Sections 6.2 and 6.3).
+"""
+
+import dataclasses
+
+from repro.model import (
+    boost_factor,
+    mc_p_hit,
+    mc_p_hit_btrigger,
+    p_hit,
+    p_hit_btrigger,
+    p_hit_btrigger_approx,
+)
+from repro.harness import render
+
+from conftest import emit
+
+
+@dataclasses.dataclass
+class ModelRow:
+    label: str
+    analytic: float
+    montecarlo: float
+
+    HEADER = ["Configuration", "Analytic", "Monte-Carlo"]
+
+    def cells(self):
+        return [self.label, f"{self.analytic:.4f}", f"{self.montecarlo:.4f}"]
+
+
+def test_section3_unaided_probability(benchmark):
+    cases = [(100, 2), (500, 3), (1000, 5), (2000, 4)]
+
+    def sweep():
+        return [
+            ModelRow(f"N={N} m={m} (no BTrigger)", p_hit(N, m), mc_p_hit(N, m, trials=40_000, seed=N))
+            for N, m in cases
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Section 3 — unaided hit probability (formula vs 40k-trial MC)", render(rows))
+    for row in rows:
+        assert abs(row.analytic - row.montecarlo) < 0.02
+
+
+def test_section3_btrigger_probability(benchmark):
+    N, M, m = 4000, 8, 3
+    Ts = [5, 20, 80, 320]
+
+    def sweep():
+        return [
+            ModelRow(
+                f"N={N} M={M} m={m} T={T}",
+                p_hit_btrigger(N, M, m, T),
+                mc_p_hit_btrigger(N, M, m, T, trials=30_000, seed=T),
+            )
+            for T in Ts
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Section 3 — BTrigger hit probability vs pause T (formula vs MC)", render(rows))
+    probs = [r.analytic for r in rows]
+    assert probs == sorted(probs)  # grows with T
+    for row in rows:
+        # MC sits slightly below the non-overlap formula; 15% slack.
+        assert abs(row.analytic - row.montecarlo) < 0.15 * max(row.analytic, 0.05)
+
+
+def test_section3_boost_factor(benchmark):
+    N, m = 10_000, 3
+
+    def sweep():
+        rows = []
+        for T in (10, 100, 1000):
+            for M in (3, 30, 300):
+                rows.append(
+                    ModelRow(
+                        f"T={T} M={M}",
+                        boost_factor(N, M, m, T),
+                        p_hit_btrigger_approx(N, M, m, T) / max(m * m / (N - m + 1), 1e-12),
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Section 3 — boost factor T(N-m+1)/(N+MT-M) (vs approx probability ratio)", render(rows))
+    # Grows with T at fixed M.
+    at_m3 = [r.analytic for r in rows if r.label.endswith("M=3")]
+    assert at_m3 == sorted(at_m3)
+    # Shrinks with M at fixed T.
+    at_t100 = [r.analytic for r in rows if r.label.startswith("T=100 ")]
+    assert at_t100 == sorted(at_t100, reverse=True)
+    # The boost factor matches the ratio of the approximations exactly.
+    for row in rows:
+        assert abs(row.analytic - row.montecarlo) / row.analytic < 1e-9

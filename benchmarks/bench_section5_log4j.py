@@ -1,0 +1,31 @@
+"""E3 — the Section 5 table: log4j conflict-resolution orders.
+
+Four lock contentions on the AsyncAppender monitor, each probed with a
+concurrent breakpoint in both resolution orders.  Expected shape (the
+paper's step-4 inferences):
+
+* ``236 -> 309`` stalls ~always with the breakpoint hit ~always — the bug;
+* ``309 -> 236`` never stalls (same breakpoint, other order);
+* the ``100``-pairs neither stall nor implicate anything (hit ~100);
+* the ``277/309`` pair stalls *without* its breakpoint being reached —
+  "the system stall happens because of a different set of conflicts".
+"""
+
+from repro.harness import build_section5, render
+
+from conftest import emit
+
+
+def test_section5_conflict_resolution_orders(benchmark, trials):
+    rows = benchmark.pedantic(build_section5, kwargs={"n": trials}, rounds=1, iterations=1)
+    emit(f"Section 5 — log4j missed notification, Methodology II ({trials} trials)", render(rows))
+
+    by = {r.order: r for r in rows}
+    assert by["236 -> 309"].stall_pct >= 90 and by["236 -> 309"].bp_hit_pct >= 90
+    assert by["309 -> 236"].stall_pct <= 10 and by["309 -> 236"].bp_hit_pct >= 90
+    for label in ("100 -> 309", "309 -> 100", "100 -> 236", "236 -> 100"):
+        assert by[label].stall_pct <= 20, label
+        assert by[label].bp_hit_pct >= 90, label
+    for label in ("309 -> 277", "277 -> 309"):
+        assert by[label].stall_pct >= 60, label
+        assert by[label].bp_hit_pct <= 10, label

@@ -1,0 +1,51 @@
+"""E4 — Section 6.2: increasing the pause time of breakpoints.
+
+hedc/race1 and swing/deadlock1 at 100 ms and 1 s pauses, plus a finer
+sweep for the curve.  Expected shape: probability rises with the pause
+(paper: hedc 0.87 -> 1.00, swing 0.63 -> 0.99) and so does the runtime —
+the trade-off Section 6.3's precision refinements then resolve.
+"""
+
+from repro.apps import HedcApp, SwingApp
+from repro.harness import build_section62, render, run_trials
+from repro.harness.tables import ParamRow
+
+from conftest import emit
+
+
+def test_section62_pause_time_study(benchmark, trials):
+    rows = benchmark.pedantic(build_section62, kwargs={"n": trials}, rounds=1, iterations=1)
+    emit(f"Section 6.2 — pause time vs probability ({trials} trials)", render(rows))
+
+    hedc_small, hedc_big, swing_small, swing_big = rows
+    assert hedc_big.probability >= hedc_small.probability
+    assert hedc_big.probability >= 0.95
+    assert 0.5 <= hedc_small.probability <= 1.0
+    assert swing_big.probability > swing_small.probability
+    assert 0.35 <= swing_small.probability <= 0.85  # the paper's 0.63 regime
+    assert swing_big.probability >= 0.9
+    # Longer pauses cost runtime (the overhead side of the table).
+    assert swing_big.runtime > swing_small.runtime
+
+
+def test_section62_probability_curve(benchmark, trials):
+    """Finer sweep over T for hedc/race1 — the pause-time response curve."""
+    waits = [0.025, 0.05, 0.1, 0.2, 0.4, 1.0]
+    n = max(trials // 2, 10)
+
+    def sweep():
+        out = []
+        for w in waits:
+            stats = run_trials(HedcApp, n=n, bug="race1", timeout=w)
+            out.append(ParamRow(label=f"hedc/race1 wait={w * 1000:.0f}ms",
+                                probability=stats.probability,
+                                runtime=stats.mean_runtime))
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(f"Section 6.2 — hedc/race1 probability vs pause time ({n} trials/point)", render(rows))
+    probs = [r.probability for r in rows]
+    # Monotone non-decreasing up to sampling noise (allow 10% dips).
+    for a, b in zip(probs, probs[1:]):
+        assert b >= a - 0.1
+    assert probs[-1] >= 0.95

@@ -1,0 +1,31 @@
+"""E5 — Section 6.3: improving the precision of breakpoints.
+
+Three case studies from the paper, refined vs unrefined:
+
+* cache4j/atomicity1 with ``ignoreFirst`` (skip the warm-up constructor
+  visits),
+* moldyn/race1 with ``bound`` (stop pausing after the race reproduced),
+* swing/deadlock1 with ``isLockTypeHeld(BasicCaret)`` (only pause in the
+  deadlock-relevant context).
+
+Expected shape: the refined run is substantially faster at the same (or
+better) reproduction probability.
+"""
+
+from repro.harness import build_section63, render
+
+from conftest import emit
+
+
+def test_section63_precision_refinements(benchmark, trials):
+    n = max(trials // 2, 10)
+    rows = benchmark.pedantic(build_section63, kwargs={"n": n}, rounds=1, iterations=1)
+    emit(f"Section 6.3 — precision refinements ({n} trials per row)", render(rows))
+
+    # Rows come in (unrefined, refined) pairs per case study.
+    for unrefined, refined in zip(rows[0::2], rows[1::2]):
+        label = refined.label
+        assert refined.runtime < unrefined.runtime, label
+        assert refined.probability >= unrefined.probability - 0.15, label
+    # The cache4j case is the dramatic one: warm-up pauses dominate.
+    assert rows[1].runtime < rows[0].runtime * 0.25

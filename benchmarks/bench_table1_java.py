@@ -1,0 +1,28 @@
+"""E1 — Table 1: the 15 Java subjects, 31 breakpoints.
+
+For every (app, bug) pair: normal runtime, runtime with breakpoints,
+overhead, error symptom, and the empirical reproduction probability over
+``REPRO_TRIALS`` seeded executions, printed next to the paper's
+probability.  Expected shape (paper Section 6.1): probability ~1.00
+everywhere except the 100 ms hedc/swing rows, overhead usually modest.
+"""
+
+from repro.harness import build_table1, render
+
+from conftest import emit
+
+
+def test_table1_java_programs(benchmark, trials):
+    rows = benchmark.pedantic(build_table1, kwargs={"n": trials}, rounds=1, iterations=1)
+    emit(f"Table 1 — Java programs ({trials} trials per row)", render(rows))
+
+    # Shape assertions: every row reproduces its bug at >= 90% except the
+    # two rows the paper itself reports below 0.9 at the default pause.
+    lenient = {("hedc", "race1"), ("swing", "deadlock1")}
+    for row in rows:
+        floor = 0.35 if (row.app, row.bug) in lenient else 0.90
+        assert row.probability >= floor, f"{row.app}/{row.bug}: {row.probability}"
+    # The paper's sub-1.0 rows stay sub-1.0-ish at 100 ms: swing in
+    # particular must NOT be deterministic at the short pause.
+    swing = next(r for r in rows if r.app == "swing")
+    assert swing.probability <= 0.85

@@ -1,0 +1,27 @@
+"""E2 — Table 2: the C/C++ server bugs, mean time to error.
+
+Each bug is reproduced with its breakpoint set (#CBR column) under a
+continuous simulated workload; MTTE is the mean virtual time to the first
+error over the trials.  Expected shape: every bug reproduced in ~every
+run, MTTE within a few seconds, and the paper's *ordering* of MTTEs
+(mysql-3.23.56 fastest, mysql-4.0.19 slowest) preserved.
+"""
+
+from repro.harness import build_table2, render
+
+from conftest import emit
+
+
+def test_table2_c_programs(benchmark, trials):
+    rows = benchmark.pedantic(build_table2, kwargs={"n": trials}, rounds=1, iterations=1)
+    emit(f"Table 2 — C/C++ programs ({trials} trials per row)", render(rows))
+
+    for row in rows:
+        assert row.probability >= 0.95, f"{row.app}: {row.probability}"
+        assert row.mtte is not None and row.mtte < 10.0
+
+    by_app = {r.app: r for r in rows}
+    # The paper's MTTE ordering: the disorder bug is quickest, the
+    # mysql-4.0.19 crash slowest (it needs a late FLUSH TABLES).
+    assert by_app["mysql-3.23.56"].mtte < by_app["pbzip2"].mtte
+    assert by_app["mysql-4.0.19"].mtte == max(r.mtte for r in rows)

@@ -1,0 +1,31 @@
+"""Benchmark configuration.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's per-experiment index).  The experiment runs
+inside ``benchmark.pedantic``/``benchmark()`` so pytest-benchmark records
+its wall-clock cost, and the finished table is printed to stdout so
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the paper's evaluation section end to end.  ``REPRO_TRIALS``
+scales the per-configuration trial count (default 100, the paper's
+protocol; CI can set it lower).
+"""
+
+import os
+
+import pytest
+
+#: Trials per configuration; the paper used 100.
+TRIALS = int(os.environ.get("REPRO_TRIALS", "100"))
+
+
+@pytest.fixture(scope="session")
+def trials():
+    return TRIALS
+
+
+def emit(title: str, body: str) -> None:
+    """Print a finished table with a recognisable banner."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

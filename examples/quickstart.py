@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Quickstart: make a Heisenbug deterministic with a concurrent breakpoint.
+
+This is the paper's Figure 3 scenario on *real Python threads*: a
+StringBuffer-style ``append`` reads the source buffer's length, then
+copies that many characters — two individually-synchronized calls whose
+*pair* is not atomic.  A concurrent ``set_length(0)`` between them makes
+the cached length stale and the copy throws.
+
+Run it::
+
+    python examples/quickstart.py
+
+Expected output: ~0/300 failures in the stress phase, 20/20 with the
+breakpoint — the bug goes from "cannot reproduce" to a deterministic
+regression test, with two inserted lines and no instrumentation.
+"""
+
+import threading
+
+from repro.core import ConflictTrigger, GLOBAL, reset
+
+
+class StringBuffer:
+    """Minimal thread-safe buffer with the classic append atomicity bug."""
+
+    def __init__(self, text=""):
+        self._monitor = threading.RLock()
+        self._data = list(text)
+
+    def length(self):
+        with self._monitor:
+            return len(self._data)
+
+    def get_chars(self, begin, end):
+        with self._monitor:
+            if end > len(self._data):
+                raise IndexError(f"StringIndexOutOfBounds: {end} > {len(self._data)}")
+            return self._data[begin:end]
+
+    def set_length(self, n, breakpoints=False):
+        # --- concurrent breakpoint, first action (paper line 239) ---
+        if breakpoints:
+            ConflictTrigger("sb-append", self).trigger_here(True, GLOBAL.timeout)
+        with self._monitor:
+            del self._data[n:]
+
+    def append_from(self, other, breakpoints=False):
+        ln = other.length()  # length cached here... (paper line 444)
+        # --- concurrent breakpoint, second action (paper line 449) ---
+        if breakpoints:
+            ConflictTrigger("sb-append", other).trigger_here(False, GLOBAL.timeout)
+        chunk = other.get_chars(0, ln)  # ...and used here: not atomic!
+        with self._monitor:
+            self._data.extend(chunk)
+
+
+def one_execution(breakpoints):
+    """Run the two conflicting operations once; True if the bug fired."""
+    shared = StringBuffer("hello concurrent world")
+    sink = StringBuffer()
+    failed = []
+
+    def appender():
+        try:
+            sink.append_from(shared, breakpoints)
+        except IndexError as exc:
+            failed.append(exc)
+
+    def truncator():
+        shared.set_length(0, breakpoints)
+
+    threads = [threading.Thread(target=appender), threading.Thread(target=truncator)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    reset()  # clear breakpoint state between executions
+    return bool(failed)
+
+
+def main():
+    print("Phase 1: stress testing WITHOUT breakpoints (300 runs)")
+    plain = sum(one_execution(breakpoints=False) for _ in range(300))
+    print(f"  bug manifested in {plain}/300 runs - a classic Heisenbug\n")
+
+    print("Phase 2: the same program WITH the concurrent breakpoint (20 runs)")
+    forced = sum(one_execution(breakpoints=True) for _ in range(20))
+    print(f"  bug manifested in {forced}/20 runs\n")
+
+    print("The breakpoint <set_length, append-mid, t1.sb == t2.other> plus the")
+    print("BTrigger pause turned an unreproducible interleaving into a")
+    print("deterministic regression test (paper Sections 2-4).")
+    assert forced >= 19, "expected near-deterministic reproduction"
+
+
+if __name__ == "__main__":
+    main()

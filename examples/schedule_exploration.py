@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Schedulers vs breakpoints: why reproduction needs more than perturbation.
+
+Compares four ways of chasing the StringBuffer atomicity violation on the
+simulation substrate:
+
+* plain stress testing (seeded random scheduler),
+* ConTest-style noise injection (random delays at sync points),
+* PCT (randomised priorities with d-1 change points),
+* a concurrent breakpoint (the paper's approach).
+
+The perturbation tools are bug *finders*: they raise the odds of the
+rare interleaving.  The breakpoint is a bug *reproducer*: it encodes the
+two sites and forces them, run after run — the distinction Section 1
+draws against the related work.
+
+Run it::
+
+    python examples/schedule_exploration.py
+"""
+
+from repro.apps import AppConfig, StringBufferApp
+from repro.sim import NoiseScheduler, PCTScheduler, RandomScheduler
+
+TRIALS = 150
+
+
+def probability(bug, scheduler_factory):
+    hits = 0
+    for seed in range(TRIALS):
+        app = StringBufferApp(AppConfig(bug=bug))
+        hits += app.run(seed=seed, scheduler=scheduler_factory(seed)).bug_hit
+    return hits / TRIALS
+
+
+def main():
+    policies = [
+        ("random stress", None, RandomScheduler),
+        ("ConTest noise p=0.1", None, lambda s: NoiseScheduler(s, p=0.1, max_delay=0.005)),
+        ("ConTest noise p=0.3", None, lambda s: NoiseScheduler(s, p=0.3, max_delay=0.005)),
+        ("PCT depth=2", None, lambda s: PCTScheduler(depth=2, steps_estimate=400, seed=s)),
+        ("PCT depth=3", None, lambda s: PCTScheduler(depth=3, steps_estimate=400, seed=s)),
+        ("concurrent breakpoint", "atomicity1", RandomScheduler),
+    ]
+
+    print(f"stringbuffer/atomicity1 hit probability over {TRIALS} seeded runs:\n")
+    results = {}
+    for label, bug, factory in policies:
+        p = probability(bug, factory)
+        results[label] = p
+        print(f"  {label:24s} {p:5.2f}  {'#' * int(p * 40)}")
+
+    print("""
+Reading: schedule perturbation helps discovery but remains probabilistic;
+the breakpoint encodes the conflict directly and reproduces it
+(near-)deterministically — and unlike the fuzzers, the two inserted
+trigger lines travel with the bug report (no tool runtime needed).""")
+    assert results["concurrent breakpoint"] >= 0.95
+    assert results["random stress"] < 0.3
+
+
+if __name__ == "__main__":
+    main()

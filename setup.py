@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline editable installs).
+
+`pip install -e . --no-use-pep517` falls back to this; all metadata lives
+in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the registered benchmark apps and their known bugs;
+* ``run APP BUG`` — execute one app with the bug's breakpoints and print
+  the outcome (``--seed``, ``--timeout``, ``--trials``, ``--no-bp``);
+* ``table1`` / ``table2`` / ``section5`` / ``section62`` / ``section63``
+  — regenerate a table of the paper's evaluation (``--trials``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import ALL_APPS, AppConfig, get_app
+from repro.harness import (
+    build_section5,
+    build_section62,
+    build_section63,
+    build_table1,
+    build_table2,
+    render,
+    run_trials,
+)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name in sorted(ALL_APPS):
+        cls = ALL_APPS[name]
+        print(f"{name}  (original: {cls.paper_loc} LoC)")
+        for bug_id, spec in cls.bugs.items():
+            err = spec.error or "(silent)"
+            note = f"  [{spec.comments}]" if spec.comments else ""
+            print(f"    {bug_id:16s} {spec.kind:14s} {err}{note}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cls = get_app(args.app)
+    bug = None if args.no_bp else args.bug
+    if args.bug not in cls.bugs:
+        print(f"error: {args.app} has no bug {args.bug!r}; known: {list(cls.bugs)}")
+        return 2
+    if args.trials > 1:
+        stats = run_trials(
+            cls, n=args.trials, bug=bug, timeout=args.timeout, base_seed=args.seed
+        )
+        print(
+            f"{args.app}/{args.bug}: reproduced {stats.bug_hits}/{stats.trials} "
+            f"(bp hit rate {stats.bp_hit_rate:.2f}, mean runtime {stats.mean_runtime:.4f}s"
+            + (f", MTTE {stats.mtte:.3f}s)" if stats.mtte is not None else ")")
+        )
+        return 0
+    app = cls(AppConfig(bug=bug, timeout=args.timeout))
+    run = app.run(seed=args.seed, record_trace=args.timeline)
+    print(f"{args.app}/{args.bug} seed={args.seed}:")
+    print(f"  bug reproduced : {run.bug_hit}")
+    print(f"  error symptom  : {run.error}")
+    print(f"  breakpoint hit : {run.bp_hit()}")
+    print(f"  virtual runtime: {run.runtime:.4f}s  ({run.result.steps} steps)")
+    print(f"  result         : {run.result.summary()}")
+    if args.timeline:
+        from repro.sim.timeline import around_breakpoints, render_timeline
+
+        window = around_breakpoints(run.result.trace, context=4)
+        print("\nTimeline around the breakpoints:")
+        print(render_timeline(window if window else run.result.trace, limit=40))
+    return 0
+
+
+_TABLES = {
+    "table1": (build_table1, "Table 1 — Java programs"),
+    "table2": (build_table2, "Table 2 — C/C++ programs"),
+    "section5": (build_section5, "Section 5 — log4j conflict orders"),
+    "section62": (build_section62, "Section 6.2 — pause time"),
+    "section63": (build_section63, "Section 6.3 — precision refinements"),
+}
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    builder, title = _TABLES[args.command]
+    rows = builder(n=args.trials)
+    print(title + f" ({args.trials} trials)")
+    print(render(rows))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Concurrent Breakpoints reproduction (Park & Sen, PPoPP 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark apps and bugs")
+
+    run_p = sub.add_parser("run", help="run one app/bug")
+    run_p.add_argument("app")
+    run_p.add_argument("bug")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--timeout", type=float, default=0.1, help="pause time T (s)")
+    run_p.add_argument("--trials", type=int, default=1)
+    run_p.add_argument("--no-bp", action="store_true", help="run without breakpoints")
+    run_p.add_argument("--timeline", action="store_true",
+                       help="print the event timeline around the breakpoints")
+
+    an_p = sub.add_parser("analyze", help="run all detectors over one traced execution")
+    an_p.add_argument("app")
+    an_p.add_argument("--bug", default=None, help="activate a bug's breakpoints during the run")
+    an_p.add_argument("--seed", type=int, default=0)
+
+    suite_p = sub.add_parser("suite", help="print a bug's breakpoint suite")
+    suite_p.add_argument("app")
+    suite_p.add_argument("bug")
+    suite_p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    report_p = sub.add_parser("report", help="regenerate the full evaluation report")
+    report_p.add_argument("--trials", type=int, default=100)
+    report_p.add_argument("--out", default=None, help="write Markdown to this file")
+
+    for name in _TABLES:
+        tp = sub.add_parser(name, help=f"regenerate {name}")
+        tp.add_argument("--trials", type=int, default=100)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "suite":
+        return _cmd_suite(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    return _cmd_table(args)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness import generate_report
+
+    text = generate_report(trials=args.trials, markdown=args.out is not None)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.detect import analyze
+
+    cls = get_app(args.app)
+    app = cls(AppConfig(bug=args.bug))
+    run = app.run(seed=args.seed, record_trace=True)
+    report = analyze(run.result.trace)
+    print(f"{args.app} seed={args.seed} bug={args.bug}: "
+          f"{run.result.summary()}, {report.total_findings} finding(s)\n")
+    print(report.render())
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.apps.suites import suite_for
+
+    suite = suite_for(args.app, args.bug)
+    if suite is None:
+        print(f"error: no suite for {args.app}/{args.bug}")
+        return 2
+    print(suite.to_json() if args.json else suite.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

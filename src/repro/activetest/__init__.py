@@ -1,0 +1,20 @@
+"""``repro.activetest`` — CalFuzzer-style active testing.
+
+The "testing tool" of the paper's Methodology I: predict candidate
+conflicts from a traced run, confirm them with targeted pauses, and hand
+the confirmed (location, location, object) triples to the breakpoint
+library.
+"""
+
+from .base import ActiveTester, Confirmation, ProgramBuilder
+from .fuzzers import AtomicityFuzzer, DeadlockFuzzer, FuzzReport, RaceFuzzer
+
+__all__ = [
+    "ActiveTester",
+    "Confirmation",
+    "ProgramBuilder",
+    "AtomicityFuzzer",
+    "DeadlockFuzzer",
+    "FuzzReport",
+    "RaceFuzzer",
+]

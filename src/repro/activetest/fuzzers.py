@@ -1,0 +1,148 @@
+"""Predict-and-confirm fuzzers (the CalFuzzer workflow, Methodology I).
+
+Each fuzzer:
+
+1. runs the program once with tracing and a seeded random scheduler,
+2. predicts candidate conflicts with the matching detector
+   (:func:`eraser_races` / :func:`potential_deadlocks` /
+   :func:`atomicity_violations`),
+3. re-executes per candidate under :class:`ActiveTester`'s targeted
+   pauses, over several seeds, and
+4. returns the confirmed conflicts — each carrying the two locations and
+   object, i.e. a ready-made concurrent breakpoint (Methodology I's
+   input).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.detect import (
+    atomicity_violations,
+    eraser_races,
+    potential_deadlocks,
+)
+from repro.detect.reports import BugReport
+from repro.sim.kernel import Kernel
+
+from .base import ActiveTester, Confirmation, ProgramBuilder
+
+__all__ = ["FuzzReport", "RaceFuzzer", "DeadlockFuzzer", "AtomicityFuzzer"]
+
+
+@dataclasses.dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    candidates: List[BugReport]
+    confirmed: List[Confirmation]
+
+    def summary(self) -> str:
+        return f"{len(self.candidates)} candidate(s), {len(self.confirmed)} confirmed"
+
+    def to_suite(self, bug_id: str, program: str = "", timeout: float = 0.100):
+        """Package the confirmed conflicts as an attachable breakpoint suite.
+
+        The Methodology I hand-off in one call: fuzz -> confirm ->
+        the ``(l1, l2, phi)`` records a bug report carries.
+        """
+        from repro.core.suite import BreakpointEntry, BreakpointSuite
+
+        suite = BreakpointSuite(bug_id=bug_id, program=program)
+        for i, conf in enumerate(self.confirmed):
+            suite.add(
+                BreakpointEntry(
+                    name=f"{bug_id}:cbr{i + 1}" if len(self.confirmed) > 1 else bug_id,
+                    kind=conf.kind,
+                    loc_first=conf.loc1,
+                    loc_second=conf.loc2,
+                    predicate=f"t1.{conf.obj_name} == t2.{conf.obj_name}",
+                    timeout=timeout,
+                    notes=f"confirmed between {conf.thread1} and {conf.thread2}",
+                )
+            )
+        return suite
+
+
+class _FuzzerBase:
+    kind = "race"
+
+    def __init__(
+        self,
+        pause: float = 0.05,
+        attempts_per_candidate: int = 5,
+        predict_runs: int = 8,
+    ) -> None:
+        self.pause = pause
+        self.attempts = attempts_per_candidate
+        self.predict_runs = predict_runs
+
+    def predict(self, trace) -> List[BugReport]:
+        raise NotImplementedError
+
+    def fuzz(self, build: ProgramBuilder, seed: int = 0) -> FuzzReport:
+        """Run the full predict-and-confirm campaign.
+
+        Prediction observes ``predict_runs`` seeded executions and unions
+        the candidates: witness-based predictors (the atomicity checker)
+        only see violations the observed schedule happened to produce.
+        """
+        candidates: List[BugReport] = []
+        seen = set()
+        for i in range(self.predict_runs):
+            kernel = Kernel(seed=seed + i * 7919, record_trace=True)
+            build(kernel)
+            kernel.run()
+            for cand in self.predict(kernel.trace):
+                key = (cand.kind, cand.loc1, cand.loc2)
+                if key not in seen:
+                    seen.add(key)
+                    candidates.append(cand)
+
+        confirmed: List[Confirmation] = []
+        for cand in candidates:
+            for attempt in range(self.attempts):
+                tester = ActiveTester(cand.loc1, cand.loc2, kind=self.kind, pause=self.pause)
+                result = tester.run(build, seed=seed * 1009 + attempt + 1)
+                if tester.confirmations:
+                    conf = tester.confirmations[0]
+                    conf.result = result
+                    confirmed.append(conf)
+                    break
+        return FuzzReport(candidates=candidates, confirmed=confirmed)
+
+
+class RaceFuzzer(_FuzzerBase):
+    """Eraser prediction + pause-at-access confirmation (RaceFuzzer [39])."""
+
+    kind = "race"
+
+    def predict(self, trace) -> List[BugReport]:
+        return list(eraser_races(trace))
+
+
+class DeadlockFuzzer(_FuzzerBase):
+    """Lock-graph prediction + pause-at-acquire confirmation
+    (DeadlockFuzzer [18])."""
+
+    kind = "deadlock"
+
+    def predict(self, trace) -> List[BugReport]:
+        return list(potential_deadlocks(trace))
+
+
+class AtomicityFuzzer(_FuzzerBase):
+    """Serializability prediction + pause-in-region confirmation
+    (AtomFuzzer [31]).  Candidates pair the region's first local access
+    with the remote interleaving access."""
+
+    kind = "atomicity"
+
+    def predict(self, trace) -> List[BugReport]:
+        out: List[BugReport] = []
+        for rep in atomicity_violations(trace):
+            out.append(
+                dataclasses.replace(rep, loc1=rep.loc1, loc2=rep.loc_remote)
+            )
+        return out

@@ -1,0 +1,67 @@
+"""``repro.apps`` — the paper's 18 evaluation subjects, re-created.
+
+Every Table 1 / Table 2 benchmark is re-built around its original
+concurrency structure (same lock topology, same conflicting accesses,
+same bug class and error symptom) on the simulation substrate; see each
+module's docstring for the mapping and DESIGN.md for the substitution
+rationale.  ``repro.apps.registry`` partitions them into the two tables.
+"""
+
+from .base import AppConfig, AppRun, BaseApp, BugSpec
+from .cache4j import Cache4jApp
+from .figure4 import Figure4App
+from .hedc import HedcApp
+from .httpd import HttpdApp
+from .jigsaw import JigsawApp
+from .log4j import SECTION5_PAIRS, Log4jApp
+from .logging_app import LoggingApp
+from .lucene import LuceneApp
+from .moldyn import MoldynApp
+from .montecarlo_app import MonteCarloApp
+from .mysql import MySQL32356App, MySQL4012App, MySQL4019App
+from .pbzip2 import Pbzip2App
+from .pool import PoolApp
+from .raytracer import RayTracerApp
+from .registry import ALL_APPS, C_APPS, JAVA_APPS, get_app, table1_bugs, table2_bugs
+from .stringbuffer import StringBufferApp
+from .swing import SwingApp
+from .synchronized_collections import (
+    SynchronizedListApp,
+    SynchronizedMapApp,
+    SynchronizedSetApp,
+)
+
+__all__ = [
+    "AppConfig",
+    "AppRun",
+    "BaseApp",
+    "BugSpec",
+    "Cache4jApp",
+    "Figure4App",
+    "HedcApp",
+    "HttpdApp",
+    "JigsawApp",
+    "SECTION5_PAIRS",
+    "Log4jApp",
+    "LoggingApp",
+    "LuceneApp",
+    "MoldynApp",
+    "MonteCarloApp",
+    "MySQL32356App",
+    "MySQL4012App",
+    "MySQL4019App",
+    "Pbzip2App",
+    "PoolApp",
+    "RayTracerApp",
+    "ALL_APPS",
+    "C_APPS",
+    "JAVA_APPS",
+    "get_app",
+    "table1_bugs",
+    "table2_bugs",
+    "StringBufferApp",
+    "SwingApp",
+    "SynchronizedListApp",
+    "SynchronizedMapApp",
+    "SynchronizedSetApp",
+]

@@ -1,0 +1,223 @@
+"""``cache4j`` — a thread-safe in-memory object cache (3,897 LoC original).
+
+Table 1 rows: three silent data races (probabilities 1.00 / 0.99 / 1.00)
+and one atomicity violation in the ``CacheObject`` constructor whose
+breakpoint needs the ``ignoreFirst=7200`` refinement (Section 6.3): the
+test harness constructs a fixed number of objects during initialisation,
+and without the refinement the constructor-site breakpoint pauses at
+every one of them, inflating the runtime enormously.
+
+Re-created structure:
+
+* ``race1`` — ``put`` updates the cache's ``size`` counter with an
+  unsynchronised read-modify-write.  The breakpoint sits *between* the
+  read and the write, so when two putters meet there both hold stale
+  values and the lost update is guaranteed (observable: final counter
+  below the number of puts).
+* ``race2`` — the hit-statistics counter in ``get`` has the same flaw.
+* ``race3`` — the LRU head pointer is republished without the segment
+  lock; same RMW pattern.
+* ``atomicity1`` — ``put`` publishes the new ``CacheObject`` into the
+  map *before* its constructor finishes, and the constructor sets
+  ``valid=True`` before storing the payload.  A ``get`` of the in-flight
+  key between the two writes observes a valid-but-empty object.  The
+  constructor site is also executed ``init_objects`` times during
+  warm-up, which is what ``ignore_first`` (scaled default 60, standing
+  in for the paper's 7200) skips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.predicates import SitePolicy
+from repro.sim.kernel import Kernel, RunResult
+from repro.sim.memory import SharedCell
+from repro.sim.primitives import SimRLock
+from repro.sim.syscalls import BeginAtomic, EndAtomic, Sleep
+
+from .base import BaseApp, BugSpec
+
+__all__ = ["Cache4jApp", "CacheObject"]
+
+#: Scaled stand-in for the paper's 7200 warm-up constructions.
+DEFAULT_INIT_OBJECTS = 60
+DEFAULT_IGNORE_FIRST = 60
+
+
+class CacheObject:
+    """A cached payload with the unsafe-publication constructor bug."""
+
+    def __init__(self, name: str) -> None:
+        self.valid = SharedCell(False, name=f"{name}.valid")
+        self.payload = SharedCell(None, name=f"{name}.payload")
+        self.name = name
+
+    def construct(self, app: "Cache4jApp", value):
+        """The buggy constructor body: ``valid`` is set before the payload."""
+        yield BeginAtomic("CacheObject.ctor")
+        yield from self.valid.set(True, loc="CacheObject.java:32")
+        # Breakpoint site between the two publication writes (second
+        # action: a matched getter reads the empty payload first).
+        yield from app.cb_conflict(
+            "atomicity1", self, first=False, loc="CacheObject.java:33", atomicity=True
+        )
+        yield from self.payload.set(value, loc="CacheObject.java:34")
+        yield EndAtomic("CacheObject.ctor")
+        return self
+
+
+class Cache4jApp(BaseApp):
+    """Warm-up construction phase, then concurrent put/get workers."""
+
+    name = "cache4j"
+    paper_loc = "3,897"
+    bugs = {
+        "race1": BugSpec(
+            id="race1", kind="race", error="",
+            description="unsynchronised size counter RMW in put(): lost update",
+        ),
+        "race2": BugSpec(
+            id="race2", kind="race", error="",
+            description="unsynchronised hit-statistics RMW in get(): lost update",
+        ),
+        "race3": BugSpec(
+            id="race3", kind="race", error="",
+            description="LRU head republished without the segment lock",
+        ),
+        "atomicity1": BugSpec(
+            id="atomicity1", kind="atomicity", error="",
+            description="CacheObject published before construction completes",
+            comments=f"ignoreFirst={DEFAULT_IGNORE_FIRST}",
+        ),
+    }
+
+    def policies(self) -> Dict[str, SitePolicy]:
+        return {
+            "race1": SitePolicy(bound=1),
+            "race2": SitePolicy(bound=1),
+            "race3": SitePolicy(bound=1),
+            "atomicity1": SitePolicy(
+                ignore_first=self.param("ignore_first", DEFAULT_IGNORE_FIRST), bound=1
+            ),
+        }
+
+    #: LRU capacity for the working set (warm-up entries excluded).
+    CAPACITY = 16
+
+    def setup(self, kernel: Kernel) -> None:
+        self.cache_lock = SimRLock("cache.segment", tag="CacheSegment")
+        self.size = SharedCell(0, name="cache.size")
+        self.hits = SharedCell(0, name="cache.hits")
+        self.lru_head = SharedCell(0, name="cache.lru_head")
+        self.lru_writes = 0
+        self.store: Dict[str, CacheObject] = {}
+        #: Recency order of the working-set keys, most recent last — the
+        #: real cache behaviour (eviction) the functional tests cover.
+        self.lru_order: list = []
+        self.evictions = 0
+        self.last_key: Optional[str] = None
+        self.puts_done = 0
+        self.gets_done = 0
+        kernel.spawn(self._init_phase, name="init")
+
+    # ------------------------------------------------------------------
+    def _init_phase(self):
+        """Warm-up: construct objects sequentially, then start workers."""
+        n = self.param("init_objects", DEFAULT_INIT_OBJECTS)
+        for i in range(n):
+            key = f"warm{i}"
+            obj = CacheObject(key)
+            self.store[key] = obj
+            yield from obj.construct(self, i)
+        workers = self.param("workers", 2)
+        ops = self.param("ops", 12)
+        for w in range(workers):
+            self.kernel.spawn(self._worker, w, ops, name=f"worker{w}")
+
+    def _worker(self, wid: int, ops: int):
+        rng = self.kernel.rng
+        for i in range(ops):
+            yield Sleep(rng.uniform(0.0005, 0.004))
+            if rng.random() < 0.5:
+                yield from self._put(f"k{wid}_{i}", wid * 1000 + i)
+            else:
+                key = self.last_key or "warm0"
+                yield from self._get(key)
+
+    # ------------------------------------------------------------------
+    def _touch_lru(self, key: str) -> None:
+        """Move ``key`` to most-recent; evict the LRU entry over capacity.
+
+        Called under the segment lock — this part of cache4j is correct;
+        the bugs live in the unsynchronised bookkeeping around it.
+        """
+        if key in self.lru_order:
+            self.lru_order.remove(key)
+        self.lru_order.append(key)
+        while len(self.lru_order) > self.CAPACITY:
+            victim = self.lru_order.pop(0)
+            self.store.pop(victim, None)
+            self.evictions += 1
+
+    def _put(self, key: str, value):
+        obj = CacheObject(key)
+        # Unsafe publication: visible in the map before construction.
+        yield from self.cache_lock.acquire(loc="CacheImpl.java:88")
+        self.store[key] = obj
+        self._touch_lru(key)
+        self.last_key = key
+        yield from self.cache_lock.release(loc="CacheImpl.java:88")
+        yield from obj.construct(self, value)
+        self.puts_done += 1
+        # race1: size counter RMW outside the segment lock; the
+        # breakpoint parks this thread between read and write so a
+        # partner putter reads the same stale value.
+        n = yield from self.size.get(loc="CacheImpl.java:95")
+        yield from self.cb_conflict("race1", self.size, first=True, loc="CacheImpl.java:95")
+        yield from self.size.set(n + 1, loc="CacheImpl.java:96")
+        # race3: LRU head republished unsynchronised (same RMW shape).
+        head = yield from self.lru_head.get(loc="CacheImpl.java:102")
+        yield from self.cb_conflict("race3", self.lru_head, first=True, loc="CacheImpl.java:102")
+        self.lru_writes += 1
+        yield from self.lru_head.set(head + 1, loc="CacheImpl.java:103")
+
+    def _get(self, key: str):
+        yield from self.cache_lock.acquire(loc="CacheImpl.java:120")
+        obj = self.store.get(key)
+        if obj is not None and key in self.lru_order:
+            self._touch_lru(key)
+        yield from self.cache_lock.release(loc="CacheImpl.java:120")
+        self.gets_done += 1
+        if obj is None:
+            return None
+        valid = yield from obj.valid.get(loc="CacheImpl.java:131")
+        if valid:
+            # Breakpoint (first action): on a match with the in-flight
+            # constructor, this thread reads the payload first — empty.
+            # The extra local predicate ("payload still unset") keeps two
+            # getters on a completed object from matching each other.
+            yield from self.cb_conflict(
+                "atomicity1", obj, first=True, loc="CacheImpl.java:132", atomicity=True,
+                local=lambda: obj.payload.peek() is None,
+            )
+            payload = yield from obj.payload.get(loc="CacheImpl.java:133")
+            if payload is None:
+                self.note_error("stale publication")
+        # race2: hit statistics RMW outside any lock.
+        h = yield from self.hits.get(loc="CacheImpl.java:140")
+        yield from self.cb_conflict("race2", self.hits, first=True, loc="CacheImpl.java:140")
+        yield from self.hits.set(h + 1, loc="CacheImpl.java:141")
+        return obj
+
+    # ------------------------------------------------------------------
+    def oracle(self, result: RunResult) -> Optional[str]:
+        if any(sym == "stale publication" for _, sym in self.errors):
+            return "stale publication"
+        if self.size.peek() < self.puts_done:
+            return "lost size update"
+        if self.hits.peek() < self.gets_done and self.cfg.bug == "race2":
+            return "lost hit count"
+        if self.lru_head.peek() < self.lru_writes and self.cfg.bug == "race3":
+            return "lru inconsistency"
+        return None

@@ -1,0 +1,92 @@
+"""``figure4`` — the paper's hard-to-reach breakpoint example (Figure 4).
+
+Two threads share ``o.x``, initially 0::
+
+    void foo(XObject o1) {            void bar(XObject o2) {
+    1.  synchronized (o1) {           10.  o2.x = 1;
+    2..6  f1() .. f5();               11.  synchronized (o2) {
+    7.  }                             12.    f6();
+    8.  if (o1.x == 0)                13.  }
+    9.    ERROR;                      }
+    }
+
+``bar`` writes ``x = 1`` as its *first* statement; ``foo`` checks
+``x == 0`` only after five long calls.  The ERROR fires only if the check
+executes before the write — i.e. if ``thread1`` is at line 8 while
+``thread2`` is still at line 10, which almost never happens naturally.
+The concurrent breakpoint ``(8, 10, t1.o1 == t2.o2)`` plus BTrigger makes
+it near-certain: ``bar`` pauses at line 10 for ``T``; if ``foo`` reaches
+line 8 within the pause, the match fires and ``foo``'s check runs first.
+
+This app is the E7 bench and the empirical anchor for the Section 3
+model: the hit probability as a function of ``T`` tracks the analytic
+formula (``benchmarks/bench_figure4.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.predicates import SitePolicy
+from repro.sim.kernel import Kernel, RunResult
+from repro.sim.memory import SharedCell
+from repro.sim.primitives import SimRLock
+from repro.sim.syscalls import Sleep
+
+from .base import BaseApp, BugSpec
+
+__all__ = ["Figure4App"]
+
+#: Virtual duration of each of f1()..f5() — the "large number of
+#: statements" separating bar's write from foo's check.
+F_CALL_TIME = 0.012
+
+
+class Figure4App(BaseApp):
+    """The foo/bar program with the breakpoint ``(8, 10, t1.o1 == t2.o2)``."""
+
+    name = "figure4"
+    paper_loc = "(Figure 4)"
+    bugs = {
+        "error1": BugSpec(
+            id="error1", kind="race", error="ERROR",
+            description="foo reads o.x==0 at line 8 before bar's write at line 10",
+        ),
+    }
+
+    def policies(self) -> Dict[str, SitePolicy]:
+        return {"error1": SitePolicy(bound=1)}
+
+    def setup(self, kernel: Kernel) -> None:
+        self.o_monitor = SimRLock("o", tag="XObject")
+        self.o_x = SharedCell(0, name="o.x")
+        self.error_reached = False
+        kernel.spawn(self._foo, name="thread1")
+        kernel.spawn(self._bar, name="thread2")
+
+    def _foo(self):
+        rng = self.kernel.rng
+        yield from self.o_monitor.acquire(loc="Figure4:1")
+        for i in range(5):  # f1() .. f5(), with per-call jitter
+            yield Sleep(F_CALL_TIME * rng.uniform(0.5, 1.5), loc=f"Figure4:{2 + i}")
+        yield from self.o_monitor.release(loc="Figure4:7")
+        # Line 8 — breakpoint site, first action: the check runs before
+        # bar's write after a match.
+        yield from self.cb_conflict("error1", self.o_x, first=True,
+                                    loc="Figure4:8", side="checker")
+        x = yield from self.o_x.get(loc="Figure4:8")
+        if x == 0:
+            self.error_reached = True  # line 9: ERROR
+
+    def _bar(self):
+        # Line 10 — breakpoint site, second action: pauses here, before
+        # the write, waiting for foo to arrive at line 8.
+        yield from self.cb_conflict("error1", self.o_x, first=False,
+                                    loc="Figure4:10", side="writer")
+        yield from self.o_x.set(1, loc="Figure4:10")
+        yield from self.o_monitor.acquire(loc="Figure4:11")
+        yield Sleep(F_CALL_TIME, loc="Figure4:12")  # f6()
+        yield from self.o_monitor.release(loc="Figure4:13")
+
+    def oracle(self, result: RunResult) -> Optional[str]:
+        return "ERROR" if self.error_reached else None

@@ -1,0 +1,155 @@
+"""``httpd`` — Apache httpd 2.0.45 (270K LoC): log corruption and crash.
+
+Table 2 rows:
+
+* **log corruption** (Bug #25520), MTTE 0.14 s, 1 CBR — two workers
+  append to the shared access-log buffer with an unsynchronised
+  "reserve offset, then copy bytes" sequence; interleaved reservations
+  overlap and records overwrite each other.
+* **server crash** (buffer overflow), MTTE 0.33 s, 3 CBRs — a worker
+  validates a connection buffer's capacity, a recycler shrinks the
+  buffer concurrently, and the worker's staged write then runs past the
+  new capacity.  Three breakpoints pin the full scenario: align the
+  large request with the recycle (cbr1), order the shrink before the
+  capacity re-read (cbr2), and order the final shrink before the
+  second write segment (cbr3).
+
+Both are driven by a continuous simulated request stream, measured as
+mean time to first error (the Table 2 harness).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.predicates import SitePolicy
+from repro.sim.kernel import Kernel, RunResult
+from repro.sim.memory import SharedCell
+from repro.sim.syscalls import Sleep
+
+from .base import BaseApp, BugSpec
+
+__all__ = ["HttpdApp"]
+
+
+class HttpdApp(BaseApp):
+    """Worker pool serving a request stream, plus a buffer recycler."""
+
+    name = "httpd"
+    paper_loc = "270K"
+    horizon = 30.0
+    bugs = {
+        "logcorrupt1": BugSpec(
+            id="logcorrupt1", kind="corruption", error="log corruption",
+            description="overlapping offset reservation in the shared access log",
+            comments="Bug #25520", n_breakpoints=1,
+        ),
+        "crash1": BugSpec(
+            id="crash1", kind="crash", error="server crash",
+            description="connection buffer shrunk between capacity check and staged write",
+            comments="buffer overflow", n_breakpoints=3,
+        ),
+    }
+
+    def policies(self) -> Dict[str, SitePolicy]:
+        return {
+            "logcorrupt1": SitePolicy(bound=1),
+            "crash1:cbr1": SitePolicy(bound=1),
+            "crash1:cbr2": SitePolicy(bound=1),
+            "crash1:cbr3": SitePolicy(bound=1),
+        }
+
+    def setup(self, kernel: Kernel) -> None:
+        # Access log: reserved offset cell + record table.
+        self.log_offset = SharedCell(0, name="log.offset")
+        self.log_records: List[Tuple[int, str]] = []
+        # Connection buffer: capacity cell + write position.
+        self.buf_capacity = SharedCell(64, name="conn.buf_capacity")
+        self.requests = self.param("requests", 14)
+        workers = self.param("workers", 2)
+        for w in range(workers):
+            kernel.spawn(self._worker, w, name=f"worker{w}")
+        kernel.spawn(self._recycler, name="recycler")
+
+    # ------------------------------------------------------------------
+    def _worker(self, wid: int):
+        rng = self.kernel.rng
+        for i in range(self.requests):
+            yield Sleep(rng.uniform(0.004, 0.02))  # request arrival + parse
+            size = 48 if (wid == 0 and i == self.requests // 2) else 8
+            yield from self._serve(wid, i, size)
+
+    def _serve(self, wid: int, req: int, size: int):
+        # --- crash1: staged buffered write with a capacity check ---
+        hit1 = False
+        if size > 16:
+            # cbr1: rendezvous the large request with the recycler.  The
+            # later breakpoints are gated on it (chained breakpoints):
+            # all three are needed for consistent reproduction (#CBR=3).
+            hit1 = yield from self.cb_conflict("crash1", self.buf_capacity, first=False,
+                                               name="crash1:cbr1", loc="core.c:3108",
+                                               side="worker")
+        cap = yield from self.buf_capacity.get(loc="core.c:3112")
+        if size <= cap:
+            # cbr2: the recycler's shrink lands before our first segment;
+            # cbr3 chains on cbr2 the same way cbr2 chains on cbr1.
+            hit2 = False
+            if hit1:
+                hit2 = yield from self.cb_conflict("crash1", self.buf_capacity, first=False,
+                                                   name="crash1:cbr2", loc="core.c:3118",
+                                                   side="worker")
+            written = size // 2  # first segment
+            yield Sleep(0.001)
+            if hit2:
+                # cbr3: the final shrink lands before the second segment.
+                yield from self.cb_conflict("crash1", self.buf_capacity, first=False,
+                                            name="crash1:cbr3", loc="core.c:3126",
+                                            side="worker")
+            cap_now = self.buf_capacity.peek()
+            written += size - size // 2  # second segment
+            if written > cap_now:
+                raise RuntimeError(f"SIGSEGV: buffer overflow ({written} > {cap_now})")
+        # --- logcorrupt1: reserve offset, then copy the record ---
+        off = yield from self.log_offset.get(loc="mod_log_config.c:1408")
+        yield from self.cb_conflict("logcorrupt1", self.log_offset, first=True,
+                                    loc="mod_log_config.c:1408")
+        record = f"GET /page{req} wid={wid}"
+        yield from self.log_offset.set(off + len(record), loc="mod_log_config.c:1409")
+        if any(o2 <= off < o2 + len(r2) for o2, r2 in self.log_records):
+            # Two workers reserved overlapping extents: this copy lands on
+            # top of an existing record — detected as it happens, so the
+            # MTTE clock reads the true corruption time.
+            self.note_error("log corruption")
+        self.log_records.append((off, record))
+
+    def _recycler(self):
+        rng = self.kernel.rng
+        yield Sleep(rng.uniform(0.05, 0.15))
+        # cbr1 partner: recycle initiated while a large request is parsed.
+        hit1 = yield from self.cb_conflict("crash1", self.buf_capacity, first=True,
+                                           name="crash1:cbr1", loc="core.c:4230",
+                                           side="recycler")
+        yield Sleep(0.005)  # walk the connection table
+        hit2 = False
+        if hit1:
+            # cbr2 partner: shrink to the small pool size.
+            hit2 = yield from self.cb_conflict("crash1", self.buf_capacity, first=True,
+                                               name="crash1:cbr2", loc="core.c:4235",
+                                               side="recycler")
+        yield from self.buf_capacity.set(48, loc="core.c:4236")
+        yield Sleep(0.001)
+        if hit2:
+            # cbr3 partner: final shrink.
+            yield from self.cb_conflict("crash1", self.buf_capacity, first=True,
+                                        name="crash1:cbr3", loc="core.c:4242",
+                                        side="recycler")
+        yield from self.buf_capacity.set(16, loc="core.c:4243")
+
+    # ------------------------------------------------------------------
+    def oracle(self, result: RunResult) -> Optional[str]:
+        for f in result.failures:
+            if "SIGSEGV" in str(f.exc):
+                return "server crash"
+        if any(sym == "log corruption" for _, sym in self.errors):
+            return "log corruption"
+        return None

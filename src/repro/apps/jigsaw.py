@@ -1,0 +1,222 @@
+"""``jigsaw`` — W3C's Jigsaw web server (160K LoC original).
+
+Table 1 rows: ``deadlock1``, ``deadlock2``, ``missed-notify1`` (Meth. II),
+``race1`` (error: stall) and ``race2`` (silent) — all reproduced at 1.00.
+The paper cannot report Jigsaw runtimes ("interactiveness as a server");
+for stalls it reports the time the stall was first detected, as we do.
+
+Re-created structure, following paper Figure 2: a
+``SocketClientFactory`` with its ``csList`` lock and factory monitor,
+client connection threads, a request-handler thread, and an admin thread
+driving ``killClients`` / shutdown, with a test harness that simulates
+simultaneous page requests and administrative commands.
+
+* ``deadlock1`` — the Figure 2 inversion: ``clientConnectionFinished``
+  holds ``csList`` (line 623) and calls ``decrIdleCount`` which
+  synchronizes on the factory (line 574); ``killClients`` holds the
+  factory (line 867) and takes ``csList`` (line 872).
+* ``deadlock2`` — a second inversion between the logger monitor and the
+  factory monitor (client access logging vs admin status logging).
+* ``missed-notify1`` — the shutdown path's wait-for-idle checks the idle
+  count outside the monitor and then waits without re-checking; the last
+  client's decrement+notify lands in the window and is lost.
+* ``race1`` — check-then-act on the ``alive`` flag: a client reads
+  ``alive == true``, the admin shuts the handler down, the client then
+  enqueues a request nobody will ever serve and waits forever (stall).
+* ``race2`` — the served-requests statistics counter RMW (silent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.predicates import SitePolicy
+from repro.sim.kernel import Kernel, RunResult
+from repro.sim.memory import SharedCell
+from repro.sim.primitives import SimCondition, SimEvent, SimRLock
+from repro.sim.syscalls import Sleep
+
+from .base import BaseApp, BugSpec
+
+__all__ = ["JigsawApp"]
+
+
+class JigsawApp(BaseApp):
+    """Simulated-clients harness over the factory/handler/admin core."""
+
+    name = "jigsaw"
+    paper_loc = "160K"
+    bugs = {
+        "deadlock1": BugSpec(
+            id="deadlock1", kind="deadlock", error="stall",
+            description="csList/factory ABBA (Figure 2: lines 623/574 vs 867/872)",
+        ),
+        "deadlock2": BugSpec(
+            id="deadlock2", kind="deadlock", error="stall",
+            description="logger/factory ABBA between access and status logging",
+        ),
+        "missed-notify1": BugSpec(
+            id="missed-notify1", kind="missed-notify", error="stall",
+            description="wait-for-idle misses the last client's decrement notify",
+            comments="Meth. II", methodology=2,
+        ),
+        "race1": BugSpec(
+            id="race1", kind="race", error="stall",
+            description="alive-flag check-then-act: request enqueued after handler exit",
+        ),
+        "race2": BugSpec(
+            id="race2", kind="race", error="",
+            description="served-request statistics RMW race between clients",
+        ),
+    }
+
+    def policies(self) -> Dict[str, SitePolicy]:
+        return {b: SitePolicy(bound=1) for b in self.bugs}
+
+    # ------------------------------------------------------------------
+    def setup(self, kernel: Kernel) -> None:
+        n_clients = self.param("clients", 3)
+        self.factory_monitor = SimRLock("SocketClientFactory", tag="SocketClientFactory")
+        self.cslist_lock = SimRLock("csList", tag="SocketClientState")
+        self.logger_monitor = SimRLock("CommonLogger", tag="CommonLogger")
+        self.idle_cond = SimCondition(self.factory_monitor, name="factory.idle")
+        self.req_monitor = SimRLock("RequestQueue", tag="RequestQueue")
+        self.req_cond = SimCondition(self.req_monitor, name="requests.available")
+        self.queue: List[int] = []
+        self.alive = SharedCell(True, name="server.alive")
+        self.idle_count = SharedCell(n_clients, name="factory.idleCount")
+        self.stats = SharedCell(0, name="server.stats")
+        self.stats_updates = 0
+        self.responses = [SimEvent(name=f"response{i}") for i in range(n_clients)]
+        for i in range(n_clients):
+            kernel.spawn(self._client, i, name=f"client{i}")
+        kernel.spawn(self._handler, name="handler")
+        kernel.spawn(self._admin, name="admin")
+
+    # ------------------------------------------------------------------
+    #: Per-client connect/think-time profiles: early clients give the
+    #: admin a parked deadlock1 partner; the slow straggler keeps the
+    #: idle count above zero until the admin's wait-for-idle window.
+    CONNECT_WINDOWS = [(0.002, 0.012), (0.010, 0.030), (0.080, 0.120)]
+
+    def _client(self, cid: int):
+        rng = self.kernel.rng
+        lo, hi = self.CONNECT_WINDOWS[cid % len(self.CONNECT_WINDOWS)]
+        yield Sleep(rng.uniform(lo, hi))  # connect + think time
+        # --- request phase: check-then-act on the alive flag (race1) ---
+        alive = yield from self.alive.get(loc="SocketClient.java:204")
+        if alive:
+            yield from self.cb_conflict("race1", self.alive, first=False,
+                                        loc="SocketClient.java:206", side="reader")
+            yield from self.req_monitor.acquire(loc="SocketClient.java:208")
+            self.queue.append(cid)
+            yield from self.req_cond.notify(loc="SocketClient.java:210")
+            yield from self.req_monitor.release(loc="SocketClient.java:212")
+            yield from self.responses[cid].wait(loc="SocketClient.java:215")
+            # --- statistics (race2): RMW with breakpoint in the gap ---
+            s = yield from self.stats.get(loc="httpd.java:1402")
+            yield from self.cb_conflict("race2", self.stats, first=True, loc="httpd.java:1402")
+            self.stats_updates += 1
+            yield from self.stats.set(s + 1, loc="httpd.java:1403")
+            # --- access logging (deadlock2, logger -> factory) ---
+            yield from self.logger_monitor.acquire(loc="CommonLogger.java:88")
+            yield from self.cb_deadlock(
+                "deadlock2", self.logger_monitor, self.factory_monitor, first=True,
+                loc="CommonLogger.java:92",
+            )
+            yield from self.factory_monitor.acquire(loc="SocketClientFactory.java:574")
+            yield from self.factory_monitor.release(loc="SocketClientFactory.java:577")
+            yield from self.logger_monitor.release(loc="CommonLogger.java:95")
+        # --- clientConnectionFinished (deadlock1 + missed-notify1) ---
+        yield from self.cslist_lock.acquire(loc="SocketClientFactory.java:623")
+        yield from self.cb_deadlock(
+            "deadlock1", self.cslist_lock, self.factory_monitor, first=True,
+            loc="SocketClientFactory.java:626",
+        )
+        # decrIdleCount: synchronized on the factory (line 574).
+        yield from self.factory_monitor.acquire(loc="SocketClientFactory.java:574")
+        n = yield from self.idle_count.get(loc="SocketClientFactory.java:575")
+        yield from self.idle_count.set(n - 1, loc="SocketClientFactory.java:575")
+        # missed-notify1, client side: parked just before the notify,
+        # still inside the factory monitor — the matched admin then
+        # cannot enter its wait until this whole block (including the
+        # notify it is about to miss) completes.  Refined to the last
+        # client (idle count just dropped to zero).
+        yield from self.cb_conflict(
+            "missed-notify1", self.factory_monitor, first=True,
+            loc="SocketClientFactory.java:576", side="notifier",
+            local=lambda: self.idle_count.peek() == 0,
+        )
+        yield from self.idle_cond.notify(loc="SocketClientFactory.java:576")
+        yield from self.factory_monitor.release(loc="SocketClientFactory.java:578")
+        yield from self.cslist_lock.release(loc="SocketClientFactory.java:630")
+
+    # ------------------------------------------------------------------
+    def _handler(self):
+        while True:
+            yield from self.req_monitor.acquire(loc="httpd.java:980")
+            while not self.queue:
+                alive = yield from self.alive.get(loc="httpd.java:982")
+                if not alive:
+                    # BUG: exits without draining late enqueues.
+                    yield from self.req_monitor.release(loc="httpd.java:984")
+                    return
+                yield from self.req_cond.wait(loc="httpd.java:986")
+            # Re-check alive after wake: the handler treats shutdown as
+            # immediate (this is the exit the race1 client loses to).
+            alive = yield from self.alive.get(loc="httpd.java:989")
+            if not alive:
+                yield from self.req_monitor.release(loc="httpd.java:990")
+                return
+            cid = self.queue.pop(0)
+            yield from self.req_monitor.release(loc="httpd.java:992")
+            yield Sleep(0.001)  # serve the page
+            yield from self.responses[cid].set(loc="httpd.java:1001")
+
+    # ------------------------------------------------------------------
+    def _admin(self):
+        rng = self.kernel.rng
+        yield Sleep(rng.uniform(0.035, 0.05))
+        # --- status logging (deadlock2, factory -> logger) ---
+        yield from self.factory_monitor.acquire(loc="SocketClientFactory.java:840")
+        yield from self.cb_deadlock(
+            "deadlock2", self.factory_monitor, self.logger_monitor, first=False,
+            loc="SocketClientFactory.java:843",
+        )
+        yield from self.logger_monitor.acquire(loc="CommonLogger.java:120")
+        yield from self.logger_monitor.release(loc="CommonLogger.java:123")
+        yield from self.factory_monitor.release(loc="SocketClientFactory.java:846")
+        # --- killClients (deadlock1: factory at 867, csList at 872) ---
+        yield from self.factory_monitor.acquire(loc="SocketClientFactory.java:867")
+        yield from self.cb_deadlock(
+            "deadlock1", self.factory_monitor, self.cslist_lock, first=False,
+            loc="SocketClientFactory.java:872",
+        )
+        yield from self.cslist_lock.acquire(loc="SocketClientFactory.java:872")
+        yield from self.cslist_lock.release(loc="SocketClientFactory.java:875")
+        yield from self.factory_monitor.release(loc="SocketClientFactory.java:878")
+        # --- shutdown: stop accepting (race1 admin side) ---
+        yield from self.cb_conflict("race1", self.alive, first=True,
+                                    loc="httpd.java:1560", side="writer")
+        yield from self.alive.set(False, loc="httpd.java:1561")
+        yield from self.req_monitor.acquire(loc="httpd.java:1563")
+        yield from self.req_cond.notify_all(loc="httpd.java:1564")
+        yield from self.req_monitor.release(loc="httpd.java:1565")
+        # --- wait for idle clients (missed-notify1 admin side) ---
+        count = yield from self.idle_count.get(loc="SocketClientFactory.java:900")
+        if count > 0:
+            # The check-to-wait window (no re-check under the monitor).
+            yield from self.cb_conflict("missed-notify1", self.factory_monitor,
+                                        first=False, loc="SocketClientFactory.java:903",
+                                        side="waiter")
+            yield from self.factory_monitor.acquire(loc="SocketClientFactory.java:905")
+            yield from self.idle_cond.wait(loc="SocketClientFactory.java:906")
+            yield from self.factory_monitor.release(loc="SocketClientFactory.java:908")
+
+    # ------------------------------------------------------------------
+    def oracle(self, result: RunResult) -> Optional[str]:
+        if result.stall_or_deadlock:
+            return "stall"
+        if self.cfg.bug == "race2" and self.stats.peek() < self.stats_updates:
+            return "lost stats update"
+        return None

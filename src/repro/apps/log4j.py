@@ -1,0 +1,259 @@
+"""``log4j`` 1.2.13 — the AsyncAppender missed notification (32,095 LoC).
+
+This is the paper's Methodology II case study (Section 5).  The stress
+scenario: appender threads push logging events through an
+``AsyncAppender`` whose ``Dispatcher`` thread drains them; an admin
+thread reconfigures the buffer size near the end of the run.  In roughly
+5/100 stress executions the system stalls.
+
+The defect: the dispatcher's idle path checks "anything buffered /
+reconfiguration pending?" *outside* the monitor, does some idle
+bookkeeping, and then waits — without re-checking under the monitor.  A
+``setBufferSize`` whose ``notify`` lands inside that check-to-wait window
+is lost, and since the appenders have already finished, nothing ever
+wakes the dispatcher: ``close`` is stuck in ``join``, the whole system
+stalls.
+
+The conflict detector reports four lock contentions on the appender
+monitor (paper Section 5, step 2):
+
+* line 100 — ``append``'s synchronized block,
+* line 236 — ``setBufferSize``'s synchronized block,
+* line 277 — ``close``'s synchronized block,
+* line 309 — the dispatcher's synchronized wait/drain block.
+
+Each pair becomes a concurrent breakpoint, probed in both resolution
+orders (``flip_order``), giving the Section 5 table: only the
+``236 -> 309`` order stalls deterministically with the breakpoint hit;
+the ``277/309`` pair *amplifies* the stall without the breakpoint being
+reached (the pause at 309 widens the lost-wakeup window); the other
+pairs are harmless.
+
+Bug ids: ``pair_100_309``, ``pair_236_309``, ``pair_100_236``,
+``pair_277_309`` (Section 5 experiments), ``missed-notify1`` (the
+Table 1 row — identical to ``pair_236_309`` in forward order), and
+``deadlock1`` (a separate ABBA inversion between the AsyncAppender and
+its downstream appender, also in Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.predicates import SitePolicy
+from repro.sim.kernel import Kernel, RunResult
+from repro.sim.memory import SharedCell
+from repro.sim.primitives import SimCondition, SimRLock
+from repro.sim.syscalls import Join, Sleep
+
+from .base import BaseApp, BugSpec
+
+__all__ = ["Log4jApp", "SECTION5_PAIRS"]
+
+#: The Section 5 experiment grid: (bug id, flip_order) -> table row label.
+SECTION5_PAIRS = [
+    ("pair_100_309", False, "100 -> 309"),
+    ("pair_100_309", True, "309 -> 100"),
+    ("pair_236_309", False, "236 -> 309"),
+    ("pair_236_309", True, "309 -> 236"),
+    ("pair_100_236", False, "100 -> 236"),
+    ("pair_100_236", True, "236 -> 100"),
+    ("pair_277_309", True, "309 -> 277"),
+    ("pair_277_309", False, "277 -> 309"),
+]
+
+
+def _pair_spec(bug_id: str, desc: str) -> BugSpec:
+    return BugSpec(
+        id=bug_id, kind="missed-notify", error="stall",
+        description=desc, comments="Meth. II", methodology=2,
+    )
+
+
+class Log4jApp(BaseApp):
+    """AsyncAppender + Dispatcher + reconfiguring admin."""
+
+    name = "log4j"
+    paper_loc = "32,095"
+    bugs = {
+        "missed-notify1": _pair_spec(
+            "missed-notify1",
+            "setBufferSize notify lost in the dispatcher's check-to-wait window",
+        ),
+        "pair_100_309": _pair_spec("pair_100_309", "append vs dispatcher contention"),
+        "pair_236_309": _pair_spec("pair_236_309", "setBufferSize vs dispatcher contention"),
+        "pair_100_236": _pair_spec("pair_100_236", "append vs setBufferSize contention"),
+        "pair_277_309": _pair_spec("pair_277_309", "close vs dispatcher contention"),
+        "deadlock1": BugSpec(
+            id="deadlock1", kind="deadlock", error="stall",
+            description="AsyncAppender monitor vs downstream appender monitor inversion",
+        ),
+    }
+
+    def policies(self) -> Dict[str, SitePolicy]:
+        return {
+            "missed-notify1": SitePolicy(bound=1),
+            "pair_100_309": SitePolicy(bound=1),
+            "pair_236_309": SitePolicy(bound=1),
+            "pair_100_236": SitePolicy(bound=1),
+            # pair_277_309 keeps pausing: its whole effect in the paper is
+            # repeated perturbation of the dispatcher's window.
+            "deadlock1": SitePolicy(bound=1),
+        }
+
+    # ------------------------------------------------------------------
+    def setup(self, kernel: Kernel) -> None:
+        self.monitor = SimRLock("AsyncAppender.buffer", tag="AsyncAppender")
+        self.events_cond = SimCondition(self.monitor, name="buffer.events")
+        self.buffer: List[object] = []
+        self.buffer_count = SharedCell(0, name="buffer.count")
+        self.reconfig_pending = SharedCell(False, name="aa.reconfig_pending")
+        self.reconfig_applied = False
+        self.buffer_size = 32
+        self.processed = 0
+        self.closed = False
+
+        if self.cfg.bug == "deadlock1":
+            self._setup_deadlock(kernel)
+            return
+
+        appenders = self.param("appenders", 2)
+        self.events_per_appender = self.param("events", 4)
+        # expected = burst + one straggler event
+        self.expected = appenders * self.events_per_appender + 1
+        for a in range(appenders):
+            kernel.spawn(self._appender, a, name=f"appender{a}")
+        kernel.spawn(self._straggler, name="straggler")
+        self.dispatcher = kernel.spawn(self._dispatcher, name="Dispatcher")
+        kernel.spawn(self._admin, name="admin")
+
+    # -- the append path (line 100) -------------------------------------
+    def _append(self, event: object):
+        yield from self.cb_conflict("pair_100_309", self.monitor, first=True,
+                                    loc="AsyncAppender.java:100")
+        yield from self.cb_conflict("pair_100_236", self.monitor, first=True,
+                                    loc="AsyncAppender.java:100")
+        yield from self.monitor.acquire(loc="AsyncAppender.java:100")
+        self.buffer.append(event)
+        n = yield from self.buffer_count.get(loc="AsyncAppender.java:105")
+        yield from self.buffer_count.set(n + 1, loc="AsyncAppender.java:105")
+        yield from self.events_cond.notify(loc="AsyncAppender.java:107")
+        yield from self.monitor.release(loc="AsyncAppender.java:110")
+
+    def _appender(self, aid: int):
+        rng = self.kernel.rng
+        for i in range(self.events_per_appender):
+            yield Sleep(rng.uniform(0.001, 0.04))
+            yield from self._append(f"event{aid}.{i}")
+
+    def _straggler(self):
+        """One late event, so the append site is still live near the end
+        of the burst (the 100/236 contention the detector reports)."""
+        rng = self.kernel.rng
+        yield Sleep(rng.uniform(0.03, 0.06))
+        yield from self._append("straggler-event")
+
+    # -- the dispatcher (line 309) ----------------------------------------
+    def _dispatcher(self):
+        rng = self.kernel.rng
+        while True:
+            if self.processed >= self.expected and self.reconfig_applied:
+                break
+            # Unsynchronised fast-path check: the first half of the bug.
+            buffered = yield from self.buffer_count.get(loc="AsyncAppender.java:305")
+            pending = yield from self.reconfig_pending.get(loc="AsyncAppender.java:306")
+            if buffered == 0 and not pending:
+                # Idle bookkeeping: the check-to-wait window.
+                yield Sleep(rng.uniform(0.0, 0.004))
+                # The breakpoints probing this site.  Following the
+                # paper's Methodology II precision step ("add more
+                # context under which the breakpoint should reach"), the
+                # 236/309 and 277/309 probes are refined to the *final*
+                # idle — pausing at interim idles merely perturbs the
+                # burst.  The 100/309 probe stays unrefined: its partner
+                # site is live during the burst.
+                yield from self.cb_conflict("pair_100_309", self.monitor, first=False,
+                                            loc="AsyncAppender.java:309")
+                for pair in ("pair_236_309", "pair_277_309", "missed-notify1"):
+                    yield from self.cb_conflict(
+                        pair, self.monitor, first=False, loc="AsyncAppender.java:309",
+                        local=lambda: self.processed >= self.expected,
+                    )
+                yield from self.monitor.acquire(loc="AsyncAppender.java:309")
+                # BUG: no re-check of buffer/reconfig under the monitor.
+                yield from self.events_cond.wait(loc="AsyncAppender.java:310")
+                yield from self.monitor.release(loc="AsyncAppender.java:312")
+                continue
+            # Drain under the monitor.
+            yield from self.monitor.acquire(loc="AsyncAppender.java:317")
+            drained = list(self.buffer)
+            self.buffer.clear()
+            yield from self.buffer_count.set(0, loc="AsyncAppender.java:319")
+            pending = yield from self.reconfig_pending.get(loc="AsyncAppender.java:321")
+            if pending:
+                yield from self.reconfig_pending.set(False, loc="AsyncAppender.java:322")
+                self.reconfig_applied = True
+            yield from self.monitor.release(loc="AsyncAppender.java:325")
+            for _event in drained:
+                yield Sleep(0.002)  # format + forward downstream
+                self.processed += 1
+
+    # -- the admin: setBufferSize (236) then close (277) -------------------
+    def _admin(self):
+        rng = self.kernel.rng
+        yield Sleep(rng.uniform(0.09, 0.16))
+        # setBufferSize (line 236).
+        yield from self.cb_conflict("pair_236_309", self.monitor, first=True,
+                                    loc="AsyncAppender.java:236")
+        yield from self.cb_conflict("pair_100_236", self.monitor, first=False,
+                                    loc="AsyncAppender.java:236")
+        yield from self.cb_conflict("missed-notify1", self.monitor, first=True,
+                                    loc="AsyncAppender.java:236")
+        yield from self.monitor.acquire(loc="AsyncAppender.java:236")
+        self.buffer_size = 16
+        yield from self.reconfig_pending.set(True, loc="AsyncAppender.java:238")
+        yield from self.events_cond.notify(loc="AsyncAppender.java:240")
+        yield from self.monitor.release(loc="AsyncAppender.java:243")
+        # close() joins the dispatcher, then tears down (line 277).
+        yield Join(self.dispatcher)
+        yield from self.cb_conflict("pair_277_309", self.monitor, first=True,
+                                    loc="AsyncAppender.java:277")
+        yield from self.monitor.acquire(loc="AsyncAppender.java:277")
+        self.closed = True
+        yield from self.events_cond.notify(loc="AsyncAppender.java:279")
+        yield from self.monitor.release(loc="AsyncAppender.java:281")
+
+    # -- deadlock1 scenario --------------------------------------------------
+    def _setup_deadlock(self, kernel: Kernel) -> None:
+        self.downstream = SimRLock("FileAppender", tag="FileAppender")
+        kernel.spawn(self._dl_appender, name="appender")
+        kernel.spawn(self._dl_closer, name="closer")
+
+    def _dl_appender(self):
+        rng = self.kernel.rng
+        for _ in range(4):
+            yield Sleep(rng.uniform(0.0005, 0.006))
+            yield from self.monitor.acquire(loc="AsyncAppender.java:100")
+            yield from self.cb_deadlock(
+                "deadlock1", self.monitor, self.downstream, first=True,
+                loc="AsyncAppender.java:118",
+            )
+            yield from self.downstream.acquire(loc="FileAppender.java:162")
+            yield from self.downstream.release(loc="FileAppender.java:170")
+            yield from self.monitor.release(loc="AsyncAppender.java:121")
+
+    def _dl_closer(self):
+        rng = self.kernel.rng
+        yield Sleep(rng.uniform(0.002, 0.015))
+        yield from self.downstream.acquire(loc="FileAppender.java:210")
+        yield from self.cb_deadlock(
+            "deadlock1", self.downstream, self.monitor, first=False,
+            loc="FileAppender.java:214",
+        )
+        yield from self.monitor.acquire(loc="AsyncAppender.java:277")
+        yield from self.monitor.release(loc="AsyncAppender.java:280")
+        yield from self.downstream.release(loc="FileAppender.java:220")
+
+    # ------------------------------------------------------------------
+    def oracle(self, result: RunResult) -> Optional[str]:
+        return "stall" if result.stall_or_deadlock else None

@@ -1,0 +1,80 @@
+"""``logging`` — the ``java.util.logging`` deadlock (4,250 LoC).
+
+Table 1 row: ``deadlock1``, error *stall*, probability 1.00, overhead ~0%.
+
+The JDK logging deadlock (bug 6487638-family): ``Logger.log`` holds the
+``Logger`` monitor and calls into the attached ``Handler`` (taking its
+monitor); maintenance paths like ``Handler.close``/``LogManager.reset``
+hold the ``Handler`` monitor and call back into the ``Logger`` — the
+usual ABBA inversion.  A single :class:`DeadlockTrigger` pair between the
+nested acquisitions reproduces it deterministically, and because each
+site is visited once and matches immediately, the runtime overhead is
+negligible (the paper measured 0%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.predicates import SitePolicy
+from repro.sim.kernel import Kernel, RunResult
+from repro.sim.primitives import SimRLock
+from repro.sim.syscalls import Sleep
+
+from .base import BaseApp, BugSpec
+
+__all__ = ["LoggingApp"]
+
+
+class LoggingApp(BaseApp):
+    """A logging thread racing a handler-reset thread."""
+
+    name = "logging"
+    paper_loc = "4,250"
+    bugs = {
+        "deadlock1": BugSpec(
+            id="deadlock1", kind="deadlock", error="stall",
+            description="Logger monitor vs Handler monitor ABBA inversion",
+        ),
+    }
+
+    def policies(self) -> Dict[str, SitePolicy]:
+        return {"deadlock1": SitePolicy(bound=1)}
+
+    def setup(self, kernel: Kernel) -> None:
+        self.logger_monitor = SimRLock("Logger", tag="Logger")
+        self.handler_monitor = SimRLock("StreamHandler", tag="Handler")
+        self.records_published = 0
+        kernel.spawn(self._logger_thread, name="logger")
+        kernel.spawn(self._reset_thread, name="resetter")
+
+    def _logger_thread(self):
+        rng = self.kernel.rng
+        for _ in range(self.param("records", 6)):
+            yield Sleep(rng.uniform(0.0005, 0.005))
+            # Logger.log: logger monitor, then handler.publish.
+            yield from self.logger_monitor.acquire(loc="Logger.java:571")
+            yield from self.cb_deadlock(
+                "deadlock1", self.logger_monitor, self.handler_monitor, first=True,
+                loc="Logger.java:586",
+            )
+            yield from self.handler_monitor.acquire(loc="StreamHandler.java:196")
+            self.records_published += 1
+            yield from self.handler_monitor.release(loc="StreamHandler.java:210")
+            yield from self.logger_monitor.release(loc="Logger.java:595")
+
+    def _reset_thread(self):
+        rng = self.kernel.rng
+        yield Sleep(rng.uniform(0.001, 0.02))
+        # LogManager.reset: handler monitor, then back into the logger.
+        yield from self.handler_monitor.acquire(loc="LogManager.java:1340")
+        yield from self.cb_deadlock(
+            "deadlock1", self.handler_monitor, self.logger_monitor, first=False,
+            loc="LogManager.java:1346",
+        )
+        yield from self.logger_monitor.acquire(loc="Logger.java:1359")
+        yield from self.logger_monitor.release(loc="Logger.java:1362")
+        yield from self.handler_monitor.release(loc="LogManager.java:1351")
+
+    def oracle(self, result: RunResult) -> Optional[str]:
+        return "stall" if result.stall_or_deadlock else None

@@ -1,0 +1,79 @@
+"""``lucene`` — the Apache Lucene indexing deadlock (171K LoC).
+
+Table 1 row: ``deadlock1``, error *stall*, probability 1.00, overhead 17%.
+
+The known Lucene deadlock (LUCENE-639-family): ``IndexWriter`` methods
+synchronize on the writer and then on the ``DocumentsWriter`` state;
+flush/optimize paths synchronize on the ``DocumentsWriter`` and call back
+into the writer — ABBA.  The indexing thread visits its nested
+acquisition many times (once per document), which is where the paper's
+modest 17% overhead comes from: postponements at the indexing site that
+time out until the committer finally co-arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.predicates import SitePolicy
+from repro.sim.kernel import Kernel, RunResult
+from repro.sim.primitives import SimRLock
+from repro.sim.syscalls import Sleep
+
+from .base import BaseApp, BugSpec
+
+__all__ = ["LuceneApp"]
+
+
+class LuceneApp(BaseApp):
+    """An indexing thread racing a flush/commit thread."""
+
+    name = "lucene"
+    paper_loc = "171K"
+    bugs = {
+        "deadlock1": BugSpec(
+            id="deadlock1", kind="deadlock", error="stall",
+            description="IndexWriter monitor vs DocumentsWriter monitor ABBA inversion",
+        ),
+    }
+
+    def policies(self) -> Dict[str, SitePolicy]:
+        return {"deadlock1": SitePolicy(bound=1)}
+
+    def setup(self, kernel: Kernel) -> None:
+        self.writer_monitor = SimRLock("IndexWriter", tag="IndexWriter")
+        self.docs_monitor = SimRLock("DocumentsWriter", tag="DocumentsWriter")
+        self.docs_indexed = 0
+        kernel.spawn(self._indexer, name="indexer")
+        kernel.spawn(self._committer, name="committer")
+
+    def _indexer(self):
+        rng = self.kernel.rng
+        for _ in range(self.param("documents", 8)):
+            yield Sleep(rng.uniform(0.001, 0.006))  # analyse the document
+            # addDocument: writer monitor, then the shared doc state.
+            yield from self.writer_monitor.acquire(loc="IndexWriter.java:1012")
+            yield from self.cb_deadlock(
+                "deadlock1", self.writer_monitor, self.docs_monitor, first=True,
+                loc="IndexWriter.java:1020",
+            )
+            yield from self.docs_monitor.acquire(loc="DocumentsWriter.java:355")
+            self.docs_indexed += 1
+            yield from self.docs_monitor.release(loc="DocumentsWriter.java:371")
+            yield from self.writer_monitor.release(loc="IndexWriter.java:1031")
+
+    def _committer(self):
+        rng = self.kernel.rng
+        yield Sleep(rng.uniform(0.004, 0.03))
+        # flush: doc state first, then back into the writer.
+        yield from self.docs_monitor.acquire(loc="DocumentsWriter.java:580")
+        yield from self.cb_deadlock(
+            "deadlock1", self.docs_monitor, self.writer_monitor, first=False,
+            loc="DocumentsWriter.java:586",
+        )
+        yield from self.writer_monitor.acquire(loc="IndexWriter.java:2130")
+        yield from self.writer_monitor.release(loc="IndexWriter.java:2144")
+        yield from self.docs_monitor.release(loc="DocumentsWriter.java:592")
+
+    def oracle(self, result: RunResult) -> Optional[str]:
+        return "stall" if result.stall_or_deadlock else None

@@ -1,0 +1,237 @@
+"""``mysql`` — three MySQL server bugs from Table 2.
+
+* **MySQL 4.0.12** (526K LoC) — *log omission* (Bug #791), MTTE 0.12 s,
+  2 CBRs: binlog rotation closes the log and reopens it; a transaction
+  committing in the closed window checks ``log_open``, sees false, and
+  silently skips its binlog record.  cbr1 rendezvous a commit with the
+  rotation; cbr2 orders the close before the commit's check.
+* **MySQL 3.23.56** (468K LoC) — *log disorder* (Bug #169), MTTE 65 ms,
+  1 CBR: two transactions commit in one order but write the binlog in
+  the other; replication replays the wrong order.  The breakpoint parks
+  the first committer between its commit and its binlog write.
+* **MySQL 4.0.19** (539K LoC) — *server crash* (Bug #3596), MTTE 2.67 s,
+  3 CBRs: a query thread resolves a table-cache entry while an
+  administrative ``FLUSH TABLES`` invalidates and frees it; the query's
+  dereference of the freed entry is a null-pointer crash.  cbr1 aligns
+  the query with the flush, cbr2 orders invalidate before the query's
+  validity re-check, cbr3 orders the free before the dereference.
+
+Each version is its own app class; the Table 2 harness measures mean
+time to first error over seeded runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.predicates import SitePolicy
+from repro.sim.kernel import Kernel, RunResult
+from repro.sim.memory import SharedCell
+from repro.sim.syscalls import Sleep
+
+from .base import BaseApp, BugSpec
+
+__all__ = ["MySQL4012App", "MySQL32356App", "MySQL4019App"]
+
+
+class MySQL4012App(BaseApp):
+    """Binlog rotation vs commit: the log-omission race (Bug #791)."""
+
+    name = "mysql-4.0.12"
+    paper_loc = "526K"
+    horizon = 30.0
+    bugs = {
+        "logomit1": BugSpec(
+            id="logomit1", kind="omission", error="log omission",
+            description="commit skips binlog while rotation has the log closed",
+            comments="Bug #791", n_breakpoints=2,
+        ),
+    }
+
+    def policies(self) -> Dict[str, SitePolicy]:
+        return {"logomit1:cbr1": SitePolicy(bound=1), "logomit1:cbr2": SitePolicy(bound=1)}
+
+    def setup(self, kernel: Kernel) -> None:
+        self.log_open = SharedCell(True, name="binlog.open")
+        self.binlog: List[int] = []
+        self.committed: List[int] = []
+        self.txns = self.param("txns", 10)
+        kernel.spawn(self._client, name="client")
+        kernel.spawn(self._rotator, name="rotator")
+
+    def _client(self):
+        rng = self.kernel.rng
+        for txn in range(self.txns):
+            yield Sleep(rng.uniform(0.004, 0.02))  # execute the transaction
+            self.committed.append(txn)
+            # cbr1: rendezvous with the rotation; cbr2 is gated on it
+            # (chained breakpoints — both are needed, #CBR = 2).
+            hit1 = yield from self.cb_conflict("logomit1", self.log_open, first=False,
+                                               name="logomit1:cbr1", loc="sql/log.cc:1471",
+                                               side="committer")
+            if hit1:
+                # cbr2: the rotation's close lands before this check.
+                yield from self.cb_conflict("logomit1", self.log_open, first=False,
+                                            name="logomit1:cbr2", loc="sql/log.cc:1475",
+                                            side="committer")
+            is_open = yield from self.log_open.get(loc="sql/log.cc:1476")
+            if is_open:
+                self.binlog.append(txn)
+            else:
+                # BUG: the record is silently dropped.
+                self.note_error("log omission")
+
+    def _rotator(self):
+        rng = self.kernel.rng
+        yield Sleep(rng.uniform(0.04, 0.1))
+        hit1 = yield from self.cb_conflict("logomit1", self.log_open, first=True,
+                                           name="logomit1:cbr1", loc="sql/log.cc:1802",
+                                           side="rotator")
+        yield Sleep(0.0005)  # flush the current log before closing
+        if hit1:
+            yield from self.cb_conflict("logomit1", self.log_open, first=True,
+                                        name="logomit1:cbr2", loc="sql/log.cc:1806",
+                                        side="rotator")
+        yield from self.log_open.set(False, loc="sql/log.cc:1807")  # close
+        yield Sleep(0.0002)  # create + open the next log file
+        yield from self.log_open.set(True, loc="sql/log.cc:1815")
+
+    def oracle(self, result: RunResult) -> Optional[str]:
+        if any(sym == "log omission" for _, sym in self.errors):
+            return "log omission"
+        if len(self.binlog) < len(self.committed) and self.committed:
+            return "log omission"
+        return None
+
+
+class MySQL32356App(BaseApp):
+    """Commit order vs binlog order: the log-disorder race (Bug #169)."""
+
+    name = "mysql-3.23.56"
+    paper_loc = "468K"
+    horizon = 30.0
+    bugs = {
+        "logdisorder1": BugSpec(
+            id="logdisorder1", kind="disorder", error="log disorder",
+            description="binlog writes interleave against commit order",
+            comments="Bug #169", n_breakpoints=1,
+        ),
+    }
+
+    def policies(self) -> Dict[str, SitePolicy]:
+        return {"logdisorder1": SitePolicy(bound=1)}
+
+    def setup(self, kernel: Kernel) -> None:
+        self.commit_seq = SharedCell(0, name="commit.seq")
+        self.binlog: List[int] = []
+        self.commit_order: List[int] = []
+        kernel.spawn(self._client, 0, name="client0")
+        kernel.spawn(self._client, 1, name="client1")
+
+    def _client(self, cid: int):
+        rng = self.kernel.rng
+        for i in range(self.param("txns", 4)):
+            yield Sleep(rng.uniform(0.003, 0.015))
+            # Commit: take a sequence number (the storage-engine order).
+            seq = yield from self.commit_seq.get(loc="sql/handler.cc:310")
+            yield from self.commit_seq.set(seq + 1, loc="sql/handler.cc:310")
+            self.commit_order.append(seq)
+            # BUG window: the binlog append is not atomic with the commit.
+            # The resolution order makes the *later* committer write its
+            # binlog record first (odd sequence numbers take the first
+            # action), producing the out-of-order log.
+            yield from self.cb_conflict("logdisorder1", self.commit_seq,
+                                        first=(seq % 2 == 1), loc="sql/log.cc:912")
+            if self.binlog and seq < self.binlog[-1]:
+                # Replication would replay the wrong order from here on.
+                self.note_error("log disorder")
+            self.binlog.append(seq)
+
+    def oracle(self, result: RunResult) -> Optional[str]:
+        if self.binlog != sorted(self.binlog):
+            return "log disorder"
+        return None
+
+
+class MySQL4019App(BaseApp):
+    """Table-cache entry freed under a running query (Bug #3596)."""
+
+    name = "mysql-4.0.19"
+    paper_loc = "539K"
+    horizon = 30.0
+    bugs = {
+        "crash1": BugSpec(
+            id="crash1", kind="crash", error="server crash",
+            description="FLUSH TABLES frees a cache entry a query still dereferences",
+            comments="null pointer dereference (Bug #3596)", n_breakpoints=3,
+        ),
+    }
+
+    def policies(self) -> Dict[str, SitePolicy]:
+        return {
+            "crash1:cbr1": SitePolicy(bound=1),
+            "crash1:cbr2": SitePolicy(bound=1),
+            "crash1:cbr3": SitePolicy(bound=1),
+        }
+
+    def setup(self, kernel: Kernel) -> None:
+        self.entry_valid = SharedCell(True, name="table_cache.valid")
+        self.entry_ptr = SharedCell(object(), name="table_cache.ptr")
+        self.queries_served = 0
+        #: flush arrives late in the uptime — the paper's 2.67 s MTTE.
+        self.flush_at = self.param("flush_at", 2.4)
+        kernel.spawn(self._query_thread, name="query")
+        kernel.spawn(self._flusher, name="flusher")
+
+    def _query_thread(self):
+        rng = self.kernel.rng
+        while True:
+            yield Sleep(rng.uniform(0.01, 0.05))  # parse + plan
+            if self.kernel.now > self.flush_at + 1.0:
+                return  # uptime window of interest is over
+            # cbr1: rendezvous this query with the flush.  The later
+            # breakpoints are only attempted when the rendezvous fired —
+            # ``trigger_here``'s boolean return exists precisely so
+            # chained breakpoints can be gated on each other.
+            hit1 = yield from self.cb_conflict("crash1", self.entry_ptr, first=False,
+                                               name="crash1:cbr1", loc="sql/sql_base.cc:550",
+                                               side="query")
+            valid = yield from self.entry_valid.get(loc="sql/sql_base.cc:556")
+            if not valid:
+                continue  # reopen path (correct handling)
+            if hit1:
+                # cbr2: the invalidate lands after the check...
+                yield from self.cb_conflict("crash1", self.entry_ptr, first=False,
+                                            name="crash1:cbr2", loc="sql/sql_base.cc:561",
+                                            side="query")
+                # cbr3: ...and the free lands before the dereference.
+                yield from self.cb_conflict("crash1", self.entry_ptr, first=False,
+                                            name="crash1:cbr3", loc="sql/sql_base.cc:565",
+                                            side="query")
+            ptr = yield from self.entry_ptr.get(loc="sql/sql_base.cc:566")
+            if ptr is None:
+                raise RuntimeError("SIGSEGV: null table-cache entry dereference")
+            self.queries_served += 1
+
+    def _flusher(self):
+        rng = self.kernel.rng
+        yield Sleep(self.flush_at * rng.uniform(0.95, 1.05))
+        hit1 = yield from self.cb_conflict("crash1", self.entry_ptr, first=True,
+                                           name="crash1:cbr1", loc="sql/sql_base.cc:1210",
+                                           side="flusher")
+        if hit1:
+            yield from self.cb_conflict("crash1", self.entry_ptr, first=True,
+                                        name="crash1:cbr2", loc="sql/sql_base.cc:1214",
+                                        side="flusher")
+        yield from self.entry_valid.set(False, loc="sql/sql_base.cc:1215")
+        if hit1:
+            yield from self.cb_conflict("crash1", self.entry_ptr, first=True,
+                                        name="crash1:cbr3", loc="sql/sql_base.cc:1218",
+                                        side="flusher")
+        yield from self.entry_ptr.set(None, loc="sql/sql_base.cc:1219")  # free
+
+    def oracle(self, result: RunResult) -> Optional[str]:
+        for f in result.failures:
+            if "SIGSEGV" in str(f.exc):
+                return "server crash"
+        return None

@@ -1,0 +1,166 @@
+"""``pbzip2`` 0.9.4 — parallel bzip2's use-after-free crash (2.0K LoC).
+
+Table 2 row: *program crash* (null pointer dereference), MTTE 1.2 s,
+**2 concurrent breakpoints**.
+
+The real bug: ``main`` tears down the block FIFO once the output count
+matches the number of produced blocks, but a consumer thread increments
+the output count *before* its final touch of the queue; if the teardown
+lands in that window the consumer dereferences a freed queue — segfault.
+
+Reproduction needs two breakpoints (the paper's #CBR = 2):
+
+* ``crash1:cbr1`` — rendezvous: park the consumer in its
+  increment-to-last-touch window until ``main`` finishes its
+  completion poll, so the dangerous states actually coincide;
+* ``crash1:cbr2`` — ordering: ``main``'s free executes before the
+  consumer's final queue access.
+
+Either alone leaves the outcome to the scheduler; together the crash is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.predicates import SitePolicy
+from repro.sim.kernel import Kernel, RunResult
+from repro.sim.memory import SharedCell
+from repro.sim.primitives import SimCondition, SimRLock
+from repro.sim.syscalls import Sleep
+
+from .base import BaseApp, BugSpec
+
+__all__ = ["Pbzip2App"]
+
+
+class _Fifo:
+    """The block FIFO: a monitor-protected deque that can be *freed*."""
+
+    def __init__(self) -> None:
+        self.monitor = SimRLock("fifo.mutex", tag="queue")
+        self.not_empty = SimCondition(self.monitor, name="fifo.not_empty")
+        self.blocks: List[bytes] = []
+        self.freed = False
+
+    def touch(self) -> None:
+        """Any access after free is the crash (NULL mutex dereference)."""
+        if self.freed:
+            raise RuntimeError("SIGSEGV: dereference of freed fifo (null mutex)")
+
+
+class Pbzip2App(BaseApp):
+    """Producer / consumer / main teardown, per pbzip2's architecture."""
+
+    name = "pbzip2"
+    paper_loc = "2.0K"
+    horizon = 30.0
+    bugs = {
+        "crash1": BugSpec(
+            id="crash1", kind="crash", error="program crash",
+            description="fifo freed by main while a consumer's last touch is in flight",
+            comments="null pointer dereference", n_breakpoints=2,
+        ),
+    }
+
+    def policies(self) -> Dict[str, SitePolicy]:
+        return {"crash1:cbr1": SitePolicy(bound=1), "crash1:cbr2": SitePolicy(bound=1)}
+
+    def setup(self, kernel: Kernel) -> None:
+        self.fifo = _Fifo()
+        self.blocks_total = self.param("blocks", 6)
+        self.block_time = self.param("block_time", 0.03)
+        #: startup cost: reading and splitting the input file (calibrates
+        #: the virtual MTTE to the paper's ~1.2 s scale).
+        self.startup = self.param("startup", 0.9)
+        self.produced = SharedCell(0, name="blocks.produced")
+        self.out_count = SharedCell(0, name="blocks.out")
+        kernel.spawn(self._producer, name="producer")
+        for c in range(self.param("consumers", 2)):
+            kernel.spawn(self._consumer, c, name=f"consumer{c}")
+        kernel.spawn(self._main, name="main")
+
+    # ------------------------------------------------------------------
+    def _producer(self):
+        rng = self.kernel.rng
+        yield Sleep(self.startup * rng.uniform(0.9, 1.1))
+        for i in range(self.blocks_total):
+            yield Sleep(rng.uniform(0.005, 0.02))  # read + split a block
+            yield from self.fifo.monitor.acquire(loc="pbzip2.cpp:744")
+            self.fifo.blocks.append(b"block%d" % i)
+            yield from self.fifo.not_empty.notify(loc="pbzip2.cpp:747")
+            yield from self.fifo.monitor.release(loc="pbzip2.cpp:750")
+            n = yield from self.produced.get(loc="pbzip2.cpp:752")
+            yield from self.produced.set(n + 1, loc="pbzip2.cpp:752")
+
+    def _consumer(self, cid: int):
+        rng = self.kernel.rng
+        while True:
+            self.fifo.touch()
+            yield from self.fifo.monitor.acquire(loc="pbzip2.cpp:898")
+            while not self.fifo.blocks:
+                prod = yield from self.produced.get(loc="pbzip2.cpp:900")
+                if prod >= self.blocks_total:
+                    yield from self.fifo.monitor.release(loc="pbzip2.cpp:901")
+                    return
+                ok = yield from self.fifo.not_empty.wait(0.05, loc="pbzip2.cpp:903")
+                del ok
+            block = self.fifo.blocks.pop(0)
+            yield from self.fifo.monitor.release(loc="pbzip2.cpp:907")
+            yield Sleep(self.block_time * rng.uniform(0.8, 1.2))  # compress
+            # BUG window: output count incremented before the final queue
+            # touch that releases the block slot.
+            n = yield from self.out_count.get(loc="pbzip2.cpp:960")
+            yield from self.out_count.set(n + 1, loc="pbzip2.cpp:960")
+            # cbr1 (rendezvous): wait here for main's completion poll.
+            # cbr2 is only attempted once the rendezvous fired — chained
+            # breakpoints gate on trigger_here's boolean, which is what
+            # makes BOTH necessary (#CBR = 2): without cbr1 nobody parks
+            # at cbr2; without cbr2 the rendezvous alone leaves main a
+            # step behind the final touch.
+            # Local predicate: only the *final* block's window is the
+            # dangerous one (main's poll can only complete then), so
+            # earlier blocks must not pause — a Section 6.3-style
+            # precision refinement.
+            hit1 = yield from self.cb_conflict(
+                "crash1", self.fifo, first=False,
+                name="crash1:cbr1", loc="pbzip2.cpp:962", side="consumer",
+                local=lambda: self.out_count.peek() >= self.blocks_total,
+            )
+            if hit1:
+                # cbr2 (ordering): main's free goes first.
+                yield from self.cb_conflict("crash1", self.fifo, first=False,
+                                            name="crash1:cbr2", loc="pbzip2.cpp:963",
+                                            side="consumer")
+            self.fifo.touch()  # the final slot-release access — crash site
+            yield Sleep(0.001)
+            del block
+            if self.out_count.peek() >= self.blocks_total:
+                return  # all blocks written: this worker is done
+
+    def _main(self):
+        # Wait for completion: out_count == blocks_total (the racy check).
+        while True:
+            out = yield from self.out_count.get(loc="pbzip2.cpp:1210")
+            if out >= self.blocks_total:
+                break
+            yield Sleep(0.01, loc="pbzip2.cpp:1212")
+        # cbr1 partner: completion observed.
+        hit1 = yield from self.cb_conflict("crash1", self.fifo, first=True,
+                                           name="crash1:cbr1", loc="pbzip2.cpp:1218",
+                                           side="main")
+        yield Sleep(0.001)  # print compression stats before teardown
+        if hit1:
+            # cbr2 partner: free the fifo first.
+            yield from self.cb_conflict("crash1", self.fifo, first=True,
+                                        name="crash1:cbr2", loc="pbzip2.cpp:1220",
+                                        side="main")
+        self.fifo.freed = True  # queueDelete(fifo)
+
+    # ------------------------------------------------------------------
+    def oracle(self, result: RunResult) -> Optional[str]:
+        for f in result.failures:
+            if "SIGSEGV" in str(f.exc):
+                return "program crash"
+        return None

@@ -1,0 +1,105 @@
+"""``pool`` — the Apache commons-pool missed notification (11,025 LoC).
+
+Table 1 row: ``missed-notify1``, error *stall*, probability 1.00, found
+via **Methodology II** (the bug class "cannot be detected easily using
+concurrency testing techniques" — it is a lost wake-up, not a lockset or
+lock-order violation).
+
+Structure: ``GenericObjectPool.borrowObject`` has a fast-path emptiness
+check *outside* the monitor; if the pool looks empty it enters the
+monitor and waits — without re-checking (the bug).  ``returnObject`` adds
+the instance and notifies under the monitor.  When the return lands in
+the borrower's check-to-wait window, the notification is consumed by
+nobody and the borrower sleeps forever with an available object in the
+pool.
+
+The breakpoint is a :class:`ConflictTrigger` on the pool, inserted at the
+returner's monitor entry (first action) and inside the borrower's window
+(second action): forced order = return-then-wait = guaranteed stall.
+Methodology II found these two sites by probing the pool monitor's
+contention pairs in both orders (see ``examples/missed_notification_log4j.py``
+for the walkthrough on the log4j sibling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.predicates import SitePolicy
+from repro.sim.kernel import Kernel, RunResult
+from repro.sim.memory import SharedCell
+from repro.sim.primitives import SimCondition, SimRLock
+from repro.sim.syscalls import Sleep
+
+from .base import BaseApp, BugSpec
+
+__all__ = ["PoolApp"]
+
+
+class PoolApp(BaseApp):
+    """One borrower and one returner on an object pool."""
+
+    name = "pool"
+    paper_loc = "11,025"
+    bugs = {
+        "missed-notify1": BugSpec(
+            id="missed-notify1", kind="missed-notify", error="stall",
+            description="borrowObject's unsynchronised empty-check races returnObject's notify",
+            comments="Meth. II",
+            methodology=2,
+        ),
+    }
+
+    def policies(self) -> Dict[str, SitePolicy]:
+        return {"missed-notify1": SitePolicy(bound=1)}
+
+    def setup(self, kernel: Kernel) -> None:
+        self.monitor = SimRLock("GenericObjectPool", tag="GenericObjectPool")
+        self.available = SimCondition(self.monitor, name="pool.available")
+        self.size = SharedCell(0, name="pool.size")  # observable fast-path cell
+        self.instances: List[object] = []
+        self.borrowed = False
+        kernel.spawn(self._borrower, name="borrower")
+        kernel.spawn(self._returner, name="returner")
+
+    def _borrower(self):
+        rng = self.kernel.rng
+        yield Sleep(rng.uniform(0.001, 0.01))
+        # Fast path: unsynchronised emptiness check (the bug's first half).
+        n = yield from self.size.get(loc="GenericObjectPool.java:778")
+        if n == 0:
+            # Breakpoint site inside the check-to-wait window (second
+            # action: the matched returner's add+notify lands first,
+            # and is lost).
+            yield from self.cb_conflict(
+                "missed-notify1", self.monitor, first=False,
+                loc="GenericObjectPool.java:805",
+            )
+            yield from self.monitor.acquire(loc="GenericObjectPool.java:809")
+            # BUG: no re-check of the pool under the monitor before waiting.
+            yield from self.available.wait(loc="GenericObjectPool.java:810")
+            yield from self.monitor.release(loc="GenericObjectPool.java:812")
+        # Take the instance.
+        yield from self.monitor.acquire(loc="GenericObjectPool.java:820")
+        if self.instances:
+            self.instances.pop()
+            self.borrowed = True
+        yield from self.monitor.release(loc="GenericObjectPool.java:824")
+
+    def _returner(self):
+        rng = self.kernel.rng
+        yield Sleep(rng.uniform(0.001, 0.01))
+        # Breakpoint site at returnObject's monitor entry (first action).
+        yield from self.cb_conflict(
+            "missed-notify1", self.monitor, first=True,
+            loc="GenericObjectPool.java:902",
+        )
+        yield from self.monitor.acquire(loc="GenericObjectPool.java:905")
+        self.instances.append(object())
+        n = yield from self.size.get(loc="GenericObjectPool.java:907")
+        yield from self.size.set(n + 1, loc="GenericObjectPool.java:907")
+        yield from self.available.notify(loc="GenericObjectPool.java:909")
+        yield from self.monitor.release(loc="GenericObjectPool.java:911")
+
+    def oracle(self, result: RunResult) -> Optional[str]:
+        return "stall" if result.stall_or_deadlock else None

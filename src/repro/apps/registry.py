@@ -1,0 +1,95 @@
+"""Registry of all benchmark applications.
+
+Maps app names to classes and partitions them the way the paper's
+evaluation does: Table 1 (Java programs and libraries) and Table 2
+(C/C++ programs, measured as mean-time-to-error).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+from .base import BaseApp
+from .cache4j import Cache4jApp
+from .figure4 import Figure4App
+from .hedc import HedcApp
+from .httpd import HttpdApp
+from .jigsaw import JigsawApp
+from .log4j import Log4jApp
+from .logging_app import LoggingApp
+from .lucene import LuceneApp
+from .moldyn import MoldynApp
+from .montecarlo_app import MonteCarloApp
+from .mysql import MySQL32356App, MySQL4012App, MySQL4019App
+from .pbzip2 import Pbzip2App
+from .pool import PoolApp
+from .raytracer import RayTracerApp
+from .stringbuffer import StringBufferApp
+from .swing import SwingApp
+from .synchronized_collections import (
+    SynchronizedListApp,
+    SynchronizedMapApp,
+    SynchronizedSetApp,
+)
+
+__all__ = ["JAVA_APPS", "C_APPS", "ALL_APPS", "get_app", "table1_bugs", "table2_bugs"]
+
+#: The 15 Java subjects of Table 1 (paper order).
+JAVA_APPS: Dict[str, Type[BaseApp]] = {
+    cls.name: cls
+    for cls in (
+        Cache4jApp,
+        HedcApp,
+        JigsawApp,
+        Log4jApp,
+        LoggingApp,
+        LuceneApp,
+        MoldynApp,
+        MonteCarloApp,
+        PoolApp,
+        RayTracerApp,
+        StringBufferApp,
+        SwingApp,
+        SynchronizedListApp,
+        SynchronizedMapApp,
+        SynchronizedSetApp,
+    )
+}
+
+#: The C/C++ subjects of Table 2.
+C_APPS: Dict[str, Type[BaseApp]] = {
+    cls.name: cls for cls in (Pbzip2App, HttpdApp, MySQL4012App, MySQL32356App, MySQL4019App)
+}
+
+ALL_APPS: Dict[str, Type[BaseApp]] = {**JAVA_APPS, **C_APPS, Figure4App.name: Figure4App}
+
+
+def get_app(name: str) -> Type[BaseApp]:
+    try:
+        return ALL_APPS[name]
+    except KeyError:
+        raise KeyError(f"unknown app {name!r}; known: {sorted(ALL_APPS)}") from None
+
+
+def _table_bugs(apps: Dict[str, Type[BaseApp]], internal_prefixes: Tuple[str, ...]) -> List[Tuple[str, str]]:
+    rows: List[Tuple[str, str]] = []
+    for name, cls in apps.items():
+        for bug_id in cls.bugs:
+            if any(bug_id.startswith(p) for p in internal_prefixes):
+                continue
+            rows.append((name, bug_id))
+    return rows
+
+
+def table1_bugs() -> List[Tuple[str, str]]:
+    """(app, bug) pairs forming the Table 1 rows.
+
+    The log4j ``pair_*`` bug ids are Section 5 probes, not Table 1 rows,
+    so they are excluded here.
+    """
+    return _table_bugs(JAVA_APPS, ("pair_",))
+
+
+def table2_bugs() -> List[Tuple[str, str]]:
+    """(app, bug) pairs forming the Table 2 rows."""
+    return _table_bugs(C_APPS, ())

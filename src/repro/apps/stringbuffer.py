@@ -1,0 +1,160 @@
+"""``stringbuffer`` — the classic ``java.lang.StringBuffer`` atomicity violation.
+
+Paper Figure 3 / Table 1 row ``stringbuffer`` (1,320 LoC, atomicity1,
+error = exception, probability 1.00).
+
+``append(sb)`` reads ``sb.length()`` into a local, then calls
+``sb.get_chars(0, len, ...)``.  Both callees are synchronized, but the
+*pair* is not: a concurrent ``sb.set_length(0)`` between them makes the
+local ``len`` stale and ``get_chars`` throws a bounds exception.
+
+The concurrent breakpoint is the paper's ``(239, 449, t1.sb == t2.this)``:
+one trigger just before ``set_length``'s truncation (line 239, the
+first action — that thread must run first) and one in ``append`` between
+the ``length()`` read and the ``get_chars`` call (line 449).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.predicates import SitePolicy
+from repro.sim.kernel import Kernel, RunResult
+from repro.sim.memory import SharedCell
+from repro.sim.primitives import SimRLock
+from repro.sim.syscalls import BeginAtomic, EndAtomic, Sleep
+
+from .base import BaseApp, BugSpec
+
+__all__ = ["StringBufferApp", "StringBuffer"]
+
+
+class StringBuffer:
+    """A miniature ``java.lang.StringBuffer``: synchronized methods, with
+    the compound-operation atomicity bug in :meth:`append`."""
+
+    def __init__(self, name: str = "sb") -> None:
+        self.monitor = SimRLock(name=f"{name}.monitor", tag="StringBuffer")
+        self.count = SharedCell(0, name=f"{name}.count")
+        self.data: list = []
+        self.name = name
+
+    def length(self):
+        """synchronized int length() — paper line 143."""
+        yield from self.monitor.acquire(loc="StringBuffer.java:143")
+        n = yield from self.count.get(loc="StringBuffer.java:143")
+        yield from self.monitor.release(loc="StringBuffer.java:143")
+        return n
+
+    def get_chars(self, begin: int, end: int):
+        """synchronized void getChars(...) — paper line 322.
+
+        Raises ``IndexError`` when the requested range exceeds the
+        current length: the visible symptom of the atomicity violation.
+        """
+        yield from self.monitor.acquire(loc="StringBuffer.java:322")
+        n = yield from self.count.get(loc="StringBuffer.java:322")
+        if end > n or begin < 0:
+            yield from self.monitor.release(loc="StringBuffer.java:322")
+            raise IndexError(f"StringIndexOutOfBounds: end={end} > count={n}")
+        chunk = self.data[begin:end]
+        yield from self.monitor.release(loc="StringBuffer.java:322")
+        return chunk
+
+    def set_length(self, app: "StringBufferApp", n: int):
+        """synchronized void setLength(...) — paper line 239."""
+        # Breakpoint site (l1 = 239): this thread acts first on a match.
+        yield from app.cb_conflict(
+            "atomicity1", self, first=True, loc="StringBuffer.java:239", atomicity=True
+        )
+        yield from self.monitor.acquire(loc="StringBuffer.java:239")
+        yield from self.count.set(n, loc="StringBuffer.java:240")
+        del self.data[n:]
+        yield from self.monitor.release(loc="StringBuffer.java:239")
+
+    def append_chars(self, chars: list):
+        """synchronized append of raw characters (no bug)."""
+        yield from self.monitor.acquire(loc="StringBuffer.java:437")
+        n = yield from self.count.get(loc="StringBuffer.java:437")
+        self.data.extend(chars)
+        yield from self.count.set(n + len(chars), loc="StringBuffer.java:437")
+        yield from self.monitor.release(loc="StringBuffer.java:437")
+
+    def append(self, app: "StringBufferApp", other: "StringBuffer"):
+        """synchronized StringBuffer append(StringBuffer sb) — line 437.
+
+        The buggy compound operation: ``other``'s monitor is held for
+        ``length()`` and for ``get_chars`` separately, not across both.
+        """
+        yield from self.monitor.acquire(loc="StringBuffer.java:437")
+        try:
+            yield BeginAtomic("StringBuffer.append")
+            n = yield from other.length()  # line 444: len goes stale here
+            # Breakpoint site (l2 = 449): second action.
+            yield from app.cb_conflict(
+                "atomicity1", other, first=False, loc="StringBuffer.java:449", atomicity=True
+            )
+            chunk = yield from other.get_chars(0, n)  # line 449: may throw
+            yield EndAtomic("StringBuffer.append")
+            self.data.extend(chunk)
+            cnt = yield from self.count.get(loc="StringBuffer.java:449")
+            yield from self.count.set(cnt + len(chunk), loc="StringBuffer.java:449")
+        finally:
+            # ``synchronized`` releases the monitor even when getChars
+            # throws, and so must we.
+            yield from self.monitor.release(loc="StringBuffer.java:437")
+
+
+class StringBufferApp(BaseApp):
+    """Two threads share a ``StringBuffer``: one appends it onto its own
+    buffer repeatedly, the other truncates it once at a jittered moment."""
+
+    name = "stringbuffer"
+    paper_loc = "1,320"
+    bugs = {
+        "atomicity1": BugSpec(
+            id="atomicity1",
+            kind="atomicity",
+            error="exception",
+            description="stale length between sb.length() and sb.getChars() in append",
+        ),
+    }
+
+    def policies(self) -> Dict[str, SitePolicy]:
+        # The violation is one-shot: once it has fired, later appends
+        # must not keep pausing (Section 6.3's ``triggers < bound``).
+        return {"atomicity1": SitePolicy(bound=1)}
+
+    def setup(self, kernel: Kernel) -> None:
+        self.shared = StringBuffer("shared")
+        self.shared.data = list("hello concurrent world")
+        self.shared.count.poke(len(self.shared.data))
+        self.sink = StringBuffer("sink")
+        rounds = self.param("rounds", 8)
+        kernel.spawn(self._appender, rounds, name="appender")
+        kernel.spawn(self._truncator, name="truncator")
+
+    def _appender(self, rounds: int):
+        for _ in range(rounds):
+            yield Sleep(self.kernel.rng.uniform(0.0005, 0.004))
+            try:
+                yield from self.sink.append(self, self.shared)
+            except IndexError:
+                # The test harness catches and logs the violation, like
+                # the paper's driver, so the run completes and runtime
+                # overhead stays comparable.
+                self.note_error("exception")
+            # Keep the shared buffer non-empty so later appends stay racy.
+            yield from self.shared.append_chars(list("x"))
+
+    def _truncator(self):
+        yield Sleep(self.kernel.rng.uniform(0.001, 0.02))
+        yield from self.shared.set_length(self, 0)
+
+    def oracle(self, result: RunResult) -> Optional[str]:
+        if any(sym == "exception" for _, sym in self.errors):
+            return "exception"
+        for f in result.failures:
+            if isinstance(f.exc, IndexError):
+                return "exception"
+        return None

@@ -1,0 +1,172 @@
+"""Breakpoint suites for every benchmark bug — the attachable artefacts.
+
+For each (app, bug) of the evaluation this module declares the
+:class:`~repro.core.suite.BreakpointSuite` a developer would attach to
+the bug report: the paper-style ``(l1, l2, phi)`` records with the pause
+times and refinements that made the bug reproducible.  The declared
+locations are *checked against reality* by
+``tests/apps/test_suites.py``, which runs each bug and verifies that the
+breakpoint events in the trace occur exactly at the declared sites.
+
+Single-location races (a read-modify-write raced by symmetric threads)
+use the same location for both actions — both threads stand at the same
+statement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.suite import BreakpointEntry, BreakpointSuite
+
+__all__ = ["SUITES", "suite_for"]
+
+
+def _pair(name, kind, l1, l2, predicate="t1.obj == t2.obj", **kw) -> BreakpointEntry:
+    return BreakpointEntry(
+        name=name, kind=kind, loc_first=l1, loc_second=l2, predicate=predicate, **kw
+    )
+
+
+def _rmw(name, loc, **kw) -> BreakpointEntry:
+    """Symmetric read-modify-write race: one shared site."""
+    return _pair(name, "conflict", loc, loc, **kw)
+
+
+def _make() -> Dict[Tuple[str, str], BreakpointSuite]:
+    suites: Dict[Tuple[str, str], BreakpointSuite] = {}
+
+    def add(app: str, bug: str, error: str, *entries: BreakpointEntry, desc: str = "") -> None:
+        s = BreakpointSuite(bug_id=bug, program=app, expected_error=error, description=desc)
+        for e in entries:
+            s.add(e)
+        suites[(app, bug)] = s
+
+    # -- cache4j ---------------------------------------------------------
+    add("cache4j", "race1", "", _rmw("race1", "CacheImpl.java:95", bound=1),
+        desc="size counter RMW outside the segment lock")
+    add("cache4j", "race2", "", _rmw("race2", "CacheImpl.java:140", bound=1))
+    add("cache4j", "race3", "", _rmw("race3", "CacheImpl.java:102", bound=1))
+    add("cache4j", "atomicity1", "",
+        _pair("atomicity1", "atomicity", "CacheImpl.java:132", "CacheObject.java:33",
+              predicate="t1.obj == t2.obj and payload unset", ignore_first=60, bound=1),
+        desc="unsafe publication: valid set before payload")
+
+    # -- hedc ------------------------------------------------------------
+    add("hedc", "race1", "",
+        _pair("race1", "conflict", "MetaSearchRequest.java:204", "Task.java:93",
+              predicate="t1.task == t2.task", bound=1),
+        desc="canceller dereferences Task.thread in the completion window")
+    add("hedc", "race2", "",
+        _pair("race2", "conflict", "MetaSearchResult.java:120", "MetaSearchRequest.java:167",
+              timeout=1.0, bound=1),
+        desc="aggregator RMW clobbers a worker increment")
+
+    # -- jigsaw ------------------------------------------------------------
+    add("jigsaw", "deadlock1", "stall",
+        _pair("deadlock1", "deadlock",
+              "SocketClientFactory.java:626", "SocketClientFactory.java:872",
+              predicate="t1.csList == t2.csList and t1.this == t2.this", bound=1),
+        desc="paper Figure 2: csList/factory inversion")
+    add("jigsaw", "deadlock2", "stall",
+        _pair("deadlock2", "deadlock",
+              "CommonLogger.java:92", "SocketClientFactory.java:843", bound=1))
+    add("jigsaw", "missed-notify1", "stall",
+        _pair("missed-notify1", "conflict",
+              "SocketClientFactory.java:576", "SocketClientFactory.java:903",
+              predicate="same factory monitor; last idle client", bound=1))
+    add("jigsaw", "race1", "stall",
+        _pair("race1", "conflict", "httpd.java:1560", "SocketClient.java:206",
+              predicate="t1.alive == t2.alive", bound=1))
+    add("jigsaw", "race2", "", _rmw("race2", "httpd.java:1402", bound=1))
+
+    # -- log4j ------------------------------------------------------------
+    add("log4j", "deadlock1", "stall",
+        _pair("deadlock1", "deadlock", "AsyncAppender.java:118", "FileAppender.java:214",
+              bound=1))
+    add("log4j", "missed-notify1", "stall",
+        _pair("missed-notify1", "conflict",
+              "AsyncAppender.java:236", "AsyncAppender.java:309",
+              predicate="same appender monitor; dispatcher at final idle", bound=1),
+        desc="Section 5: setBufferSize's notify lost in the check-to-wait window")
+
+    # -- logging / lucene / pool ------------------------------------------
+    add("logging", "deadlock1", "stall",
+        _pair("deadlock1", "deadlock", "Logger.java:586", "LogManager.java:1346", bound=1))
+    add("lucene", "deadlock1", "stall",
+        _pair("deadlock1", "deadlock", "IndexWriter.java:1020", "DocumentsWriter.java:586",
+              bound=1))
+    add("pool", "missed-notify1", "stall",
+        _pair("missed-notify1", "conflict",
+              "GenericObjectPool.java:902", "GenericObjectPool.java:805",
+              predicate="same pool monitor", bound=1))
+
+    # -- JGF kernels ----------------------------------------------------------
+    add("moldyn", "race1", "", _rmw("race1", "MolDyn.java:290", bound=4))
+    add("moldyn", "race2", "", _rmw("race2", "MolDyn.java:297", bound=10))
+    add("montecarlo", "race1", "", _rmw("race1", "MonteCarlo.java:121", bound=10))
+    add("raytracer", "race1", "test fail", _rmw("race1", "RayTracer.java:553", bound=1))
+    add("raytracer", "race2", "test fail", _rmw("race2", "RayTracer.java:560", bound=1))
+    add("raytracer", "race3", "", _rmw("race3", "RayTracer.java:571", bound=1))
+    add("raytracer", "race4", "", _rmw("race4", "RayTracer.java:610", bound=1))
+
+    # -- stringbuffer / swing / collections -----------------------------------
+    add("stringbuffer", "atomicity1", "exception",
+        _pair("atomicity1", "atomicity", "StringBuffer.java:239", "StringBuffer.java:449",
+              predicate="t1.sb == t2.this", bound=1),
+        desc="paper Figure 3")
+    add("swing", "deadlock1", "stall",
+        _pair("deadlock1", "deadlock", "RepaintManager.java:390", "RepaintManager.java:705",
+              require_lock_tag="BasicCaret"),
+        desc="addDirtyRegion0 vs paint cycle; refined per Section 6.3")
+    for app in ("synchronizedList", "synchronizedSet"):
+        add(app, "atomicity1", "exception",
+            _pair("atomicity1", "atomicity", "Client.java:120", "Client.java:88", bound=1))
+        add(app, "deadlock1", "stall",
+            _pair("deadlock1", "deadlock", "Collections.java:353", "Collections.java:353",
+                  predicate="t1.dst == t2.src and t1.src == t2.dst", bound=1))
+    add("synchronizedMap", "atomicity1", "",
+        _pair("atomicity1", "atomicity", "Client.java:70", "Client.java:55", bound=1))
+    add("synchronizedMap", "deadlock1", "stall",
+        _pair("deadlock1", "deadlock", "Collections.java:353", "Collections.java:353",
+              predicate="t1.dst == t2.src and t1.src == t2.dst", bound=1))
+
+    # -- C/C++ ------------------------------------------------------------
+    add("pbzip2", "crash1", "program crash",
+        _pair("crash1:cbr1", "conflict", "pbzip2.cpp:1218", "pbzip2.cpp:962",
+              predicate="same fifo", bound=1, notes="rendezvous"),
+        _pair("crash1:cbr2", "conflict", "pbzip2.cpp:1220", "pbzip2.cpp:963",
+              predicate="same fifo", bound=1, notes="free-before-use order"),
+        desc="fifo freed under the consumer's last touch")
+    add("httpd", "logcorrupt1", "log corruption",
+        _rmw("logcorrupt1", "mod_log_config.c:1408", bound=1))
+    add("httpd", "crash1", "server crash",
+        _pair("crash1:cbr1", "conflict", "core.c:4230", "core.c:3108", bound=1),
+        _pair("crash1:cbr2", "conflict", "core.c:4235", "core.c:3118", bound=1),
+        _pair("crash1:cbr3", "conflict", "core.c:4242", "core.c:3126", bound=1),
+        desc="buffer shrunk between capacity check and staged write")
+    add("mysql-4.0.12", "logomit1", "log omission",
+        _pair("logomit1:cbr1", "conflict", "sql/log.cc:1802", "sql/log.cc:1471", bound=1),
+        _pair("logomit1:cbr2", "conflict", "sql/log.cc:1806", "sql/log.cc:1475", bound=1))
+    add("mysql-3.23.56", "logdisorder1", "log disorder",
+        _rmw("logdisorder1", "sql/log.cc:912", bound=1))
+    add("mysql-4.0.19", "crash1", "server crash",
+        _pair("crash1:cbr1", "conflict", "sql/sql_base.cc:1210", "sql/sql_base.cc:550", bound=1),
+        _pair("crash1:cbr2", "conflict", "sql/sql_base.cc:1214", "sql/sql_base.cc:561", bound=1),
+        _pair("crash1:cbr3", "conflict", "sql/sql_base.cc:1218", "sql/sql_base.cc:565", bound=1))
+
+    # -- figure4 -----------------------------------------------------------
+    add("figure4", "error1", "ERROR",
+        _pair("error1", "conflict", "Figure4:8", "Figure4:10",
+              predicate="t1.o1 == t2.o2", bound=1),
+        desc="the paper's hard-to-reach breakpoint (8, 10, t1.o1 == t2.o2)")
+
+    return suites
+
+
+#: (app name, bug id) -> the attachable breakpoint suite.
+SUITES: Dict[Tuple[str, str], BreakpointSuite] = _make()
+
+
+def suite_for(app: str, bug: str) -> Optional[BreakpointSuite]:
+    return SUITES.get((app, bug))

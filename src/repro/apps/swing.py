@@ -1,0 +1,129 @@
+"""``swing`` — the ``javax.swing`` RepaintManager / BasicCaret deadlock (422K LoC).
+
+Table 1 rows (the Section 6.2 pause-time study):
+
+===========  ==========  ===========
+pause time   probability  overhead
+===========  ==========  ===========
+100 ms       0.63         521%
+1 s          0.99         1230%
+===========  ==========  ===========
+
+and the Section 6.3 refinement: ``addDirtyRegion0()`` is called from
+*many* contexts, but the deadlock needs the caller to hold a
+``BasicCaret`` lock; adding ``isLockTypeHeld(BasicCaret)`` to the local
+predicate removes the pauses in all the harmless contexts, cutting the
+overhead drastically without losing probability.
+
+Re-created structure: worker threads mutate text components.  Most calls
+into ``RepaintManager.addDirtyRegion0`` come from plain contexts (no
+caret lock); one comes from the caret-blink path holding the caret's
+monitor and then taking the repaint monitor.  The event-dispatch thread
+(EDT) paints: it takes the repaint monitor and then the caret's monitor
+— the ABBA inversion (JDK bug 6541487-family).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.predicates import SitePolicy
+from repro.sim.kernel import Kernel, RunResult
+from repro.sim.primitives import SimRLock
+from repro.sim.syscalls import Sleep
+
+from .base import BaseApp, BugSpec
+
+__all__ = ["SwingApp", "CARET_SPREAD"]
+
+#: Arrival jitter of the caret path vs the EDT paint: with both uniform
+#: over ~0.26 s, a 100 ms pause catches the partner ~0.63 of the time and
+#: a 1 s pause ~always — the paper's 0.63 / 0.99.
+CARET_SPREAD = 0.26
+
+#: Plain (non-caret) addDirtyRegion calls per worker: each pauses the full
+#: timeout when the breakpoint is unrefined, which is where the paper's
+#: 521% / 1230% overhead comes from.
+PLAIN_CALLS = 15
+
+
+class SwingApp(BaseApp):
+    """Workers repainting text components vs the painting EDT."""
+
+    name = "swing"
+    paper_loc = "422K"
+    horizon = 120.0
+    bugs = {
+        "deadlock1": BugSpec(
+            id="deadlock1", kind="deadlock", error="stall",
+            description="BasicCaret monitor vs RepaintManager monitor ABBA inversion",
+            comments="wait=100ms -> ~0.63; wait=1000ms -> ~0.99; "
+                     "isLockTypeHeld(BasicCaret) removes non-caret pauses",
+        ),
+    }
+
+    def policies(self) -> Dict[str, SitePolicy]:
+        # Section 6.3 refinement: only pause when a BasicCaret lock is
+        # held.  Run with use_policies=False to reproduce the raw Table 1
+        # overhead row.
+        return {"deadlock1": SitePolicy(require_lock_tag="BasicCaret")}
+
+    def setup(self, kernel: Kernel) -> None:
+        self.repaint_monitor = SimRLock("RepaintManager", tag="RepaintManager")
+        self.caret_monitor = SimRLock("BasicCaret", tag="BasicCaret")
+        self._no_lock = object()  # placeholder "held lock" in plain contexts
+        workers = self.param("workers", 3)
+        for w in range(workers):
+            kernel.spawn(self._worker, w, name=f"worker{w}")
+        kernel.spawn(self._caret_blink, name="caret-blinker")
+        kernel.spawn(self._edt, name="EDT")
+
+    # ------------------------------------------------------------------
+    def _add_dirty_region(self, held_lock) -> object:
+        """``RepaintManager.addDirtyRegion0``: breakpoint site + repaint
+        monitor acquisition.  ``held_lock`` is whatever monitor the caller
+        already holds (``None`` in plain contexts)."""
+        yield from self.cb_deadlock(
+            "deadlock1",
+            held_lock if held_lock is not None else self._no_lock,
+            self.repaint_monitor,
+            first=True,
+            loc="RepaintManager.java:390",
+        )
+        yield from self.repaint_monitor.acquire(loc="RepaintManager.java:394")
+        yield from self.repaint_monitor.release(loc="RepaintManager.java:401")
+
+    def _worker(self, wid: int):
+        rng = self.kernel.rng
+        # Plain repaint requests: no caret lock held; an unrefined
+        # breakpoint pauses at every one of these for the full timeout.
+        for _ in range(PLAIN_CALLS):
+            yield Sleep(rng.uniform(0.001, 0.012))
+            yield from self._add_dirty_region(None)
+
+    def _caret_blink(self):
+        """The caret-blink timer: caret monitor, then repaint monitor."""
+        rng = self.kernel.rng
+        yield Sleep(rng.uniform(0.1, 0.1 + CARET_SPREAD))
+        yield from self.caret_monitor.acquire(loc="BasicCaret.java:1302")
+        yield from self._add_dirty_region(self.caret_monitor)
+        yield from self.caret_monitor.release(loc="BasicCaret.java:1310")
+
+    def _edt(self):
+        rng = self.kernel.rng
+        # Paint cycle: repaint monitor, then the caret monitor (reverse
+        # order).  Arrival jittered against the caret-blink path.
+        yield Sleep(rng.uniform(0.1, 0.1 + CARET_SPREAD))
+        yield from self.repaint_monitor.acquire(loc="RepaintManager.java:702")
+        # The paper's refinement lives only on the addDirtyRegion0 side;
+        # the EDT site carries no policy (distinct policy key).
+        yield from self.cb_deadlock(
+            "deadlock1", self.repaint_monitor, self.caret_monitor, first=False,
+            loc="RepaintManager.java:705", policy_key="deadlock1:edt",
+        )
+        yield from self.caret_monitor.acquire(loc="RepaintManager.java:706")
+        yield from self.caret_monitor.release(loc="RepaintManager.java:708")
+        yield from self.repaint_monitor.release(loc="RepaintManager.java:710")
+
+    def oracle(self, result: RunResult) -> Optional[str]:
+        return "stall" if result.stall_or_deadlock else None

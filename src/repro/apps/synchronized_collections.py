@@ -1,0 +1,286 @@
+"""``synchronizedList`` / ``synchronizedMap`` / ``synchronizedSet``.
+
+Table 1 rows for ``java.util.Collections$SynchronizedList`` (backed by an
+``ArrayList``), ``$SynchronizedMap`` (backed by a ``LinkedHashMap``) and
+``$SynchronizedSet``.  Each wrapper synchronizes individual methods on an
+internal mutex, which leaves two classic Heisenbugs:
+
+* **atomicity1** — compound operations are not atomic.  For the list, a
+  ``size()``-then-``get(i)`` iteration races with a concurrent ``clear``:
+  ``get`` throws ``IndexOutOfBounds`` (paper error: *exception*).  For
+  the map, ``containsKey``-then-``get`` races with ``remove``: the read
+  silently yields a stale ``None`` (paper error column: blank).  For the
+  set, an ``addAll`` iterating the source races with removal:
+  *exception*.
+* **deadlock1** — ``addAll(other)`` locks the destination then the
+  source; two threads cross-copying two collections invert the order
+  (paper error: *stall*).
+
+The atomicity breakpoint pairs the mutating site (first action) with the
+compound reader's mid-point; the deadlock breakpoint is the usual
+``DeadlockTrigger`` pair at the nested-acquisition sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.predicates import SitePolicy
+from repro.sim.kernel import Kernel, RunResult
+from repro.sim.memory import SharedCell
+from repro.sim.primitives import SimRLock
+from repro.sim.syscalls import BeginAtomic, EndAtomic, Sleep
+
+from .base import BaseApp, BugSpec
+
+__all__ = ["SynchronizedListApp", "SynchronizedMapApp", "SynchronizedSetApp"]
+
+
+class SyncCollection:
+    """Base synchronized wrapper: a mutex plus an observable size cell."""
+
+    def __init__(self, name: str, kind: str) -> None:
+        self.mutex = SimRLock(name=f"{name}.mutex", tag=f"Synchronized{kind}")
+        self.size = SharedCell(0, name=f"{name}.size")
+        self.items: list = []
+        self.name = name
+
+    def _loc(self, line: int) -> str:
+        return f"Collections.java:{line}"
+
+    def add(self, item):
+        yield from self.mutex.acquire(loc=self._loc(310))
+        self.items.append(item)
+        n = yield from self.size.get(loc=self._loc(310))
+        yield from self.size.set(n + 1, loc=self._loc(310))
+        yield from self.mutex.release(loc=self._loc(310))
+
+    def clear(self):
+        yield from self.mutex.acquire(loc=self._loc(330))
+        self.items.clear()
+        yield from self.size.set(0, loc=self._loc(330))
+        yield from self.mutex.release(loc=self._loc(330))
+
+    def get_size(self):
+        yield from self.mutex.acquire(loc=self._loc(305))
+        n = yield from self.size.get(loc=self._loc(305))
+        yield from self.mutex.release(loc=self._loc(305))
+        return n
+
+    def get_at(self, i: int):
+        yield from self.mutex.acquire(loc=self._loc(320))
+        try:
+            n = yield from self.size.get(loc=self._loc(320))
+            if i >= n or i >= len(self.items):
+                raise IndexError(f"IndexOutOfBounds: {i} >= {n}")
+            return self.items[i]
+        finally:
+            yield from self.mutex.release(loc=self._loc(320))
+
+    def add_all(self, app: BaseApp, other: "SyncCollection", bug_id: str = "deadlock1"):
+        """Copy ``other`` into self: dest mutex, then source mutex (the
+        inversion-prone nesting)."""
+        yield from self.mutex.acquire(loc=self._loc(352))
+        # Breakpoint between the two acquisitions: lock1 is held, lock2 is
+        # about to be acquired (paper Figure 9's placement).  Once both
+        # sides are released each blocks on the other's mutex: deadlock.
+        yield from app.cb_deadlock(
+            bug_id, self.mutex, other.mutex, first=self.name < other.name, loc=self._loc(353)
+        )
+        yield from other.mutex.acquire(loc=self._loc(353))
+        for item in other.items:
+            self.items.append(item)
+        n = yield from self.size.get(loc=self._loc(354))
+        yield from self.size.set(n + len(other.items), loc=self._loc(354))
+        yield from other.mutex.release(loc=self._loc(353))
+        yield from self.mutex.release(loc=self._loc(352))
+
+
+class _CollectionsAppBase(BaseApp):
+    """Shared workload: compound-reader vs mutator, and cross addAll."""
+
+    collection_kind = "List"
+
+    bugs = {
+        "atomicity1": BugSpec(
+            id="atomicity1",
+            kind="atomicity",
+            error="exception",
+            description="size()/get(i) iteration races with clear()",
+        ),
+        "deadlock1": BugSpec(
+            id="deadlock1",
+            kind="deadlock",
+            error="stall",
+            description="cross addAll lock-order inversion",
+        ),
+    }
+
+    def policies(self) -> Dict[str, SitePolicy]:
+        return {"atomicity1": SitePolicy(bound=1), "deadlock1": SitePolicy(bound=1)}
+
+    def setup(self, kernel: Kernel) -> None:
+        kind = self.collection_kind
+        self.c1 = SyncCollection("c1", kind)
+        self.c2 = SyncCollection("c2", kind)
+        for i in range(self.param("initial_items", 6)):
+            self.c1.items.append(i)
+            self.c2.items.append(i * 10)
+        self.c1.size.poke(len(self.c1.items))
+        self.c2.size.poke(len(self.c2.items))
+        bug = self.cfg.bug
+        if bug == "deadlock1":
+            kernel.spawn(self._crosser, self.c1, self.c2, name="crosser1")
+            kernel.spawn(self._crosser, self.c2, self.c1, name="crosser2")
+        else:
+            kernel.spawn(self._iterator, name="iterator")
+            kernel.spawn(self._mutator, name="mutator")
+
+    # -- atomicity workload -------------------------------------------------
+    def _iterator(self):
+        rounds = self.param("rounds", 4)
+        for _ in range(rounds):
+            yield Sleep(self.kernel.rng.uniform(0.0005, 0.003))
+            yield BeginAtomic("iterate")
+            try:
+                n = yield from self.c1.get_size()
+                for i in range(n):
+                    # Breakpoint site: between the size read and each get.
+                    yield from self.cb_conflict(
+                        "atomicity1", self.c1, first=False,
+                        loc="Client.java:88", atomicity=True,
+                    )
+                    yield from self.c1.get_at(i)
+            except IndexError:
+                self.note_error("exception")
+            yield EndAtomic("iterate")
+            # Refill for the next round.
+            for _ in range(3):
+                yield from self.c1.add(0)
+
+    def _mutator(self):
+        rounds = self.param("rounds", 4)
+        for _ in range(rounds):
+            yield Sleep(self.kernel.rng.uniform(0.001, 0.008))
+            yield from self.cb_conflict(
+                "atomicity1", self.c1, first=True, loc="Client.java:120", atomicity=True
+            )
+            yield from self.c1.clear()
+
+    # -- deadlock workload ---------------------------------------------------
+    def _crosser(self, dst: SyncCollection, src: SyncCollection):
+        yield Sleep(self.kernel.rng.uniform(0.0, 0.002))
+        yield from dst.add_all(self, src)
+
+    def oracle(self, result: RunResult) -> Optional[str]:
+        if self.cfg.bug == "deadlock1" or (self.cfg.bug is None and result.deadlocked):
+            return "stall" if result.stall_or_deadlock else None
+        if any(sym == "exception" for _, sym in self.errors):
+            return "exception"
+        if any(isinstance(f.exc, IndexError) for f in result.failures):
+            return "exception"
+        return None
+
+
+class SynchronizedListApp(_CollectionsAppBase):
+    """``Collections$SynchronizedList`` backed by an ``ArrayList``."""
+
+    name = "synchronizedList"
+    paper_loc = "7,913"
+    collection_kind = "List"
+
+
+class SynchronizedSetApp(_CollectionsAppBase):
+    """``Collections$SynchronizedSet``: same wrapper, set-shaped client."""
+
+    name = "synchronizedSet"
+    paper_loc = "8,626"
+    collection_kind = "Set"
+
+
+class SynchronizedMapApp(_CollectionsAppBase):
+    """``Collections$SynchronizedMap`` backed by a ``LinkedHashMap``.
+
+    The compound operation is ``containsKey`` followed by ``get``; a
+    concurrent ``remove`` makes ``get`` return a stale ``None``.  No
+    exception is thrown (the paper's error column is blank) — the oracle
+    observes the stale read directly.
+    """
+
+    name = "synchronizedMap"
+    paper_loc = "8,626"
+    collection_kind = "Map"
+
+    bugs = {
+        "atomicity1": BugSpec(
+            id="atomicity1",
+            kind="atomicity",
+            error="",
+            description="containsKey()/get() races with remove(): stale None",
+        ),
+        "deadlock1": BugSpec(
+            id="deadlock1",
+            kind="deadlock",
+            error="stall",
+            description="cross putAll lock-order inversion",
+        ),
+    }
+
+    def setup(self, kernel: Kernel) -> None:
+        if self.cfg.bug == "deadlock1":
+            super().setup(kernel)
+            return
+        self.map_mutex = SimRLock(name="map.mutex", tag="SynchronizedMap")
+        self.present = SharedCell(True, name="map.key_present")
+        self.store: Dict[str, int] = {"k": 42}
+        kernel.spawn(self._reader, name="reader")
+        kernel.spawn(self._remover, name="remover")
+
+    def _contains_key(self):
+        yield from self.map_mutex.acquire(loc="Collections.java:402")
+        p = yield from self.present.get(loc="Collections.java:402")
+        yield from self.map_mutex.release(loc="Collections.java:402")
+        return p
+
+    def _get(self):
+        yield from self.map_mutex.acquire(loc="Collections.java:410")
+        p = yield from self.present.get(loc="Collections.java:410")
+        value = self.store.get("k") if p else None
+        yield from self.map_mutex.release(loc="Collections.java:410")
+        return value
+
+    def _remove(self):
+        yield from self.map_mutex.acquire(loc="Collections.java:420")
+        yield from self.present.set(False, loc="Collections.java:420")
+        self.store.pop("k", None)
+        yield from self.map_mutex.release(loc="Collections.java:420")
+
+    def _reader(self):
+        rounds = self.param("rounds", 4)
+        for _ in range(rounds):
+            yield Sleep(self.kernel.rng.uniform(0.0005, 0.003))
+            yield BeginAtomic("checked-get")
+            present = yield from self._contains_key()
+            if present:
+                yield from self.cb_conflict(
+                    "atomicity1", self.map_mutex, first=False,
+                    loc="Client.java:55", atomicity=True,
+                )
+                value = yield from self._get()
+                if value is None:
+                    self.note_error("stale read")
+            yield EndAtomic("checked-get")
+
+    def _remover(self):
+        yield Sleep(self.kernel.rng.uniform(0.001, 0.01))
+        yield from self.cb_conflict(
+            "atomicity1", self.map_mutex, first=True, loc="Client.java:70", atomicity=True
+        )
+        yield from self._remove()
+
+    def oracle(self, result: RunResult) -> Optional[str]:
+        if self.cfg.bug == "deadlock1" or (self.cfg.bug is None and result.deadlocked):
+            return "stall" if result.stall_or_deadlock else None
+        if any(sym == "stale read" for _, sym in self.errors):
+            return "stale read"
+        return None

@@ -1,0 +1,48 @@
+"""Global configuration for the concurrent-breakpoint library.
+
+The paper's library exposes a single global knob, ``Global.TIMEOUT`` — the
+time a thread pauses at a half-satisfied breakpoint waiting for a partner
+(Section 4, Figure 7).  This module is the Python analogue.  All values are
+in seconds.  ``ORDER_WINDOW`` only affects the OS-thread backend, where the
+"first action executes before second" ordering (Section 2) can only be
+approximated by giving the first thread a head start; the simulation
+backend enforces ordering exactly and ignores it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Config", "GLOBAL", "DEFAULT_TIMEOUT"]
+
+#: Paper default: 100 milliseconds (Section 5, Methodology II: "we increase
+#: the pause time in BTrigger from 100 milliseconds to 1 second ...").
+DEFAULT_TIMEOUT: float = 0.100
+
+
+@dataclasses.dataclass
+class Config:
+    """Mutable global settings, mirroring the paper's ``Global`` class.
+
+    Attributes
+    ----------
+    timeout:
+        Default pause time ``T`` used when ``trigger_here`` is called
+        without an explicit timeout.
+    enabled:
+        Master switch.  The paper notes breakpoints "can be turned on or
+        off like traditional assertions"; with ``enabled=False`` every
+        ``trigger_here`` returns ``False`` immediately at negligible cost.
+    order_window:
+        OS backend only — how long the second-action thread is delayed
+        after a match so the first-action thread's next instruction runs
+        first with high probability.
+    """
+
+    timeout: float = DEFAULT_TIMEOUT
+    enabled: bool = True
+    order_window: float = 0.001
+
+
+#: The process-wide configuration instance (the paper's ``Global``).
+GLOBAL = Config()

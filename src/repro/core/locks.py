@@ -1,0 +1,78 @@
+"""Lock wrappers for the OS-thread backend.
+
+The paper's ``isLockTypeHeld(type)`` refinement (Section 6.3) and the
+lock-contention reports of Methodology II need to know which locks a
+thread currently holds.  In the simulation backend the kernel tracks this;
+for real ``threading`` programs we provide :class:`TrackedLock` /
+:class:`TrackedRLock`, drop-in wrappers that register acquisition per
+thread.  Programs that want the refinement simply use these instead of
+``threading.Lock``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+__all__ = ["TrackedLock", "TrackedRLock", "held_tracked_locks"]
+
+_holdings = threading.local()
+
+
+def _stack() -> List["TrackedLock"]:
+    st = getattr(_holdings, "stack", None)
+    if st is None:
+        st = _holdings.stack = []
+    return st
+
+
+def held_tracked_locks() -> List["TrackedLock"]:
+    """Tracked locks currently held by the calling thread, innermost last."""
+    return list(_stack())
+
+
+class TrackedLock:
+    """A ``threading.Lock`` that records its holder for predicate use.
+
+    ``tag`` is the lock's type label (the paper's ``BasicCaret`` etc.);
+    it defaults to ``name``.  Supports the context-manager protocol.
+    """
+
+    _factory = staticmethod(threading.Lock)
+
+    def __init__(self, name: str = "lock", tag: Optional[str] = None) -> None:
+        self.name = name
+        self.tag = tag if tag is not None else name
+        self._lock = self._factory()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._lock.acquire(blocking, timeout)
+        if ok:
+            _stack().append(self)
+        return ok
+
+    def release(self) -> None:
+        st = _stack()
+        # Remove the most recent holding of *this* lock; tolerate
+        # hand-over-hand release orders.
+        for i in range(len(st) - 1, -1, -1):
+            if st[i] is self:
+                del st[i]
+                break
+        self._lock.release()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, tag={self.tag!r})"
+
+
+class TrackedRLock(TrackedLock):
+    """Reentrant variant of :class:`TrackedLock`."""
+
+    _factory = staticmethod(threading.RLock)

@@ -1,0 +1,119 @@
+"""Local-predicate refinement policies (paper Section 6.3).
+
+A concurrent breakpoint pauses a thread every time its *local* predicate is
+satisfied.  When the breakpoint site is executed very often (the cache4j
+``CacheObject`` constructor, the moldyn force loop), most pauses are
+useless and the run slows down dramatically.  The paper refines the local
+predicate with small stateful conditions:
+
+* ``thisBreakpointHit > n`` — skip the first *n* visits
+  (``ignoreFirst=7200`` for cache4j's atomicity breakpoint);
+* ``triggers < bound`` — stop pausing once the breakpoint has fired
+  ``bound`` times (``bound=4`` / ``bound=10`` for the moldyn and
+  montecarlo races);
+* ``isLockTypeHeld(type)`` — only pause when a lock of the given type is
+  held (the Swing ``BasicCaret`` deadlock).
+
+These conditions need counters shared by *all* trigger instances of the
+same breakpoint (instances are created fresh at each site visit, mirroring
+the paper's ``new ConflictTrigger(...)`` idiom), so they live in a
+:class:`SitePolicy` object created once and passed to every instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .runtimectx import is_lock_type_held
+
+__all__ = ["SitePolicy", "ALWAYS"]
+
+
+class SitePolicy:
+    """Shared, mutable refinement state for one named breakpoint.
+
+    Parameters
+    ----------
+    ignore_first:
+        Skip (do not even postpone at) the first ``ignore_first`` visits
+        to the site.  ``0`` disables the refinement.
+    bound:
+        Stop attempting the breakpoint after it has been *triggered* this
+        many times.  ``None`` disables the refinement.
+    require_lock_tag:
+        Only attempt the breakpoint while the current thread holds a lock
+        whose tag equals this string (``isLockTypeHeld``).
+    extra:
+        Arbitrary additional zero-argument local condition, evaluated
+        last.
+
+    Thread-safety: counters are updated under the breakpoint engine's
+    lock in the OS backend and by the single-threaded kernel in the
+    simulation backend, so plain integers suffice.
+    """
+
+    __slots__ = ("ignore_first", "bound", "require_lock_tag", "extra", "visits", "triggers")
+
+    def __init__(
+        self,
+        ignore_first: int = 0,
+        bound: Optional[int] = None,
+        require_lock_tag: Optional[str] = None,
+        extra: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        if ignore_first < 0:
+            raise ValueError("ignore_first must be >= 0")
+        if bound is not None and bound <= 0:
+            raise ValueError("bound must be positive or None")
+        self.ignore_first = ignore_first
+        self.bound = bound
+        self.require_lock_tag = require_lock_tag
+        self.extra = extra
+        self.visits = 0
+        self.triggers = 0
+
+    def should_attempt(self) -> bool:
+        """Decide whether this site visit may postpone the thread.
+
+        Counts the visit and applies the refinements in the paper's
+        order: visit count, trigger bound, held-lock type, extra
+        condition.
+        """
+        self.visits += 1
+        if self.visits <= self.ignore_first:
+            return False
+        if self.bound is not None and self.triggers >= self.bound:
+            return False
+        if self.require_lock_tag is not None and not is_lock_type_held(self.require_lock_tag):
+            return False
+        if self.extra is not None and not self.extra():
+            return False
+        return True
+
+    def record_trigger(self) -> None:
+        """Called by the engine when the breakpoint fires with this policy."""
+        self.triggers += 1
+
+    def reset(self) -> None:
+        """Clear counters (between experiment trials)."""
+        self.visits = 0
+        self.triggers = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        if self.ignore_first:
+            parts.append(f"ignore_first={self.ignore_first}")
+        if self.bound is not None:
+            parts.append(f"bound={self.bound}")
+        if self.require_lock_tag:
+            parts.append(f"require_lock_tag={self.require_lock_tag!r}")
+        parts.append(f"visits={self.visits}")
+        parts.append(f"triggers={self.triggers}")
+        return f"SitePolicy({', '.join(parts)})"
+
+
+#: A shared no-op policy for breakpoints that need no refinement.  It is
+#: stateless apart from the visit counter, which nothing consults when all
+#: refinements are disabled — still, experiments that reuse it across
+#: trials should prefer fresh :class:`SitePolicy` objects.
+ALWAYS = SitePolicy()

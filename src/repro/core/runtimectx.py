@@ -1,0 +1,81 @@
+"""Execution-context bridge between breakpoint predicates and backends.
+
+Local predicates sometimes need runtime facts that are not captured in the
+trigger instance itself — most prominently the paper's
+``isLockTypeHeld(type)`` refinement (Section 6.3, the Swing deadlock:
+"the deadlock occurs only if the corresponding BasicCaret lock is held").
+Which locks the *current thread* holds is known to the backend executing
+the predicate (the simulation kernel tracks held locks per ``SimThread``;
+the OS backend tracks them via ``TrackedLock``), not to the predicate.
+
+Backends publish the current thread's held-lock set here immediately
+before evaluating predicates; predicates read it via :func:`held_locks`
+and :func:`is_lock_type_held`.  The simulation kernel is single-threaded,
+and the OS backend keys by ``threading.get_ident``, so no extra locking is
+needed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+__all__ = [
+    "push_held_locks",
+    "pop_held_locks",
+    "held_locks",
+    "is_lock_type_held",
+    "lock_tag",
+]
+
+_local = threading.local()
+
+
+def push_held_locks(locks: Sequence[object]) -> None:
+    """Publish the held-lock set of the current execution context."""
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    stack.append(tuple(locks))
+
+
+def pop_held_locks() -> None:
+    """Remove the most recently published held-lock set."""
+    stack = getattr(_local, "stack", None)
+    if stack:
+        stack.pop()
+
+
+def held_locks() -> tuple:
+    """Locks held by the logical thread whose predicate is being evaluated.
+
+    Returns an empty tuple when no backend has published one (e.g. a
+    predicate evaluated outside any trigger call, as in unit tests).
+    """
+    stack = getattr(_local, "stack", None)
+    if not stack:
+        return ()
+    return stack[-1]
+
+
+def lock_tag(lock: object) -> str | None:
+    """Best-effort type tag of a lock object.
+
+    Locks created by the library (``SimLock``, ``TrackedLock``) carry a
+    ``tag`` attribute; for anything else the class name is used.
+    """
+    tag = getattr(lock, "tag", None)
+    if tag is not None:
+        return tag
+    return type(lock).__name__
+
+
+def is_lock_type_held(tag: str, locks: Iterable[object] | None = None) -> bool:
+    """The paper's ``isLockTypeHeld(type)`` local-predicate refinement.
+
+    True when the current context holds any lock whose :func:`lock_tag`
+    equals ``tag``.
+    """
+    if locks is None:
+        locks = held_locks()
+    return any(lock_tag(lk) == tag for lk in locks)

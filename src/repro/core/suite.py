@@ -1,0 +1,151 @@
+"""Breakpoint suites: portable, serialisable bug reports.
+
+The paper's motivation (Section 1): sequential bugs are reported to a bug
+database as *inputs*; concurrent breakpoints play the same role for
+Heisenbugs — "a set of concurrent breakpoints specifies the necessary
+information about a thread schedule that leads a program to a bug", and
+"anyone can reproduce the bug deterministically without requiring the
+original testing framework and its runtime".
+
+A :class:`BreakpointSuite` is that attachable artefact: the breakpoints'
+specs, insertion points, pause times and refinements, serialisable to
+JSON for a bug tracker and loadable back into a regression run.  The
+suite describes *what to insert where*; executing it is the two-line
+``trigger_here`` insertion the developer (or the app layer's bug ids)
+performs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional
+
+__all__ = ["BreakpointEntry", "BreakpointSuite"]
+
+_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class BreakpointEntry:
+    """One breakpoint of a suite: the ``(l1, l2, phi)`` record plus the
+    runtime parameters that made the bug reproducible."""
+
+    name: str
+    kind: str  # conflict | deadlock | atomicity | group
+    loc_first: str  # l1: the first-action insertion point
+    loc_second: str  # l2: the second-action insertion point
+    predicate: str = "t1.obj == t2.obj"
+    timeout: float = 0.100
+    #: Section 6.3 refinements that were needed.
+    ignore_first: int = 0
+    bound: Optional[int] = None
+    require_lock_tag: Optional[str] = None
+    #: For group breakpoints: the party size (2 for ordinary pairs).
+    parties: int = 2
+    notes: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BreakpointEntry":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown breakpoint fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def render(self) -> str:
+        """The paper-style one-liner: ``<l1, l2, phi>``."""
+        extras = []
+        if self.timeout != 0.100:
+            extras.append(f"wait={self.timeout * 1000:.0f}ms")
+        if self.ignore_first:
+            extras.append(f"ignoreFirst={self.ignore_first}")
+        if self.bound is not None:
+            extras.append(f"bound={self.bound}")
+        if self.require_lock_tag:
+            extras.append(f"isLockTypeHeld({self.require_lock_tag})")
+        if self.parties != 2:
+            extras.append(f"parties={self.parties}")
+        suffix = f"  [{', '.join(extras)}]" if extras else ""
+        return f"<{self.loc_first}, {self.loc_second}, {self.predicate}>{suffix}"
+
+
+@dataclasses.dataclass
+class BreakpointSuite:
+    """A named set of breakpoints that reproduces one Heisenbug."""
+
+    bug_id: str
+    program: str
+    entries: List[BreakpointEntry] = dataclasses.field(default_factory=list)
+    expected_error: str = ""
+    description: str = ""
+
+    # ------------------------------------------------------------------
+    def add(self, entry: BreakpointEntry) -> "BreakpointSuite":
+        if any(e.name == entry.name for e in self.entries):
+            raise ValueError(f"duplicate breakpoint name {entry.name!r}")
+        self.entries.append(entry)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    def to_json(self, indent: int = 2) -> str:
+        payload = {
+            "schema": _SCHEMA_VERSION,
+            "bug_id": self.bug_id,
+            "program": self.program,
+            "expected_error": self.expected_error,
+            "description": self.description,
+            "breakpoints": [e.to_dict() for e in self.entries],
+        }
+        return json.dumps(payload, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "BreakpointSuite":
+        payload = json.loads(text)
+        schema = payload.get("schema")
+        if schema != _SCHEMA_VERSION:
+            raise ValueError(f"unsupported suite schema {schema!r}")
+        suite = cls(
+            bug_id=payload["bug_id"],
+            program=payload["program"],
+            expected_error=payload.get("expected_error", ""),
+            description=payload.get("description", ""),
+        )
+        for entry in payload["breakpoints"]:
+            suite.add(BreakpointEntry.from_dict(entry))
+        return suite
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "BreakpointSuite":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable bug-report attachment."""
+        lines = [
+            f"Concurrent breakpoint suite: {self.bug_id} ({self.program})",
+        ]
+        if self.description:
+            lines.append(f"  {self.description}")
+        if self.expected_error:
+            lines.append(f"  expected error: {self.expected_error}")
+        for e in self.entries:
+            lines.append(f"  {e.name}: {e.render()}")
+            lines.append(
+                f"      insert trigger_here(True, {e.timeout}) at {e.loc_first}"
+            )
+            lines.append(
+                f"      insert trigger_here(False, {e.timeout}) at {e.loc_second}"
+            )
+        return "\n".join(lines)

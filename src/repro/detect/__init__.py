@@ -1,0 +1,54 @@
+"""``repro.detect`` — dynamic analyses over simulation traces.
+
+These are the "testing tool" substrates of the paper's two breakpoint
+insertion methodologies (Section 5):
+
+* Methodology I consumes bug reports — :func:`eraser_races` /
+  :func:`hb_races` for data races, :func:`potential_deadlocks` for lock
+  inversions, :func:`atomicity_violations` for unserializable regions —
+  and each report suggests the corresponding breakpoint insertions.
+* Methodology II consumes :func:`lock_contentions`, probing each
+  contention pair with a breakpoint in both resolution orders.
+"""
+
+from .analyze import AnalysisReport, analyze
+from .atomicity import UNSERIALIZABLE, atomicity_violations
+from .atomizer import AtomizerReport, atomizer_violations
+from .contention import lock_contentions
+from .hbrace import HBDetector, hb_races
+from .lockgraph import LockGraph, potential_deadlocks
+from .lockset import LocksetDetector, eraser_races
+from .reports import (
+    AtomicityReport,
+    BugReport,
+    ContentionReport,
+    DeadlockReport,
+    Insertion,
+    RaceReport,
+    dedupe,
+)
+from .vectorclock import VectorClock
+
+__all__ = [
+    "AnalysisReport",
+    "analyze",
+    "UNSERIALIZABLE",
+    "atomicity_violations",
+    "AtomizerReport",
+    "atomizer_violations",
+    "lock_contentions",
+    "HBDetector",
+    "hb_races",
+    "LockGraph",
+    "potential_deadlocks",
+    "LocksetDetector",
+    "eraser_races",
+    "AtomicityReport",
+    "BugReport",
+    "ContentionReport",
+    "DeadlockReport",
+    "Insertion",
+    "RaceReport",
+    "dedupe",
+    "VectorClock",
+]

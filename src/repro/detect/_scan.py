@@ -1,0 +1,34 @@
+"""Shared trace-scanning helpers for the detectors."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.sim.trace import OP, Event
+
+__all__ = ["HeldLockTracker"]
+
+
+class HeldLockTracker:
+    """Replays ACQUIRE/RELEASE events to know each thread's held locks.
+
+    The kernel records these ops only at ownership transitions (nested
+    reentrant entries are silent), so a simple per-thread list is exact.
+    Feed every event to :meth:`update` in trace order, then query
+    :meth:`held`.
+    """
+
+    def __init__(self) -> None:
+        self._held: Dict[int, List[Any]] = {}
+
+    def update(self, ev: Event) -> None:
+        if ev.op == OP.ACQUIRE:
+            self._held.setdefault(ev.tid, []).append(ev.obj)
+        elif ev.op == OP.RELEASE:
+            locks = self._held.get(ev.tid)
+            if locks and ev.obj in locks:
+                locks.remove(ev.obj)
+
+    def held(self, tid: int) -> List[Any]:
+        """Locks currently held by ``tid`` (insertion order)."""
+        return self._held.get(tid, [])

@@ -1,0 +1,83 @@
+"""One-stop dynamic analysis: every detector over one trace.
+
+``analyze(trace)`` runs the full battery — Eraser locksets, vector-clock
+happens-before, lock-order graph, lock contentions, AVIO atomicity and
+Atomizer reduction — and returns a structured :class:`AnalysisReport`.
+This is the "run the conflict detector" step of both methodologies as a
+single call, and the backend of ``python -m repro analyze``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.sim.trace import Trace
+
+from .atomicity import atomicity_violations
+from .atomizer import AtomizerReport, atomizer_violations
+from .contention import lock_contentions
+from .hbrace import hb_races
+from .lockgraph import potential_deadlocks
+from .lockset import eraser_races
+from .reports import AtomicityReport, ContentionReport, DeadlockReport, RaceReport
+
+__all__ = ["AnalysisReport", "analyze"]
+
+
+@dataclasses.dataclass
+class AnalysisReport:
+    """Everything the detectors found in one trace."""
+
+    lockset_races: List[RaceReport]
+    hb_races: List[RaceReport]
+    deadlocks: List[DeadlockReport]
+    contentions: List[ContentionReport]
+    atomicity: List[AtomicityReport]
+    reduction: List[AtomizerReport]
+
+    @property
+    def total_findings(self) -> int:
+        return (
+            len(self.lockset_races)
+            + len(self.hb_races)
+            + len(self.deadlocks)
+            + len(self.contentions)
+            + len(self.atomicity)
+            + len(self.reduction)
+        )
+
+    def breakpoint_candidates(self):
+        """The findings that directly suggest breakpoint insertions
+        (Methodology I inputs): races, deadlocks and atomicity
+        violations.  Contentions are Methodology II raw material."""
+        return [*self.lockset_races, *self.deadlocks, *self.atomicity]
+
+    def render(self) -> str:
+        sections = [
+            ("Data races (Eraser lockset)", self.lockset_races),
+            ("Data races (happens-before witnesses)", self.hb_races),
+            ("Potential deadlocks (lock-order graph)", self.deadlocks),
+            ("Lock contentions", self.contentions),
+            ("Atomicity violations (AVIO witnesses)", self.atomicity),
+            ("Atomicity violations (reduction analysis)", self.reduction),
+        ]
+        lines = []
+        for title, findings in sections:
+            lines.append(f"== {title}: {len(findings)}")
+            for f in findings:
+                body = f.render()
+                lines.extend("  " + line for line in body.splitlines())
+        return "\n".join(lines)
+
+
+def analyze(trace: Trace) -> AnalysisReport:
+    """Run every detector over ``trace``."""
+    return AnalysisReport(
+        lockset_races=list(eraser_races(trace)),
+        hb_races=list(hb_races(trace)),
+        deadlocks=list(potential_deadlocks(trace)),
+        contentions=list(lock_contentions(trace)),
+        atomicity=list(atomicity_violations(trace)),
+        reduction=list(atomizer_violations(trace)),
+    )

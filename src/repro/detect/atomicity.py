@@ -1,0 +1,111 @@
+"""Atomicity-violation detection over intended-atomic regions.
+
+Programs mark regions they *intend* to be atomic with the
+``BeginAtomic``/``EndAtomic`` syscalls (the analogue of the atomicity
+annotations assumed by Atomizer/AVIO, paper refs [11, 32]).  Within a
+region executed by thread *t*, for each pair of consecutive accesses
+``(a1, a2)`` to the same cell, an interleaved conflicting access ``r`` by
+another thread is unserializable when the op triple matches one of the
+four AVIO patterns:
+
+====  ====  ====  =================================================
+a1    r     a2    meaning
+====  ====  ====  =================================================
+R     W     R     stale second read (the StringBuffer bug's shape)
+W     W     R     local read sees foreign write
+W     R     W     remote read observes intermediate state
+R     W     W     remote write lost
+====  ====  ====  =================================================
+
+Reports carry both local sites and the remote site — the ingredients of
+an :class:`AtomicityTrigger` pair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Tuple
+
+from repro.sim.trace import OP, Trace
+
+from .reports import AtomicityReport, dedupe
+
+__all__ = ["atomicity_violations", "UNSERIALIZABLE"]
+
+#: The four unserializable (local, remote, local) op triples.
+UNSERIALIZABLE = {
+    ("read", "write", "read"),
+    ("write", "write", "read"),
+    ("write", "read", "write"),
+    ("read", "write", "write"),
+}
+
+
+@dataclasses.dataclass
+class _Region:
+    label: str
+    tid: int
+    tname: str
+    start_seq: int
+    # last access per cell inside this region: (seq, op, loc)
+    last: Dict[Any, Tuple[int, str, str]] = dataclasses.field(default_factory=dict)
+
+
+def atomicity_violations(trace: Trace) -> List[AtomicityReport]:
+    """Scan a trace for AVIO-pattern violations of marked regions."""
+    open_regions: Dict[int, List[_Region]] = {}
+    # Remote accesses are found by a second pass over the events between
+    # two local accesses; for efficiency we index accesses per cell.
+    accesses: Dict[Any, List[Tuple[int, int, str, str, str]]] = {}
+    # (seq, tid, op, loc, tname) per cell
+    for ev in trace:
+        if ev.op == OP.READ or ev.op == OP.WRITE:
+            op = "write" if ev.op == OP.WRITE else "read"
+            accesses.setdefault(ev.obj, []).append((ev.seq, ev.tid, op, ev.loc, ev.tname))
+
+    reports: List[AtomicityReport] = []
+
+    def check_pair(
+        region: _Region, cell: Any, a1: Tuple[int, str, str], a2: Tuple[int, str, str]
+    ) -> None:
+        seq1, op1, loc1 = a1
+        seq2, op2, loc2 = a2
+        for seq_r, tid_r, op_r, loc_r, tname_r in accesses.get(cell, ()):
+            if seq1 < seq_r < seq2 and tid_r != region.tid:
+                if (op1, op_r, op2) in UNSERIALIZABLE:
+                    cell_name = getattr(cell, "name", repr(cell))
+                    reports.append(
+                        AtomicityReport(
+                            name=f"atomicity:{region.label}:{cell_name}",
+                            loc1=loc1,
+                            loc2=loc2,
+                            cell=cell_name,
+                            region=region.label,
+                            loc_remote=loc_r,
+                            pattern=(op1, op_r, op2),
+                            thread_local=region.tname,
+                            thread_remote=tname_r,
+                        )
+                    )
+
+    for ev in trace:
+        if ev.op == OP.ATOMIC_BEGIN:
+            open_regions.setdefault(ev.tid, []).append(
+                _Region(label=ev.extra or "", tid=ev.tid, tname=ev.tname, start_seq=ev.seq)
+            )
+        elif ev.op == OP.ATOMIC_END:
+            stack = open_regions.get(ev.tid)
+            if stack:
+                stack.pop()
+        elif ev.op == OP.READ or ev.op == OP.WRITE:
+            stack = open_regions.get(ev.tid)
+            if not stack:
+                continue
+            op = "write" if ev.op == OP.WRITE else "read"
+            for region in stack:
+                prev = region.last.get(ev.obj)
+                if prev is not None:
+                    check_pair(region, ev.obj, prev, (ev.seq, op, ev.loc))
+                region.last[ev.obj] = (ev.seq, op, ev.loc)
+
+    return dedupe(reports)  # type: ignore[return-value]

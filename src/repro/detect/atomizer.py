@@ -1,0 +1,128 @@
+"""Atomizer-style reduction-based atomicity checking (Flanagan & Freund,
+paper ref [11]).
+
+A second, independent algorithm for the same question the AVIO-pattern
+checker (:mod:`repro.detect.atomicity`) answers.  Atomizer applies
+Lipton's theory of reduction: a block is atomic if its operations form
+the pattern ``R* [N] L*`` where
+
+* lock **acquires** are right-movers (R) — they commute later,
+* lock **releases** are left-movers (L) — they commute earlier,
+* **race-free** accesses are both-movers (B, compatible with any slot),
+* **racy** accesses (per the Eraser lockset analysis) are non-movers (N),
+  of which at most one may appear, between the R-phase and the L-phase.
+
+A region violating the pattern cannot be serialised by commuting its
+operations to a single point — an atomicity warning, even if *this*
+schedule happened to be benign.  That predictive power is the practical
+difference from the witness-based AVIO checker, and the two are
+cross-checked in ``tests/detect/test_atomizer.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Set
+
+from repro.sim.trace import OP, Trace
+
+from .lockset import LocksetDetector
+
+__all__ = ["AtomizerReport", "atomizer_violations"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AtomizerReport:
+    """A marked region whose event sequence is not reducible."""
+
+    region: str
+    thread: str
+    #: The op sequence as mover classes, e.g. "RBNBLN".
+    pattern: str
+    #: The event (op, loc) that broke the pattern.
+    violation_op: str
+    violation_loc: str
+
+    def render(self) -> str:
+        return (
+            f"Atomicity (reduction) violation in region {self.region!r} "
+            f"[{self.thread}]: pattern {self.pattern!r} is not R*[N]L* — "
+            f"{self.violation_op} at {self.violation_loc} cannot move."
+        )
+
+
+def _racy_cells(trace: Trace) -> Set[Any]:
+    """Cells the lockset analysis considers race-prone."""
+    det = LocksetDetector().feed(trace)
+    racy = set()
+    for cell, info in det._cells.items():  # noqa: SLF001 - same package
+        if info.reported:
+            racy.add(cell)
+    return racy
+
+
+def atomizer_violations(trace: Trace) -> List[AtomizerReport]:
+    """Check every marked atomic region for Lipton reducibility."""
+    racy = _racy_cells(trace)
+    reports: List[AtomizerReport] = []
+    # Per thread: stack of (label, mover-string, phase, violation)
+    open_regions: Dict[int, List[dict]] = {}
+
+    def classify(ev) -> Optional[str]:
+        if ev.op == OP.ACQUIRE:
+            return "R"
+        if ev.op == OP.RELEASE:
+            return "L"
+        if ev.op in (OP.READ, OP.WRITE):
+            return "N" if ev.obj in racy else "B"
+        return None  # other ops don't affect reducibility here
+
+    for ev in trace:
+        if ev.op == OP.ATOMIC_BEGIN:
+            open_regions.setdefault(ev.tid, []).append(
+                {"label": ev.extra or "", "tname": ev.tname, "pattern": [],
+                 "phase": "pre", "violation": None}
+            )
+            continue
+        if ev.op == OP.ATOMIC_END:
+            stack = open_regions.get(ev.tid)
+            if not stack:
+                continue
+            region = stack.pop()
+            if region["violation"] is not None:
+                op, loc = region["violation"]
+                reports.append(
+                    AtomizerReport(
+                        region=region["label"],
+                        thread=region["tname"],
+                        pattern="".join(region["pattern"]),
+                        violation_op=op,
+                        violation_loc=loc,
+                    )
+                )
+            continue
+
+        for region in open_regions.get(ev.tid, ()):
+            mover = classify(ev)
+            if mover is None:
+                continue
+            region["pattern"].append(mover)
+            if region["violation"] is not None:
+                continue
+            phase = region["phase"]
+            # Phases: pre (R/B ok) -> committed (after N or first L) ->
+            # post (only L/B ok).  A second N, or an R after the commit
+            # point, breaks R*[N]L*.
+            if mover == "B":
+                continue
+            if mover == "R":
+                if phase != "pre":
+                    region["violation"] = (ev.op, ev.loc)
+            elif mover == "N":
+                if phase == "pre":
+                    region["phase"] = "committed"
+                else:
+                    region["violation"] = (ev.op, ev.loc)
+            elif mover == "L":
+                region["phase"] = "committed"
+    return reports

@@ -1,0 +1,68 @@
+"""Lock-contention reporting (Methodology II, paper Section 5).
+
+For the log4j missed-notification case study the paper runs "a conflict
+detector" and receives a list of *lock contentions* — pairs of program
+sites that acquire the same monitor from different threads.  Each pair is
+then probed with a concurrent breakpoint in both resolution orders.
+
+This detector produces that list: for every lock, every unordered pair of
+distinct acquisition sites used by at least two distinct threads overall.
+Site pairs are ordered deterministically so experiment tables are stable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Set
+
+from repro.sim.trace import OP, Trace
+
+from .reports import ContentionReport
+
+__all__ = ["lock_contentions"]
+
+
+def lock_contentions(trace: Trace, include_self_pairs: bool = False) -> List[ContentionReport]:
+    """All contention pairs witnessed in a trace.
+
+    ``include_self_pairs`` additionally reports a site contending with
+    itself when two different threads acquire the lock at the same
+    location (relevant for symmetric worker threads).
+    """
+    sites: Dict[Any, Dict[str, Set[str]]] = {}
+    for ev in trace:
+        if ev.op == OP.ACQUIRE or ev.op == OP.ACQUIRE_REQ:
+            sites.setdefault(ev.obj, {}).setdefault(ev.loc, set()).add(ev.tname)
+
+    out: List[ContentionReport] = []
+    for lock, by_site in sites.items():
+        all_threads = set().union(*by_site.values())
+        if len(all_threads) < 2:
+            continue  # never actually shared
+        lock_name = getattr(lock, "name", str(lock))
+        for loc1, loc2 in itertools.combinations(sorted(by_site), 2):
+            # Contention requires the two sites to be reachable by
+            # different threads.
+            if by_site[loc1] | by_site[loc2] > by_site[loc1] & by_site[loc2] or len(
+                by_site[loc1] | by_site[loc2]
+            ) >= 2:
+                out.append(
+                    ContentionReport(
+                        name=f"contention:{lock_name}:{loc1}|{loc2}",
+                        loc1=loc1,
+                        loc2=loc2,
+                        lock=lock_name,
+                    )
+                )
+        if include_self_pairs:
+            for loc, threads in sorted(by_site.items()):
+                if len(threads) >= 2:
+                    out.append(
+                        ContentionReport(
+                            name=f"contention:{lock_name}:{loc}|{loc}",
+                            loc1=loc,
+                            loc2=loc,
+                            lock=lock_name,
+                        )
+                    )
+    return out

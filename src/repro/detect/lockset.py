@@ -1,0 +1,128 @@
+"""Eraser-style lockset data-race detection (Savage et al., cited as [37]).
+
+The paper's Methodology II starts by running "an off-the-shelf data race
+detector such as Eraser to find all potential conflicting states".  This
+is that detector, operating on kernel traces.
+
+Per shared location ``v`` the classic state machine is tracked:
+
+* **Virgin** — never accessed;
+* **Exclusive** — touched by a single thread (no lockset refinement yet);
+* **Shared** — read by multiple threads (refine ``C(v)`` but don't warn);
+* **Shared-Modified** — written by multiple threads: refine ``C(v)`` and
+  warn when it becomes empty.
+
+``C(v)`` is the intersection of the lock sets held at each refining
+access.  A warning names the two most recent conflicting access sites —
+exactly what a breakpoint insertion needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.sim.trace import OP, Trace
+
+from ._scan import HeldLockTracker
+from .reports import RaceReport, dedupe
+
+__all__ = ["LocksetDetector", "eraser_races"]
+
+
+class _State(enum.Enum):
+    VIRGIN = 0
+    EXCLUSIVE = 1
+    SHARED = 2
+    SHARED_MODIFIED = 3
+
+
+@dataclasses.dataclass
+class _CellInfo:
+    state: _State = _State.VIRGIN
+    first_tid: Optional[int] = None
+    lockset: Optional[Set[Any]] = None  # None = not yet refined (full set)
+    last_write: Optional[Tuple[str, str]] = None  # (loc, tname)
+    last_access: Optional[Tuple[str, str, str]] = None  # (loc, tname, op)
+    reported: bool = False
+
+
+class LocksetDetector:
+    """Streaming Eraser over one trace."""
+
+    def __init__(self) -> None:
+        self._tracker = HeldLockTracker()
+        self._cells: Dict[Any, _CellInfo] = {}
+        self.reports: List[RaceReport] = []
+
+    def feed(self, trace: Trace) -> "LocksetDetector":
+        for ev in trace:
+            self._tracker.update(ev)
+            if ev.op == OP.READ or ev.op == OP.WRITE:
+                self._access(ev)
+        return self
+
+    # ------------------------------------------------------------------
+    def _access(self, ev) -> None:
+        cell = ev.obj
+        info = self._cells.get(cell)
+        if info is None:
+            info = self._cells[cell] = _CellInfo()
+        is_write = ev.op == OP.WRITE
+        held = set(self._tracker.held(ev.tid))
+
+        if info.state is _State.VIRGIN:
+            info.state = _State.EXCLUSIVE
+            info.first_tid = ev.tid
+        elif info.state is _State.EXCLUSIVE:
+            if ev.tid != info.first_tid:
+                info.state = _State.SHARED_MODIFIED if is_write else _State.SHARED
+                info.lockset = set(held)
+        elif info.state is _State.SHARED:
+            self._refine(info, held)
+            if is_write:
+                info.state = _State.SHARED_MODIFIED
+        # SHARED_MODIFIED falls through to the refinement below.
+        if info.state is _State.SHARED_MODIFIED:
+            self._refine(info, held)
+            if not info.lockset and not info.reported:
+                self._report(cell, info, ev, is_write)
+
+        if is_write:
+            info.last_write = (ev.loc, ev.tname)
+        info.last_access = (ev.loc, ev.tname, "write" if is_write else "read")
+
+    @staticmethod
+    def _refine(info: _CellInfo, held: Set[Any]) -> None:
+        if info.lockset is None:
+            info.lockset = set(held)
+        else:
+            info.lockset &= held
+
+    def _report(self, cell, info: _CellInfo, ev, is_write: bool) -> None:
+        info.reported = True
+        prev_loc, prev_thread, prev_op = info.last_access or ("?", "?", "?")
+        # Prefer pairing against the last *write* when this access is a read.
+        if not is_write and info.last_write is not None:
+            prev_loc, prev_thread = info.last_write
+            prev_op = "write"
+        cell_name = getattr(cell, "name", repr(cell))
+        self.reports.append(
+            RaceReport(
+                name=f"race:{cell_name}",
+                loc1=prev_loc,
+                loc2=ev.loc,
+                cell=cell_name,
+                thread1=prev_thread,
+                thread2=ev.tname,
+                op1=prev_op,
+                op2="write" if is_write else "read",
+            )
+        )
+
+
+def eraser_races(trace: Trace) -> List[RaceReport]:
+    """All Eraser warnings for a trace, deduplicated by location pair."""
+    det = LocksetDetector().feed(trace)
+    return dedupe(det.reports)  # type: ignore[return-value]

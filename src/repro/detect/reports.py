@@ -1,0 +1,200 @@
+"""Bug reports and breakpoint suggestions (Methodology I, paper Section 5).
+
+The paper's workflow: a testing tool (CalFuzzer/Eraser) emits a report
+naming two program locations and the shared object involved; the developer
+inserts a pair of ``triggerHere`` calls at those locations.  Our detectors
+emit these dataclasses, each of which can render itself in the paper's
+report format and *suggest* the corresponding breakpoint — the
+``(l1, l2, phi)`` spec plus the two insertion descriptors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.core.spec import CBSpec
+
+__all__ = [
+    "Insertion",
+    "BugReport",
+    "RaceReport",
+    "DeadlockReport",
+    "ContentionReport",
+    "AtomicityReport",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Insertion:
+    """One ``trigger_here`` insertion: where, and with which action flag."""
+
+    loc: str
+    is_first_action: bool
+    trigger_kind: str  # ConflictTrigger | DeadlockTrigger | AtomicityTrigger
+    args_hint: str  # human description of the constructor arguments
+
+    def __str__(self) -> str:
+        return (
+            f"insert ({self.trigger_kind}(name, {self.args_hint}))"
+            f".trigger_here({self.is_first_action}, GLOBAL.timeout) at {self.loc}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class BugReport:
+    """Base class: a detector finding tied to two locations."""
+
+    name: str
+    loc1: str
+    loc2: str
+
+    kind: str = dataclasses.field(default="generic", init=False)
+
+    def spec(self) -> CBSpec:
+        return CBSpec(self.name, self.loc1, self.loc2, kind=self.kind)
+
+    def insertions(self) -> Tuple[Insertion, Insertion]:
+        raise NotImplementedError
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class RaceReport(BugReport):
+    """A data race: conflicting accesses to one cell, at least one write."""
+
+    cell: str = ""
+    thread1: str = ""
+    thread2: str = ""
+    op1: str = "write"
+    op2: str = "read"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", "race")
+
+    def render(self) -> str:
+        """The paper's CalFuzzer-style race report (Section 5)."""
+        return (
+            "Data race detected between\n"
+            f"  access of {self.cell} ({self.op1}) at {self.loc1}, and\n"
+            f"  access of {self.cell} ({self.op2}) at {self.loc2}."
+        )
+
+    def insertions(self) -> Tuple[Insertion, Insertion]:
+        hint = f"ref to {self.cell}"
+        return (
+            Insertion(self.loc1, True, "ConflictTrigger", hint),
+            Insertion(self.loc2, False, "ConflictTrigger", hint),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DeadlockReport(BugReport):
+    """A potential ABBA deadlock from the lock-order graph.
+
+    ``loc1`` is where ``lock2`` is acquired while holding ``lock1``;
+    ``loc2`` is the reverse-order site.
+    """
+
+    lock1: str = ""
+    lock2: str = ""
+    thread1: str = ""
+    thread2: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", "deadlock")
+
+    def render(self) -> str:
+        """The paper's CalFuzzer-style deadlock report (Section 5)."""
+        return (
+            "Deadlock found:\n"
+            f"  {self.thread1 or 'ThreadA'} trying to acquire lock {self.lock2} while\n"
+            f"    holding lock {self.lock1} at {self.loc1}\n"
+            f"  {self.thread2 or 'ThreadB'} trying to acquire lock {self.lock1} while\n"
+            f"    holding lock {self.lock2} at {self.loc2}"
+        )
+
+    def insertions(self) -> Tuple[Insertion, Insertion]:
+        return (
+            Insertion(self.loc1, True, "DeadlockTrigger", f"{self.lock1}, {self.lock2}"),
+            Insertion(self.loc2, False, "DeadlockTrigger", f"{self.lock2}, {self.lock1}"),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ContentionReport(BugReport):
+    """Two sites contending for the same lock (Methodology II raw material).
+
+    Not a bug by itself — the paper enumerates contentions, inserts a
+    breakpoint per pair, and tries both resolution orders to localise a
+    missed-notification stall.
+    """
+
+    lock: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", "contention")
+
+    def render(self) -> str:
+        return f"Lock contention:\n  {self.loc1},\n  {self.loc2}"
+
+    def insertions(self) -> Tuple[Insertion, Insertion]:
+        hint = f"monitor {self.lock}"
+        return (
+            Insertion(self.loc1, True, "ConflictTrigger", hint),
+            Insertion(self.loc2, False, "ConflictTrigger", hint),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class AtomicityReport(BugReport):
+    """An unserializable interleaving inside an intended-atomic region.
+
+    ``loc1``/``loc2`` are the region's two local accesses; ``loc_remote``
+    is the interleaved conflicting access by the other thread; ``pattern``
+    is the AVIO-style triple, e.g. ``('read', 'write', 'read')``.
+    """
+
+    cell: str = ""
+    region: str = ""
+    loc_remote: str = ""
+    pattern: Tuple[str, str, str] = ("read", "write", "read")
+    thread_local: str = ""
+    thread_remote: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", "atomicity")
+
+    def render(self) -> str:
+        p = "-".join(x[0].upper() for x in self.pattern)
+        return (
+            f"Atomicity violation ({p}) in region {self.region!r}:\n"
+            f"  {self.thread_local} accesses {self.cell} at {self.loc1} then {self.loc2},\n"
+            f"  interleaved {self.pattern[1]} by {self.thread_remote} at {self.loc_remote}."
+        )
+
+    def insertions(self) -> Tuple[Insertion, Insertion]:
+        hint = f"ref to {self.cell}"
+        return (
+            Insertion(self.loc_remote, True, "AtomicityTrigger", hint),
+            Insertion(self.loc1, False, "AtomicityTrigger", hint),
+        )
+
+
+def dedupe(reports: List[BugReport]) -> List[BugReport]:
+    """Collapse repeated findings to one report per distinct conflict.
+
+    The key includes the report ``name`` (which carries the cell / lock
+    identity) as well as the location pair: two different cells accessed
+    from the same helper lines are different races, not duplicates.
+    """
+    seen = set()
+    out: List[BugReport] = []
+    for r in reports:
+        key = (r.kind, r.name, *sorted((r.loc1, r.loc2)))
+        if key not in seen:
+            seen.add(key)
+            out.append(r)
+    return out

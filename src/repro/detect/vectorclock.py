@@ -1,0 +1,65 @@
+"""Vector clocks for happens-before reasoning.
+
+Keyed by thread id; missing components are zero.  Used by the
+happens-before race detector and tested independently for the partial
+order laws (property tests in ``tests/detect``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator
+
+__all__ = ["VectorClock"]
+
+
+class VectorClock:
+    """A sparse integer vector clock over hashable thread ids."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, clocks: Dict[Hashable, int] | None = None) -> None:
+        self._c: Dict[Hashable, int] = dict(clocks) if clocks else {}
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def get(self, tid: Hashable) -> int:
+        return self._c.get(tid, 0)
+
+    def tick(self, tid: Hashable) -> None:
+        """Advance this thread's own component (a local step)."""
+        self._c[tid] = self._c.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Component-wise maximum, in place (synchronisation receive)."""
+        for tid, v in other._c.items():
+            if v > self._c.get(tid, 0):
+                self._c[tid] = v
+
+    def __le__(self, other: "VectorClock") -> bool:
+        """Happens-before-or-equal: every component <= other's."""
+        return all(v <= other._c.get(tid, 0) for tid, v in self._c.items())
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self <= other and self != other
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        # Zero components are implicit, so normalise.
+        keys = set(self._c) | set(other._c)
+        return all(self.get(k) == other.get(k) for k in keys)
+
+    def __hash__(self) -> int:  # pragma: no cover - VCs are mutable; not hashable
+        raise TypeError("VectorClock is mutable and unhashable")
+
+    def concurrent(self, other: "VectorClock") -> bool:
+        """Neither ordered before the other: the race condition test."""
+        return not (self <= other) and not (other <= self)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._c.items())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{t}:{v}" for t, v in sorted(self._c.items(), key=str))
+        return f"VC({inner})"

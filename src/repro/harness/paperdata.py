@@ -1,0 +1,102 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Transcribed from Table 1, Table 2 and the Section 5 table of
+UCB/EECS-2011-159.  The benchmark harness prints these next to our
+measurements so EXPERIMENTS.md can record paper-vs-measured per row.
+``None`` means the paper omitted the value (e.g. Jigsaw runtimes,
+missed-notification runtimes detected by large timeouts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+__all__ = ["PaperRow1", "PaperRow2", "TABLE1", "TABLE2", "SECTION5", "SECTION62"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PaperRow1:
+    loc: str
+    normal_runtime: Optional[float]
+    bp_runtime: Optional[float]
+    overhead_pct: Optional[float]
+    error: str
+    probability: float
+    comments: str = ""
+
+
+#: (app, bug) -> paper Table 1 row.
+TABLE1: Dict[Tuple[str, str], PaperRow1] = {
+    ("cache4j", "race1"): PaperRow1("3897", 1.992, 2.089, 4.9, "", 1.00),
+    ("cache4j", "race2"): PaperRow1("3897", 1.992, 2.116, 6.2, "", 0.99),
+    ("cache4j", "race3"): PaperRow1("3897", 1.992, 2.101, 5.5, "", 1.00),
+    ("cache4j", "atomicity1"): PaperRow1("3897", 1.992, 2.051, 3.0, "", 1.00, "ignoreFirst=7200"),
+    ("hedc", "race1"): PaperRow1("29,947", 1.780, 2.042, 14.7, "", 0.87, "wait=100ms"),
+    ("hedc", "race2"): PaperRow1("29,947", 1.780, 1.659, -6.8, "", 0.96, "wait=1000ms"),
+    ("jigsaw", "deadlock1"): PaperRow1("160K", None, None, None, "stall", 1.00),
+    ("jigsaw", "deadlock2"): PaperRow1("160K", None, None, None, "stall", 1.00),
+    ("jigsaw", "missed-notify1"): PaperRow1("160K", None, None, None, "stall", 1.00, "Meth. II"),
+    ("jigsaw", "race1"): PaperRow1("160K", None, None, None, "stall", 1.00),
+    ("jigsaw", "race2"): PaperRow1("160K", None, None, None, "", 1.00),
+    ("log4j", "deadlock1"): PaperRow1("32,095", 0.190, 0.208, 9.0, "stall", 1.00),
+    ("log4j", "missed-notify1"): PaperRow1("32,095", 0.135, None, None, "stall", 1.00, "Meth. II"),
+    ("logging", "deadlock1"): PaperRow1("4250", 0.140, 0.140, 0.0, "stall", 1.00),
+    ("lucene", "deadlock1"): PaperRow1("171K", 0.136, 0.159, 17.0, "stall", 1.00),
+    ("moldyn", "race1"): PaperRow1("1290", 1.098, 1.204, 9.7, "", 1.00, "bound=4"),
+    ("moldyn", "race2"): PaperRow1("1290", 1.098, 1.302, 18.6, "", 1.00, "bound=10"),
+    ("montecarlo", "race1"): PaperRow1("3560", 1.841, 2.162, 17.4, "", 1.00, "bound=10"),
+    ("pool", "missed-notify1"): PaperRow1("11,025", 0.131, None, None, "stall", 1.00, "Meth. II"),
+    ("raytracer", "race1"): PaperRow1("1860", 1.097, 1.274, 16.1, "test fail", 1.00),
+    ("raytracer", "race2"): PaperRow1("1860", 1.097, 1.196, 9.0, "test fail", 1.00),
+    ("raytracer", "race3"): PaperRow1("1860", 1.097, 1.360, 24.0, "", 1.00),
+    ("raytracer", "race4"): PaperRow1("1860", 1.097, 1.428, 30.2, "", 1.00),
+    ("stringbuffer", "atomicity1"): PaperRow1("1320", 0.131, 0.159, 21.0, "exception", 1.00),
+    ("swing", "deadlock1"): PaperRow1("422K", 0.902, 5.597, 521.0, "stall", 0.63, "wait=100ms"),
+    ("synchronizedList", "atomicity1"): PaperRow1("7913", 0.134, 0.142, 6.0, "exception", 1.00),
+    ("synchronizedList", "deadlock1"): PaperRow1("7913", 0.131, 0.134, 2.0, "stall", 1.00),
+    ("synchronizedMap", "atomicity1"): PaperRow1("8626", 0.132, 0.173, 31.0, "", 1.00),
+    ("synchronizedMap", "deadlock1"): PaperRow1("8626", 0.133, 0.131, -2.0, "stall", 1.00),
+    ("synchronizedSet", "atomicity1"): PaperRow1("8626", 0.132, 0.183, 39.0, "exception", 1.00),
+    ("synchronizedSet", "deadlock1"): PaperRow1("8626", 0.132, 0.134, 2.0, "stall", 1.00),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class PaperRow2:
+    loc: str
+    error: str
+    mtte: float
+    n_cbr: int
+    comments: str = ""
+
+
+#: (app, bug) -> paper Table 2 row.
+TABLE2: Dict[Tuple[str, str], PaperRow2] = {
+    ("pbzip2", "crash1"): PaperRow2("2.0K", "program crash", 1.2, 2, "null pointer dereference"),
+    ("httpd", "logcorrupt1"): PaperRow2("270K", "log corruption", 0.14, 1, "Bug #25520"),
+    ("httpd", "crash1"): PaperRow2("270K", "server crash", 0.33, 3, "buffer overflow"),
+    ("mysql-4.0.12", "logomit1"): PaperRow2("526K", "log omission", 0.12, 2, "Bug #791"),
+    ("mysql-3.23.56", "logdisorder1"): PaperRow2("468K", "log disorder", 0.065, 1, "Bug #169"),
+    ("mysql-4.0.19", "crash1"): PaperRow2("539K", "server crash", 2.67, 3, "Bug #3596"),
+}
+
+#: Section 5 table: order label -> (stall %, BP hit %).
+SECTION5: Dict[str, Tuple[int, int]] = {
+    "100 -> 309": (0, 100),
+    "309 -> 100": (0, 100),
+    "236 -> 309": (100, 100),
+    "309 -> 236": (0, 100),
+    "100 -> 236": (0, 100),
+    "236 -> 100": (0, 100),
+    "309 -> 277": (97, 3),
+    "277 -> 309": (99, 1),
+}
+
+#: Section 6.2 pause-time study: (app, bug, wait seconds) -> probability.
+SECTION62: Dict[Tuple[str, str, float], float] = {
+    ("hedc", "race1", 0.1): 0.87,
+    ("hedc", "race1", 1.0): 1.00,
+    ("swing", "deadlock1", 0.1): 0.63,
+    ("swing", "deadlock1", 1.0): 0.99,
+}

@@ -1,0 +1,74 @@
+"""One-command regeneration of the full evaluation report.
+
+``python -m repro report --out results.md`` runs every experiment at the
+requested trial count and emits a Markdown document with the same
+structure as EXPERIMENTS.md — our measurements next to the paper's
+numbers, ready to diff against the committed results.
+"""
+
+from __future__ import annotations
+
+import io
+
+from . import paperdata
+from .tables import (
+    build_section5,
+    build_section62,
+    build_section63,
+    build_table1,
+    build_table2,
+    render,
+)
+
+__all__ = ["generate_report"]
+
+
+def _md_table(rows, header) -> str:
+    out = io.StringIO()
+    out.write("| " + " | ".join(header) + " |\n")
+    out.write("|" + "|".join("---" for _ in header) + "|\n")
+    for row in rows:
+        out.write("| " + " | ".join(row.cells()) + " |\n")
+    return out.getvalue()
+
+
+def generate_report(trials: int = 100, markdown: bool = True) -> str:
+    """Run all table experiments and return the finished report."""
+    fmt = _md_table if markdown else lambda rows, header: render(rows, header) + "\n"
+
+    t1 = build_table1(n=trials)
+    t2 = build_table2(n=trials)
+    s5 = build_section5(n=trials)
+    s62 = build_section62(n=trials)
+    s63 = build_section63(n=max(trials // 2, 10))
+
+    out = io.StringIO()
+    out.write("# Concurrent Breakpoints — regenerated evaluation\n\n")
+    out.write(f"Protocol: {trials} seeded trials per configuration "
+              "(the paper's Section 6 protocol); runtimes are virtual seconds.\n\n")
+
+    out.write("## Table 1 — Java programs\n\n")
+    out.write(fmt(t1, type(t1[0]).HEADER))
+    hit_rows = [r for r in t1 if r.probability >= 0.9]
+    out.write(f"\n{len(hit_rows)}/{len(t1)} rows reproduce at >= 0.90 "
+              "(the exceptions are the paper's own sub-1.0 rows at 100 ms).\n\n")
+
+    out.write("## Table 2 — C/C++ programs (MTTE)\n\n")
+    out.write(fmt(t2, type(t2[0]).HEADER))
+    out.write("\n")
+
+    out.write("## Section 5 — log4j conflict-resolution orders\n\n")
+    out.write(fmt(s5, type(s5[0]).HEADER))
+    culprit = [r.order for r in s5 if r.stall_pct >= 90 and r.bp_hit_pct >= 90]
+    out.write(f"\nLocalised culprit order(s): {culprit}\n\n")
+
+    out.write("## Section 6.2 — pause time\n\n")
+    out.write(fmt(s62, type(s62[0]).HEADER))
+    out.write("\n## Section 6.3 — precision refinements\n\n")
+    out.write(fmt(s63, type(s63[0]).HEADER))
+
+    out.write("\n## Paper reference values\n\n")
+    out.write("Transcribed in `repro.harness.paperdata`: "
+              f"{len(paperdata.TABLE1)} Table 1 rows, {len(paperdata.TABLE2)} Table 2 rows, "
+              f"{len(paperdata.SECTION5)} Section 5 orders.\n")
+    return out.getvalue()

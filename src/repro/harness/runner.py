@@ -1,0 +1,104 @@
+"""Trial runner: the experiment loop behind every table.
+
+The paper's protocol (Section 6): "we ran each program with the
+breakpoints 100 times to measure the empirical probability of hitting the
+breakpoint".  :func:`run_trials` is that loop — fresh app instance per
+trial, seeds ``base_seed .. base_seed+n-1``, everything deterministic and
+replayable.  :func:`measure` pairs a plain and a breakpoint configuration
+to produce the runtime-overhead columns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Type
+
+from repro.apps.base import AppConfig, BaseApp
+
+from .stats import TrialStats
+
+__all__ = ["run_trials", "measure", "OverheadRow"]
+
+
+def run_trials(
+    app_cls: Type[BaseApp],
+    n: int = 100,
+    bug: Optional[str] = None,
+    timeout: float = 0.100,
+    flip_order: bool = False,
+    use_policies: bool = True,
+    base_seed: int = 0,
+    params: Optional[Dict[str, Any]] = None,
+) -> TrialStats:
+    """Run ``n`` seeded executions of one configuration."""
+    bug_hits = bp_hits = 0
+    runtimes = []
+    error_times = []
+    for i in range(n):
+        app = app_cls(
+            AppConfig(
+                bug=bug,
+                timeout=timeout,
+                flip_order=flip_order,
+                use_policies=use_policies,
+                params=dict(params or {}),
+            )
+        )
+        run = app.run(seed=base_seed + i)
+        bug_hits += run.bug_hit
+        bp_hits += run.bp_hit()
+        runtimes.append(run.runtime)
+        if run.bug_hit and run.error_time is not None:
+            error_times.append(run.error_time)
+    return TrialStats(
+        app=app_cls.name,
+        bug=bug,
+        trials=n,
+        bug_hits=bug_hits,
+        bp_hits=bp_hits,
+        runtimes=runtimes,
+        error_times=error_times,
+    )
+
+
+@dataclasses.dataclass
+class OverheadRow:
+    """One Table 1 measurement: plain vs with-breakpoints runtime."""
+
+    app: str
+    bug: str
+    normal_runtime: float
+    bp_runtime: float
+    probability: float
+    bp_hit_rate: float
+
+    @property
+    def overhead_pct(self) -> float:
+        if self.normal_runtime <= 0:
+            return 0.0
+        return 100.0 * (self.bp_runtime - self.normal_runtime) / self.normal_runtime
+
+
+def measure(
+    app_cls: Type[BaseApp],
+    bug: str,
+    n: int = 100,
+    timeout: float = 0.100,
+    use_policies: bool = True,
+    base_seed: int = 0,
+    params: Optional[Dict[str, Any]] = None,
+) -> OverheadRow:
+    """Paired normal/with-breakpoints measurement for one bug."""
+    plain = run_trials(app_cls, n=n, bug=None, base_seed=base_seed, params=params)
+    with_bp = run_trials(
+        app_cls, n=n, bug=bug, timeout=timeout, use_policies=use_policies,
+        base_seed=base_seed, params=params,
+    )
+    return OverheadRow(
+        app=app_cls.name,
+        bug=bug,
+        normal_runtime=plain.mean_runtime,
+        bp_runtime=with_bp.mean_runtime,
+        probability=with_bp.probability,
+        bp_hit_rate=with_bp.bp_hit_rate,
+    )

@@ -1,0 +1,67 @@
+"""Aggregation of repeated app executions."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional
+
+__all__ = ["TrialStats", "wilson_interval"]
+
+
+def wilson_interval(hits: int, n: int, z: float = 1.96) -> tuple:
+    """Wilson score interval for a binomial proportion.
+
+    Used to report reproduction probabilities with honest uncertainty
+    (100 trials, the paper's count, gives ~±4% near the middle).
+    """
+    if n == 0:
+        return (0.0, 1.0)
+    p = hits / n
+    denom = 1 + z * z / n
+    centre = (p + z * z / (2 * n)) / denom
+    margin = z * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n)) / denom
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+@dataclasses.dataclass
+class TrialStats:
+    """Summary of ``n`` seeded executions of one app configuration."""
+
+    app: str
+    bug: Optional[str]
+    trials: int
+    bug_hits: int
+    bp_hits: int
+    runtimes: List[float]
+    error_times: List[float]
+
+    @property
+    def probability(self) -> float:
+        """The paper's "Prob." column: fraction of runs hitting the bug."""
+        return self.bug_hits / self.trials if self.trials else 0.0
+
+    @property
+    def bp_hit_rate(self) -> float:
+        """The Section 5 "BP hit (%)" column."""
+        return self.bp_hits / self.trials if self.trials else 0.0
+
+    @property
+    def mean_runtime(self) -> float:
+        return sum(self.runtimes) / len(self.runtimes) if self.runtimes else 0.0
+
+    @property
+    def mtte(self) -> Optional[float]:
+        """Mean time to error over the runs where the error manifested."""
+        if not self.error_times:
+            return None
+        return sum(self.error_times) / len(self.error_times)
+
+    def probability_ci(self) -> tuple:
+        return wilson_interval(self.bug_hits, self.trials)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.app}/{self.bug}: prob={self.probability:.2f} "
+            f"bp={self.bp_hit_rate:.2f} runtime={self.mean_runtime:.4f}s"
+        )

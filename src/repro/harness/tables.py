@@ -1,0 +1,274 @@
+"""Table builders: regenerate every table of the paper's evaluation.
+
+Each ``build_*`` function runs the experiments and returns structured
+rows carrying both our measurement and the paper's published value
+(:mod:`repro.harness.paperdata`); ``render`` pretty-prints them.  The
+benchmarks under ``benchmarks/`` call these with the full trial counts
+and print the finished tables; tests call them with small counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.apps import SECTION5_PAIRS, Log4jApp, get_app, table1_bugs, table2_bugs
+
+from . import paperdata
+from .runner import measure, run_trials
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "Section5Row",
+    "build_table1",
+    "build_table2",
+    "build_section5",
+    "build_section62",
+    "build_section63",
+    "render",
+]
+
+#: Per-row deviations from the default measurement configuration,
+#: mirroring the paper's Comments column (pause times, refinements).
+TABLE1_CONFIG: Dict[Tuple[str, str], Dict[str, Any]] = {
+    ("hedc", "race1"): {"timeout": 0.100},
+    ("hedc", "race2"): {"timeout": 1.000},
+    # The paper's Table 1 swing rows predate the Section 6.3 refinement.
+    ("swing", "deadlock1"): {"use_policies": False},
+}
+
+
+@dataclasses.dataclass
+class Table1Row:
+    app: str
+    bug: str
+    loc: str
+    normal_runtime: float
+    bp_runtime: float
+    overhead_pct: float
+    error: str
+    probability: float
+    comments: str
+    paper_probability: Optional[float]
+    paper_overhead_pct: Optional[float]
+
+    def cells(self) -> List[str]:
+        return [
+            self.app,
+            self.bug,
+            self.loc,
+            f"{self.normal_runtime:.3f}",
+            f"{self.bp_runtime:.3f}",
+            f"{self.overhead_pct:+.1f}%",
+            self.error,
+            f"{self.probability:.2f}",
+            "-" if self.paper_probability is None else f"{self.paper_probability:.2f}",
+            self.comments,
+        ]
+
+    HEADER = [
+        "Benchmark", "Breakpoint", "LoC(orig)", "Normal(s)", "w/ cbr(s)",
+        "Overhead", "Error", "Prob.", "Paper", "Comments",
+    ]
+
+
+def build_table1(n: int = 100, base_seed: int = 0) -> List[Table1Row]:
+    """Reproduce Table 1: every Java (app, bug) pair, n trials each."""
+    rows: List[Table1Row] = []
+    for app_name, bug in sorted(table1_bugs()):
+        app_cls = get_app(app_name)
+        cfg = TABLE1_CONFIG.get((app_name, bug), {})
+        m = measure(app_cls, bug, n=n, base_seed=base_seed, **cfg)
+        paper = paperdata.TABLE1.get((app_name, bug))
+        spec = app_cls.bugs[bug]
+        rows.append(
+            Table1Row(
+                app=app_name,
+                bug=bug,
+                loc=app_cls.paper_loc,
+                normal_runtime=m.normal_runtime,
+                bp_runtime=m.bp_runtime,
+                overhead_pct=m.overhead_pct,
+                error=spec.error,
+                probability=m.probability,
+                comments=spec.comments,
+                paper_probability=paper.probability if paper else None,
+                paper_overhead_pct=paper.overhead_pct if paper else None,
+            )
+        )
+    return rows
+
+
+@dataclasses.dataclass
+class Table2Row:
+    app: str
+    bug: str
+    loc: str
+    error: str
+    mtte: Optional[float]
+    n_cbr: int
+    probability: float
+    comments: str
+    paper_mtte: Optional[float]
+
+    def cells(self) -> List[str]:
+        return [
+            self.app,
+            self.loc,
+            self.error,
+            "-" if self.mtte is None else f"{self.mtte:.3f}",
+            "-" if self.paper_mtte is None else f"{self.paper_mtte:.3f}",
+            str(self.n_cbr),
+            f"{self.probability:.2f}",
+            self.comments,
+        ]
+
+    HEADER = ["Benchmark", "LoC(orig)", "Error", "MTTE(s)", "Paper MTTE", "#CBR", "Prob.", "Comments"]
+
+
+def build_table2(n: int = 60, base_seed: int = 0) -> List[Table2Row]:
+    """Reproduce Table 2: the C/C++ server bugs, mean time to error."""
+    rows: List[Table2Row] = []
+    for app_name, bug in sorted(table2_bugs()):
+        app_cls = get_app(app_name)
+        stats = run_trials(app_cls, n=n, bug=bug, base_seed=base_seed)
+        paper = paperdata.TABLE2.get((app_name, bug))
+        spec = app_cls.bugs[bug]
+        rows.append(
+            Table2Row(
+                app=app_name,
+                bug=bug,
+                loc=app_cls.paper_loc,
+                error=spec.error,
+                mtte=stats.mtte,
+                n_cbr=spec.n_breakpoints,
+                probability=stats.probability,
+                comments=spec.comments,
+                paper_mtte=paper.mtte if paper else None,
+            )
+        )
+    return rows
+
+
+@dataclasses.dataclass
+class Section5Row:
+    order: str
+    stall_pct: float
+    bp_hit_pct: float
+    paper_stall_pct: int
+    paper_bp_hit_pct: int
+
+    def cells(self) -> List[str]:
+        return [
+            self.order,
+            f"{self.stall_pct:.0f}",
+            f"{self.paper_stall_pct}",
+            f"{self.bp_hit_pct:.0f}",
+            f"{self.paper_bp_hit_pct}",
+        ]
+
+    HEADER = ["Conflict resolve order", "Stall %", "Paper", "BP hit %", "Paper"]
+
+
+def build_section5(n: int = 100, base_seed: int = 0) -> List[Section5Row]:
+    """Reproduce the Section 5 log4j conflict-resolution table."""
+    rows: List[Section5Row] = []
+    for bug, flip, label in SECTION5_PAIRS:
+        stats = run_trials(Log4jApp, n=n, bug=bug, flip_order=flip, base_seed=base_seed)
+        stall = 100.0 * stats.bug_hits / stats.trials
+        hit = 100.0 * stats.bp_hit_rate
+        paper_stall, paper_hit = paperdata.SECTION5[label]
+        rows.append(Section5Row(label, stall, hit, paper_stall, paper_hit))
+    return rows
+
+
+@dataclasses.dataclass
+class ParamRow:
+    """Generic parameter-study row (Sections 6.2 / 6.3)."""
+
+    label: str
+    probability: float
+    runtime: float
+    paper_probability: Optional[float] = None
+    note: str = ""
+
+    def cells(self) -> List[str]:
+        return [
+            self.label,
+            f"{self.probability:.2f}",
+            "-" if self.paper_probability is None else f"{self.paper_probability:.2f}",
+            f"{self.runtime:.3f}",
+            self.note,
+        ]
+
+    HEADER = ["Configuration", "Prob.", "Paper", "Runtime(s)", "Note"]
+
+
+def build_section62(n: int = 100, base_seed: int = 0) -> List[ParamRow]:
+    """Section 6.2: probability and runtime vs pause time."""
+    rows: List[ParamRow] = []
+    for app_name, bug, wait in [
+        ("hedc", "race1", 0.1),
+        ("hedc", "race1", 1.0),
+        ("swing", "deadlock1", 0.1),
+        ("swing", "deadlock1", 1.0),
+    ]:
+        app_cls = get_app(app_name)
+        use_pol = app_name != "swing"  # swing's Table 1 rows are unrefined
+        stats = run_trials(app_cls, n=n, bug=bug, timeout=wait,
+                           use_policies=use_pol, base_seed=base_seed)
+        rows.append(
+            ParamRow(
+                label=f"{app_name}/{bug} wait={int(wait * 1000)}ms",
+                probability=stats.probability,
+                runtime=stats.mean_runtime,
+                paper_probability=paperdata.SECTION62.get((app_name, bug, wait)),
+            )
+        )
+    return rows
+
+
+def build_section63(n: int = 60, base_seed: int = 0) -> List[ParamRow]:
+    """Section 6.3: precision refinements on vs off.
+
+    Three case studies: cache4j's ``ignoreFirst``, moldyn's ``bound``,
+    and swing's ``isLockTypeHeld`` — refined runs should keep the
+    probability while cutting the runtime.
+    """
+    cases = [
+        ("cache4j", "atomicity1", "ignoreFirst"),
+        ("moldyn", "race1", "bound"),
+        ("swing", "deadlock1", "isLockTypeHeld(BasicCaret)"),
+    ]
+    rows: List[ParamRow] = []
+    for app_name, bug, refinement in cases:
+        app_cls = get_app(app_name)
+        for refined in (False, True):
+            stats = run_trials(app_cls, n=n, bug=bug, use_policies=refined,
+                               base_seed=base_seed)
+            rows.append(
+                ParamRow(
+                    label=f"{app_name}/{bug} {'with' if refined else 'without'} {refinement}",
+                    probability=stats.probability,
+                    runtime=stats.mean_runtime,
+                    note=refinement if refined else "unrefined",
+                )
+            )
+    return rows
+
+
+def render(rows: List[Any], header: Optional[List[str]] = None) -> str:
+    """ASCII-render a list of row objects exposing ``cells()``."""
+    if not rows:
+        return "(no rows)"
+    if header is None:
+        header = type(rows[0]).HEADER
+    table = [header] + [r.cells() for r in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = []
+    for idx, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

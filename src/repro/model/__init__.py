@@ -1,0 +1,30 @@
+"""``repro.model`` — the paper's Section 3 probabilistic analysis.
+
+Closed forms (:mod:`repro.model.analytic`) and Monte-Carlo / exhaustive
+validation (:mod:`repro.model.montecarlo`) of breakpoint hit
+probabilities with and without the BTrigger mechanism.
+"""
+
+from .analytic import (
+    boost_factor,
+    p_hit,
+    p_hit_approx,
+    p_hit_btrigger,
+    p_hit_btrigger_approx,
+    p_hit_btrigger_lower,
+    p_hit_upper,
+)
+from .montecarlo import exhaustive_p_hit, mc_p_hit, mc_p_hit_btrigger
+
+__all__ = [
+    "boost_factor",
+    "p_hit",
+    "p_hit_approx",
+    "p_hit_btrigger",
+    "p_hit_btrigger_approx",
+    "p_hit_btrigger_lower",
+    "p_hit_upper",
+    "exhaustive_p_hit",
+    "mc_p_hit",
+    "mc_p_hit_btrigger",
+]

@@ -1,0 +1,150 @@
+"""Section 3 probability formulas, exactly as derived in the paper.
+
+Setting: two independent threads, each executing ``N`` steps.  A thread
+visits a state satisfying its local predicate ``phi_t`` at ``M`` uniformly
+random steps, of which ``m <= M`` also satisfy the joint breakpoint
+predicate.  The breakpoint is *hit* when the two threads occupy jointly
+satisfying states simultaneously.
+
+Without BTrigger, the hit probability is::
+
+    P = 1 - C(N - m, m) / C(N, m)
+
+upper-bounded by ``1 - (1 - m/(N-m+1))**m`` and, for ``m << N``,
+approximately ``m**2 / (N - m + 1)``.
+
+With BTrigger pausing a thread ``T`` steps at every ``phi_t`` state, the
+thread's execution stretches to ``N + M*T`` steps and each jointly
+satisfying visit covers a window of ``T`` steps, giving::
+
+    P' >= 1 - C(N + M*T - M - m*T, m) / C(N + M*T - M, m)
+       >= 1 - (1 - m*T/(N + M*T - M))**m
+       ~=  m**2 * T / (N + M*T - M)        (m << N)
+
+The boost factor is at least ``T*(N - m + 1) / (N + M*T - M)`` — it grows
+with ``T`` (longer pauses) and shrinks with ``M`` (imprecise local
+predicates), which is precisely why Section 6.2 raises pause times and
+Section 6.3 refines predicates.
+
+All ``T`` here are in *steps* (the paper's time units); the harness maps
+seconds to steps via the kernel's ``step_cost``.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+__all__ = [
+    "p_hit",
+    "p_hit_upper",
+    "p_hit_approx",
+    "p_hit_btrigger",
+    "p_hit_btrigger_lower",
+    "p_hit_btrigger_approx",
+    "boost_factor",
+]
+
+
+def _validate(N: int, m: int) -> None:
+    if N < 1:
+        raise ValueError("N must be positive")
+    if not 0 <= m <= N:
+        raise ValueError("m must satisfy 0 <= m <= N")
+
+
+def p_hit(N: int, m: int) -> float:
+    """Exact hit probability without BTrigger: ``1 - C(N-m, m)/C(N, m)``.
+
+    Zero when ``m == 0``; one when the ``m`` visits cannot avoid each
+    other (``C(N-m, m) == 0``, i.e. ``m > N - m``).
+    """
+    _validate(N, m)
+    if m == 0:
+        return 0.0
+    denom = comb(N, m)
+    if m > N - m:
+        return 1.0
+    return 1.0 - comb(N - m, m) / denom
+
+
+def p_hit_upper(N: int, m: int) -> float:
+    """The paper's upper bound ``1 - (1 - m/(N-m+1))**m``."""
+    _validate(N, m)
+    if m == 0:
+        return 0.0
+    frac = m / (N - m + 1)
+    if frac >= 1.0:
+        return 1.0
+    return 1.0 - (1.0 - frac) ** m
+
+
+def p_hit_approx(N: int, m: int) -> float:
+    """The ``m << N`` approximation ``m**2 / (N - m + 1)`` (may exceed 1)."""
+    _validate(N, m)
+    return m * m / (N - m + 1)
+
+
+def _validate_bt(N: int, M: int, m: int, T: int) -> None:
+    _validate(N, m)
+    if not m <= M <= N:
+        raise ValueError("M must satisfy m <= M <= N")
+    if T < 0:
+        raise ValueError("T must be non-negative")
+
+
+def p_hit_btrigger(N: int, M: int, m: int, T: int) -> float:
+    """The paper's BTrigger hit probability.
+
+    ``1 - C(N + M*T - M - m*T, m) / C(N + M*T - M, m)`` — the stretched
+    timeline has ``N + M*T - M`` distinguishable slots and each jointly
+    satisfying visit of the partner covers ``T`` of them.  With ``T == 0``
+    this intentionally reduces to a timeline of ``N - M`` slots — the
+    paper's expression, kept verbatim; use :func:`p_hit` for the unpaused
+    baseline.
+    """
+    _validate_bt(N, M, m, T)
+    if m == 0:
+        return 0.0
+    L = N + M * T - M
+    blocked = m * max(T, 1)
+    if L < m:
+        return 1.0
+    if L - blocked < m:
+        return 1.0
+    return 1.0 - comb(L - blocked, m) / comb(L, m)
+
+
+def p_hit_btrigger_lower(N: int, M: int, m: int, T: int) -> float:
+    """The paper's lower bound ``1 - (1 - m*T/(N + M*T - M))**m``."""
+    _validate_bt(N, M, m, T)
+    if m == 0:
+        return 0.0
+    L = N + M * T - M
+    if L < 1:
+        return 1.0  # degenerate timeline (T=0, M=N): co-location certain
+    frac = m * T / L
+    if frac >= 1.0:
+        return 1.0
+    return 1.0 - (1.0 - frac) ** m
+
+
+def p_hit_btrigger_approx(N: int, M: int, m: int, T: int) -> float:
+    """The ``m << N`` approximation ``m**2*T / (N + M*T - M)``."""
+    _validate_bt(N, M, m, T)
+    L = N + M * T - M
+    if L < 1:
+        return 1.0
+    return m * m * T / L
+
+
+def boost_factor(N: int, M: int, m: int, T: int) -> float:
+    """The paper's minimum improvement factor ``T*(N-m+1)/(N+M*T-M)``.
+
+    Increases with ``T``; decreases as ``M`` grows beyond ``m`` — the
+    quantitative case for precise local predicates.
+    """
+    _validate_bt(N, M, m, T)
+    L = N + M * T - M
+    if L < 1:
+        return float(T * (N - m + 1))
+    return T * (N - m + 1) / L

@@ -1,0 +1,172 @@
+"""Dynamic partial-order reduction (Flanagan & Godefroid style).
+
+Plain DFS exploration (:mod:`repro.sim.explore`) branches at *every*
+scheduling point, so independent operations are permuted uselessly — the
+tree is exponential in total steps.  DPOR observes, after each executed
+schedule, which steps were actually *dependent* (two different threads
+touching the same object, at least one effectful) and adds backtracking
+branches only where reordering dependent pairs could produce a different
+behaviour.  Every Mazurkiewicz trace (equivalence class of schedules up
+to commuting independent steps) is still visited at least once.
+
+Dependence here is object-based and conservative:
+
+* two accesses to the same :class:`SharedCell` with at least one write;
+* any two operations on the same lock / condition / semaphore / barrier /
+  event;
+* breakpoint operations on the same name.
+
+When a dependent later step's thread was *not* runnable at the earlier
+point, the standard conservative fallback adds all runnable threads
+there.  The result is exact for the programs this explorer targets (no
+timers — timed operations make steps non-commutable with the clock and
+are rejected).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Set, Tuple
+
+from .explore import Exploration, Outcome, _DFSScheduler
+from .kernel import Kernel
+from .trace import OP
+
+__all__ = ["explore_dpor", "DporStats"]
+
+#: Ops that conflict with any other op on the same object.
+_SYNC_OPS = {
+    OP.ACQUIRE,
+    OP.ACQUIRE_REQ,
+    OP.RELEASE,
+    OP.WAIT_ENTER,
+    OP.WAIT_EXIT,
+    OP.NOTIFY,
+    OP.SEM_P,
+    OP.SEM_V,
+    OP.BARRIER,
+    OP.EVENT_WAIT,
+    OP.EVENT_SET,
+    OP.TRIGGER_POSTPONE,
+    OP.TRIGGER_HIT,
+}
+_TIMED_OPS = {OP.SLEEP}
+
+
+@dataclasses.dataclass
+class DporStats:
+    schedules: int
+    branches_added: int
+    conservative_fallbacks: int
+
+
+def _step_footprints(trace, n_choices: int) -> List[Set[Tuple[int, str]]]:
+    """Per choice index: the set of (object id, class) touched, where
+    class is 'w' (write), 'r' (read) or 's' (sync)."""
+    foot: List[Set[Tuple[int, str]]] = [set() for _ in range(n_choices)]
+    for ev in trace:
+        if ev.op in _TIMED_OPS:
+            raise ValueError(
+                "DPOR exploration does not support timed operations "
+                "(Sleep/timeouts); use explore() instead"
+            )
+        idx = ev.step - 1  # pick k executes as kernel step k+1
+        if not 0 <= idx < n_choices or ev.obj is None:
+            continue
+        if ev.op == OP.WRITE:
+            foot[idx].add((id(ev.obj), "w"))
+        elif ev.op == OP.READ:
+            foot[idx].add((id(ev.obj), "r"))
+        elif ev.op in _SYNC_OPS:
+            foot[idx].add((id(ev.obj), "s"))
+    return foot
+
+
+def _dependent(a: Set[Tuple[int, str]], b: Set[Tuple[int, str]]) -> bool:
+    for obj_a, cls_a in a:
+        for obj_b, cls_b in b:
+            if obj_a != obj_b:
+                continue
+            if cls_a == "s" or cls_b == "s":
+                return True
+            if cls_a == "w" or cls_b == "w":
+                return True
+    return False
+
+
+def explore_dpor(
+    build: Callable[[Kernel], None],
+    max_schedules: int = 10_000,
+    max_steps: int = 20_000,
+    seed: int = 0,
+    observe: Optional[Callable[[Kernel], object]] = None,
+) -> Tuple[Exploration, DporStats]:
+    """DPOR-reduced schedule exploration.
+
+    Same contract as :func:`repro.sim.explore.explore` (deterministic
+    ``build``, fresh kernel per run), plus the reduction statistics.
+    Programs using ``Sleep`` or timeouts are rejected — wall-clock order
+    does not commute.
+    """
+    outcomes: List[Outcome] = []
+    visited_prefixes: Set[Tuple[int, ...]] = set()
+    stack: List[List[int]] = [[]]
+    branches_added = 0
+    fallbacks = 0
+    complete = True
+
+    while stack:
+        if len(outcomes) >= max_schedules:
+            complete = False
+            break
+        prefix = stack.pop()
+        key = tuple(prefix)
+        if key in visited_prefixes:
+            continue
+        visited_prefixes.add(key)
+
+        sched = _DFSScheduler(prefix)
+        kernel = Kernel(scheduler=sched, seed=seed, record_trace=True)
+        build(kernel)
+        result = kernel.run(max_steps=max_steps)
+        observed = observe(kernel) if observe is not None else None
+        outcomes.append(Outcome(tuple(sched.choices), result, observed))
+
+        choices = sched.choices
+        runnables = sched.runnable_sets
+        foot = _step_footprints(kernel.trace, len(choices))
+
+        for j in range(len(choices)):
+            tid_j = choices[j]
+            # The race with the *last* dependent transition of another
+            # thread (Flanagan-Godefroid): reordering step j before step
+            # i may expose a different behaviour.  (No happens-before
+            # pruning here — redundant branches are deduplicated by the
+            # visited-prefix set, at worst costing extra runs.)
+            for i in range(j - 1, -1, -1):
+                if choices[i] == tid_j:
+                    continue
+                if _dependent(foot[i], foot[j]):
+                    if tid_j in runnables[i]:
+                        branch = choices[:i] + [tid_j]
+                        if tuple(branch) not in visited_prefixes:
+                            stack.append(branch)
+                            branches_added += 1
+                    else:
+                        fallbacks += 1
+                        for alt in runnables[i]:
+                            if alt != choices[i]:
+                                branch = choices[:i] + [alt]
+                                if tuple(branch) not in visited_prefixes:
+                                    stack.append(branch)
+                                    branches_added += 1
+                    break
+
+    return (
+        Exploration(outcomes=outcomes, complete=complete),
+        DporStats(
+            schedules=len(outcomes),
+            branches_added=branches_added,
+            conservative_fallbacks=fallbacks,
+        ),
+    )

@@ -1,0 +1,82 @@
+"""Exception types for the simulation kernel."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimError",
+    "SimDeadlockError",
+    "SimStallError",
+    "SimLimitError",
+    "SimSyscallError",
+    "ThreadFailure",
+]
+
+
+class SimError(Exception):
+    """Base class for kernel-level errors."""
+
+
+class SimDeadlockError(SimError):
+    """All live threads are blocked with no pending timer: a true deadlock.
+
+    ``waiters`` maps thread name -> description of what it is blocked on;
+    ``cycle`` (if found) lists the thread names in a wait-for cycle.
+    """
+
+    def __init__(self, waiters, cycle=None):
+        self.waiters = dict(waiters)
+        self.cycle = list(cycle) if cycle else None
+        detail = "; ".join(f"{t} blocked on {w}" for t, w in self.waiters.items())
+        msg = f"deadlock: {detail}"
+        if self.cycle:
+            msg += f" (cycle: {' -> '.join(self.cycle)})"
+        super().__init__(msg)
+
+
+class SimStallError(SimError):
+    """The run exceeded its virtual-time horizon with threads still live.
+
+    The kernel reports this for missed-notification bugs: threads wait on
+    a condition that is never signalled while a timer (or nothing at all)
+    keeps virtual time crawling.  The paper detects such stalls "by large
+    timeouts" (Section 6); ``max_time`` plays that role here.
+    """
+
+
+class SimLimitError(SimError):
+    """The run exceeded ``max_steps`` (runaway loop guard)."""
+
+
+class SimSyscallError(SimError):
+    """A simulated thread misused a primitive (e.g. releasing a lock it
+    does not hold, waiting on a condition without its lock)."""
+
+
+class ThreadInterrupted(Exception):
+    """Delivered into a thread by the ``Interrupt`` syscall (the analogue
+    of Java's ``InterruptedException``).  Deliberately NOT a
+    :class:`SimError`: application code is expected to catch it."""
+
+
+class ThreadFailure:
+    """Record of an uncaught exception inside a simulated thread.
+
+    Not an exception itself: the kernel collects failures in the run
+    result so bug oracles can inspect them (a crashing thread *is* the
+    observable error for several benchmarks, e.g. stringbuffer's
+    out-of-bounds exception or pbzip2's null dereference).
+    """
+
+    __slots__ = ("thread_name", "exc", "time", "step")
+
+    def __init__(self, thread_name: str, exc: BaseException, time: float, step: int):
+        self.thread_name = thread_name
+        self.exc = exc
+        self.time = time
+        self.step = step
+
+    def __repr__(self) -> str:
+        return (
+            f"ThreadFailure({self.thread_name!r}, {type(self.exc).__name__}: "
+            f"{self.exc}, t={self.time:.6f})"
+        )

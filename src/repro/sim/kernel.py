@@ -1,0 +1,834 @@
+"""The deterministic concurrency kernel.
+
+A :class:`Kernel` executes simulated threads (generators yielding
+syscalls) under a pluggable scheduler on a *virtual clock*.  This is the
+evaluation substrate that replaces the paper's JVM/pthreads testbed
+(DESIGN.md, substitution table): Heisenbug probability is a property of
+the schedule distribution, which the scheduler reproduces; virtual time
+makes 100-trial probability estimates with 100 ms–10 s breakpoint pauses
+run in milliseconds of wall time; and ``(program, scheduler, seed)``
+exactly determines the run, so every reported bug is replayable.
+
+Key mechanics:
+
+* **One syscall per step.**  The scheduler picks a runnable thread, the
+  kernel resumes its generator, receives the next syscall, applies its
+  effect, and loops.  Python code between yields is atomic.
+* **Virtual time.**  Each step costs ``step_cost`` virtual seconds;
+  ``Sleep``/timeouts arm a timer heap; when nothing is runnable the clock
+  jumps to the next deadline.  "Runtime" and "overhead" in the Table 1
+  reproduction are virtual-clock readings.
+* **Breakpoints.**  The ``Trigger`` syscall routes through a
+  :class:`~repro.core.engine.BreakpointEngine` shared with the OS
+  backend.  On a match the kernel *pins* the first-action thread so its
+  next instruction executes before the partner resumes — the exact
+  scheduling action of paper Section 2, which the OS backend can only
+  approximate.
+* **Stall/deadlock detection.**  No runnable thread and no timers with
+  live threads is a deadlock (reported with the wait-for cycle, like the
+  Jigsaw example); exceeding ``max_time`` with live threads is a stall —
+  the paper's "stalls due to missed notifications are detected by large
+  timeouts".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import math
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core import runtimectx
+from repro.core.engine import BreakpointEngine, Matched, MatchedGroup, Postponed, Skipped
+
+from . import syscalls as sc
+from .errors import SimDeadlockError, SimSyscallError, ThreadFailure, ThreadInterrupted
+from .primitives import SimCondition, SimEvent, SimLock
+from .scheduler import RandomScheduler, Scheduler
+from .thread import SimThread, TState
+from .trace import OP, Trace
+
+__all__ = ["Kernel", "RunResult"]
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of :meth:`Kernel.run`."""
+
+    time: float
+    steps: int
+    completed: bool  # every non-daemon thread finished
+    deadlocked: bool
+    deadlock: Optional[SimDeadlockError]
+    stalled: bool  # max_time reached with live threads
+    limit_hit: bool  # max_steps reached
+    failures: List[ThreadFailure]
+    trace: Optional[Trace]
+    breakpoint_stats: Dict[str, Any]
+    threads: List[SimThread]
+
+    @property
+    def ok(self) -> bool:
+        """Clean termination: completed, no failures, no deadlock/stall."""
+        return self.completed and not self.failures and not self.deadlocked and not self.stalled
+
+    @property
+    def stall_or_deadlock(self) -> bool:
+        """The paper's "stall" error symptom covers both."""
+        return self.deadlocked or self.stalled
+
+    def breakpoint_hit(self, name: str) -> bool:
+        st = self.breakpoint_stats.get(name)
+        return bool(st and st.hits > 0)
+
+    def summary(self) -> str:
+        status = (
+            "ok"
+            if self.ok
+            else "deadlock"
+            if self.deadlocked
+            else "stall"
+            if self.stalled
+            else "limit"
+            if self.limit_hit
+            else f"{len(self.failures)} failure(s)"
+            if self.failures
+            else "incomplete"
+        )
+        return f"RunResult({status}, t={self.time:.4f}s, steps={self.steps})"
+
+
+class Kernel:
+    """Deterministic discrete-event executor for simulated threads.
+
+    Parameters
+    ----------
+    scheduler:
+        Interleaving policy; defaults to :class:`RandomScheduler(seed)`.
+    seed:
+        Seeds the default scheduler and the kernel's application RNG
+        (``kernel.rng``, for workload jitter inside simulated threads).
+    record_trace:
+        Record an event per syscall (needed by detectors; costs time and
+        memory, so off by default for probability experiments).
+    step_cost:
+        Virtual seconds charged per scheduling step (models instruction
+        time between synchronisation points).
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        seed: Optional[int] = None,
+        record_trace: bool = False,
+        step_cost: float = 1e-6,
+    ) -> None:
+        self.scheduler = scheduler if scheduler is not None else RandomScheduler(seed)
+        self.rng = random.Random(seed if seed is None else seed ^ 0x5DEECE66D)
+        self.now = 0.0
+        self.step = 0
+        self.step_cost = step_cost
+        self.trace: Optional[Trace] = Trace() if record_trace else None
+        self.engine = BreakpointEngine()
+        self.threads: List[SimThread] = []
+        self._live_foreground = 0  # alive non-daemon threads (run-loop gate)
+        self._tids = itertools.count(0)
+        self._timer_seq = itertools.count(0)
+        self._timers: List[Tuple[float, int, SimThread, int, str, Any]] = []
+        self._pinned: List[SimThread] = []
+        self._wait_ctx: Dict[SimThread, Tuple[str, Any]] = {}  # why a thread waits on a lock
+        self.current: Optional[SimThread] = None
+        #: Optional syscall interceptor for active-testing tools
+        #: (:mod:`repro.activetest`): called as ``hook(thread, syscall)``
+        #: before dispatch; returning a positive delay postpones the
+        #: syscall by that many virtual seconds (the CalFuzzer-style
+        #: "insert a pause at this operation" primitive).
+        self.pre_dispatch: Optional[Callable[[SimThread, Any], Optional[float]]] = None
+        self.failures: List[ThreadFailure] = []
+        self._limit_hit = False
+        self._stalled = False
+        self._deadlock: Optional[SimDeadlockError] = None
+
+    # ------------------------------------------------------------------
+    # Thread management
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: Optional[str] = None,
+        daemon: bool = False,
+        **kwargs: Any,
+    ) -> SimThread:
+        """Create a simulated thread running ``fn(*args, **kwargs)``.
+
+        ``fn`` must be a generator function (its body yields syscalls).
+        """
+        gen = fn(*args, **kwargs)
+        if not hasattr(gen, "send"):
+            raise TypeError(f"thread body {fn!r} must be a generator function")
+        tid = next(self._tids)
+        t = SimThread(tid, name or f"T{tid}", gen, daemon=daemon)
+        t.state = TState.RUNNABLE
+        t.spawn_time = self.now
+        if not daemon:
+            self._live_foreground += 1
+        self.threads.append(t)
+        self.scheduler.on_spawn(t)
+        self._record(OP.FORK, obj=t, loc=self.current.location() if self.current else "main")
+        return t
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def _arm_timer(self, thread: SimThread, delay: float, kind: str, payload: Any = None) -> None:
+        heapq.heappush(
+            self._timers,
+            (self.now + delay, next(self._timer_seq), thread, thread.wake_epoch, kind, payload),
+        )
+
+    def _fire_due_timers(self) -> None:
+        while self._timers and self._timers[0][0] <= self.now:
+            _, _, thread, epoch, kind, payload = heapq.heappop(self._timers)
+            if epoch != thread.wake_epoch or not thread.alive:
+                continue  # stale: the thread was woken by another path
+            self._timer_fired(thread, kind, payload)
+
+    def _timer_fired(self, thread: SimThread, kind: str, payload: Any) -> None:
+        if kind == "sleep":
+            self._wake(thread, None)
+        elif kind == "noise":
+            # Scheduler-injected delay: wake WITHOUT touching ``pending``
+            # — the preceding step's syscall result is still undelivered.
+            thread.wake_epoch += 1
+            thread.state = TState.RUNNABLE
+            thread.waiting_on = None
+        elif kind == "wait_timeout":
+            cond: SimCondition = payload
+            if thread in cond.waiters:
+                cond.waiters.remove(thread)
+            # A timed-out waiter still reacquires the monitor before
+            # ``wait`` returns False, exactly like threading.Condition.
+            ctx = self._wait_ctx.pop(thread, ("wait_return", (cond, 1, False)))
+            self._begin_reacquire(thread, cond.lock, ctx[1][1], False)
+        elif kind == "join_timeout":
+            target: SimThread = payload
+            if thread in target.joiners:
+                target.joiners.remove(thread)
+            self._wake(thread, False)
+        elif kind == "event_timeout":
+            event: SimEvent = payload
+            if thread in event.waiters:
+                event.waiters.remove(thread)
+            self._wake(thread, False)
+        elif kind == "retry":
+            # An active-testing pause expired: perform the postponed
+            # syscall now (without re-consulting the interceptor).
+            thread.wake_epoch += 1
+            thread.state = TState.RUNNABLE
+            thread.waiting_on = None
+            prev = self.current
+            self.current = thread
+            try:
+                self._dispatch(thread, payload)
+            except SimSyscallError as err:
+                thread.pending_exc = RuntimeError(str(err))
+            finally:
+                self.current = prev
+        elif kind == "trigger_timeout":
+            entry = payload
+            if entry.matched_with is None:
+                self.engine.expire(entry)
+                self._record(
+                    OP.TRIGGER_TIMEOUT, obj=entry.inst, loc="?", extra={"name": entry.inst.name},
+                    thread=thread,
+                )
+                self._wake(thread, False)
+            # else: matched in the same instant; the match path woke it.
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown timer kind {kind!r}")
+
+    def _wake(self, thread: SimThread, result: Any) -> None:
+        """Move a blocked/sleeping thread back to the runnable set."""
+        thread.wake_epoch += 1
+        thread.state = TState.RUNNABLE
+        thread.waiting_on = None
+        thread.pending = result
+
+    # ------------------------------------------------------------------
+    # Lock plumbing (shared by Acquire, Release, Condition re-acquire)
+    # ------------------------------------------------------------------
+    def _grant_lock(
+        self, lock: SimLock, thread: SimThread, count: int, loc: Optional[str] = None
+    ) -> None:
+        lock.owner = thread
+        lock.count = count
+        thread.held_locks.append(lock)
+        self._record(OP.ACQUIRE, obj=lock, loc=loc or thread.location(), thread=thread)
+
+    def _begin_reacquire(self, thread: SimThread, lock: SimLock, count: int, result: Any) -> None:
+        """A notified/timed-out waiter recontends for the monitor."""
+        if lock.owner is None and not lock.waiters:
+            self._grant_lock(lock, thread, count)
+            self._wake(thread, result)
+        else:
+            self._wait_ctx[thread] = ("wait_return", (lock, count, result))
+            thread.waiting_on = lock
+            thread.state = TState.BLOCKED
+            lock.waiters.append(thread)
+
+    def _release_lock_fully(self, lock: SimLock, thread: SimThread) -> None:
+        lock.owner = None
+        lock.count = 0
+        if lock in thread.held_locks:
+            thread.held_locks.remove(lock)
+        self._hand_off(lock)
+
+    def _hand_off(self, lock: SimLock) -> None:
+        """Grant a free lock to its next FIFO waiter, honouring wait-returns."""
+        if lock.owner is not None or not lock.waiters:
+            return
+        nxt = lock.waiters.pop(0)
+        ctx = self._wait_ctx.pop(nxt, None)
+        if ctx is not None and ctx[0] == "wait_return":
+            _, (lk, count, result) = ctx
+            self._grant_lock(lock, nxt, count)
+            self._wake(nxt, result)
+        else:
+            loc = ctx[1] if ctx is not None and ctx[0] == "acquire" else None
+            self._grant_lock(lock, nxt, 1, loc=loc)
+            self._wake(nxt, True)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        op: str,
+        obj: Any = None,
+        loc: Optional[str] = None,
+        extra: Any = None,
+        thread: Optional[SimThread] = None,
+    ) -> None:
+        if self.trace is None:
+            return
+        t = thread if thread is not None else self.current
+        tid = t.tid if t else -1
+        tname = t.name if t else "main"
+        if loc is None:
+            loc = t.location() if t else "?"
+        self.trace.record(self.now, tid, tname, op, obj, loc, extra, step=self.step)
+
+    def _loc(self, call: sc.Syscall, thread: SimThread) -> str:
+        # Frame inspection is the single hottest non-essential operation
+        # in the dispatch path; skip it entirely when nothing records.
+        if self.trace is None:
+            return call.loc or "?"
+        return call.loc if call.loc is not None else thread.location()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, max_steps: int = 2_000_000, max_time: float = math.inf) -> RunResult:
+        """Execute until all non-daemon threads finish, or a terminal
+        condition (deadlock, stall, step limit) is reached."""
+        while True:
+            if self.step >= max_steps:
+                self._limit_hit = True
+                break
+            if self._live_foreground == 0:
+                break  # normal completion (daemons abandoned, as in CPython)
+
+            thread = self._next_thread(max_time)
+            if thread is None:
+                break  # deadlock or stall, flags already set
+            self._execute_step(thread)
+
+        return self._result()
+
+    def _next_thread(self, max_time: float) -> Optional[SimThread]:
+        while True:
+            if self.now > max_time:
+                self._stalled = True
+                return None
+            while self._pinned:
+                t = self._pinned.pop(0)
+                if t.state is TState.RUNNABLE:
+                    return t
+            runnable = [t for t in self.threads if t.state is TState.RUNNABLE]
+            if runnable:
+                runnable.sort(key=lambda t: t.tid)
+                return self.scheduler.pick(runnable, self.step)
+            # Drop stale timers (their thread was woken by another path)
+            # before advancing the clock — otherwise a dead breakpoint
+            # timeout would postpone deadlock detection and inflate the
+            # reported stall time.
+            while self._timers:
+                _, _, th, epoch, _, _ = self._timers[0]
+                if epoch != th.wake_epoch or not th.alive:
+                    heapq.heappop(self._timers)
+                else:
+                    break
+            if self._timers:
+                deadline = self._timers[0][0]
+                if deadline > max_time:
+                    self.now = max_time
+                    self._stalled = any(t.alive for t in self.threads)
+                    return None
+                self.now = max(self.now, deadline)
+                self._fire_due_timers()
+                continue
+            # No runnable threads, no timers.
+            if any(t.alive for t in self.threads):
+                self._deadlock = self._diagnose_deadlock()
+                return None
+            return None
+
+    def _execute_step(self, thread: SimThread) -> None:
+        self.current = thread
+        self.step += 1
+        thread.steps += 1
+        self.now += self.step_cost
+        if thread.state is TState.NEW:
+            thread.state = TState.RUNNABLE
+
+        pending, thread.pending = thread.pending, None
+        exc, thread.pending_exc = thread.pending_exc, None
+        try:
+            if exc is not None:
+                item = thread.gen.throw(exc)
+            else:
+                item = thread.gen.send(pending)
+        except StopIteration as stop:
+            self._finish(thread, getattr(stop, "value", None))
+        except BaseException as err:  # noqa: BLE001 - thread failure is data here
+            self._fail(thread, err)
+        else:
+            try:
+                delay = None
+                if self.pre_dispatch is not None and isinstance(item, sc.Syscall):
+                    delay = self.pre_dispatch(thread, item)
+                if delay is not None and delay > 0:
+                    thread.state = TState.SLEEPING
+                    thread.waiting_on = "active-test pause"
+                    self._arm_timer(thread, delay, "retry", item)
+                else:
+                    self._dispatch(thread, item)
+            except SimSyscallError as err:
+                # Misuse of a primitive surfaces inside the offending thread.
+                thread.pending_exc = RuntimeError(str(err))
+        # Breakpoint ordering: the first-action thread has now executed its
+        # next instruction; release partners parked on it.
+        if thread.order_waiters:
+            for w in thread.order_waiters:
+                if w.state is TState.ORDER_WAIT:
+                    self._wake(w, True)
+            thread.order_waiters.clear()
+        # Scheduler-injected noise (ConTest baseline).  Uses the
+        # pending-preserving "noise" timer: the delayed thread may be
+        # carrying an undelivered syscall result.
+        if thread.state is TState.RUNNABLE:
+            delay = self.scheduler.delay_after_pick(thread, self.step)
+            if delay > 0.0:
+                thread.state = TState.SLEEPING
+                thread.waiting_on = "noise"
+                self._arm_timer(thread, delay, "noise")
+        self.current = None
+
+    def _finish(self, thread: SimThread, result: Any) -> None:
+        thread.state = TState.DONE
+        thread.result = result
+        thread.finish_time = self.now
+        if not thread.daemon:
+            self._live_foreground -= 1
+        self._record(OP.END, obj=thread, loc="?", thread=thread)
+        for j in thread.joiners:
+            self._wake(j, True)
+            self._record(OP.JOINED, obj=thread, loc="?", thread=j)
+        thread.joiners.clear()
+
+    def _fail(self, thread: SimThread, err: BaseException) -> None:
+        thread.state = TState.FAILED
+        thread.exc = err
+        thread.finish_time = self.now
+        if not thread.daemon:
+            self._live_foreground -= 1
+        self.failures.append(ThreadFailure(thread.name, err, self.now, self.step))
+        self._record(OP.FAIL, obj=thread, loc="?", extra=repr(err), thread=thread)
+        for j in thread.joiners:
+            self._wake(j, True)
+            self._record(OP.JOINED, obj=thread, loc="?", thread=j)
+        thread.joiners.clear()
+
+    # ------------------------------------------------------------------
+    # Syscall dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, t: SimThread, call: Any) -> None:
+        if not isinstance(call, sc.Syscall):
+            raise SimSyscallError(f"thread {t.name} yielded non-syscall {call!r}")
+        loc = self._loc(call, t)
+
+        if isinstance(call, sc.Acquire):
+            self._do_acquire(t, call.lock, loc)
+        elif isinstance(call, sc.Release):
+            self._do_release(t, call.lock, loc)
+        elif isinstance(call, sc.Wait):
+            self._do_wait(t, call.cond, call.timeout, loc)
+        elif isinstance(call, sc.Notify):
+            self._do_notify(t, call.cond, call.n, loc)
+        elif isinstance(call, sc.Sleep):
+            self._record(OP.SLEEP, obj=None, loc=loc, extra=call.duration)
+            if call.duration <= 0:
+                t.pending = None
+            else:
+                t.state = TState.SLEEPING
+                t.waiting_on = "sleep"
+                self._arm_timer(t, call.duration, "sleep")
+        elif isinstance(call, sc.Read):
+            value = call.cell.value
+            self._record(OP.READ, obj=call.cell, loc=loc, extra=value)
+            t.pending = value
+        elif isinstance(call, sc.Write):
+            call.cell.value = call.value
+            self._record(OP.WRITE, obj=call.cell, loc=loc, extra=call.value)
+        elif isinstance(call, sc.Yield):
+            t.pending = None
+        elif isinstance(call, sc.Now):
+            t.pending = self.now
+        elif isinstance(call, sc.Join):
+            self._do_join(t, call.thread, call.timeout, loc)
+        elif isinstance(call, sc.Interrupt):
+            t.pending = self.interrupt(call.thread, call.exc)
+        elif isinstance(call, sc.AcquireSem):
+            self._do_sem_p(t, call.sem, loc)
+        elif isinstance(call, sc.ReleaseSem):
+            self._do_sem_v(t, call.sem, loc)
+        elif isinstance(call, sc.BarrierWait):
+            self._do_barrier(t, call.barrier, loc)
+        elif isinstance(call, sc.EventWait):
+            self._do_event_wait(t, call.event, call.timeout, loc)
+        elif isinstance(call, sc.EventSet):
+            call.event.flag = True
+            self._record(OP.EVENT_SET, obj=call.event, loc=loc)
+            for w in call.event.waiters:
+                # EVENT_WAIT is recorded at wake time (after EVENT_SET in
+                # trace order) so the set -> wait-return edge is visible.
+                self._record(OP.EVENT_WAIT, obj=call.event, loc="?", thread=w)
+                self._wake(w, True)
+            call.event.waiters.clear()
+        elif isinstance(call, sc.EventClear):
+            call.event.flag = False
+        elif isinstance(call, sc.BeginAtomic):
+            self._record(OP.ATOMIC_BEGIN, obj=None, loc=loc, extra=call.label)
+        elif isinstance(call, sc.EndAtomic):
+            self._record(OP.ATOMIC_END, obj=None, loc=loc, extra=call.label)
+        elif isinstance(call, sc.Annotate):
+            self._record(OP.ANNOTATE, obj=None, loc=loc, extra={"kind": call.kind, "data": call.data})
+        elif isinstance(call, sc.Trigger):
+            self._do_trigger(t, call, loc)
+        else:  # pragma: no cover - defensive
+            raise SimSyscallError(f"unhandled syscall {call!r}")
+
+    # -- locks ----------------------------------------------------------
+    def _do_acquire(self, t: SimThread, lock: SimLock, loc: str) -> None:
+        if lock.owner is t:
+            if lock.reentrant:
+                # Nested monitor entry: no ownership transition, no event.
+                lock.count += 1
+                t.pending = True
+            else:
+                # Self-deadlock, like threading.Lock: block on ourselves.
+                self._record(OP.ACQUIRE_REQ, obj=lock, loc=loc)
+                t.state = TState.BLOCKED
+                t.waiting_on = lock
+                lock.waiters.append(t)
+                self._wait_ctx[t] = ("acquire", loc)
+        elif lock.owner is None and not lock.waiters:
+            self._grant_lock(lock, t, 1, loc=loc)
+            t.pending = True
+        else:
+            self._record(OP.ACQUIRE_REQ, obj=lock, loc=loc)
+            t.state = TState.BLOCKED
+            t.waiting_on = lock
+            lock.waiters.append(t)
+            self._wait_ctx[t] = ("acquire", loc)
+
+    def _do_release(self, t: SimThread, lock: SimLock, loc: str) -> None:
+        if lock.owner is not t:
+            raise SimSyscallError(f"{t.name} released {lock.name} it does not hold")
+        lock.count -= 1
+        if lock.count > 0:
+            return
+        self._record(OP.RELEASE, obj=lock, loc=loc)
+        self._release_lock_fully(lock, t)
+
+    # -- monitors ---------------------------------------------------------
+    def _do_wait(self, t: SimThread, cond: SimCondition, timeout: Optional[float], loc: str) -> None:
+        lock = cond.lock
+        if lock.owner is not t:
+            raise SimSyscallError(f"{t.name} waits on {cond.name} without holding {lock.name}")
+        saved = lock.count
+        self._record(OP.WAIT_ENTER, obj=cond, loc=loc)
+        self._record(OP.RELEASE, obj=lock, loc=loc)
+        lock.count = 0
+        self._release_lock_fully(lock, t)
+        t.state = TState.BLOCKED
+        t.waiting_on = cond
+        cond.waiters.append(t)
+        self._wait_ctx[t] = ("wait_return", (lock, saved, True))
+        if timeout is not None:
+            self._arm_timer(t, timeout, "wait_timeout", cond)
+
+    def _do_notify(self, t: SimThread, cond: SimCondition, n: Optional[int], loc: str) -> None:
+        if cond.lock.owner is not t:
+            raise SimSyscallError(f"{t.name} notifies {cond.name} without holding its lock")
+        count = len(cond.waiters) if n is None else min(n, len(cond.waiters))
+        self._record(OP.NOTIFY, obj=cond, loc=loc, extra=count)
+        for _ in range(count):
+            w = cond.waiters.pop(0)
+            w.wake_epoch += 1  # invalidate any wait_timeout timer
+            ctx = self._wait_ctx.pop(w, ("wait_return", (cond.lock, 1, True)))
+            _, (lk, saved, _result) = ctx
+            self._record(OP.WAIT_EXIT, obj=cond, loc="?", thread=w)
+            self._begin_reacquire(w, lk, saved, True)
+
+    # -- join ------------------------------------------------------------
+    def _do_join(self, t: SimThread, target: SimThread, timeout: Optional[float], loc: str) -> None:
+        self._record(OP.JOIN, obj=target, loc=loc)
+        if not target.alive:
+            self._record(OP.JOINED, obj=target, loc=loc)
+            t.pending = True
+            return
+        t.state = TState.BLOCKED
+        t.waiting_on = target
+        target.joiners.append(t)
+        if timeout is not None:
+            self._arm_timer(t, timeout, "join_timeout", target)
+
+    # -- semaphores --------------------------------------------------------
+    def _do_sem_p(self, t: SimThread, sem: Any, loc: str) -> None:
+        if sem.value > 0:
+            sem.value -= 1
+            # SEM_P is recorded at *grant* time so the trace order gives
+            # the happens-before edge V -> P.
+            self._record(OP.SEM_P, obj=sem, loc=loc)
+            t.pending = True
+        else:
+            t.state = TState.BLOCKED
+            t.waiting_on = sem
+            sem.waiters.append(t)
+
+    def _do_sem_v(self, t: SimThread, sem: Any, loc: str) -> None:
+        self._record(OP.SEM_V, obj=sem, loc=loc)
+        if sem.waiters:
+            w = sem.waiters.pop(0)
+            self._record(OP.SEM_P, obj=sem, loc="?", thread=w)
+            self._wake(w, True)
+        else:
+            sem.value += 1
+
+    # -- barriers -----------------------------------------------------------
+    def _do_barrier(self, t: SimThread, barrier: Any, loc: str) -> None:
+        idx = barrier.count
+        barrier.count += 1
+        self._record(OP.BARRIER, obj=barrier, loc=loc, extra=idx)
+        if barrier.count >= barrier.parties:
+            for i, w in enumerate(barrier.waiters):
+                # Release events after the last arrival: every waiter's
+                # continuation is ordered after every arrival.
+                self._record(OP.BARRIER, obj=barrier, loc="?", extra="release", thread=w)
+                self._wake(w, i)
+            barrier.waiters.clear()
+            barrier.count = 0
+            barrier.generation += 1
+            t.pending = idx
+        else:
+            t.state = TState.BLOCKED
+            t.waiting_on = barrier
+            barrier.waiters.append(t)
+
+    # -- events ---------------------------------------------------------------
+    def _do_event_wait(self, t: SimThread, event: Any, timeout: Optional[float], loc: str) -> None:
+        if event.flag:
+            self._record(OP.EVENT_WAIT, obj=event, loc=loc)
+            t.pending = True
+            return
+        t.state = TState.BLOCKED
+        t.waiting_on = event
+        event.waiters.append(t)
+        if timeout is not None:
+            self._arm_timer(t, timeout, "event_timeout", event)
+
+    # -- concurrent breakpoints --------------------------------------------
+    def _do_trigger(self, t: SimThread, call: sc.Trigger, loc: str) -> None:
+        from repro.core.config import GLOBAL
+
+        inst = call.inst
+        if not GLOBAL.enabled:
+            t.pending = False
+            return
+        self._record(OP.TRIGGER_VISIT, obj=inst, loc=loc, extra={"name": inst.name})
+        runtimectx.push_held_locks(t.held_locks)
+        try:
+            result = self.engine.arrive(
+                inst, call.is_first, thread_key=t.tid, now=self.now, timeout=call.timeout
+            )
+        finally:
+            runtimectx.pop_held_locks()
+
+        if isinstance(result, Skipped):
+            t.pending = False
+            return
+
+        if isinstance(result, MatchedGroup):
+            threads = [e.handle if e.handle is not None else t for e in result.ordered]
+            self._record(
+                OP.TRIGGER_HIT,
+                obj=inst,
+                loc=loc,
+                extra={"name": inst.name, "threads": tuple(th.name for th in threads)},
+            )
+            # Wake everyone, then chain the ordering: rank 0 is pinned,
+            # each later rank resumes only after its predecessor's next
+            # instruction has executed.
+            for th in threads:
+                if th is not t:
+                    self._wake(th, True)
+            t.pending = True
+            self._pinned.append(threads[0])
+            for prev, nxt in zip(threads, threads[1:]):
+                nxt.state = TState.ORDER_WAIT
+                nxt.waiting_on = prev
+                prev.order_waiters.append(nxt)
+            return
+
+        if isinstance(result, Matched):
+            partner_thread: SimThread = result.partner.handle
+            self._record(
+                OP.TRIGGER_HIT,
+                obj=inst,
+                loc=loc,
+                extra={"name": inst.name, "threads": (t.name, partner_thread.name)},
+            )
+            self._wake(partner_thread, True)
+            t.pending = True
+            first_entry = result.entry if result.entry.acts_first else result.partner
+            second_entry = result.partner if result.entry.acts_first else result.entry
+            first_thread = t if first_entry is result.entry else partner_thread
+            second_thread = partner_thread if first_entry is result.entry else t
+            # Exact Section 2 semantics: first thread's next instruction
+            # runs before the second thread resumes.
+            self._pinned.append(first_thread)
+            second_thread.state = TState.ORDER_WAIT
+            second_thread.waiting_on = first_thread
+            first_thread.order_waiters.append(second_thread)
+            return
+
+        assert isinstance(result, Postponed)
+        entry = result.entry
+        entry.handle = t
+        self._record(OP.TRIGGER_POSTPONE, obj=inst, loc=loc, extra={"name": inst.name})
+        t.state = TState.BLOCKED
+        t.waiting_on = ("breakpoint", entry)
+        self._arm_timer(t, call.timeout, "trigger_timeout", entry)
+
+    # ------------------------------------------------------------------
+    # Interruption
+    # ------------------------------------------------------------------
+    def interrupt(self, target: SimThread, exc: Optional[BaseException] = None) -> bool:
+        """Deliver ``exc`` into ``target`` at its next scheduling point.
+
+        Blocked threads are unwound from whatever they wait on first; a
+        thread parked in a condition ``wait`` reacquires the monitor
+        before the exception is raised (Java's ``InterruptedException``
+        contract).  Returns False for finished threads.
+        """
+        if not target.alive:
+            return False
+        if exc is None:
+            exc = ThreadInterrupted()
+        target.pending_exc = exc
+
+        waiting = target.waiting_on
+        if target.state in (TState.RUNNABLE, TState.NEW, TState.ORDER_WAIT):
+            # Will run (or be released by its predecessor) anyway; the
+            # exception fires at its next step.
+            return True
+        if target.state is TState.SLEEPING:
+            self._wake(target, None)
+            return True
+
+        # BLOCKED: unwind the wait.
+        from .primitives import SimBarrier, SimCondition, SimEvent, SimSemaphore
+
+        if isinstance(waiting, SimCondition):
+            if target in waiting.waiters:
+                waiting.waiters.remove(target)
+            target.wake_epoch += 1  # kill the wait timer
+            ctx = self._wait_ctx.pop(target, ("wait_return", (waiting.lock, 1, False)))
+            _, (lock, count, _result) = ctx
+            # Reacquire the monitor; the exception is raised once granted.
+            self._begin_reacquire(target, lock, count, False)
+            return True
+        if isinstance(waiting, SimLock):
+            if target in waiting.waiters:
+                waiting.waiters.remove(target)
+            self._wait_ctx.pop(target, None)
+            self._wake(target, None)
+            return True
+        if isinstance(waiting, (SimSemaphore, SimBarrier, SimEvent)):
+            if target in waiting.waiters:
+                waiting.waiters.remove(target)
+            self._wake(target, None)
+            return True
+        if isinstance(waiting, SimThread):  # join
+            if target in waiting.joiners:
+                waiting.joiners.remove(target)
+            self._wake(target, None)
+            return True
+        if isinstance(waiting, tuple) and waiting and waiting[0] == "breakpoint":
+            self.engine.cancel(waiting[1])
+            self._wake(target, None)
+            return True
+        # Unknown wait (active-test pause etc.): wake and deliver.
+        self._wake(target, None)
+        return True
+
+    # ------------------------------------------------------------------
+    # Deadlock diagnosis & results
+    # ------------------------------------------------------------------
+    def _diagnose_deadlock(self) -> SimDeadlockError:
+        waiters = {t.name: t.describe_block() for t in self.threads if t.blocked}
+        # Follow lock-ownership edges to find a cycle.
+        cycle = None
+        for start in self.threads:
+            if not start.blocked or not isinstance(start.waiting_on, SimLock):
+                continue
+            seen: List[SimThread] = []
+            cur: Optional[SimThread] = start
+            while cur is not None and cur not in seen:
+                seen.append(cur)
+                target = cur.waiting_on
+                cur = target.owner if isinstance(target, SimLock) else None
+            if cur is not None:
+                cycle = [x.name for x in seen[seen.index(cur):]] + [cur.name]
+                break
+        return SimDeadlockError(waiters, cycle)
+
+    def _result(self) -> RunResult:
+        completed = all(not t.alive or t.daemon for t in self.threads)
+        return RunResult(
+            time=self.now,
+            steps=self.step,
+            completed=completed and not self._deadlock and not self._stalled,
+            deadlocked=self._deadlock is not None,
+            deadlock=self._deadlock,
+            stalled=self._stalled,
+            limit_hit=self._limit_hit,
+            failures=list(self.failures),
+            trace=self.trace,
+            breakpoint_stats=self.engine.snapshot(),
+            threads=list(self.threads),
+        )

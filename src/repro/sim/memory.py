@@ -1,0 +1,99 @@
+"""Shared memory with observable accesses.
+
+Data races are interactions on *memory locations*; for the detectors
+(Eraser locksets, vector-clock happens-before) and for race-triggering
+breakpoints to see them, racy state must live in :class:`SharedCell` /
+:class:`SharedArray` objects whose reads and writes are syscalls.  Plain
+Python attributes remain invisible to analysis — benchmarks use them for
+state that is not part of the bug.
+
+A read-modify-write on a cell is two syscalls with a preemption point in
+between::
+
+    v = yield from counter.get()
+    yield from counter.set(v + 1)      # lost-update window here
+
+which is precisely the non-atomicity the racy benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional
+
+from .syscalls import Read, Write
+
+__all__ = ["SharedCell", "SharedArray"]
+
+_ids = itertools.count(1)
+
+
+class SharedCell:
+    """A single observable memory location."""
+
+    __slots__ = ("uid", "name", "value")
+
+    def __init__(self, value: Any = None, name: str = "") -> None:
+        self.uid = next(_ids)
+        self.name = name or f"cell{self.uid}"
+        self.value = value
+
+    def get(self, loc: Optional[str] = None):
+        """``v = yield from cell.get()`` — observable read."""
+        v = yield Read(self, loc=loc)
+        return v
+
+    def set(self, value: Any, loc: Optional[str] = None):
+        """``yield from cell.set(v)`` — observable write."""
+        yield Write(self, value, loc=loc)
+
+    def peek(self) -> Any:
+        """Unobserved read for oracles/tests *outside* simulated threads."""
+        return self.value
+
+    def poke(self, value: Any) -> None:
+        """Unobserved write for setup code outside simulated threads."""
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"SharedCell({self.name!r}={self.value!r})"
+
+
+class SharedArray:
+    """A fixed-length vector of observable locations sharing one name.
+
+    Element accesses are observable per-index (the event's ``extra``
+    carries the index), so detectors can distinguish same-index conflicts
+    — enough for the moldyn/raytracer-style accumulation races.
+    """
+
+    __slots__ = ("uid", "name", "cells")
+
+    def __init__(self, size: int, fill: Any = 0, name: str = "") -> None:
+        self.uid = next(_ids)
+        self.name = name or f"array{self.uid}"
+        self.cells: List[SharedCell] = [
+            SharedCell(fill, name=f"{self.name}[{i}]") for i in range(size)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def get(self, index: int, loc: Optional[str] = None):
+        v = yield from self.cells[index].get(loc=loc)
+        return v
+
+    def set(self, index: int, value: Any, loc: Optional[str] = None):
+        yield from self.cells[index].set(value, loc=loc)
+
+    def add(self, index: int, delta: Any, loc: Optional[str] = None):
+        """Racy read-modify-write: the classic lost-update pattern."""
+        v = yield from self.cells[index].get(loc=loc)
+        yield from self.cells[index].set(v + delta, loc=loc)
+
+    def snapshot(self) -> List[Any]:
+        """Unobserved copy of all values (for oracles)."""
+        return [c.value for c in self.cells]
+
+    def __repr__(self) -> str:
+        return f"SharedArray({self.name!r}, len={len(self.cells)})"

@@ -1,0 +1,266 @@
+"""Synchronisation primitives for simulated threads.
+
+These mirror ``threading``'s primitives — :class:`SimLock`,
+:class:`SimRLock`, :class:`SimCondition`, :class:`SimSemaphore`,
+:class:`SimBarrier`, :class:`SimEvent` — plus a correct bounded
+:class:`SimQueue` built from them.  The objects themselves are passive
+state (owner, waiter queues); all blocking behaviour is implemented by the
+kernel's syscall dispatch, so a primitive is exactly as buggy or correct
+as the semantics of its syscalls.
+
+Monitor semantics are Java-faithful where it matters for the benchmarks:
+``notify`` with no waiters is lost (missed notifications), ``wait``
+releases and reacquires the monitor, and waiters woken by ``notify`` must
+recontend for the lock.
+
+Each generator helper (``yield from lock.acquire()``) is a scheduling
+point.  Helpers accept an optional ``loc`` tag so benchmark code can label
+events with the original program's source lines (e.g.
+``"SocketClientFactory.java:872"``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Deque, List, Optional
+
+from collections import deque
+
+from .syscalls import (
+    Acquire,
+    AcquireSem,
+    BarrierWait,
+    EventClear,
+    EventSet,
+    EventWait,
+    Notify,
+    Release,
+    ReleaseSem,
+    Wait,
+)
+
+__all__ = [
+    "SimLock",
+    "SimRLock",
+    "SimCondition",
+    "SimSemaphore",
+    "SimBarrier",
+    "SimEvent",
+    "SimQueue",
+]
+
+_ids = itertools.count(1)
+
+
+class SimLock:
+    """A non-reentrant mutex.
+
+    ``tag`` is the lock's *type* label for ``isLockTypeHeld`` predicates
+    (defaults to ``name``).  Acquiring a ``SimLock`` twice from the same
+    thread is a self-deadlock, as with ``threading.Lock``.
+    """
+
+    reentrant = False
+
+    def __init__(self, name: str = "", tag: Optional[str] = None) -> None:
+        self.uid = next(_ids)
+        self.name = name or f"lock{self.uid}"
+        self.tag = tag if tag is not None else self.name
+        self.owner = None  # SimThread | None
+        self.count = 0  # recursion depth (RLock only exceeds 1)
+        self.waiters: List[Any] = []  # blocked SimThreads, FIFO
+
+    def acquire(self, loc: Optional[str] = None):
+        """``yield from lock.acquire()`` — block until held."""
+        yield Acquire(self, loc=loc)
+        return True
+
+    def release(self, loc: Optional[str] = None):
+        """``yield from lock.release()``."""
+        yield Release(self, loc=loc)
+
+    def locked(self) -> bool:
+        """Non-blocking inspection (no scheduling point)."""
+        return self.owner is not None
+
+    def __repr__(self) -> str:
+        o = self.owner.name if self.owner is not None else None
+        return f"{type(self).__name__}({self.name!r}, owner={o!r})"
+
+
+class SimRLock(SimLock):
+    """Reentrant mutex: the Java monitor used by ``synchronized`` blocks."""
+
+    reentrant = True
+
+
+class SimCondition:
+    """Condition variable bound to a lock (created if not supplied).
+
+    ``wait``/``notify`` follow monitor rules: callers must hold ``lock``;
+    ``wait`` atomically releases it and blocks; notified waiters move to
+    the lock's contention queue and reacquire before ``wait`` returns.
+    """
+
+    def __init__(self, lock: Optional[SimLock] = None, name: str = "") -> None:
+        self.uid = next(_ids)
+        self.name = name or f"cond{self.uid}"
+        self.lock = lock if lock is not None else SimRLock(name=f"{self.name}.lock")
+        self.waiters: List[Any] = []
+
+    def acquire(self, loc: Optional[str] = None):
+        return (yield from self.lock.acquire(loc=loc))
+
+    def release(self, loc: Optional[str] = None):
+        yield from self.lock.release(loc=loc)
+
+    def wait(self, timeout: Optional[float] = None, loc: Optional[str] = None):
+        """``ok = yield from cond.wait(timeout)`` — False on timeout."""
+        ok = yield Wait(self, timeout, loc=loc)
+        return ok
+
+    def wait_for(self, predicate, timeout: Optional[float] = None, loc: Optional[str] = None):
+        """``ok = yield from cond.wait_for(pred)`` — the recheck loop done
+        right (``threading.Condition.wait_for`` semantics).
+
+        Re-evaluates ``predicate()`` after every wake; with a timeout the
+        remaining budget shrinks across waits and the final predicate
+        value is returned.  Benchmarks implementing *buggy* waiters avoid
+        this helper on purpose — the missed-notification bugs are exactly
+        what happens without it.
+        """
+        from .syscalls import Now
+
+        remaining = timeout
+        result = predicate()
+        while not result:
+            if remaining is not None and remaining <= 0:
+                return predicate()
+            before = yield Now()
+            yield from self.wait(remaining, loc=loc)
+            if remaining is not None:
+                after = yield Now()
+                remaining -= after - before
+            result = predicate()
+        return result
+
+    def notify(self, n: int = 1, loc: Optional[str] = None):
+        """Wake up to ``n`` waiters; lost if none are waiting."""
+        yield Notify(self, n, loc=loc)
+
+    def notify_all(self, loc: Optional[str] = None):
+        yield Notify(self, None, loc=loc)
+
+    def __repr__(self) -> str:
+        return f"SimCondition({self.name!r}, waiters={len(self.waiters)})"
+
+
+class SimSemaphore:
+    """Counting semaphore."""
+
+    def __init__(self, value: int = 1, name: str = "") -> None:
+        if value < 0:
+            raise ValueError("semaphore initial value must be >= 0")
+        self.uid = next(_ids)
+        self.name = name or f"sem{self.uid}"
+        self.value = value
+        self.waiters: List[Any] = []
+
+    def acquire(self, loc: Optional[str] = None):
+        yield AcquireSem(self, loc=loc)
+        return True
+
+    def release(self, loc: Optional[str] = None):
+        yield ReleaseSem(self, loc=loc)
+
+    def __repr__(self) -> str:
+        return f"SimSemaphore({self.name!r}, value={self.value})"
+
+
+class SimBarrier:
+    """Cyclic barrier for ``parties`` threads."""
+
+    def __init__(self, parties: int, name: str = "") -> None:
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.uid = next(_ids)
+        self.name = name or f"barrier{self.uid}"
+        self.parties = parties
+        self.count = 0
+        self.generation = 0
+        self.waiters: List[Any] = []
+
+    def wait(self, loc: Optional[str] = None):
+        """``idx = yield from barrier.wait()`` — arrival index 0..parties-1."""
+        idx = yield BarrierWait(self, loc=loc)
+        return idx
+
+    def __repr__(self) -> str:
+        return f"SimBarrier({self.name!r}, {self.count}/{self.parties})"
+
+
+class SimEvent:
+    """One-shot (clearable) event flag."""
+
+    def __init__(self, name: str = "") -> None:
+        self.uid = next(_ids)
+        self.name = name or f"event{self.uid}"
+        self.flag = False
+        self.waiters: List[Any] = []
+
+    def wait(self, timeout: Optional[float] = None, loc: Optional[str] = None):
+        ok = yield EventWait(self, timeout, loc=loc)
+        return ok
+
+    def set(self, loc: Optional[str] = None):
+        yield EventSet(self, loc=loc)
+
+    def clear(self, loc: Optional[str] = None):
+        yield EventClear(self, loc=loc)
+
+    def is_set(self) -> bool:
+        return self.flag
+
+    def __repr__(self) -> str:
+        return f"SimEvent({self.name!r}, set={self.flag})"
+
+
+class SimQueue:
+    """A *correct* bounded FIFO queue, composed from a monitor.
+
+    Provided as the reference implementation for producer/consumer apps
+    (the buggy benchmarks implement their own flawed variants).  With
+    ``maxsize=0`` the queue is unbounded.
+    """
+
+    def __init__(self, maxsize: int = 0, name: str = "") -> None:
+        self.uid = next(_ids)
+        self.name = name or f"queue{self.uid}"
+        self.maxsize = maxsize
+        self.items: Deque[Any] = deque()
+        self.mutex = SimRLock(name=f"{self.name}.mutex")
+        self.not_empty = SimCondition(self.mutex, name=f"{self.name}.not_empty")
+        self.not_full = SimCondition(self.mutex, name=f"{self.name}.not_full")
+
+    def qsize(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any, loc: Optional[str] = None):
+        yield from self.mutex.acquire(loc=loc)
+        while self.maxsize and len(self.items) >= self.maxsize:
+            yield from self.not_full.wait(loc=loc)
+        self.items.append(item)
+        yield from self.not_empty.notify(loc=loc)
+        yield from self.mutex.release(loc=loc)
+
+    def get(self, loc: Optional[str] = None):
+        yield from self.mutex.acquire(loc=loc)
+        while not self.items:
+            yield from self.not_empty.wait(loc=loc)
+        item = self.items.popleft()
+        yield from self.not_full.notify(loc=loc)
+        yield from self.mutex.release(loc=loc)
+        return item
+
+    def __repr__(self) -> str:
+        return f"SimQueue({self.name!r}, size={len(self.items)})"

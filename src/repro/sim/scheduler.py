@@ -1,0 +1,151 @@
+"""Schedulers: the interleaving policies of the kernel.
+
+The scheduler chooses which runnable thread performs its next syscall.
+Heisenbugs are rare because the *default* schedule distribution almost
+never produces the conflicting interleaving; concurrent breakpoints fix
+that by pausing threads, independent of the scheduler.  The schedulers
+here give us:
+
+* :class:`RandomScheduler` — the evaluation default.  A seeded uniform
+  choice among runnable threads models an unbiased preemptive scheduler;
+  bug probabilities under it play the role of the paper's "probability
+  over 100 executions".
+* :class:`RoundRobinScheduler` — deterministic baseline, useful in tests.
+* :class:`PCTScheduler` — Burckhardt et al.'s Probabilistic Concurrency
+  Testing scheduler [5 in the paper]: random distinct priorities plus
+  ``d-1`` random priority-change points, guaranteeing bugs of depth ``d``
+  with probability ``>= 1/(n * k^(d-1))``.  Used as a bug-finding
+  baseline in the A2 ablation.
+* :class:`NoiseScheduler` — ConTest-style random delays [30]: each
+  scheduling point may put the running thread to brief virtual sleep.
+
+All randomness flows from a single ``random.Random(seed)`` per run, so
+every execution is exactly replayable from ``(program, scheduler, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from .thread import SimThread
+
+__all__ = [
+    "Scheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "PCTScheduler",
+    "NoiseScheduler",
+]
+
+
+class Scheduler:
+    """Interface.  ``pick`` receives runnable threads sorted by tid."""
+
+    def on_spawn(self, thread: SimThread) -> None:
+        """Called when a thread is created (priority assignment hooks)."""
+
+    def pick(self, runnable: Sequence[SimThread], step: int) -> SimThread:
+        raise NotImplementedError
+
+    def delay_after_pick(self, thread: SimThread, step: int) -> float:
+        """Virtual sleep to inject after the picked thread's step (noise)."""
+        return 0.0
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through runnable threads in tid order."""
+
+    def __init__(self) -> None:
+        self._last_tid = -1
+
+    def pick(self, runnable: Sequence[SimThread], step: int) -> SimThread:
+        for t in runnable:
+            if t.tid > self._last_tid:
+                self._last_tid = t.tid
+                return t
+        t = runnable[0]
+        self._last_tid = t.tid
+        return t
+
+
+class RandomScheduler(Scheduler):
+    """Uniform seeded choice among runnable threads."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self.rng = random.Random(seed)
+
+    def pick(self, runnable: Sequence[SimThread], step: int) -> SimThread:
+        if len(runnable) == 1:
+            return runnable[0]
+        return self.rng.choice(runnable)
+
+
+class PCTScheduler(Scheduler):
+    """Probabilistic Concurrency Testing (PCT).
+
+    Parameters
+    ----------
+    depth:
+        Target bug depth ``d`` — the number of ordering constraints the
+        bug needs.  ``d-1`` priority-change points are sampled in
+        ``[0, steps_estimate)``.
+    steps_estimate:
+        Estimate ``k`` of the execution length in scheduling points.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, depth: int = 2, steps_estimate: int = 1000, seed: Optional[int] = None) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.rng = random.Random(seed)
+        self.depth = depth
+        self.steps_estimate = max(1, steps_estimate)
+        self.change_points = sorted(
+            self.rng.randrange(self.steps_estimate) for _ in range(depth - 1)
+        )
+        self._next_cp = 0
+        self._low_counter = 0  # descending priorities below all initials
+        self._prio_counter = 0
+
+    def on_spawn(self, thread: SimThread) -> None:
+        # Random distinct initial priority: higher value wins.  Sampling a
+        # large range makes collisions with reassigned-low values impossible.
+        self._prio_counter += 1
+        thread.priority = self.rng.randrange(1_000_000) + 1_000_000
+
+    def pick(self, runnable: Sequence[SimThread], step: int) -> SimThread:
+        best = max(runnable, key=lambda t: (t.priority, -t.tid))
+        if self._next_cp < len(self.change_points) and step >= self.change_points[self._next_cp]:
+            self._next_cp += 1
+            self._low_counter += 1
+            best.priority = -self._low_counter  # demote below everything
+            best = max(runnable, key=lambda t: (t.priority, -t.tid))
+        return best
+
+
+class NoiseScheduler(RandomScheduler):
+    """Random scheduler plus ConTest-style noise.
+
+    After each picked step, with probability ``p`` the thread is delayed
+    by a uniform virtual sleep in ``[0, max_delay]``, perturbing the
+    interleaving the way ConTest's injected ``sleep``/``yield`` calls do.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        p: float = 0.05,
+        max_delay: float = 0.001,
+    ) -> None:
+        super().__init__(seed)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be a probability")
+        self.p = p
+        self.max_delay = max_delay
+
+    def delay_after_pick(self, thread: SimThread, step: int) -> float:
+        if self.p and self.rng.random() < self.p:
+            return self.rng.uniform(0.0, self.max_delay)
+        return 0.0

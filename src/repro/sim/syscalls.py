@@ -1,0 +1,244 @@
+"""Syscalls: the instruction set of simulated threads.
+
+A simulated thread is a Python generator that ``yield``\\ s syscall objects
+to the kernel; the kernel performs the effect and resumes the generator
+with the result (``gen.send(result)``).  Every yield is a scheduling
+point, so the kernel's scheduler chooses the interleaving of syscalls —
+this is the whole point: Heisenbug probability is a property of the
+interleaving distribution, and the scheduler controls it.
+
+Plain Python between two yields executes atomically; programs must place
+their shared-state operations on syscalls (``Read``/``Write`` on
+:class:`~repro.sim.memory.SharedCell`, ``Acquire``/``Release`` on
+:class:`~repro.sim.primitives.SimLock`, ...) for interleavings — and hence
+bugs — to be possible.  Helper methods on the primitive classes wrap these
+so application code reads naturally::
+
+    yield from lock.acquire()
+    v = yield from cell.get()
+    yield from cell.set(v + 1)
+    yield from lock.release()
+
+``loc`` tags: the kernel derives each event's source location from the
+running generator frame, but benchmarks may also tag syscalls with a
+paper-style location string (``"SocketClientFactory.java:872"``) so
+detector reports match the paper's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+__all__ = [
+    "Syscall",
+    "Acquire",
+    "Release",
+    "Wait",
+    "Notify",
+    "Sleep",
+    "Read",
+    "Write",
+    "Yield",
+    "Now",
+    "Join",
+    "AcquireSem",
+    "ReleaseSem",
+    "BarrierWait",
+    "EventWait",
+    "EventSet",
+    "EventClear",
+    "BeginAtomic",
+    "EndAtomic",
+    "Annotate",
+    "Trigger",
+]
+
+
+@dataclasses.dataclass
+class Syscall:
+    """Base class; ``loc`` optionally overrides the derived source location."""
+
+    loc: Optional[str] = dataclasses.field(default=None, kw_only=True)
+
+
+@dataclasses.dataclass
+class Acquire(Syscall):
+    """Acquire a :class:`SimLock`; blocks until available (reentrant for RLocks)."""
+
+    lock: Any = None
+
+
+@dataclasses.dataclass
+class Release(Syscall):
+    """Release a held :class:`SimLock`."""
+
+    lock: Any = None
+
+
+@dataclasses.dataclass
+class Wait(Syscall):
+    """Wait on a :class:`SimCondition` (its lock must be held).
+
+    Releases the lock, blocks until notified or ``timeout`` virtual
+    seconds elapse, then reacquires the lock.  Result: ``True`` if
+    notified, ``False`` on timeout — like ``threading.Condition.wait``.
+    """
+
+    cond: Any = None
+    timeout: Optional[float] = None
+
+
+@dataclasses.dataclass
+class Notify(Syscall):
+    """Notify ``n`` waiters of a condition (``n=None`` = notify_all).
+
+    A notify with no waiters is a no-op — the semantics that make
+    missed-notification bugs possible.
+    """
+
+    cond: Any = None
+    n: Optional[int] = 1
+
+
+@dataclasses.dataclass
+class Sleep(Syscall):
+    """Advance past ``duration`` virtual seconds (timed blocking)."""
+
+    duration: float = 0.0
+
+
+@dataclasses.dataclass
+class Read(Syscall):
+    """Read a :class:`SharedCell`; result is its value.  Emits a READ event."""
+
+    cell: Any = None
+
+
+@dataclasses.dataclass
+class Write(Syscall):
+    """Write a :class:`SharedCell`.  Emits a WRITE event."""
+
+    cell: Any = None
+    value: Any = None
+
+
+@dataclasses.dataclass
+class Yield(Syscall):
+    """A pure scheduling point (models an instruction boundary)."""
+
+
+@dataclasses.dataclass
+class Now(Syscall):
+    """Read the virtual clock: ``t = yield Now()``.
+
+    A scheduling point like any other syscall — reading a clock in a
+    real program is not atomic with what follows it.
+    """
+
+
+@dataclasses.dataclass
+class Join(Syscall):
+    """Block until another thread finishes.  Result ``True``; ``False`` on timeout."""
+
+    thread: Any = None
+    timeout: Optional[float] = None
+
+
+@dataclasses.dataclass
+class Interrupt(Syscall):
+    """Deliver an exception into another thread (Java ``Thread.interrupt``).
+
+    The target receives ``exc`` (default :class:`ThreadInterrupted`) at
+    its *next scheduling point* — including while blocked on a lock,
+    condition, sleep, or breakpoint pause, which are unwound first.
+    Interrupting a finished thread is a no-op (result ``False``).
+    """
+
+    thread: Any = None
+    exc: Any = None
+
+
+@dataclasses.dataclass
+class AcquireSem(Syscall):
+    """P() on a :class:`SimSemaphore`."""
+
+    sem: Any = None
+
+
+@dataclasses.dataclass
+class ReleaseSem(Syscall):
+    """V() on a :class:`SimSemaphore`."""
+
+    sem: Any = None
+
+
+@dataclasses.dataclass
+class BarrierWait(Syscall):
+    """Wait at a :class:`SimBarrier`; result is the arrival index."""
+
+    barrier: Any = None
+
+
+@dataclasses.dataclass
+class EventWait(Syscall):
+    """Wait for a :class:`SimEvent` to be set; result ``True``/``False`` (timeout)."""
+
+    event: Any = None
+    timeout: Optional[float] = None
+
+
+@dataclasses.dataclass
+class EventSet(Syscall):
+    """Set a :class:`SimEvent`, waking all waiters."""
+
+    event: Any = None
+
+
+@dataclasses.dataclass
+class EventClear(Syscall):
+    """Clear a :class:`SimEvent`."""
+
+    event: Any = None
+
+
+@dataclasses.dataclass
+class BeginAtomic(Syscall):
+    """Trace marker: entering a region the program intends to be atomic.
+
+    Consumed by the atomicity-violation detector; no scheduling effect
+    (the kernel does *not* make the region atomic — that would hide the
+    bugs we are trying to reproduce).
+    """
+
+    label: str = ""
+
+
+@dataclasses.dataclass
+class EndAtomic(Syscall):
+    """Trace marker: leaving an intended-atomic region."""
+
+    label: str = ""
+
+
+@dataclasses.dataclass
+class Annotate(Syscall):
+    """Free-form trace marker (bug oracles, experiment bookkeeping)."""
+
+    kind: str = ""
+    data: Any = None
+
+
+@dataclasses.dataclass
+class Trigger(Syscall):
+    """Concurrent-breakpoint site: ``hit = yield Trigger(bt, is_first, timeout)``.
+
+    The kernel routes this through the shared
+    :class:`~repro.core.engine.BreakpointEngine`; on a match it enforces
+    the first-before-second ordering exactly by pinning the first-action
+    thread for its next step.
+    """
+
+    inst: Any = None
+    is_first: bool = True
+    timeout: float = 0.1

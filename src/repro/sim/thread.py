@@ -1,0 +1,135 @@
+"""Simulated threads.
+
+A :class:`SimThread` wraps a generator produced by the thread's body
+function.  The kernel drives the generator one syscall at a time; between
+syscalls the thread owns the (single real) CPU, so Python code between
+yields is atomic — the interleaving of *syscalls* is what the scheduler
+controls.
+
+Source locations: the kernel reports each event at the innermost active
+``yield`` — found by walking the ``gi_yieldfrom`` chain — so nested helper
+functions (``yield from lock.acquire()``) attribute events to the
+application call site of the primitive's own frame, whichever is tagged.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, List, Optional
+
+__all__ = ["TState", "SimThread", "current_location"]
+
+
+class TState(enum.Enum):
+    """Lifecycle of a simulated thread."""
+
+    NEW = "new"
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"  # on a lock/cond/sem/barrier/event/join/trigger
+    SLEEPING = "sleeping"  # pure timed wait
+    ORDER_WAIT = "order_wait"  # matched breakpoint, waiting for partner's step
+    DONE = "done"
+    FAILED = "failed"
+
+
+def current_location(gen: Generator) -> str:
+    """``file:line`` of the innermost suspended frame of ``gen``.
+
+    Walks the ``yield from`` delegation chain so that a syscall yielded
+    inside ``SimLock.acquire`` is attributed to that helper's frame; the
+    benchmarks tag paper-style locations explicitly where it matters.
+    """
+    g = gen
+    while True:
+        sub = getattr(g, "gi_yieldfrom", None)
+        if sub is None or not hasattr(sub, "gi_frame"):
+            break
+        g = sub
+    frame = getattr(g, "gi_frame", None)
+    if frame is None:
+        return "?"
+    fname = frame.f_code.co_filename.rsplit("/", 1)[-1]
+    return f"{fname}:{frame.f_lineno}"
+
+
+class SimThread:
+    """One simulated thread: generator + scheduling state.
+
+    Attributes of note:
+
+    ``held_locks``
+        Stack of currently held :class:`SimLock` objects (innermost
+        last), used by the ``isLockTypeHeld`` predicate refinement and
+        the deadlock reporter.
+    ``wake_epoch``
+        Incremented every time the thread blocks; pending virtual timers
+        carry the epoch they were armed in, so a timer whose epoch is
+        stale (the thread was woken by another path) is ignored.
+    ``pending``
+        The value to ``send`` into the generator at its next step
+        (syscall result), or the exception to ``throw``.
+    """
+
+    __slots__ = (
+        "tid",
+        "name",
+        "gen",
+        "state",
+        "pending",
+        "pending_exc",
+        "result",
+        "exc",
+        "held_locks",
+        "waiting_on",
+        "wake_epoch",
+        "joiners",
+        "priority",
+        "steps",
+        "spawn_time",
+        "finish_time",
+        "order_waiters",
+        "daemon",
+    )
+
+    def __init__(self, tid: int, name: str, gen: Generator, daemon: bool = False) -> None:
+        self.tid = tid
+        self.name = name
+        self.gen = gen
+        self.state = TState.NEW
+        self.pending: Any = None
+        self.pending_exc: Optional[BaseException] = None
+        self.result: Any = None
+        self.exc: Optional[BaseException] = None
+        self.held_locks: List[Any] = []
+        self.waiting_on: Any = None
+        self.wake_epoch = 0
+        self.joiners: List["SimThread"] = []
+        self.priority = 0  # used by priority-based schedulers (PCT)
+        self.steps = 0
+        self.spawn_time = 0.0
+        self.finish_time: Optional[float] = None
+        self.order_waiters: List["SimThread"] = []
+        self.daemon = daemon
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.state not in (TState.DONE, TState.FAILED)
+
+    @property
+    def blocked(self) -> bool:
+        return self.state in (TState.BLOCKED, TState.SLEEPING, TState.ORDER_WAIT)
+
+    def location(self) -> str:
+        return current_location(self.gen)
+
+    def describe_block(self) -> str:
+        """Human-readable description of what this thread is blocked on."""
+        if not self.blocked:
+            return "not blocked"
+        target = self.waiting_on
+        tname = getattr(target, "name", None) or type(target).__name__
+        return f"{type(target).__name__}({tname}) at {self.location()}"
+
+    def __repr__(self) -> str:
+        return f"SimThread({self.tid}, {self.name!r}, {self.state.value})"

@@ -1,0 +1,101 @@
+"""ASCII timeline rendering of execution traces.
+
+Turns a recorded trace into a per-thread lane diagram — the first thing a
+developer wants to *see* when a breakpoint fires or a deadlock is
+detected::
+
+    t=0.0000  appender   | acquire      AsyncAppender.buffer @ AsyncAppender.java:100
+    t=0.0000  appender   | write        buffer.count = 1
+    t=0.0022  Dispatcher |     trigger_postpone  [missed-notify1]
+    t=0.0103  admin      |         acquire       AsyncAppender.buffer
+    ...
+
+Lanes are ordered by thread id; each event line is indented into its
+thread's lane.  ``around_breakpoints`` trims a long trace to windows
+around the trigger events — the slice of history that explains a match.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .trace import OP, Event, Trace
+
+__all__ = ["render_timeline", "around_breakpoints"]
+
+_VALUE_OPS = {OP.READ, OP.WRITE}
+_SKIP_BY_DEFAULT = {OP.FORK, OP.SLEEP}
+
+
+def _describe(ev: Event) -> str:
+    obj_name = getattr(ev.obj, "name", None)
+    if ev.op == OP.WRITE:
+        return f"write       {obj_name} = {ev.extra!r}"
+    if ev.op == OP.READ:
+        return f"read        {obj_name} -> {ev.extra!r}"
+    if ev.op.startswith("trigger"):
+        name = (ev.extra or {}).get("name", "?") if isinstance(ev.extra, dict) else "?"
+        tail = ""
+        if isinstance(ev.extra, dict) and "threads" in ev.extra:
+            tail = f" threads={ev.extra['threads']}"
+        return f"{ev.op:<11} [{name}]{tail}"
+    if ev.op == OP.NOTIFY:
+        return f"notify      {obj_name} (woke {ev.extra})"
+    if obj_name is not None:
+        return f"{ev.op:<11} {obj_name}"
+    return ev.op
+
+
+def render_timeline(
+    trace: Trace | Sequence[Event],
+    include: Optional[Iterable[str]] = None,
+    show_loc: bool = True,
+    lane_width: int = 12,
+    limit: Optional[int] = None,
+) -> str:
+    """Render events as per-thread lanes.
+
+    ``include`` restricts to the given op-codes (default: everything
+    except forks and sleeps).  ``limit`` caps the number of rendered
+    lines.
+    """
+    events = list(trace)
+    wanted = set(include) if include is not None else None
+
+    lanes: List[int] = []
+    names = {}
+    for ev in events:
+        if ev.tid not in names:
+            names[ev.tid] = ev.tname
+            lanes.append(ev.tid)
+    lanes.sort()
+    lane_index = {tid: i for i, tid in enumerate(lanes)}
+
+    lines = []
+    for ev in events:
+        if wanted is not None:
+            if ev.op not in wanted:
+                continue
+        elif ev.op in _SKIP_BY_DEFAULT:
+            continue
+        indent = "    " * lane_index.get(ev.tid, 0)
+        desc = _describe(ev)
+        loc = f"  @ {ev.loc}" if show_loc and ev.loc not in ("?", None) else ""
+        lines.append(f"t={ev.time:0.4f}  {ev.tname:<{lane_width}}|{indent} {desc}{loc}")
+        if limit is not None and len(lines) >= limit:
+            lines.append(f"... ({len(events)} events total)")
+            break
+    header = "  ".join(f"[{names[tid]}]" for tid in lanes)
+    return f"lanes: {header}\n" + "\n".join(lines)
+
+
+def around_breakpoints(trace: Trace, context: int = 5) -> List[Event]:
+    """The events surrounding each breakpoint event (± ``context``)."""
+    events = list(trace)
+    keep = set()
+    for idx, ev in enumerate(events):
+        if ev.op in (OP.TRIGGER_VISIT, OP.TRIGGER_POSTPONE, OP.TRIGGER_HIT, OP.TRIGGER_TIMEOUT):
+            lo = max(0, idx - context)
+            hi = min(len(events), idx + context + 1)
+            keep.update(range(lo, hi))
+    return [events[i] for i in sorted(keep)]

@@ -1,0 +1,148 @@
+"""Execution traces: the raw material for the dynamic detectors.
+
+The kernel (optionally) records an :class:`Event` per syscall effect.
+Detectors in :mod:`repro.detect` are pure trace analyzers — Eraser-style
+locksets, vector-clock happens-before, lock-order graphs, contention and
+atomicity checks all consume this one format, mirroring how the paper's
+Methodology I/II leans on CalFuzzer/Eraser reports computed from dynamic
+observation.
+
+Events use ``__slots__`` and interned op-code strings: large runs generate
+hundreds of thousands of events, and the HPC guides' advice (measure,
+avoid gratuitous allocation) applies directly — trace recording is the
+kernel's main overhead and is off by default.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional
+
+__all__ = ["Event", "Trace", "OP"]
+
+
+class OP:
+    """Interned event op-codes."""
+
+    START = "start"
+    END = "end"
+    FAIL = "fail"
+    FORK = "fork"
+    JOIN = "join"
+    JOINED = "joined"  # join completed: happens-before edge from target END
+    ACQUIRE_REQ = "acquire_req"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    WAIT_ENTER = "wait_enter"
+    WAIT_EXIT = "wait_exit"
+    NOTIFY = "notify"
+    READ = "read"
+    WRITE = "write"
+    SEM_P = "sem_p"
+    SEM_V = "sem_v"
+    BARRIER = "barrier"
+    EVENT_WAIT = "event_wait"
+    EVENT_SET = "event_set"
+    SLEEP = "sleep"
+    ATOMIC_BEGIN = "atomic_begin"
+    ATOMIC_END = "atomic_end"
+    ANNOTATE = "annotate"
+    TRIGGER_VISIT = "trigger_visit"
+    TRIGGER_POSTPONE = "trigger_postpone"
+    TRIGGER_HIT = "trigger_hit"
+    TRIGGER_TIMEOUT = "trigger_timeout"
+
+
+class Event:
+    """One observed operation.
+
+    ``obj`` is the synchronisation object / memory cell involved (or
+    ``None``); ``loc`` is a ``file:line`` string — the explicit ``loc``
+    tag of the syscall when present, otherwise derived from the
+    generator frame.  ``extra`` carries op-specific payload (written
+    value, notify count, breakpoint name, ...).
+    """
+
+    __slots__ = ("seq", "time", "tid", "tname", "op", "obj", "loc", "extra", "step")
+
+    def __init__(
+        self,
+        seq: int,
+        time: float,
+        tid: int,
+        tname: str,
+        op: str,
+        obj: Any = None,
+        loc: str = "?",
+        extra: Any = None,
+        step: int = -1,
+    ) -> None:
+        self.seq = seq
+        self.time = time
+        self.tid = tid
+        self.tname = tname
+        self.op = op
+        self.obj = obj
+        self.loc = loc
+        self.extra = extra
+        #: Kernel scheduling step that produced the event (-1 if unknown):
+        #: the key for mapping events back onto scheduler choices (DPOR).
+        self.step = step
+
+    def __repr__(self) -> str:
+        objname = getattr(self.obj, "name", self.obj)
+        return (
+            f"Event({self.seq}, t={self.time:.6f}, {self.tname}, {self.op},"
+            f" obj={objname!r}, loc={self.loc})"
+        )
+
+
+class Trace:
+    """An append-only sequence of :class:`Event` with small query helpers."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        self._seq = 0
+
+    def record(
+        self,
+        time: float,
+        tid: int,
+        tname: str,
+        op: str,
+        obj: Any = None,
+        loc: str = "?",
+        extra: Any = None,
+        step: int = -1,
+    ) -> Event:
+        ev = Event(self._seq, time, tid, tname, op, obj, loc, extra, step)
+        self._seq += 1
+        self.events.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def by_op(self, *ops: str) -> List[Event]:
+        """Events whose op-code is one of ``ops`` (preserves order)."""
+        wanted = set(ops)
+        return [e for e in self.events if e.op in wanted]
+
+    def by_thread(self, tname: str) -> List[Event]:
+        return [e for e in self.events if e.tname == tname]
+
+    def by_obj(self, obj: Any) -> List[Event]:
+        return [e for e in self.events if e.obj is obj]
+
+    def annotations(self, kind: Optional[str] = None) -> List[Event]:
+        evs = self.by_op(OP.ANNOTATE)
+        if kind is None:
+            return evs
+        return [e for e in evs if e.extra and e.extra.get("kind") == kind]
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Human-readable dump (first ``limit`` events)."""
+        rows = self.events if limit is None else self.events[:limit]
+        return "\n".join(repr(e) for e in rows)

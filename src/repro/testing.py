@@ -1,0 +1,151 @@
+"""Schedule pinning for concurrent unit tests (paper Section 8).
+
+    "Concurrent breakpoints could be used to constrain the thread
+    scheduler of a concurrent program. ... one could use a few concurrent
+    breakpoints to limit the number of allowed thread schedules
+    [and] write concurrent unit tests that exercise a specific thread
+    schedule."
+
+This module packages that idea as a test utility: a *schedule pin* names
+a total order of program points across threads; each thread brackets its
+operation with ``begin(label)`` / ``end()``, and only the thread whose
+label is next in the pinned order may proceed.  A test can thus assert a
+program's behaviour under exactly the interleaving of interest —
+e.g. the interleaving a fixed bug used to break under (the regression
+pattern of ``examples/regression_suite.py``).
+
+Two implementations share the semantics:
+
+* :class:`SimSchedulePin` for simulated threads (generator style);
+* :class:`ThreadSchedulePin` for real ``threading`` programs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence
+
+from repro.sim.primitives import SimCondition
+
+__all__ = ["SimSchedulePin", "ThreadSchedulePin", "ScheduleViolation"]
+
+
+class ScheduleViolation(RuntimeError):
+    """A thread tried to run a point out of the pinned order."""
+
+
+class SimSchedulePin:
+    """Pin a total order of labelled points for simulated threads.
+
+    ::
+
+        pin = SimSchedulePin(["write", "read", "check"])
+
+        def writer():
+            yield from pin.begin("write")
+            yield from cell.set(1)
+            yield from pin.end()
+
+    ``begin`` blocks until the label is next; ``end`` advances the order.
+    Labels may repeat; each occurrence is a separate slot.  A label not
+    in the order raises :class:`ScheduleViolation` inside the thread.
+    """
+
+    def __init__(self, order: Sequence[str], name: str = "pin") -> None:
+        if not order:
+            raise ValueError("schedule order must be non-empty")
+        self.order: List[str] = list(order)
+        self.position = 0
+        self._cond = SimCondition(name=f"{name}.turn")
+        self._holder: Optional[str] = None
+
+    @property
+    def done(self) -> bool:
+        return self.position >= len(self.order)
+
+    def begin(self, label: str):
+        """Generator: wait until ``label`` is the next pinned point."""
+        if label not in self.order[self.position:]:
+            raise ScheduleViolation(
+                f"point {label!r} is not pending in the pinned order "
+                f"{self.order[self.position:]!r}"
+            )
+        yield from self._cond.acquire()
+        while self.done or self.order[self.position] != label or self._holder is not None:
+            if label not in self.order[self.position:]:
+                yield from self._cond.release()
+                raise ScheduleViolation(f"point {label!r} missed its turn")
+            yield from self._cond.wait()
+        self._holder = label
+        yield from self._cond.release()
+
+    def end(self):
+        """Generator: mark the current point finished; wake the next."""
+        yield from self._cond.acquire()
+        if self._holder is None:
+            yield from self._cond.release()
+            raise ScheduleViolation("end() without a matching begin()")
+        self._holder = None
+        self.position += 1
+        yield from self._cond.notify_all()
+        yield from self._cond.release()
+
+
+class ThreadSchedulePin:
+    """The same pin for real ``threading`` programs.
+
+    ::
+
+        pin = ThreadSchedulePin(["write", "read"])
+
+        def writer():
+            with pin.at("write"):
+                shared.value = 1
+    """
+
+    def __init__(self, order: Sequence[str], timeout: float = 10.0) -> None:
+        if not order:
+            raise ValueError("schedule order must be non-empty")
+        self.order: List[str] = list(order)
+        self.position = 0
+        self.timeout = timeout
+        self._cond = threading.Condition()
+
+    @property
+    def done(self) -> bool:
+        return self.position >= len(self.order)
+
+    def begin(self, label: str) -> None:
+        with self._cond:
+            if label not in self.order[self.position:]:
+                raise ScheduleViolation(f"point {label!r} is not pending")
+            ok = self._cond.wait_for(
+                lambda: not self.done and self.order[self.position] == label,
+                timeout=self.timeout,
+            )
+            if not ok:
+                raise ScheduleViolation(
+                    f"timed out waiting for {label!r}'s turn "
+                    f"(stuck at {self.order[self.position:]!r})"
+                )
+
+    def end(self) -> None:
+        with self._cond:
+            self.position += 1
+            self._cond.notify_all()
+
+    def at(self, label: str) -> "_PinContext":
+        """Context manager: ``with pin.at("write"): ...``."""
+        return _PinContext(self, label)
+
+
+class _PinContext:
+    def __init__(self, pin: ThreadSchedulePin, label: str) -> None:
+        self._pin = pin
+        self._label = label
+
+    def __enter__(self) -> None:
+        self._pin.begin(self._label)
+
+    def __exit__(self, *exc) -> None:
+        self._pin.end()

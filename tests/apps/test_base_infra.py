@@ -1,0 +1,127 @@
+"""The app framework itself: config, runs, oracles, helpers."""
+
+import pytest
+
+from repro.apps import AppConfig, AppRun, BaseApp, BugSpec, Figure4App, StringBufferApp
+from repro.apps.base import BaseApp as _Base
+from repro.core import SitePolicy
+from repro.sim import Kernel, Sleep
+
+
+class _ToyApp(BaseApp):
+    name = "toy"
+    bugs = {
+        "bug1": BugSpec(id="bug1", kind="race", error="boom", description="d"),
+        "silent": BugSpec(
+            id="silent", kind="race", error="", description="d", oracle_mode="bp"
+        ),
+    }
+
+    def setup(self, kernel):
+        self.kernel_seen = kernel
+
+        def t():
+            yield Sleep(0.001)
+            if self.param("explode", False):
+                self.note_error("boom")
+
+        kernel.spawn(t)
+
+    def oracle(self, result):
+        if any(sym == "boom" for _, sym in self.errors):
+            return "boom"
+        return None
+
+
+class TestAppConfig:
+    def test_defaults(self):
+        cfg = AppConfig()
+        assert cfg.bug is None and cfg.timeout == 0.1
+        assert not cfg.flip_order and cfg.use_policies
+        assert cfg.params == {}
+
+    def test_unknown_bug_rejected_at_construction(self):
+        with pytest.raises(KeyError):
+            _ToyApp(AppConfig(bug="nope"))
+
+
+class TestRunOutcome:
+    def test_clean_run(self):
+        run = _ToyApp(AppConfig()).run(seed=0)
+        assert isinstance(run, AppRun)
+        assert run.error is None and not run.bug_hit
+        assert run.error_time is None
+        assert run.runtime > 0
+
+    def test_error_noted_by_thread_code(self):
+        run = _ToyApp(AppConfig(params={"explode": True})).run(seed=0)
+        assert run.error == "boom"
+        assert run.bug_hit  # bug=None: any error counts
+        assert run.error_time is not None
+        assert run.error_time <= run.runtime
+
+    def test_bug_hit_requires_error_for_error_mode(self):
+        run = _ToyApp(AppConfig(bug="bug1")).run(seed=0)
+        assert not run.bug_hit
+
+    def test_bp_mode_counts_prefixed_names(self):
+        """oracle_mode='bp' accepts both 'bug' and 'bug:cbrN' stats keys."""
+        app = _ToyApp(AppConfig(bug="silent"))
+        run = app.run(seed=0)
+        assert not run.bug_hit
+        # Simulate a hit recorded under a sub-breakpoint name.
+        run.result.breakpoint_stats["silent:cbr1"] = type(
+            "S", (), {"hits": 1}
+        )()
+        assert app._bug_hit(None, run.result)
+
+    def test_param_override(self):
+        app = _ToyApp(AppConfig(params={"explode": True}))
+        assert app.param("explode", False) is True
+        assert app.param("missing", 42) == 42
+
+    def test_bug_ids(self):
+        assert _ToyApp.bug_ids() == ["bug1", "silent"]
+
+    def test_repr(self):
+        assert "bug1" in repr(_ToyApp(AppConfig(bug="bug1")))
+
+
+class TestPolicies:
+    def test_use_policies_false_disables_refinements(self):
+        app = StringBufferApp(AppConfig(bug="atomicity1", use_policies=False))
+        app.run(seed=0)
+        assert app._policies == {}
+
+    def test_policies_fresh_per_run(self):
+        app1 = StringBufferApp(AppConfig(bug="atomicity1"))
+        app1.run(seed=0)
+        app2 = StringBufferApp(AppConfig(bug="atomicity1"))
+        app2.run(seed=0)
+        assert app1._policies["atomicity1"] is not app2._policies["atomicity1"]
+
+    def test_policy_override_via_params(self):
+        class _P(_ToyApp):
+            def policies(self):
+                return {"bug1": SitePolicy(ignore_first=self.param("skip", 5))}
+
+        app = _P(AppConfig(bug="bug1", params={"skip": 2}))
+        app.run(seed=0)
+        assert app._policies["bug1"].ignore_first == 2
+
+
+class TestBpHit:
+    def test_bp_hit_by_name_and_any(self):
+        run = Figure4App(AppConfig(bug="error1", timeout=0.2)).run(seed=0)
+        assert run.bp_hit("error1")
+        assert run.bp_hit()
+        assert not run.bp_hit("other")
+
+
+class TestFlipOrder:
+    def test_flip_inverts_first_flag(self):
+        app = _ToyApp(AppConfig(flip_order=True))
+        assert app._flip(True) is False
+        assert app._flip(False) is True
+        app2 = _ToyApp(AppConfig())
+        assert app2._flip(True) is True

@@ -1,0 +1,112 @@
+"""Breakpoint suites: serialisation, and consistency against reality.
+
+The consistency test is the important one: the suite claims the bug's
+breakpoints live at certain locations; running the bug and inspecting
+the trace proves the claimed sites are where the triggers actually fire.
+"""
+
+import pytest
+
+from repro.apps import AppConfig, get_app, table1_bugs, table2_bugs
+from repro.apps.suites import SUITES, suite_for
+from repro.core.suite import BreakpointEntry, BreakpointSuite
+
+ALL_SUITE_KEYS = sorted(set(table1_bugs()) | set(table2_bugs()) | {("figure4", "error1")})
+
+#: Config overrides for reliable single-run reproduction (see Table 1 comments).
+SPECIAL = {
+    ("hedc", "race1"): {"timeout": 1.0},
+    ("hedc", "race2"): {"timeout": 1.0},
+    ("swing", "deadlock1"): {"timeout": 1.0},
+}
+
+
+class TestManifestCompleteness:
+    def test_every_table_bug_has_a_suite(self):
+        missing = [k for k in ALL_SUITE_KEYS if k not in SUITES]
+        assert missing == []
+
+    def test_suites_reference_real_bugs(self):
+        for (app_name, bug), suite in SUITES.items():
+            cls = get_app(app_name)
+            assert bug in cls.bugs, (app_name, bug)
+            assert suite.expected_error == cls.bugs[bug].error or suite.expected_error == ""
+
+    def test_cbr_counts_match_bugspecs(self):
+        """Table 2's #CBR column equals the suite's entry count."""
+        for app_name, bug in table2_bugs():
+            cls = get_app(app_name)
+            assert len(SUITES[(app_name, bug)]) == cls.bugs[bug].n_breakpoints
+
+
+@pytest.mark.parametrize("app_name,bug", ALL_SUITE_KEYS, ids=str)
+def test_declared_sites_match_trace(app_name, bug):
+    """Every breakpoint event in a reproducing run occurs at a location
+    the suite declares (and at least one declared site is visited)."""
+    suite = suite_for(app_name, bug)
+    declared = set()
+    for e in suite.entries:
+        declared.update((e.loc_first, e.loc_second))
+
+    cls = get_app(app_name)
+    cfg = SPECIAL.get((app_name, bug), {})
+    app = cls(AppConfig(bug=bug, **cfg))
+    run = app.run(seed=0, record_trace=True)
+    trigger_locs = {
+        ev.loc
+        for ev in run.result.trace
+        if ev.op in ("trigger_visit", "trigger_hit", "trigger_postpone") and ev.loc != "?"
+    }
+    assert trigger_locs, f"{app_name}/{bug}: no breakpoint events in trace"
+    undeclared = trigger_locs - declared
+    assert not undeclared, f"{app_name}/{bug}: undeclared trigger sites {undeclared}"
+
+
+class TestSerialisation:
+    def _sample(self):
+        return SUITES[("pbzip2", "crash1")]
+
+    def test_json_round_trip(self):
+        suite = self._sample()
+        clone = BreakpointSuite.from_json(suite.to_json())
+        assert clone.bug_id == suite.bug_id
+        assert clone.program == suite.program
+        assert len(clone) == len(suite)
+        assert clone.entries == suite.entries
+
+    def test_file_round_trip(self, tmp_path):
+        suite = self._sample()
+        path = tmp_path / "crash1.cbp.json"
+        suite.save(path)
+        assert BreakpointSuite.load(path).entries == suite.entries
+
+    def test_schema_version_checked(self):
+        with pytest.raises(ValueError):
+            BreakpointSuite.from_json('{"schema": 99, "bug_id": "x", "program": "y", "breakpoints": []}')
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError):
+            BreakpointEntry.from_dict({"name": "x", "kind": "conflict",
+                                       "loc_first": "a", "loc_second": "b",
+                                       "bogus": 1})
+
+    def test_duplicate_names_rejected(self):
+        s = BreakpointSuite("b", "p")
+        s.add(BreakpointEntry("e", "conflict", "a", "b"))
+        with pytest.raises(ValueError):
+            s.add(BreakpointEntry("e", "conflict", "c", "d"))
+
+    def test_render_reads_like_the_paper(self):
+        text = SUITES[("stringbuffer", "atomicity1")].render()
+        assert "StringBuffer.java:239" in text
+        assert "t1.sb == t2.this" in text
+        assert "trigger_here" in text
+
+    def test_entry_render_includes_refinements(self):
+        entry = BreakpointEntry(
+            "e", "conflict", "a:1", "b:2",
+            timeout=1.0, ignore_first=7200, bound=4, require_lock_tag="BasicCaret",
+        )
+        text = entry.render()
+        for fragment in ("wait=1000ms", "ignoreFirst=7200", "bound=4", "BasicCaret"):
+            assert fragment in text

@@ -1,0 +1,27 @@
+"""Shared fixtures: isolate global library state between tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GLOBAL, reset
+from repro.core.config import DEFAULT_TIMEOUT
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    """Reset the OS-backend engine and the global config around each test.
+
+    The simulation kernel is per-instance, but the OS-thread backend and
+    ``GLOBAL`` are process-wide; leaking state across tests would make
+    failures order-dependent.
+    """
+    reset()
+    GLOBAL.enabled = True
+    GLOBAL.timeout = DEFAULT_TIMEOUT
+    GLOBAL.order_window = 0.001
+    yield
+    reset()
+    GLOBAL.enabled = True
+    GLOBAL.timeout = DEFAULT_TIMEOUT
+    GLOBAL.order_window = 0.001

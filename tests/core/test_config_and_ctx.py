@@ -1,0 +1,84 @@
+"""Configuration object and the held-lock execution context bridge."""
+
+from repro.core import GLOBAL, Config, DEFAULT_TIMEOUT
+from repro.core.runtimectx import (
+    held_locks,
+    is_lock_type_held,
+    lock_tag,
+    pop_held_locks,
+    push_held_locks,
+)
+
+
+class TestConfig:
+    def test_paper_default_pause_is_100ms(self):
+        assert DEFAULT_TIMEOUT == 0.100
+        assert Config().timeout == 0.100
+
+    def test_global_is_mutable_singleton(self):
+        old = GLOBAL.timeout
+        GLOBAL.timeout = 1.0
+        assert Config().timeout == 0.100  # fresh instances unaffected
+        GLOBAL.timeout = old
+
+    def test_enabled_by_default(self):
+        assert Config().enabled
+
+
+class TestRuntimeCtx:
+    def test_empty_by_default(self):
+        assert held_locks() == ()
+
+    def test_push_pop_round_trip(self):
+        sentinel = object()
+        push_held_locks([sentinel])
+        try:
+            assert held_locks() == (sentinel,)
+        finally:
+            pop_held_locks()
+        assert held_locks() == ()
+
+    def test_nesting_reads_innermost(self):
+        a, b = object(), object()
+        push_held_locks([a])
+        push_held_locks([b])
+        try:
+            assert held_locks() == (b,)
+        finally:
+            pop_held_locks()
+            assert held_locks() == (a,)
+            pop_held_locks()
+
+    def test_pop_on_empty_is_safe(self):
+        pop_held_locks()
+        assert held_locks() == ()
+
+    def test_lock_tag_prefers_tag_attribute(self):
+        class Tagged:
+            tag = "Special"
+
+        class Plain:
+            pass
+
+        assert lock_tag(Tagged()) == "Special"
+        assert lock_tag(Plain()) == "Plain"
+
+    def test_is_lock_type_held_with_explicit_locks(self):
+        class Tagged:
+            def __init__(self, tag):
+                self.tag = tag
+
+        locks = [Tagged("A"), Tagged("B")]
+        assert is_lock_type_held("A", locks)
+        assert not is_lock_type_held("C", locks)
+
+    def test_is_lock_type_held_reads_context(self):
+        class Tagged:
+            tag = "Ctx"
+
+        push_held_locks([Tagged()])
+        try:
+            assert is_lock_type_held("Ctx")
+        finally:
+            pop_held_locks()
+        assert not is_lock_type_held("Ctx")

@@ -1,0 +1,120 @@
+"""OS-thread backend under stress: many threads, many breakpoints at once.
+
+The paper's library must behave in a busy process — multiple independent
+breakpoints, repeat visits, stragglers timing out while others match —
+without lost wakeups or cross-talk.
+"""
+
+import threading
+import time
+
+from repro.core import ConflictTrigger, DeadlockTrigger, GroupTrigger, reset, stats
+
+
+def run_threads(targets, timeout=10):
+    threads = [threading.Thread(target=t) for t in targets]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        assert not t.is_alive(), "stress thread wedged"
+
+
+class TestManyBreakpointsAtOnce:
+    def test_eight_independent_pairs(self):
+        objs = [object() for _ in range(8)]
+        results = []
+        lock = threading.Lock()
+
+        def side(i, first):
+            hit = ConflictTrigger(f"stress{i}", objs[i]).trigger_here(first, 3.0)
+            with lock:
+                results.append((i, first, hit))
+
+        run_threads([lambda i=i, f=f: side(i, f) for i in range(8) for f in (True, False)])
+        reset()
+        assert len(results) == 16
+        assert all(hit for _, _, hit in results)
+
+    def test_mixed_trigger_kinds_do_not_cross_match(self):
+        obj = object()
+        l1, l2 = object(), object()
+        results = {}
+
+        def conflict_side(first):
+            results[f"c{first}"] = ConflictTrigger("mix", obj).trigger_here(first, 0.5)
+
+        def deadlock_side(first):
+            # Same NAME, different kind: must not match the conflicts.
+            results[f"d{first}"] = DeadlockTrigger(
+                "mix", l1 if first else l2, l2 if first else l1
+            ).trigger_here(first, 0.5)
+
+        run_threads(
+            [
+                lambda: conflict_side(True),
+                lambda: conflict_side(False),
+                lambda: deadlock_side(True),
+                lambda: deadlock_side(False),
+            ]
+        )
+        reset()
+        assert results == {"cTrue": True, "cFalse": True, "dTrue": True, "dFalse": True}
+
+    def test_repeated_visits_from_worker_pool(self):
+        obj = object()
+        hits = []
+        lock = threading.Lock()
+
+        def worker(first):
+            for _ in range(5):
+                hit = ConflictTrigger("pool-bp", obj).trigger_here(first, 1.0)
+                with lock:
+                    hits.append(hit)
+
+        run_threads([lambda: worker(True), lambda: worker(False)])
+        snap = stats()
+        reset()
+        assert len(hits) == 10
+        # Every visit pairs up: 5 matches, no timeouts.
+        assert snap["pool-bp"].hits == 5
+        assert snap["pool-bp"].timeouts == 0
+
+    def test_straggler_times_out_while_others_match(self):
+        obj = object()
+        outcome = {}
+
+        def fast(first):
+            outcome[f"fast{first}"] = ConflictTrigger("mixed-fate", obj).trigger_here(first, 2.0)
+
+        def straggler():
+            time.sleep(0.1)
+            outcome["straggler"] = ConflictTrigger("mixed-fate", obj).trigger_here(True, 0.05)
+
+        run_threads([lambda: fast(True), lambda: fast(False), straggler])
+        reset()
+        assert outcome["fastTrue"] and outcome["fastFalse"]
+        assert outcome["straggler"] is False
+
+    def test_group_and_pair_coexist(self):
+        gobj, pobj = object(), object()
+        results = []
+        lock = threading.Lock()
+
+        def group_member(rank):
+            hit = GroupTrigger("g", gobj, parties=3, rank=rank).trigger_here(True, 3.0)
+            with lock:
+                results.append(("g", rank, hit))
+
+        def pair_member(first):
+            hit = ConflictTrigger("p", pobj).trigger_here(first, 3.0)
+            with lock:
+                results.append(("p", first, hit))
+
+        run_threads(
+            [lambda r=r: group_member(r) for r in range(3)]
+            + [lambda: pair_member(True), lambda: pair_member(False)]
+        )
+        reset()
+        assert len(results) == 5
+        assert all(hit for _, _, hit in results)

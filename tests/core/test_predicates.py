@@ -1,0 +1,106 @@
+"""Unit tests for SitePolicy — the Section 6.3 precision refinements."""
+
+import pytest
+
+from repro.core import SitePolicy
+from repro.core.runtimectx import pop_held_locks, push_held_locks
+
+
+class _TaggedLock:
+    def __init__(self, tag):
+        self.tag = tag
+
+
+class TestIgnoreFirst:
+    def test_skips_exactly_the_first_n_visits(self):
+        pol = SitePolicy(ignore_first=3)
+        assert [pol.should_attempt() for _ in range(5)] == [False, False, False, True, True]
+
+    def test_zero_means_no_skipping(self):
+        pol = SitePolicy(ignore_first=0)
+        assert pol.should_attempt()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SitePolicy(ignore_first=-1)
+
+
+class TestBound:
+    def test_attempts_stop_after_bound_triggers(self):
+        pol = SitePolicy(bound=2)
+        assert pol.should_attempt()
+        pol.record_trigger()
+        assert pol.should_attempt()
+        pol.record_trigger()
+        assert not pol.should_attempt()
+
+    def test_none_is_unbounded(self):
+        pol = SitePolicy(bound=None)
+        for _ in range(10):
+            pol.record_trigger()
+        assert pol.should_attempt()
+
+    def test_nonpositive_bound_rejected(self):
+        with pytest.raises(ValueError):
+            SitePolicy(bound=0)
+
+
+class TestLockTagRefinement:
+    def test_requires_tagged_lock_held(self):
+        pol = SitePolicy(require_lock_tag="BasicCaret")
+        push_held_locks([_TaggedLock("RepaintManager")])
+        try:
+            assert not pol.should_attempt()
+        finally:
+            pop_held_locks()
+        push_held_locks([_TaggedLock("BasicCaret")])
+        try:
+            assert pol.should_attempt()
+        finally:
+            pop_held_locks()
+
+    def test_no_locks_published_means_not_held(self):
+        pol = SitePolicy(require_lock_tag="BasicCaret")
+        assert not pol.should_attempt()
+
+
+class TestExtraCondition:
+    def test_extra_callable_is_consulted_last(self):
+        calls = []
+
+        def extra():
+            calls.append(True)
+            return len(calls) >= 2
+
+        pol = SitePolicy(extra=extra)
+        assert not pol.should_attempt()
+        assert pol.should_attempt()
+
+    def test_extra_not_called_when_ignored(self):
+        calls = []
+        pol = SitePolicy(ignore_first=1, extra=lambda: calls.append(1) or True)
+        pol.should_attempt()
+        assert calls == []
+
+
+class TestCounters:
+    def test_visit_counter_counts_every_call(self):
+        pol = SitePolicy(ignore_first=2)
+        for _ in range(5):
+            pol.should_attempt()
+        assert pol.visits == 5
+
+    def test_reset_clears_counters(self):
+        pol = SitePolicy(ignore_first=1, bound=1)
+        pol.should_attempt()
+        pol.record_trigger()
+        pol.reset()
+        assert pol.visits == 0 and pol.triggers == 0
+        assert not pol.should_attempt()  # ignore_first applies again
+
+    def test_refinements_compose(self):
+        pol = SitePolicy(ignore_first=1, bound=1)
+        assert not pol.should_attempt()  # ignored
+        assert pol.should_attempt()  # live
+        pol.record_trigger()
+        assert not pol.should_attempt()  # bound reached

@@ -1,0 +1,133 @@
+"""Schedule pinning for concurrent unit tests (repro.testing)."""
+
+import threading
+
+import pytest
+
+from repro.sim import Kernel, SharedCell
+from repro.testing import ScheduleViolation, SimSchedulePin, ThreadSchedulePin
+
+
+class TestSimSchedulePin:
+    def test_enforces_cross_thread_order(self):
+        for seed in range(10):
+            pin = SimSchedulePin(["write", "read"])
+            cell = SharedCell(0)
+            seen = {}
+
+            def reader():
+                yield from pin.begin("read")
+                seen["value"] = yield from cell.get()
+                yield from pin.end()
+
+            def writer():
+                yield from pin.begin("write")
+                yield from cell.set(1)
+                yield from pin.end()
+
+            k = Kernel(seed=seed)
+            k.spawn(reader)  # spawn order opposite to pinned order
+            k.spawn(writer)
+            assert k.run().ok
+            assert seen["value"] == 1, f"seed {seed}"
+
+    def test_repeated_labels_take_separate_slots(self):
+        pin = SimSchedulePin(["a", "b", "a"])
+        log = []
+
+        def t_a():
+            for _ in range(2):
+                yield from pin.begin("a")
+                log.append("a")
+                yield from pin.end()
+
+        def t_b():
+            yield from pin.begin("b")
+            log.append("b")
+            yield from pin.end()
+
+        k = Kernel(seed=4)
+        k.spawn(t_a)
+        k.spawn(t_b)
+        assert k.run().ok
+        assert log == ["a", "b", "a"]
+
+    def test_unknown_label_raises_in_thread(self):
+        pin = SimSchedulePin(["x"])
+
+        def t():
+            yield from pin.begin("y")
+
+        k = Kernel()
+        k.spawn(t)
+        result = k.run()
+        assert result.failures
+        assert isinstance(result.failures[0].exc, ScheduleViolation)
+
+    def test_empty_order_rejected(self):
+        with pytest.raises(ValueError):
+            SimSchedulePin([])
+
+    def test_three_way_pin_reproduces_figure4_style_error(self):
+        """Pin the buggy interleaving of the Figure 4 program directly:
+        check-before-write, the schedule a breakpoint would force."""
+        for seed in range(10):
+            cell = SharedCell(0)
+            pin = SimSchedulePin(["check", "write"])
+            hit = {}
+
+            def foo():
+                yield from pin.begin("check")
+                v = yield from cell.get()
+                hit["error"] = v == 0
+                yield from pin.end()
+
+            def bar():
+                yield from pin.begin("write")
+                yield from cell.set(1)
+                yield from pin.end()
+
+            k = Kernel(seed=seed)
+            k.spawn(foo)
+            k.spawn(bar)
+            assert k.run().ok
+            assert hit["error"]
+
+
+class TestThreadSchedulePin:
+    def test_enforces_order_on_real_threads(self):
+        for _ in range(5):
+            pin = ThreadSchedulePin(["write", "read"])
+            box = {"value": 0}
+            seen = {}
+
+            def writer():
+                with pin.at("write"):
+                    box["value"] = 1
+
+            def reader():
+                with pin.at("read"):
+                    seen["value"] = box["value"]
+
+            threads = [threading.Thread(target=reader), threading.Thread(target=writer)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=5)
+            assert seen["value"] == 1
+
+    def test_timeout_raises_schedule_violation(self):
+        pin = ThreadSchedulePin(["never", "read"], timeout=0.05)
+        with pytest.raises(ScheduleViolation):
+            pin.begin("read")  # 'never' has no thread: turn never comes
+
+    def test_unknown_label_rejected(self):
+        pin = ThreadSchedulePin(["a"])
+        with pytest.raises(ScheduleViolation):
+            pin.begin("zz")
+
+    def test_done_flag(self):
+        pin = ThreadSchedulePin(["a"])
+        pin.begin("a")
+        pin.end()
+        assert pin.done

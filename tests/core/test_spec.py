@@ -1,0 +1,131 @@
+"""Unit tests for the trigger classes and their predicates."""
+
+import pytest
+
+from repro.core import (
+    AtomicityTrigger,
+    BTrigger,
+    CBSpec,
+    ConflictTrigger,
+    DeadlockTrigger,
+    PredicateTrigger,
+)
+
+
+class TestCBSpec:
+    def test_str_renders_tuple_notation(self):
+        spec = CBSpec("t1", "A.java:15", "A.java:20", "t1.x == t2.y", kind="race")
+        s = str(spec)
+        assert "A.java:15" in s and "A.java:20" in s and "race" in s
+
+    def test_frozen(self):
+        spec = CBSpec("t1", "a", "b")
+        with pytest.raises(AttributeError):
+            spec.name = "other"
+
+
+class TestConflictTrigger:
+    def test_matches_same_name_same_object(self):
+        obj = object()
+        a, b = ConflictTrigger("t", obj), ConflictTrigger("t", obj)
+        assert a.predicate_global(b) and b.predicate_global(a)
+
+    def test_rejects_different_object(self):
+        a, b = ConflictTrigger("t", object()), ConflictTrigger("t", object())
+        assert not a.predicate_global(b)
+
+    def test_rejects_different_name(self):
+        obj = object()
+        assert not ConflictTrigger("t1", obj).predicate_global(ConflictTrigger("t2", obj))
+
+    def test_object_identity_not_equality(self):
+        # Java ``==`` semantics: equal-but-distinct objects do not match.
+        a, b = ConflictTrigger("t", [1]), ConflictTrigger("t", [1])
+        assert not a.predicate_global(b)
+
+    def test_rejects_non_conflict_partner(self):
+        obj = object()
+        dt = DeadlockTrigger("t", obj, object())
+        assert not ConflictTrigger("t", obj).predicate_global(dt)
+
+    def test_local_condition_hook(self):
+        flag = {"v": False}
+        t = ConflictTrigger("t", object(), local=lambda: flag["v"])
+        assert not t.predicate_local()
+        flag["v"] = True
+        assert t.predicate_local()
+
+    def test_sides_must_differ_when_both_set(self):
+        obj = object()
+        reader = ConflictTrigger("t", obj, side="reader")
+        writer = ConflictTrigger("t", obj, side="writer")
+        reader2 = ConflictTrigger("t", obj, side="reader")
+        assert reader.predicate_global(writer)
+        assert not reader.predicate_global(reader2)
+
+    def test_unsided_matches_sided(self):
+        obj = object()
+        assert ConflictTrigger("t", obj).predicate_global(ConflictTrigger("t", obj, side="x"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ConflictTrigger("", object())
+
+
+class TestAtomicityTrigger:
+    def test_is_a_conflict_trigger(self):
+        obj = object()
+        assert AtomicityTrigger("t", obj).predicate_global(ConflictTrigger("t", obj))
+
+
+class TestDeadlockTrigger:
+    def test_matches_opposite_lock_order(self):
+        l1, l2 = object(), object()
+        a = DeadlockTrigger("d", l1, l2)
+        b = DeadlockTrigger("d", l2, l1)
+        assert a.predicate_global(b) and b.predicate_global(a)
+
+    def test_rejects_same_lock_order(self):
+        l1, l2 = object(), object()
+        assert not DeadlockTrigger("d", l1, l2).predicate_global(DeadlockTrigger("d", l1, l2))
+
+    def test_rejects_unrelated_locks(self):
+        a = DeadlockTrigger("d", object(), object())
+        b = DeadlockTrigger("d", object(), object())
+        assert not a.predicate_global(b)
+
+    def test_rejects_different_name(self):
+        l1, l2 = object(), object()
+        assert not DeadlockTrigger("d1", l1, l2).predicate_global(DeadlockTrigger("d2", l2, l1))
+
+
+class TestPredicateTrigger:
+    def test_defaults_always_match_same_name(self):
+        a, b = PredicateTrigger("p"), PredicateTrigger("p")
+        assert a.predicate_global(b)
+        assert a.predicate_local()
+
+    def test_custom_global(self):
+        a = PredicateTrigger("p", state=1, glob=lambda s, o: s.state == o.state)
+        b = PredicateTrigger("p", state=1)
+        c = PredicateTrigger("p", state=2)
+        assert a.predicate_global(b)
+        assert not a.predicate_global(c)
+
+    def test_custom_local(self):
+        t = PredicateTrigger("p", state=5, local=lambda s: s.state > 3)
+        assert t.predicate_local()
+        t2 = PredicateTrigger("p", state=1, local=lambda s: s.state > 3)
+        assert not t2.predicate_local()
+
+
+class TestPaperAliases:
+    def test_camel_case_aliases_delegate(self):
+        obj = object()
+        a, b = ConflictTrigger("t", obj), ConflictTrigger("t", obj)
+        assert a.predicateGlobal(b)
+        assert a.predicateLocal()
+
+    def test_btrigger_is_abstract(self):
+        with pytest.raises(TypeError):
+            BTrigger("x")  # type: ignore[abstract]

@@ -1,0 +1,211 @@
+"""Tests for the OS-``threading`` backend — the paper's library as used
+in real programs."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import (
+    GLOBAL,
+    ConflictTrigger,
+    DeadlockTrigger,
+    TrackedLock,
+    TrackedRLock,
+    breakpoint_hit,
+    held_tracked_locks,
+    is_lock_type_held,
+    reset,
+    stats,
+)
+
+
+def run_threads(*targets):
+    threads = [threading.Thread(target=t) for t in targets]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=5)
+        assert not t.is_alive(), "test thread wedged"
+
+
+class TestMatching:
+    def test_two_threads_match(self):
+        obj = object()
+        results = {}
+
+        def t1():
+            results["t1"] = ConflictTrigger("m", obj).trigger_here(True, 1.0)
+
+        def t2():
+            results["t2"] = ConflictTrigger("m", obj).trigger_here(False, 1.0)
+
+        run_threads(t1, t2)
+        assert results == {"t1": True, "t2": True}
+        assert breakpoint_hit("m")
+
+    def test_timeout_returns_false(self):
+        assert ConflictTrigger("alone", object()).trigger_here(True, 0.02) is False
+        assert stats()["alone"].timeouts == 1
+
+    def test_mismatched_objects_time_out(self):
+        results = {}
+
+        def t1():
+            results["t1"] = ConflictTrigger("mm", object()).trigger_here(True, 0.05)
+
+        def t2():
+            results["t2"] = ConflictTrigger("mm", object()).trigger_here(False, 0.05)
+
+        run_threads(t1, t2)
+        assert results == {"t1": False, "t2": False}
+
+    def test_deadlock_trigger_matches_across_threads(self):
+        l1, l2 = object(), object()
+        results = {}
+
+        def t1():
+            results["t1"] = DeadlockTrigger("dl", l1, l2).trigger_here(True, 1.0)
+
+        def t2():
+            results["t2"] = DeadlockTrigger("dl", l2, l1).trigger_here(False, 1.0)
+
+        run_threads(t1, t2)
+        assert results == {"t1": True, "t2": True}
+
+    def test_first_action_thread_proceeds_first(self):
+        obj = object()
+        order = []
+
+        def first():
+            ConflictTrigger("ord", obj).trigger_here(True, 1.0)
+            order.append("first")
+
+        def second():
+            ConflictTrigger("ord", obj).trigger_here(False, 1.0)
+            time.sleep(0)  # give the head start a chance to register
+            order.append("second")
+
+        for _ in range(5):
+            reset()
+            order.clear()
+            run_threads(first, second)
+            assert order[0] == "first"
+
+
+class TestDisabling:
+    def test_disabled_breakpoints_return_immediately(self):
+        GLOBAL.enabled = False
+        start = time.monotonic()
+        assert ConflictTrigger("off", object()).trigger_here(True, 5.0) is False
+        assert time.monotonic() - start < 0.5
+        assert "off" not in stats()
+
+    def test_default_timeout_comes_from_global(self):
+        GLOBAL.timeout = 0.01
+        start = time.monotonic()
+        ConflictTrigger("deft", object()).trigger_here(True)
+        assert 0.005 < time.monotonic() - start < 1.0
+
+
+class TestPaperScenario:
+    """The StringBuffer-style atomicity bug: 0% unaided, 100% with the
+    breakpoint — the paper's headline claim on real threads."""
+
+    class Buf:
+        def __init__(self):
+            self.data = list(range(10))
+
+        def length(self):
+            return len(self.data)
+
+        def get_chars(self, n):
+            if n > len(self.data):
+                raise IndexError("stale length")
+            return self.data[:n]
+
+        def set_length(self, n):
+            self.data = self.data[:n]
+
+    def _run_once(self, use_bp):
+        buf = self.Buf()
+        errors = []
+
+        def append_side():
+            ln = buf.length()
+            if use_bp:
+                ConflictTrigger("sbuf", buf).trigger_here(False, 1.0)
+            try:
+                buf.get_chars(ln)
+            except IndexError as exc:
+                errors.append(exc)
+
+        def truncate_side():
+            if use_bp:
+                ConflictTrigger("sbuf", buf).trigger_here(True, 1.0)
+            buf.set_length(0)
+
+        run_threads(append_side, truncate_side)
+        reset()
+        return bool(errors)
+
+    def test_without_breakpoint_bug_is_rare(self):
+        hits = sum(self._run_once(use_bp=False) for _ in range(20))
+        assert hits <= 2
+
+    def test_with_breakpoint_bug_is_deterministic(self):
+        hits = sum(self._run_once(use_bp=True) for _ in range(10))
+        assert hits == 10
+
+
+class TestTrackedLocks:
+    def test_holdings_tracked(self):
+        lk = TrackedLock("a", tag="TagA")
+        assert held_tracked_locks() == []
+        with lk:
+            assert held_tracked_locks() == [lk]
+            assert is_lock_type_held("TagA", held_tracked_locks())
+        assert held_tracked_locks() == []
+
+    def test_rlock_reentrant(self):
+        lk = TrackedRLock("r")
+        with lk:
+            with lk:
+                assert held_tracked_locks().count(lk) == 2
+            assert held_tracked_locks().count(lk) == 1
+
+    def test_holdings_are_per_thread(self):
+        lk = TrackedLock("shared")
+        seen = {}
+
+        def holder():
+            with lk:
+                seen["holder"] = list(held_tracked_locks())
+                time.sleep(0.02)
+
+        def observer():
+            time.sleep(0.01)
+            seen["observer"] = list(held_tracked_locks())
+
+        run_threads(holder, observer)
+        assert seen["holder"] == [lk]
+        assert seen["observer"] == []
+
+    def test_tag_defaults_to_name(self):
+        assert TrackedLock("mylock").tag == "mylock"
+
+
+class TestManyThreads:
+    def test_multiple_pairs_match_independently(self):
+        objs = [object() for _ in range(4)]
+        results = []
+        lock = threading.Lock()
+
+        def side(i, first):
+            r = ConflictTrigger(f"pair{i}", objs[i]).trigger_here(first, 2.0)
+            with lock:
+                results.append((i, r))
+
+        run_threads(*[lambda i=i, f=f: side(i, f) for i in range(4) for f in (True, False)])
+        assert len(results) == 8
+        assert all(r for _, r in results)

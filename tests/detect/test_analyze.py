@@ -1,0 +1,54 @@
+"""The one-stop analysis entry point."""
+
+from repro.apps import AppConfig, JigsawApp, StringBufferApp
+from repro.detect import AnalysisReport, analyze
+from repro.sim import Kernel, SharedCell, SimLock
+
+
+class TestAnalyze:
+    def test_empty_trace_has_no_findings(self):
+        k = Kernel(record_trace=True)
+
+        def t():
+            yield from SharedCell(0).set(1)
+
+        k.spawn(t)
+        k.run()
+        report = analyze(k.trace)
+        assert report.total_findings == 0
+        assert report.breakpoint_candidates() == []
+        assert "Data races" in report.render()
+
+    def test_jigsaw_benign_run_surfaces_its_bug_inventory(self):
+        """A single clean execution predicts jigsaw's Heisenbugs: the
+        csList/factory deadlock cycle and the alive/stats/idle races."""
+        run = JigsawApp(AppConfig()).run(seed=2, record_trace=True)
+        report = analyze(run.result.trace)
+        race_cells = {r.cell for r in report.lockset_races}
+        assert "server.alive" in race_cells  # race1's substrate
+        assert "server.stats" in race_cells  # race2
+        deadlock_locks = {frozenset((d.lock1, d.lock2)) for d in report.deadlocks}
+        assert frozenset(("csList", "SocketClientFactory")) in deadlock_locks
+        assert report.contentions  # Methodology II raw material
+
+    def test_stringbuffer_reduction_finding_without_witness(self):
+        run = StringBufferApp(AppConfig()).run(seed=0, record_trace=True)
+        report = analyze(run.result.trace)
+        assert any(r.region == "StringBuffer.append" for r in report.reduction)
+        # Benign schedule: the AVIO witness checker stays quiet.
+        assert not any(a.region == "StringBuffer.append" for a in report.atomicity)
+
+    def test_breakpoint_candidates_have_insertions(self):
+        run = JigsawApp(AppConfig()).run(seed=2, record_trace=True)
+        report = analyze(run.result.trace)
+        for finding in report.breakpoint_candidates():
+            first, second = finding.insertions()
+            assert first.loc and second.loc
+
+    def test_total_counts_sum(self):
+        run = JigsawApp(AppConfig()).run(seed=2, record_trace=True)
+        r = analyze(run.result.trace)
+        assert r.total_findings == (
+            len(r.lockset_races) + len(r.hb_races) + len(r.deadlocks)
+            + len(r.contentions) + len(r.atomicity) + len(r.reduction)
+        )

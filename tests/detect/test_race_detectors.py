@@ -1,0 +1,308 @@
+"""Eraser lockset and happens-before race detection over kernel traces."""
+
+from repro.detect import eraser_races, hb_races
+from repro.sim import (
+    Kernel,
+    RoundRobinScheduler,
+    SharedCell,
+    SimCondition,
+    SimEvent,
+    SimLock,
+    SimSemaphore,
+    Sleep,
+    Yield,
+)
+from repro.sim.syscalls import Join
+
+
+def traced(build, seed=0, scheduler=None):
+    k = Kernel(seed=seed, scheduler=scheduler, record_trace=True)
+    build(k)
+    k.run()
+    return k.trace
+
+
+class TestEraser:
+    def test_unlocked_conflicting_accesses_reported(self):
+        cell = SharedCell(0, name="x")
+
+        def build(k):
+            def w(loc):
+                v = yield from cell.get(loc=loc + ":r")
+                yield from cell.set(v + 1, loc=loc + ":w")
+
+            k.spawn(w, "A")
+            k.spawn(w, "B")
+
+        races = eraser_races(traced(build))
+        assert races
+        assert races[0].cell == "x"
+
+    def test_consistently_locked_accesses_clean(self):
+        cell = SharedCell(0)
+        lock = SimLock()
+
+        def build(k):
+            def w():
+                for _ in range(5):
+                    yield from lock.acquire()
+                    v = yield from cell.get()
+                    yield from cell.set(v + 1)
+                    yield from lock.release()
+
+            k.spawn(w)
+            k.spawn(w)
+
+        assert eraser_races(traced(build)) == []
+
+    def test_thread_local_data_clean(self):
+        def build(k):
+            def w():
+                mine = SharedCell(0)
+                for _ in range(5):
+                    v = yield from mine.get()
+                    yield from mine.set(v + 1)
+
+            k.spawn(w)
+            k.spawn(w)
+
+        assert eraser_races(traced(build)) == []
+
+    def test_read_shared_data_clean(self):
+        """Multiple readers, single initialising writer before sharing:
+        Eraser's Shared state must not warn without a second writer."""
+        cell = SharedCell(42)
+
+        def build(k):
+            def reader():
+                for _ in range(3):
+                    yield from cell.get()
+
+            k.spawn(reader)
+            k.spawn(reader)
+
+        assert eraser_races(traced(build)) == []
+
+    def test_inconsistent_locking_reported_even_without_interleaving(self):
+        """Eraser predicts the race from lockset refinement alone: once
+        the candidate set C(v) (initialised at the second thread's first
+        access) is emptied by a later access under a different lock, a
+        warning fires even though this run serialised the accesses."""
+        cell = SharedCell(0)
+        l1, l2 = SimLock("l1"), SimLock("l2")
+
+        def build(k):
+            def w1():
+                for _ in range(2):
+                    yield from l1.acquire()
+                    yield from cell.set(1, loc="w1:here")
+                    yield from l1.release()
+                    yield Sleep(0.05)
+
+            def w2():
+                yield Sleep(0.02)
+                yield from l2.acquire()
+                yield from cell.set(2, loc="w2:here")
+                yield from l2.release()
+
+            k.spawn(w1)
+            k.spawn(w2)
+
+        trace = traced(build, scheduler=RoundRobinScheduler())
+        assert eraser_races(trace)  # lockset: intersection empty
+
+    def test_reports_deduplicated(self):
+        cell = SharedCell(0)
+
+        def build(k):
+            def w():
+                for _ in range(10):
+                    v = yield from cell.get(loc="same:1")
+                    yield from cell.set(v + 1, loc="same:2")
+
+            k.spawn(w)
+            k.spawn(w)
+
+        races = eraser_races(traced(build))
+        keys = {(r.loc1, r.loc2) for r in races}
+        assert len(races) == len(keys)
+
+
+class TestHappensBefore:
+    def test_concurrent_writes_reported(self):
+        cell = SharedCell(0, name="y")
+
+        def build(k):
+            def w(loc):
+                yield from cell.set(1, loc=loc)
+
+            k.spawn(w, "A:1")
+            k.spawn(w, "B:1")
+
+        assert hb_races(traced(build))
+
+    def test_lock_ordering_suppresses_race(self):
+        cell = SharedCell(0)
+        lock = SimLock()
+
+        def build(k):
+            def w():
+                yield from lock.acquire()
+                v = yield from cell.get()
+                yield from cell.set(v + 1)
+                yield from lock.release()
+
+            k.spawn(w)
+            k.spawn(w)
+
+        assert hb_races(traced(build)) == []
+
+    def test_fork_edge_suppresses_race(self):
+        cell = SharedCell(0)
+
+        def build(k):
+            def child():
+                yield from cell.set(2)
+
+            def parent():
+                yield from cell.set(1)
+                k.spawn(child)  # fork after the write: ordered
+                yield Yield()
+
+            k.spawn(parent)
+
+        assert hb_races(traced(build)) == []
+
+    def test_join_edge_suppresses_race(self):
+        cell = SharedCell(0)
+
+        def build(k):
+            def child():
+                yield from cell.set(1)
+
+            def parent():
+                t = k.spawn(child)
+                yield Join(t)
+                yield from cell.set(2)  # ordered after child via join
+
+            k.spawn(parent)
+
+        assert hb_races(traced(build)) == []
+
+    def test_semaphore_edge_suppresses_race(self):
+        cell = SharedCell(0)
+        sem = SimSemaphore(0)
+
+        def build(k):
+            def producer():
+                yield from cell.set(1)
+                yield from sem.release()
+
+            def consumer():
+                yield from sem.acquire()
+                yield from cell.set(2)
+
+            k.spawn(producer)
+            k.spawn(consumer)
+
+        assert hb_races(traced(build)) == []
+
+    def test_event_edge_suppresses_race(self):
+        cell = SharedCell(0)
+        ev = SimEvent()
+
+        def build(k):
+            def setter():
+                yield from cell.set(1)
+                yield from ev.set()
+
+            def waiter():
+                yield from ev.wait()
+                yield from cell.set(2)
+
+            k.spawn(setter)
+            k.spawn(waiter)
+
+        assert hb_races(traced(build)) == []
+
+    def test_notify_wait_edge_suppresses_race(self):
+        cell = SharedCell(0)
+        cond = SimCondition()
+
+        def build(k):
+            def waiter():
+                yield from cond.acquire()
+                yield from cond.wait()
+                yield from cond.release()
+                yield from cell.set(2)
+
+            def notifier():
+                yield Sleep(0.01)
+                yield from cell.set(1)
+                yield from cond.acquire()
+                yield from cond.notify()
+                yield from cond.release()
+
+            k.spawn(waiter)
+            k.spawn(notifier)
+
+        assert hb_races(traced(build)) == []
+
+    def test_temporal_separation_is_not_an_hb_edge(self):
+        """Sleeping does NOT order accesses: happens-before is logical
+        concurrency, so distinct-lock accesses race even when a Sleep
+        separated them in virtual time on this schedule."""
+        cell = SharedCell(0)
+        l1, l2 = SimLock(), SimLock()
+
+        def build(k):
+            def w1():
+                yield from l1.acquire()
+                yield from cell.set(1)
+                yield from l1.release()
+
+            def w2():
+                yield Sleep(0.1)
+                yield from l2.acquire()
+                yield from cell.set(2)
+                yield from l2.release()
+
+            k.spawn(w1)
+            k.spawn(w2)
+
+        trace = traced(build, scheduler=RoundRobinScheduler())
+        assert hb_races(trace)  # logically concurrent despite the Sleep
+
+
+class TestAgreement:
+    def test_on_plainly_racy_program_both_agree(self):
+        cell = SharedCell(0)
+
+        def build(k):
+            def w():
+                v = yield from cell.get(loc="r:1")
+                yield from cell.set(v + 1, loc="w:1")
+
+            k.spawn(w)
+            k.spawn(w)
+
+        trace = traced(build)
+        assert eraser_races(trace) and hb_races(trace)
+
+    def test_on_correct_program_both_silent(self):
+        cell = SharedCell(0)
+        lock = SimLock()
+
+        def build(k):
+            def w():
+                for _ in range(3):
+                    yield from lock.acquire()
+                    v = yield from cell.get()
+                    yield from cell.set(v + 1)
+                    yield from lock.release()
+
+            for _ in range(3):
+                k.spawn(w)
+
+        trace = traced(build, seed=11)
+        assert eraser_races(trace) == [] and hb_races(trace) == []

@@ -1,0 +1,278 @@
+"""Lock-order graph, contention, atomicity detectors, and reports."""
+
+import pytest
+
+from repro.detect import (
+    UNSERIALIZABLE,
+    atomicity_violations,
+    dedupe,
+    lock_contentions,
+    potential_deadlocks,
+)
+from repro.detect.lockgraph import LockGraph
+from repro.detect.reports import ContentionReport, RaceReport
+from repro.sim import (
+    Kernel,
+    RoundRobinScheduler,
+    SharedCell,
+    SimLock,
+    Sleep,
+    Yield,
+)
+from repro.sim.syscalls import BeginAtomic, EndAtomic
+
+
+def traced(build, seed=0, scheduler=None):
+    k = Kernel(seed=seed, scheduler=scheduler or RoundRobinScheduler(), record_trace=True)
+    build(k)
+    k.run()
+    return k.trace
+
+
+class TestLockGraph:
+    def _inversion_trace(self):
+        la, lb = SimLock("A"), SimLock("B")
+
+        def build(k):
+            def t1():
+                yield from la.acquire(loc="f.c:10")
+                yield from lb.acquire(loc="f.c:11")
+                yield from lb.release()
+                yield from la.release()
+
+            def t2():
+                yield Sleep(0.01)  # serialise: no actual deadlock
+                yield from lb.acquire(loc="g.c:20")
+                yield from la.acquire(loc="g.c:21")
+                yield from la.release()
+                yield from lb.release()
+
+            k.spawn(t1, name="t1")
+            k.spawn(t2, name="t2")
+
+        return traced(build)
+
+    def test_predicts_deadlock_from_nondeadlocking_run(self):
+        reports = potential_deadlocks(self._inversion_trace())
+        assert len(reports) == 1
+        rep = reports[0]
+        assert {rep.lock1, rep.lock2} == {"A", "B"}
+        assert {rep.loc1, rep.loc2} == {"f.c:11", "g.c:21"}
+
+    def test_ordered_acquisitions_are_clean(self):
+        la, lb = SimLock("A"), SimLock("B")
+
+        def build(k):
+            def t():
+                yield from la.acquire()
+                yield from lb.acquire()
+                yield from lb.release()
+                yield from la.release()
+
+            k.spawn(t)
+            k.spawn(t)
+
+        assert potential_deadlocks(traced(build)) == []
+
+    def test_three_lock_cycle_reported_pairwise(self):
+        locks = [SimLock(f"L{i}") for i in range(3)]
+
+        def build(k):
+            def t(i):
+                yield Sleep(0.01 * i)
+                yield from locks[i].acquire(loc=f"s{i}:1")
+                yield from locks[(i + 1) % 3].acquire(loc=f"s{i}:2")
+                yield from locks[(i + 1) % 3].release()
+                yield from locks[i].release()
+
+            for i in range(3):
+                k.spawn(t, i)
+
+        graph = LockGraph().feed(traced(build))
+        assert graph.cycles()
+        assert graph.reports()
+
+    def test_render_and_insertions(self):
+        rep = potential_deadlocks(self._inversion_trace())[0]
+        text = rep.render()
+        assert "Deadlock found" in text
+        ins = rep.insertions()
+        assert ins[0].trigger_kind == "DeadlockTrigger"
+        assert ins[0].is_first_action and not ins[1].is_first_action
+
+
+class TestContention:
+    def test_two_sites_on_one_lock(self):
+        lock = SimLock("mon")
+
+        def build(k):
+            def user(loc):
+                yield from lock.acquire(loc=loc)
+                yield from lock.release()
+
+            k.spawn(user, "Async.java:100")
+            k.spawn(user, "Async.java:309")
+
+        reps = lock_contentions(traced(build))
+        assert len(reps) == 1
+        assert {reps[0].loc1, reps[0].loc2} == {"Async.java:100", "Async.java:309"}
+        assert reps[0].lock == "mon"
+
+    def test_single_thread_lock_not_contended(self):
+        lock = SimLock()
+
+        def build(k):
+            def solo():
+                yield from lock.acquire(loc="a:1")
+                yield from lock.release()
+                yield from lock.acquire(loc="a:2")
+                yield from lock.release()
+
+            k.spawn(solo)
+
+        assert lock_contentions(traced(build)) == []
+
+    def test_self_pair_opt_in(self):
+        lock = SimLock()
+
+        def build(k):
+            def user():
+                yield from lock.acquire(loc="same:1")
+                yield from lock.release()
+
+            k.spawn(user)
+            k.spawn(user)
+
+        assert lock_contentions(traced(build)) == []
+        reps = lock_contentions(traced(build), include_self_pairs=True)
+        assert len(reps) == 1 and reps[0].loc1 == reps[0].loc2
+
+    def test_log4j_shape_four_sites_six_pairs(self):
+        lock = SimLock("buffer")
+        sites = ["A.java:100", "A.java:236", "A.java:277", "A.java:309"]
+
+        def build(k):
+            def user(loc):
+                yield from lock.acquire(loc=loc)
+                yield from lock.release()
+
+            for s in sites:
+                k.spawn(user, s)
+
+        reps = lock_contentions(traced(build))
+        assert len(reps) == 6  # C(4,2), the paper lists the relevant 4
+
+
+class TestAtomicity:
+    def _run_pattern(self, local_ops, remote_op):
+        """Drive an exact (local, remote, local) interleaving."""
+        cell = SharedCell(5, name="v")
+
+        def build(k):
+            def local():
+                yield BeginAtomic("region")
+                if local_ops[0] == "read":
+                    yield from cell.get(loc="loc:1")
+                else:
+                    yield from cell.set(1, loc="loc:1")
+                yield Yield()
+                if local_ops[1] == "read":
+                    yield from cell.get(loc="loc:2")
+                else:
+                    yield from cell.set(2, loc="loc:2")
+                yield EndAtomic("region")
+
+            def remote():
+                yield Yield()  # land between the two local accesses
+                if remote_op == "read":
+                    yield from cell.get(loc="rem:1")
+                else:
+                    yield from cell.set(9, loc="rem:1")
+
+            k.spawn(local)
+            k.spawn(remote)
+
+        return atomicity_violations(traced(build))
+
+    @pytest.mark.parametrize("pattern", sorted(UNSERIALIZABLE))
+    def test_each_unserializable_pattern_detected(self, pattern):
+        a1, r, a2 = pattern
+        reps = self._run_pattern((a1, a2), r)
+        assert any(rep.pattern == pattern for rep in reps)
+
+    @pytest.mark.parametrize("pattern", [("read", "read", "read"), ("write", "read", "read")])
+    def test_serializable_patterns_quiet(self, pattern):
+        a1, r, a2 = pattern
+        assert self._run_pattern((a1, a2), r) == []
+
+    def test_no_region_no_report(self):
+        cell = SharedCell(0)
+
+        def build(k):
+            def w():
+                yield from cell.get()
+                yield from cell.set(1)
+
+            k.spawn(w)
+            k.spawn(w)
+
+        assert atomicity_violations(traced(build)) == []
+
+    def test_serial_execution_quiet(self):
+        cell = SharedCell(0)
+
+        def build(k):
+            def local():
+                yield BeginAtomic("r")
+                yield from cell.get()
+                yield from cell.get()
+                yield EndAtomic("r")
+
+            def remote():
+                yield Sleep(0.01)
+                yield from cell.set(1)
+
+            k.spawn(local)
+            k.spawn(remote)
+
+        assert atomicity_violations(traced(build)) == []
+
+    def test_report_carries_breakpoint_ingredients(self):
+        reps = self._run_pattern(("read", "read"), "write")
+        rep = reps[0]
+        assert rep.loc_remote == "rem:1"
+        ins = rep.insertions()
+        assert ins[0].loc == "rem:1" and ins[0].is_first_action
+        assert "Atomicity violation" in rep.render()
+
+
+class TestReports:
+    def test_dedupe_by_identity_and_location_pair(self):
+        r1 = RaceReport(name="race:c", loc1="x:1", loc2="y:2", cell="c")
+        r2 = RaceReport(name="race:c", loc1="y:2", loc2="x:1", cell="c")  # swapped pair
+        r3 = ContentionReport(name="cont:l", loc1="x:1", loc2="y:2", lock="l")
+        out = dedupe([r1, r2, r3])
+        assert len(out) == 2  # same name+pair collapses; different kind kept
+
+    def test_dedupe_keeps_distinct_cells_at_same_locations(self):
+        # Regression: two cells raced through the same helper lines are
+        # two findings, not one.
+        r1 = RaceReport(name="race:c0", loc1="m:43", loc2="m:48", cell="c0")
+        r2 = RaceReport(name="race:c1", loc1="m:43", loc2="m:48", cell="c1")
+        assert len(dedupe([r1, r2])) == 2
+
+    def test_race_report_render_matches_paper_format(self):
+        rep = RaceReport(
+            name="r", loc1="sample/Test1.java:line 15", loc2="sample/Test1.java:line 20",
+            cell="x.f",
+        )
+        text = rep.render()
+        assert "Data race detected" in text
+        assert "line 15" in text and "line 20" in text
+
+    def test_race_insertions_shape(self):
+        rep = RaceReport(name="r", loc1="a:1", loc2="b:2", cell="x")
+        first, second = rep.insertions()
+        assert first.trigger_kind == "ConflictTrigger"
+        assert first.is_first_action and not second.is_first_action
+        assert "trigger_here" in str(first)

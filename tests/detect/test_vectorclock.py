@@ -1,0 +1,100 @@
+"""VectorClock laws, unit + property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detect import VectorClock
+
+clock_dicts = st.dictionaries(st.integers(0, 4), st.integers(0, 20), max_size=5)
+
+
+class TestBasics:
+    def test_empty_clock_components_are_zero(self):
+        assert VectorClock().get(3) == 0
+
+    def test_tick_advances_own_component(self):
+        vc = VectorClock()
+        vc.tick(1)
+        vc.tick(1)
+        assert vc.get(1) == 2 and vc.get(2) == 0
+
+    def test_join_is_componentwise_max(self):
+        a = VectorClock({1: 3, 2: 1})
+        b = VectorClock({1: 1, 2: 5, 3: 2})
+        a.join(b)
+        assert (a.get(1), a.get(2), a.get(3)) == (3, 5, 2)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({1: 1})
+        b = a.copy()
+        b.tick(1)
+        assert a.get(1) == 1 and b.get(1) == 2
+
+    def test_equality_ignores_explicit_zeros(self):
+        assert VectorClock({1: 0, 2: 3}) == VectorClock({2: 3})
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(VectorClock())
+
+    def test_happens_before_ordering(self):
+        a = VectorClock({1: 1})
+        b = VectorClock({1: 2, 2: 1})
+        assert a <= b and a < b
+        assert not (b <= a)
+
+    def test_concurrent_detection(self):
+        a = VectorClock({1: 2})
+        b = VectorClock({2: 2})
+        assert a.concurrent(b) and b.concurrent(a)
+        assert not a.concurrent(a.copy())
+
+    def test_repr_sorted(self):
+        assert "1:2" in repr(VectorClock({1: 2}))
+
+
+@settings(max_examples=200, deadline=None)
+@given(clock_dicts, clock_dicts)
+def test_join_is_least_upper_bound(da, db):
+    a, b = VectorClock(da), VectorClock(db)
+    j = a.copy()
+    j.join(b)
+    assert a <= j and b <= j
+    # Least: any other upper bound dominates j.
+    keys = set(da) | set(db)
+    upper = VectorClock({k: max(a.get(k), b.get(k)) for k in keys})
+    assert j <= upper and upper <= j
+
+
+@settings(max_examples=200, deadline=None)
+@given(clock_dicts, clock_dicts)
+def test_ordering_is_antisymmetric(da, db):
+    a, b = VectorClock(da), VectorClock(db)
+    if a <= b and b <= a:
+        assert a == b
+
+
+@settings(max_examples=200, deadline=None)
+@given(clock_dicts, clock_dicts, clock_dicts)
+def test_ordering_is_transitive(da, db, dc):
+    a, b, c = VectorClock(da), VectorClock(db), VectorClock(dc)
+    if a <= b and b <= c:
+        assert a <= c
+
+
+@settings(max_examples=200, deadline=None)
+@given(clock_dicts, clock_dicts)
+def test_exactly_one_of_ordered_or_concurrent(da, db):
+    a, b = VectorClock(da), VectorClock(db)
+    ordered = (a <= b) or (b <= a)
+    assert ordered != a.concurrent(b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(clock_dicts)
+def test_join_idempotent(d):
+    a = VectorClock(d)
+    b = a.copy()
+    b.join(a)
+    assert a == b

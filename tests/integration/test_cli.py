@@ -1,0 +1,107 @@
+"""The ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestList:
+    def test_lists_apps_and_bugs(self, capsys):
+        assert run_cli("list") == 0
+        out = capsys.readouterr().out
+        assert "jigsaw" in out and "deadlock1" in out
+        assert "pbzip2" in out and "crash1" in out
+
+
+class TestRun:
+    def test_single_run_reports_outcome(self, capsys):
+        assert run_cli("run", "stringbuffer", "atomicity1", "--seed", "0") == 0
+        out = capsys.readouterr().out
+        assert "bug reproduced : True" in out
+        assert "exception" in out
+
+    def test_trials_mode(self, capsys):
+        assert run_cli("run", "figure4", "error1", "--trials", "5", "--timeout", "0.2") == 0
+        out = capsys.readouterr().out
+        assert "reproduced 5/5" in out
+
+    def test_no_bp_flag(self, capsys):
+        assert run_cli("run", "stringbuffer", "atomicity1", "--no-bp", "--trials", "5") == 0
+        out = capsys.readouterr().out
+        assert "reproduced 0/5" in out
+
+    def test_unknown_bug_is_an_error(self, capsys):
+        assert run_cli("run", "stringbuffer", "nope") == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            run_cli("run", "nosuchapp", "bug")
+
+
+class TestTables:
+    def test_section62_table(self, capsys):
+        assert run_cli("section62", "--trials", "5") == 0
+        out = capsys.readouterr().out
+        assert "hedc/race1" in out and "swing/deadlock1" in out
+
+    def test_table2(self, capsys):
+        assert run_cli("table2", "--trials", "3") == 0
+        out = capsys.readouterr().out
+        assert "MTTE" in out
+
+
+def test_module_entrypoint_via_subprocess():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "run", "pool", "missed-notify1", "--trials", "3"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "reproduced 3/3" in proc.stdout
+
+
+def test_timeline_flag(capsys):
+    assert run_cli("run", "stringbuffer", "atomicity1", "--timeline") == 0
+    out = capsys.readouterr().out
+    assert "Timeline around the breakpoints" in out
+    assert "trigger" in out
+
+
+class TestSuiteCommand:
+    def test_text_render(self, capsys):
+        assert run_cli("suite", "jigsaw", "deadlock1") == 0
+        out = capsys.readouterr().out
+        assert "SocketClientFactory.java:626" in out
+
+    def test_json_render(self, capsys):
+        import json
+
+        assert run_cli("suite", "pbzip2", "crash1", "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["breakpoints"]) == 2
+
+    def test_unknown_suite(self, capsys):
+        assert run_cli("suite", "jigsaw", "nope") == 2
+
+
+def test_report_command(tmp_path, capsys):
+    out_file = tmp_path / "report.md"
+    assert run_cli("report", "--trials", "4", "--out", str(out_file)) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert "## Table 1" in out_file.read_text()
+
+
+def test_analyze_command(capsys):
+    assert run_cli("analyze", "jigsaw", "--seed", "2") == 0
+    out = capsys.readouterr().out
+    assert "finding(s)" in out
+    assert "Potential deadlocks" in out

@@ -1,0 +1,72 @@
+"""Reproduction is robust to workload scale, not tuned to one size.
+
+The apps expose workload parameters (thread counts, operation counts,
+event counts).  A breakpoint that only worked at the default size would
+be an artefact; these tests vary the knobs and require reproduction to
+survive.
+"""
+
+import pytest
+
+from repro.apps import (
+    AppConfig,
+    Cache4jApp,
+    JigsawApp,
+    MoldynApp,
+    MySQL4012App,
+    Pbzip2App,
+    StringBufferApp,
+    SynchronizedListApp,
+)
+
+N = 8
+
+
+def prob(cls, bug, params, n=N, **kw):
+    hits = 0
+    for seed in range(n):
+        hits += cls(AppConfig(bug=bug, params=dict(params), **kw)).run(seed=seed).bug_hit
+    return hits / n
+
+
+class TestScaledWorkloads:
+    @pytest.mark.parametrize("rounds", [2, 8, 16])
+    def test_stringbuffer_rounds(self, rounds):
+        assert prob(StringBufferApp, "atomicity1", {"rounds": rounds}) >= 0.85
+
+    @pytest.mark.parametrize("workers,ops", [(2, 6), (3, 12), (4, 20)])
+    def test_cache4j_worker_pool(self, workers, ops):
+        assert prob(Cache4jApp, "race1", {"workers": workers, "ops": ops}) >= 0.85
+
+    @pytest.mark.parametrize("iterations", [8, 24, 48])
+    def test_moldyn_iterations(self, iterations):
+        assert prob(MoldynApp, "race1", {"iterations": iterations}) >= 0.85
+
+    @pytest.mark.parametrize("threads", [2, 3, 4])
+    def test_moldyn_thread_count(self, threads):
+        assert prob(MoldynApp, "race1", {"threads": threads}) >= 0.85
+
+    @pytest.mark.parametrize("blocks", [3, 6, 12])
+    def test_pbzip2_block_count(self, blocks):
+        assert prob(Pbzip2App, "crash1", {"blocks": blocks}) >= 0.85
+
+    @pytest.mark.parametrize("txns", [4, 10, 25])
+    def test_mysql_txn_volume(self, txns):
+        assert prob(MySQL4012App, "logomit1", {"txns": txns}) >= 0.85
+
+    @pytest.mark.parametrize("items", [2, 6, 12])
+    def test_collections_initial_size(self, items):
+        assert prob(SynchronizedListApp, "deadlock1", {"initial_items": items}) >= 0.85
+
+    def test_jigsaw_more_clients(self):
+        # More clients than connect-window profiles: profiles cycle.
+        assert prob(JigsawApp, "deadlock1", {"clients": 6}) >= 0.85
+
+
+class TestBaselineStaysRareWhenScaled:
+    @pytest.mark.parametrize("rounds", [2, 16])
+    def test_stringbuffer_baseline(self, rounds):
+        assert prob(StringBufferApp, None, {"rounds": rounds}, n=10) <= 0.2
+
+    def test_pbzip2_baseline_scaled(self):
+        assert prob(Pbzip2App, None, {"blocks": 12}, n=10) <= 0.3

@@ -1,0 +1,122 @@
+"""The Section 3 probability formulas: exactness, bounds, monotonicity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    boost_factor,
+    exhaustive_p_hit,
+    p_hit,
+    p_hit_approx,
+    p_hit_btrigger,
+    p_hit_btrigger_approx,
+    p_hit_btrigger_lower,
+    p_hit_upper,
+)
+
+
+class TestExactFormula:
+    @pytest.mark.parametrize(
+        "N,m", [(4, 1), (6, 2), (8, 3), (10, 2), (12, 4), (7, 1), (9, 3)]
+    )
+    def test_matches_exhaustive_enumeration(self, N, m):
+        assert p_hit(N, m) == pytest.approx(exhaustive_p_hit(N, m), abs=1e-12)
+
+    def test_zero_visits_never_hit(self):
+        assert p_hit(100, 0) == 0.0
+
+    def test_pigeonhole_certainty(self):
+        # m > N - m: the visit sets cannot be disjoint.
+        assert p_hit(10, 6) == 1.0
+
+    def test_single_visit_probability(self):
+        # One visit each: hit iff same slot, P = 1/N.
+        assert p_hit(50, 1) == pytest.approx(1 / 50)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            p_hit(0, 0)
+        with pytest.raises(ValueError):
+            p_hit(5, 6)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("N,m", [(100, 3), (1000, 5), (50, 2), (200, 10)])
+    def test_exact_below_upper_bound(self, N, m):
+        assert p_hit(N, m) <= p_hit_upper(N, m) + 1e-12
+
+    @pytest.mark.parametrize("N,m", [(1000, 3), (10_000, 5)])
+    def test_approx_close_to_upper_for_small_m(self, N, m):
+        # m << N: the Binomial-theorem approximation tracks the bound.
+        assert p_hit_upper(N, m) == pytest.approx(p_hit_approx(N, m), rel=0.05)
+
+    @pytest.mark.parametrize(
+        "N,M,m,T", [(1000, 10, 3, 50), (500, 20, 5, 10), (2000, 8, 2, 100)]
+    )
+    def test_btrigger_formula_above_its_lower_bound(self, N, M, m, T):
+        assert p_hit_btrigger(N, M, m, T) >= p_hit_btrigger_lower(N, M, m, T) - 1e-9
+
+    def test_btrigger_approx_tracks_lower_bound_small_m(self):
+        assert p_hit_btrigger_lower(100_000, 10, 3, 50) == pytest.approx(
+            p_hit_btrigger_approx(100_000, 10, 3, 50), rel=0.05
+        )
+
+
+class TestBTriggerEffect:
+    def test_pausing_beats_not_pausing(self):
+        N, M, m = 1000, 5, 3
+        base = p_hit(N, m)
+        for T in (10, 50, 200):
+            assert p_hit_btrigger(N, M, m, T) > base
+
+    def test_probability_increases_with_T(self):
+        vals = [p_hit_btrigger(1000, 10, 3, T) for T in (1, 10, 50, 200)]
+        assert vals == sorted(vals)
+        assert vals[-1] > vals[0]
+
+    def test_probability_decreases_with_imprecision_M(self):
+        # Larger M (imprecise local predicate) hurts: Section 6.3's case.
+        vals = [p_hit_btrigger(1000, M, 3, 50) for M in (3, 10, 50, 200)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_boost_factor_monotonicity(self):
+        by_T = [boost_factor(1000, 10, 3, T) for T in (1, 10, 100)]
+        assert by_T == sorted(by_T)
+        by_M = [boost_factor(1000, M, 3, 50) for M in (3, 20, 100)]
+        assert by_M == sorted(by_M, reverse=True)
+
+    def test_boost_factor_consistent_with_probability_ratio(self):
+        """The claimed factor is a *minimum*: the actual ratio of the
+        formula probabilities should be at least ~that factor (allowing
+        small-m slack)."""
+        N, M, m, T = 2000, 10, 2, 50
+        ratio = p_hit_btrigger(N, M, m, T) / p_hit(N, m)
+        assert ratio >= 0.8 * boost_factor(N, M, m, T)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            p_hit_btrigger(100, 2, 5, 10)  # M < m
+        with pytest.raises(ValueError):
+            p_hit_btrigger(100, 5, 2, -1)  # negative T
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    N=st.integers(2, 200),
+    m=st.integers(1, 10),
+    M_extra=st.integers(0, 10),
+    T=st.integers(0, 100),
+)
+def test_all_formulas_are_probabilities(N, m, M_extra, T):
+    if m > N:
+        return
+    M = min(m + M_extra, N)
+    for v in (
+        p_hit(N, m),
+        p_hit_upper(N, m),
+        p_hit_btrigger(N, M, m, T),
+        p_hit_btrigger_lower(N, M, m, T),
+    ):
+        assert 0.0 <= v <= 1.0 + 1e-12
+    assert boost_factor(N, M, m, T) >= 0.0

@@ -1,0 +1,54 @@
+"""Monte-Carlo estimators vs the closed forms."""
+
+import pytest
+
+from repro.model import (
+    exhaustive_p_hit,
+    mc_p_hit,
+    mc_p_hit_btrigger,
+    p_hit,
+    p_hit_btrigger,
+)
+
+
+class TestPlainEstimator:
+    @pytest.mark.parametrize("N,m", [(50, 2), (100, 3), (200, 5)])
+    def test_tracks_closed_form(self, N, m):
+        est = mc_p_hit(N, m, trials=20_000, seed=1)
+        assert est == pytest.approx(p_hit(N, m), abs=0.02)
+
+    def test_zero_visits(self):
+        assert mc_p_hit(100, 0, trials=10) == 0.0
+
+    def test_deterministic_given_seed(self):
+        a = mc_p_hit(60, 2, trials=5000, seed=9)
+        b = mc_p_hit(60, 2, trials=5000, seed=9)
+        assert a == b
+
+    def test_matches_exhaustive_small_case(self):
+        est = mc_p_hit(8, 2, trials=40_000, seed=2)
+        assert est == pytest.approx(exhaustive_p_hit(8, 2), abs=0.02)
+
+
+class TestBTriggerEstimator:
+    def test_tracks_formula_when_windows_sparse(self):
+        # Windows cover a small fraction of the timeline, so the
+        # non-overlap assumption behind the formula nearly holds.
+        N, M, m, T = 4000, 6, 2, 40
+        est = mc_p_hit_btrigger(N, M, m, T, trials=20_000, seed=3)
+        assert est == pytest.approx(p_hit_btrigger(N, M, m, T), abs=0.03)
+
+    def test_zero_visits(self):
+        assert mc_p_hit_btrigger(100, 5, 0, 10, trials=10) == 0.0
+
+    def test_estimated_boost_over_plain(self):
+        N, M, m, T = 1000, 10, 3, 50
+        plain = mc_p_hit(N, m, trials=20_000, seed=4)
+        boosted = mc_p_hit_btrigger(N, M, m, T, trials=20_000, seed=5)
+        assert boosted > 5 * plain  # formula predicts ~30x here
+
+    def test_probability_grows_with_T_empirically(self):
+        vals = [
+            mc_p_hit_btrigger(1000, 10, 3, T, trials=8_000, seed=6) for T in (5, 50, 200)
+        ]
+        assert vals[0] < vals[1] < vals[2]

@@ -1,0 +1,185 @@
+"""The Trigger syscall: exact BTrigger semantics on the kernel."""
+
+from repro.core import GLOBAL, ConflictTrigger, DeadlockTrigger, SitePolicy
+from repro.sim import Kernel, RoundRobinScheduler, SharedCell, SimLock, Sleep
+from repro.sim.trace import OP
+
+
+def test_match_returns_true_on_both_sides():
+    obj = object()
+    got = {}
+
+    def side(tag, first):
+        hit = yield from ConflictTrigger("bp", obj).sim_trigger_here(first, 0.5)
+        got[tag] = hit
+
+    k = Kernel(seed=0)
+    k.spawn(side, "a", True)
+    k.spawn(side, "b", False)
+    result = k.run()
+    assert result.ok
+    assert got == {"a": True, "b": True}
+    assert result.breakpoint_hit("bp")
+
+
+def test_timeout_returns_false_and_costs_virtual_time():
+    got = {}
+
+    def lonely():
+        got["hit"] = yield from ConflictTrigger("solo", object()).sim_trigger_here(True, 0.2)
+
+    k = Kernel()
+    k.spawn(lonely)
+    result = k.run()
+    assert got["hit"] is False
+    assert result.time >= 0.2
+    assert result.breakpoint_stats["solo"].timeouts == 1
+
+
+def test_first_action_thread_executes_next_instruction_first():
+    """The exact Section 2 ordering: after a match, the first-action
+    thread's next instruction runs before the second thread resumes."""
+    cell = SharedCell(0)
+    observed = []
+
+    def first_side():
+        yield from ConflictTrigger("ord", cell).sim_trigger_here(True, 0.5)
+        yield from cell.set(1)  # the 'next instruction'
+
+    def second_side():
+        yield from ConflictTrigger("ord", cell).sim_trigger_here(False, 0.5)
+        observed.append(cell.peek())
+
+    for seed in range(20):
+        cell.poke(0)
+        observed.clear()
+        k = Kernel(seed=seed)
+        k.spawn(second_side)  # spawn order must not matter
+        k.spawn(first_side)
+        assert k.run().ok
+        assert observed == [1], f"ordering violated with seed {seed}"
+
+
+def test_disabled_breakpoints_skip_instantly():
+    GLOBAL.enabled = False
+    got = {}
+
+    def t():
+        got["hit"] = yield from ConflictTrigger("off", object()).sim_trigger_here(True, 10.0)
+
+    k = Kernel()
+    k.spawn(t)
+    result = k.run()
+    GLOBAL.enabled = True
+    assert got["hit"] is False
+    assert result.time < 0.01
+
+
+def test_bound_policy_stops_matching():
+    obj = object()
+    pol = SitePolicy(bound=1)
+    hits = []
+
+    def looper(first):
+        for _ in range(3):
+            hit = yield from ConflictTrigger("b", obj, policy=pol).sim_trigger_here(first, 0.05)
+            hits.append(hit)
+            yield Sleep(0.001)
+
+    k = Kernel(scheduler=RoundRobinScheduler())
+    k.spawn(looper, True)
+    k.spawn(looper, False)
+    k.run()
+    assert hits.count(True) == 2  # one match, seen from both sides
+    # After the bound, visits are skipped without pausing.
+    st = k.engine.stats_for("b")
+    assert st.local_skips >= 3
+
+
+def test_trigger_events_recorded_in_trace():
+    obj = object()
+
+    def side(first):
+        yield from ConflictTrigger("tr", obj).sim_trigger_here(first, 0.5)
+
+    k = Kernel(seed=0, record_trace=True)
+    k.spawn(side, True)
+    k.spawn(side, False)
+    k.run()
+    ops = [e.op for e in k.trace if e.op.startswith("trigger")]
+    assert OP.TRIGGER_VISIT in ops
+    assert OP.TRIGGER_POSTPONE in ops
+    assert OP.TRIGGER_HIT in ops
+
+
+def test_deadlock_trigger_forces_real_deadlock():
+    for seed in range(10):
+        la, lb = SimLock("A"), SimLock("B")
+
+        def t1():
+            yield from la.acquire()
+            yield from DeadlockTrigger("dl", la, lb).sim_trigger_here(True, 0.5)
+            yield from lb.acquire()
+            yield from lb.release()
+            yield from la.release()
+
+        def t2():
+            yield from lb.acquire()
+            yield from DeadlockTrigger("dl", lb, la).sim_trigger_here(False, 0.5)
+            yield from la.acquire()
+            yield from la.release()
+            yield from lb.release()
+
+        k = Kernel(seed=seed)
+        k.spawn(t1)
+        k.spawn(t2)
+        result = k.run()
+        assert result.deadlocked, f"seed {seed} escaped the forced deadlock"
+
+
+def test_three_threads_two_match_third_times_out():
+    obj = object()
+    hits = []
+
+    def side(first):
+        hit = yield from ConflictTrigger("multi", obj).sim_trigger_here(first, 0.1)
+        hits.append(hit)
+
+    k = Kernel(scheduler=RoundRobinScheduler())
+    k.spawn(side, True)
+    k.spawn(side, False)
+    k.spawn(side, False)
+    result = k.run()
+    assert sorted(hits) == [False, True, True]
+    st = result.breakpoint_stats["multi"]
+    assert st.hits == 1 and st.timeouts == 1
+
+
+def test_is_lock_type_held_policy_in_sim():
+    """The Swing-style refinement works against SimLock tags."""
+    caret = SimLock("caret", tag="BasicCaret")
+    obj = object()
+    pol = SitePolicy(require_lock_tag="BasicCaret")
+    outcomes = {}
+
+    def with_lock():
+        yield from caret.acquire()
+        outcomes["with"] = yield from ConflictTrigger(
+            "ref", obj, policy=pol
+        ).sim_trigger_here(True, 0.02)
+        yield from caret.release()
+
+    def without_lock():
+        yield Sleep(0.05)
+        outcomes["without"] = yield from ConflictTrigger(
+            "ref", obj, policy=pol
+        ).sim_trigger_here(False, 0.02)
+
+    k = Kernel(scheduler=RoundRobinScheduler())
+    k.spawn(with_lock)
+    k.spawn(without_lock)
+    result = k.run()
+    # Both visits happen at disjoint times: the tagged one postpones
+    # (policy passes), the untagged one is skipped by the refinement.
+    st = result.breakpoint_stats["ref"]
+    assert st.postpones == 1 and st.local_skips == 1

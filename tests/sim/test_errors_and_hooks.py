@@ -1,0 +1,196 @@
+"""Error types, the pre-dispatch hook, and kernel edge cases."""
+
+import pytest
+
+from repro.sim import (
+    Kernel,
+    RoundRobinScheduler,
+    SharedCell,
+    SimDeadlockError,
+    SimLock,
+    Sleep,
+    ThreadFailure,
+    Yield,
+)
+from repro.sim.syscalls import Read, Syscall, Write
+
+
+class TestErrorTypes:
+    def test_deadlock_error_message(self):
+        err = SimDeadlockError({"t1": "Lock(A)", "t2": "Lock(B)"}, cycle=["t1", "t2", "t1"])
+        text = str(err)
+        assert "t1" in text and "cycle" in text
+
+    def test_deadlock_error_without_cycle(self):
+        err = SimDeadlockError({"t1": "Cond(c)"})
+        assert err.cycle is None
+        assert "blocked on" in str(err)
+
+    def test_thread_failure_repr(self):
+        f = ThreadFailure("worker", ValueError("x"), 1.5, 10)
+        assert "worker" in repr(f) and "ValueError" in repr(f)
+
+
+class TestPreDispatchHook:
+    def test_hook_can_delay_specific_syscalls(self):
+        cell = SharedCell(0, name="x")
+        delayed = []
+
+        def hook(thread, call):
+            if isinstance(call, Write):
+                delayed.append(thread.name)
+                return 0.05
+            return None
+
+        def t():
+            yield from cell.get()
+            yield from cell.set(1)
+
+        k = Kernel()
+        k.pre_dispatch = hook
+        k.spawn(t, name="w")
+        result = k.run()
+        assert result.ok
+        assert delayed == ["w"]
+        assert result.time >= 0.05
+        assert cell.peek() == 1  # the write still happened after the delay
+
+    def test_hook_returning_none_is_transparent(self):
+        cell = SharedCell(0)
+
+        def t():
+            yield from cell.set(5)
+
+        k = Kernel()
+        k.pre_dispatch = lambda thread, call: None
+        k.spawn(t)
+        result = k.run()
+        assert result.ok and result.time < 0.01
+        assert cell.peek() == 5
+
+    def test_delayed_acquire_still_respects_ownership(self):
+        lock = SimLock()
+        order = []
+
+        def hook(thread, call):
+            from repro.sim.syscalls import Acquire
+
+            if isinstance(call, Acquire) and thread.name == "late":
+                return 0.02
+            return None
+
+        def fast():
+            yield from lock.acquire()
+            order.append("fast-in")
+            yield Sleep(0.05)
+            order.append("fast-out")
+            yield from lock.release()
+
+        def late():
+            yield from lock.acquire()
+            order.append("late-in")
+            yield from lock.release()
+
+        k = Kernel(scheduler=RoundRobinScheduler())
+        k.pre_dispatch = hook
+        k.spawn(fast, name="fast")
+        k.spawn(late, name="late")
+        assert k.run().ok
+        assert order == ["fast-in", "fast-out", "late-in"]
+
+
+class TestKernelEdgeCases:
+    def test_non_syscall_yield_fails_thread(self):
+        def bad():
+            yield 42
+
+        k = Kernel()
+        k.spawn(bad)
+        result = k.run()
+        assert result.failures
+
+    def test_pending_exception_delivered_into_generator(self):
+        lock = SimLock()
+        caught = []
+
+        def t():
+            try:
+                yield from lock.release()  # not owner: RuntimeError
+            except RuntimeError as exc:
+                caught.append(exc)
+            yield Yield()
+
+        k = Kernel()
+        k.spawn(t)
+        result = k.run()
+        assert result.ok  # the thread recovered
+        assert caught
+
+    def test_zero_duration_sleep_is_just_a_yield(self):
+        def t():
+            yield Sleep(0.0)
+
+        k = Kernel()
+        k.spawn(t)
+        result = k.run()
+        assert result.ok and result.time < 0.001
+
+    def test_spawn_inside_thread_counts_toward_completion(self):
+        done = []
+
+        def child():
+            yield Sleep(0.01)
+            done.append("child")
+
+        def parent(kernel):
+            kernel.spawn(child)
+            yield Yield()
+            done.append("parent")
+
+        k = Kernel()
+        k.spawn(parent, k)
+        result = k.run()
+        assert result.ok
+        assert set(done) == {"child", "parent"}
+
+    def test_failure_in_thread_holding_lock_leaves_it_held(self):
+        """A simulated crash does not magically release locks — the
+        realistic behaviour underlying the pbzip2-style crash scenarios."""
+        lock = SimLock()
+
+        def crasher():
+            yield from lock.acquire()
+            raise RuntimeError("boom")
+
+        def waiter():
+            yield Sleep(0.01)
+            yield from lock.acquire()
+
+        k = Kernel(scheduler=RoundRobinScheduler())
+        k.spawn(crasher)
+        k.spawn(waiter)
+        result = k.run()
+        assert result.failures
+        assert result.deadlocked  # waiter starves forever
+
+    def test_syscall_base_is_abstractish(self):
+        # Yielding the bare base class is rejected by dispatch.
+        def t():
+            yield Syscall()
+
+        k = Kernel()
+        k.spawn(t)
+        assert k.run().failures
+
+    def test_read_write_syscalls_direct(self):
+        cell = SharedCell(1)
+        got = []
+
+        def t():
+            got.append((yield Read(cell)))
+            yield Write(cell, 9)
+
+        k = Kernel()
+        k.spawn(t)
+        assert k.run().ok
+        assert got == [1] and cell.peek() == 9

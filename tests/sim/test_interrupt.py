@@ -1,0 +1,214 @@
+"""Thread interruption: delivery into every blocking state."""
+
+import pytest
+
+from repro.core import ConflictTrigger
+from repro.sim import (
+    Interrupt,
+    Kernel,
+    RoundRobinScheduler,
+    SharedCell,
+    SimBarrier,
+    SimCondition,
+    SimEvent,
+    SimLock,
+    SimSemaphore,
+    Sleep,
+    ThreadInterrupted,
+    Yield,
+)
+
+
+def interruptee_wrapper(body, caught):
+    """Run ``body``; record whether ThreadInterrupted arrived."""
+
+    def wrapped():
+        try:
+            yield from body()
+            caught.append(None)
+        except ThreadInterrupted:
+            caught.append("interrupted")
+
+    return wrapped
+
+
+def run_with_interrupter(body, delay=0.01):
+    caught = []
+    k = Kernel(scheduler=RoundRobinScheduler())
+    target = k.spawn(interruptee_wrapper(body, caught), name="victim")
+
+    def interrupter():
+        yield Sleep(delay)
+        ok = yield Interrupt(target)
+        assert ok
+
+    k.spawn(interrupter, name="interrupter")
+    result = k.run(max_time=5.0)
+    return caught, result
+
+
+class TestInterruptDelivery:
+    def test_interrupts_a_sleep(self):
+        def body():
+            yield Sleep(100.0)
+
+        caught, result = run_with_interrupter(body)
+        assert caught == ["interrupted"]
+        assert result.ok and result.time < 1.0
+
+    def test_interrupts_a_lock_wait(self):
+        lock = SimLock()
+
+        def holder():
+            yield from lock.acquire()
+            yield Sleep(100.0)
+
+        caught = []
+        k = Kernel(scheduler=RoundRobinScheduler())
+        k.spawn(holder, name="holder", daemon=True)
+
+        def body():
+            yield from lock.acquire()
+
+        victim = k.spawn(interruptee_wrapper(body, caught), name="victim")
+
+        def interrupter():
+            yield Sleep(0.01)
+            yield Interrupt(victim)
+
+        k.spawn(interrupter)
+        result = k.run(max_time=5.0)
+        assert caught == ["interrupted"]
+        assert result.completed
+        assert lock.waiters == []  # unwound cleanly
+
+    def test_interrupted_cond_wait_reacquires_monitor_first(self):
+        cond = SimCondition()
+        observed = {}
+
+        def body():
+            yield from cond.acquire()
+            try:
+                yield from cond.wait()
+            except ThreadInterrupted:
+                # Java contract: the monitor is held when the exception
+                # is delivered, so the usual release still works.
+                observed["owner_is_me"] = cond.lock.owner is not None
+                yield from cond.release()
+                raise
+
+        caught, result = run_with_interrupter(body)
+        assert caught == ["interrupted"]
+        assert observed["owner_is_me"]
+        assert cond.lock.owner is None
+        assert result.ok
+
+    def test_interrupts_semaphore_and_event_and_barrier(self):
+        sem = SimSemaphore(0)
+        ev = SimEvent()
+        barrier = SimBarrier(2)
+        for waiter in (
+            lambda: (yield from sem.acquire()),
+            lambda: (yield from ev.wait()),
+            lambda: (yield from barrier.wait()),
+        ):
+            caught, result = run_with_interrupter(waiter)
+            assert caught == ["interrupted"]
+            assert result.completed
+
+    def test_interrupts_join(self):
+        def body_gen(k, sleeper):
+            def body():
+                from repro.sim.syscalls import Join
+
+                yield Join(sleeper)
+
+            return body
+
+        caught = []
+        k = Kernel(scheduler=RoundRobinScheduler())
+
+        def forever():
+            yield Sleep(100.0)
+
+        sleeper = k.spawn(forever, daemon=True)
+        victim = k.spawn(interruptee_wrapper(body_gen(k, sleeper), caught), name="victim")
+
+        def interrupter():
+            yield Sleep(0.01)
+            yield Interrupt(victim)
+
+        k.spawn(interrupter)
+        result = k.run(max_time=5.0)
+        assert caught == ["interrupted"]
+        assert sleeper.joiners == []
+
+    def test_interrupts_breakpoint_pause(self):
+        obj = object()
+
+        def body():
+            yield from ConflictTrigger("lonely", obj).sim_trigger_here(True, 100.0)
+
+        caught, result = run_with_interrupter(body)
+        assert caught == ["interrupted"]
+        assert result.ok and result.time < 1.0
+        # The parked entry was cancelled, not timed out.
+        st = result.breakpoint_stats["lonely"]
+        assert st.timeouts == 0 and st.hits == 0
+
+    def test_interrupting_finished_thread_is_noop(self):
+        k = Kernel(scheduler=RoundRobinScheduler())
+
+        def quick():
+            yield Yield()
+
+        target = k.spawn(quick)
+        got = {}
+
+        def interrupter():
+            yield Sleep(0.01)
+            got["ok"] = yield Interrupt(target)
+
+        k.spawn(interrupter)
+        assert k.run().ok
+        assert got["ok"] is False
+
+    def test_custom_exception_delivered(self):
+        class Abort(Exception):
+            pass
+
+        caught = []
+        k = Kernel(scheduler=RoundRobinScheduler())
+
+        def body():
+            try:
+                yield Sleep(100.0)
+            except Abort:
+                caught.append("abort")
+
+        target = k.spawn(body)
+
+        def interrupter():
+            yield Sleep(0.01)
+            yield Interrupt(target, Abort())
+
+        k.spawn(interrupter)
+        assert k.run().ok
+        assert caught == ["abort"]
+
+    def test_uncaught_interrupt_is_a_thread_failure(self):
+        k = Kernel(scheduler=RoundRobinScheduler())
+
+        def body():
+            yield Sleep(100.0)
+
+        target = k.spawn(body)
+
+        def interrupter():
+            yield Sleep(0.01)
+            yield Interrupt(target)
+
+        k.spawn(interrupter)
+        result = k.run()
+        assert result.failures
+        assert isinstance(result.failures[0].exc, ThreadInterrupted)

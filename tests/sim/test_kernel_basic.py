@@ -1,0 +1,254 @@
+"""Kernel execution model: spawning, results, determinism, limits."""
+
+import pytest
+
+from repro.sim import (
+    Kernel,
+    RoundRobinScheduler,
+    SharedCell,
+    SimLock,
+    Sleep,
+    TState,
+    Yield,
+)
+from repro.sim.syscalls import Join
+
+
+def test_single_thread_runs_to_completion():
+    out = []
+
+    def body():
+        out.append(1)
+        yield Yield()
+        out.append(2)
+        return "done"
+
+    k = Kernel(seed=0)
+    t = k.spawn(body, name="solo")
+    result = k.run()
+    assert result.ok
+    assert out == [1, 2]
+    assert t.result == "done"
+    assert t.state is TState.DONE
+
+
+def test_spawn_rejects_non_generator():
+    k = Kernel()
+    with pytest.raises(TypeError):
+        k.spawn(lambda: 42)
+
+
+def test_arguments_passed_to_body():
+    seen = []
+
+    def body(a, b, c=None):
+        seen.append((a, b, c))
+        yield Yield()
+
+    k = Kernel()
+    k.spawn(body, 1, 2, c=3)
+    k.run()
+    assert seen == [(1, 2, 3)]
+
+
+def test_locked_counter_is_exact():
+    counter = SharedCell(0)
+    lock = SimLock()
+
+    def worker():
+        for _ in range(50):
+            yield from lock.acquire()
+            v = yield from counter.get()
+            yield from counter.set(v + 1)
+            yield from lock.release()
+
+    k = Kernel(seed=7)
+    for i in range(4):
+        k.spawn(worker, name=f"w{i}")
+    assert k.run().ok
+    assert counter.peek() == 200
+
+
+def test_unlocked_counter_loses_updates_under_random_schedule():
+    lost = 0
+    for seed in range(10):
+        counter = SharedCell(0)
+
+        def worker():
+            for _ in range(30):
+                v = yield from counter.get()
+                yield from counter.set(v + 1)
+
+        k = Kernel(seed=seed)
+        k.spawn(worker)
+        k.spawn(worker)
+        k.run()
+        lost += counter.peek() < 60
+    assert lost >= 8  # racy RMW should almost always lose something
+
+
+def test_same_seed_reproduces_identical_trace():
+    def program(kernel):
+        cell = SharedCell(0)
+
+        def worker(n):
+            for _ in range(n):
+                v = yield from cell.get()
+                yield from cell.set(v + 1)
+                yield Sleep(0.001)
+
+        kernel.spawn(worker, 5)
+        kernel.spawn(worker, 7)
+
+    def trace_of(seed):
+        k = Kernel(seed=seed, record_trace=True)
+        program(k)
+        k.run()
+        return [(e.tid, e.op) for e in k.trace]
+
+    assert trace_of(42) == trace_of(42)
+    assert trace_of(42) != trace_of(43)
+
+
+def test_step_limit_flags_limit_hit():
+    def spinner():
+        while True:
+            yield Yield()
+
+    k = Kernel()
+    k.spawn(spinner)
+    result = k.run(max_steps=100)
+    assert result.limit_hit and not result.completed
+
+
+def test_max_time_flags_stall():
+    def sleeper():
+        while True:
+            yield Sleep(1.0)
+
+    k = Kernel()
+    k.spawn(sleeper)
+    result = k.run(max_time=5.0)
+    assert result.stalled and not result.completed
+
+
+def test_thread_failure_is_collected_not_raised():
+    def bad():
+        yield Yield()
+        raise ValueError("boom")
+
+    def good():
+        yield Yield()
+        return "ok"
+
+    k = Kernel(seed=1)
+    k.spawn(bad, name="bad")
+    t_good = k.spawn(good, name="good")
+    result = k.run()
+    assert len(result.failures) == 1
+    assert result.failures[0].thread_name == "bad"
+    assert isinstance(result.failures[0].exc, ValueError)
+    assert t_good.result == "ok"
+    assert not result.ok
+
+
+def test_join_waits_for_target():
+    order = []
+
+    def child():
+        yield Sleep(0.01)
+        order.append("child")
+
+    def parent(kernel):
+        t = kernel.spawn(child, name="child")
+        yield Join(t)
+        order.append("parent")
+
+    k = Kernel(seed=0)
+    k.spawn(parent, k, name="parent")
+    assert k.run().ok
+    assert order == ["child", "parent"]
+
+
+def test_join_timeout_returns_false():
+    got = {}
+
+    def slow():
+        yield Sleep(10.0)
+
+    def joiner(kernel):
+        t = kernel.spawn(slow, daemon=True)
+        got["joined"] = yield Join(t, timeout=0.01)
+
+    k = Kernel()
+    k.spawn(joiner, k)
+    k.run()
+    assert got["joined"] is False
+
+
+def test_daemon_threads_abandoned_at_exit():
+    def forever():
+        while True:
+            yield Sleep(0.5)
+
+    def main():
+        yield Sleep(0.01)
+
+    k = Kernel()
+    k.spawn(forever, daemon=True)
+    k.spawn(main)
+    result = k.run()
+    assert result.completed
+
+
+def test_virtual_time_advances_with_sleep():
+    def sleeper():
+        yield Sleep(2.5)
+
+    k = Kernel()
+    k.spawn(sleeper)
+    result = k.run()
+    assert result.time == pytest.approx(2.5, abs=0.01)
+
+
+def test_deadlock_detected_with_cycle():
+    la, lb = SimLock("A"), SimLock("B")
+
+    def t1():
+        yield from la.acquire()
+        yield Sleep(0.01)
+        yield from lb.acquire()
+
+    def t2():
+        yield from lb.acquire()
+        yield Sleep(0.01)
+        yield from la.acquire()
+
+    k = Kernel(scheduler=RoundRobinScheduler())
+    k.spawn(t1, name="t1")
+    k.spawn(t2, name="t2")
+    result = k.run()
+    assert result.deadlocked
+    assert result.deadlock.cycle is not None
+    assert set(result.deadlock.waiters) == {"t1", "t2"}
+
+
+def test_self_deadlock_on_nonreentrant_lock():
+    lk = SimLock()
+
+    def t():
+        yield from lk.acquire()
+        yield from lk.acquire()
+
+    k = Kernel()
+    k.spawn(t)
+    assert k.run().deadlocked
+
+
+def test_result_summary_strings():
+    def ok():
+        yield Yield()
+
+    k = Kernel()
+    k.spawn(ok)
+    assert "ok" in k.run().summary()

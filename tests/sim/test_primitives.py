@@ -1,0 +1,563 @@
+"""Synchronisation primitive semantics."""
+
+import pytest
+
+from repro.sim import (
+    Kernel,
+    RoundRobinScheduler,
+    SharedCell,
+    SimBarrier,
+    SimCondition,
+    SimEvent,
+    SimLock,
+    SimQueue,
+    SimRLock,
+    SimSemaphore,
+    Sleep,
+    Yield,
+)
+
+
+def run(kernel, **kw):
+    result = kernel.run(**kw)
+    return result
+
+
+class TestLocks:
+    def test_mutual_exclusion(self):
+        lock = SimLock()
+        inside = SharedCell(0)
+        violations = []
+
+        def worker():
+            for _ in range(20):
+                yield from lock.acquire()
+                v = yield from inside.get()
+                if v != 0:
+                    violations.append(v)
+                yield from inside.set(1)
+                yield Yield()
+                yield from inside.set(0)
+                yield from lock.release()
+
+        for seed in range(5):
+            k = Kernel(seed=seed)
+            k.spawn(worker)
+            k.spawn(worker)
+            assert run(k).ok
+        assert violations == []
+
+    def test_release_without_ownership_raises_in_thread(self):
+        lock = SimLock()
+
+        def bad():
+            yield from lock.release()
+
+        k = Kernel()
+        k.spawn(bad)
+        result = run(k)
+        assert result.failures and isinstance(result.failures[0].exc, RuntimeError)
+
+    def test_rlock_reentrancy(self):
+        lock = SimRLock()
+        out = []
+
+        def t():
+            yield from lock.acquire()
+            yield from lock.acquire()
+            out.append(lock.count)
+            yield from lock.release()
+            out.append(lock.count)
+            yield from lock.release()
+            out.append(lock.owner)
+
+        k = Kernel()
+        k.spawn(t)
+        assert run(k).ok
+        assert out == [2, 1, None]
+
+    def test_fifo_handoff(self):
+        lock = SimLock()
+        order = []
+
+        def holder():
+            yield from lock.acquire()
+            yield Sleep(0.01)
+            yield from lock.release()
+
+        def waiter(tag, delay):
+            yield Sleep(delay)
+            yield from lock.acquire()
+            order.append(tag)
+            yield from lock.release()
+
+        k = Kernel(scheduler=RoundRobinScheduler())
+        k.spawn(holder)
+        k.spawn(waiter, "a", 0.001)
+        k.spawn(waiter, "b", 0.002)
+        assert run(k).ok
+        assert order == ["a", "b"]
+
+    def test_locked_reflects_ownership(self):
+        lock = SimLock()
+        states = []
+
+        def t():
+            states.append(lock.locked())
+            yield from lock.acquire()
+            states.append(lock.locked())
+            yield from lock.release()
+            states.append(lock.locked())
+
+        k = Kernel()
+        k.spawn(t)
+        run(k)
+        assert states == [False, True, False]
+
+
+class TestConditions:
+    def test_wait_notify_round_trip(self):
+        cond = SimCondition()
+        got = []
+
+        def waiter():
+            yield from cond.acquire()
+            ok = yield from cond.wait()
+            got.append(ok)
+            yield from cond.release()
+
+        def notifier():
+            yield Sleep(0.01)
+            yield from cond.acquire()
+            yield from cond.notify()
+            yield from cond.release()
+
+        k = Kernel(seed=0)
+        k.spawn(waiter)
+        k.spawn(notifier)
+        assert run(k).ok
+        assert got == [True]
+
+    def test_wait_timeout_returns_false(self):
+        cond = SimCondition()
+        got = []
+
+        def waiter():
+            yield from cond.acquire()
+            ok = yield from cond.wait(timeout=0.05)
+            got.append(ok)
+            yield from cond.release()
+
+        k = Kernel()
+        k.spawn(waiter)
+        result = run(k)
+        assert result.ok and got == [False]
+        assert result.time >= 0.05
+
+    def test_notify_without_waiters_is_lost(self):
+        """The missed-notification semantics everything else depends on."""
+        cond = SimCondition()
+
+        def notifier():
+            yield from cond.acquire()
+            yield from cond.notify()
+            yield from cond.release()
+
+        def late_waiter():
+            yield Sleep(0.01)
+            yield from cond.acquire()
+            yield from cond.wait()  # never notified again
+            yield from cond.release()
+
+        k = Kernel(scheduler=RoundRobinScheduler())
+        k.spawn(notifier)
+        k.spawn(late_waiter)
+        result = run(k)
+        assert result.deadlocked or result.stalled
+
+    def test_notify_wakes_fifo_order(self):
+        cond = SimCondition()
+        order = []
+
+        def waiter(tag, delay):
+            yield Sleep(delay)
+            yield from cond.acquire()
+            yield from cond.wait()
+            order.append(tag)
+            yield from cond.release()
+
+        def notifier():
+            yield Sleep(0.05)
+            for _ in range(2):
+                yield from cond.acquire()
+                yield from cond.notify()
+                yield from cond.release()
+                yield Sleep(0.01)
+
+        k = Kernel(scheduler=RoundRobinScheduler())
+        k.spawn(waiter, "a", 0.001)
+        k.spawn(waiter, "b", 0.002)
+        k.spawn(notifier)
+        assert run(k).ok
+        assert order == ["a", "b"]
+
+    def test_notify_all(self):
+        cond = SimCondition()
+        woken = []
+
+        def waiter(i):
+            yield from cond.acquire()
+            yield from cond.wait()
+            woken.append(i)
+            yield from cond.release()
+
+        def notifier():
+            yield Sleep(0.01)
+            yield from cond.acquire()
+            yield from cond.notify_all()
+            yield from cond.release()
+
+        k = Kernel(seed=3)
+        for i in range(3):
+            k.spawn(waiter, i)
+        k.spawn(notifier)
+        assert run(k).ok
+        assert sorted(woken) == [0, 1, 2]
+
+    def test_wait_without_lock_raises(self):
+        cond = SimCondition()
+
+        def bad():
+            yield from cond.wait()
+
+        k = Kernel()
+        k.spawn(bad)
+        result = run(k)
+        assert result.failures
+
+    def test_notify_without_lock_raises(self):
+        cond = SimCondition()
+
+        def bad():
+            yield from cond.notify()
+
+        k = Kernel()
+        k.spawn(bad)
+        assert run(k).failures
+
+    def test_wait_restores_rlock_recursion(self):
+        cond = SimCondition()
+        depths = []
+
+        def waiter():
+            yield from cond.acquire()
+            yield from cond.acquire()  # nested
+            yield from cond.wait()
+            depths.append(cond.lock.count)
+            yield from cond.release()
+            yield from cond.release()
+
+        def notifier():
+            yield Sleep(0.01)
+            yield from cond.acquire()
+            yield from cond.notify()
+            yield from cond.release()
+
+        k = Kernel()
+        k.spawn(waiter)
+        k.spawn(notifier)
+        assert run(k).ok
+        assert depths == [2]
+
+
+class TestSemaphores:
+    def test_counting(self):
+        sem = SimSemaphore(2)
+        concurrent = SharedCell(0)
+        peak = []
+
+        def worker():
+            yield from sem.acquire()
+            v = yield from concurrent.get()
+            yield from concurrent.set(v + 1)
+            peak.append(concurrent.peek())
+            yield Sleep(0.01)
+            v = yield from concurrent.get()
+            yield from concurrent.set(v - 1)
+            yield from sem.release()
+
+        k = Kernel(seed=5)
+        for _ in range(5):
+            k.spawn(worker)
+        assert run(k).ok
+        assert max(peak) <= 2
+
+    def test_negative_initial_value_rejected(self):
+        with pytest.raises(ValueError):
+            SimSemaphore(-1)
+
+    def test_release_wakes_blocked_acquirer(self):
+        sem = SimSemaphore(0)
+        got = []
+
+        def p():
+            yield from sem.acquire()
+            got.append("p")
+
+        def v():
+            yield Sleep(0.01)
+            yield from sem.release()
+
+        k = Kernel()
+        k.spawn(p)
+        k.spawn(v)
+        assert run(k).ok
+        assert got == ["p"]
+
+
+class TestBarriers:
+    def test_all_parties_released_together(self):
+        barrier = SimBarrier(3)
+        after = []
+
+        def worker(i):
+            yield Sleep(0.01 * i)
+            idx = yield from barrier.wait()
+            after.append((i, idx))
+
+        k = Kernel(seed=2)
+        for i in range(3):
+            k.spawn(worker, i)
+        assert run(k).ok
+        assert sorted(i for i, _ in after) == [0, 1, 2]
+        assert sorted(idx for _, idx in after) == [0, 1, 2]
+
+    def test_barrier_is_cyclic(self):
+        barrier = SimBarrier(2)
+        rounds = []
+
+        def worker(i):
+            for r in range(3):
+                yield from barrier.wait()
+                rounds.append((r, i))
+
+        k = Kernel(seed=9)
+        k.spawn(worker, 0)
+        k.spawn(worker, 1)
+        assert run(k).ok
+        assert barrier.generation == 3
+
+    def test_missing_party_stalls(self):
+        barrier = SimBarrier(2)
+
+        def lonely():
+            yield from barrier.wait()
+
+        k = Kernel()
+        k.spawn(lonely)
+        assert run(k).deadlocked
+
+    def test_invalid_parties_rejected(self):
+        with pytest.raises(ValueError):
+            SimBarrier(0)
+
+
+class TestEvents:
+    def test_set_wakes_waiters(self):
+        ev = SimEvent()
+        got = []
+
+        def waiter():
+            ok = yield from ev.wait()
+            got.append(ok)
+
+        def setter():
+            yield Sleep(0.01)
+            yield from ev.set()
+
+        k = Kernel()
+        k.spawn(waiter)
+        k.spawn(setter)
+        assert run(k).ok
+        assert got == [True]
+
+    def test_wait_on_set_event_is_immediate(self):
+        ev = SimEvent()
+        ev.flag = True
+        got = []
+
+        def waiter():
+            got.append((yield from ev.wait()))
+
+        k = Kernel()
+        k.spawn(waiter)
+        result = run(k)
+        assert result.ok and got == [True]
+        assert result.time < 0.001
+
+    def test_wait_timeout(self):
+        ev = SimEvent()
+        got = []
+
+        def waiter():
+            got.append((yield from ev.wait(timeout=0.02)))
+
+        k = Kernel()
+        k.spawn(waiter)
+        assert run(k).ok
+        assert got == [False]
+
+    def test_clear_resets_flag(self):
+        ev = SimEvent()
+
+        def t():
+            yield from ev.set()
+            yield from ev.clear()
+
+        k = Kernel()
+        k.spawn(t)
+        run(k)
+        assert not ev.is_set()
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        q = SimQueue()
+        out = []
+
+        def producer():
+            for i in range(10):
+                yield from q.put(i)
+
+        def consumer():
+            for _ in range(10):
+                out.append((yield from q.get()))
+
+        k = Kernel(seed=4)
+        k.spawn(producer)
+        k.spawn(consumer)
+        assert run(k).ok
+        assert out == list(range(10))
+
+    def test_bounded_queue_blocks_producer(self):
+        q = SimQueue(maxsize=2)
+        sizes = []
+
+        def producer():
+            for i in range(6):
+                yield from q.put(i)
+                sizes.append(q.qsize())
+
+        def consumer():
+            for _ in range(6):
+                yield Sleep(0.01)
+                yield from q.get()
+
+        k = Kernel(seed=8)
+        k.spawn(producer)
+        k.spawn(consumer)
+        assert run(k).ok
+        assert max(sizes) <= 2
+
+    def test_consumer_blocks_on_empty(self):
+        q = SimQueue()
+        order = []
+
+        def consumer():
+            order.append("want")
+            v = yield from q.get()
+            order.append(v)
+
+        def producer():
+            yield Sleep(0.01)
+            order.append("put")
+            yield from q.put("x")
+
+        k = Kernel()
+        k.spawn(consumer)
+        k.spawn(producer)
+        assert run(k).ok
+        assert order == ["want", "put", "x"]
+
+
+class TestWaitFor:
+    def test_wait_for_predicate(self):
+        from repro.sim import Kernel, SharedCell, SimCondition, Sleep
+
+        cond = SimCondition()
+        flag = SharedCell(False)
+        got = []
+
+        def waiter():
+            yield from cond.acquire()
+            ok = yield from cond.wait_for(lambda: flag.peek())
+            got.append(ok)
+            yield from cond.release()
+
+        def setter():
+            # Spurious notify first (predicate still false), then the real one.
+            yield Sleep(0.01)
+            yield from cond.acquire()
+            yield from cond.notify()
+            yield from cond.release()
+            yield Sleep(0.01)
+            flag.poke(True)
+            yield from cond.acquire()
+            yield from cond.notify()
+            yield from cond.release()
+
+        k = Kernel(seed=1)
+        k.spawn(waiter)
+        k.spawn(setter)
+        assert k.run().ok
+        assert got == [True]
+
+    def test_wait_for_timeout_returns_final_predicate(self):
+        from repro.sim import Kernel, SimCondition
+
+        cond = SimCondition()
+        got = []
+
+        def waiter():
+            yield from cond.acquire()
+            ok = yield from cond.wait_for(lambda: False, timeout=0.03)
+            got.append(ok)
+            yield from cond.release()
+
+        k = Kernel()
+        k.spawn(waiter)
+        result = k.run()
+        assert result.ok
+        assert got == [False]
+        assert 0.02 <= result.time < 0.2
+
+    def test_wait_for_true_predicate_is_immediate(self):
+        from repro.sim import Kernel, SimCondition
+
+        cond = SimCondition()
+
+        def waiter():
+            yield from cond.acquire()
+            ok = yield from cond.wait_for(lambda: True)
+            assert ok
+            yield from cond.release()
+
+        k = Kernel()
+        k.spawn(waiter)
+        result = k.run()
+        assert result.ok and result.time < 0.001
+
+    def test_now_syscall(self):
+        from repro.sim import Kernel, Now, Sleep
+
+        stamps = []
+
+        def t():
+            stamps.append((yield Now()))
+            yield Sleep(0.5)
+            stamps.append((yield Now()))
+
+        k = Kernel()
+        k.spawn(t)
+        assert k.run().ok
+        assert stamps[1] - stamps[0] >= 0.5

@@ -1,0 +1,129 @@
+"""Property-based tests on kernel invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Kernel, RandomScheduler, SharedCell, SimLock, SimQueue, Sleep, Yield
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_threads=st.integers(2, 4),
+    ops=st.integers(1, 20),
+    seed=st.integers(0, 10_000),
+)
+def test_locked_increments_never_lost(n_threads, ops, seed):
+    """Mutual exclusion: lock-protected RMW is exact for any schedule."""
+    counter = SharedCell(0)
+    lock = SimLock()
+
+    def worker():
+        for _ in range(ops):
+            yield from lock.acquire()
+            v = yield from counter.get()
+            yield from counter.set(v + 1)
+            yield from lock.release()
+
+    k = Kernel(seed=seed)
+    for _ in range(n_threads):
+        k.spawn(worker)
+    assert k.run().ok
+    assert counter.peek() == n_threads * ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_locks=st.integers(2, 4),
+    acquisitions=st.lists(st.lists(st.integers(0, 3), min_size=1, max_size=4), min_size=2, max_size=4),
+)
+def test_ordered_lock_acquisition_never_deadlocks(seed, n_locks, acquisitions):
+    """Total-order lock discipline is deadlock-free under any schedule."""
+    locks = [SimLock(f"L{i}") for i in range(n_locks)]
+
+    def worker(wanted):
+        order = sorted({w % n_locks for w in wanted})
+        for i in order:
+            yield from locks[i].acquire()
+        yield Yield()
+        for i in reversed(order):
+            yield from locks[i].release()
+
+    k = Kernel(seed=seed)
+    for wanted in acquisitions:
+        k.spawn(worker, wanted)
+    result = k.run()
+    assert result.ok and not result.deadlocked
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    maxsize=st.integers(1, 4),
+    items=st.integers(1, 15),
+)
+def test_bounded_queue_never_overflows_and_preserves_order(seed, maxsize, items):
+    q = SimQueue(maxsize=maxsize)
+    out = []
+    overflow = []
+
+    def producer():
+        for i in range(items):
+            yield from q.put(i)
+            if q.qsize() > maxsize:
+                overflow.append(q.qsize())
+
+    def consumer():
+        for _ in range(items):
+            out.append((yield from q.get()))
+
+    k = Kernel(seed=seed)
+    k.spawn(producer)
+    k.spawn(consumer)
+    assert k.run().ok
+    assert overflow == []
+    assert out == list(range(items))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), sleeps=st.lists(st.floats(0.001, 0.1), min_size=1, max_size=5))
+def test_virtual_clock_is_monotonic_and_additive(seed, sleeps):
+    stamps = []
+
+    def sleeper(kernel):
+        for d in sleeps:
+            yield Sleep(d)
+            stamps.append(kernel.now)
+
+    k = Kernel(seed=seed)
+    k.spawn(sleeper, k)
+    result = k.run()
+    assert result.ok
+    assert stamps == sorted(stamps)
+    assert result.time >= sum(sleeps) - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_trace_determinism_for_any_seed(seed):
+    def build(kernel):
+        cell = SharedCell(0)
+        lock = SimLock()
+
+        def w():
+            for _ in range(5):
+                yield from lock.acquire()
+                v = yield from cell.get()
+                yield from cell.set(v + 1)
+                yield from lock.release()
+
+        kernel.spawn(w)
+        kernel.spawn(w)
+
+    def run_once():
+        k = Kernel(scheduler=RandomScheduler(seed), record_trace=True)
+        build(k)
+        k.run()
+        return [(e.tid, e.op) for e in k.trace]
+
+    assert run_once() == run_once()

@@ -1,0 +1,74 @@
+"""Timeline rendering of traces."""
+
+from repro.apps import AppConfig, StringBufferApp
+from repro.sim import Kernel, RoundRobinScheduler, SharedCell, SimLock
+from repro.sim.timeline import around_breakpoints, render_timeline
+from repro.sim.trace import OP
+
+
+def _traced_run():
+    cell = SharedCell(0, name="x")
+    lock = SimLock("L")
+
+    def t(v):
+        yield from lock.acquire(loc="app:10")
+        yield from cell.set(v, loc="app:11")
+        yield from lock.release(loc="app:12")
+
+    k = Kernel(scheduler=RoundRobinScheduler(), record_trace=True)
+    k.spawn(t, 1, name="alpha")
+    k.spawn(t, 2, name="beta")
+    k.run()
+    return k.trace
+
+
+class TestRenderTimeline:
+    def test_contains_thread_lanes_and_events(self):
+        text = render_timeline(_traced_run())
+        assert "lanes:" in text and "[alpha]" in text and "[beta]" in text
+        assert "write" in text and "= 1" in text
+        assert "acquire" in text and "L" in text
+
+    def test_locations_shown_and_hidable(self):
+        trace = _traced_run()
+        assert "@ app:11" in render_timeline(trace)
+        assert "@ app:11" not in render_timeline(trace, show_loc=False)
+
+    def test_include_filter(self):
+        text = render_timeline(_traced_run(), include=[OP.WRITE])
+        assert "write" in text
+        assert "acquire" not in text
+
+    def test_limit_truncates(self):
+        text = render_timeline(_traced_run(), limit=2)
+        assert "events total" in text
+        # lanes header + 2 event lines + truncation marker
+        assert len(text.splitlines()) == 4
+
+    def test_lane_indentation_differs_by_thread(self):
+        lines = render_timeline(_traced_run()).splitlines()[1:]
+        alpha = next(l for l in lines if "alpha" in l)
+        beta = next(l for l in lines if "beta" in l)
+        assert alpha.index("|") == beta.index("|")
+        assert len(beta.split("|")[1]) - len(beta.split("|")[1].lstrip()) > len(
+            alpha.split("|")[1]
+        ) - len(alpha.split("|")[1].lstrip())
+
+
+class TestAroundBreakpoints:
+    def test_windows_cover_trigger_events(self):
+        app = StringBufferApp(AppConfig(bug="atomicity1"))
+        run = app.run(seed=0, record_trace=True)
+        window = around_breakpoints(run.result.trace, context=3)
+        ops = {e.op for e in window}
+        assert OP.TRIGGER_HIT in ops or OP.TRIGGER_POSTPONE in ops
+        assert 0 < len(window) < len(run.result.trace)
+
+    def test_renderable(self):
+        app = StringBufferApp(AppConfig(bug="atomicity1"))
+        run = app.run(seed=0, record_trace=True)
+        text = render_timeline(around_breakpoints(run.result.trace))
+        assert "trigger" in text
+
+    def test_no_breakpoints_means_empty_window(self):
+        assert around_breakpoints(_traced_run()) == []
