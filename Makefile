@@ -2,8 +2,10 @@
 
 PYTHON ?= python
 TRIALS ?= 100
+# -1 = one worker per CPU
+WORKERS ?= -1
 
-.PHONY: install test bench report examples all
+.PHONY: install test test-par bench bench-par report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -11,8 +13,21 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# The parallel-execution battery: differential parallel-vs-serial tests,
+# engine invariants, and the kernel determinism stress suite.
+test-par:
+	$(PYTHON) -m pytest tests/harness/test_parallel_runner.py \
+	    tests/core/test_engine_invariants.py \
+	    tests/sim/test_kernel_determinism.py
+
 bench:
 	REPRO_TRIALS=$(TRIALS) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Same benchmarks with every trial sweep on the worker pool (serial
+# baselines and parallel runs are recorded side by side in extra_info).
+bench-par:
+	REPRO_TRIALS=$(TRIALS) REPRO_WORKERS=$(WORKERS) \
+	    $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 report:
 	$(PYTHON) -m repro report --trials $(TRIALS) --out results.md

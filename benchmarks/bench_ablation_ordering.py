@@ -29,7 +29,7 @@ class OrdRow:
         return [self.label, f"{self.probability:.2f}", f"{self.bp_hit_rate:.2f}"]
 
 
-def test_ordering_action_is_essential(benchmark, trials):
+def test_ordering_action_is_essential(benchmark, trials, workers):
     n = max(trials // 2, 10)
 
     def experiment():
@@ -40,7 +40,7 @@ def test_ordering_action_is_essential(benchmark, trials):
             (MySQL32356App, "logdisorder1", False, "mysql disorder (later-first)"),
             (MySQL32356App, "logdisorder1", True, "mysql disorder (flipped)"),
         ]:
-            stats = run_trials(cls, n=n, bug=bug, flip_order=flip)
+            stats = run_trials(cls, n=n, bug=bug, flip_order=flip, workers=workers)
             rows.append(OrdRow(label, stats.probability, stats.bp_hit_rate))
         return rows
 

@@ -29,13 +29,13 @@ class F4Row:
         return [self.label, f"{self.probability:.2f}", f"{self.runtime:.4f}"]
 
 
-def test_figure4_unaided_vs_breakpoint(benchmark, trials):
+def test_figure4_unaided_vs_breakpoint(benchmark, trials, workers):
     def experiment():
         rows = [
-            F4Row("no breakpoint", *_pr(run_trials(Figure4App, n=trials, bug=None))),
+            F4Row("no breakpoint", *_pr(run_trials(Figure4App, n=trials, bug=None, workers=workers))),
         ]
         for T in (0.01, 0.03, 0.05, 0.07, 0.1, 0.2):
-            stats = run_trials(Figure4App, n=trials, bug="error1", timeout=T)
+            stats = run_trials(Figure4App, n=trials, bug="error1", timeout=T, workers=workers)
             rows.append(F4Row(f"breakpoint, T={T * 1000:.0f}ms", stats.probability, stats.mean_runtime))
         return rows
 

@@ -1,0 +1,82 @@
+"""Supplementary — serial vs parallel trial-runner scaling.
+
+Runs the same Table-1-style seeded sweep (a representative subset of the
+Java subjects) through the serial loop and through the parallel pool at
+1, 2 and 4 workers, asserting the parallel results are *identical* to
+serial (the determinism contract the paper tables rely on) and recording
+the wall-clock speedup in the benchmark JSON (``extra_info``) so serial
+baselines and parallel runs sit side by side run over run.
+
+Speedup expectations scale with the machine: near-linear on idle
+multi-core hardware, none on a single core — the hard ≥ 2× floor at 4
+workers is asserted only when 4+ CPUs are actually available.
+"""
+
+import os
+import time
+
+from repro.apps import get_app
+from repro.harness import run_trials
+
+from conftest import emit
+
+#: Representative Table-1 sweep: one bug per concurrency pattern
+#: (stale-read race, atomicity violation, ABBA deadlock, missed notify).
+SWEEP = [
+    ("stringbuffer", "atomicity1"),
+    ("cache4j", "atomicity1"),
+    ("jigsaw", "deadlock1"),
+    ("log4j", "missed-notify1"),
+]
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _sweep(trials, workers=None):
+    out = {}
+    for app_name, bug in SWEEP:
+        out[(app_name, bug)] = run_trials(
+            get_app(app_name), n=trials, bug=bug, workers=workers
+        )
+    return out
+
+
+def test_parallel_scaling(benchmark, trials):
+    n = max(trials // 2, 20)
+
+    t0 = time.perf_counter()
+    serial = _sweep(n)
+    serial_s = time.perf_counter() - t0
+
+    timings = {}
+    for w in WORKER_COUNTS:
+        t0 = time.perf_counter()
+        parallel = _sweep(n, workers=w)
+        timings[w] = time.perf_counter() - t0
+        # The load-bearing contract: bit-identical TrialStats per seed
+        # range, regardless of worker count.
+        assert parallel == serial, f"parallel(workers={w}) diverged from serial"
+
+    # benchmark() wants one measured callable; re-measure the serial
+    # sweep so the JSON rows stay comparable with the other benches.
+    benchmark.pedantic(_sweep, args=(n,), rounds=1, iterations=1)
+    benchmark.extra_info["trials"] = n
+    benchmark.extra_info["serial_seconds"] = round(serial_s, 4)
+    for w, t in timings.items():
+        benchmark.extra_info[f"parallel{w}_seconds"] = round(t, 4)
+        benchmark.extra_info[f"speedup_{w}w"] = round(serial_s / t, 3) if t else 0.0
+
+    lines = [f"serial: {serial_s:.2f}s"]
+    for w, t in timings.items():
+        lines.append(f"{w} workers: {t:.2f}s (speedup {serial_s / t:.2f}x)")
+    emit(
+        f"Parallel scaling — {len(SWEEP)}-app Table 1 sweep, {n} trials each",
+        "\n".join(lines),
+    )
+
+    # Hard scaling floor only where the hardware can deliver it: worker
+    # processes cannot beat the serial loop on a single busy core.
+    if (os.cpu_count() or 1) >= 4:
+        assert serial_s / timings[4] >= 2.0, (
+            f"expected >= 2x speedup at 4 workers, got {serial_s / timings[4]:.2f}x"
+        )

@@ -16,8 +16,10 @@ from repro.harness import build_section5, render
 from conftest import emit
 
 
-def test_section5_conflict_resolution_orders(benchmark, trials):
-    rows = benchmark.pedantic(build_section5, kwargs={"n": trials}, rounds=1, iterations=1)
+def test_section5_conflict_resolution_orders(benchmark, trials, workers):
+    rows = benchmark.pedantic(
+        build_section5, kwargs={"n": trials, "workers": workers}, rounds=1, iterations=1
+    )
     emit(f"Section 5 — log4j missed notification, Methodology II ({trials} trials)", render(rows))
 
     by = {r.order: r for r in rows}

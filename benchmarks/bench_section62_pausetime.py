@@ -13,8 +13,10 @@ from repro.harness.tables import ParamRow
 from conftest import emit
 
 
-def test_section62_pause_time_study(benchmark, trials):
-    rows = benchmark.pedantic(build_section62, kwargs={"n": trials}, rounds=1, iterations=1)
+def test_section62_pause_time_study(benchmark, trials, workers):
+    rows = benchmark.pedantic(
+        build_section62, kwargs={"n": trials, "workers": workers}, rounds=1, iterations=1
+    )
     emit(f"Section 6.2 — pause time vs probability ({trials} trials)", render(rows))
 
     hedc_small, hedc_big, swing_small, swing_big = rows
@@ -28,7 +30,7 @@ def test_section62_pause_time_study(benchmark, trials):
     assert swing_big.runtime > swing_small.runtime
 
 
-def test_section62_probability_curve(benchmark, trials):
+def test_section62_probability_curve(benchmark, trials, workers):
     """Finer sweep over T for hedc/race1 — the pause-time response curve."""
     waits = [0.025, 0.05, 0.1, 0.2, 0.4, 1.0]
     n = max(trials // 2, 10)
@@ -36,7 +38,7 @@ def test_section62_probability_curve(benchmark, trials):
     def sweep():
         out = []
         for w in waits:
-            stats = run_trials(HedcApp, n=n, bug="race1", timeout=w)
+            stats = run_trials(HedcApp, n=n, bug="race1", timeout=w, workers=workers)
             out.append(ParamRow(label=f"hedc/race1 wait={w * 1000:.0f}ms",
                                 probability=stats.probability,
                                 runtime=stats.mean_runtime))

@@ -17,9 +17,11 @@ from repro.harness import build_section63, render
 from conftest import emit
 
 
-def test_section63_precision_refinements(benchmark, trials):
+def test_section63_precision_refinements(benchmark, trials, workers):
     n = max(trials // 2, 10)
-    rows = benchmark.pedantic(build_section63, kwargs={"n": n}, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        build_section63, kwargs={"n": n, "workers": workers}, rounds=1, iterations=1
+    )
     emit(f"Section 6.3 — precision refinements ({n} trials per row)", render(rows))
 
     # Rows come in (unrefined, refined) pairs per case study.

@@ -12,8 +12,10 @@ from repro.harness import build_table1, render
 from conftest import emit
 
 
-def test_table1_java_programs(benchmark, trials):
-    rows = benchmark.pedantic(build_table1, kwargs={"n": trials}, rounds=1, iterations=1)
+def test_table1_java_programs(benchmark, trials, workers):
+    rows = benchmark.pedantic(
+        build_table1, kwargs={"n": trials, "workers": workers}, rounds=1, iterations=1
+    )
     emit(f"Table 1 — Java programs ({trials} trials per row)", render(rows))
 
     # Shape assertions: every row reproduces its bug at >= 90% except the

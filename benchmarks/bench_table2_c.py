@@ -12,8 +12,10 @@ from repro.harness import build_table2, render
 from conftest import emit
 
 
-def test_table2_c_programs(benchmark, trials):
-    rows = benchmark.pedantic(build_table2, kwargs={"n": trials}, rounds=1, iterations=1)
+def test_table2_c_programs(benchmark, trials, workers):
+    rows = benchmark.pedantic(
+        build_table2, kwargs={"n": trials, "workers": workers}, rounds=1, iterations=1
+    )
     emit(f"Table 2 — C/C++ programs ({trials} trials per row)", render(rows))
 
     for row in rows:

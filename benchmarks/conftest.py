@@ -10,6 +10,13 @@ its wall-clock cost, and the finished table is printed to stdout so
 reproduces the paper's evaluation section end to end.  ``REPRO_TRIALS``
 scales the per-configuration trial count (default 100, the paper's
 protocol; CI can set it lower).
+
+``REPRO_WORKERS`` (or ``--repro-workers``) is the one shared worker-count
+option: 0 (default) keeps every experiment on the serial runner, N > 0
+routes all trial sweeps through the parallel pool, and -1 auto-sizes to
+the machine.  The chosen count is stamped into each benchmark's
+``extra_info`` so serial baselines and parallel runs land side by side in
+the bench JSON (``--benchmark-json``) and can be compared run over run.
 """
 
 import os
@@ -19,10 +26,47 @@ import pytest
 #: Trials per configuration; the paper used 100.
 TRIALS = int(os.environ.get("REPRO_TRIALS", "100"))
 
+#: Shared worker count: 0 = serial, -1 = one per CPU, N = pool of N.
+WORKERS = int(os.environ.get("REPRO_WORKERS", "0"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-workers",
+        action="store",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for all trial sweeps "
+        "(0 = serial, -1 = one per CPU; overrides REPRO_WORKERS)",
+    )
+
+
+def _worker_count(config) -> int:
+    opt = config.getoption("--repro-workers")
+    return WORKERS if opt is None else opt
+
 
 @pytest.fixture(scope="session")
 def trials():
     return TRIALS
+
+
+@pytest.fixture(scope="session")
+def worker_count(request):
+    """Raw shared option value (0 = serial, -1 = auto, N = pool size)."""
+    return _worker_count(request.config)
+
+
+@pytest.fixture
+def workers(request, benchmark):
+    """The ``workers=`` argument for run_trials/measure/build_* calls,
+    derived from the one shared option and recorded in the bench JSON."""
+    n = _worker_count(request.config)
+    value = None if n == 0 else ("auto" if n < 0 else n)
+    benchmark.extra_info["workers"] = n
+    benchmark.extra_info["mode"] = "serial" if n == 0 else "parallel"
+    return value
 
 
 def emit(title: str, body: str) -> None:

@@ -7,6 +7,11 @@ Commands:
   the outcome (``--seed``, ``--timeout``, ``--trials``, ``--no-bp``);
 * ``table1`` / ``table2`` / ``section5`` / ``section62`` / ``section63``
   — regenerate a table of the paper's evaluation (``--trials``).
+
+Multi-trial commands accept ``--workers N`` (0 = serial, the default;
+``-1`` = one worker per CPU) to fan the seeded trials over a process
+pool, and ``--trial-timeout SECONDS`` to bound each trial's wall-clock
+time; results are identical to serial runs for the same seeds.
 """
 
 from __future__ import annotations
@@ -37,6 +42,15 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workers_arg(args: argparse.Namespace):
+    """Map the CLI flag to run_trials' ``workers``: 0 → serial (None),
+    negative → auto-size to the machine."""
+    w = getattr(args, "workers", 0)
+    if w == 0:
+        return None
+    return "auto" if w < 0 else w
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     cls = get_app(args.app)
     bug = None if args.no_bp else args.bug
@@ -45,13 +59,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     if args.trials > 1:
         stats = run_trials(
-            cls, n=args.trials, bug=bug, timeout=args.timeout, base_seed=args.seed
+            cls, n=args.trials, bug=bug, timeout=args.timeout, base_seed=args.seed,
+            workers=_workers_arg(args), trial_timeout=args.trial_timeout,
         )
         print(
             f"{args.app}/{args.bug}: reproduced {stats.bug_hits}/{stats.trials} "
             f"(bp hit rate {stats.bp_hit_rate:.2f}, mean runtime {stats.mean_runtime:.4f}s"
             + (f", MTTE {stats.mtte:.3f}s)" if stats.mtte is not None else ")")
         )
+        for f in stats.failures:
+            print(f"  seed {f.seed}: {f.kind} after {f.attempts} attempt(s) {f.message}")
         return 0
     app = cls(AppConfig(bug=bug, timeout=args.timeout))
     run = app.run(seed=args.seed, record_trace=args.timeline)
@@ -81,7 +98,7 @@ _TABLES = {
 
 def _cmd_table(args: argparse.Namespace) -> int:
     builder, title = _TABLES[args.command]
-    rows = builder(n=args.trials)
+    rows = builder(n=args.trials, workers=_workers_arg(args))
     print(title + f" ({args.trials} trials)")
     print(render(rows))
     return 0
@@ -96,6 +113,16 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="list benchmark apps and bugs")
 
+    def _add_parallel_flags(p):
+        p.add_argument(
+            "--workers", type=int, default=0, metavar="N",
+            help="trial worker processes (0 = serial, -1 = one per CPU)",
+        )
+        p.add_argument(
+            "--trial-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-trial wall-clock budget (requires --workers)",
+        )
+
     run_p = sub.add_parser("run", help="run one app/bug")
     run_p.add_argument("app")
     run_p.add_argument("bug")
@@ -105,6 +132,7 @@ def main(argv=None) -> int:
     run_p.add_argument("--no-bp", action="store_true", help="run without breakpoints")
     run_p.add_argument("--timeline", action="store_true",
                        help="print the event timeline around the breakpoints")
+    _add_parallel_flags(run_p)
 
     an_p = sub.add_parser("analyze", help="run all detectors over one traced execution")
     an_p.add_argument("app")
@@ -119,12 +147,16 @@ def main(argv=None) -> int:
     report_p = sub.add_parser("report", help="regenerate the full evaluation report")
     report_p.add_argument("--trials", type=int, default=100)
     report_p.add_argument("--out", default=None, help="write Markdown to this file")
+    _add_parallel_flags(report_p)
 
     for name in _TABLES:
         tp = sub.add_parser(name, help=f"regenerate {name}")
         tp.add_argument("--trials", type=int, default=100)
+        _add_parallel_flags(tp)
 
     args = parser.parse_args(argv)
+    if getattr(args, "trial_timeout", None) is not None and getattr(args, "workers", 0) == 0:
+        parser.error("--trial-timeout requires --workers (serial trials cannot be preempted)")
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "run":
@@ -141,7 +173,8 @@ def main(argv=None) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.harness import generate_report
 
-    text = generate_report(trials=args.trials, markdown=args.out is not None)
+    text = generate_report(trials=args.trials, markdown=args.out is not None,
+                           workers=_workers_arg(args))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text)

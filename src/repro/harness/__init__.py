@@ -7,9 +7,20 @@ measurements next to the paper's numbers; ``render`` pretty-prints them.
 """
 
 from .paperdata import SECTION5, SECTION62, TABLE1, TABLE2
+from .parallel import (
+    ParallelExecutionError,
+    default_workers,
+    run_trials_parallel,
+)
 from .report import generate_report
 from .runner import OverheadRow, measure, run_trials
-from .stats import TrialStats, wilson_interval
+from .stats import (
+    TrialAggregator,
+    TrialFailure,
+    TrialOutcome,
+    TrialStats,
+    wilson_interval,
+)
 from .tables import (
     ParamRow,
     Section5Row,
@@ -29,9 +40,15 @@ __all__ = [
     "TABLE1",
     "TABLE2",
     "OverheadRow",
+    "ParallelExecutionError",
+    "default_workers",
     "generate_report",
     "measure",
     "run_trials",
+    "run_trials_parallel",
+    "TrialAggregator",
+    "TrialFailure",
+    "TrialOutcome",
     "TrialStats",
     "wilson_interval",
     "ParamRow",

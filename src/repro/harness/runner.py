@@ -6,18 +6,39 @@ breakpoint".  :func:`run_trials` is that loop — fresh app instance per
 trial, seeds ``base_seed .. base_seed+n-1``, everything deterministic and
 replayable.  :func:`measure` pairs a plain and a breakpoint configuration
 to produce the runtime-overhead columns.
+
+Both functions accept ``workers``: ``None``/``0`` keeps the in-process
+serial loop, any other value routes through the fault-tolerant process
+pool in :mod:`repro.harness.parallel` (``workers="auto"`` sizes to the
+machine).  The two paths execute the same per-trial function and feed the
+same aggregator, so for a fixed seed range they return identical
+:class:`TrialStats` — the determinism contract every paper table relies
+on.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Optional, Type
+from typing import Any, Dict, Optional, Type, Union
 
 from repro.apps.base import AppConfig, BaseApp
 
-from .stats import TrialStats
+from .parallel import execute_trial, run_trials_parallel
+from .stats import TrialAggregator, TrialStats
 
 __all__ = ["run_trials", "measure", "OverheadRow"]
+
+
+def _resolve_workers(workers: Union[int, str, None]) -> int:
+    """Normalise the ``workers`` argument: 0 means "stay serial"."""
+    if workers is None:
+        return 0
+    if workers == "auto":
+        from .parallel import default_workers
+
+        return default_workers()
+    w = int(workers)
+    return max(0, w)
 
 
 def run_trials(
@@ -29,36 +50,44 @@ def run_trials(
     use_policies: bool = True,
     base_seed: int = 0,
     params: Optional[Dict[str, Any]] = None,
+    workers: Union[int, str, None] = None,
+    trial_timeout: Optional[float] = None,
+    max_retries: int = 2,
 ) -> TrialStats:
-    """Run ``n`` seeded executions of one configuration."""
-    bug_hits = bp_hits = 0
-    runtimes = []
-    error_times = []
-    for i in range(n):
-        app = app_cls(
-            AppConfig(
-                bug=bug,
-                timeout=timeout,
-                flip_order=flip_order,
-                use_policies=use_policies,
-                params=dict(params or {}),
-            )
+    """Run ``n`` seeded executions of one configuration.
+
+    ``timeout`` is the breakpoint pause ``T`` (virtual seconds inside the
+    simulation); ``trial_timeout`` is a per-trial *wall-clock* budget and
+    requires workers (a serial loop cannot preempt itself).
+    """
+    n_workers = _resolve_workers(workers)
+    if n_workers:
+        return run_trials_parallel(
+            app_cls,
+            n=n,
+            bug=bug,
+            timeout=timeout,
+            flip_order=flip_order,
+            use_policies=use_policies,
+            base_seed=base_seed,
+            params=params,
+            workers=n_workers,
+            trial_timeout=trial_timeout,
+            max_retries=max_retries,
         )
-        run = app.run(seed=base_seed + i)
-        bug_hits += run.bug_hit
-        bp_hits += run.bp_hit()
-        runtimes.append(run.runtime)
-        if run.bug_hit and run.error_time is not None:
-            error_times.append(run.error_time)
-    return TrialStats(
-        app=app_cls.name,
+    if trial_timeout is not None:
+        raise ValueError("trial_timeout requires workers (serial trials cannot be preempted)")
+    cfg = AppConfig(
         bug=bug,
-        trials=n,
-        bug_hits=bug_hits,
-        bp_hits=bp_hits,
-        runtimes=runtimes,
-        error_times=error_times,
+        timeout=timeout,
+        flip_order=flip_order,
+        use_policies=use_policies,
+        params=dict(params or {}),
     )
+    agg = TrialAggregator(app_cls.name, bug, base_seed, n)
+    for i in range(n):
+        agg.add(execute_trial(app_cls, cfg, base_seed + i))
+    return agg.finalize()
 
 
 @dataclasses.dataclass
@@ -87,12 +116,18 @@ def measure(
     use_policies: bool = True,
     base_seed: int = 0,
     params: Optional[Dict[str, Any]] = None,
+    workers: Union[int, str, None] = None,
+    trial_timeout: Optional[float] = None,
 ) -> OverheadRow:
     """Paired normal/with-breakpoints measurement for one bug."""
-    plain = run_trials(app_cls, n=n, bug=None, base_seed=base_seed, params=params)
+    plain = run_trials(
+        app_cls, n=n, bug=None, base_seed=base_seed, params=params,
+        workers=workers, trial_timeout=trial_timeout,
+    )
     with_bp = run_trials(
         app_cls, n=n, bug=bug, timeout=timeout, use_policies=use_policies,
         base_seed=base_seed, params=params,
+        workers=workers, trial_timeout=trial_timeout,
     )
     return OverheadRow(
         app=app_cls.name,

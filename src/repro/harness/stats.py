@@ -1,12 +1,26 @@
-"""Aggregation of repeated app executions."""
+"""Aggregation of repeated app executions.
+
+:class:`TrialStats` summarises a seed range; :class:`TrialAggregator`
+builds one incrementally from per-trial :class:`TrialOutcome` records so
+serial and parallel runners share a single aggregation path — the seeds
+may arrive in any order (workers finish out of order) but the finalised
+stats are always in ascending-seed order, which is what makes parallel
+output bit-identical to the serial loop.
+"""
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-__all__ = ["TrialStats", "wilson_interval"]
+__all__ = [
+    "TrialStats",
+    "TrialOutcome",
+    "TrialFailure",
+    "TrialAggregator",
+    "wilson_interval",
+]
 
 
 def wilson_interval(hits: int, n: int, z: float = 1.96) -> tuple:
@@ -24,6 +38,35 @@ def wilson_interval(hits: int, n: int, z: float = 1.96) -> tuple:
     return (max(0.0, centre - margin), min(1.0, centre + margin))
 
 
+@dataclasses.dataclass(frozen=True)
+class TrialOutcome:
+    """Scalar record of one seeded trial (picklable; crosses process
+    boundaries in the parallel runner)."""
+
+    seed: int
+    bug_hit: bool
+    bp_hit: bool
+    runtime: float
+    error_time: Optional[float]
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialFailure:
+    """A trial the runner could not complete.
+
+    ``kind`` is ``"timeout"`` (exceeded the per-trial wall-clock budget),
+    ``"crash"`` (the worker process died mid-trial) or ``"exception"``
+    (the trial raised); ``attempts`` counts executions consumed including
+    retries.  Failed trials contribute nothing to the hit counters or
+    runtime lists — they are accounted, not silently dropped.
+    """
+
+    seed: int
+    kind: str  # "timeout" | "crash" | "exception"
+    attempts: int
+    message: str = ""
+
+
 @dataclasses.dataclass
 class TrialStats:
     """Summary of ``n`` seeded executions of one app configuration."""
@@ -35,6 +78,9 @@ class TrialStats:
     bp_hits: int
     runtimes: List[float]
     error_times: List[float]
+    #: Trials that never produced a result (parallel runner only; the
+    #: serial loop either completes every trial or raises).
+    failures: List[TrialFailure] = dataclasses.field(default_factory=list)
 
     @property
     def probability(self) -> float:
@@ -64,4 +110,73 @@ class TrialStats:
         return (
             f"{self.app}/{self.bug}: prob={self.probability:.2f} "
             f"bp={self.bp_hit_rate:.2f} runtime={self.mean_runtime:.4f}s"
+        )
+
+
+class TrialAggregator:
+    """Streamed, order-independent accumulation of trial outcomes.
+
+    The equivalence contract of the parallel runner is enforced here, in
+    code: every seed is accepted exactly once (a duplicate raises), and
+    :meth:`finalize` refuses to produce stats unless each seed in the
+    requested range is accounted for by either an outcome or a recorded
+    failure.  Because finalisation sorts by seed, the resulting
+    :class:`TrialStats` does not depend on arrival order — a pool of N
+    workers and the serial loop produce identical objects.
+    """
+
+    def __init__(self, app: str, bug: Optional[str], base_seed: int, n: int) -> None:
+        self.app = app
+        self.bug = bug
+        self.base_seed = base_seed
+        self.n = n
+        self._outcomes: Dict[int, TrialOutcome] = {}
+        self._failures: Dict[int, TrialFailure] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, outcome: TrialOutcome) -> None:
+        seed = outcome.seed
+        if not (self.base_seed <= seed < self.base_seed + self.n):
+            raise ValueError(f"seed {seed} outside trial range")
+        if seed in self._outcomes or seed in self._failures:
+            raise ValueError(f"seed {seed} reported twice")
+        self._outcomes[seed] = outcome
+
+    def add_failure(self, failure: TrialFailure) -> None:
+        if failure.seed in self._outcomes or failure.seed in self._failures:
+            raise ValueError(f"seed {failure.seed} reported twice")
+        self._failures[failure.seed] = failure
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return self.n - len(self._outcomes) - len(self._failures)
+
+    def finalize(self) -> TrialStats:
+        if self.pending:
+            missing = [
+                s
+                for s in range(self.base_seed, self.base_seed + self.n)
+                if s not in self._outcomes and s not in self._failures
+            ]
+            raise ValueError(f"unaccounted seeds: {missing[:10]} (+{max(0, len(missing) - 10)})")
+        bug_hits = bp_hits = 0
+        runtimes: List[float] = []
+        error_times: List[float] = []
+        for seed in sorted(self._outcomes):
+            out = self._outcomes[seed]
+            bug_hits += out.bug_hit
+            bp_hits += out.bp_hit
+            runtimes.append(out.runtime)
+            if out.bug_hit and out.error_time is not None:
+                error_times.append(out.error_time)
+        return TrialStats(
+            app=self.app,
+            bug=self.bug,
+            trials=self.n,
+            bug_hits=bug_hits,
+            bp_hits=bp_hits,
+            runtimes=runtimes,
+            error_times=error_times,
+            failures=[self._failures[s] for s in sorted(self._failures)],
         )

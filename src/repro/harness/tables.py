@@ -73,13 +73,13 @@ class Table1Row:
     ]
 
 
-def build_table1(n: int = 100, base_seed: int = 0) -> List[Table1Row]:
+def build_table1(n: int = 100, base_seed: int = 0, workers=None) -> List[Table1Row]:
     """Reproduce Table 1: every Java (app, bug) pair, n trials each."""
     rows: List[Table1Row] = []
     for app_name, bug in sorted(table1_bugs()):
         app_cls = get_app(app_name)
         cfg = TABLE1_CONFIG.get((app_name, bug), {})
-        m = measure(app_cls, bug, n=n, base_seed=base_seed, **cfg)
+        m = measure(app_cls, bug, n=n, base_seed=base_seed, workers=workers, **cfg)
         paper = paperdata.TABLE1.get((app_name, bug))
         spec = app_cls.bugs[bug]
         rows.append(
@@ -127,12 +127,12 @@ class Table2Row:
     HEADER = ["Benchmark", "LoC(orig)", "Error", "MTTE(s)", "Paper MTTE", "#CBR", "Prob.", "Comments"]
 
 
-def build_table2(n: int = 60, base_seed: int = 0) -> List[Table2Row]:
+def build_table2(n: int = 60, base_seed: int = 0, workers=None) -> List[Table2Row]:
     """Reproduce Table 2: the C/C++ server bugs, mean time to error."""
     rows: List[Table2Row] = []
     for app_name, bug in sorted(table2_bugs()):
         app_cls = get_app(app_name)
-        stats = run_trials(app_cls, n=n, bug=bug, base_seed=base_seed)
+        stats = run_trials(app_cls, n=n, bug=bug, base_seed=base_seed, workers=workers)
         paper = paperdata.TABLE2.get((app_name, bug))
         spec = app_cls.bugs[bug]
         rows.append(
@@ -171,11 +171,12 @@ class Section5Row:
     HEADER = ["Conflict resolve order", "Stall %", "Paper", "BP hit %", "Paper"]
 
 
-def build_section5(n: int = 100, base_seed: int = 0) -> List[Section5Row]:
+def build_section5(n: int = 100, base_seed: int = 0, workers=None) -> List[Section5Row]:
     """Reproduce the Section 5 log4j conflict-resolution table."""
     rows: List[Section5Row] = []
     for bug, flip, label in SECTION5_PAIRS:
-        stats = run_trials(Log4jApp, n=n, bug=bug, flip_order=flip, base_seed=base_seed)
+        stats = run_trials(Log4jApp, n=n, bug=bug, flip_order=flip, base_seed=base_seed,
+                           workers=workers)
         stall = 100.0 * stats.bug_hits / stats.trials
         hit = 100.0 * stats.bp_hit_rate
         paper_stall, paper_hit = paperdata.SECTION5[label]
@@ -205,7 +206,7 @@ class ParamRow:
     HEADER = ["Configuration", "Prob.", "Paper", "Runtime(s)", "Note"]
 
 
-def build_section62(n: int = 100, base_seed: int = 0) -> List[ParamRow]:
+def build_section62(n: int = 100, base_seed: int = 0, workers=None) -> List[ParamRow]:
     """Section 6.2: probability and runtime vs pause time."""
     rows: List[ParamRow] = []
     for app_name, bug, wait in [
@@ -217,7 +218,7 @@ def build_section62(n: int = 100, base_seed: int = 0) -> List[ParamRow]:
         app_cls = get_app(app_name)
         use_pol = app_name != "swing"  # swing's Table 1 rows are unrefined
         stats = run_trials(app_cls, n=n, bug=bug, timeout=wait,
-                           use_policies=use_pol, base_seed=base_seed)
+                           use_policies=use_pol, base_seed=base_seed, workers=workers)
         rows.append(
             ParamRow(
                 label=f"{app_name}/{bug} wait={int(wait * 1000)}ms",
@@ -229,7 +230,7 @@ def build_section62(n: int = 100, base_seed: int = 0) -> List[ParamRow]:
     return rows
 
 
-def build_section63(n: int = 60, base_seed: int = 0) -> List[ParamRow]:
+def build_section63(n: int = 60, base_seed: int = 0, workers=None) -> List[ParamRow]:
     """Section 6.3: precision refinements on vs off.
 
     Three case studies: cache4j's ``ignoreFirst``, moldyn's ``bound``,
@@ -246,7 +247,7 @@ def build_section63(n: int = 60, base_seed: int = 0) -> List[ParamRow]:
         app_cls = get_app(app_name)
         for refined in (False, True):
             stats = run_trials(app_cls, n=n, bug=bug, use_policies=refined,
-                               base_seed=base_seed)
+                               base_seed=base_seed, workers=workers)
             rows.append(
                 ParamRow(
                     label=f"{app_name}/{bug} {'with' if refined else 'without'} {refinement}",

@@ -66,7 +66,7 @@ from .syscalls import (
     Yield,
 )
 from .dpor import DporStats, explore_dpor
-from .explore import Exploration, Outcome, explore
+from .explore import Exploration, Outcome, explore, explore_sharded, merge_shards
 from .replay import RecordingScheduler, ReplayDivergence, ReplayScheduler
 from .thread import SimThread, TState
 from .timeline import around_breakpoints, render_timeline
@@ -97,6 +97,8 @@ __all__ = [
     "Exploration",
     "Outcome",
     "explore",
+    "explore_sharded",
+    "merge_shards",
     "explore_dpor",
     "DporStats",
     "render_timeline",

@@ -17,13 +17,14 @@ schedule tree is exponential, so ``max_schedules`` caps the walk (the
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from .kernel import Kernel, RunResult
 from .scheduler import Scheduler
 from .thread import SimThread
 
-__all__ = ["Outcome", "Exploration", "explore"]
+__all__ = ["Outcome", "Exploration", "explore", "explore_sharded", "merge_shards"]
 
 
 class _DFSScheduler(Scheduler):
@@ -96,6 +97,7 @@ def explore(
     max_steps: int = 20_000,
     seed: int = 0,
     observe: Optional[Callable[[Kernel], object]] = None,
+    prefix: Sequence[int] = (),
 ) -> Exploration:
     """Enumerate the program's schedule tree by stateless DFS.
 
@@ -105,9 +107,14 @@ def explore(
     until ``max_schedules`` is exhausted.  ``observe(kernel)`` runs after
     each schedule and its value is stored on the outcome — use it to
     snapshot final shared state before the next run rebuilds everything.
+
+    ``prefix`` restricts the walk to the subtree under a forced choice
+    prefix: only alternatives at depth >= ``len(prefix)`` are branched.
+    This is the sharding primitive of :func:`explore_sharded` — subtrees
+    of distinct same-length prefixes are disjoint by construction.
     """
     outcomes: List[Outcome] = []
-    stack: List[List[int]] = [[]]
+    stack: List[List[int]] = [list(prefix)]
     complete = True
     while stack:
         if len(outcomes) >= max_schedules:
@@ -130,3 +137,199 @@ def explore(
                 if alt > chosen:
                     stack.append(sched.choices[:depth] + [alt])
     return Exploration(outcomes=outcomes, complete=complete)
+
+
+# ---------------------------------------------------------------------------
+# Parallel exploration: disjoint prefix shards + deduplicated merge
+# ---------------------------------------------------------------------------
+
+
+def _sanitize_outcome(outcome: Outcome) -> Outcome:
+    """Make an outcome process-portable and worker-count independent.
+
+    ``RunResult.threads`` holds live generators (unpicklable) and
+    ``deadlock`` an exception whose custom constructor breaks pickle
+    round-trips; both are stripped.  Everything tests and analyses key on
+    (choices, scalar result fields, trace, breakpoint stats, observed
+    snapshot) survives intact.  Serial and process shard execution both
+    go through this, so ``explore_sharded`` output does not depend on the
+    worker count.
+    """
+    res = outcome.result
+    if res.threads or res.deadlock is not None:
+        res = dataclasses.replace(res, threads=[], deadlock=None)
+    return Outcome(outcome.choices, res, outcome.observed)
+
+
+def merge_shards(shards: Sequence[Exploration]) -> Exploration:
+    """Combine per-shard explorations into one canonical result.
+
+    Enforces the sharding contract in code: a schedule (choice tuple)
+    appearing in more than one shard means the shards were not disjoint —
+    the merge raises rather than silently double-counting, because every
+    probability computed from the exploration divides by the outcome
+    count.  Outcomes are ordered lexicographically by choice tuple, a
+    canonical order independent of shard completion order.
+    """
+    seen = set()
+    merged: List[Outcome] = []
+    for shard in shards:
+        for outcome in shard.outcomes:
+            if outcome.choices in seen:
+                raise ValueError(
+                    f"duplicate schedule across shards: {outcome.choices}"
+                )
+            seen.add(outcome.choices)
+            merged.append(outcome)
+    merged.sort(key=lambda o: o.choices)
+    return Exploration(
+        outcomes=merged, complete=all(s.complete for s in shards)
+    )
+
+
+def _frontier(
+    build: Callable[[Kernel], None],
+    shard_depth: int,
+    max_steps: int,
+    seed: int,
+    observe: Optional[Callable[[Kernel], object]],
+) -> Tuple[List[List[int]], List[Outcome]]:
+    """Enumerate all choice prefixes of length ``shard_depth``.
+
+    Runs that terminate before making ``shard_depth`` choices are
+    single-leaf subtrees: they are returned as finished outcomes rather
+    than shards (a shard DFS would just re-run them).
+    """
+    prefixes: List[List[int]] = [[]]
+    direct: List[Outcome] = []
+    for _ in range(shard_depth):
+        nxt: List[List[int]] = []
+        for p in prefixes:
+            sched = _DFSScheduler(p)
+            kernel = Kernel(scheduler=sched, seed=seed)
+            build(kernel)
+            result = kernel.run(max_steps=max_steps)
+            if len(sched.choices) <= len(p):
+                observed = observe(kernel) if observe is not None else None
+                direct.append(Outcome(tuple(sched.choices), result, observed))
+            else:
+                for tid in sched.runnable_sets[len(p)]:
+                    nxt.append(p + [tid])
+        prefixes = nxt
+        if not prefixes:
+            break
+    return prefixes, direct
+
+
+def _shard_worker(conn, build, shard_list, max_schedules, max_steps, seed, observe):
+    """Explore assigned shards in a forked child; stream results back."""
+    try:
+        for idx, prefix in shard_list:
+            ex = explore(
+                build,
+                max_schedules=max_schedules,
+                max_steps=max_steps,
+                seed=seed,
+                observe=observe,
+                prefix=prefix,
+            )
+            conn.send(
+                (idx, [_sanitize_outcome(o) for o in ex.outcomes], ex.complete)
+            )
+        conn.send(None)  # all assigned shards done
+    except Exception:
+        pass  # parent re-runs missing shards serially
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def explore_sharded(
+    build: Callable[[Kernel], None],
+    max_schedules: int = 10_000,
+    max_steps: int = 20_000,
+    seed: int = 0,
+    observe: Optional[Callable[[Kernel], object]] = None,
+    workers: Optional[int] = None,
+    shard_depth: int = 2,
+) -> Exploration:
+    """Schedule-tree enumeration over disjoint prefix shards.
+
+    The tree is split at depth ``shard_depth`` into one shard per
+    surviving prefix; each shard is a completely independent stateless
+    DFS (disjoint by construction, enforced at merge time by
+    :func:`merge_shards`).  With ``workers > 1`` and a ``fork`` start
+    method available the shards run across worker processes — ``build``
+    and ``observe`` may be ordinary closures because fork inherits them;
+    per-outcome data returned across the process boundary must be
+    picklable.  A worker that dies simply causes its unfinished shards to
+    be re-explored serially in the parent: the walk degrades, it does not
+    abort.
+
+    ``max_schedules`` bounds each shard's walk (a capped exploration may
+    therefore visit a different subset of leaves than capped serial
+    :func:`explore`; uncapped results cover the identical full set).
+    Outcomes are returned in lexicographic choice order, a canonical
+    order independent of worker count and timing.
+    """
+    shards, direct = _frontier(build, shard_depth, max_steps, seed, observe)
+    direct = [_sanitize_outcome(o) for o in direct]
+    results: dict = {}
+
+    use_processes = (
+        workers is not None
+        and workers > 1
+        and len(shards) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if use_processes:
+        ctx = multiprocessing.get_context("fork")
+        n_workers = min(workers, len(shards))
+        assignments: List[List[Tuple[int, List[int]]]] = [
+            [] for _ in range(n_workers)
+        ]
+        for idx, prefix in enumerate(shards):
+            assignments[idx % n_workers].append((idx, prefix))
+        procs = []
+        for shard_list in assignments:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child_conn, build, shard_list, max_schedules, max_steps, seed, observe),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            procs.append((proc, parent_conn))
+        for proc, conn in procs:
+            try:
+                while True:
+                    msg = conn.recv()
+                    if msg is None:
+                        break
+                    idx, outcomes, complete = msg
+                    results[idx] = Exploration(outcomes=outcomes, complete=complete)
+            except (EOFError, OSError):
+                pass  # crashed worker; its shards fall through to serial
+            finally:
+                proc.join()
+                conn.close()
+    for idx, prefix in enumerate(shards):
+        if idx not in results:
+            ex = explore(
+                build,
+                max_schedules=max_schedules,
+                max_steps=max_steps,
+                seed=seed,
+                observe=observe,
+                prefix=prefix,
+            )
+            results[idx] = Exploration(
+                outcomes=[_sanitize_outcome(o) for o in ex.outcomes],
+                complete=ex.complete,
+            )
+    shard_results = [results[i] for i in range(len(shards))]
+    shard_results.append(Exploration(outcomes=direct, complete=True))
+    return merge_shards(shard_results)

@@ -1,0 +1,233 @@
+"""Determinism battery: the property the parallel runner stands on.
+
+``(program, scheduler, seed)`` must exactly determine a run — that is
+what lets seeded trials fan out across processes and still merge into
+bit-identical statistics.  Stress it over randomly generated programs:
+same seed ⇒ identical trace, timeline rendering, and result; and verify
+the schedule-prefix sharding used by ``explore_sharded``: disjoint
+shards, no duplicated schedules, merged outcome set identical to the
+serial DFS at every worker count.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import (
+    Exploration,
+    Kernel,
+    Outcome,
+    SharedCell,
+    SimLock,
+    Sleep,
+    explore,
+    explore_sharded,
+    merge_shards,
+    render_timeline,
+)
+
+# ---------------------------------------------------------------------------
+# Random program generation (plain seeded random: one program per seed)
+# ---------------------------------------------------------------------------
+
+
+def random_program(seed: int):
+    """A random well-formed concurrent program: 2-4 threads doing
+    lock-guarded and bare increments over shared cells, sleeps and
+    RNG-dependent branching on the kernel's application RNG."""
+    rng = random.Random(seed)
+    n_threads = rng.randint(2, 4)
+    n_cells = rng.randint(1, 3)
+    plans = []
+    for _ in range(n_threads):
+        plan = []
+        for _ in range(rng.randint(1, 4)):
+            plan.append((
+                rng.randrange(n_cells),
+                rng.randint(1, 3),
+                rng.random() < 0.5,  # guarded?
+                rng.random() < 0.3,  # sleep first?
+            ))
+        plans.append(plan)
+
+    def build(kernel):
+        cells = [SharedCell(0, name=f"c{i}") for i in range(n_cells)]
+        locks = [SimLock(f"l{i}") for i in range(n_cells)]
+
+        def body(plan):
+            for cell_idx, incs, guarded, sleep_first in plan:
+                if sleep_first:
+                    yield Sleep(0.001 * (1 + kernel.rng.randrange(3)))
+                if guarded:
+                    yield from locks[cell_idx].acquire()
+                for _ in range(incs):
+                    v = yield from cells[cell_idx].get()
+                    yield from cells[cell_idx].set(v + 1)
+                if guarded:
+                    yield from locks[cell_idx].release()
+
+        for plan in plans:
+            kernel.spawn(body, plan)
+        return cells
+
+    return build
+
+
+def _run(prog_seed: int, sched_seed: int):
+    k = Kernel(seed=sched_seed, record_trace=True)
+    random_program(prog_seed)(k)
+    result = k.run()
+    return k, result
+
+
+def _trace_tuples(trace):
+    return [
+        (e.seq, round(e.time, 9), e.tid, e.tname, e.op, str(e.obj), e.loc, str(e.extra))
+        for e in trace
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Same seed ⇒ identical everything
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("batch", range(4))
+def test_same_seed_same_trace_and_timeline(batch):
+    """25 random programs per batch, each run twice with equal seeds."""
+    for prog_seed in range(batch * 25, batch * 25 + 25):
+        sched_seed = prog_seed * 7 + 1
+        k1, r1 = _run(prog_seed, sched_seed)
+        k2, r2 = _run(prog_seed, sched_seed)
+        assert (r1.time, r1.steps, r1.completed, r1.deadlocked, r1.stalled) == (
+            r2.time, r2.steps, r2.completed, r2.deadlocked, r2.stalled
+        )
+        assert _trace_tuples(r1.trace) == _trace_tuples(r2.trace)
+        assert render_timeline(r1.trace, limit=200) == render_timeline(r2.trace, limit=200)
+        assert {n: (s.visits, s.hits) for n, s in r1.breakpoint_stats.items()} == {
+            n: (s.visits, s.hits) for n, s in r2.breakpoint_stats.items()
+        }
+
+
+def test_different_seeds_do_diverge():
+    """Sanity check that the stress test has teeth: across the program
+    set, at least some pairs of seeds produce different traces."""
+    diverged = 0
+    for prog_seed in range(20):
+        _, r1 = _run(prog_seed, 1)
+        _, r2 = _run(prog_seed, 2)
+        if _trace_tuples(r1.trace) != _trace_tuples(r2.trace):
+            diverged += 1
+    assert diverged > 0
+
+
+# ---------------------------------------------------------------------------
+# Prefix sharding: disjoint shards, deduplicated merge
+# ---------------------------------------------------------------------------
+
+
+def _small_program():
+    """Fixed small program whose schedule tree is fully enumerable."""
+
+    def build(kernel):
+        cell = SharedCell(0, name="x")
+
+        def body(incs):
+            for _ in range(incs):
+                v = yield from cell.get()
+                yield from cell.set(v + 1)
+
+        kernel.spawn(body, 2)
+        kernel.spawn(body, 1)
+        kernel.spawn(body, 1)
+
+    return build
+
+
+@pytest.mark.parametrize("shard_depth", [1, 2, 3])
+@pytest.mark.parametrize("workers", [None, 2])
+def test_sharded_explore_matches_serial(shard_depth, workers):
+    serial = explore(_small_program())
+    assert serial.complete
+    sharded = explore_sharded(
+        _small_program(), shard_depth=shard_depth, workers=workers
+    )
+    assert sharded.complete
+    serial_set = {o.choices for o in serial.outcomes}
+    sharded_list = [o.choices for o in sharded.outcomes]
+    # No duplicate schedules across shards...
+    assert len(sharded_list) == len(set(sharded_list))
+    # ...and exactly the serial DFS's leaf set.
+    assert set(sharded_list) == serial_set
+    # Canonical ordering: lexicographic, independent of worker count.
+    assert sharded_list == sorted(sharded_list)
+
+
+def test_sharded_explore_worker_count_independent():
+    results = [
+        explore_sharded(_small_program(), shard_depth=2, workers=w)
+        for w in (None, 1, 2, 3)
+    ]
+    baseline = [(o.choices, o.result.time, o.result.steps) for o in results[0].outcomes]
+    for ex in results[1:]:
+        assert [
+            (o.choices, o.result.time, o.result.steps) for o in ex.outcomes
+        ] == baseline
+
+
+def test_prefix_restricts_to_subtree():
+    full = explore(_small_program())
+    first_choices = full.outcomes[0].choices
+    prefix = list(first_choices[:2])
+    sub = explore(_small_program(), prefix=prefix)
+    sub_set = {o.choices for o in sub.outcomes}
+    expected = {
+        o.choices for o in full.outcomes if list(o.choices[:2]) == prefix
+    }
+    assert sub_set == expected
+    assert sub_set  # non-empty by construction
+
+
+def test_merge_shards_rejects_duplicates():
+    """Overlapping shards (a violated disjointness precondition) must be
+    rejected loudly, never silently double-counted."""
+    ex = explore(_small_program(), max_schedules=5)
+    a = Exploration(outcomes=list(ex.outcomes[:3]), complete=True)
+    b = Exploration(outcomes=list(ex.outcomes[2:5]), complete=True)  # overlaps at [2]
+    with pytest.raises(ValueError, match="duplicate schedule"):
+        merge_shards([a, b])
+    # Disjoint halves merge fine and sort canonically.
+    c = Exploration(outcomes=list(ex.outcomes[3:5]), complete=True)
+    merged = merge_shards([a, c])
+    assert [o.choices for o in merged.outcomes] == sorted(
+        o.choices for o in ex.outcomes[:5]
+    )
+
+
+def test_observe_snapshots_survive_sharding():
+    def make():
+        holder = {}
+
+        def build(kernel):
+            cell = SharedCell(0, name="x")
+            holder["cell"] = cell
+
+            def body(incs):
+                for _ in range(incs):
+                    v = yield from cell.get()
+                    yield from cell.set(v + 1)
+
+            kernel.spawn(body, 2)
+            kernel.spawn(body, 2)
+
+        return build, holder
+
+    build, holder = make()
+    obs = lambda k: holder["cell"].peek()  # noqa: E731
+    serial = explore(build, observe=obs)
+    build2, holder2 = make()
+    obs2 = lambda k: holder2["cell"].peek()  # noqa: E731
+    sharded = explore_sharded(build2, observe=obs2, workers=2, shard_depth=2)
+    assert {(o.choices, o.observed) for o in serial.outcomes} == {
+        (o.choices, o.observed) for o in sharded.outcomes
+    }
