@@ -5,7 +5,7 @@ TRIALS ?= 100
 # -1 = one worker per CPU
 WORKERS ?= -1
 
-.PHONY: install test test-par bench bench-par report examples all
+.PHONY: install test test-par lint bench bench-par report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -19,6 +19,10 @@ test-par:
 	$(PYTHON) -m pytest tests/harness/test_parallel_runner.py \
 	    tests/core/test_engine_invariants.py \
 	    tests/sim/test_kernel_determinism.py
+
+# Critical-error lint (same rule set as the CI lint job).
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples
 
 bench:
 	REPRO_TRIALS=$(TRIALS) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s

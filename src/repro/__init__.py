@@ -24,6 +24,9 @@ Package map:
 :mod:`repro.apps`         the 18 evaluation subjects, re-created
 :mod:`repro.harness`      the 100-trial experiment protocol and all table
                           builders (Table 1, Table 2, Section 5, 6.2, 6.3)
+:mod:`repro.obs`          observability: structured event bus, metrics
+                          registry, Chrome-trace / JSONL trace export
+                          with replayable schedules
 ========================  ====================================================
 
 Quickstart (real threads)::
@@ -40,7 +43,7 @@ Quickstart (real threads)::
 See ``examples/quickstart.py`` for the complete runnable version.
 """
 
-from . import activetest, apps, core, detect, harness, model, sim
+from . import activetest, apps, core, detect, harness, model, obs, sim
 from .core import (
     GLOBAL,
     AtomicityTrigger,
@@ -61,6 +64,7 @@ __all__ = [
     "detect",
     "harness",
     "model",
+    "obs",
     "sim",
     "GLOBAL",
     "AtomicityTrigger",

@@ -6,17 +6,25 @@ Commands:
 * ``run APP BUG`` — execute one app with the bug's breakpoints and print
   the outcome (``--seed``, ``--timeout``, ``--trials``, ``--no-bp``);
 * ``table1`` / ``table2`` / ``section5`` / ``section62`` / ``section63``
-  — regenerate a table of the paper's evaluation (``--trials``).
+  — regenerate a table of the paper's evaluation (``--trials``);
+* ``metrics APP`` — run one app (or a trial sweep) under the
+  observability subsystem and print the metrics registry as JSON;
+* ``export-trace APP`` — record one run and export its trace as Chrome
+  trace-event JSON (Perfetto-loadable) or replayable JSONL
+  (``--seed``, ``--bug``, ``--format chrome|jsonl``, ``--out``).
 
 Multi-trial commands accept ``--workers N`` (0 = serial, the default;
 ``-1`` = one worker per CPU) to fan the seeded trials over a process
 pool, and ``--trial-timeout SECONDS`` to bound each trial's wall-clock
 time; results are identical to serial runs for the same seeds.
+``run``/``report`` accept ``--metrics-out FILE`` to dump the merged
+metrics registry of everything they executed.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.apps import ALL_APPS, AppConfig, get_app
@@ -51,16 +59,25 @@ def _workers_arg(args: argparse.Namespace):
     return "auto" if w < 0 else w
 
 
+def _write_metrics(path: str, snapshot) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote metrics to {path}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     cls = get_app(args.app)
     bug = None if args.no_bp else args.bug
     if args.bug not in cls.bugs:
         print(f"error: {args.app} has no bug {args.bug!r}; known: {list(cls.bugs)}")
         return 2
+    metrics_out = getattr(args, "metrics_out", None)
     if args.trials > 1:
         stats = run_trials(
             cls, n=args.trials, bug=bug, timeout=args.timeout, base_seed=args.seed,
             workers=_workers_arg(args), trial_timeout=args.trial_timeout,
+            collect_metrics=metrics_out is not None,
         )
         print(
             f"{args.app}/{args.bug}: reproduced {stats.bug_hits}/{stats.trials} "
@@ -69,9 +86,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         for f in stats.failures:
             print(f"  seed {f.seed}: {f.kind} after {f.attempts} attempt(s) {f.message}")
+        if metrics_out is not None:
+            _write_metrics(metrics_out, stats.metrics)
         return 0
+    obs_ctx = None
+    if metrics_out is not None:
+        from repro.obs import ObsContext
+
+        obs_ctx = ObsContext.create()
     app = cls(AppConfig(bug=bug, timeout=args.timeout))
-    run = app.run(seed=args.seed, record_trace=args.timeline)
+    run = app.run(seed=args.seed, record_trace=args.timeline, obs=obs_ctx)
     print(f"{args.app}/{args.bug} seed={args.seed}:")
     print(f"  bug reproduced : {run.bug_hit}")
     print(f"  error symptom  : {run.error}")
@@ -84,6 +108,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         window = around_breakpoints(run.result.trace, context=4)
         print("\nTimeline around the breakpoints:")
         print(render_timeline(window if window else run.result.trace, limit=40))
+    if obs_ctx is not None:
+        _write_metrics(metrics_out, obs_ctx.metrics.snapshot())
     return 0
 
 
@@ -132,7 +158,34 @@ def main(argv=None) -> int:
     run_p.add_argument("--no-bp", action="store_true", help="run without breakpoints")
     run_p.add_argument("--timeline", action="store_true",
                        help="print the event timeline around the breakpoints")
+    run_p.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="dump the run's metrics registry as JSON")
     _add_parallel_flags(run_p)
+
+    met_p = sub.add_parser("metrics", help="run under observability and print metrics JSON")
+    met_p.add_argument("app")
+    met_p.add_argument("--bug", default=None,
+                       help="activate a bug's breakpoints during the run")
+    met_p.add_argument("--seed", type=int, default=0)
+    met_p.add_argument("--timeout", type=float, default=0.1, help="pause time T (s)")
+    met_p.add_argument("--trials", type=int, default=1,
+                       help="sweep seeds seed..seed+N-1 and merge the registries")
+    met_p.add_argument("--out", default=None, metavar="FILE",
+                       help="write JSON here instead of stdout")
+    _add_parallel_flags(met_p)
+
+    ex_p = sub.add_parser("export-trace",
+                          help="record one run and export its trace")
+    ex_p.add_argument("app")
+    ex_p.add_argument("--bug", default=None,
+                      help="activate a bug's breakpoints during the run")
+    ex_p.add_argument("--seed", type=int, default=0)
+    ex_p.add_argument("--timeout", type=float, default=0.1, help="pause time T (s)")
+    ex_p.add_argument("--format", choices=("chrome", "jsonl"), default="chrome",
+                      help="chrome = Perfetto-loadable trace-event JSON; "
+                           "jsonl = versioned, replayable event log")
+    ex_p.add_argument("--out", default=None, metavar="FILE",
+                      help="write the export here instead of stdout")
 
     an_p = sub.add_parser("analyze", help="run all detectors over one traced execution")
     an_p.add_argument("app")
@@ -147,6 +200,8 @@ def main(argv=None) -> int:
     report_p = sub.add_parser("report", help="regenerate the full evaluation report")
     report_p.add_argument("--trials", type=int, default=100)
     report_p.add_argument("--out", default=None, help="write Markdown to this file")
+    report_p.add_argument("--metrics-out", default=None, metavar="FILE",
+                          help="dump the merged metrics of every sweep as JSON")
     _add_parallel_flags(report_p)
 
     for name in _TABLES:
@@ -167,18 +222,99 @@ def main(argv=None) -> int:
         return _cmd_suite(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "export-trace":
+        return _cmd_export_trace(args)
     return _cmd_table(args)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    import contextlib
+
     from repro.harness import generate_report
 
-    text = generate_report(trials=args.trials, markdown=args.out is not None,
-                           workers=_workers_arg(args))
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is not None:
+        from repro.obs import MetricsRegistry, collecting
+
+        sink = MetricsRegistry()
+        collect_cm = collecting(sink)
+    else:
+        sink = None
+        collect_cm = contextlib.nullcontext()
+    with collect_cm:
+        text = generate_report(trials=args.trials, markdown=args.out is not None,
+                               workers=_workers_arg(args))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text)
         print(f"wrote {args.out}")
+    else:
+        print(text)
+    if sink is not None:
+        _write_metrics(metrics_out, sink.snapshot())
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    cls = get_app(args.app)
+    if args.bug is not None and args.bug not in cls.bugs:
+        print(f"error: {args.app} has no bug {args.bug!r}; known: {list(cls.bugs)}")
+        return 2
+    if args.trials > 1:
+        stats = run_trials(
+            cls, n=args.trials, bug=args.bug, timeout=args.timeout,
+            base_seed=args.seed, workers=_workers_arg(args),
+            trial_timeout=args.trial_timeout, collect_metrics=True,
+        )
+        snapshot = stats.metrics
+    else:
+        from repro.obs import ObsContext
+
+        obs_ctx = ObsContext.create()
+        app = cls(AppConfig(bug=args.bug, timeout=args.timeout))
+        app.run(seed=args.seed, obs=obs_ctx)
+        snapshot = obs_ctx.metrics.snapshot()
+    if args.out:
+        _write_metrics(args.out, snapshot)
+    else:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_export_trace(args: argparse.Namespace) -> int:
+    from repro.obs import dump_chrome, record_app_run, to_chrome_trace, trace_to_jsonl
+
+    cls = get_app(args.app)
+    if args.bug is not None and args.bug not in cls.bugs:
+        print(f"error: {args.app} has no bug {args.bug!r}; known: {list(cls.bugs)}")
+        return 2
+    run, meta = record_app_run(args.app, args.bug, args.seed, timeout=args.timeout)
+    trace = run.result.trace
+    if args.format == "chrome":
+        # The recorded schedule can be thousands of entries; Perfetto
+        # does not need it, so keep the chrome metadata lean.
+        chrome_meta = {k: v for k, v in meta.items() if k != "schedule"}
+        if args.out:
+            dump_chrome(trace, args.out,
+                        process_name=f"{args.app} seed={args.seed}",
+                        meta=chrome_meta)
+            text = None
+        else:
+            text = json.dumps(
+                to_chrome_trace(trace, process_name=f"{args.app} seed={args.seed}",
+                                meta=chrome_meta),
+                sort_keys=True,
+            )
+    else:
+        text = trace_to_jsonl(trace, meta=meta)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            text = None
+    if args.out:
+        print(f"wrote {args.format} trace ({len(trace)} events) to {args.out}")
     else:
         print(text)
     return 0

@@ -74,7 +74,11 @@ class AppConfig:
     ``only_breakpoints`` — restrict a multi-breakpoint bug to a subset of
                        its named breakpoints (ablating Table 2's #CBR
                        column: a proper subset should not reproduce);
-    ``params``       — app-specific workload overrides.
+    ``params``       — app-specific workload overrides;
+    ``collect_metrics`` — run under a fresh :class:`repro.obs.ObsContext`
+                       and attach the trial's metrics snapshot to its
+                       outcome (set by the harness; travels with the
+                       config across worker-process boundaries).
     """
 
     bug: Optional[str] = None
@@ -83,6 +87,7 @@ class AppConfig:
     use_policies: bool = True
     only_breakpoints: Optional[frozenset] = None
     params: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    collect_metrics: bool = False
 
 
 @dataclasses.dataclass
@@ -256,9 +261,16 @@ class BaseApp(abc.ABC):
         seed: Optional[int] = None,
         scheduler: Optional[Scheduler] = None,
         record_trace: bool = False,
+        obs: Any = None,
     ) -> AppRun:
-        """Execute the app once and evaluate its oracle."""
-        kernel = Kernel(scheduler=scheduler, seed=seed, record_trace=record_trace)
+        """Execute the app once and evaluate its oracle.
+
+        ``obs`` is an optional :class:`repro.obs.ObsContext`; the kernel
+        and breakpoint engine record metrics and publish bus events into
+        it.  Observability never changes scheduling, so instrumented and
+        plain runs of the same seed are identical executions.
+        """
+        kernel = Kernel(scheduler=scheduler, seed=seed, record_trace=record_trace, obs=obs)
         self.kernel = kernel
         if self.cfg.use_policies:
             self._policies = self.policies()

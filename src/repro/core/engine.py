@@ -31,9 +31,12 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Dict, Hashable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple, Union
 
 from .spec import BTrigger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core<->obs cycle
+    from repro.obs import ObsContext
 
 __all__ = [
     "BreakpointStats",
@@ -81,6 +84,8 @@ class PostponedEntry:
     is_first: bool
     thread_key: Hashable
     deadline: float
+    #: Arrival time — pause-duration metrics are ``release - park_time``.
+    park_time: float = 0.0
     #: Backends stash their wake handle here (threading.Event / SimThread).
     handle: object = None
     #: Filled in by the engine when a partner matches this entry.
@@ -133,12 +138,57 @@ class BreakpointEngine:
     simulation backend).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional["ObsContext"] = None) -> None:
         self._postponed: Dict[str, List[PostponedEntry]] = {}
         self._tokens = itertools.count(1)
         self.stats: Dict[str, BreakpointStats] = {}
         #: Total matches across all names, cheap liveness signal for tests.
         self.total_hits = 0
+        #: Observability context (duck-typed; ``None`` disables entirely).
+        self.obs = obs
+        if obs is not None:
+            #: Pause durations of matched/expired entries, flushed into
+            #: the ``engine.pause_seconds`` histogram at end of run.  The
+            #: counters (arrivals, skips, ...) need no hot-path work at
+            #: all — they are derived from :attr:`stats` at flush time.
+            self._pause_log: List[float] = []
+            self._sig_postpone = obs.bus.signal("bp.postpone")
+            self._sig_match = obs.bus.signal("bp.match")
+            self._sig_timeout = obs.bus.signal("bp.timeout")
+
+    # ------------------------------------------------------------------
+    def flush_metrics(self) -> None:
+        """Fold this run's breakpoint bookkeeping into the obs registry.
+
+        Called once at end of run (the kernel's ``_flush_obs``).  The hot
+        paths maintain only :attr:`stats` — which they did before
+        observability existed — plus a plain pause-duration list, so
+        enabling metrics adds no per-arrival registry traffic.  An engine
+        no thread ever visited emits nothing: plain (no-breakpoint) runs
+        pay zero engine-metric cost, and ``engine.*`` keys appearing in a
+        snapshot means breakpoint code actually executed.
+        """
+        if self.obs is None or not self.stats:
+            return
+        m = self.obs.metrics
+        visits = skips = postpones = hits = timeouts = 0
+        for st in self.stats.values():
+            visits += st.visits
+            skips += st.local_skips
+            postpones += st.postpones
+            hits += st.hits
+            timeouts += st.timeouts
+        m.add_counters({
+            "engine.arrivals": visits,
+            "engine.local_skips": skips,
+            "engine.postpones": postpones,
+            "engine.matches": hits,
+            "engine.timeouts": timeouts,
+        })
+        h = m.histogram("engine.pause_seconds")
+        for p in self._pause_log:
+            h.observe(p)
+        self._pause_log.clear()
 
     # ------------------------------------------------------------------
     def stats_for(self, name: str) -> BreakpointStats:
@@ -173,6 +223,7 @@ class BreakpointEngine:
         """
         st = self.stats_for(inst.name)
         st.visits += 1
+        obs = self.obs
 
         if inst.policy is not None and not inst.policy.should_attempt():
             st.local_skips += 1
@@ -187,6 +238,7 @@ class BreakpointEngine:
             is_first=is_first,
             thread_key=thread_key,
             deadline=now + timeout,
+            park_time=now,
         )
 
         from .spec import GroupTrigger  # local import to avoid a cycle
@@ -208,10 +260,21 @@ class BreakpointEngine:
                 for side in (entry, parked):
                     if side.inst.policy is not None:
                         side.inst.policy.record_trigger()
+                if obs is not None:
+                    self._pause_log.append(now - parked.park_time)
+                    if self._sig_match.active:
+                        self._sig_match(
+                            name=inst.name,
+                            threads=(entry.thread_key, parked.thread_key),
+                            pause=now - parked.park_time,
+                            time=now,
+                        )
                 return Matched(entry=entry, partner=parked)
 
         self._postponed.setdefault(inst.name, []).append(entry)
         st.postpones += 1
+        if obs is not None and self._sig_postpone.active:
+            self._sig_postpone(name=inst.name, thread=thread_key, time=now)
         return Postponed(entry=entry)
 
     def _arrive_group(self, inst, entry: PostponedEntry, st: BreakpointStats) -> ArrivalResult:
@@ -231,6 +294,10 @@ class BreakpointEngine:
         if len(partners) < inst.parties - 1:
             self._postponed.setdefault(inst.name, []).append(entry)
             st.postpones += 1
+            if self.obs is not None and self._sig_postpone.active:
+                self._sig_postpone(
+                    name=inst.name, thread=entry.thread_key, time=entry.park_time
+                )
             return Postponed(entry=entry)
         for parked in partners:
             self._postponed[inst.name].remove(parked)
@@ -245,6 +312,16 @@ class BreakpointEngine:
         for member in group:
             if member.inst.policy is not None:
                 member.inst.policy.record_trigger()
+        if self.obs is not None:
+            now = entry.park_time  # the completing arrival's timestamp
+            for parked in partners:
+                self._pause_log.append(now - parked.park_time)
+            if self._sig_match.active:
+                self._sig_match(
+                    name=inst.name,
+                    threads=tuple(m.thread_key for m in group),
+                    time=now,
+                )
         return MatchedGroup(entry=entry, ordered=group)
 
     @staticmethod
@@ -275,6 +352,14 @@ class BreakpointEngine:
         if queue and entry in queue:
             queue.remove(entry)
             self.stats_for(entry.inst.name).timeouts += 1
+            if self.obs is not None:
+                self._pause_log.append(entry.deadline - entry.park_time)
+                if self._sig_timeout.active:
+                    self._sig_timeout(
+                        name=entry.inst.name,
+                        thread=entry.thread_key,
+                        pause=entry.deadline - entry.park_time,
+                    )
             return True
         return False
 

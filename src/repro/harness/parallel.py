@@ -44,6 +44,7 @@ from multiprocessing import connection as mpc
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.apps.base import AppConfig, BaseApp
+from repro.obs.context import ObsContext
 
 from .stats import TrialAggregator, TrialFailure, TrialOutcome, TrialStats
 
@@ -74,22 +75,54 @@ def default_workers() -> int:
 
 
 def execute_trial(
-    app_cls: Type[BaseApp], cfg: AppConfig, seed: int
+    app_cls: Type[BaseApp], cfg: AppConfig, seed: int,
+    reuse_obs: Optional[ObsContext] = None,
 ) -> TrialOutcome:
     """Run one seeded trial and reduce it to a picklable scalar record.
 
     This is the single definition of "one trial" — the serial loop in
     :mod:`repro.harness.runner` and every pool worker call exactly this,
-    so the two execution modes cannot diverge semantically.
+    so the two execution modes cannot diverge semantically.  When the
+    config asks for metrics, the trial runs under a per-trial
+    :class:`repro.obs.ObsContext` and its registry travels back on the
+    outcome in wire form; wall-clock latency is recorded as a *volatile*
+    metric (excluded from the parallel == serial determinism contract).
+
+    ``reuse_obs`` lets a sweep share one context across its trials (the
+    registry is reset before each trial) — allocating ~20 metric objects
+    per trial costs more in allocation + GC than the trial's entire
+    flush, so both runners pass a sweep-scoped context.  Reuse is an
+    optimisation only: zeroed metrics left over from earlier trials
+    merge as exact no-ops, so the merged sweep registry is identical.
     """
     app = app_cls(dataclasses.replace(cfg, params=dict(cfg.params)))
-    run = app.run(seed=seed)
+    obs = None
+    wall = None
+    if cfg.collect_metrics:
+        if reuse_obs is not None:
+            obs = reuse_obs
+            obs.metrics.reset()
+        else:
+            # Bus disabled: nothing outside this function could have
+            # subscribed, so trials take the compiled no-op signal path.
+            obs = ObsContext.create(bus_enabled=False)
+        t0 = time.perf_counter()
+    run = app.run(seed=seed, obs=obs)
+    wire = None
+    if obs is not None:
+        # Wall-clock latency is volatile (and per-sweep anyway), so it
+        # travels as a plain float and is folded into one histogram by
+        # the aggregator — no per-trial Histogram allocation here.
+        wall = time.perf_counter() - t0
+        wire = obs.metrics.to_wire()
     return TrialOutcome(
         seed=seed,
         bug_hit=bool(run.bug_hit),
         bp_hit=bool(run.bp_hit()),
         runtime=run.runtime,
         error_time=run.error_time if run.bug_hit else None,
+        metrics=wire,
+        wall_time=wall,
     )
 
 
@@ -110,6 +143,7 @@ def _worker_main(
     fault-injection tests (raise → trial error; ``os._exit`` → worker
     crash) and is None in production use.
     """
+    reuse = ObsContext.create(bus_enabled=False) if cfg.collect_metrics else None
     try:
         while True:
             msg = conn.recv()
@@ -120,7 +154,7 @@ def _worker_main(
                 try:
                     if trial_hook is not None:
                         trial_hook(seed, attempt)
-                    outcome = execute_trial(app_cls, cfg, seed)
+                    outcome = execute_trial(app_cls, cfg, seed, reuse_obs=reuse)
                 except Exception as exc:
                     conn.send((_MSG_ERR, seed, attempt, f"{type(exc).__name__}: {exc}"))
                 else:
@@ -226,6 +260,7 @@ def run_trials_parallel(
     max_retries: int = 2,
     chunk_size: Optional[int] = None,
     trial_hook: Optional[Callable[[int, int], None]] = None,
+    collect_metrics: bool = False,
 ) -> TrialStats:
     """Parallel, fault-tolerant equivalent of :func:`repro.harness.run_trials`.
 
@@ -236,8 +271,13 @@ def run_trials_parallel(
     whose worker crashed or raised.  ``trial_hook`` is a picklable
     fault-injection callable for tests.
     """
+    from repro.obs.context import current_sink
+
+    collect = collect_metrics or current_sink() is not None
     if n <= 0:
-        return TrialAggregator(app_cls.name, bug, base_seed, 0).finalize()
+        return TrialAggregator(
+            app_cls.name, bug, base_seed, 0, collect_metrics=collect
+        ).finalize()
     if workers <= 0:
         workers = default_workers()
     workers = min(workers, n)
@@ -247,11 +287,12 @@ def run_trials_parallel(
         flip_order=flip_order,
         use_policies=use_policies,
         params=dict(params or {}),
+        collect_metrics=collect,
     )
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
-    agg = TrialAggregator(app_cls.name, bug, base_seed, n)
+    agg = TrialAggregator(app_cls.name, bug, base_seed, n, collect_metrics=collect)
     pending: List[_Chunk] = _chunk_seeds(base_seed, n, workers, chunk_size)
     pool: List[_Worker] = [
         _Worker(ctx, app_cls, cfg, trial_hook) for _ in range(workers)
@@ -260,6 +301,7 @@ def run_trials_parallel(
     def _fail_or_retry(seed: int, attempt: int, kind: str, message: str) -> None:
         """Crash/exception on attempt ``attempt``: retry or account."""
         if kind != "timeout" and attempt < max_retries:
+            agg.note_retry()
             pending.append(_Chunk([(seed, attempt + 1)]))
         else:
             agg.add_failure(
@@ -270,6 +312,7 @@ def run_trials_parallel(
         """Worker lost (crash or timeout kill): blame its current trial,
         re-queue the untouched remainder of its chunk, refill the pool."""
         assert w.chunk is not None
+        agg.note_worker_crash()
         unfinished = w.chunk.unfinished(w.done_seeds)
         if w.current is not None:
             seed, attempt = w.current

@@ -53,12 +53,20 @@ def run_trials(
     workers: Union[int, str, None] = None,
     trial_timeout: Optional[float] = None,
     max_retries: int = 2,
+    collect_metrics: bool = False,
 ) -> TrialStats:
     """Run ``n`` seeded executions of one configuration.
 
     ``timeout`` is the breakpoint pause ``T`` (virtual seconds inside the
     simulation); ``trial_timeout`` is a per-trial *wall-clock* budget and
     requires workers (a serial loop cannot preempt itself).
+
+    ``collect_metrics`` runs every trial under a fresh observability
+    context and attaches the merged registry snapshot to the returned
+    stats (``TrialStats.metrics``); it is implied when an ambient sink is
+    active (:func:`repro.obs.collecting`).  Merging happens in ascending
+    seed order inside the aggregator, so the non-volatile metrics are
+    bit-identical between the serial and parallel paths.
     """
     n_workers = _resolve_workers(workers)
     if n_workers:
@@ -74,19 +82,31 @@ def run_trials(
             workers=n_workers,
             trial_timeout=trial_timeout,
             max_retries=max_retries,
+            collect_metrics=collect_metrics,
         )
     if trial_timeout is not None:
         raise ValueError("trial_timeout requires workers (serial trials cannot be preempted)")
+    from repro.obs.context import current_sink
+
+    collect = collect_metrics or current_sink() is not None
     cfg = AppConfig(
         bug=bug,
         timeout=timeout,
         flip_order=flip_order,
         use_policies=use_policies,
         params=dict(params or {}),
+        collect_metrics=collect,
     )
-    agg = TrialAggregator(app_cls.name, bug, base_seed, n)
+    agg = TrialAggregator(app_cls.name, bug, base_seed, n, collect_metrics=collect)
+    reuse = None
+    if collect:
+        from repro.obs.context import ObsContext
+
+        # One context for the whole sweep (registry reset per trial);
+        # see execute_trial for why reuse matters.
+        reuse = ObsContext.create(bus_enabled=False)
     for i in range(n):
-        agg.add(execute_trial(app_cls, cfg, base_seed + i))
+        agg.add(execute_trial(app_cls, cfg, base_seed + i, reuse_obs=reuse))
     return agg.finalize()
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
     "TrialStats",
@@ -48,6 +48,12 @@ class TrialOutcome:
     bp_hit: bool
     runtime: float
     error_time: Optional[float]
+    #: Per-trial metrics in :meth:`MetricsRegistry.to_wire` form (None
+    #: unless the sweep runs with metrics collection enabled).
+    metrics: Optional[Tuple] = None
+    #: Wall-clock seconds the trial took (volatile; folded into the
+    #: ``harness.trial_wall_seconds`` histogram by the aggregator).
+    wall_time: Optional[float] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,6 +87,12 @@ class TrialStats:
     #: Trials that never produced a result (parallel runner only; the
     #: serial loop either completes every trial or raises).
     failures: List[TrialFailure] = dataclasses.field(default_factory=list)
+    #: Merged metrics snapshot (see :mod:`repro.obs.metrics`), or None
+    #: when the sweep ran without metrics collection.  Entries flagged
+    #: ``volatile`` (wall-clock latencies, retry counts) are exempt from
+    #: the parallel == serial equivalence contract; everything else is
+    #: bit-identical across runner modes for a fixed seed range.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def probability(self) -> float:
@@ -125,13 +137,40 @@ class TrialAggregator:
     workers and the serial loop produce identical objects.
     """
 
-    def __init__(self, app: str, bug: Optional[str], base_seed: int, n: int) -> None:
+    def __init__(
+        self,
+        app: str,
+        bug: Optional[str],
+        base_seed: int,
+        n: int,
+        collect_metrics: bool = False,
+    ) -> None:
         self.app = app
         self.bug = bug
         self.base_seed = base_seed
         self.n = n
+        self.collect_metrics = collect_metrics
         self._outcomes: Dict[int, TrialOutcome] = {}
         self._failures: Dict[int, TrialFailure] = {}
+        #: Runner-side (non-trial) observations: retries, worker crashes.
+        #: Volatile by construction — they depend on scheduling of real
+        #: processes, so they are excluded from the determinism contract.
+        self._runner_metrics = None
+        if collect_metrics:
+            from repro.obs.metrics import MetricsRegistry
+
+            self._runner_metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    def note_retry(self) -> None:
+        """A trial attempt is being re-queued after a crash/exception."""
+        if self._runner_metrics is not None:
+            self._runner_metrics.counter("harness.retries", volatile=True).inc()
+
+    def note_worker_crash(self) -> None:
+        """A pool worker died (or was killed for a timeout)."""
+        if self._runner_metrics is not None:
+            self._runner_metrics.counter("harness.worker_crashes", volatile=True).inc()
 
     # ------------------------------------------------------------------
     def add(self, outcome: TrialOutcome) -> None:
@@ -141,6 +180,10 @@ class TrialAggregator:
         if seed in self._outcomes or seed in self._failures:
             raise ValueError(f"seed {seed} reported twice")
         self._outcomes[seed] = outcome
+        if self._runner_metrics is not None and outcome.wall_time is not None:
+            self._runner_metrics.histogram(
+                "harness.trial_wall_seconds", volatile=True
+            ).observe(outcome.wall_time)
 
     def add_failure(self, failure: TrialFailure) -> None:
         if failure.seed in self._outcomes or failure.seed in self._failures:
@@ -179,4 +222,44 @@ class TrialAggregator:
             runtimes=runtimes,
             error_times=error_times,
             failures=[self._failures[s] for s in sorted(self._failures)],
+            metrics=self._merged_metrics(bug_hits, bp_hits, runtimes),
         )
+
+    def _merged_metrics(
+        self, bug_hits: int, bp_hits: int, runtimes: List[float]
+    ) -> Optional[Dict[str, Any]]:
+        """Merge per-trial registries in ascending-seed order and add the
+        harness-level aggregates.
+
+        Determinism contract: every per-trial snapshot is a pure function
+        of ``(app, config, seed)`` and the merge order is the sorted seed
+        range, so serial and parallel sweeps build identical registries —
+        only metrics explicitly flagged volatile (wall-clock latency,
+        retries, crashes) may differ.  The merged registry is also folded
+        into the ambient sink when :func:`repro.obs.collecting` is active.
+        """
+        if not self.collect_metrics:
+            return None
+        from repro.obs.context import current_sink
+        from repro.obs.metrics import MetricsRegistry
+
+        merged = MetricsRegistry()
+        for seed in sorted(self._outcomes):
+            wire = self._outcomes[seed].metrics
+            if wire:
+                merged.merge_wire(wire)
+        merged.counter("harness.trials").inc(len(self._outcomes))
+        merged.counter("harness.bug_hits").inc(bug_hits)
+        merged.counter("harness.bp_hits").inc(bp_hits)
+        h = merged.histogram("harness.trial_runtime_seconds")
+        for rt in runtimes:
+            h.observe(rt)
+        for seed in sorted(self._failures):
+            kind = self._failures[seed].kind
+            merged.counter(f"harness.failures.{kind}").inc()
+        if self._runner_metrics is not None:
+            merged.merge(self._runner_metrics)
+        sink = current_sink()
+        if sink is not None:
+            sink.merge(merged)
+        return merged.snapshot()

@@ -1,0 +1,73 @@
+"""ObsContext — the bundle instrumented components accept.
+
+One :class:`ObsContext` pairs an :class:`~repro.obs.bus.EventBus` with a
+:class:`~repro.obs.metrics.MetricsRegistry`.  Components (``Kernel``,
+``BreakpointEngine``, the trial runner) take ``obs=None`` meaning *fully
+disabled* — the instrumentation branches compile down to a single
+``is not None`` test — or a context, meaning *collect metrics and expose
+bus topics*.
+
+The module also hosts the **ambient metrics sink**: a process-global
+registry that, when set (via :func:`collecting`), switches every trial
+sweep started underneath it into metrics-collection mode and receives
+the merged per-sweep registries.  This is how ``--metrics-out`` on
+``report`` gathers one registry across all five table builders without
+threading a parameter through every call site; the flag still crosses
+process boundaries explicitly (``AppConfig.collect_metrics``), so pool
+workers behave identically under fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Iterator, Optional
+
+from .bus import EventBus
+from .metrics import MetricsRegistry
+
+__all__ = ["ObsContext", "collecting", "current_sink"]
+
+
+@dataclasses.dataclass
+class ObsContext:
+    """Event bus + metrics registry handed to instrumented components."""
+
+    bus: EventBus
+    metrics: MetricsRegistry
+
+    @classmethod
+    def create(cls, bus_enabled: bool = True) -> "ObsContext":
+        """Fresh context: empty registry, bus with no subscribers."""
+        return cls(bus=EventBus(enabled=bus_enabled), metrics=MetricsRegistry())
+
+
+#: Process-global merged-metrics sink (None = ambient collection off).
+_SINK: Optional[MetricsRegistry] = None
+
+
+def current_sink() -> Optional[MetricsRegistry]:
+    """The ambient registry trial sweeps merge into, if one is set."""
+    return _SINK
+
+
+@contextlib.contextmanager
+def collecting(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+    """Enable ambient metrics collection for the dynamic extent.
+
+    Every ``run_trials``/``measure`` sweep (serial or parallel) started
+    inside the ``with`` block collects per-trial metrics and merges them
+    into the yielded registry::
+
+        with obs.collecting() as reg:
+            harness.run_trials(App, n=100, bug="race1")
+        print(reg.to_json())
+    """
+    global _SINK
+    reg = registry if registry is not None else MetricsRegistry()
+    prev = _SINK
+    _SINK = reg
+    try:
+        yield reg
+    finally:
+        _SINK = prev

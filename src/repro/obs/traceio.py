@@ -1,0 +1,386 @@
+"""Trace export: Chrome trace-event JSON and versioned JSONL.
+
+Two serializations of :class:`repro.sim.trace.Trace`:
+
+* **Chrome trace-event JSON** (:func:`to_chrome_trace`) — loadable in
+  Perfetto / ``chrome://tracing``.  One track per simulated thread
+  (metadata ``thread_name``/``thread_sort_index`` records), every kernel
+  event as an instant event at its virtual timestamp (µs), breakpoint
+  hits as *global-scope* instants so a match is visible across all
+  tracks at once.
+* **JSONL** (:func:`trace_to_jsonl` / :func:`load_jsonl`) — the
+  versioned, lossless interchange format.  Line 1 is a header carrying
+  the schema tag plus everything needed to *re-execute* the run
+  (app, bug, seed, config, and the recorded scheduler choice list);
+  each following line is one event with sorted keys and compact
+  separators, so equal traces serialize to byte-identical text.  The
+  round-trip contract, enforced by tests:
+  ``dump → load → dump`` is the identity on the text, and
+  ``dump → load → replay`` (via :class:`repro.sim.replay.ReplayScheduler`)
+  reproduces the identical event sequence.
+
+Synchronisation objects are serialized as ``{"kind", "name"}`` refs;
+loading materialises light-weight :class:`TraceObjRef` placeholders that
+carry ``.name``, so loaded traces render through
+:func:`repro.sim.timeline.render_timeline` unchanged.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.sim.trace import OP, Event, Trace
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TraceObjRef",
+    "LoadedTrace",
+    "event_to_dict",
+    "event_from_dict",
+    "trace_to_jsonl",
+    "dump_jsonl",
+    "load_jsonl",
+    "to_chrome_trace",
+    "dump_chrome",
+    "record_app_run",
+    "replay_recorded",
+]
+
+#: Version tag written into every JSONL header; bump on layout changes.
+TRACE_SCHEMA = "repro.trace/1"
+
+_JSON_KW = {"sort_keys": True, "separators": (",", ":")}
+
+#: Ops rendered as global-scope instants in the Chrome export.
+_GLOBAL_OPS = {OP.TRIGGER_HIT, OP.TRIGGER_TIMEOUT}
+
+_CATEGORIES = {
+    OP.READ: "memory",
+    OP.WRITE: "memory",
+    OP.ACQUIRE: "sync",
+    OP.ACQUIRE_REQ: "sync",
+    OP.RELEASE: "sync",
+    OP.WAIT_ENTER: "sync",
+    OP.WAIT_EXIT: "sync",
+    OP.NOTIFY: "sync",
+    OP.SEM_P: "sync",
+    OP.SEM_V: "sync",
+    OP.BARRIER: "sync",
+    OP.EVENT_WAIT: "sync",
+    OP.EVENT_SET: "sync",
+    OP.FORK: "thread",
+    OP.JOIN: "thread",
+    OP.JOINED: "thread",
+    OP.END: "thread",
+    OP.FAIL: "thread",
+    OP.SLEEP: "thread",
+    OP.TRIGGER_VISIT: "breakpoint",
+    OP.TRIGGER_POSTPONE: "breakpoint",
+    OP.TRIGGER_HIT: "breakpoint",
+    OP.TRIGGER_TIMEOUT: "breakpoint",
+}
+
+
+class TraceObjRef:
+    """Placeholder for a synchronisation object in a loaded trace."""
+
+    __slots__ = ("kind", "name")
+
+    def __init__(self, kind: str, name: Optional[str]) -> None:
+        self.kind = kind
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"TraceObjRef({self.kind}:{self.name})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TraceObjRef)
+            and (self.kind, self.name) == (other.kind, other.name)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.name))
+
+
+def _obj_ref(obj: Any) -> Optional[Dict[str, Any]]:
+    if obj is None:
+        return None
+    if isinstance(obj, TraceObjRef):
+        return {"kind": obj.kind, "name": obj.name}
+    name = getattr(obj, "name", None)
+    return {"kind": type(obj).__name__, "name": name}
+
+
+def _jsonable(x: Any) -> Any:
+    """Best-effort deterministic JSON projection of an extra payload."""
+    if x is None or isinstance(x, (bool, int, float, str)):
+        return x
+    if isinstance(x, (list, tuple)):
+        return [_jsonable(v) for v in x]
+    if isinstance(x, dict):
+        return {str(k): _jsonable(v) for k, v in x.items()}
+    name = getattr(x, "name", None)
+    return name if name is not None else str(x)
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def event_to_dict(ev: Event) -> Dict[str, Any]:
+    return {
+        "seq": ev.seq,
+        "step": ev.step,
+        "t": ev.time,
+        "tid": ev.tid,
+        "tname": ev.tname,
+        "op": ev.op,
+        "obj": _obj_ref(ev.obj),
+        "loc": ev.loc,
+        "extra": _jsonable(ev.extra),
+    }
+
+
+def _untuple(x: Any) -> Any:
+    """Undo JSON's tuple→list coercion so loaded extras render exactly
+    like live ones (trace extras use tuples; both serialize the same)."""
+    if isinstance(x, list):
+        return tuple(_untuple(v) for v in x)
+    if isinstance(x, dict):
+        return {k: _untuple(v) for k, v in x.items()}
+    return x
+
+
+def event_from_dict(d: Dict[str, Any], seq: int) -> Event:
+    ref = d.get("obj")
+    obj = TraceObjRef(ref["kind"], ref.get("name")) if ref else None
+    return Event(
+        seq=seq,
+        time=d["t"],
+        tid=d["tid"],
+        tname=d["tname"],
+        op=d["op"],
+        obj=obj,
+        loc=d.get("loc", "?"),
+        extra=_untuple(d.get("extra")),
+        step=d.get("step", -1),
+    )
+
+
+def trace_to_jsonl(trace: Trace, meta: Optional[Dict[str, Any]] = None) -> str:
+    """Serialize ``trace`` (plus run metadata) to versioned JSONL text."""
+    header = {"schema": TRACE_SCHEMA, "events": len(trace)}
+    if meta:
+        header["meta"] = _jsonable(meta)
+    out = io.StringIO()
+    out.write(json.dumps(header, **_JSON_KW) + "\n")
+    for ev in trace:
+        out.write(json.dumps(event_to_dict(ev), **_JSON_KW) + "\n")
+    return out.getvalue()
+
+
+def dump_jsonl(trace: Trace, path: str, meta: Optional[Dict[str, Any]] = None) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(trace_to_jsonl(trace, meta))
+
+
+class LoadedTrace:
+    """A deserialized JSONL trace: ``.trace`` + header ``.meta``."""
+
+    def __init__(self, trace: Trace, meta: Dict[str, Any], schema: str) -> None:
+        self.trace = trace
+        self.meta = meta
+        self.schema = schema
+
+    def replayable(self) -> bool:
+        return all(k in self.meta for k in ("app", "seed", "schedule"))
+
+
+def load_jsonl(source: Union[str, io.TextIOBase]) -> LoadedTrace:
+    """Parse JSONL text, a file path, or an open text stream."""
+    if isinstance(source, str):
+        text = source
+        if "\n" not in source and not source.lstrip().startswith("{"):
+            with open(source, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        lines = text.splitlines()
+    else:
+        lines = source.read().splitlines()
+    if not lines:
+        raise ValueError("empty trace file")
+    header = json.loads(lines[0])
+    schema = header.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise ValueError(f"unsupported trace schema {schema!r} (expected {TRACE_SCHEMA!r})")
+    trace = Trace()
+    for i, line in enumerate(lines[1:]):
+        if not line.strip():
+            continue
+        d = json.loads(line)
+        ev = event_from_dict(d, seq=len(trace.events))
+        if ev.seq != d.get("seq", ev.seq):
+            raise ValueError(f"non-contiguous event sequence at line {i + 2}")
+        trace.events.append(ev)
+        trace._seq = len(trace.events)
+    declared = header.get("events")
+    if declared is not None and declared != len(trace):
+        raise ValueError(f"header declares {declared} events, file holds {len(trace)}")
+    return LoadedTrace(trace, header.get("meta", {}), schema)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+
+
+def to_chrome_trace(
+    trace: Trace,
+    process_name: str = "repro-sim",
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Render a trace as a Chrome/Perfetto trace-event document.
+
+    Virtual seconds map to microseconds of trace time; every event
+    becomes a thread-scoped instant (``ph: "i"``), except breakpoint
+    hits/timeouts which use global scope so they draw across all tracks.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    seen: Dict[int, str] = {}
+    for ev in trace:
+        if ev.tid not in seen:
+            seen[ev.tid] = ev.tname
+    for tid in sorted(seen):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": seen[tid]},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "ts": 0,
+                "args": {"sort_index": tid},
+            }
+        )
+    for ev in trace:
+        obj_name = getattr(ev.obj, "name", None)
+        label = f"{ev.op} {obj_name}" if obj_name else ev.op
+        args: Dict[str, Any] = {"step": ev.step, "seq": ev.seq}
+        if ev.loc not in (None, "?"):
+            args["loc"] = ev.loc
+        if ev.extra is not None:
+            args["extra"] = _jsonable(ev.extra)
+        events.append(
+            {
+                "name": label,
+                "cat": _CATEGORIES.get(ev.op, "misc"),
+                "ph": "i",
+                "s": "g" if ev.op in _GLOBAL_OPS else "t",
+                "ts": ev.time * 1e6,
+                "pid": 0,
+                "tid": ev.tid,
+                "args": args,
+            }
+        )
+    doc: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA},
+    }
+    if meta:
+        doc["otherData"].update(_jsonable(meta))
+    return doc
+
+
+def dump_chrome(
+    trace: Trace,
+    path: str,
+    process_name: str = "repro-sim",
+    meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(trace, process_name, meta), fh, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Record / replay round trip
+# ---------------------------------------------------------------------------
+
+
+def record_app_run(
+    app: Any,
+    bug: Optional[str] = None,
+    seed: int = 0,
+    timeout: float = 0.100,
+    params: Optional[Dict[str, Any]] = None,
+) -> Tuple[Any, Dict[str, Any]]:
+    """Execute one app run with trace recording *and* schedule recording.
+
+    Returns ``(AppRun, meta)`` where ``meta`` is the replay header for
+    :func:`trace_to_jsonl`: app name, bug, seed, pause timeout, workload
+    params, and the full scheduler choice list.
+    """
+    from repro.apps import get_app
+    from repro.apps.base import AppConfig
+    from repro.sim.replay import RecordingScheduler
+
+    cls = get_app(app) if isinstance(app, str) else app
+    rec = RecordingScheduler(seed=seed)
+    inst = cls(AppConfig(bug=bug, timeout=timeout, params=dict(params or {})))
+    run = inst.run(seed=seed, scheduler=rec, record_trace=True)
+    meta = {
+        "app": cls.name,
+        "bug": bug,
+        "seed": seed,
+        "timeout": timeout,
+        "params": dict(params or {}),
+        "schedule": list(rec.choices),
+    }
+    return run, meta
+
+
+def replay_recorded(meta: Dict[str, Any]) -> Any:
+    """Re-execute a run from a JSONL header's replay metadata.
+
+    Drives the app with a strict :class:`ReplayScheduler` over the
+    recorded choice list; the returned ``AppRun``'s trace serializes
+    byte-identically to the original recording.
+    """
+    from repro.apps import get_app
+    from repro.apps.base import AppConfig
+    from repro.sim.replay import ReplayScheduler
+
+    missing = [k for k in ("app", "seed", "schedule") if k not in meta]
+    if missing:
+        raise ValueError(f"replay metadata incomplete, missing {missing}")
+    cls = get_app(meta["app"])
+    sched = ReplayScheduler(meta["schedule"], strict=True)
+    inst = cls(
+        AppConfig(
+            bug=meta.get("bug"),
+            timeout=meta.get("timeout", 0.100),
+            params=dict(meta.get("params") or {}),
+        )
+    )
+    return inst.run(seed=meta["seed"], scheduler=sched, record_trace=True)

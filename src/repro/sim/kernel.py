@@ -53,6 +53,32 @@ from .trace import OP, Trace
 __all__ = ["Kernel", "RunResult"]
 
 
+def _assign_mix_slots() -> List[str]:
+    """Give every syscall class a small integer ``_mix_idx`` and return
+    the matching metric names.
+
+    The per-dispatch syscall-mix accounting is the only per-step work
+    observability adds, so it has to be as close to free as Python
+    allows: ``mix[call._mix_idx] += 1`` (one cached class-attribute load
+    plus a list subscript) beats hashing the class into a dict by ~30 %.
+    Classes defined after import (tests, extensions) are registered
+    lazily via :meth:`Kernel._count_unslotted_syscall`.
+    """
+    names: List[str] = []
+
+    def walk(cls: type) -> None:
+        for sub in cls.__subclasses__():
+            sub._mix_idx = len(names)
+            names.append(f"kernel.syscall.{sub.__name__}")
+            walk(sub)
+
+    walk(sc.Syscall)
+    return names
+
+
+_MIX_NAMES: List[str] = _assign_mix_slots()
+
+
 @dataclasses.dataclass
 class RunResult:
     """Outcome of :meth:`Kernel.run`."""
@@ -116,6 +142,16 @@ class Kernel:
     step_cost:
         Virtual seconds charged per scheduling step (models instruction
         time between synchronisation points).
+    obs:
+        Optional :class:`repro.obs.ObsContext` (duck-typed, no import
+        dependency).  When given, the kernel counts steps, context
+        switches, and the syscall mix into the metrics registry —
+        accumulated in plain ints/dicts during the run and flushed once
+        at the end, so the per-step cost stays inside the obs overhead
+        gate — and publishes low-frequency bus events (thread lifecycle,
+        deadlock/stall, run end).  Breakpoint instrumentation lives in
+        the shared :class:`BreakpointEngine`, which receives the same
+        context.
     """
 
     def __init__(
@@ -124,6 +160,7 @@ class Kernel:
         seed: Optional[int] = None,
         record_trace: bool = False,
         step_cost: float = 1e-6,
+        obs: Any = None,
     ) -> None:
         self.scheduler = scheduler if scheduler is not None else RandomScheduler(seed)
         self.rng = random.Random(seed if seed is None else seed ^ 0x5DEECE66D)
@@ -131,7 +168,23 @@ class Kernel:
         self.step = 0
         self.step_cost = step_cost
         self.trace: Optional[Trace] = Trace() if record_trace else None
-        self.engine = BreakpointEngine()
+        self.obs = obs
+        self.engine = BreakpointEngine(obs=obs)
+        #: Scheduling steps where the picked thread differed from the
+        #: previous one (tracked unconditionally; it is two attribute ops).
+        self.ctx_switches = 0
+        self._last_tid = -1
+        #: Per-syscall dispatch counts, indexed by each class's
+        #: ``_mix_idx`` slot (see :func:`_assign_mix_slots`); translated
+        #: to ``kernel.syscall.*`` counters at flush.
+        self._syscall_mix: Optional[List[int]] = (
+            [0] * len(_MIX_NAMES) if obs is not None else None
+        )
+        self._obs_flushed = False
+        if obs is not None:
+            self._sig_spawn = obs.bus.signal("kernel.spawn")
+            self._sig_thread_end = obs.bus.signal("kernel.thread_end")
+            self._sig_run_end = obs.bus.signal("kernel.run_end")
         self.threads: List[SimThread] = []
         self._live_foreground = 0  # alive non-daemon threads (run-loop gate)
         self._tids = itertools.count(0)
@@ -178,6 +231,8 @@ class Kernel:
         self.threads.append(t)
         self.scheduler.on_spawn(t)
         self._record(OP.FORK, obj=t, loc=self.current.location() if self.current else "main")
+        if self.obs is not None and self._sig_spawn.active:
+            self._sig_spawn(tid=tid, name=t.name, daemon=daemon, time=self.now)
         return t
 
     # ------------------------------------------------------------------
@@ -391,6 +446,9 @@ class Kernel:
         self.step += 1
         thread.steps += 1
         self.now += self.step_cost
+        if thread.tid != self._last_tid:
+            self.ctx_switches += 1
+            self._last_tid = thread.tid
         if thread.state is TState.NEW:
             thread.state = TState.RUNNABLE
 
@@ -444,6 +502,11 @@ class Kernel:
         if not thread.daemon:
             self._live_foreground -= 1
         self._record(OP.END, obj=thread, loc="?", thread=thread)
+        if self.obs is not None and self._sig_thread_end.active:
+            self._sig_thread_end(
+                tid=thread.tid, name=thread.name, outcome="done",
+                steps=thread.steps, time=self.now,
+            )
         for j in thread.joiners:
             self._wake(j, True)
             self._record(OP.JOINED, obj=thread, loc="?", thread=j)
@@ -457,6 +520,11 @@ class Kernel:
             self._live_foreground -= 1
         self.failures.append(ThreadFailure(thread.name, err, self.now, self.step))
         self._record(OP.FAIL, obj=thread, loc="?", extra=repr(err), thread=thread)
+        if self.obs is not None and self._sig_thread_end.active:
+            self._sig_thread_end(
+                tid=thread.tid, name=thread.name, outcome="failed",
+                error=repr(err), steps=thread.steps, time=self.now,
+            )
         for j in thread.joiners:
             self._wake(j, True)
             self._record(OP.JOINED, obj=thread, loc="?", thread=j)
@@ -468,6 +536,12 @@ class Kernel:
     def _dispatch(self, t: SimThread, call: Any) -> None:
         if not isinstance(call, sc.Syscall):
             raise SimSyscallError(f"thread {t.name} yielded non-syscall {call!r}")
+        mix = self._syscall_mix
+        if mix is not None:
+            try:
+                mix[call._mix_idx] += 1
+            except (AttributeError, IndexError):
+                self._count_unslotted_syscall(call.__class__)
         loc = self._loc(call, t)
 
         if isinstance(call, sc.Acquire):
@@ -817,8 +891,66 @@ class Kernel:
                 break
         return SimDeadlockError(waiters, cycle)
 
+    def _count_unslotted_syscall(self, cls: type) -> None:
+        """Cold path of the mix accounting: register a syscall class
+        defined after import (no ``_mix_idx`` yet, or one beyond this
+        kernel's slot list) and count the dispatch."""
+        idx = getattr(cls, "_mix_idx", None)
+        if idx is None:
+            idx = cls._mix_idx = len(_MIX_NAMES)
+            _MIX_NAMES.append(f"kernel.syscall.{cls.__name__}")
+        mix = self._syscall_mix
+        assert mix is not None
+        if idx >= len(mix):
+            mix.extend([0] * (idx + 1 - len(mix)))
+        mix[idx] += 1
+
+    def _flush_obs(self) -> None:
+        """Fold the run's accumulated counts into the metrics registry.
+
+        Called once from :meth:`_result`; hot-path accumulation uses
+        plain ints/dicts so instrumented runs stay within the <5 %
+        obs-overhead gate (``benchmarks/bench_obs_overhead.py``).
+        """
+        obs = self.obs
+        if obs is None or self._obs_flushed:
+            return
+        self._obs_flushed = True
+        m = obs.metrics
+        counts = {
+            "kernel.runs": 1,
+            "kernel.steps": self.step,
+            "kernel.ctx_switches": self.ctx_switches,
+            "kernel.threads_spawned": len(self.threads),
+        }
+        if self._syscall_mix is not None:
+            names = _MIX_NAMES
+            for idx, n in enumerate(self._syscall_mix):
+                if n:
+                    counts[names[idx]] = n
+        if self.failures:
+            counts["kernel.thread_failures"] = len(self.failures)
+        if self._deadlock is not None:
+            counts["kernel.deadlocks"] = 1
+        if self._stalled:
+            counts["kernel.stalls"] = 1
+        if self._limit_hit:
+            counts["kernel.step_limit_hits"] = 1
+        m.add_counters(counts)
+        m.histogram("kernel.virtual_seconds").observe(self.now)
+        self.engine.flush_metrics()
+        if self._sig_run_end.active:
+            self._sig_run_end(
+                time=self.now,
+                steps=self.step,
+                deadlocked=self._deadlock is not None,
+                stalled=self._stalled,
+                failures=len(self.failures),
+            )
+
     def _result(self) -> RunResult:
         completed = all(not t.alive or t.daemon for t in self.threads)
+        self._flush_obs()
         return RunResult(
             time=self.now,
             steps=self.step,

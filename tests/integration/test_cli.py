@@ -105,3 +105,92 @@ def test_analyze_command(capsys):
     out = capsys.readouterr().out
     assert "finding(s)" in out
     assert "Potential deadlocks" in out
+
+
+class TestMetricsCommand:
+    def test_single_run_prints_registry_json(self, capsys):
+        import json
+
+        assert run_cli("metrics", "stringbuffer", "--bug", "atomicity1") == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["engine.matches"]["value"] >= 1
+        assert snap["kernel.runs"]["value"] == 1
+
+    def test_trials_mode_merges(self, capsys):
+        import json
+
+        assert run_cli("metrics", "stringbuffer", "--bug", "atomicity1",
+                       "--trials", "4") == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["harness.trials"]["value"] == 4
+        assert snap["kernel.runs"]["value"] == 4
+
+    def test_out_file(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "m.json"
+        assert run_cli("metrics", "figure4", "--bug", "error1",
+                       "--out", str(out)) == 0
+        assert "wrote metrics" in capsys.readouterr().out
+        assert "kernel.steps" in json.loads(out.read_text())
+
+    def test_unknown_bug_is_an_error(self, capsys):
+        assert run_cli("metrics", "stringbuffer", "--bug", "nope") == 2
+        assert "error" in capsys.readouterr().out
+
+
+class TestExportTraceCommand:
+    def test_chrome_to_stdout(self, capsys):
+        import json
+
+        assert run_cli("export-trace", "stringbuffer", "--bug", "atomicity1",
+                       "--seed", "3") == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["otherData"]["schema"] == "repro.trace/1"
+        assert any(e["ph"] == "i" for e in doc["traceEvents"])
+
+    def test_jsonl_file_is_replayable(self, tmp_path, capsys):
+        from repro.obs import load_jsonl, replay_recorded
+
+        path = tmp_path / "t.jsonl"
+        assert run_cli("export-trace", "stringbuffer", "--bug", "atomicity1",
+                       "--seed", "3", "--format", "jsonl",
+                       "--out", str(path)) == 0
+        assert "wrote jsonl trace" in capsys.readouterr().out
+        loaded = load_jsonl(str(path))
+        assert loaded.replayable()
+        rerun = replay_recorded(loaded.meta)
+        assert len(rerun.result.trace) == len(loaded.trace)
+
+    def test_unknown_bug_is_an_error(self, capsys):
+        assert run_cli("export-trace", "stringbuffer", "--bug", "nope") == 2
+
+
+class TestMetricsOutFlag:
+    def test_run_single(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "m.json"
+        assert run_cli("run", "stringbuffer", "atomicity1",
+                       "--metrics-out", str(out)) == 0
+        assert "wrote metrics" in capsys.readouterr().out
+        assert json.loads(out.read_text())["engine.matches"]["value"] >= 1
+
+    def test_run_trials(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "m.json"
+        assert run_cli("run", "figure4", "error1", "--trials", "3",
+                       "--metrics-out", str(out)) == 0
+        assert json.loads(out.read_text())["harness.trials"]["value"] == 3
+
+    def test_report_collects_across_tables(self, tmp_path, capsys):
+        import json
+
+        md = tmp_path / "r.md"
+        metrics = tmp_path / "m.json"
+        assert run_cli("report", "--trials", "2", "--out", str(md),
+                       "--metrics-out", str(metrics)) == 0
+        snap = json.loads(metrics.read_text())
+        # Many sweeps fold into one ambient registry.
+        assert snap["harness.trials"]["value"] > 2

@@ -1,0 +1,106 @@
+"""Event bus: signals, subscriptions, wildcard, and the no-op path."""
+
+import pytest
+
+from repro.obs import NULL_SIGNAL, EventBus, NullSignal, Signal
+
+
+class TestSignal:
+    def test_publish_reaches_subscriber_in_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("t", lambda ev: seen.append(("a", ev.data["x"])))
+        bus.subscribe("t", lambda ev: seen.append(("b", ev.data["x"])))
+        bus.publish("t", x=1)
+        bus.publish("t", x=2)
+        assert seen == [("a", 1), ("b", 1), ("a", 2), ("b", 2)]
+
+    def test_signal_is_get_or_create(self):
+        bus = EventBus()
+        assert bus.signal("t") is bus.signal("t")
+
+    def test_no_subscribers_is_cheap_early_return(self):
+        sig = EventBus().signal("t")
+        assert isinstance(sig, Signal)
+        sig(x=1)  # must not raise, must not build an event
+
+    def test_active_flag_tracks_subscribers(self):
+        bus = EventBus()
+        sig = bus.signal("t")
+        assert not sig.active
+        off = bus.subscribe("t", lambda ev: None)
+        assert sig.active
+        off()
+        assert not sig.active
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        off = bus.subscribe("t", seen.append)
+        bus.publish("t")
+        off()
+        bus.publish("t")
+        assert len(seen) == 1
+        off()  # idempotent
+
+    def test_event_payload_and_repr(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("bp.match", seen.append)
+        bus.publish("bp.match", name="bug1", pause=0.01)
+        (ev,) = seen
+        assert ev.topic == "bp.match"
+        assert ev.data == {"name": "bug1", "pause": 0.01}
+        assert "bp.match" in repr(ev)
+
+
+class TestWildcard:
+    def test_wildcard_sees_existing_and_future_topics(self):
+        bus = EventBus()
+        bus.signal("before")
+        seen = []
+        bus.subscribe("*", lambda ev: seen.append(ev.topic))
+        bus.publish("before")
+        bus.publish("after", x=1)  # topic created post-subscription
+        assert seen == ["before", "after"]
+
+    def test_wildcard_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        off = bus.subscribe("*", seen.append)
+        bus.publish("a")
+        off()
+        bus.publish("a")
+        bus.publish("b")
+        assert len(seen) == 1
+
+    def test_subscriber_count_counts_wildcard_once(self):
+        bus = EventBus()
+        bus.signal("a")
+        bus.signal("b")
+        bus.subscribe("*", lambda ev: None)
+        bus.subscribe("a", lambda ev: None)
+        assert bus.subscriber_count == 2
+
+
+class TestDisabledBus:
+    def test_disabled_bus_hands_out_null_signal(self):
+        bus = EventBus(enabled=False)
+        sig = bus.signal("anything")
+        assert sig is NULL_SIGNAL
+        assert isinstance(sig, NullSignal)
+        sig(x=1)  # no-op, never raises
+        assert not sig.active
+
+    def test_disabled_bus_rejects_subscribe(self):
+        with pytest.raises(RuntimeError):
+            EventBus(enabled=False).subscribe("t", lambda ev: None)
+
+    def test_disabled_publish_is_noop(self):
+        EventBus(enabled=False).publish("t", x=1)
+
+    def test_topics_sorted(self):
+        bus = EventBus()
+        bus.signal("z")
+        bus.signal("a")
+        assert bus.topics() == ["a", "z"]

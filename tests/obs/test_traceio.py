@@ -1,0 +1,139 @@
+"""Trace export: JSONL round-trip, replayability, Chrome schema."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TRACE_SCHEMA,
+    LoadedTrace,
+    TraceObjRef,
+    dump_jsonl,
+    load_jsonl,
+    record_app_run,
+    replay_recorded,
+    to_chrome_trace,
+    trace_to_jsonl,
+)
+from repro.sim.trace import OP
+
+
+def _recorded(seed=0, app="stringbuffer", bug="atomicity1"):
+    run, meta = record_app_run(app, bug, seed)
+    return run.result.trace, meta
+
+
+class TestJsonlRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 3, 17])
+    def test_dump_load_dump_is_identity(self, seed):
+        trace, meta = _recorded(seed=seed)
+        text = trace_to_jsonl(trace, meta=meta)
+        loaded = load_jsonl(text)
+        assert trace_to_jsonl(loaded.trace, meta=loaded.meta) == text
+
+    def test_header_schema_and_count(self):
+        trace, meta = _recorded()
+        header = json.loads(trace_to_jsonl(trace, meta=meta).splitlines()[0])
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["events"] == len(trace)
+        assert header["meta"]["app"] == "stringbuffer"
+
+    def test_file_round_trip(self, tmp_path):
+        trace, meta = _recorded()
+        path = str(tmp_path / "t.jsonl")
+        dump_jsonl(trace, path, meta=meta)
+        loaded = load_jsonl(path)
+        assert len(loaded.trace) == len(trace)
+        assert isinstance(loaded, LoadedTrace)
+
+    def test_loaded_events_preserve_fields(self):
+        trace, meta = _recorded()
+        loaded = load_jsonl(trace_to_jsonl(trace, meta=meta)).trace
+        for orig, back in zip(trace, loaded):
+            assert (orig.seq, orig.time, orig.tid, orig.tname, orig.op) == (
+                back.seq, back.time, back.tid, back.tname, back.op
+            )
+            assert orig.loc == back.loc and orig.step == back.step
+            if orig.obj is not None:
+                assert isinstance(back.obj, TraceObjRef)
+                assert back.obj.name == getattr(orig.obj, "name", None)
+
+    def test_loaded_trace_renders_through_timeline(self):
+        from repro.sim.timeline import render_timeline
+
+        trace, meta = _recorded()
+        loaded = load_jsonl(trace_to_jsonl(trace, meta=meta)).trace
+        assert render_timeline(loaded) == render_timeline(trace)
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            load_jsonl('{"schema":"bogus/9","events":0}\n')
+
+    def test_event_count_mismatch_rejected(self):
+        trace, meta = _recorded()
+        lines = trace_to_jsonl(trace).splitlines()
+        with pytest.raises(ValueError, match="declares"):
+            load_jsonl("\n".join(lines[:-1]))  # drop one event line
+
+
+class TestReplay:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_replay_reproduces_identical_trace(self, seed):
+        trace, meta = _recorded(seed=seed)
+        loaded = load_jsonl(trace_to_jsonl(trace, meta=meta))
+        assert loaded.replayable()
+        rerun = replay_recorded(loaded.meta)
+        assert trace_to_jsonl(rerun.result.trace) == trace_to_jsonl(trace)
+
+    def test_replay_preserves_outcome(self):
+        run, meta = record_app_run("stringbuffer", "atomicity1", 3)
+        rerun = replay_recorded(meta)
+        assert rerun.bug_hit == run.bug_hit
+        assert rerun.result.steps == run.result.steps
+
+    def test_incomplete_meta_not_replayable(self):
+        trace, _ = _recorded()
+        loaded = load_jsonl(trace_to_jsonl(trace, meta={"app": "stringbuffer"}))
+        assert not loaded.replayable()
+        with pytest.raises(ValueError):
+            replay_recorded(loaded.meta)
+
+
+class TestChromeExport:
+    def test_every_event_has_required_keys(self):
+        trace, meta = _recorded()
+        doc = to_chrome_trace(trace, meta={k: v for k, v in meta.items() if k != "schedule"})
+        assert doc["traceEvents"]
+        for ev in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid", "ts"} <= set(ev)
+            assert ev["ph"] in ("M", "i")
+
+    def test_one_track_per_thread(self):
+        trace, _ = _recorded()
+        doc = to_chrome_trace(trace)
+        names = [e for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert {e["tid"] for e in names} == {ev.tid for ev in trace}
+
+    def test_breakpoint_hits_are_global_instants(self):
+        trace, _ = _recorded(seed=3)
+        hits = [ev for ev in trace if ev.op == OP.TRIGGER_HIT]
+        assert hits, "recording should hit the breakpoint"
+        doc = to_chrome_trace(trace)
+        global_instants = [e for e in doc["traceEvents"]
+                           if e["ph"] == "i" and e.get("s") == "g"]
+        assert len(global_instants) >= len(hits)
+
+    def test_timestamps_are_microseconds(self):
+        trace, _ = _recorded()
+        doc = to_chrome_trace(trace)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        by_seq = {e["args"]["seq"]: e for e in instants}
+        for ev in trace:
+            assert by_seq[ev.seq]["ts"] == pytest.approx(ev.time * 1e6)
+
+    def test_json_serializable_and_versioned(self):
+        trace, meta = _recorded()
+        doc = to_chrome_trace(trace, process_name="p", meta={"app": meta["app"]})
+        text = json.dumps(doc, sort_keys=True)
+        assert json.loads(text)["otherData"]["schema"] == TRACE_SCHEMA

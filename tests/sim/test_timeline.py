@@ -55,6 +55,38 @@ class TestRenderTimeline:
         ) - len(alpha.split("|")[1].lstrip())
 
 
+class TestRenderTimelineEdges:
+    def test_empty_trace_renders(self):
+        from repro.sim.trace import Trace
+
+        text = render_timeline(Trace())
+        assert isinstance(text, str)
+
+    def test_accepts_plain_event_list(self):
+        trace = _traced_run()
+        assert render_timeline(list(trace)) == render_timeline(trace)
+
+    def test_forks_and_sleeps_hidden_by_default(self):
+        text = render_timeline(_traced_run())
+        assert "fork" not in text
+
+    def test_include_overrides_default_skips(self):
+        text = render_timeline(_traced_run(), include=[OP.FORK])
+        assert "fork" in text
+
+    def test_read_values_shown(self):
+        cell = SharedCell(7, name="x")
+
+        def t():
+            yield from cell.get(loc="app:1")
+
+        k = Kernel(scheduler=RoundRobinScheduler(), record_trace=True)
+        k.spawn(t, name="r")
+        k.run()
+        text = render_timeline(k.trace)
+        assert "read" in text and "-> 7" in text
+
+
 class TestAroundBreakpoints:
     def test_windows_cover_trigger_events(self):
         app = StringBufferApp(AppConfig(bug="atomicity1"))
@@ -72,3 +104,27 @@ class TestAroundBreakpoints:
 
     def test_no_breakpoints_means_empty_window(self):
         assert around_breakpoints(_traced_run()) == []
+
+    def test_wider_context_never_shrinks_window(self):
+        app = StringBufferApp(AppConfig(bug="atomicity1"))
+        trace = app.run(seed=0, record_trace=True).result.trace
+        narrow = around_breakpoints(trace, context=1)
+        wide = around_breakpoints(trace, context=10)
+        assert len(wide) >= len(narrow) > 0
+
+    def test_window_preserves_event_order(self):
+        app = StringBufferApp(AppConfig(bug="atomicity1"))
+        trace = app.run(seed=0, record_trace=True).result.trace
+        window = around_breakpoints(trace, context=5)
+        seqs = [e.seq for e in window]
+        assert seqs == sorted(seqs)
+
+    def test_loaded_jsonl_trace_windows_identically(self):
+        from repro.obs import load_jsonl, trace_to_jsonl
+
+        app = StringBufferApp(AppConfig(bug="atomicity1"))
+        trace = app.run(seed=0, record_trace=True).result.trace
+        loaded = load_jsonl(trace_to_jsonl(trace)).trace
+        assert render_timeline(around_breakpoints(loaded)) == render_timeline(
+            around_breakpoints(trace)
+        )
