@@ -5,7 +5,7 @@ TRIALS ?= 100
 # -1 = one worker per CPU
 WORKERS ?= -1
 
-.PHONY: install test test-par lint bench bench-par report examples all
+.PHONY: install test test-par lint bench bench-par bench-explore report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -32,6 +32,13 @@ bench:
 bench-par:
 	REPRO_TRIALS=$(TRIALS) REPRO_WORKERS=$(WORKERS) \
 	    $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Exploration performance gates: snapshot prefix sharing, sleep-set
+# pruning, sharded DPOR scaling (DESIGN.md section 6.8).
+bench-explore:
+	REPRO_WORKERS=$(WORKERS) $(PYTHON) -m pytest \
+	    benchmarks/bench_exploration.py benchmarks/bench_explore_scaling.py \
+	    --benchmark-only -s --benchmark-json=bench-explore.json
 
 report:
 	$(PYTHON) -m repro report --trials $(TRIALS) --out results.md

@@ -7,6 +7,10 @@ Commands:
   the outcome (``--seed``, ``--timeout``, ``--trials``, ``--no-bp``);
 * ``table1`` / ``table2`` / ``section5`` / ``section62`` / ``section63``
   — regenerate a table of the paper's evaluation (``--trials``);
+* ``explore APP [BUG]`` — systematically enumerate the app's schedule
+  space and report in what fraction of it the bug manifests
+  (``--dpor``, ``--sleep-sets``, ``--snapshots``, ``--workers``,
+  ``--max-schedules``);
 * ``metrics APP`` — run one app (or a trial sweep) under the
   observability subsystem and print the metrics registry as JSON;
 * ``export-trace APP`` — record one run and export its trace as Chrome
@@ -162,6 +166,30 @@ def main(argv=None) -> int:
                        help="dump the run's metrics registry as JSON")
     _add_parallel_flags(run_p)
 
+    exp_p = sub.add_parser(
+        "explore",
+        help="enumerate the schedule space and measure the bug's share of it",
+    )
+    exp_p.add_argument("app")
+    exp_p.add_argument("bug", nargs="?", default=None,
+                       help="activate a bug's breakpoints during every run")
+    exp_p.add_argument("--dpor", action="store_true",
+                       help="dynamic partial-order reduction (rejects timed programs)")
+    exp_p.add_argument("--sleep-sets", action="store_true",
+                       help="prune sleep-set-redundant schedules (requires --dpor)")
+    exp_p.add_argument("--snapshots", action="store_true",
+                       help="execute on the copy-on-branch fork pool")
+    exp_p.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="shard the DPOR tree over N worker processes "
+                            "(0 = serial; requires --dpor)")
+    exp_p.add_argument("--max-schedules", type=int, default=2000, metavar="K")
+    exp_p.add_argument("--max-steps", type=int, default=None)
+    exp_p.add_argument("--seed", type=int, default=0)
+    exp_p.add_argument("--timeout", type=float, default=0.1, help="pause time T (s)")
+    exp_p.add_argument("--shard-depth", type=int, default=2)
+    exp_p.add_argument("--witnesses", type=int, default=3, metavar="K",
+                       help="print up to K bug-hitting schedules")
+
     met_p = sub.add_parser("metrics", help="run under observability and print metrics JSON")
     met_p.add_argument("app")
     met_p.add_argument("--bug", default=None,
@@ -224,6 +252,8 @@ def main(argv=None) -> int:
         return _cmd_report(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "explore":
+        return _cmd_explore(args)
     if args.command == "export-trace":
         return _cmd_export_trace(args)
     return _cmd_table(args)
@@ -280,6 +310,69 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         _write_metrics(args.out, snapshot)
     else:
         print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.harness import explore_app, outcome_hit
+    from repro.obs import ObsContext
+    from repro.sim.timeline import render_choice_path
+
+    cls = get_app(args.app)
+    if args.bug is not None and args.bug not in cls.bugs:
+        print(f"error: {args.app} has no bug {args.bug!r}; known: {list(cls.bugs)}")
+        return 2
+    if (args.sleep_sets or args.workers) and not args.dpor:
+        print("error: --sleep-sets and --workers require --dpor")
+        return 2
+
+    obs_ctx = ObsContext.create()
+    try:
+        res = explore_app(
+            args.app,
+            args.bug,
+            dpor=args.dpor,
+            sleep_sets=args.sleep_sets,
+            snapshots=args.snapshots,
+            workers=args.workers or None,
+            shard_depth=args.shard_depth,
+            max_schedules=args.max_schedules,
+            max_steps=args.max_steps,
+            seed=args.seed,
+            timeout=args.timeout,
+            obs=obs_ctx,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    ex = res.exploration
+    coverage = "complete" if ex.complete else f"capped at {args.max_schedules}"
+    print(f"{args.app}" + (f"/{args.bug}" if args.bug else "") + ":")
+    print(f"  schedules      : {ex.count} explored ({coverage}, {res.pool_mode} pool)")
+    print(
+        f"  bug hit        : {res.hits}/{ex.count} schedules "
+        f"(fraction {res.hit_fraction:.4f}, weighted {res.hit_probability:.4f})"
+    )
+    if res.dpor_stats is not None:
+        st = res.dpor_stats
+        print(
+            f"  dpor           : {st.branches_added} branches, "
+            f"{st.conservative_fallbacks} fallbacks, "
+            f"{st.sleep_set_prunes} sleep-set prunes, "
+            f"{st.executed_steps} steps executed"
+        )
+    snap = obs_ctx.metrics.snapshot()
+    pool_counters = {
+        k.rsplit(".", 1)[-1]: v.get("value", 0)
+        for k, v in snap.items()
+        if k.startswith("explore.snapshot.")
+    }
+    if pool_counters:
+        parts = ", ".join(f"{k} {v}" for k, v in sorted(pool_counters.items()))
+        print(f"  snapshot pool  : {parts}")
+    for choices in ex.witnesses(outcome_hit, limit=args.witnesses):
+        print(f"  witness        : {render_choice_path(choices)}")
     return 0
 
 

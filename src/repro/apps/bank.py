@@ -1,0 +1,120 @@
+"""Untimed lost-update subject for systematic exploration.
+
+Every Table 1/2 re-creation drives its workload with virtual-time sleeps
+(think-time, retry backoff), which the DPOR explorer rejects — timed
+steps do not commute with the clock.  This small subject re-creates the
+classic bank-account lost update with *no timed operations at all*, so
+it is the registry's reference target for ``repro explore --dpor``
+(and the sleep-set reduction the exploration tests measure: each
+teller's private scratch work is independent of the other teller,
+which is exactly the commutativity sleep sets exploit).
+
+The bug: each teller posts ``iters`` deposits to the shared balance
+under the ledger lock, except one deposit on a hot path that skips the
+lock (the classic "it's just one increment" shortcut).  The unguarded
+read-modify-write races with every other deposit; when another teller's
+update lands inside the window, the stale write loses it.  The racy
+iteration differs per teller, so under random scheduling the windows
+rarely align — a proper Heisenbug — while systematic exploration
+enumerates the losing interleavings deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.kernel import Kernel, RunResult
+from repro.sim.memory import SharedCell
+from repro.sim.primitives import SimLock
+
+from .base import BaseApp, BugSpec
+
+__all__ = ["BankApp"]
+
+
+class BankApp(BaseApp):
+    name = "bank"
+    paper_loc = "-"
+    horizon = 30.0
+    bugs: Dict[str, BugSpec] = {
+        "lost_update": BugSpec(
+            id="lost_update",
+            kind="race",
+            error="test fail",
+            description="unguarded deposit on the hot path races with "
+            "locked deposits; a stale write loses an update",
+            comments="untimed subject; explorable with repro explore --dpor",
+            oracle_mode="error",
+        ),
+    }
+
+    def setup(self, kernel: Kernel) -> None:
+        tellers = self.param("tellers", 2)
+        iters = self.param("iters", 3)
+        amount = self.param("amount", 10)
+        fee_work = self.param("fee_work", 1)
+        self.balance = SharedCell(0, name="balance")
+        self.expected = tellers * iters * amount
+        ledger = SimLock("ledger")
+
+        def teller(me: int, scratch: SharedCell):
+            # Only teller 0 has the unguarded hot path, and only on its
+            # first deposit: one narrow get->set window per run, so the
+            # other teller's (properly locked!) writes rarely land
+            # inside it under noise.  The unguarded RMW defeats
+            # everyone's locking, which is the classic shape of this
+            # bug: the lock-respecting teller loses updates too.
+            racy = me == 0
+
+            def fees():
+                # Private fee tally: touches only this teller's scratch
+                # cell (independent of the other teller).  ``fee_work``
+                # widens it, diluting the racy window under random
+                # scheduling without adding contention.
+                for _ in range(fee_work):
+                    v = yield from scratch.get()
+                    yield from scratch.set(v + 1)
+
+            def body():
+                for i in range(iters):
+                    if racy and i == 0:
+                        # Hot path runs before the fee tally: by the
+                        # time the other teller has worked through its
+                        # own fees to a deposit, this window is long
+                        # gone — unless the scheduler hands it every
+                        # slot in a row (or a breakpoint holds it open).
+                        b = yield from self.balance.get(loc="bank.py:deposit_fast")
+                        yield from self.cb_conflict(
+                            "lost_update",
+                            self.balance,
+                            first=True,
+                            loc="bank.py:deposit_fast",
+                        )
+                        yield from self.balance.set(b + amount, loc="bank.py:deposit_fast")
+                        yield from fees()
+                        continue
+                    yield from fees()
+                    yield from ledger.acquire()
+                    b = yield from self.balance.get(loc="bank.py:deposit")
+                    if me == 1 and i == 0:
+                        yield from self.cb_conflict(
+                            "lost_update",
+                            self.balance,
+                            first=False,
+                            loc="bank.py:deposit",
+                        )
+                    yield from self.balance.set(b + amount, loc="bank.py:deposit")
+                    yield from ledger.release()
+
+            return body
+
+        for me in range(tellers):
+            scratch = SharedCell(0, name=f"scratch{me}")
+            kernel.spawn(teller(me, scratch), name=f"teller{me}")
+
+    def oracle(self, result: RunResult) -> Optional[str]:
+        if result.deadlocked:
+            return "stall"
+        if self.balance.peek() != self.expected:
+            return "lost-update"
+        return None

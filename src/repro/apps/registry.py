@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple, Type
 
+from .bank import BankApp
 from .base import BaseApp
 from .cache4j import Cache4jApp
 from .figure4 import Figure4App
@@ -61,7 +62,14 @@ C_APPS: Dict[str, Type[BaseApp]] = {
     cls.name: cls for cls in (Pbzip2App, HttpdApp, MySQL4012App, MySQL32356App, MySQL4019App)
 }
 
-ALL_APPS: Dict[str, Type[BaseApp]] = {**JAVA_APPS, **C_APPS, Figure4App.name: Figure4App}
+#: Everything explorable/runnable by name: the table subjects plus the
+#: Figure 4 walkthrough and the untimed ``bank`` exploration subject.
+ALL_APPS: Dict[str, Type[BaseApp]] = {
+    **JAVA_APPS,
+    **C_APPS,
+    Figure4App.name: Figure4App,
+    BankApp.name: BankApp,
+}
 
 
 def get_app(name: str) -> Type[BaseApp]:

@@ -6,6 +6,7 @@
 measurements next to the paper's numbers; ``render`` pretty-prints them.
 """
 
+from .exploration import AppExploration, explore_app, outcome_hit
 from .paperdata import SECTION5, SECTION62, TABLE1, TABLE2
 from .parallel import (
     ParallelExecutionError,
@@ -35,6 +36,9 @@ from .tables import (
 )
 
 __all__ = [
+    "AppExploration",
+    "explore_app",
+    "outcome_hit",
     "SECTION5",
     "SECTION62",
     "TABLE1",

@@ -1,0 +1,174 @@
+"""Systematic schedule exploration of the benchmark applications.
+
+The :mod:`repro.sim.explore` / :mod:`repro.sim.dpor` explorers take a
+bare ``build(kernel)`` closure; this module adapts a registered app
+(:mod:`repro.apps`) to that contract — a fresh app instance per run
+(the explorers assume a deterministic, side-effect-free build), the
+app's oracle evaluated as the run's ``observed`` payload, and the hit
+statistics the ``repro explore`` CLI prints.
+
+Exploration answers a different question from the trial harness: not
+"how often does seed noise reproduce the bug" but "in what *fraction of
+the schedule space* does it manifest" — ``hit_fraction`` counts
+schedules, ``hit_probability`` weights each schedule by the product of
+its branch-choice probabilities (a uniformly random scheduler's chance
+of walking it), which is the better analogue of the paper's
+reproduction-probability column.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+from repro.apps import AppConfig, get_app
+from repro.sim.dpor import DporStats, explore_dpor, explore_dpor_sharded
+from repro.sim.explore import Exploration, Outcome, explore
+from repro.sim.snapshot import fork_available
+
+__all__ = ["AppExploration", "explore_app", "outcome_hit"]
+
+
+@dataclasses.dataclass
+class AppExploration:
+    """Result of exploring one app/bug's schedule space."""
+
+    app: str
+    bug: Optional[str]
+    exploration: Exploration
+    #: Reduction statistics when DPOR ran, else None.
+    dpor_stats: Optional[DporStats]
+    #: "fork" when the copy-on-branch snapshot pool executed the runs.
+    pool_mode: str
+    #: Schedules whose oracle reported the bug, over schedules explored.
+    hits: int
+    hit_fraction: float
+    #: Branch-choice-weighted hit probability (see module docstring).
+    hit_probability: float
+
+
+def outcome_hit(outcome: Outcome) -> bool:
+    """Did this schedule's oracle report the bug?"""
+    return bool(outcome.observed and outcome.observed.get("bug_hit"))
+
+
+def _make_build_and_observe(app_name: str, cfg: AppConfig):
+    """Fresh-instance build closure + oracle-evaluating observe closure.
+
+    One app instance per run, exactly like the trial harness — explorers
+    re-execute ``build`` for every schedule (and in every forked runner),
+    so instance state must never leak between runs.  The holder hands the
+    run's instance to ``observe``; in fork mode both closures execute in
+    the same runner process, so the handoff is process-local.
+    """
+    cls = get_app(app_name)
+    holder: Dict[str, Any] = {}
+
+    def build(kernel) -> None:
+        app = cls(dataclasses.replace(cfg))
+        app.kernel = kernel
+        app._policies = app.policies() if cfg.use_policies else {}
+        app.setup(kernel)
+        holder["app"] = app
+
+    def observe(kernel) -> Dict[str, Any]:
+        app = holder["app"]
+        result = kernel._result()
+        error = app.oracle(result)
+        return {
+            "error": error,
+            "bug_hit": app._bug_hit(error, result),
+            "bp_hit": any(st.hits > 0 for st in result.breakpoint_stats.values()),
+        }
+
+    return cls, build, observe
+
+
+def explore_app(
+    app_name: str,
+    bug: Optional[str] = None,
+    *,
+    dpor: bool = False,
+    sleep_sets: bool = False,
+    snapshots: bool = False,
+    workers: Optional[int] = None,
+    shard_depth: int = 2,
+    max_schedules: int = 10_000,
+    max_steps: Optional[int] = None,
+    seed: int = 0,
+    timeout: float = 0.100,
+    use_policies: bool = True,
+    params: Optional[Dict[str, Any]] = None,
+    obs: Any = None,
+) -> AppExploration:
+    """Explore an app's schedule space and evaluate its oracle per leaf.
+
+    ``dpor`` switches to partial-order reduction (programs with timed
+    operations are rejected — see :mod:`repro.sim.dpor`); ``workers``
+    > 0 additionally shards the DPOR tree over forked worker processes.
+    ``sleep_sets``/``snapshots`` select the reduction and execution
+    strategies; snapshots silently fall back to stateless replay on
+    platforms without ``fork``.
+    """
+    if bug is not None:
+        spec_cls = get_app(app_name)
+        if bug not in spec_cls.bugs:
+            raise KeyError(
+                f"{app_name} has no bug {bug!r}; known: {list(spec_cls.bugs)}"
+            )
+    cfg = AppConfig(
+        bug=bug,
+        timeout=timeout,
+        use_policies=use_policies,
+        params=dict(params or {}),
+    )
+    cls, build, observe = _make_build_and_observe(app_name, cfg)
+    max_steps = max_steps if max_steps is not None else cls.max_steps
+
+    stats: Optional[DporStats] = None
+    if dpor and workers:
+        exploration, stats = explore_dpor_sharded(
+            build,
+            max_schedules=max_schedules,
+            max_steps=max_steps,
+            seed=seed,
+            observe=observe,
+            workers=workers,
+            shard_depth=shard_depth,
+            sleep_sets=sleep_sets,
+            snapshots=snapshots,
+        )
+    elif dpor:
+        exploration, stats = explore_dpor(
+            build,
+            max_schedules=max_schedules,
+            max_steps=max_steps,
+            seed=seed,
+            observe=observe,
+            sleep_sets=sleep_sets,
+            snapshots=snapshots,
+            obs=obs,
+        )
+    else:
+        exploration = explore(
+            build,
+            max_schedules=max_schedules,
+            max_steps=max_steps,
+            seed=seed,
+            observe=observe,
+            snapshots=snapshots,
+            max_time=cls.horizon,
+            obs=obs,
+        )
+
+    hits = sum(1 for o in exploration.outcomes if outcome_hit(o))
+    return AppExploration(
+        app=app_name,
+        bug=bug,
+        exploration=exploration,
+        dpor_stats=stats,
+        pool_mode="fork" if snapshots and fork_available() else "stateless",
+        hits=hits,
+        hit_fraction=exploration.probability(outcome_hit),
+        hit_probability=exploration.probability(outcome_hit, weighted=True),
+    )

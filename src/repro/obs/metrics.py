@@ -22,6 +22,13 @@ event bus is the structured half).  Three properties drive the design:
 Histograms use fixed bucket upper bounds (Prometheus-style ``le``
 semantics, plus an overflow bucket) so merging is exact bucket-wise
 addition — no approximation, no order sensitivity in the counts.
+
+The schedule explorers flush their own counter families here when given
+an obs context (``repro explore`` always does): ``explore.schedules`` /
+``explore.steps_executed`` / ``explore.replayed_choices`` for any walk,
+``explore.snapshot.parks|restores|fallback_runs`` for the fork pool, and
+``explore.dpor.branches_added|conservative_fallbacks|sleep_set_prunes``
+for the reduction — zero-valued counters are skipped.
 """
 
 from __future__ import annotations

@@ -65,11 +65,19 @@ from .syscalls import (
     Trigger,
     Yield,
 )
-from .dpor import DporStats, explore_dpor
+from .dpor import DporStats, explore_dpor, explore_dpor_sharded
 from .explore import Exploration, Outcome, explore, explore_sharded, merge_shards
 from .replay import RecordingScheduler, ReplayDivergence, ReplayScheduler
+from .snapshot import (
+    ForkSnapshotPool,
+    PoolStats,
+    RunRecord,
+    StatelessPool,
+    fork_available,
+    make_pool,
+)
 from .thread import SimThread, TState
-from .timeline import around_breakpoints, render_timeline
+from .timeline import around_breakpoints, render_choice_path, render_timeline
 from .trace import OP, Event, Trace
 
 __all__ = [
@@ -100,8 +108,16 @@ __all__ = [
     "explore_sharded",
     "merge_shards",
     "explore_dpor",
+    "explore_dpor_sharded",
     "DporStats",
+    "RunRecord",
+    "PoolStats",
+    "StatelessPool",
+    "ForkSnapshotPool",
+    "make_pool",
+    "fork_available",
     "render_timeline",
+    "render_choice_path",
     "around_breakpoints",
     "OP",
     "Event",

@@ -9,6 +9,16 @@ branches only where reordering dependent pairs could produce a different
 behaviour.  Every Mazurkiewicz trace (equivalence class of schedules up
 to commuting independent steps) is still visited at least once.
 
+The explorer is the classical explicit-path DFS: one frame per depth of
+the current schedule holds the tids already explored from that state,
+the backtrack set race analysis filled in, and (optionally) the state's
+sleep set.  After each run the race analysis adds backtrack points to
+frames along the current path only; the search then resumes from the
+deepest frame with an unexplored backtrack tid.  Because deeper frames
+are discarded on backtracking, a sibling's subtree is fully explored
+before the next sibling starts — the traversal order sleep-set
+soundness depends on.
+
 Dependence here is object-based and conservative:
 
 * two accesses to the same :class:`SharedCell` with at least one write;
@@ -21,18 +31,68 @@ point, the standard conservative fallback adds all runnable threads
 there.  The result is exact for the programs this explorer targets (no
 timers — timed operations make steps non-commutable with the clock and
 are rejected).
+
+Three orthogonal extensions on top of the base algorithm:
+
+* ``sleep_sets=True`` — Godefroid sleep sets: when a sibling ``t`` has
+  been fully explored from a state, ``t`` enters the *sleep set* of the
+  next sibling's subtree and stays there while execution only performs
+  steps independent of ``t``'s pending transition (waking at the first
+  dependent one).  A backtrack tid that is asleep at its state is
+  provably redundant — its subtree is a commutation of one already
+  explored — and is pruned without running anything;
+  :class:`DporStats.sleep_set_prunes` counts these.  Sleep sets reduce
+  the number of *schedules executed*, never the set of distinct
+  behaviours reached — the differential battery asserts behaviour-set
+  equality against plain DPOR.
+* ``snapshots=True`` — schedules execute on the copy-on-branch fork
+  pool (:mod:`repro.sim.snapshot`) instead of stateless replay; step
+  footprints are computed inside the run's own process because they key
+  on object identities.
+* :func:`explore_dpor_sharded` — the schedule tree is split at a fixed
+  depth into disjoint-prefix shards (the same frontier
+  :func:`repro.sim.explore.explore_sharded` uses) that run DPOR
+  independently across forked workers.  Because the frontier branches at
+  *every* runnable tid above the shard depth, any backtrack a shard
+  would need there already exists as a sibling shard — so per-shard
+  backtracking can be soundly restricted to depths inside the shard.
+  The merged result is bit-identical for any worker count (crashed
+  workers' shards are recomputed serially in the parent), though the
+  exhaustive frontier may execute more schedules than serial
+  :func:`explore_dpor` would.
 """
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
-from typing import Callable, List, Optional, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
-from .explore import Exploration, Outcome, _DFSScheduler
+from .explore import (
+    Exploration,
+    Outcome,
+    _fan_out,
+    _flush_explore_obs,
+    _frontier,
+    _sanitize_outcome,
+    _schedule_weight,
+    merge_shards,
+)
 from .kernel import Kernel
+from .snapshot import make_pool
 from .trace import OP
 
-__all__ = ["explore_dpor", "DporStats"]
+__all__ = ["explore_dpor", "explore_dpor_sharded", "DporStats"]
 
 #: Ops that conflict with any other op on the same object.
 _SYNC_OPS = {
@@ -58,6 +118,11 @@ class DporStats:
     schedules: int
     branches_added: int
     conservative_fallbacks: int
+    #: Backtrack tids proven redundant by a sleep set and never run.
+    sleep_set_prunes: int = 0
+    #: Kernel steps actually executed across all runs (suffix-only when
+    #: snapshots are on) — the denominator of the work saved.
+    executed_steps: int = 0
 
 
 def _step_footprints(trace, n_choices: int) -> List[Set[Tuple[int, str]]]:
@@ -94,12 +159,41 @@ def _dependent(a: Set[Tuple[int, str]], b: Set[Tuple[int, str]]) -> bool:
     return False
 
 
+def _footprint_extras(kernel: Kernel, sched) -> dict:
+    """Pool postprocess hook: footprints must be computed in the process
+    that executed the run — they key on object identities, which are
+    only meaningful there.  Every footprint comparison the explorer
+    makes is between footprints of one single run (pending transitions
+    at a state are state-determined, and the current run always passes
+    through every live frame's state), so ``id`` keys suffice."""
+    return {"foot": _step_footprints(kernel.trace, len(sched.choices))}
+
+
+@dataclasses.dataclass
+class _Frame:
+    """DFS state for one depth of the current path.
+
+    ``sleep`` is the state's sleep set, fixed when the frame is created
+    (entering the state); already-explored siblings reach descendants
+    through the child-sleep computation, not by mutating this."""
+
+    chosen: int
+    executed: Set[int]
+    backtrack: Set[int]
+    sleep: FrozenSet[int]
+
+
 def explore_dpor(
     build: Callable[[Kernel], None],
     max_schedules: int = 10_000,
     max_steps: int = 20_000,
     seed: int = 0,
     observe: Optional[Callable[[Kernel], object]] = None,
+    *,
+    sleep_sets: bool = False,
+    snapshots: bool = False,
+    prefix: Sequence[int] = (),
+    obs: Any = None,
 ) -> Tuple[Exploration, DporStats]:
     """DPOR-reduced schedule exploration.
 
@@ -107,66 +201,299 @@ def explore_dpor(
     ``build``, fresh kernel per run), plus the reduction statistics.
     Programs using ``Sleep`` or timeouts are rejected — wall-clock order
     does not commute.
+
+    ``prefix`` restricts both execution *and backtracking* to the
+    subtree under the forced prefix; it is only sound when every sibling
+    alternative above ``len(prefix)`` is explored elsewhere, which is
+    exactly what :func:`explore_dpor_sharded`'s exhaustive frontier
+    guarantees.  ``sleep_sets``/``snapshots``/``obs`` are documented in
+    the module docstring.
     """
-    outcomes: List[Outcome] = []
-    visited_prefixes: Set[Tuple[int, ...]] = set()
-    stack: List[List[int]] = [[]]
+    base = len(prefix)
+    pool = make_pool(
+        build,
+        snapshots=snapshots,
+        seed=seed,
+        max_steps=max_steps,
+        record_trace=True,
+        observe=observe,
+        postprocess=_footprint_extras,
+    )
     branches_added = 0
     fallbacks = 0
-    complete = True
+    prunes = 0
+    try:
+        outcomes: List[Outcome] = []
+        frames: List[_Frame] = []  # frames[k] is the state at depth base+k
+        complete = True
+        next_forced: List[int] = list(prefix)
+        next_sleep: FrozenSet[int] = frozenset()
+        divergence = base  # depth of the first frame the next run creates
 
-    while stack:
-        if len(outcomes) >= max_schedules:
-            complete = False
-            break
-        prefix = stack.pop()
-        key = tuple(prefix)
-        if key in visited_prefixes:
-            continue
-        visited_prefixes.add(key)
+        while True:
+            if len(outcomes) >= max_schedules:
+                complete = False
+                break
 
-        sched = _DFSScheduler(prefix)
-        kernel = Kernel(scheduler=sched, seed=seed, record_trace=True)
-        build(kernel)
-        result = kernel.run(max_steps=max_steps)
-        observed = observe(kernel) if observe is not None else None
-        outcomes.append(Outcome(tuple(sched.choices), result, observed))
+            rec = pool.run(next_forced)
+            outcomes.append(
+                Outcome(
+                    rec.choices,
+                    rec.result,
+                    rec.observed,
+                    _schedule_weight(rec.runnable_sets),
+                )
+            )
+            choices = list(rec.choices)
+            runnables = rec.runnable_sets
+            foot = (rec.extras or {}).get("foot", [])
+            n = len(choices)
 
-        choices = sched.choices
-        runnables = sched.runnable_sets
-        foot = _step_footprints(kernel.trace, len(choices))
+            occ: Dict[int, List[int]] = {}
+            for d, t in enumerate(choices):
+                occ.setdefault(t, []).append(d)
 
-        for j in range(len(choices)):
-            tid_j = choices[j]
-            # The race with the *last* dependent transition of another
-            # thread (Flanagan-Godefroid): reordering step j before step
-            # i may expose a different behaviour.  (No happens-before
-            # pruning here — redundant branches are deduplicated by the
-            # visited-prefix set, at worst costing extra runs.)
-            for i in range(j - 1, -1, -1):
-                if choices[i] == tid_j:
-                    continue
-                if _dependent(foot[i], foot[j]):
-                    if tid_j in runnables[i]:
-                        branch = choices[:i] + [tid_j]
-                        if tuple(branch) not in visited_prefixes:
-                            stack.append(branch)
-                            branches_added += 1
-                    else:
-                        fallbacks += 1
-                        for alt in runnables[i]:
-                            if alt != choices[i]:
-                                branch = choices[:i] + [alt]
-                                if tuple(branch) not in visited_prefixes:
-                                    stack.append(branch)
-                                    branches_added += 1
+            def pending(t: int, d: int, occ=occ, foot=foot):
+                """Footprint of tid t's pending transition at depth d: a
+                thread's generator is parked at one syscall, so whatever
+                it executes next (its first occurrence at or after d) is
+                what it would execute if scheduled at d.  None when the
+                run never schedules t again (conservative)."""
+                lst = occ.get(t)
+                if not lst:
+                    return None
+                k = bisect.bisect_left(lst, d)
+                return foot[lst[k]] if k < len(lst) else None
+
+            # Materialize frames for the fresh suffix.  The child sleep
+            # chain is the classical propagation: a sleeper survives a
+            # step only if its pending transition is provably
+            # independent of it; the executed tid itself always wakes.
+            #
+            # The kernel's free descent picks min-tid blindly, so it can
+            # schedule a *sleeping* thread — a sleep-set-blocked run:
+            # everything below that step is a commutation of an
+            # already-explored subtree.  Cut the path there, don't
+            # record the outcome, and redirect the search to the
+            # smallest awake enabled tid at that state (if none, the
+            # state is a fully covered leaf and the frame pops empty).
+            del frames[divergence - base:]
+            cur_sleep = next_sleep
+            ssb: Optional[int] = None
+            for depth in range(divergence, n):
+                c = choices[depth]
+                if sleep_sets and c in cur_sleep:
+                    ssb = depth
+                    enabled = set(runnables[depth])
+                    awake = enabled - cur_sleep
+                    frames.append(
+                        _Frame(
+                            chosen=c,
+                            executed=(enabled & cur_sleep) | {c},
+                            backtrack={min(awake)} if awake else set(),
+                            sleep=cur_sleep,
+                        )
+                    )
+                    prunes += 1
+                    outcomes.pop()
                     break
+                frames.append(
+                    _Frame(
+                        chosen=c,
+                        executed={c},
+                        backtrack=set(),
+                        sleep=cur_sleep,
+                    )
+                )
+                if sleep_sets and cur_sleep:
+                    fc = foot[depth]
+                    nxt: Set[int] = set()
+                    for x in cur_sleep:
+                        if x == c:
+                            continue
+                        fx = pending(x, depth + 1)
+                        if fx is not None and not _dependent(fx, fc):
+                            nxt.add(x)
+                    cur_sleep = frozenset(nxt)
+                else:
+                    cur_sleep = frozenset()
 
-    return (
-        Exploration(outcomes=outcomes, complete=complete),
-        DporStats(
+            # Race analysis: the race with the *last* dependent
+            # transition of another thread (Flanagan-Godefroid) —
+            # reordering step j before step i may expose a different
+            # behaviour, so tid_j joins the backtrack set of frame i.
+            # Backtracking stays at depths >= base: below it, sibling
+            # shards own the alternatives.  Steps at or below a
+            # sleep-set cut belong to a covered subtree; the covering
+            # sibling finds the commuted images of their races.
+            for j in range(base + 1, n if ssb is None else ssb):
+                tid_j = choices[j]
+                for i in range(j - 1, base - 1, -1):
+                    if choices[i] == tid_j:
+                        continue
+                    if _dependent(foot[i], foot[j]):
+                        if tid_j in runnables[i]:
+                            alts: Tuple[int, ...] = (tid_j,)
+                        else:
+                            fallbacks += 1
+                            alts = tuple(
+                                a for a in runnables[i] if a != choices[i]
+                            )
+                        fr = frames[i - base]
+                        for alt in alts:
+                            if (
+                                alt not in fr.executed
+                                and alt not in fr.backtrack
+                            ):
+                                fr.backtrack.add(alt)
+                                branches_added += 1
+                        break
+
+            # Resume from the deepest frame with unexplored backtrack
+            # tids; exhausted frames are discarded, so by the time a
+            # sibling is taken the previous sibling's subtree is done.
+            selected = False
+            while frames:
+                fr = frames[-1]
+                cand = fr.backtrack - fr.executed
+                if not cand:
+                    frames.pop()
+                    continue
+                d = base + len(frames) - 1
+                t = min(cand)
+                fr.executed.add(t)
+                if sleep_sets and t in fr.sleep:
+                    # Asleep: every behaviour below state+[t] is a
+                    # commutation of one in an already-explored sibling
+                    # subtree.  Covered, skip the whole subtree.
+                    prunes += 1
+                    continue
+                child: Set[int] = set()
+                if sleep_sets:
+                    ft = pending(t, d)
+                    if ft is not None:
+                        for x in fr.sleep | (fr.executed - {t}):
+                            fx = pending(x, d)
+                            if fx is not None and not _dependent(fx, ft):
+                                child.add(x)
+                fr.chosen = t
+                next_forced = list(prefix) + [f.chosen for f in frames]
+                next_sleep = frozenset(child)
+                divergence = d + 1
+                selected = True
+                break
+            if not selected:
+                break
+
+        stats = DporStats(
             schedules=len(outcomes),
             branches_added=branches_added,
             conservative_fallbacks=fallbacks,
-        ),
+            sleep_set_prunes=prunes,
+            executed_steps=pool.stats.executed_steps,
+        )
+        return Exploration(outcomes=outcomes, complete=complete), stats
+    finally:
+        pool.close()
+        _flush_explore_obs(
+            obs,
+            pool.stats,
+            {
+                "explore.dpor.branches_added": branches_added,
+                "explore.dpor.conservative_fallbacks": fallbacks,
+                "explore.dpor.sleep_set_prunes": prunes,
+            },
+        )
+
+
+def _strip_outcome(outcome: Outcome) -> Outcome:
+    """Sanitize for cross-process transport *and* canonical merging:
+    traces hold live thread objects and are inherently process-local,
+    so sharded DPOR drops them on every path (worker and serial alike —
+    worker-count independence requires it)."""
+    outcome = _sanitize_outcome(outcome)
+    if outcome.result.trace is not None:
+        outcome = Outcome(
+            outcome.choices,
+            dataclasses.replace(outcome.result, trace=None),
+            outcome.observed,
+            outcome.weight,
+        )
+    return outcome
+
+
+def explore_dpor_sharded(
+    build: Callable[[Kernel], None],
+    max_schedules: int = 10_000,
+    max_steps: int = 20_000,
+    seed: int = 0,
+    observe: Optional[Callable[[Kernel], object]] = None,
+    workers: Optional[int] = None,
+    shard_depth: int = 2,
+    *,
+    sleep_sets: bool = False,
+    snapshots: bool = False,
+    fault_hook: Optional[Callable[[int, int], None]] = None,
+) -> Tuple[Exploration, DporStats]:
+    """DPOR over disjoint prefix shards across forked workers.
+
+    Splits the schedule tree at ``shard_depth`` with the exhaustive
+    frontier of :func:`repro.sim.explore.explore_sharded`, runs
+    :func:`explore_dpor` restricted to each shard's subtree, and merges
+    with the same duplicate-rejecting canonical
+    :func:`repro.sim.explore.merge_shards`.  Soundness of restricting
+    per-shard backtracking to depths >= ``shard_depth``: the frontier
+    already branches at *every* runnable tid above that depth, so any
+    backtrack point a shard would add there exists as a sibling shard by
+    construction.
+
+    Guarantees (mirroring the parallel trial runner's contract): the
+    merged ``Exploration`` and summed :class:`DporStats` are
+    bit-identical for any ``workers`` value, including 0/None (serial)
+    and including workers that crash mid-shard — lost shards are
+    recomputed serially in the parent (``fault_hook(worker_id,
+    shard_idx)`` is the crash-injection point the tests use).  Relative
+    to serial :func:`explore_dpor` the exhaustive frontier may execute
+    *more* schedules (sharding overhead); per-behaviour coverage is the
+    same.
+
+    ``max_schedules`` bounds each shard's walk, so a capped sharded
+    exploration can visit more schedules than a capped serial one.
+    """
+    shards, direct = _frontier(build, shard_depth, max_steps, seed, observe)
+    direct = [_strip_outcome(o) for o in direct]
+
+    def task(idx: int, shard_prefix: List[int]):
+        ex, st = explore_dpor(
+            build,
+            max_schedules=max_schedules,
+            max_steps=max_steps,
+            seed=seed,
+            observe=observe,
+            sleep_sets=sleep_sets,
+            snapshots=snapshots,
+            prefix=shard_prefix,
+        )
+        return ([_strip_outcome(o) for o in ex.outcomes], ex.complete, st)
+
+    results = _fan_out(task, shards, workers, fault_hook)
+
+    shard_exs: List[Exploration] = []
+    total = DporStats(
+        schedules=0,
+        branches_added=0,
+        conservative_fallbacks=0,
+        sleep_set_prunes=0,
+        executed_steps=0,
     )
+    for i in range(len(shards)):
+        outs, shard_complete, st = results[i]
+        shard_exs.append(Exploration(outcomes=outs, complete=shard_complete))
+        total.branches_added += st.branches_added
+        total.conservative_fallbacks += st.conservative_fallbacks
+        total.sleep_set_prunes += st.sleep_set_prunes
+        total.executed_steps += st.executed_steps
+    shard_exs.append(Exploration(outcomes=direct, complete=True))
+    merged = merge_shards(shard_exs)
+    total.schedules = merged.count
+    return merged, total

@@ -1,13 +1,26 @@
-"""Exhaustive (bounded) schedule exploration — a tiny stateless model checker.
+"""Exhaustive (bounded) schedule exploration — a tiny model checker.
 
 Enumerates *every* interleaving of a small simulated program by DFS over
-scheduling choices, re-executing from the start with a forced choice
-prefix each time (the kernel is deterministic given the choices, so
-stateless replay is exact).  In the paper's terms this is the CHESS-style
-systematic baseline [25, 26]: it proves a Heisenbug's schedule *exists*
-and measures how rare it is — `found in 3 of 1 026 interleavings` — which
-is precisely why stumbling on it randomly is hopeless and a concurrent
-breakpoint is worth inserting.
+scheduling choices.  Two execution modes share one DFS loop:
+
+* **stateless** (default, the seed behaviour): each schedule re-executes
+  from step 0 with a forced choice prefix — the kernel is deterministic
+  given the choices, so replay is exact but costs O(total steps) per
+  schedule;
+* **snapshots** (``snapshots=True``): schedules resume from
+  copy-on-branch process forks parked at the deepest shared prefix
+  (:mod:`repro.sim.snapshot`), costing O(suffix steps) per schedule.
+  The two modes enumerate the identical outcomes in the identical
+  order by construction — both drive the same DFS over the same
+  per-run :class:`~repro.sim.snapshot.RunRecord` data — and
+  ``tests/sim/test_snapshot_explore.py`` asserts it differentially
+  across every registered app.
+
+In the paper's terms this is the CHESS-style systematic baseline
+[25, 26]: it proves a Heisenbug's schedule *exists* and measures how
+rare it is — `found in 3 of 1 026 interleavings` — which is precisely
+why stumbling on it randomly is hopeless and a concurrent breakpoint is
+worth inserting.
 
 Use :func:`explore` on programs with a few dozen scheduling points; the
 schedule tree is exponential, so ``max_schedules`` caps the walk (the
@@ -17,36 +30,14 @@ schedule tree is exponential, so ``max_schedules`` caps the walk (the
 from __future__ import annotations
 
 import dataclasses
+import math
 import multiprocessing
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .kernel import Kernel, RunResult
-from .scheduler import Scheduler
-from .thread import SimThread
+from .snapshot import PoolStats, _DFSScheduler, make_pool
 
 __all__ = ["Outcome", "Exploration", "explore", "explore_sharded", "merge_shards"]
-
-
-class _DFSScheduler(Scheduler):
-    """Follows a forced prefix, then always picks the lowest tid, and
-    records the runnable set at every scheduling point."""
-
-    def __init__(self, prefix: Sequence[int]) -> None:
-        self.prefix = list(prefix)
-        self.choices: List[int] = []
-        self.runnable_sets: List[Tuple[int, ...]] = []
-
-    def pick(self, runnable: Sequence[SimThread], step: int) -> SimThread:
-        tids = tuple(t.tid for t in runnable)  # kernel pre-sorts by tid
-        depth = len(self.choices)
-        if depth < len(self.prefix):
-            wanted = self.prefix[depth]
-            chosen = next(t for t in runnable if t.tid == wanted)
-        else:
-            chosen = runnable[0]
-        self.choices.append(chosen.tid)
-        self.runnable_sets.append(tids)
-        return chosen
 
 
 @dataclasses.dataclass
@@ -58,6 +49,10 @@ class Outcome:
     #: Snapshot taken by ``explore``'s ``observe`` hook after the run
     #: (final shared state, oracle verdicts, ...); None if no hook.
     observed: object = None
+    #: Probability a uniform random scheduler would walk exactly this
+    #: schedule: the product of ``1/len(runnable)`` over every
+    #: scheduling point (see :meth:`Exploration.probability`).
+    weight: float = 1.0
 
 
 @dataclasses.dataclass
@@ -74,21 +69,64 @@ class Exploration:
     def matching(self, pred: Callable[[Outcome], bool]) -> List[Outcome]:
         return [o for o in self.outcomes if pred(o)]
 
-    def probability(self, pred: Callable[[Outcome], bool]) -> float:
+    def probability(self, pred: Callable[[Outcome], bool], weighted: bool = False) -> float:
         """Fraction of explored schedules satisfying ``pred``.
 
-        Note: this weights each *leaf schedule* equally, which is not the
-        same distribution a uniform random scheduler induces (deeper
-        branches are rarer under random choice); it answers "how many of
-        the possible interleavings are buggy".
+        With ``weighted=False`` each *leaf schedule* counts equally; the
+        answer is "how many of the possible interleavings are buggy".
+        That is not the distribution a uniform random scheduler induces:
+        a leaf behind ten binary choices is walked with probability
+        2**-10, not 1/count.
+
+        With ``weighted=True`` each schedule counts by its branch-choice
+        probability — the product of ``1/len(runnable)`` at every
+        scheduling point, normalised over the explored set — so on a
+        complete exploration the answer matches the hit probability a
+        uniform :class:`~repro.sim.scheduler.RandomScheduler` (without
+        delay noise) would observe.  On a capped exploration it is the
+        probability conditioned on landing in the explored subset.
         """
         if not self.outcomes:
             return 0.0
-        return len(self.matching(pred)) / len(self.outcomes)
+        if not weighted:
+            return len(self.matching(pred)) / len(self.outcomes)
+        total = sum(o.weight for o in self.outcomes)
+        if total <= 0.0:
+            return 0.0
+        return sum(o.weight for o in self.outcomes if pred(o)) / total
 
     def witnesses(self, pred: Callable[[Outcome], bool], limit: int = 3) -> List[Tuple[int, ...]]:
         """Choice lists (replayable schedules) of up to ``limit`` matches."""
         return [o.choices for o in self.matching(pred)[:limit]]
+
+
+def _schedule_weight(runnable_sets: Sequence[Tuple[int, ...]]) -> float:
+    """Probability of this exact schedule under uniform random choice."""
+    w = 1.0
+    for tids in runnable_sets:
+        n = len(tids)
+        if n > 1:
+            w /= n
+    return w
+
+
+def _flush_explore_obs(obs: Any, stats: PoolStats, extra: Optional[Dict[str, int]] = None) -> None:
+    """Fold executor counters into an ``ObsContext`` metrics registry
+    (``explore.*`` namespace; zero counts are skipped like the kernel's
+    own flush does)."""
+    if obs is None:
+        return
+    counts = {
+        "explore.schedules": stats.runs,
+        "explore.steps_executed": stats.executed_steps,
+        "explore.replayed_choices": stats.replayed_choices,
+        "explore.snapshot.parks": stats.parks,
+        "explore.snapshot.restores": stats.restores,
+        "explore.snapshot.fallback_runs": stats.fallback_runs,
+    }
+    if extra:
+        counts.update(extra)
+    obs.metrics.add_counters({k: v for k, v in counts.items() if v})
 
 
 def explore(
@@ -98,8 +136,11 @@ def explore(
     seed: int = 0,
     observe: Optional[Callable[[Kernel], object]] = None,
     prefix: Sequence[int] = (),
+    snapshots: bool = False,
+    max_time: float = math.inf,
+    obs: Any = None,
 ) -> Exploration:
-    """Enumerate the program's schedule tree by stateless DFS.
+    """Enumerate the program's schedule tree by DFS.
 
     ``build`` must be deterministic apart from scheduling (it receives a
     fresh, fixed-seed kernel per run).  Each scheduling point with ``k``
@@ -112,31 +153,62 @@ def explore(
     prefix: only alternatives at depth >= ``len(prefix)`` are branched.
     This is the sharding primitive of :func:`explore_sharded` — subtrees
     of distinct same-length prefixes are disjoint by construction.
+
+    ``snapshots=True`` executes schedules on the copy-on-branch fork
+    pool (:mod:`repro.sim.snapshot`): runs resume from the deepest
+    parked snapshot instead of replaying the shared prefix.  Outcomes
+    are identical to stateless mode except that process-local result
+    fields (live thread objects, the deadlock exception instance) are
+    stripped exactly as :func:`explore_sharded` strips them, and
+    ``build``/``observe`` execute in forked children — side effects on
+    parent state do not propagate, only ``observe``'s (picklable)
+    return value does.  Falls back to stateless execution when ``fork``
+    is unavailable.
+
+    ``obs`` (an :class:`repro.obs.ObsContext`) collects ``explore.*``
+    counters: schedules, steps executed, snapshot parks/restores.
     """
-    outcomes: List[Outcome] = []
-    stack: List[List[int]] = [list(prefix)]
-    complete = True
-    while stack:
-        if len(outcomes) >= max_schedules:
-            complete = False
-            break
-        prefix = stack.pop()
-        sched = _DFSScheduler(prefix)
-        kernel = Kernel(scheduler=sched, seed=seed)
-        build(kernel)
-        result = kernel.run(max_steps=max_steps)
-        observed = observe(kernel) if observe is not None else None
-        outcomes.append(Outcome(tuple(sched.choices), result, observed))
-        # Unexplored siblings: at each depth at or beyond this prefix,
-        # every runnable tid greater than the chosen one starts a branch
-        # nobody has visited yet.  Push shallow-first so the DFS pops the
-        # deepest branch next (keeps the stack small).
-        for depth in range(len(prefix), len(sched.choices)):
-            chosen = sched.choices[depth]
-            for alt in sched.runnable_sets[depth]:
-                if alt > chosen:
-                    stack.append(sched.choices[:depth] + [alt])
-    return Exploration(outcomes=outcomes, complete=complete)
+    pool = make_pool(
+        build,
+        snapshots=snapshots,
+        seed=seed,
+        max_steps=max_steps,
+        max_time=max_time,
+        observe=observe,
+    )
+    try:
+        outcomes: List[Outcome] = []
+        stack: List[List[int]] = [list(prefix)]
+        complete = True
+        while stack:
+            if len(outcomes) >= max_schedules:
+                complete = False
+                break
+            prefix = stack.pop()
+            rec = pool.run(prefix)
+            outcomes.append(
+                Outcome(
+                    rec.choices,
+                    rec.result,
+                    rec.observed,
+                    _schedule_weight(rec.runnable_sets),
+                )
+            )
+            # Unexplored siblings: at each depth at or beyond this
+            # prefix, every runnable tid greater than the chosen one
+            # starts a branch nobody has visited yet.  Push
+            # shallow-first so the DFS pops the deepest branch next
+            # (keeps the stack small — and keeps the pop adjacent to
+            # the deepest parked snapshots in fork mode).
+            for depth in range(len(prefix), len(rec.choices)):
+                chosen = rec.choices[depth]
+                for alt in rec.runnable_sets[depth]:
+                    if alt > chosen:
+                        stack.append(list(rec.choices[:depth]) + [alt])
+        return Exploration(outcomes=outcomes, complete=complete)
+    finally:
+        pool.close()
+        _flush_explore_obs(obs, pool.stats)
 
 
 # ---------------------------------------------------------------------------
@@ -158,7 +230,7 @@ def _sanitize_outcome(outcome: Outcome) -> Outcome:
     res = outcome.result
     if res.threads or res.deadlock is not None:
         res = dataclasses.replace(res, threads=[], deadlock=None)
-    return Outcome(outcome.choices, res, outcome.observed)
+    return Outcome(outcome.choices, res, outcome.observed, outcome.weight)
 
 
 def merge_shards(shards: Sequence[Exploration]) -> Exploration:
@@ -199,6 +271,11 @@ def _frontier(
     Runs that terminate before making ``shard_depth`` choices are
     single-leaf subtrees: they are returned as finished outcomes rather
     than shards (a shard DFS would just re-run them).
+
+    Because the frontier branches at *every* runnable tid above the
+    shard depth, it is exhaustive there — which is also what makes
+    restricting per-shard DPOR backtracking to depths >= ``shard_depth``
+    sound in :func:`repro.sim.dpor.explore_dpor_sharded`.
     """
     prefixes: List[List[int]] = [[]]
     direct: List[Outcome] = []
@@ -211,7 +288,14 @@ def _frontier(
             result = kernel.run(max_steps=max_steps)
             if len(sched.choices) <= len(p):
                 observed = observe(kernel) if observe is not None else None
-                direct.append(Outcome(tuple(sched.choices), result, observed))
+                direct.append(
+                    Outcome(
+                        tuple(sched.choices),
+                        result,
+                        observed,
+                        _schedule_weight(sched.runnable_sets),
+                    )
+                )
             else:
                 for tid in sched.runnable_sets[len(p)]:
                     nxt.append(p + [tid])
@@ -221,29 +305,80 @@ def _frontier(
     return prefixes, direct
 
 
-def _shard_worker(conn, build, shard_list, max_schedules, max_steps, seed, observe):
-    """Explore assigned shards in a forked child; stream results back."""
+def _fan_worker(conn, task, assigned, fault_hook, wid):
+    """Run assigned (idx, item) tasks in a forked child; stream results."""
     try:
-        for idx, prefix in shard_list:
-            ex = explore(
-                build,
-                max_schedules=max_schedules,
-                max_steps=max_steps,
-                seed=seed,
-                observe=observe,
-                prefix=prefix,
-            )
-            conn.send(
-                (idx, [_sanitize_outcome(o) for o in ex.outcomes], ex.complete)
-            )
-        conn.send(None)  # all assigned shards done
+        for idx, item in assigned:
+            if fault_hook is not None:
+                fault_hook(wid, idx)
+            conn.send((idx, task(idx, item)))
+        conn.send(None)  # all assigned items done
     except Exception:
-        pass  # parent re-runs missing shards serially
+        pass  # parent recomputes missing items serially
     finally:
         try:
             conn.close()
         except OSError:
             pass
+
+
+def _fan_out(
+    task: Callable[[int, Any], Any],
+    items: Sequence[Any],
+    workers: Optional[int],
+    fault_hook: Optional[Callable[[int, int], None]] = None,
+) -> Dict[int, Any]:
+    """Compute ``task(idx, item)`` for every item, across forked workers
+    when possible.
+
+    The fault-tolerance contract mirrors ``harness/parallel.py``: a
+    worker that dies (or raises) simply leaves its unfinished items
+    unreported, and the parent recomputes exactly those serially —
+    results are a function of ``(task, items)`` alone, never of worker
+    count or timing.  ``fault_hook(worker_id, item_idx)`` is called in
+    the worker before each item (crash-injection point for tests).
+    """
+    results: Dict[int, Any] = {}
+    use_processes = (
+        workers is not None
+        and workers > 1
+        and len(items) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if use_processes:
+        ctx = multiprocessing.get_context("fork")
+        n_workers = min(workers, len(items))
+        assignments: List[List[Tuple[int, Any]]] = [[] for _ in range(n_workers)]
+        for idx, item in enumerate(items):
+            assignments[idx % n_workers].append((idx, item))
+        procs = []
+        for wid, assigned in enumerate(assignments):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_fan_worker,
+                args=(child_conn, task, assigned, fault_hook, wid),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            procs.append((proc, parent_conn))
+        for proc, conn in procs:
+            try:
+                while True:
+                    msg = conn.recv()
+                    if msg is None:
+                        break
+                    idx, payload = msg
+                    results[idx] = payload
+            except (EOFError, OSError):
+                pass  # crashed worker; its items fall through to serial
+            finally:
+                proc.join()
+                conn.close()
+    for idx, item in enumerate(items):
+        if idx not in results:
+            results[idx] = task(idx, item)
+    return results
 
 
 def explore_sharded(
@@ -276,60 +411,22 @@ def explore_sharded(
     """
     shards, direct = _frontier(build, shard_depth, max_steps, seed, observe)
     direct = [_sanitize_outcome(o) for o in direct]
-    results: dict = {}
 
-    use_processes = (
-        workers is not None
-        and workers > 1
-        and len(shards) > 1
-        and "fork" in multiprocessing.get_all_start_methods()
-    )
-    if use_processes:
-        ctx = multiprocessing.get_context("fork")
-        n_workers = min(workers, len(shards))
-        assignments: List[List[Tuple[int, List[int]]]] = [
-            [] for _ in range(n_workers)
-        ]
-        for idx, prefix in enumerate(shards):
-            assignments[idx % n_workers].append((idx, prefix))
-        procs = []
-        for shard_list in assignments:
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            proc = ctx.Process(
-                target=_shard_worker,
-                args=(child_conn, build, shard_list, max_schedules, max_steps, seed, observe),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            procs.append((proc, parent_conn))
-        for proc, conn in procs:
-            try:
-                while True:
-                    msg = conn.recv()
-                    if msg is None:
-                        break
-                    idx, outcomes, complete = msg
-                    results[idx] = Exploration(outcomes=outcomes, complete=complete)
-            except (EOFError, OSError):
-                pass  # crashed worker; its shards fall through to serial
-            finally:
-                proc.join()
-                conn.close()
-    for idx, prefix in enumerate(shards):
-        if idx not in results:
-            ex = explore(
-                build,
-                max_schedules=max_schedules,
-                max_steps=max_steps,
-                seed=seed,
-                observe=observe,
-                prefix=prefix,
-            )
-            results[idx] = Exploration(
-                outcomes=[_sanitize_outcome(o) for o in ex.outcomes],
-                complete=ex.complete,
-            )
+    def task(idx: int, prefix: List[int]) -> Exploration:
+        ex = explore(
+            build,
+            max_schedules=max_schedules,
+            max_steps=max_steps,
+            seed=seed,
+            observe=observe,
+            prefix=prefix,
+        )
+        return Exploration(
+            outcomes=[_sanitize_outcome(o) for o in ex.outcomes],
+            complete=ex.complete,
+        )
+
+    results = _fan_out(task, shards, workers)
     shard_results = [results[i] for i in range(len(shards))]
     shard_results.append(Exploration(outcomes=direct, complete=True))
     return merge_shards(shard_results)

@@ -34,6 +34,7 @@ Key mechanics:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import heapq
 import itertools
 import math
@@ -964,3 +965,73 @@ class Kernel:
             breakpoint_stats=self.engine.snapshot(),
             threads=list(self.threads),
         )
+
+    def state_signature(self) -> str:
+        """Process-portable digest of scheduling-visible kernel state.
+
+        Covers the clock, step count, RNG state, every thread's
+        lifecycle (state, wake epoch, held locks, what it waits on),
+        pending timers, and the state keys of synchronisation primitives
+        reachable from threads.  Two kernels that executed the same
+        choice sequence produce the same signature *in any process* —
+        identities are ``uid``/``tid`` based, never ``id()`` based — so
+        the snapshot executor can prove a restored run ended in the
+        state a full replay reaches (``RunRecord.signature``).
+
+        It is a fidelity check, not a full heap dump: application state
+        held in plain Python objects is outside the kernel's view (the
+        differential batteries compare it via ``observe`` snapshots and
+        traces instead).
+        """
+        prims: Dict[int, Any] = {}
+
+        def note(obj: Any) -> Any:
+            if isinstance(obj, SimThread):
+                return ("SimThread", obj.tid)
+            key = getattr(obj, "state_key", None)
+            if key is None:
+                return type(obj).__name__
+            prims[obj.uid] = obj
+            return (type(obj).__name__, obj.uid)
+
+        threads = tuple(
+            (
+                t.tid,
+                t.name,
+                t.state.name,
+                t.wake_epoch,
+                t.steps,
+                t.daemon,
+                tuple(note(lk) for lk in t.held_locks),
+                note(t.waiting_on) if t.waiting_on is not None else None,
+            )
+            for t in self.threads
+        )
+        timers = tuple(
+            (when, seq, thread.tid, epoch, kind)
+            for when, seq, thread, epoch, kind, _payload in sorted(
+                self._timers, key=lambda e: (e[0], e[1])
+            )
+        )
+        body = repr(
+            (
+                self.step,
+                self.now,
+                self.ctx_switches,
+                self.rng.getstate(),
+                threads,
+                timers,
+                tuple(prims[uid].state_key() for uid in sorted(prims)),
+                tuple(
+                    sorted(
+                        (name, repr(stats))
+                        for name, stats in self.engine.snapshot().items()
+                    )
+                ),
+                self._limit_hit,
+                self._stalled,
+                self._deadlock is not None,
+                len(self.failures),
+            )
+        )
+        return hashlib.sha1(body.encode()).hexdigest()

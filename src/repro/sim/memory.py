@@ -55,6 +55,12 @@ class SharedCell:
         """Unobserved write for setup code outside simulated threads."""
         self.value = value
 
+    def state_key(self) -> tuple:
+        """Process-portable structural state (``repr`` of the value, so
+        cells holding plain data compare across processes; cells holding
+        custom objects need those objects' reprs to be stable)."""
+        return ("SharedCell", self.uid, self.name, repr(self.value))
+
     def __repr__(self) -> str:
         return f"SharedCell({self.name!r}={self.value!r})"
 
@@ -94,6 +100,14 @@ class SharedArray:
     def snapshot(self) -> List[Any]:
         """Unobserved copy of all values (for oracles)."""
         return [c.value for c in self.cells]
+
+    def state_key(self) -> tuple:
+        return (
+            "SharedArray",
+            self.uid,
+            self.name,
+            tuple(c.state_key() for c in self.cells),
+        )
 
     def __repr__(self) -> str:
         return f"SharedArray({self.name!r}, len={len(self.cells)})"

@@ -52,6 +52,11 @@ __all__ = [
 _ids = itertools.count(1)
 
 
+def _waiter_tids(waiters: List[Any]) -> tuple:
+    """Tids of queued waiters, in queue order (for ``state_key``)."""
+    return tuple(getattr(w, "tid", None) for w in waiters)
+
+
 class SimLock:
     """A non-reentrant mutex.
 
@@ -82,6 +87,18 @@ class SimLock:
     def locked(self) -> bool:
         """Non-blocking inspection (no scheduling point)."""
         return self.owner is not None
+
+    def state_key(self) -> tuple:
+        """Process-portable structural state (uids/tids, no ``id()``),
+        folded into :meth:`repro.sim.Kernel.state_signature`."""
+        return (
+            type(self).__name__,
+            self.uid,
+            self.name,
+            self.owner.tid if self.owner is not None else None,
+            self.count,
+            _waiter_tids(self.waiters),
+        )
 
     def __repr__(self) -> str:
         o = self.owner.name if self.owner is not None else None
@@ -151,6 +168,15 @@ class SimCondition:
     def notify_all(self, loc: Optional[str] = None):
         yield Notify(self, None, loc=loc)
 
+    def state_key(self) -> tuple:
+        return (
+            "SimCondition",
+            self.uid,
+            self.name,
+            self.lock.uid,
+            _waiter_tids(self.waiters),
+        )
+
     def __repr__(self) -> str:
         return f"SimCondition({self.name!r}, waiters={len(self.waiters)})"
 
@@ -173,6 +199,15 @@ class SimSemaphore:
     def release(self, loc: Optional[str] = None):
         yield ReleaseSem(self, loc=loc)
 
+    def state_key(self) -> tuple:
+        return (
+            "SimSemaphore",
+            self.uid,
+            self.name,
+            self.value,
+            _waiter_tids(self.waiters),
+        )
+
     def __repr__(self) -> str:
         return f"SimSemaphore({self.name!r}, value={self.value})"
 
@@ -194,6 +229,17 @@ class SimBarrier:
         """``idx = yield from barrier.wait()`` — arrival index 0..parties-1."""
         idx = yield BarrierWait(self, loc=loc)
         return idx
+
+    def state_key(self) -> tuple:
+        return (
+            "SimBarrier",
+            self.uid,
+            self.name,
+            self.parties,
+            self.count,
+            self.generation,
+            _waiter_tids(self.waiters),
+        )
 
     def __repr__(self) -> str:
         return f"SimBarrier({self.name!r}, {self.count}/{self.parties})"
@@ -220,6 +266,15 @@ class SimEvent:
 
     def is_set(self) -> bool:
         return self.flag
+
+    def state_key(self) -> tuple:
+        return (
+            "SimEvent",
+            self.uid,
+            self.name,
+            self.flag,
+            _waiter_tids(self.waiters),
+        )
 
     def __repr__(self) -> str:
         return f"SimEvent({self.name!r}, set={self.flag})"
@@ -261,6 +316,18 @@ class SimQueue:
         yield from self.not_full.notify(loc=loc)
         yield from self.mutex.release(loc=loc)
         return item
+
+    def state_key(self) -> tuple:
+        return (
+            "SimQueue",
+            self.uid,
+            self.name,
+            self.maxsize,
+            len(self.items),
+            self.mutex.state_key(),
+            self.not_empty.state_key(),
+            self.not_full.state_key(),
+        )
 
     def __repr__(self) -> str:
         return f"SimQueue({self.name!r}, size={len(self.items)})"

@@ -21,7 +21,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from .trace import OP, Event, Trace
 
-__all__ = ["render_timeline", "around_breakpoints"]
+__all__ = ["render_timeline", "render_choice_path", "around_breakpoints"]
 
 _VALUE_OPS = {OP.READ, OP.WRITE}
 _SKIP_BY_DEFAULT = {OP.FORK, OP.SLEEP}
@@ -87,6 +87,35 @@ def render_timeline(
             break
     header = "  ".join(f"[{names[tid]}]" for tid in lanes)
     return f"lanes: {header}\n" + "\n".join(lines)
+
+
+def render_choice_path(
+    choices: Sequence[int],
+    runnable_sets: Optional[Sequence[Sequence[int]]] = None,
+    limit: int = 24,
+) -> str:
+    """One-line rendering of a scheduling-choice witness.
+
+    Explorer outcomes identify a schedule by its choice tuple; this
+    prints it compactly for the ``repro explore`` CLI, marking the real
+    branch points (``!`` where more than one thread was runnable) when
+    the runnable sets are available::
+
+        tid 0 0 1!0 1! ... (+12 more)
+
+    The choice tuple is directly replayable via ``explore(prefix=...)``
+    or a forced-prefix scheduler.
+    """
+    parts = []
+    for d, tid in enumerate(choices[:limit]):
+        branchy = (
+            runnable_sets is not None
+            and d < len(runnable_sets)
+            and len(runnable_sets[d]) > 1
+        )
+        parts.append(f"{tid}!" if branchy else str(tid))
+    tail = f" ... (+{len(choices) - limit} more)" if len(choices) > limit else ""
+    return "tid " + " ".join(parts) + tail
 
 
 def around_breakpoints(trace: Trace, context: int = 5) -> List[Event]:

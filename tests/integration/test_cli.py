@@ -194,3 +194,40 @@ class TestMetricsOutFlag:
         snap = json.loads(metrics.read_text())
         # Many sweeps fold into one ambient registry.
         assert snap["harness.trials"]["value"] > 2
+
+
+class TestExplore:
+    def test_plain_exploration(self, capsys):
+        assert run_cli("explore", "figure4", "--max-schedules", "12") == 0
+        out = capsys.readouterr().out
+        assert "schedules" in out and "bug hit" in out
+
+    def test_dpor_with_sleep_sets(self, capsys):
+        assert run_cli("explore", "bank", "lost_update", "--dpor",
+                       "--sleep-sets", "--max-schedules", "2000") == 0
+        out = capsys.readouterr().out
+        assert "sleep-set prunes" in out
+        assert "complete" in out
+
+    def test_dpor_sharded_workers(self, capsys):
+        assert run_cli("explore", "bank", "lost_update", "--dpor",
+                       "--sleep-sets", "--workers", "2",
+                       "--max-schedules", "2000") == 0
+        out = capsys.readouterr().out
+        assert "dpor" in out
+
+    def test_snapshot_pool_reported(self, capsys):
+        assert run_cli("explore", "figure4", "--snapshots",
+                       "--max-schedules", "12") == 0
+        out = capsys.readouterr().out
+        assert "fork pool" in out
+
+    def test_timed_app_rejected_for_dpor(self, capsys):
+        assert run_cli("explore", "figure4", "--dpor") == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_sleep_sets_require_dpor(self, capsys):
+        assert run_cli("explore", "bank", "--sleep-sets") == 2
+
+    def test_unknown_bug_is_an_error(self, capsys):
+        assert run_cli("explore", "bank", "nope") == 2

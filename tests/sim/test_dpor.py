@@ -136,3 +136,47 @@ def test_dpor_outcome_coverage_property(spec):
     if full.complete and reduced.complete:
         assert {o.observed for o in full.outcomes} == {o.observed for o in reduced.outcomes}
         assert reduced.count <= full.count
+
+@settings(max_examples=15, deadline=None)
+@given(
+    spec=st.lists(
+        st.lists(st.tuples(st.integers(0, 1), st.integers(1, 2)), min_size=1, max_size=2),
+        min_size=2,
+        max_size=3,
+    )
+)
+def test_sleep_set_coverage_property(spec):
+    """Sleep sets only prune redundant interleavings: for random small
+    programs the behaviour set matches plain DPOR and the schedule
+    count never grows."""
+
+    def make():
+        holder = {}
+
+        def build(kernel):
+            cells = [SharedCell(0, name=f"c{i}") for i in range(2)]
+            holder["cells"] = cells
+
+            def body(regions):
+                for cell_idx, incs in regions:
+                    for _ in range(incs):
+                        v = yield from cells[cell_idx].get()
+                        yield from cells[cell_idx].set(v + 1)
+
+            for regions in spec:
+                kernel.spawn(body, regions)
+
+        return build, holder
+
+    build, holder = make()
+    plain, plain_stats = explore_dpor(
+        build, max_schedules=5000,
+        observe=lambda k: tuple(c.peek() for c in holder["cells"]))
+    build, holder = make()
+    slept, slept_stats = explore_dpor(
+        build, max_schedules=5000, sleep_sets=True,
+        observe=lambda k: tuple(c.peek() for c in holder["cells"]))
+    if plain.complete and slept.complete:
+        assert {o.observed for o in slept.outcomes} == {o.observed for o in plain.outcomes}
+        assert slept_stats.schedules <= plain_stats.schedules
+        assert slept_stats.schedules + slept_stats.sleep_set_prunes >= slept.count
