@@ -5,7 +5,8 @@ TRIALS ?= 100
 # -1 = one worker per CPU
 WORKERS ?= -1
 
-.PHONY: install test test-par lint bench bench-par bench-explore report examples all
+.PHONY: install test test-par lint docstrings serve-smoke bench bench-par \
+	bench-explore bench-svc report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -24,6 +25,15 @@ test-par:
 lint:
 	$(PYTHON) -m ruff check src tests benchmarks examples
 
+# Docstring-coverage gate on the library (ast-based, stdlib-only).
+docstrings:
+	$(PYTHON) tools/check_docstrings.py
+
+# End-to-end service smoke: start the daemon, submit a job, scrape
+# /metrics, SIGTERM, assert a clean drain (same sequence as CI).
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
+
 bench:
 	REPRO_TRIALS=$(TRIALS) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
@@ -39,6 +49,11 @@ bench-explore:
 	REPRO_WORKERS=$(WORKERS) $(PYTHON) -m pytest \
 	    benchmarks/bench_exploration.py benchmarks/bench_explore_scaling.py \
 	    --benchmark-only -s --benchmark-json=bench-explore.json
+
+# Service scaling gate: 8 concurrent clients vs 8 sequential CLI runs.
+bench-svc:
+	$(PYTHON) -m pytest benchmarks/bench_svc_throughput.py \
+	    --benchmark-only -s
 
 report:
 	$(PYTHON) -m repro report --trials $(TRIALS) --out results.md

@@ -1,0 +1,123 @@
+"""Supplementary — reproduction-service throughput vs. sequential CLI.
+
+``repro serve`` exists so that many reproduction jobs can share one
+warm daemon instead of each paying a fresh interpreter start and then
+running alone.  This bench quantifies that: the same eight breakpoint
+trial jobs are run (a) as eight sequential ``python -m repro run``
+subprocess invocations — the pre-daemon workflow — and (b) as eight
+concurrent clients submitting to one in-process ``ReproService`` with
+eight executor slots.  The acceptance bar from the PR is a >=2x
+throughput gain, and the scrape of ``/metrics`` at the end asserts the
+service's operational surface (queue depth gauge, job latency
+histogram) is actually populated by the run.
+
+Because the service is a transport and not a semantics, the bench also
+checks every concurrently-produced result against the direct library
+call — the differential contract, held under load.
+"""
+
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.apps import get_app
+from repro.harness import run_trials
+from repro.sim.snapshot import fork_available
+
+from conftest import emit
+
+#: One job's worth of work, identical across CLI, service, and direct.
+APP, BUG, TRIALS_PER_JOB, TIMEOUT = "figure4", "error1", 5, 0.2
+JOBS = 8
+
+
+def _sequential_cli():
+    """Eight one-shot CLI invocations, run back to back."""
+    argv = [
+        sys.executable, "-m", "repro", "run", APP, BUG,
+        "--trials", str(TRIALS_PER_JOB), "--timeout", str(TIMEOUT),
+    ]
+    t0 = time.perf_counter()
+    for _ in range(JOBS):
+        proc = subprocess.run(argv, capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert f"reproduced {TRIALS_PER_JOB}/{TRIALS_PER_JOB}" in proc.stdout
+    return time.perf_counter() - t0
+
+
+def _concurrent_service():
+    """Eight clients hammering one daemon, one thread per client."""
+    from repro.svc import ReproClient, ReproService
+
+    results = [None] * JOBS
+    with ReproService(slots=JOBS, queue_size=2 * JOBS) as svc:
+
+        def one_client(i):
+            client = ReproClient(svc.address)
+            results[i] = client.run_trials(
+                APP, bug=BUG, n=TRIALS_PER_JOB, timeout=TIMEOUT
+            )
+
+        t0 = time.perf_counter()
+        threads = [
+            threading.Thread(target=one_client, args=(i,)) for i in range(JOBS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+        snapshot = ReproClient(svc.address).metrics()
+    return elapsed, results, snapshot
+
+
+def test_service_throughput_vs_sequential_cli(benchmark):
+    if not fork_available():
+        pytest.skip("the service executor forks job children")
+
+    def experiment():
+        cli_elapsed = _sequential_cli()
+        svc_elapsed, results, snapshot = _concurrent_service()
+        return cli_elapsed, svc_elapsed, results, snapshot
+
+    cli_elapsed, svc_elapsed, results, snapshot = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    cli_rate = JOBS / cli_elapsed
+    svc_rate = JOBS / svc_elapsed
+    speedup = svc_rate / cli_rate
+    benchmark.extra_info["cli_jobs_per_sec"] = round(cli_rate, 2)
+    benchmark.extra_info["svc_jobs_per_sec"] = round(svc_rate, 2)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+    emit(
+        "Service — throughput, 8 concurrent clients vs 8 sequential CLI runs",
+        "\n".join(
+            [
+                f"{'sequential CLI':>24}: {JOBS} jobs in {cli_elapsed:.2f}s "
+                f"({cli_rate:.2f} jobs/sec)",
+                f"{'repro.svc, 8 slots':>24}: {JOBS} jobs in {svc_elapsed:.2f}s "
+                f"({svc_rate:.2f} jobs/sec)",
+                f"{'speedup':>24}: {speedup:.1f}x",
+            ]
+        ),
+    )
+
+    # The acceptance bar: a warm shared daemon beats fork-and-forget CLI.
+    assert speedup >= 2.0, f"service speedup {speedup:.2f}x below the 2x bar"
+
+    # The differential contract, held under concurrency.
+    direct = run_trials(
+        get_app(APP), n=TRIALS_PER_JOB, bug=BUG, timeout=TIMEOUT
+    )
+    for remote in results:
+        assert remote == direct
+
+    # The operational surface the run was supposed to populate.
+    assert "svc.queue.depth" in snapshot
+    assert snapshot["svc.job_latency_seconds"]["type"] == "histogram"
+    assert snapshot["svc.job_latency_seconds"]["count"] == JOBS
+    assert snapshot["svc.jobs.completed"]["value"] == JOBS

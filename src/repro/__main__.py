@@ -15,7 +15,15 @@ Commands:
   observability subsystem and print the metrics registry as JSON;
 * ``export-trace APP`` — record one run and export its trace as Chrome
   trace-event JSON (Perfetto-loadable) or replayable JSONL
-  (``--seed``, ``--bug``, ``--format chrome|jsonl``, ``--out``).
+  (``--seed``, ``--bug``, ``--format chrome|jsonl``, ``--out``);
+* ``serve`` — run the reproduction daemon (``repro.svc``): accept trial
+  and exploration jobs over local HTTP/JSON, with a bounded queue,
+  ``/health`` + ``/metrics`` endpoints, and graceful SIGTERM drain
+  (``--port``, ``--slots``, ``--queue-size``, ``--job-timeout``,
+  ``--port-file``);
+* ``submit APP [BUG]`` — submit one job to a running daemon and print
+  the result exactly like the corresponding local command
+  (``--server``, ``--kind trials|explore``, ``--trials``, ``--seed``).
 
 Multi-trial commands accept ``--workers N`` (0 = serial, the default;
 ``-1`` = one worker per CPU) to fan the seeded trials over a process
@@ -135,6 +143,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def main(argv=None) -> int:
+    """Parse ``argv`` and dispatch to the selected subcommand."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Concurrent Breakpoints reproduction (Park & Sen, PPoPP 2012)",
@@ -215,6 +224,42 @@ def main(argv=None) -> int:
     ex_p.add_argument("--out", default=None, metavar="FILE",
                       help="write the export here instead of stdout")
 
+    srv_p = sub.add_parser("serve", help="run the reproduction-as-a-service daemon")
+    srv_p.add_argument("--host", default="127.0.0.1")
+    srv_p.add_argument("--port", type=int, default=8642,
+                       help="TCP port (0 = ephemeral; see --port-file)")
+    srv_p.add_argument("--slots", type=int, default=2, metavar="N",
+                       help="concurrent job executor slots")
+    srv_p.add_argument("--queue-size", type=int, default=16, metavar="N",
+                       help="bounded queue capacity (full = 503 + Retry-After)")
+    srv_p.add_argument("--job-timeout", type=float, default=None, metavar="SECONDS",
+                       help="default per-job wall-clock budget")
+    srv_p.add_argument("--max-job-retries", type=int, default=1, metavar="N",
+                       help="extra attempts for a job whose worker crashed")
+    srv_p.add_argument("--port-file", default=None, metavar="FILE",
+                       help="write the bound port here once listening")
+
+    sb_p = sub.add_parser("submit", help="submit one job to a running daemon")
+    sb_p.add_argument("app")
+    sb_p.add_argument("bug", nargs="?", default=None)
+    sb_p.add_argument("--server", default="http://127.0.0.1:8642", metavar="URL",
+                      help="daemon address (see 'repro serve')")
+    sb_p.add_argument("--kind", choices=("trials", "explore"), default="trials")
+    sb_p.add_argument("--trials", type=int, default=100)
+    sb_p.add_argument("--seed", type=int, default=0)
+    sb_p.add_argument("--timeout", type=float, default=0.1, help="pause time T (s)")
+    sb_p.add_argument("--no-bp", action="store_true", help="run without breakpoints")
+    sb_p.add_argument("--dpor", action="store_true",
+                      help="exploration jobs: dynamic partial-order reduction")
+    sb_p.add_argument("--sleep-sets", action="store_true",
+                      help="exploration jobs: sleep-set pruning (requires --dpor)")
+    sb_p.add_argument("--max-schedules", type=int, default=2000, metavar="K")
+    sb_p.add_argument("--job-timeout", type=float, default=None, metavar="SECONDS",
+                      help="per-job wall-clock budget")
+    sb_p.add_argument("--wait-timeout", type=float, default=None, metavar="SECONDS",
+                      help="give up waiting for the result after this long")
+    _add_parallel_flags(sb_p)
+
     an_p = sub.add_parser("analyze", help="run all detectors over one traced execution")
     an_p.add_argument("app")
     an_p.add_argument("--bug", default=None, help="activate a bug's breakpoints during the run")
@@ -256,7 +301,92 @@ def main(argv=None) -> int:
         return _cmd_explore(args)
     if args.command == "export-trace":
         return _cmd_export_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     return _cmd_table(args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.svc import ReproService, serve_forever
+
+    service = ReproService(
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        slots=args.slots,
+        job_timeout=args.job_timeout,
+        max_job_retries=args.max_job_retries,
+    ).start()
+    return serve_forever(service, port_file=args.port_file)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.svc import JobFailed, JobSpec, ReproClient, ServiceError
+
+    client = ReproClient(args.server)
+    bug = None if getattr(args, "no_bp", False) else args.bug
+    if args.kind == "trials":
+        spec = JobSpec(
+            kind="trials", app=args.app, bug=bug, trials=args.trials,
+            timeout=args.timeout, base_seed=args.seed,
+            workers=max(0, getattr(args, "workers", 0)),
+            trial_timeout=args.trial_timeout, job_timeout=args.job_timeout,
+        )
+    else:
+        spec = JobSpec(
+            kind="explore", app=args.app, bug=bug, dpor=args.dpor,
+            sleep_sets=args.sleep_sets, max_schedules=args.max_schedules,
+            seed=args.seed, timeout=args.timeout,
+            workers=max(0, getattr(args, "workers", 0)),
+            job_timeout=args.job_timeout,
+        )
+    try:
+        job_id = client.submit(spec)
+        record = client.wait(job_id, timeout=args.wait_timeout)
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.server}: {exc}")
+        return 2
+    except JobFailed as exc:
+        print(f"error: {exc}")
+        return 3
+    except ServiceError as exc:
+        print(f"error: {exc}")
+        return 2
+    result = record["result"]
+    if result["type"] == "trials":
+        from repro.svc import stats_from_wire
+
+        stats = stats_from_wire(result)
+        print(
+            f"{args.app}/{args.bug}: reproduced {stats.bug_hits}/{stats.trials} "
+            f"(bp hit rate {stats.bp_hit_rate:.2f}, mean runtime {stats.mean_runtime:.4f}s"
+            + (f", MTTE {stats.mtte:.3f}s)" if stats.mtte is not None else ")")
+        )
+        for f in stats.failures:
+            print(f"  seed {f.seed}: {f.kind} after {f.attempts} attempt(s) {f.message}")
+    else:
+        coverage = "complete" if result["complete"] else "capped"
+        print(f"{args.app}" + (f"/{args.bug}" if bug else "") + ":")
+        print(f"  schedules      : {result['schedules']} explored "
+              f"({coverage}, {result['pool_mode']} pool)")
+        print(
+            f"  bug hit        : {result['hits']}/{result['schedules']} schedules "
+            f"(fraction {result['hit_fraction']:.4f}, "
+            f"weighted {result['hit_probability']:.4f})"
+        )
+        if result["dpor"] is not None:
+            st = result["dpor"]
+            print(
+                f"  dpor           : {st['branches_added']} branches, "
+                f"{st['conservative_fallbacks']} fallbacks, "
+                f"{st['sleep_set_prunes']} sleep-set prunes, "
+                f"{st['executed_steps']} steps executed"
+            )
+    print(f"  job            : {record['id']} ({record['attempts']} attempt(s), "
+          f"{record['latency_seconds']:.2f}s end-to-end)")
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -416,7 +546,13 @@ def _cmd_export_trace(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.detect import analyze
 
+    if args.app not in ALL_APPS:
+        print(f"error: unknown app {args.app!r}; known: {sorted(ALL_APPS)}")
+        return 2
     cls = get_app(args.app)
+    if args.bug is not None and args.bug not in cls.bugs:
+        print(f"error: {args.app} has no bug {args.bug!r}; known: {list(cls.bugs)}")
+        return 2
     app = cls(AppConfig(bug=args.bug))
     run = app.run(seed=args.seed, record_trace=True)
     report = analyze(run.result.trace)

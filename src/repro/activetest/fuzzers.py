@@ -39,6 +39,7 @@ class FuzzReport:
     confirmed: List[Confirmation]
 
     def summary(self) -> str:
+        """One-line confirmed/total line for the printed session."""
         return f"{len(self.candidates)} candidate(s), {len(self.confirmed)} confirmed"
 
     def to_suite(self, bug_id: str, program: str = "", timeout: float = 0.100):
@@ -119,6 +120,7 @@ class RaceFuzzer(_FuzzerBase):
     kind = "race"
 
     def predict(self, trace) -> List[BugReport]:
+        """Collect lockset race reports from the traced run."""
         return list(eraser_races(trace))
 
 
@@ -129,6 +131,7 @@ class DeadlockFuzzer(_FuzzerBase):
     kind = "deadlock"
 
     def predict(self, trace) -> List[BugReport]:
+        """Collect lock-order-graph deadlock predictions."""
         return list(potential_deadlocks(trace))
 
 
@@ -140,6 +143,7 @@ class AtomicityFuzzer(_FuzzerBase):
     kind = "atomicity"
 
     def predict(self, trace) -> List[BugReport]:
+        """Collect unserializable-interleaving reports."""
         out: List[BugReport] = []
         for rep in atomicity_violations(trace):
             out.append(

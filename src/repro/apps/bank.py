@@ -33,6 +33,8 @@ __all__ = ["BankApp"]
 
 
 class BankApp(BaseApp):
+    """Concurrent transfers with a lost-update window; the untimed DPOR subject.
+    """
     name = "bank"
     paper_loc = "-"
     horizon = 30.0
@@ -49,6 +51,7 @@ class BankApp(BaseApp):
     }
 
     def setup(self, kernel: Kernel) -> None:
+        """Spawn the transfer threads over the shared accounts."""
         tellers = self.param("tellers", 2)
         iters = self.param("iters", 3)
         amount = self.param("amount", 10)
@@ -113,6 +116,7 @@ class BankApp(BaseApp):
             kernel.spawn(teller(me, scratch), name=f"teller{me}")
 
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Check conservation of the total balance at end of run."""
         if result.deadlocked:
             return "stall"
         if self.balance.peek() != self.expected:

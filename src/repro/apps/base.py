@@ -103,9 +103,11 @@ class AppRun:
 
     @property
     def runtime(self) -> float:
+        """Virtual duration of the run."""
         return self.result.time
 
     def bp_hit(self, name: Optional[str] = None) -> bool:
+        """Did the named breakpoint (default: any of the bug's) fire?"""
         stats = self.result.breakpoint_stats
         if name is not None:
             st = stats.get(name)
@@ -305,6 +307,7 @@ class BaseApp(abc.ABC):
     # ------------------------------------------------------------------
     @classmethod
     def bug_ids(cls) -> List[str]:
+        """The app's known bug identifiers."""
         return list(cls.bugs)
 
     def __repr__(self) -> str:

@@ -93,6 +93,7 @@ class Cache4jApp(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {
             "race1": SitePolicy(bound=1),
             "race2": SitePolicy(bound=1),
@@ -106,6 +107,7 @@ class Cache4jApp(BaseApp):
     CAPACITY = 16
 
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         self.cache_lock = SimRLock("cache.segment", tag="CacheSegment")
         self.size = SharedCell(0, name="cache.size")
         self.hits = SharedCell(0, name="cache.hits")
@@ -212,6 +214,7 @@ class Cache4jApp(BaseApp):
 
     # ------------------------------------------------------------------
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         if any(sym == "stale publication" for _, sym in self.errors):
             return "stale publication"
         if self.size.peek() < self.puts_done:

@@ -55,9 +55,11 @@ class Figure4App(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {"error1": SitePolicy(bound=1)}
 
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         self.o_monitor = SimRLock("o", tag="XObject")
         self.o_x = SharedCell(0, name="o.x")
         self.error_reached = False
@@ -89,4 +91,5 @@ class Figure4App(BaseApp):
         yield from self.o_monitor.release(loc="Figure4:13")
 
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         return "ERROR" if self.error_reached else None

@@ -69,9 +69,11 @@ class HedcApp(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {"race1": SitePolicy(bound=1), "race2": SitePolicy(bound=1)}
 
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         hosts = self.param("hosts", 4)
         self.tasks = [_Task(f"host{i}") for i in range(hosts)]
         self.results = SharedCell(0, name="request.results")
@@ -149,6 +151,7 @@ class HedcApp(BaseApp):
         yield from self.results.set(merged, loc="MetaSearchRequest.java:168")
 
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         if self.cfg.bug == "race1" or self.cfg.bug is None:
             if self.stale_interrupt:
                 return "stale interrupt"

@@ -52,6 +52,7 @@ class HttpdApp(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {
             "logcorrupt1": SitePolicy(bound=1),
             "crash1:cbr1": SitePolicy(bound=1),
@@ -61,6 +62,7 @@ class HttpdApp(BaseApp):
 
     def setup(self, kernel: Kernel) -> None:
         # Access log: reserved offset cell + record table.
+        """Build shared state and spawn this subject's threads."""
         self.log_offset = SharedCell(0, name="log.offset")
         self.log_records: List[Tuple[int, str]] = []
         # Connection buffer: capacity cell + write position.
@@ -147,6 +149,7 @@ class HttpdApp(BaseApp):
 
     # ------------------------------------------------------------------
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         for f in result.failures:
             if "SIGSEGV" in str(f.exc):
                 return "server crash"

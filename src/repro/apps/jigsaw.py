@@ -71,10 +71,12 @@ class JigsawApp(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {b: SitePolicy(bound=1) for b in self.bugs}
 
     # ------------------------------------------------------------------
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         n_clients = self.param("clients", 3)
         self.factory_monitor = SimRLock("SocketClientFactory", tag="SocketClientFactory")
         self.cslist_lock = SimRLock("csList", tag="SocketClientState")
@@ -215,6 +217,7 @@ class JigsawApp(BaseApp):
 
     # ------------------------------------------------------------------
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         if result.stall_or_deadlock:
             return "stall"
         if self.cfg.bug == "race2" and self.stats.peek() < self.stats_updates:

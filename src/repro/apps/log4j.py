@@ -91,6 +91,7 @@ class Log4jApp(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {
             "missed-notify1": SitePolicy(bound=1),
             "pair_100_309": SitePolicy(bound=1),
@@ -103,6 +104,7 @@ class Log4jApp(BaseApp):
 
     # ------------------------------------------------------------------
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         self.monitor = SimRLock("AsyncAppender.buffer", tag="AsyncAppender")
         self.events_cond = SimCondition(self.monitor, name="buffer.events")
         self.buffer: List[object] = []
@@ -256,4 +258,5 @@ class Log4jApp(BaseApp):
 
     # ------------------------------------------------------------------
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         return "stall" if result.stall_or_deadlock else None

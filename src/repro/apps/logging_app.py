@@ -39,9 +39,11 @@ class LoggingApp(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {"deadlock1": SitePolicy(bound=1)}
 
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         self.logger_monitor = SimRLock("Logger", tag="Logger")
         self.handler_monitor = SimRLock("StreamHandler", tag="Handler")
         self.records_published = 0
@@ -77,4 +79,5 @@ class LoggingApp(BaseApp):
         yield from self.handler_monitor.release(loc="LogManager.java:1351")
 
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         return "stall" if result.stall_or_deadlock else None

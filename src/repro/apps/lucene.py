@@ -38,9 +38,11 @@ class LuceneApp(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {"deadlock1": SitePolicy(bound=1)}
 
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         self.writer_monitor = SimRLock("IndexWriter", tag="IndexWriter")
         self.docs_monitor = SimRLock("DocumentsWriter", tag="DocumentsWriter")
         self.docs_indexed = 0
@@ -76,4 +78,5 @@ class LuceneApp(BaseApp):
         yield from self.docs_monitor.release(loc="DocumentsWriter.java:592")
 
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         return "stall" if result.stall_or_deadlock else None

@@ -51,12 +51,14 @@ class MoldynApp(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {
             "race1": SitePolicy(bound=self.param("race1_bound", 4)),
             "race2": SitePolicy(bound=self.param("race2_bound", 10)),
         }
 
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         n_threads = self.param("threads", 2)
         self.iterations = self.param("iterations", 24)
         self.particles = self.param("particles", 64)
@@ -105,6 +107,7 @@ class MoldynApp(BaseApp):
         yield from self.barrier.wait(loc="MolDyn.java:305")
 
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         if self.epot.peek() < self.expected_epot - 1e-9:
             return "lost epot update"
         if self.vir.peek() < self.expected_vir - 1e-9:

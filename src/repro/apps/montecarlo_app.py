@@ -40,9 +40,11 @@ class MonteCarloApp(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {"race1": SitePolicy(bound=self.param("race1_bound", 10))}
 
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         self.n_threads = self.param("threads", 2)
         self.tasks_per_thread = self.param("tasks", 20)
         self.path_length = self.param("path_length", 64)
@@ -70,6 +72,7 @@ class MonteCarloApp(BaseApp):
             yield from self.results_count.set(n + 1, loc="MonteCarlo.java:122")
 
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         if self.results_count.peek() < self.expected:
             return "lost results"
         return None

@@ -49,9 +49,11 @@ class MySQL4012App(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {"logomit1:cbr1": SitePolicy(bound=1), "logomit1:cbr2": SitePolicy(bound=1)}
 
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         self.log_open = SharedCell(True, name="binlog.open")
         self.binlog: List[int] = []
         self.committed: List[int] = []
@@ -97,6 +99,7 @@ class MySQL4012App(BaseApp):
         yield from self.log_open.set(True, loc="sql/log.cc:1815")
 
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         if any(sym == "log omission" for _, sym in self.errors):
             return "log omission"
         if len(self.binlog) < len(self.committed) and self.committed:
@@ -119,9 +122,11 @@ class MySQL32356App(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {"logdisorder1": SitePolicy(bound=1)}
 
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         self.commit_seq = SharedCell(0, name="commit.seq")
         self.binlog: List[int] = []
         self.commit_order: List[int] = []
@@ -148,6 +153,7 @@ class MySQL32356App(BaseApp):
             self.binlog.append(seq)
 
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         if self.binlog != sorted(self.binlog):
             return "log disorder"
         return None
@@ -168,6 +174,7 @@ class MySQL4019App(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {
             "crash1:cbr1": SitePolicy(bound=1),
             "crash1:cbr2": SitePolicy(bound=1),
@@ -175,6 +182,7 @@ class MySQL4019App(BaseApp):
         }
 
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         self.entry_valid = SharedCell(True, name="table_cache.valid")
         self.entry_ptr = SharedCell(object(), name="table_cache.ptr")
         self.queries_served = 0
@@ -231,6 +239,7 @@ class MySQL4019App(BaseApp):
         yield from self.entry_ptr.set(None, loc="sql/sql_base.cc:1219")  # free
 
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         for f in result.failures:
             if "SIGSEGV" in str(f.exc):
                 return "server crash"

@@ -65,9 +65,11 @@ class Pbzip2App(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {"crash1:cbr1": SitePolicy(bound=1), "crash1:cbr2": SitePolicy(bound=1)}
 
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         self.fifo = _Fifo()
         self.blocks_total = self.param("blocks", 6)
         self.block_time = self.param("block_time", 0.03)
@@ -160,6 +162,7 @@ class Pbzip2App(BaseApp):
 
     # ------------------------------------------------------------------
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         for f in result.failures:
             if "SIGSEGV" in str(f.exc):
                 return "program crash"

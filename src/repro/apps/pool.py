@@ -51,9 +51,11 @@ class PoolApp(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {"missed-notify1": SitePolicy(bound=1)}
 
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         self.monitor = SimRLock("GenericObjectPool", tag="GenericObjectPool")
         self.available = SimCondition(self.monitor, name="pool.available")
         self.size = SharedCell(0, name="pool.size")  # observable fast-path cell
@@ -102,4 +104,5 @@ class PoolApp(BaseApp):
         yield from self.monitor.release(loc="GenericObjectPool.java:911")
 
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         return "stall" if result.stall_or_deadlock else None

@@ -58,9 +58,11 @@ class RayTracerApp(BaseApp):
     }
 
     def policies(self) -> Dict[str, SitePolicy]:
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {b: SitePolicy(bound=1) for b in self.bugs}
 
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         self.n_threads = self.param("threads", 2)
         self.height = self.param("height", 24)
         self.width = self.param("width", 32)
@@ -142,6 +144,7 @@ class RayTracerApp(BaseApp):
         yield from self.idle.set(i + 1, loc="RayTracer.java:611")
 
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         if abs(self.checksum.peek() - self.expected_checksum) > 1e-9:
             return "test fail"
         if self.rows_done.peek() != self.height:

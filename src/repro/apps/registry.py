@@ -73,6 +73,7 @@ ALL_APPS: Dict[str, Type[BaseApp]] = {
 
 
 def get_app(name: str) -> Type[BaseApp]:
+    """Look up a registered app class by name (KeyError if unknown)."""
     try:
         return ALL_APPS[name]
     except KeyError:

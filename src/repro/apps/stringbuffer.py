@@ -123,9 +123,11 @@ class StringBufferApp(BaseApp):
     def policies(self) -> Dict[str, SitePolicy]:
         # The violation is one-shot: once it has fired, later appends
         # must not keep pausing (Section 6.3's ``triggers < bound``).
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {"atomicity1": SitePolicy(bound=1)}
 
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         self.shared = StringBuffer("shared")
         self.shared.data = list("hello concurrent world")
         self.shared.count.poke(len(self.shared.data))
@@ -152,6 +154,7 @@ class StringBufferApp(BaseApp):
         yield from self.shared.set_length(self, 0)
 
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         if any(sym == "exception" for _, sym in self.errors):
             return "exception"
         for f in result.failures:

@@ -169,4 +169,5 @@ SUITES: Dict[Tuple[str, str], BreakpointSuite] = _make()
 
 
 def suite_for(app: str, bug: str) -> Optional[BreakpointSuite]:
+    """The declared breakpoint suite for ``app``/``bug``, or None."""
     return SUITES.get((app, bug))

@@ -66,9 +66,11 @@ class SwingApp(BaseApp):
         # Section 6.3 refinement: only pause when a BasicCaret lock is
         # held.  Run with use_policies=False to reproduce the raw Table 1
         # overhead row.
+        """Fresh per-bug Section 6.3 refinement policies."""
         return {"deadlock1": SitePolicy(require_lock_tag="BasicCaret")}
 
     def setup(self, kernel: Kernel) -> None:
+        """Build shared state and spawn this subject's threads."""
         self.repaint_monitor = SimRLock("RepaintManager", tag="RepaintManager")
         self.caret_monitor = SimRLock("BasicCaret", tag="BasicCaret")
         self._no_lock = object()  # placeholder "held lock" in plain contexts
@@ -126,4 +128,5 @@ class SwingApp(BaseApp):
         yield from self.repaint_monitor.release(loc="RepaintManager.java:710")
 
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         return "stall" if result.stall_or_deadlock else None

@@ -49,6 +49,7 @@ class SyncCollection:
         return f"Collections.java:{line}"
 
     def add(self, item):
+        """Append an item and bump the size cell, under the mutex."""
         yield from self.mutex.acquire(loc=self._loc(310))
         self.items.append(item)
         n = yield from self.size.get(loc=self._loc(310))
@@ -56,18 +57,21 @@ class SyncCollection:
         yield from self.mutex.release(loc=self._loc(310))
 
     def clear(self):
+        """Empty the collection and zero the size cell, under the mutex."""
         yield from self.mutex.acquire(loc=self._loc(330))
         self.items.clear()
         yield from self.size.set(0, loc=self._loc(330))
         yield from self.mutex.release(loc=self._loc(330))
 
     def get_size(self):
+        """Synchronized ``size()``: read the size cell under the mutex."""
         yield from self.mutex.acquire(loc=self._loc(305))
         n = yield from self.size.get(loc=self._loc(305))
         yield from self.mutex.release(loc=self._loc(305))
         return n
 
     def get_at(self, i: int):
+        """Synchronized ``get(i)``; raises IndexError past the size."""
         yield from self.mutex.acquire(loc=self._loc(320))
         try:
             n = yield from self.size.get(loc=self._loc(320))
@@ -227,6 +231,7 @@ class SynchronizedMapApp(_CollectionsAppBase):
     }
 
     def setup(self, kernel: Kernel) -> None:
+        """Spawn the map-shaped reader/mutator workload."""
         if self.cfg.bug == "deadlock1":
             super().setup(kernel)
             return
@@ -279,6 +284,7 @@ class SynchronizedMapApp(_CollectionsAppBase):
         yield from self._remove()
 
     def oracle(self, result: RunResult) -> Optional[str]:
+        """Classify the run's symptom, or None for a clean run."""
         if self.cfg.bug == "deadlock1" or (self.cfg.bug is None and result.deadlocked):
             return "stall" if result.stall_or_deadlock else None
         if any(sym == "stale read" for _, sym in self.errors):

@@ -72,6 +72,7 @@ class BreakpointStats:
 
     @property
     def hit(self) -> bool:
+        """True iff the breakpoint fired at least once."""
         return self.hits > 0
 
 
@@ -192,12 +193,14 @@ class BreakpointEngine:
 
     # ------------------------------------------------------------------
     def stats_for(self, name: str) -> BreakpointStats:
+        """The per-breakpoint stats record, created on first use."""
         st = self.stats.get(name)
         if st is None:
             st = self.stats[name] = BreakpointStats()
         return st
 
     def postponed_count(self, name: Optional[str] = None) -> int:
+        """Currently parked threads (optionally for one breakpoint)."""
         if name is not None:
             return len(self._postponed.get(name, ()))
         return sum(len(v) for v in self._postponed.values())

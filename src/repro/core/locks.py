@@ -46,12 +46,14 @@ class TrackedLock:
         self._lock = self._factory()
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire and push onto the calling thread's held-lock stack."""
         ok = self._lock.acquire(blocking, timeout)
         if ok:
             _stack().append(self)
         return ok
 
     def release(self) -> None:
+        """Release and drop the most recent holding of this lock."""
         st = _stack()
         # Remove the most recent holding of *this* lock; tolerate
         # hand-over-hand release orders.

@@ -123,12 +123,15 @@ class BTrigger(abc.ABC):
 
     # Paper-faithful camelCase aliases -------------------------------------
     def predicateLocal(self) -> bool:  # noqa: N802 - paper API
+        """Paper-spelling alias for :meth:`predicate_local`."""
         return self.predicate_local()
 
     def predicateGlobal(self, other: "BTrigger") -> bool:  # noqa: N802 - paper API
+        """Paper-spelling alias for :meth:`predicate_global`."""
         return self.predicate_global(other)
 
     def triggerHere(self, isFirstAction: bool, timeoutInMS: int) -> bool:  # noqa: N802,N803 - paper API
+        """Paper-spelling alias for :meth:`trigger_here` (timeout in ms)."""
         return self.trigger_here(isFirstAction, timeoutInMS / 1000.0)
 
     def __repr__(self) -> str:
@@ -170,11 +173,13 @@ class ConflictTrigger(BTrigger):
         self.side = side
 
     def predicate_local(self) -> bool:
+        """This thread's half: always armed once reached."""
         if self.local is not None:
             return bool(self.local())
         return True
 
     def predicate_global(self, other: BTrigger) -> bool:
+        """Joint predicate: both triggers watch the same object."""
         if not (
             self.name == other.name
             and isinstance(other, ConflictTrigger)
@@ -217,6 +222,7 @@ class DeadlockTrigger(BTrigger):
         self.lock2 = lock2
 
     def predicate_global(self, other: BTrigger) -> bool:
+        """Joint predicate: the two lock pairs form an inversion."""
         return (
             self.name == other.name
             and isinstance(other, DeadlockTrigger)
@@ -262,6 +268,7 @@ class GroupTrigger(ConflictTrigger):
         self.rank = rank
 
     def predicate_global(self, other: BTrigger) -> bool:
+        """Joint predicate over the whole ``parties``-sized party."""
         return (
             isinstance(other, GroupTrigger)
             and other.parties == self.parties
@@ -294,11 +301,13 @@ class PredicateTrigger(BTrigger):
         self._glob = glob
 
     def predicate_local(self) -> bool:
+        """Evaluate the user-supplied local half."""
         if self._local is None:
             return True
         return bool(self._local(self))
 
     def predicate_global(self, other: BTrigger) -> bool:
+        """Evaluate the user-supplied joint predicate."""
         if self.name != other.name or not isinstance(other, PredicateTrigger):
             return False
         if self._glob is None:

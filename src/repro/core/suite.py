@@ -46,10 +46,12 @@ class BreakpointEntry:
     notes: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON serialisation."""
         return dataclasses.asdict(self)
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "BreakpointEntry":
+        """Rebuild an entry from its :meth:`to_dict` form."""
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -85,6 +87,7 @@ class BreakpointSuite:
 
     # ------------------------------------------------------------------
     def add(self, entry: BreakpointEntry) -> "BreakpointSuite":
+        """Append an entry; returns self for chaining."""
         if any(e.name == entry.name for e in self.entries):
             raise ValueError(f"duplicate breakpoint name {entry.name!r}")
         self.entries.append(entry)
@@ -95,6 +98,7 @@ class BreakpointSuite:
 
     # ------------------------------------------------------------------
     def to_json(self, indent: int = 2) -> str:
+        """Serialise the suite as versioned JSON text."""
         payload = {
             "schema": _SCHEMA_VERSION,
             "bug_id": self.bug_id,
@@ -107,6 +111,7 @@ class BreakpointSuite:
 
     @classmethod
     def from_json(cls, text: str) -> "BreakpointSuite":
+        """Parse a suite from :meth:`to_json` text."""
         payload = json.loads(text)
         schema = payload.get("schema")
         if schema != _SCHEMA_VERSION:
@@ -122,11 +127,13 @@ class BreakpointSuite:
         return suite
 
     def save(self, path) -> None:
+        """Write the JSON suite to ``path``."""
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.to_json())
 
     @classmethod
     def load(cls, path) -> "BreakpointSuite":
+        """Read a suite previously written by :meth:`save`."""
         with open(path, encoding="utf-8") as fh:
             return cls.from_json(fh.read())
 

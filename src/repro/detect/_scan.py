@@ -22,6 +22,7 @@ class HeldLockTracker:
         self._held: Dict[int, List[Any]] = {}
 
     def update(self, ev: Event) -> None:
+        """Fold one trace event into the per-thread held-lock state."""
         if ev.op == OP.ACQUIRE:
             self._held.setdefault(ev.tid, []).append(ev.obj)
         elif ev.op == OP.RELEASE:

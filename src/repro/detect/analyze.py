@@ -38,6 +38,7 @@ class AnalysisReport:
 
     @property
     def total_findings(self) -> int:
+        """Total findings across all detectors."""
         return (
             len(self.lockset_races)
             + len(self.hb_races)
@@ -54,6 +55,7 @@ class AnalysisReport:
         return [*self.lockset_races, *self.deadlocks, *self.atomicity]
 
     def render(self) -> str:
+        """Human-readable multi-section report text."""
         sections = [
             ("Data races (Eraser lockset)", self.lockset_races),
             ("Data races (happens-before witnesses)", self.hb_races),

@@ -44,6 +44,7 @@ class AtomizerReport:
     violation_loc: str
 
     def render(self) -> str:
+        """The CalFuzzer-style atomizer report text."""
         return (
             f"Atomicity (reduction) violation in region {self.region!r} "
             f"[{self.thread}]: pattern {self.pattern!r} is not R*[N]L* — "

@@ -74,6 +74,7 @@ class HBDetector:
 
     # ------------------------------------------------------------------
     def feed(self, trace: Trace) -> "HBDetector":
+        """Consume a trace into the happens-before state; returns self."""
         for ev in trace:
             op = ev.op
             if op == OP.READ or op == OP.WRITE:

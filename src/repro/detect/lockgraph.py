@@ -32,6 +32,7 @@ class LockGraph:
         self._witnesses: Dict[Tuple[Any, Any], Set[Tuple[str, str]]] = {}
 
     def feed(self, trace: Trace) -> "LockGraph":
+        """Consume a trace's lock events into the order graph; returns self."""
         tracker = HeldLockTracker()
         for ev in trace:
             if ev.op == OP.ACQUIRE or ev.op == OP.ACQUIRE_REQ:

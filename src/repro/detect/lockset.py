@@ -57,6 +57,7 @@ class LocksetDetector:
         self.reports: List[RaceReport] = []
 
     def feed(self, trace: Trace) -> "LocksetDetector":
+        """Consume a trace's accesses into the lockset state; returns self."""
         for ev in trace:
             self._tracker.update(ev)
             if ev.op == OP.READ or ev.op == OP.WRITE:

@@ -52,12 +52,15 @@ class BugReport:
     kind: str = dataclasses.field(default="generic", init=False)
 
     def spec(self) -> CBSpec:
+        """The declarative ``(l1, l2, phi)`` breakpoint this report implies."""
         return CBSpec(self.name, self.loc1, self.loc2, kind=self.kind)
 
     def insertions(self) -> Tuple[Insertion, Insertion]:
+        """The two ``trigger_here`` lines to insert."""
         raise NotImplementedError
 
     def render(self) -> str:
+        """The CalFuzzer-style report text (Section 5 format)."""
         raise NotImplementedError
 
 
@@ -83,6 +86,7 @@ class RaceReport(BugReport):
         )
 
     def insertions(self) -> Tuple[Insertion, Insertion]:
+        """A ConflictTrigger pair at the two access sites."""
         hint = f"ref to {self.cell}"
         return (
             Insertion(self.loc1, True, "ConflictTrigger", hint),
@@ -117,6 +121,7 @@ class DeadlockReport(BugReport):
         )
 
     def insertions(self) -> Tuple[Insertion, Insertion]:
+        """A DeadlockTrigger pair at the two acquisition sites."""
         return (
             Insertion(self.loc1, True, "DeadlockTrigger", f"{self.lock1}, {self.lock2}"),
             Insertion(self.loc2, False, "DeadlockTrigger", f"{self.lock2}, {self.lock1}"),
@@ -138,9 +143,11 @@ class ContentionReport(BugReport):
         object.__setattr__(self, "kind", "contention")
 
     def render(self) -> str:
+        """The lock-contention report text."""
         return f"Lock contention:\n  {self.loc1},\n  {self.loc2}"
 
     def insertions(self) -> Tuple[Insertion, Insertion]:
+        """A ConflictTrigger pair at the two contending sites."""
         hint = f"monitor {self.lock}"
         return (
             Insertion(self.loc1, True, "ConflictTrigger", hint),
@@ -168,6 +175,7 @@ class AtomicityReport(BugReport):
         object.__setattr__(self, "kind", "atomicity")
 
     def render(self) -> str:
+        """The atomicity-violation report text."""
         p = "-".join(x[0].upper() for x in self.pattern)
         return (
             f"Atomicity violation ({p}) in region {self.region!r}:\n"
@@ -176,6 +184,7 @@ class AtomicityReport(BugReport):
         )
 
     def insertions(self) -> Tuple[Insertion, Insertion]:
+        """An AtomicityTrigger pair around the unserializable region."""
         hint = f"ref to {self.cell}"
         return (
             Insertion(self.loc_remote, True, "AtomicityTrigger", hint),

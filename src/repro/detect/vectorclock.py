@@ -21,9 +21,11 @@ class VectorClock:
         self._c: Dict[Hashable, int] = dict(clocks) if clocks else {}
 
     def copy(self) -> "VectorClock":
+        """An independent copy of this clock."""
         return VectorClock(self._c)
 
     def get(self, tid: Hashable) -> int:
+        """The component for ``tid`` (0 if never seen)."""
         return self._c.get(tid, 0)
 
     def tick(self, tid: Hashable) -> None:

@@ -17,6 +17,7 @@ __all__ = ["PaperRow1", "PaperRow2", "TABLE1", "TABLE2", "SECTION5", "SECTION62"
 
 @dataclasses.dataclass(frozen=True)
 class PaperRow1:
+    """A published Table 1 row — the paper's numbers, for comparison."""
     loc: str
     normal_runtime: Optional[float]
     bp_runtime: Optional[float]
@@ -64,6 +65,7 @@ TABLE1: Dict[Tuple[str, str], PaperRow1] = {
 
 @dataclasses.dataclass(frozen=True)
 class PaperRow2:
+    """A published Table 2 row — the paper's numbers, for comparison."""
     loc: str
     error: str
     mtte: float

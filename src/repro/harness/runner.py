@@ -123,6 +123,7 @@ class OverheadRow:
 
     @property
     def overhead_pct(self) -> float:
+        """Slowdown of the instrumented run, in percent."""
         if self.normal_runtime <= 0:
             return 0.0
         return 100.0 * (self.bp_runtime - self.normal_runtime) / self.normal_runtime

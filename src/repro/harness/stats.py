@@ -106,6 +106,7 @@ class TrialStats:
 
     @property
     def mean_runtime(self) -> float:
+        """Mean virtual runtime over successful trials."""
         return sum(self.runtimes) / len(self.runtimes) if self.runtimes else 0.0
 
     @property
@@ -116,6 +117,7 @@ class TrialStats:
         return sum(self.error_times) / len(self.error_times)
 
     def probability_ci(self) -> tuple:
+        """Wilson score interval for the reproduction probability."""
         return wilson_interval(self.bug_hits, self.trials)
 
     def __str__(self) -> str:
@@ -174,6 +176,7 @@ class TrialAggregator:
 
     # ------------------------------------------------------------------
     def add(self, outcome: TrialOutcome) -> None:
+        """Fold one trial outcome in; duplicate seeds are rejected."""
         seed = outcome.seed
         if not (self.base_seed <= seed < self.base_seed + self.n):
             raise ValueError(f"seed {seed} outside trial range")
@@ -186,6 +189,7 @@ class TrialAggregator:
             ).observe(outcome.wall_time)
 
     def add_failure(self, failure: TrialFailure) -> None:
+        """Record a failed trial (excluded from the hit counters)."""
         if failure.seed in self._outcomes or failure.seed in self._failures:
             raise ValueError(f"seed {failure.seed} reported twice")
         self._failures[failure.seed] = failure
@@ -193,9 +197,11 @@ class TrialAggregator:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
+        """Seeds not yet accounted for."""
         return self.n - len(self._outcomes) - len(self._failures)
 
     def finalize(self) -> TrialStats:
+        """Seal and return the seed-ordered TrialStats."""
         if self.pending:
             missing = [
                 s

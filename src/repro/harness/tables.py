@@ -41,6 +41,7 @@ TABLE1_CONFIG: Dict[Tuple[str, str], Dict[str, Any]] = {
 
 @dataclasses.dataclass
 class Table1Row:
+    """One measured Table 1 row."""
     app: str
     bug: str
     loc: str
@@ -54,6 +55,7 @@ class Table1Row:
     paper_overhead_pct: Optional[float]
 
     def cells(self) -> List[str]:
+        """Formatted cells for the rendered table."""
         return [
             self.app,
             self.bug,
@@ -102,6 +104,7 @@ def build_table1(n: int = 100, base_seed: int = 0, workers=None) -> List[Table1R
 
 @dataclasses.dataclass
 class Table2Row:
+    """One measured Table 2 row."""
     app: str
     bug: str
     loc: str
@@ -113,6 +116,7 @@ class Table2Row:
     paper_mtte: Optional[float]
 
     def cells(self) -> List[str]:
+        """Formatted cells for the rendered table."""
         return [
             self.app,
             self.loc,
@@ -153,6 +157,7 @@ def build_table2(n: int = 60, base_seed: int = 0, workers=None) -> List[Table2Ro
 
 @dataclasses.dataclass
 class Section5Row:
+    """One measured Section 5 resolution-order row."""
     order: str
     stall_pct: float
     bp_hit_pct: float
@@ -160,6 +165,7 @@ class Section5Row:
     paper_bp_hit_pct: int
 
     def cells(self) -> List[str]:
+        """Formatted cells for the rendered table."""
         return [
             self.order,
             f"{self.stall_pct:.0f}",
@@ -195,6 +201,7 @@ class ParamRow:
     note: str = ""
 
     def cells(self) -> List[str]:
+        """Formatted cells for the rendered table."""
         return [
             self.label,
             f"{self.probability:.2f}",

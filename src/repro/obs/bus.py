@@ -144,6 +144,7 @@ class EventBus:
         return lambda: sig._detach(fn)
 
     def topics(self) -> List[str]:
+        """Sorted names of every topic with a signal."""
         return sorted(self._signals)
 
     @property

@@ -63,12 +63,15 @@ class Counter:
         self.volatile = volatile
 
     def inc(self, n: int = 1) -> None:
+        """Add ``n`` to the count."""
         self.value += n
 
     def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict snapshot for JSON export."""
         return {"type": self.kind, "value": self.value, "volatile": self.volatile}
 
     def merge(self, other: "Counter") -> None:
+        """Fold another counter in by summing."""
         self.value += other.value
 
 
@@ -86,16 +89,20 @@ class Gauge:
         self.volatile = volatile
 
     def set(self, v: float) -> None:
+        """Overwrite the current value."""
         self.value = v
 
     def max(self, v: float) -> None:
+        """Raise the value to ``v`` if larger."""
         if v > self.value:
             self.value = v
 
     def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict snapshot for JSON export."""
         return {"type": self.kind, "value": self.value, "volatile": self.volatile}
 
     def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in by taking the maximum."""
         if other.value > self.value:
             self.value = other.value
 
@@ -128,6 +135,7 @@ class Histogram:
         self.volatile = volatile
 
     def observe(self, v: float) -> None:
+        """Count ``v`` into its bucket and the running sum."""
         self.count += 1
         self.sum += v
         for i, le in enumerate(self.buckets):
@@ -138,9 +146,11 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Exact mean of all observations (0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
     def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict snapshot (buckets, counts, count, sum)."""
         return {
             "type": self.kind,
             "buckets": list(self.buckets),
@@ -151,6 +161,7 @@ class Histogram:
         }
 
     def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in; buckets must match."""
         if other.buckets != self.buckets:
             raise ValueError(
                 f"cannot merge histogram {self.name!r}: bucket mismatch "
@@ -181,9 +192,11 @@ class MetricsRegistry:
     # Accessors
     # ------------------------------------------------------------------
     def counter(self, name: str, volatile: bool = False) -> Counter:
+        """Get or create the named counter."""
         return self._get(name, Counter, volatile=volatile)
 
     def gauge(self, name: str, volatile: bool = False) -> Gauge:
+        """Get or create the named gauge."""
         return self._get(name, Gauge, volatile=volatile)
 
     def histogram(
@@ -192,6 +205,7 @@ class MetricsRegistry:
         buckets: Optional[Sequence[float]] = None,
         volatile: bool = False,
     ) -> Histogram:
+        """Get or create the named histogram."""
         m = self._metrics.get(name)
         if m is None:
             m = self._metrics[name] = Histogram(name, buckets, volatile=volatile)
@@ -245,9 +259,11 @@ class MetricsRegistry:
         return m
 
     def get(self, name: str) -> Optional[Metric]:
+        """The named metric, or None."""
         return self._metrics.get(name)
 
     def names(self) -> List[str]:
+        """Sorted names of all registered metrics."""
         return sorted(self._metrics)
 
     def __len__(self) -> int:
@@ -267,6 +283,7 @@ class MetricsRegistry:
         return snap
 
     def to_json(self, indent: Optional[int] = 2, include_volatile: bool = True) -> str:
+        """Sorted-key JSON text of the registry snapshot."""
         return json.dumps(
             self.snapshot(include_volatile=include_volatile),
             indent=indent,
@@ -297,6 +314,7 @@ class MetricsRegistry:
 
     @classmethod
     def from_wire(cls, wire: Iterable[Tuple[str, Tuple[Any, ...]]]) -> "MetricsRegistry":
+        """Rebuild a registry from its picklable wire form."""
         reg = cls()
         reg.merge_wire(wire)
         return reg

@@ -132,6 +132,7 @@ def _jsonable(x: Any) -> Any:
 
 
 def event_to_dict(ev: Event) -> Dict[str, Any]:
+    """JSON-safe dict for one trace event."""
     return {
         "seq": ev.seq,
         "step": ev.step,
@@ -156,6 +157,7 @@ def _untuple(x: Any) -> Any:
 
 
 def event_from_dict(d: Dict[str, Any], seq: int) -> Event:
+    """Rebuild a trace event from :func:`event_to_dict` output."""
     ref = d.get("obj")
     obj = TraceObjRef(ref["kind"], ref.get("name")) if ref else None
     return Event(
@@ -184,6 +186,7 @@ def trace_to_jsonl(trace: Trace, meta: Optional[Dict[str, Any]] = None) -> str:
 
 
 def dump_jsonl(trace: Trace, path: str, meta: Optional[Dict[str, Any]] = None) -> None:
+    """Write the versioned JSONL trace file (header + one event/line)."""
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(trace_to_jsonl(trace, meta))
 
@@ -197,6 +200,7 @@ class LoadedTrace:
         self.schema = schema
 
     def replayable(self) -> bool:
+        """Does the header carry the recorded schedule?"""
         return all(k in self.meta for k in ("app", "seed", "schedule"))
 
 
@@ -319,6 +323,7 @@ def dump_chrome(
     process_name: str = "repro-sim",
     meta: Optional[Dict[str, Any]] = None,
 ) -> None:
+    """Write the Chrome trace-event JSON rendering of a trace."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(to_chrome_trace(trace, process_name, meta), fh, sort_keys=True)
 

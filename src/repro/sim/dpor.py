@@ -115,6 +115,7 @@ _TIMED_OPS = {OP.SLEEP}
 
 @dataclasses.dataclass
 class DporStats:
+    """Counters describing one DPOR exploration walk."""
     schedules: int
     branches_added: int
     conservative_fallbacks: int

@@ -64,9 +64,11 @@ class Exploration:
 
     @property
     def count(self) -> int:
+        """Number of explored schedules."""
         return len(self.outcomes)
 
     def matching(self, pred: Callable[[Outcome], bool]) -> List[Outcome]:
+        """Outcomes whose observation satisfies ``pred``."""
         return [o for o in self.outcomes if pred(o)]
 
     def probability(self, pred: Callable[[Outcome], bool], weighted: bool = False) -> float:

@@ -107,10 +107,12 @@ class RunResult:
         return self.deadlocked or self.stalled
 
     def breakpoint_hit(self, name: str) -> bool:
+        """Did the named breakpoint fire in this run?"""
         st = self.breakpoint_stats.get(name)
         return bool(st and st.hits > 0)
 
     def summary(self) -> str:
+        """One-line human summary of the run."""
         status = (
             "ok"
             if self.ok

@@ -86,10 +86,12 @@ class SharedArray:
         return len(self.cells)
 
     def get(self, index: int, loc: Optional[str] = None):
+        """Observable read of cell ``index`` (generator syscall)."""
         v = yield from self.cells[index].get(loc=loc)
         return v
 
     def set(self, index: int, value: Any, loc: Optional[str] = None):
+        """Observable write of cell ``index`` (generator syscall)."""
         yield from self.cells[index].set(value, loc=loc)
 
     def add(self, index: int, delta: Any, loc: Optional[str] = None):
@@ -102,6 +104,7 @@ class SharedArray:
         return [c.value for c in self.cells]
 
     def state_key(self) -> tuple:
+        """Hashable state summary for exploration hashing."""
         return (
             "SharedArray",
             self.uid,

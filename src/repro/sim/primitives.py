@@ -126,9 +126,11 @@ class SimCondition:
         self.waiters: List[Any] = []
 
     def acquire(self, loc: Optional[str] = None):
+        """Acquire the condition's lock (generator syscall)."""
         return (yield from self.lock.acquire(loc=loc))
 
     def release(self, loc: Optional[str] = None):
+        """Release the condition's lock."""
         yield from self.lock.release(loc=loc)
 
     def wait(self, timeout: Optional[float] = None, loc: Optional[str] = None):
@@ -166,9 +168,11 @@ class SimCondition:
         yield Notify(self, n, loc=loc)
 
     def notify_all(self, loc: Optional[str] = None):
+        """Wake every waiter."""
         yield Notify(self, None, loc=loc)
 
     def state_key(self) -> tuple:
+        """Hashable state summary for exploration hashing."""
         return (
             "SimCondition",
             self.uid,
@@ -193,13 +197,16 @@ class SimSemaphore:
         self.waiters: List[Any] = []
 
     def acquire(self, loc: Optional[str] = None):
+        """Take one permit, blocking while none are free."""
         yield AcquireSem(self, loc=loc)
         return True
 
     def release(self, loc: Optional[str] = None):
+        """Return one permit and wake a waiter."""
         yield ReleaseSem(self, loc=loc)
 
     def state_key(self) -> tuple:
+        """Hashable state summary for exploration hashing."""
         return (
             "SimSemaphore",
             self.uid,
@@ -231,6 +238,7 @@ class SimBarrier:
         return idx
 
     def state_key(self) -> tuple:
+        """Hashable state summary for exploration hashing."""
         return (
             "SimBarrier",
             self.uid,
@@ -255,19 +263,24 @@ class SimEvent:
         self.waiters: List[Any] = []
 
     def wait(self, timeout: Optional[float] = None, loc: Optional[str] = None):
+        """Block until the flag is set (optional timeout)."""
         ok = yield EventWait(self, timeout, loc=loc)
         return ok
 
     def set(self, loc: Optional[str] = None):
+        """Set the flag and wake all waiters."""
         yield EventSet(self, loc=loc)
 
     def clear(self, loc: Optional[str] = None):
+        """Reset the flag."""
         yield EventClear(self, loc=loc)
 
     def is_set(self) -> bool:
+        """Current flag value."""
         return self.flag
 
     def state_key(self) -> tuple:
+        """Hashable state summary for exploration hashing."""
         return (
             "SimEvent",
             self.uid,
@@ -298,9 +311,11 @@ class SimQueue:
         self.not_full = SimCondition(self.mutex, name=f"{self.name}.not_full")
 
     def qsize(self) -> int:
+        """Number of queued items."""
         return len(self.items)
 
     def put(self, item: Any, loc: Optional[str] = None):
+        """Enqueue an item, blocking while the queue is full."""
         yield from self.mutex.acquire(loc=loc)
         while self.maxsize and len(self.items) >= self.maxsize:
             yield from self.not_full.wait(loc=loc)
@@ -309,6 +324,7 @@ class SimQueue:
         yield from self.mutex.release(loc=loc)
 
     def get(self, loc: Optional[str] = None):
+        """Dequeue an item, blocking while the queue is empty."""
         yield from self.mutex.acquire(loc=loc)
         while not self.items:
             yield from self.not_empty.wait(loc=loc)
@@ -318,6 +334,7 @@ class SimQueue:
         return item
 
     def state_key(self) -> tuple:
+        """Hashable state summary for exploration hashing."""
         return (
             "SimQueue",
             self.uid,

@@ -43,14 +43,17 @@ class RecordingScheduler(Scheduler):
         self.choices: List[int] = []
 
     def on_spawn(self, thread: SimThread) -> None:
+        """Forward the spawn to the inner scheduler."""
         self.inner.on_spawn(thread)
 
     def pick(self, runnable: Sequence[SimThread], step: int) -> SimThread:
+        """Delegate the choice and record the picked tid."""
         chosen = self.inner.pick(runnable, step)
         self.choices.append(chosen.tid)
         return chosen
 
     def delay_after_pick(self, thread: SimThread, step: int) -> float:
+        """Delegate noise injection to the inner scheduler."""
         return self.inner.delay_after_pick(thread, step)
 
 
@@ -77,10 +80,12 @@ class ReplayScheduler(Scheduler):
         self.diverged = False
 
     def on_spawn(self, thread: SimThread) -> None:
+        """Forward the spawn to the fallback scheduler, if any."""
         if self.fallback is not None:
             self.fallback.on_spawn(thread)
 
     def pick(self, runnable: Sequence[SimThread], step: int) -> SimThread:
+        """Re-apply the recorded tid; fall back or raise on divergence."""
         if self._idx < len(self.choices):
             wanted = self.choices[self._idx]
             self._idx += 1

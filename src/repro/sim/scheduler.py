@@ -46,6 +46,7 @@ class Scheduler:
         """Called when a thread is created (priority assignment hooks)."""
 
     def pick(self, runnable: Sequence[SimThread], step: int) -> SimThread:
+        """Choose the next thread to run from ``runnable``."""
         raise NotImplementedError
 
     def delay_after_pick(self, thread: SimThread, step: int) -> float:
@@ -60,6 +61,7 @@ class RoundRobinScheduler(Scheduler):
         self._last_tid = -1
 
     def pick(self, runnable: Sequence[SimThread], step: int) -> SimThread:
+        """Next runnable thread in cyclic tid order."""
         for t in runnable:
             if t.tid > self._last_tid:
                 self._last_tid = t.tid
@@ -76,6 +78,7 @@ class RandomScheduler(Scheduler):
         self.rng = random.Random(seed)
 
     def pick(self, runnable: Sequence[SimThread], step: int) -> SimThread:
+        """Uniform seeded choice among runnable threads."""
         if len(runnable) == 1:
             return runnable[0]
         return self.rng.choice(runnable)
@@ -112,10 +115,12 @@ class PCTScheduler(Scheduler):
     def on_spawn(self, thread: SimThread) -> None:
         # Random distinct initial priority: higher value wins.  Sampling a
         # large range makes collisions with reassigned-low values impossible.
+        """Assign the new thread a random distinct priority."""
         self._prio_counter += 1
         thread.priority = self.rng.randrange(1_000_000) + 1_000_000
 
     def pick(self, runnable: Sequence[SimThread], step: int) -> SimThread:
+        """Highest-priority runnable thread, demoting at change points."""
         best = max(runnable, key=lambda t: (t.priority, -t.tid))
         if self._next_cp < len(self.change_points) and step >= self.change_points[self._next_cp]:
             self._next_cp += 1
@@ -146,6 +151,7 @@ class NoiseScheduler(RandomScheduler):
         self.max_delay = max_delay
 
     def delay_after_pick(self, thread: SimThread, step: int) -> float:
+        """With probability ``p``, a uniform virtual sleep."""
         if self.p and self.rng.random() < self.p:
             return self.rng.uniform(0.0, self.max_delay)
         return 0.0

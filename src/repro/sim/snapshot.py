@@ -170,6 +170,7 @@ class StatelessPool:
         self.stats = PoolStats(mode="stateless")
 
     def run(self, prefix: Sequence[int]) -> RunRecord:
+        """Execute one schedule from scratch (O(depth) replay)."""
         sched = _DFSScheduler(prefix)
         kernel = Kernel(
             scheduler=sched, seed=self._seed, record_trace=self._record_trace
@@ -666,6 +667,7 @@ class ForkSnapshotPool:
         )
 
     def run(self, prefix: Sequence[int]) -> RunRecord:
+        """Execute one schedule from the deepest parked prefix holder."""
         prefix = tuple(int(x) for x in prefix)
         self._pump(0.0)
         while not self._closed:
@@ -731,6 +733,7 @@ class ForkSnapshotPool:
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
+        """Tear down the pool and reap every parked holder."""
         if self._closed:
             return
         self._closed = True

@@ -114,13 +114,16 @@ class SimThread:
     # ------------------------------------------------------------------
     @property
     def alive(self) -> bool:
+        """Not yet finished or failed."""
         return self.state not in (TState.DONE, TState.FAILED)
 
     @property
     def blocked(self) -> bool:
+        """Waiting on a primitive, a sleep, or a release order."""
         return self.state in (TState.BLOCKED, TState.SLEEPING, TState.ORDER_WAIT)
 
     def location(self) -> str:
+        """Current source-location label of the generator."""
         return current_location(self.gen)
 
     def describe_block(self) -> str:

@@ -114,6 +114,7 @@ class Trace:
         extra: Any = None,
         step: int = -1,
     ) -> Event:
+        """Append one event (subject to the enabled filter)."""
         ev = Event(self._seq, time, tid, tname, op, obj, loc, extra, step)
         self._seq += 1
         self.events.append(ev)
@@ -131,12 +132,15 @@ class Trace:
         return [e for e in self.events if e.op in wanted]
 
     def by_thread(self, tname: str) -> List[Event]:
+        """Events of one thread, in order."""
         return [e for e in self.events if e.tname == tname]
 
     def by_obj(self, obj: Any) -> List[Event]:
+        """Events touching one object, in order."""
         return [e for e in self.events if e.obj is obj]
 
     def annotations(self, kind: Optional[str] = None) -> List[Event]:
+        """Annotation events, optionally of one kind."""
         evs = self.by_op(OP.ANNOTATE)
         if kind is None:
             return evs

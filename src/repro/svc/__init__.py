@@ -1,0 +1,62 @@
+"""``repro.svc`` — reproduction-as-a-service daemon.
+
+Every other entry point in this repository is a one-shot process: it
+pays interpreter + ``numpy`` startup, runs one sweep, and exits.  The
+paper's Table 2 subjects are *long-running servers*, and the ROADMAP's
+north star is a system serving sustained traffic — this package closes
+that gap with a resident daemon that accepts reproduction jobs over a
+local HTTP/JSON protocol and executes them on the existing harness:
+
+* :mod:`repro.svc.protocol` — the ``repro.svc/1`` wire surface;
+* :mod:`repro.svc.jobs` — job specs, records, and lossless result
+  serialization (the bit-identity layer);
+* :mod:`repro.svc.queue` — bounded admission queue with
+  reject-with-retry-after backpressure;
+* :mod:`repro.svc.executor` — slot threads running each job in a child
+  process with wall-clock timeouts and bounded crash retry;
+* :mod:`repro.svc.server` — the HTTP daemon, ``/health`` + ``/metrics``
+  introspection, graceful SIGTERM drain;
+* :mod:`repro.svc.client` — the client library (``ReproClient``).
+
+The service is a **transport layer, never a semantics layer**: a job is
+a pure function of its spec, executed by the very same
+:func:`repro.harness.run_trials` / :func:`repro.harness.explore_app`
+code path the CLI uses, so results returned over the socket are
+bit-identical to direct in-process calls (``tests/svc/`` holds the
+differential battery; DESIGN.md documents the argument).
+"""
+
+from .client import BackpressureError, JobFailed, ReproClient, ServiceError
+from .executor import JobExecutor
+from .jobs import (
+    JobRecord,
+    JobSpec,
+    JobValidationError,
+    execute_job,
+    stats_from_wire,
+    stats_to_wire,
+)
+from .protocol import PROTOCOL
+from .queue import BoundedJobQueue, QueueClosed, QueueFull
+from .server import ReproService, ServiceDraining, serve_forever
+
+__all__ = [
+    "PROTOCOL",
+    "BackpressureError",
+    "JobFailed",
+    "ReproClient",
+    "ServiceError",
+    "JobExecutor",
+    "JobRecord",
+    "JobSpec",
+    "JobValidationError",
+    "execute_job",
+    "stats_from_wire",
+    "stats_to_wire",
+    "BoundedJobQueue",
+    "QueueClosed",
+    "QueueFull",
+    "ReproService",
+    "ServiceDraining",
+    "serve_forever",
+]

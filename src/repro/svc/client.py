@@ -1,0 +1,271 @@
+"""Client library for the reproduction service (``repro.svc.client``).
+
+A thin, dependency-free (stdlib ``http.client``) wrapper over the
+``repro.svc/1`` protocol.  The high-level helpers mirror the library
+API, so moving a workload onto the daemon is a one-line change::
+
+    from repro.svc.client import ReproClient
+
+    client = ReproClient("http://127.0.0.1:8642")
+    stats = client.run_trials("stringbuffer", bug="atomicity1", n=100)
+    # `stats` is a repro.harness.TrialStats, bit-identical to the
+    # in-process repro.harness.run_trials(...) call for the same seeds.
+
+Backpressure is handled transparently: a ``503`` with a retry hint
+sleeps and resubmits (bounded attempts), so a burst of clients behaves
+like a queue, not like an error storm.  Each request uses a fresh
+connection — a client that disconnects mid-wait loses nothing, because
+results live on the server until evicted and ``wait`` simply re-polls.
+"""
+
+from __future__ import annotations
+
+import http.client
+import time
+import urllib.parse
+from typing import Any, Dict, Optional
+
+from repro.harness.stats import TrialStats
+
+from . import protocol
+from .jobs import JobSpec, failure_from_wire, stats_from_wire
+
+__all__ = ["ServiceError", "BackpressureError", "JobFailed", "ReproClient"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level error from the service (carries the status code)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class BackpressureError(ServiceError):
+    """The queue stayed full past the client's submission budget."""
+
+    def __init__(self, message: str, retry_after: Optional[float]) -> None:
+        super().__init__(503, message)
+        self.retry_after = retry_after
+
+
+class JobFailed(RuntimeError):
+    """The job reached the ``failed`` state; carries the TrialFailure."""
+
+    def __init__(self, record: Dict[str, Any]) -> None:
+        failure = record.get("failure") or {}
+        super().__init__(
+            f"job {record.get('id')} failed: kind={failure.get('kind')} "
+            f"after {failure.get('attempts')} attempt(s): {failure.get('message')}"
+        )
+        self.record = record
+        self.failure = failure_from_wire(failure) if failure else None
+
+
+class ReproClient:
+    """Synchronous client for one service address.
+
+    ``base_url`` is ``http://host:port`` (the scheme is required);
+    ``timeout`` bounds each individual HTTP request, *not* job
+    completion — long waits are split into bounded long-poll rounds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        parsed = urllib.parse.urlparse(base_url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ValueError(f"expected an http://host:port URL, got {base_url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> tuple:
+        """One request/response cycle; returns ``(status, doc)``."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout if timeout is not None else self.timeout
+        )
+        try:
+            payload = protocol.dumps(body) if body is not None else None
+            headers = {"Content-Type": protocol.CONTENT_TYPE} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            return resp.status, protocol.loads(raw) if raw else {}
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _check(status: int, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """Raise :class:`ServiceError` for any non-2xx response."""
+        if status >= 400:
+            raise ServiceError(status, doc.get("error", "unknown error"))
+        return doc
+
+    # ------------------------------------------------------------------
+    # Endpoint surface
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """``GET /health``."""
+        return self._check(*self._request("GET", "/health"))
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics`` — the service's registry snapshot."""
+        return self._check(*self._request("GET", "/metrics"))
+
+    def jobs(self) -> list:
+        """``GET /jobs`` — summaries of every known job."""
+        return self._check(*self._request("GET", "/jobs"))["jobs"]
+
+    def drain(self) -> Dict[str, Any]:
+        """``POST /drain`` — ask the service to drain gracefully."""
+        return self._check(*self._request("POST", "/drain"))
+
+    def submit(
+        self,
+        spec: JobSpec,
+        *,
+        max_wait: float = 60.0,
+    ) -> str:
+        """Submit one job, riding out backpressure; returns the job id.
+
+        A ``503 + retry_after`` response sleeps the hinted interval and
+        resubmits until ``max_wait`` seconds have been burned, then
+        raises :class:`BackpressureError`.  A draining service raises
+        immediately (retrying a shutdown is pointless).
+        """
+        body = spec.to_json()
+        deadline = time.monotonic() + max_wait
+        while True:
+            status, doc = self._request("POST", "/jobs", body=body)
+            if status == 202:
+                return doc["id"]
+            if status == 503 and doc.get("draining"):
+                raise BackpressureError("service is draining", None)
+            if status == 503:
+                hint = float(doc.get("retry_after", 0.5))
+                if time.monotonic() + hint > deadline:
+                    raise BackpressureError(doc.get("error", "queue full"), hint)
+                time.sleep(hint)
+                continue
+            self._check(status, doc)
+            raise ServiceError(status, f"unexpected submission response {doc!r}")
+
+    def result(self, job_id: str, wait: Optional[float] = None) -> Dict[str, Any]:
+        """``GET /jobs/<id>`` — one poll, optionally long (``wait`` s)."""
+        path = f"/jobs/{urllib.parse.quote(job_id)}"
+        timeout = self.timeout
+        if wait is not None:
+            path += f"?wait={wait:g}"
+            timeout = max(self.timeout, wait + 10.0)
+        return self._check(*self._request("GET", path, timeout=timeout))
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll: float = 10.0,
+    ) -> Dict[str, Any]:
+        """Block until the job is terminal; returns the full record.
+
+        Raises :class:`JobFailed` when the job's attempts were exhausted
+        and ``TimeoutError`` when ``timeout`` elapses first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            round_wait = poll
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(f"job {job_id} not terminal after {timeout}s")
+                round_wait = min(poll, remaining)
+            record = self.result(job_id, wait=round_wait)
+            if record["state"] == "failed":
+                raise JobFailed(record)
+            if record["state"] == "done":
+                return record
+
+    # ------------------------------------------------------------------
+    # High-level helpers (mirror the library API)
+    # ------------------------------------------------------------------
+    def run_trials(
+        self,
+        app: str,
+        bug: Optional[str] = None,
+        n: int = 100,
+        *,
+        timeout: float = 0.100,
+        base_seed: int = 0,
+        flip_order: bool = False,
+        use_policies: bool = True,
+        params: Optional[Dict[str, Any]] = None,
+        workers: int = 0,
+        trial_timeout: Optional[float] = None,
+        collect_metrics: bool = False,
+        job_timeout: Optional[float] = None,
+        wait_timeout: Optional[float] = None,
+    ) -> TrialStats:
+        """Remote :func:`repro.harness.run_trials`: submit, wait, decode.
+
+        The returned :class:`TrialStats` is bit-identical to the direct
+        call with the same arguments (the service's transport-layer
+        guarantee, enforced by ``tests/svc/test_differential.py``).
+        """
+        spec = JobSpec(
+            kind="trials",
+            app=app,
+            bug=bug,
+            trials=n,
+            timeout=timeout,
+            base_seed=base_seed,
+            flip_order=flip_order,
+            use_policies=use_policies,
+            params=dict(params or {}),
+            workers=workers,
+            trial_timeout=trial_timeout,
+            collect_metrics=collect_metrics,
+            job_timeout=job_timeout,
+        )
+        record = self.wait(self.submit(spec), timeout=wait_timeout)
+        return stats_from_wire(record["result"])
+
+    def explore(
+        self,
+        app: str,
+        bug: Optional[str] = None,
+        *,
+        dpor: bool = False,
+        sleep_sets: bool = False,
+        snapshots: bool = False,
+        workers: int = 0,
+        max_schedules: int = 2000,
+        seed: int = 0,
+        timeout: float = 0.100,
+        job_timeout: Optional[float] = None,
+        wait_timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Remote :func:`repro.harness.explore_app`; returns the summary
+        dict (schedule counts, hit fractions, DPOR stats, witnesses)."""
+        spec = JobSpec(
+            kind="explore",
+            app=app,
+            bug=bug,
+            dpor=dpor,
+            sleep_sets=sleep_sets,
+            snapshots=snapshots,
+            workers=workers,
+            max_schedules=max_schedules,
+            seed=seed,
+            timeout=timeout,
+            job_timeout=job_timeout,
+        )
+        record = self.wait(self.submit(spec), timeout=wait_timeout)
+        return record["result"]

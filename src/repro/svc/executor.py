@@ -1,0 +1,305 @@
+"""Job executor: slot threads driving per-job worker processes.
+
+Each of ``slots`` executor threads pulls one job at a time off the
+bounded queue and runs it in a **fresh child process** (fork where
+available, mirroring :mod:`repro.harness.parallel`).  The child calls
+:func:`repro.svc.jobs.execute_job` — the same library entry points a
+direct caller uses — and streams the wire-form result back over a
+private pipe.  Process isolation is what makes the service's fault
+model identical to the harness's:
+
+* **Per-job wall-clock timeout** — a child that exceeds the job's
+  budget is killed and the job fails with ``kind="timeout"``; timeouts
+  are *not* retried (the job is deterministic — it would stall again),
+  exactly the parallel runner's rule.
+* **Bounded crash retry** — a child that dies (segfault, ``os._exit``)
+  or raises costs one attempt; the job is re-run up to
+  ``max_job_retries`` extra times, then accounted as a
+  :class:`~repro.harness.stats.TrialFailure` with the harness's kind
+  vocabulary.  Because a job is a pure function of its spec, a retried
+  job returns a bit-identical result — re-execution is invisible to the
+  client (the differential battery injects crashes to prove it).
+* **Utilization metrics** — every transition updates the ``svc.*``
+  families (busy gauge, latency and queue-wait histograms, completion
+  and retry counters), all volatile: they describe service operation,
+  never reproduction results.
+
+Jobs may themselves fan trials over the existing
+:mod:`repro.harness.parallel` pool (``spec.workers > 0``); job children
+are therefore started non-daemonic so they can own nested worker
+processes, and the executor kills any still-running children on hard
+shutdown.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.harness.stats import TrialFailure
+from repro.obs.metrics import MetricsRegistry
+
+from .jobs import JobRecord, JobSpec, execute_job
+from .queue import BoundedJobQueue
+
+__all__ = ["JobExecutor"]
+
+#: Pipe poll period while a job child runs (seconds).
+_POLL = 0.05
+
+#: Exponential-moving-average weight for the latency-based retry hint.
+_EMA_ALPHA = 0.3
+
+#: Fault-injection hook type: ``hook(spec, attempt)`` runs in the child
+#: before the job body (raise → exception; ``os._exit`` → crash).
+FaultHook = Callable[[JobSpec, int], None]
+
+
+def _job_child(
+    conn,
+    spec: JobSpec,
+    fault_hook: Optional[FaultHook],
+    attempt: int,
+) -> None:
+    """Child-process body: run one job, send back ``("ok", payload)``.
+
+    An exception escaping the job body is reported as ``("err", msg)``
+    and the child exits cleanly; a crash (no message, dead process) is
+    detected parent-side.
+    """
+    try:
+        if fault_hook is not None:
+            fault_hook(spec, attempt)
+        payload = execute_job(spec)
+    except Exception as exc:  # noqa: BLE001 - forwarded as a structured failure
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    else:
+        try:
+            conn.send(("ok", payload))
+        except OSError:
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class JobExecutor:
+    """Pool of slot threads executing queued jobs in child processes."""
+
+    def __init__(
+        self,
+        queue: BoundedJobQueue,
+        metrics: MetricsRegistry,
+        *,
+        slots: int = 2,
+        job_timeout: Optional[float] = None,
+        max_job_retries: int = 1,
+        fault_hook: Optional[FaultHook] = None,
+    ) -> None:
+        if slots <= 0:
+            raise ValueError(f"executor slots must be positive, got {slots}")
+        self._queue = queue
+        self._metrics = metrics
+        self.slots = slots
+        self.job_timeout = job_timeout
+        self.max_job_retries = max_job_retries
+        self._fault_hook = fault_hook
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._threads: List[threading.Thread] = []
+        self._current_procs: List[Optional[Any]] = [None] * slots
+        self._busy = 0
+        self._ema_latency: Optional[float] = None
+        self._stop = False
+        self._lock = threading.Lock()
+        metrics.gauge("svc.workers.slots").set(slots)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the slot threads (idempotent per executor)."""
+        if self._threads:
+            raise RuntimeError("executor already started")
+        for i in range(self.slots):
+            t = threading.Thread(
+                target=self._slot_loop, args=(i,), name=f"svc-slot-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    @property
+    def busy(self) -> int:
+        """Slots currently executing a job."""
+        with self._lock:
+            return self._busy
+
+    def retry_hint(self) -> float:
+        """Suggested client backoff: one average job per free-ish slot.
+
+        Called by the queue *while holding its own lock* (only on a
+        rejection, when the queue is known to be at capacity), so this
+        must not read locked queue state — ``maxsize`` is the depth.
+        """
+        with self._lock:
+            ema = self._ema_latency
+        backlog = self._queue.maxsize + self.slots  # full queue + (worst case) running
+        per_job = ema if ema is not None else 1.0
+        return min(30.0, max(0.05, backlog * per_job / self.slots))
+
+    def idle(self) -> bool:
+        """No queued backlog and no running job."""
+        return self._queue.depth == 0 and self.busy == 0
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every accepted job finished (True) or ``timeout``.
+
+        Call :meth:`BoundedJobQueue.close` first so no new work arrives;
+        this merely waits for the backlog and in-flight jobs.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self.idle():
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            time.sleep(0.02)
+        return True
+
+    def shutdown(self, kill: bool = False, timeout: float = 10.0) -> None:
+        """Stop the slot threads; ``kill`` also terminates running jobs."""
+        self._queue.close()
+        self._stop = True
+        if kill:
+            with self._lock:
+                procs = list(self._current_procs)
+            for proc in procs:
+                if proc is not None and proc.is_alive():
+                    proc.kill()
+        for t in self._threads:
+            t.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Slot machinery
+    # ------------------------------------------------------------------
+    def _slot_loop(self, slot: int) -> None:
+        """One slot thread: dequeue, execute, account, repeat."""
+        while True:
+            record = self._queue.get(timeout=0.2)
+            if record is None:
+                if self._stop or self._queue.closed:
+                    return
+                continue
+            with self._lock:
+                self._busy += 1
+                self._metrics.gauge("svc.workers.busy", volatile=True).set(self._busy)
+            try:
+                self._run_job(slot, record)
+            finally:
+                with self._lock:
+                    self._busy -= 1
+                    self._metrics.gauge("svc.workers.busy", volatile=True).set(self._busy)
+                    self._current_procs[slot] = None
+
+    def _run_job(self, slot: int, record: JobRecord) -> None:
+        """Drive one job through its bounded attempts to a terminal state."""
+        spec = record.spec
+        record.mark_running()
+        wait = record.queue_wait()
+        with self._lock:
+            if wait is not None:
+                self._metrics.histogram(
+                    "svc.job_queue_wait_seconds", volatile=True
+                ).observe(wait)
+        budget = spec.job_timeout if spec.job_timeout is not None else self.job_timeout
+        kind = "crash"
+        message = ""
+        for attempt in range(self.max_job_retries + 1):
+            record.attempts = attempt + 1
+            ok, payload, kind, message = self._run_attempt(slot, spec, attempt, budget)
+            if ok:
+                record.finish(payload)
+                self._note_done(record, failed=False)
+                return
+            if kind == "timeout":
+                break  # deterministic job: re-running would stall again
+            if attempt < self.max_job_retries:
+                with self._lock:
+                    self._metrics.counter("svc.jobs.retries", volatile=True).inc()
+        seed = spec.seed if spec.kind == "explore" else spec.base_seed
+        record.fail(
+            TrialFailure(seed=seed, kind=kind, attempts=record.attempts, message=message)
+        )
+        self._note_done(record, failed=True)
+
+    def _note_done(self, record: JobRecord, failed: bool) -> None:
+        """Fold a terminal job into the metrics and the latency EMA."""
+        latency = record.latency()
+        with self._lock:
+            name = "svc.jobs.failed" if failed else "svc.jobs.completed"
+            self._metrics.counter(name, volatile=True).inc()
+            if latency is not None:
+                self._metrics.histogram(
+                    "svc.job_latency_seconds", volatile=True
+                ).observe(latency)
+                if self._ema_latency is None:
+                    self._ema_latency = latency
+                else:
+                    self._ema_latency += _EMA_ALPHA * (latency - self._ema_latency)
+
+    def _run_attempt(
+        self,
+        slot: int,
+        spec: JobSpec,
+        attempt: int,
+        budget: Optional[float],
+    ) -> Tuple[bool, Optional[dict], Optional[str], Optional[str]]:
+        """Run one attempt in a child process under the wall-clock budget.
+
+        Returns ``(ok, payload, failure_kind, failure_message)``.
+        """
+        conn, child_conn = self._ctx.Pipe(duplex=False)
+        # Non-daemonic: the job may spawn its own harness.parallel pool.
+        proc = self._ctx.Process(
+            target=_job_child,
+            args=(child_conn, spec, self._fault_hook, attempt),
+            daemon=False,
+        )
+        proc.start()
+        child_conn.close()
+        with self._lock:
+            self._current_procs[slot] = proc
+        deadline = None if budget is None else time.monotonic() + budget
+        try:
+            while True:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0 and not conn.poll():
+                    return False, None, "timeout", f"exceeded job_timeout={budget}s"
+                poll = _POLL if remaining is None else max(0.0, min(_POLL, remaining))
+                if conn.poll(poll):
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        return False, None, "crash", "job worker died mid-job"
+                    if msg[0] == "ok":
+                        return True, msg[1], None, None
+                    return False, None, "exception", msg[1]
+                if not proc.is_alive() and not conn.poll():
+                    return False, None, "crash", "job worker exited without a result"
+        finally:
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=5)
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._lock:
+                self._current_procs[slot] = None

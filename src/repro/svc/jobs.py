@@ -1,0 +1,372 @@
+"""Job model: what a client submits, what the service hands back.
+
+A *job* is one unit of reproduction work — either a seeded breakpoint
+trial sweep (the paper's 100-run protocol, executed by
+:func:`repro.harness.run_trials`) or a schedule-space exploration
+(:func:`repro.harness.explore_app`).  The service is strictly a
+*transport* layer around those two entry points: :func:`execute_job` is
+the only function that runs a job, it is the same code path the CLI and
+the library use, and its output is reduced to JSON with a lossless float
+round-trip so the client can reconstruct results **bit-identical** to a
+direct in-process call (``tests/svc/test_differential.py`` enforces
+this).
+
+Job-level failures (a job child that crashes, times out, or raises)
+reuse the harness's :class:`~repro.harness.stats.TrialFailure` record —
+same ``kind`` vocabulary (``"crash"`` / ``"timeout"`` / ``"exception"``),
+same attempt accounting — so a service client reads failures exactly the
+way a `run_trials` caller reads per-trial failures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.apps import get_app
+from repro.harness.stats import TrialFailure, TrialStats
+
+__all__ = [
+    "JobValidationError",
+    "JobSpec",
+    "JobRecord",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "TERMINAL_STATES",
+    "execute_job",
+    "stats_to_wire",
+    "stats_from_wire",
+    "failure_to_wire",
+    "failure_from_wire",
+]
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+#: States after which a record never changes again.
+TERMINAL_STATES = frozenset({DONE, FAILED})
+
+class JobValidationError(ValueError):
+    """The submitted job spec is malformed or names unknown entities."""
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """One reproduction job, fully described by JSON-able scalars.
+
+    ``kind`` selects the entry point: ``"trials"`` runs the seeded trial
+    sweep, ``"explore"`` enumerates the schedule space.  Every field
+    below maps one-to-one onto a parameter of
+    :func:`repro.harness.run_trials` or
+    :func:`repro.harness.explore_app`, which is what makes the
+    service's determinism argument a one-liner: same spec, same seeds,
+    same code path, same result.
+
+    ``workers`` fans the job's trials over the existing
+    :mod:`repro.harness.parallel` pool *inside* the job child (0 keeps
+    the serial loop); ``job_timeout`` is the per-job wall-clock budget
+    enforced by the executor (None defers to the service default).
+    """
+
+    kind: str = "trials"
+    app: str = ""
+    bug: Optional[str] = None
+    # --- trials parameters (repro.harness.run_trials) ---
+    trials: int = 100
+    base_seed: int = 0
+    timeout: float = 0.100
+    flip_order: bool = False
+    use_policies: bool = True
+    params: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    workers: int = 0
+    trial_timeout: Optional[float] = None
+    max_retries: int = 2
+    collect_metrics: bool = False
+    # --- exploration parameters (repro.harness.explore_app) ---
+    dpor: bool = False
+    sleep_sets: bool = False
+    snapshots: bool = False
+    shard_depth: int = 2
+    max_schedules: int = 2000
+    max_steps: Optional[int] = None
+    seed: int = 0
+    witness_limit: int = 3
+    # --- service-level knobs ---
+    job_timeout: Optional[float] = None
+
+    def validate(self) -> "JobSpec":
+        """Check the spec against the app registry; return self.
+
+        Raises :class:`JobValidationError` with a client-presentable
+        message — the server maps it to HTTP 400.
+        """
+        if self.kind not in ("trials", "explore"):
+            raise JobValidationError(
+                f"unknown job kind {self.kind!r} (expected 'trials' or 'explore')"
+            )
+        try:
+            cls = get_app(self.app)
+        except KeyError:
+            raise JobValidationError(f"unknown app {self.app!r}") from None
+        if self.bug is not None and self.bug not in cls.bugs:
+            raise JobValidationError(
+                f"{self.app} has no bug {self.bug!r}; known: {list(cls.bugs)}"
+            )
+        if self.kind == "trials" and self.trials <= 0:
+            raise JobValidationError(f"trials must be positive, got {self.trials}")
+        if self.kind == "trials" and self.trial_timeout is not None and self.workers == 0:
+            raise JobValidationError("trial_timeout requires workers > 0")
+        if self.kind == "explore" and self.max_schedules <= 0:
+            raise JobValidationError(
+                f"max_schedules must be positive, got {self.max_schedules}"
+            )
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise JobValidationError(f"job_timeout must be positive, got {self.job_timeout}")
+        return self
+
+    def to_json(self) -> Dict[str, Any]:
+        """The spec as a JSON-able dict (the ``POST /jobs`` body)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "JobSpec":
+        """Parse a wire dict, rejecting unknown fields loudly."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise JobValidationError(f"unknown job spec field(s): {sorted(unknown)}")
+        try:
+            spec = cls(**doc)
+        except TypeError as exc:
+            raise JobValidationError(str(exc)) from None
+        return spec
+
+
+# ---------------------------------------------------------------------------
+# Result serialization (lossless: JSON floats round-trip via repr)
+# ---------------------------------------------------------------------------
+
+
+def failure_to_wire(failure: TrialFailure) -> Dict[str, Any]:
+    """One :class:`TrialFailure` as a JSON dict."""
+    return {
+        "seed": failure.seed,
+        "kind": failure.kind,
+        "attempts": failure.attempts,
+        "message": failure.message,
+    }
+
+
+def failure_from_wire(doc: Dict[str, Any]) -> TrialFailure:
+    """Inverse of :func:`failure_to_wire`."""
+    return TrialFailure(
+        seed=doc["seed"],
+        kind=doc["kind"],
+        attempts=doc["attempts"],
+        message=doc.get("message", ""),
+    )
+
+
+def stats_to_wire(stats: TrialStats) -> Dict[str, Any]:
+    """A :class:`TrialStats` as a JSON dict, bit-identical on round-trip.
+
+    Every float travels through ``repr`` (Python's ``json`` module), so
+    ``stats_from_wire(stats_to_wire(s)) == s`` exactly — runtimes, error
+    times, and the metrics snapshot included.
+    """
+    return {
+        "type": "trials",
+        "app": stats.app,
+        "bug": stats.bug,
+        "trials": stats.trials,
+        "bug_hits": stats.bug_hits,
+        "bp_hits": stats.bp_hits,
+        "runtimes": list(stats.runtimes),
+        "error_times": list(stats.error_times),
+        "failures": [failure_to_wire(f) for f in stats.failures],
+        "metrics": stats.metrics,
+    }
+
+
+def stats_from_wire(doc: Dict[str, Any]) -> TrialStats:
+    """Inverse of :func:`stats_to_wire`."""
+    return TrialStats(
+        app=doc["app"],
+        bug=doc["bug"],
+        trials=doc["trials"],
+        bug_hits=doc["bug_hits"],
+        bp_hits=doc["bp_hits"],
+        runtimes=list(doc["runtimes"]),
+        error_times=list(doc["error_times"]),
+        failures=[failure_from_wire(f) for f in doc.get("failures", [])],
+        metrics=doc.get("metrics"),
+    )
+
+
+def _exploration_to_wire(res: Any, witness_limit: int) -> Dict[str, Any]:
+    """Summarise an :class:`~repro.harness.exploration.AppExploration`.
+
+    The full outcome list can be tens of thousands of entries; the wire
+    form carries the decision-relevant summary (counts, fractions,
+    reduction stats) plus up to ``witness_limit`` bug-hitting schedules
+    as explicit choice lists — enough to replay a witness locally.
+    """
+    from repro.harness.exploration import outcome_hit
+
+    ex = res.exploration
+    dpor: Optional[Dict[str, Any]] = None
+    if res.dpor_stats is not None:
+        dpor = dataclasses.asdict(res.dpor_stats)
+    return {
+        "type": "explore",
+        "app": res.app,
+        "bug": res.bug,
+        "schedules": ex.count,
+        "complete": ex.complete,
+        "hits": res.hits,
+        "hit_fraction": res.hit_fraction,
+        "hit_probability": res.hit_probability,
+        "pool_mode": res.pool_mode,
+        "dpor": dpor,
+        "witnesses": [list(c) for c in ex.witnesses(outcome_hit, limit=witness_limit)],
+    }
+
+
+def execute_job(spec: JobSpec) -> Dict[str, Any]:
+    """Run one job to completion and return its wire-form result.
+
+    This runs inside the executor's job child process.  It is a thin
+    dispatch onto the library entry points — the service adds no
+    semantics here, which is exactly the differential battery's claim.
+    """
+    if spec.kind == "explore":
+        from repro.harness import explore_app
+
+        res = explore_app(
+            spec.app,
+            spec.bug,
+            dpor=spec.dpor,
+            sleep_sets=spec.sleep_sets,
+            snapshots=spec.snapshots,
+            workers=spec.workers or None,
+            shard_depth=spec.shard_depth,
+            max_schedules=spec.max_schedules,
+            max_steps=spec.max_steps,
+            seed=spec.seed,
+            timeout=spec.timeout,
+            use_policies=spec.use_policies,
+            params=dict(spec.params),
+        )
+        return _exploration_to_wire(res, spec.witness_limit)
+    from repro.harness import run_trials
+
+    stats = run_trials(
+        get_app(spec.app),
+        n=spec.trials,
+        bug=spec.bug,
+        timeout=spec.timeout,
+        flip_order=spec.flip_order,
+        use_policies=spec.use_policies,
+        base_seed=spec.base_seed,
+        params=dict(spec.params),
+        workers=spec.workers or None,
+        trial_timeout=spec.trial_timeout,
+        max_retries=spec.max_retries,
+        collect_metrics=spec.collect_metrics,
+    )
+    return stats_to_wire(stats)
+
+
+# ---------------------------------------------------------------------------
+# Job records (server-side lifecycle)
+# ---------------------------------------------------------------------------
+
+
+class JobRecord:
+    """Server-side lifecycle of one accepted job.
+
+    Thread-safe: the HTTP handler threads read it while an executor slot
+    drives it through ``queued → running → done | failed``.  Completion
+    is signalled through an event so long-poll readers block without
+    spinning.  Wall-clock stamps are operational data (volatile in the
+    metrics sense) — they never feed into results.
+    """
+
+    def __init__(self, job_id: str, spec: JobSpec) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.state = QUEUED
+        self.attempts = 0
+        self.result: Optional[Dict[str, Any]] = None
+        self.failure: Optional[TrialFailure] = None
+        self.submitted_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._done = threading.Event()
+
+    # -- transitions (executor slot thread) -----------------------------
+    def mark_running(self) -> None:
+        """Queue → running (stamps the queue-wait boundary)."""
+        self.state = RUNNING
+        self.started_at = time.monotonic()
+
+    def finish(self, result: Dict[str, Any]) -> None:
+        """Running → done with a wire-form result payload."""
+        self.result = result
+        self.state = DONE
+        self.finished_at = time.monotonic()
+        self._done.set()
+
+    def fail(self, failure: TrialFailure) -> None:
+        """Running → failed with a :class:`TrialFailure` account."""
+        self.failure = failure
+        self.state = FAILED
+        self.finished_at = time.monotonic()
+        self._done.set()
+
+    # -- readers (HTTP handler threads) ---------------------------------
+    @property
+    def terminal(self) -> bool:
+        """Has the job reached a final state?"""
+        return self.state in TERMINAL_STATES
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job is terminal (long-poll support)."""
+        return self._done.wait(timeout)
+
+    def queue_wait(self) -> Optional[float]:
+        """Seconds spent queued, once running (None while queued)."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    def latency(self) -> Optional[float]:
+        """Submit-to-terminal wall seconds, once terminal."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def to_json(self, include_result: bool = True) -> Dict[str, Any]:
+        """The record as the wire dict ``GET /jobs/<id>`` returns."""
+        doc: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "kind": self.spec.kind,
+            "app": self.spec.app,
+            "bug": self.spec.bug,
+            "attempts": self.attempts,
+            "queue_wait_seconds": self.queue_wait(),
+            "latency_seconds": self.latency(),
+        }
+        if include_result:
+            doc["result"] = self.result
+            doc["failure"] = (
+                failure_to_wire(self.failure) if self.failure is not None else None
+            )
+        return doc

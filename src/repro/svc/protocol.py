@@ -1,0 +1,95 @@
+"""Wire protocol of the reproduction service (``repro.svc/1``).
+
+The service speaks plain HTTP/1.1 with JSON bodies over a loopback TCP
+socket — no framework, no serialization beyond :mod:`json`.  This module
+is the single place where the wire shapes are named, so the server
+(:mod:`repro.svc.server`) and the client (:mod:`repro.svc.client`) cannot
+drift apart:
+
+* **Endpoints** — ``GET /health``, ``GET /metrics``, ``GET /jobs``,
+  ``GET /jobs/<id>[?wait=SECONDS]``, ``POST /jobs``, ``POST /drain``.
+* **Job payloads** — a submission is a :class:`~repro.svc.jobs.JobSpec`
+  JSON object; a response is a job-record object (see
+  :meth:`~repro.svc.jobs.JobRecord.to_json`).
+* **Backpressure** — a full queue answers ``503`` with a ``Retry-After``
+  header and a body carrying the same hint; a draining service answers
+  ``503`` with ``"draining": true`` and no hint (retrying is pointless).
+
+Everything that crosses the socket is JSON whose floats are produced by
+Python's ``repr`` round-trip, so numeric results survive the transport
+bit-for-bit — the foundation of the differential battery in
+``tests/svc/test_differential.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "PROTOCOL",
+    "CONTENT_TYPE",
+    "dumps",
+    "loads",
+    "error_body",
+    "parse_wait",
+]
+
+#: Protocol identifier, echoed by ``/health``.
+PROTOCOL = "repro.svc/1"
+
+#: Content type of every request and response body.
+CONTENT_TYPE = "application/json"
+
+
+def dumps(payload: Dict[str, Any]) -> bytes:
+    """Encode one message body (sorted keys: responses are diffable)."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def loads(raw: bytes) -> Dict[str, Any]:
+    """Decode one message body, mapping malformed JSON to ``ValueError``."""
+    try:
+        doc = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"malformed JSON body: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ValueError(f"body must be a JSON object, got {type(doc).__name__}")
+    return doc
+
+
+def error_body(
+    message: str,
+    *,
+    retry_after: Optional[float] = None,
+    draining: bool = False,
+) -> Dict[str, Any]:
+    """The uniform error payload (every non-2xx body has this shape)."""
+    body: Dict[str, Any] = {"error": message, "protocol": PROTOCOL}
+    if retry_after is not None:
+        body["retry_after"] = retry_after
+    if draining:
+        body["draining"] = True
+    return body
+
+
+def parse_wait(query: str) -> Tuple[Optional[float], Optional[str]]:
+    """Parse the ``wait=SECONDS`` long-poll query parameter.
+
+    Returns ``(seconds, None)`` on success (``(None, None)`` when absent)
+    or ``(None, message)`` when the parameter is present but invalid.
+    """
+    if not query:
+        return None, None
+    for part in query.split("&"):
+        key, _, value = part.partition("=")
+        if key != "wait":
+            continue
+        try:
+            seconds = float(value)
+        except ValueError:
+            return None, f"invalid wait value {value!r}"
+        if seconds < 0:
+            return None, "wait must be >= 0"
+        return min(seconds, 300.0), None
+    return None, None

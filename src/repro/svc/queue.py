@@ -1,0 +1,126 @@
+"""Bounded FIFO job queue with reject-with-retry-after backpressure.
+
+The service never buffers unbounded work: a queue of ``maxsize`` jobs is
+the only admission buffer, and a submission that finds it full is
+*rejected immediately* with a retry hint rather than parked — a slow
+consumer must surface as client-visible backpressure, not as silent
+memory growth (the HTTP layer maps :class:`QueueFull` to ``503`` +
+``Retry-After``).
+
+Draining is a one-way door: :meth:`BoundedJobQueue.close` refuses every
+subsequent ``put`` (:class:`QueueClosed`), while ``get`` keeps serving
+until the backlog is empty — accepted jobs always finish, which is the
+in-flight half of the SIGTERM contract.
+
+Depth is mirrored into the service metrics registry on every transition
+(``svc.queue.depth`` gauge, ``svc.queue.high_water``), so ``/metrics``
+always shows the current backlog without locking the queue.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Deque, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+from .jobs import JobRecord
+
+__all__ = ["QueueFull", "QueueClosed", "BoundedJobQueue"]
+
+
+class QueueFull(Exception):
+    """The queue is at capacity; retry after ``retry_after`` seconds."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(f"job queue full, retry after {retry_after:.2f}s")
+        self.retry_after = retry_after
+
+
+class QueueClosed(Exception):
+    """The service is draining; no new jobs are accepted."""
+
+
+class BoundedJobQueue:
+    """Thread-safe bounded FIFO of :class:`~repro.svc.jobs.JobRecord`.
+
+    ``retry_hint`` is a callable returning the suggested client backoff
+    in seconds (the executor supplies one based on its observed job
+    latency); it is consulted only on rejection.
+    """
+
+    def __init__(
+        self,
+        maxsize: int,
+        metrics: Optional[MetricsRegistry] = None,
+        retry_hint=None,
+    ) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"queue maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._items: Deque[JobRecord] = collections.deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._metrics = metrics
+        self._retry_hint = retry_hint
+
+    # ------------------------------------------------------------------
+    def _note_depth_locked(self) -> None:
+        """Mirror the current depth into the metrics registry."""
+        if self._metrics is None:
+            return
+        depth = len(self._items)
+        self._metrics.gauge("svc.queue.depth", volatile=True).set(depth)
+        self._metrics.gauge("svc.queue.high_water", volatile=True).max(depth)
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently queued (excludes running jobs)."""
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """Has :meth:`close` been called (drain mode)?"""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def put(self, record: JobRecord) -> None:
+        """Enqueue, or reject: :class:`QueueClosed` when draining,
+        :class:`QueueFull` (with the retry hint) at capacity."""
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("service is draining")
+            if len(self._items) >= self.maxsize:
+                if self._metrics is not None:
+                    self._metrics.counter("svc.queue.rejected", volatile=True).inc()
+                hint = self._retry_hint() if self._retry_hint is not None else 1.0
+                raise QueueFull(max(0.05, float(hint)))
+            self._items.append(record)
+            self._note_depth_locked()
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[JobRecord]:
+        """Dequeue the oldest job, blocking up to ``timeout`` seconds.
+
+        Returns None on timeout or when the queue is closed and empty —
+        the executor's slot threads use the latter as their exit signal.
+        """
+        with self._not_empty:
+            if not self._items:
+                if self._closed:
+                    return None
+                self._not_empty.wait(timeout)
+            if not self._items:
+                return None
+            record = self._items.popleft()
+            self._note_depth_locked()
+            return record
+
+    def close(self) -> None:
+        """Enter drain mode: refuse puts, serve the backlog, wake waiters."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()

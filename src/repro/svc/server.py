@@ -1,0 +1,393 @@
+"""The reproduction daemon: HTTP front end, lifecycle, graceful drain.
+
+:class:`ReproService` wires the pieces together — a bounded
+:class:`~repro.svc.queue.BoundedJobQueue`, a
+:class:`~repro.svc.executor.JobExecutor`, a metrics registry
+(:mod:`repro.obs`) and a threaded stdlib HTTP server bound to loopback.
+The endpoint surface is small and documented in
+:mod:`repro.svc.protocol`; everything interesting lives in the
+lifecycle:
+
+* **Admission** — ``POST /jobs`` validates the spec against the app
+  registry, assigns an id, and enqueues; a full queue is answered with
+  ``503`` + ``Retry-After`` (bounded backpressure, never unbounded
+  buffering).
+* **Results** — ``GET /jobs/<id>`` returns the record, optionally
+  long-polling with ``?wait=SECONDS``; results stay readable after
+  completion (a client that disconnected mid-wait just asks again — the
+  job is never re-run).
+* **Graceful drain** — SIGTERM (installed by :func:`serve_forever`) or
+  ``POST /drain`` closes the queue (new submissions refused with
+  ``503 draining``), lets queued and running jobs finish, then stops
+  the executor and the HTTP listener.  Accepted work always completes.
+* **Introspection** — ``GET /health`` (status, queue depth, slot
+  utilization) and ``GET /metrics`` (the full ``svc.*`` registry
+  snapshot: queue depth gauge, job latency histogram, worker
+  utilization) are what the smoke test and the throughput bench scrape.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+from . import protocol
+from .executor import FaultHook, JobExecutor
+from .jobs import JobRecord, JobSpec, JobValidationError
+from .queue import BoundedJobQueue, QueueClosed, QueueFull
+
+__all__ = ["ServiceDraining", "ReproService", "serve_forever"]
+
+#: Finished-job records kept for late readers before eviction.
+_HISTORY_LIMIT = 1024
+
+
+class ServiceDraining(Exception):
+    """Submission refused: the service is shutting down."""
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server carrying a reference to its service."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    service: "ReproService"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler: routes the ``repro.svc/1`` endpoint surface."""
+
+    server: _ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Silence the default stderr access log (metrics cover it)."""
+
+    def _send(
+        self,
+        status: int,
+        body: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Write one JSON response, tolerating a vanished client."""
+        payload = protocol.dumps(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", protocol.CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(payload)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            self.server.service.note_disconnect()
+
+    def _read_body(self) -> Dict[str, Any]:
+        """Read and decode the request body (may raise ``ValueError``)."""
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length else b""
+        return protocol.loads(raw)
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+        """``/health``, ``/metrics``, ``/jobs``, ``/jobs/<id>``."""
+        svc = self.server.service
+        path, _, query = self.path.partition("?")
+        if path == "/health":
+            self._send(200, svc.health())
+        elif path == "/metrics":
+            self._send(200, svc.metrics.snapshot())
+        elif path == "/jobs":
+            self._send(200, {"jobs": svc.list_jobs()})
+        elif path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            record = svc.get_job(job_id)
+            if record is None:
+                self._send(404, protocol.error_body(f"no such job {job_id!r}"))
+                return
+            wait, err = protocol.parse_wait(query)
+            if err is not None:
+                self._send(400, protocol.error_body(err))
+                return
+            if wait is not None and not record.terminal:
+                record.wait(wait)
+            self._send(200, record.to_json())
+        else:
+            self._send(404, protocol.error_body(f"no such endpoint {path!r}"))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
+        """``/jobs`` (submit) and ``/drain``."""
+        svc = self.server.service
+        path = self.path.partition("?")[0]
+        if path == "/jobs":
+            try:
+                spec = JobSpec.from_json(self._read_body())
+                record = svc.submit(spec)
+            except (ValueError, JobValidationError) as exc:
+                self._send(400, protocol.error_body(str(exc)))
+            except QueueFull as exc:
+                self._send(
+                    503,
+                    protocol.error_body(str(exc), retry_after=exc.retry_after),
+                    headers={"Retry-After": f"{exc.retry_after:.3f}"},
+                )
+            except (QueueClosed, ServiceDraining):
+                self._send(
+                    503, protocol.error_body("service is draining", draining=True)
+                )
+            else:
+                self._send(202, record.to_json(include_result=False))
+        elif path == "/drain":
+            svc.begin_drain()
+            self._send(202, {"draining": True, "protocol": protocol.PROTOCOL})
+        else:
+            self._send(404, protocol.error_body(f"no such endpoint {path!r}"))
+
+
+class ReproService:
+    """A long-running reproduction service on a loopback TCP port.
+
+    Usage::
+
+        with ReproService(slots=4, queue_size=32).start() as svc:
+            client = ReproClient(svc.address)
+            ...
+
+    ``port=0`` (the default) binds an ephemeral port, read back from
+    :attr:`port` — tests and the bench never fight over a fixed one.
+    ``fault_hook`` is a picklable fault-injection callable forwarded to
+    the executor's job children (tests only).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        queue_size: int = 16,
+        slots: int = 2,
+        job_timeout: Optional[float] = None,
+        max_job_retries: int = 1,
+        fault_hook: Optional[FaultHook] = None,
+    ) -> None:
+        self.host = host
+        self.requested_port = port
+        self.metrics = MetricsRegistry()
+        self.queue = BoundedJobQueue(queue_size, metrics=self.metrics)
+        self.executor = JobExecutor(
+            self.queue,
+            self.metrics,
+            slots=slots,
+            job_timeout=job_timeout,
+            max_job_retries=max_job_retries,
+            fault_hook=fault_hook,
+        )
+        self.queue._retry_hint = self.executor.retry_hint
+        self._jobs: "collections.OrderedDict[str, JobRecord]" = collections.OrderedDict()
+        self._next_id = 1
+        self._lock = threading.Lock()
+        self._draining = False
+        self._drained = threading.Event()
+        self._httpd: Optional[_ServiceHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ReproService":
+        """Bind the socket, start the executor and the HTTP thread."""
+        self._httpd = _ServiceHTTPServer((self.host, self.requested_port), _Handler)
+        self._httpd.service = self
+        self.executor.start()
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="svc-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        assert self._httpd is not None, "service not started"
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        """Base URL clients should use."""
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "ReproService":
+        """Context-manager entry: starts the service if not yet started."""
+        if self._httpd is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: hard close."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Job admission and lookup
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Validate, register, and enqueue one job.
+
+        Raises :class:`JobValidationError` (→ 400),
+        :class:`~repro.svc.queue.QueueFull` (→ 503 + Retry-After) or
+        :class:`ServiceDraining` / :class:`~repro.svc.queue.QueueClosed`
+        (→ 503 draining).
+        """
+        with self._lock:
+            self.metrics.counter("svc.jobs.submitted", volatile=True).inc()
+            if self._draining:
+                raise ServiceDraining("service is draining")
+            spec.validate()
+            job_id = f"job-{self._next_id:06d}"
+            record = JobRecord(job_id, spec)
+            # Enqueue under the lock so an id is never published for a
+            # rejected job; the queue's own lock nests safely inside.
+            self.queue.put(record)
+            self._next_id += 1
+            self._jobs[job_id] = record
+            self.metrics.counter("svc.jobs.accepted", volatile=True).inc()
+            self._evict_locked()
+            return record
+
+    def _evict_locked(self) -> None:
+        """Drop the oldest *finished* records beyond the history limit."""
+        excess = len(self._jobs) - _HISTORY_LIMIT
+        if excess <= 0:
+            return
+        for job_id in [
+            jid for jid, rec in self._jobs.items() if rec.terminal
+        ][:excess]:
+            del self._jobs[job_id]
+
+    def get_job(self, job_id: str) -> Optional[JobRecord]:
+        """Look up a record by id (None when unknown or evicted)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> list:
+        """Summaries of every known record, oldest first."""
+        with self._lock:
+            return [rec.to_json(include_result=False) for rec in self._jobs.values()]
+
+    def note_disconnect(self) -> None:
+        """A client vanished mid-response (counted, never fatal)."""
+        with self._lock:
+            self.metrics.counter("svc.http.disconnects", volatile=True).inc()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """The ``GET /health`` payload."""
+        with self._lock:
+            states = collections.Counter(rec.state for rec in self._jobs.values())
+        return {
+            "status": "draining" if self._draining else "ok",
+            "protocol": protocol.PROTOCOL,
+            "queue_depth": self.queue.depth,
+            "queue_size": self.queue.maxsize,
+            "slots": self.executor.slots,
+            "busy": self.executor.busy,
+            "jobs": dict(states),
+        }
+
+    # ------------------------------------------------------------------
+    # Drain and shutdown
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop accepting work; finish the backlog asynchronously."""
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+        self.queue.close()
+        threading.Thread(target=self._drain_body, name="svc-drain", daemon=True).start()
+
+    def _drain_body(self) -> None:
+        """Background drain: wait for in-flight work, then stop serving."""
+        self.executor.drain()
+        self.executor.shutdown()
+        self._stop_http()
+        self._drained.set()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Synchronous graceful shutdown; True when fully drained."""
+        self.begin_drain()
+        return self._drained.wait(timeout)
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until a previously started drain completes."""
+        return self._drained.wait(timeout)
+
+    def _stop_http(self) -> None:
+        """Stop the listener thread and release the socket."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5)
+
+    def close(self) -> None:
+        """Hard stop: kill running jobs, stop threads, free the port."""
+        with self._lock:
+            self._draining = True
+        self.queue.close()
+        self.executor.shutdown(kill=True)
+        self._stop_http()
+        self._drained.set()
+
+
+def serve_forever(
+    service: ReproService,
+    *,
+    port_file: Optional[str] = None,
+    quiet: bool = False,
+) -> int:
+    """Run a started service until SIGTERM/SIGINT, then drain gracefully.
+
+    This is the body of ``repro serve``: it installs the signal
+    handlers, optionally writes the bound port to ``port_file`` (how the
+    smoke test finds an ephemerally-bound daemon), and blocks.  Returns
+    0 after a clean drain.
+    """
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: Any) -> None:
+        stop.set()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous[sig] = signal.signal(sig, _on_signal)
+    if port_file is not None:
+        with open(port_file, "w", encoding="utf-8") as fh:
+            fh.write(f"{service.port}\n")
+    if not quiet:
+        print(f"repro.svc listening on {service.address} "
+              f"(slots={service.executor.slots}, queue={service.queue.maxsize})")
+        print("send SIGTERM (or POST /drain) for a graceful drain")
+    try:
+        stop.wait()
+        if not quiet:
+            print("drain requested: refusing new jobs, finishing in-flight work")
+        service.drain()
+        if not quiet:
+            print("drained cleanly")
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        service.close()
+    return 0

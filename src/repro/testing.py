@@ -61,6 +61,7 @@ class SimSchedulePin:
 
     @property
     def done(self) -> bool:
+        """Have all pinned points been released?"""
         return self.position >= len(self.order)
 
     def begin(self, label: str):
@@ -113,9 +114,11 @@ class ThreadSchedulePin:
 
     @property
     def done(self) -> bool:
+        """Have all pinned points been released?"""
         return self.position >= len(self.order)
 
     def begin(self, label: str) -> None:
+        """Block until ``label`` is the next pinned point."""
         with self._cond:
             if label not in self.order[self.position:]:
                 raise ScheduleViolation(f"point {label!r} is not pending")
@@ -130,6 +133,7 @@ class ThreadSchedulePin:
                 )
 
     def end(self) -> None:
+        """Mark the current point finished; wake the next."""
         with self._cond:
             self.position += 1
             self._cond.notify_all()

@@ -92,6 +92,25 @@ class TestSuiteCommand:
     def test_unknown_suite(self, capsys):
         assert run_cli("suite", "jigsaw", "nope") == 2
 
+    def test_unknown_app_is_an_error(self, capsys):
+        assert run_cli("suite", "nosuchapp", "bug") == 2
+        assert "no suite" in capsys.readouterr().out
+
+    def test_json_shape_carries_full_breakpoint_specs(self, capsys):
+        import json
+
+        assert run_cli("suite", "jigsaw", "deadlock1", "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program"] == "jigsaw" and payload["bug_id"] == "deadlock1"
+        assert payload["breakpoints"]
+        for bp in payload["breakpoints"]:
+            assert {"name", "kind", "loc_first", "loc_second", "timeout"} <= set(bp)
+
+    def test_text_render_names_both_locations(self, capsys):
+        assert run_cli("suite", "pbzip2", "crash1") == 0
+        out = capsys.readouterr().out
+        assert out.count(":") >= 2  # two file:line locations per breakpoint
+
 
 def test_report_command(tmp_path, capsys):
     out_file = tmp_path / "report.md"
@@ -100,11 +119,30 @@ def test_report_command(tmp_path, capsys):
     assert "## Table 1" in out_file.read_text()
 
 
-def test_analyze_command(capsys):
-    assert run_cli("analyze", "jigsaw", "--seed", "2") == 0
-    out = capsys.readouterr().out
-    assert "finding(s)" in out
-    assert "Potential deadlocks" in out
+class TestAnalyzeCommand:
+    def test_detectors_over_traced_run(self, capsys):
+        assert run_cli("analyze", "jigsaw", "--seed", "2") == 0
+        out = capsys.readouterr().out
+        assert "finding(s)" in out
+        assert "Potential deadlocks" in out
+
+    def test_header_names_run_summary(self, capsys):
+        assert run_cli("analyze", "jigsaw", "--seed", "2") == 0
+        header = capsys.readouterr().out.splitlines()[0]
+        assert "jigsaw seed=2 bug=None" in header
+
+    def test_with_bug_activated(self, capsys):
+        assert run_cli("analyze", "stringbuffer", "--bug", "atomicity1") == 0
+        out = capsys.readouterr().out
+        assert "bug=atomicity1" in out and "finding(s)" in out
+
+    def test_unknown_app_is_an_error(self, capsys):
+        assert run_cli("analyze", "nosuchapp") == 2
+        assert "unknown app" in capsys.readouterr().out
+
+    def test_unknown_bug_is_an_error(self, capsys):
+        assert run_cli("analyze", "jigsaw", "--bug", "nope") == 2
+        assert "has no bug" in capsys.readouterr().out
 
 
 class TestMetricsCommand:
@@ -194,6 +232,39 @@ class TestMetricsOutFlag:
         snap = json.loads(metrics.read_text())
         # Many sweeps fold into one ambient registry.
         assert snap["harness.trials"]["value"] > 2
+
+
+class TestServeAndSubmit:
+    @pytest.fixture()
+    def service(self):
+        from repro.svc import ReproService
+
+        svc = ReproService(slots=2, queue_size=8).start()
+        yield svc
+        svc.close()
+
+    def test_submit_trials_prints_like_run(self, service, capsys):
+        assert run_cli("submit", "figure4", "error1", "--trials", "4",
+                       "--timeout", "0.2", "--server", service.address) == 0
+        out = capsys.readouterr().out
+        assert "reproduced 4/4" in out
+        assert "job-" in out
+
+    def test_submit_explore_prints_like_explore(self, service, capsys):
+        assert run_cli("submit", "bank", "lost_update", "--kind", "explore",
+                       "--dpor", "--sleep-sets", "--server", service.address) == 0
+        out = capsys.readouterr().out
+        assert "schedules" in out and "sleep-set prunes" in out
+
+    def test_submit_unknown_bug_is_an_error(self, service, capsys):
+        assert run_cli("submit", "figure4", "nope", "--server",
+                       service.address) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_submit_unreachable_server_is_an_error(self, capsys):
+        assert run_cli("submit", "figure4", "error1",
+                       "--server", "http://127.0.0.1:9") == 2
+        assert "cannot reach" in capsys.readouterr().out
 
 
 class TestExplore:

@@ -1,0 +1,1 @@
+"""Tests for the reproduction-as-a-service daemon (``repro.svc``)."""

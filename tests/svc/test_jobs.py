@@ -1,0 +1,131 @@
+"""Job spec and result serialization: the bit-identity layer."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import get_app
+from repro.harness import run_trials
+from repro.harness.stats import TrialFailure, TrialStats
+from repro.svc.jobs import (
+    JobRecord,
+    JobSpec,
+    JobValidationError,
+    execute_job,
+    failure_from_wire,
+    failure_to_wire,
+    stats_from_wire,
+    stats_to_wire,
+)
+from repro.svc.protocol import dumps, loads
+
+
+class TestJobSpec:
+    def test_round_trip_through_json(self):
+        spec = JobSpec(kind="trials", app="figure4", bug="error1", trials=7,
+                       base_seed=3, timeout=0.2, params={"k": 1})
+        assert JobSpec.from_json(spec.to_json()) == spec
+
+    def test_round_trip_through_wire_bytes(self):
+        spec = JobSpec(kind="explore", app="bank", bug="lost_update",
+                       dpor=True, sleep_sets=True, max_schedules=500)
+        assert JobSpec.from_json(loads(dumps(spec.to_json()))) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(JobValidationError, match="unknown job spec field"):
+            JobSpec.from_json({"app": "figure4", "nonsense": 1})
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(JobValidationError, match="unknown app"):
+            JobSpec(app="nosuchapp").validate()
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(JobValidationError, match="has no bug"):
+            JobSpec(app="figure4", bug="nope").validate()
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(JobValidationError, match="unknown job kind"):
+            JobSpec(kind="banana", app="figure4").validate()
+
+    def test_nonpositive_trials_rejected(self):
+        with pytest.raises(JobValidationError, match="trials must be positive"):
+            JobSpec(app="figure4", trials=0).validate()
+
+    def test_trial_timeout_requires_workers(self):
+        with pytest.raises(JobValidationError, match="requires workers"):
+            JobSpec(app="figure4", trial_timeout=1.0).validate()
+
+    def test_valid_spec_passes(self):
+        spec = JobSpec(app="figure4", bug="error1", trials=3)
+        assert spec.validate() is spec
+
+
+class TestStatsWire:
+    def test_stats_round_trip_is_bit_identical(self):
+        stats = run_trials(get_app("figure4"), n=4, bug="error1", timeout=0.2)
+        assert stats_from_wire(stats_to_wire(stats)) == stats
+
+    def test_stats_round_trip_through_json_bytes(self):
+        """Floats survive the actual JSON encode/decode, not just dicts."""
+        stats = run_trials(get_app("stringbuffer"), n=3, bug="atomicity1")
+        wire = loads(dumps(stats_to_wire(stats)))
+        assert stats_from_wire(wire) == stats
+
+    def test_stats_with_metrics_round_trip(self):
+        stats = run_trials(get_app("figure4"), n=3, bug="error1", timeout=0.2,
+                           collect_metrics=True)
+        rebuilt = stats_from_wire(loads(dumps(stats_to_wire(stats))))
+        assert rebuilt.metrics == stats.metrics
+        assert rebuilt == stats
+
+    def test_failures_round_trip(self):
+        failure = TrialFailure(seed=11, kind="crash", attempts=3, message="boom")
+        assert failure_from_wire(failure_to_wire(failure)) == failure
+        stats = TrialStats(app="x", bug=None, trials=1, bug_hits=0, bp_hits=0,
+                           runtimes=[], error_times=[], failures=[failure])
+        assert stats_from_wire(stats_to_wire(stats)).failures == [failure]
+
+
+class TestExecuteJob:
+    def test_trials_job_equals_direct_call(self):
+        spec = JobSpec(kind="trials", app="figure4", bug="error1", trials=5,
+                       timeout=0.2)
+        payload = execute_job(spec)
+        direct = run_trials(get_app("figure4"), n=5, bug="error1", timeout=0.2)
+        assert stats_from_wire(payload) == direct
+
+    def test_explore_job_summarises_exploration(self):
+        spec = JobSpec(kind="explore", app="bank", bug="lost_update",
+                       dpor=True, sleep_sets=True, max_schedules=2000)
+        payload = execute_job(spec)
+        assert payload["type"] == "explore"
+        assert payload["complete"] is True
+        assert payload["hits"] == payload["schedules"] > 0
+        assert payload["dpor"]["sleep_set_prunes"] > 0
+        assert payload["witnesses"]  # at least one bug-hitting choice list
+
+
+class TestJobRecord:
+    def test_lifecycle_and_wire_shape(self):
+        rec = JobRecord("job-000007", JobSpec(app="figure4", bug="error1", trials=1))
+        assert rec.state == "queued" and not rec.terminal
+        rec.mark_running()
+        assert rec.state == "running" and rec.queue_wait() is not None
+        rec.finish({"type": "trials"})
+        assert rec.terminal and rec.wait(0.1)
+        doc = rec.to_json()
+        assert doc["id"] == "job-000007"
+        assert doc["state"] == "done"
+        assert doc["result"] == {"type": "trials"}
+        assert doc["failure"] is None
+        assert doc["latency_seconds"] >= 0
+
+    def test_failure_path(self):
+        rec = JobRecord("job-000008", JobSpec(app="figure4", trials=1))
+        rec.mark_running()
+        rec.fail(TrialFailure(seed=0, kind="timeout", attempts=1, message="slow"))
+        doc = rec.to_json()
+        assert doc["state"] == "failed"
+        assert doc["failure"]["kind"] == "timeout"
+        # the failure record is the harness's own dataclass
+        assert dataclasses.is_dataclass(rec.failure)

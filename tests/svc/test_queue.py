@@ -1,0 +1,89 @@
+"""Bounded queue semantics: FIFO, backpressure, drain."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.svc.jobs import JobRecord, JobSpec
+from repro.svc.queue import BoundedJobQueue, QueueClosed, QueueFull
+
+
+def _record(i):
+    return JobRecord(f"job-{i:06d}", JobSpec(app="figure4", bug="error1", trials=1))
+
+
+class TestBoundedJobQueue:
+    def test_fifo_order(self):
+        q = BoundedJobQueue(8)
+        records = [_record(i) for i in range(5)]
+        for r in records:
+            q.put(r)
+        assert [q.get(timeout=0.1).id for _ in records] == [r.id for r in records]
+
+    def test_full_queue_rejects_with_retry_hint(self):
+        q = BoundedJobQueue(2, retry_hint=lambda: 3.5)
+        q.put(_record(0))
+        q.put(_record(1))
+        with pytest.raises(QueueFull) as exc:
+            q.put(_record(2))
+        assert exc.value.retry_after == 3.5
+
+    def test_default_retry_hint_is_positive(self):
+        q = BoundedJobQueue(1)
+        q.put(_record(0))
+        with pytest.raises(QueueFull) as exc:
+            q.put(_record(1))
+        assert exc.value.retry_after > 0
+
+    def test_close_refuses_puts_but_serves_backlog(self):
+        q = BoundedJobQueue(4)
+        q.put(_record(0))
+        q.put(_record(1))
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.put(_record(2))
+        assert q.get(timeout=0.1).id == "job-000000"
+        assert q.get(timeout=0.1).id == "job-000001"
+        assert q.get(timeout=0.1) is None  # closed and empty: exit signal
+
+    def test_get_timeout_returns_none(self):
+        q = BoundedJobQueue(4)
+        assert q.get(timeout=0.05) is None
+
+    def test_close_wakes_blocked_getter(self):
+        q = BoundedJobQueue(4)
+        got = []
+
+        def consume():
+            got.append(q.get(timeout=5.0))
+
+        t = threading.Thread(target=consume)
+        t.start()
+        q.close()
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert got == [None]
+
+    def test_depth_gauge_tracks_transitions(self):
+        reg = MetricsRegistry()
+        q = BoundedJobQueue(4, metrics=reg)
+        q.put(_record(0))
+        q.put(_record(1))
+        assert reg.gauge("svc.queue.depth", volatile=True).value == 2
+        assert reg.gauge("svc.queue.high_water", volatile=True).value == 2
+        q.get(timeout=0.1)
+        assert reg.gauge("svc.queue.depth", volatile=True).value == 1
+        assert reg.gauge("svc.queue.high_water", volatile=True).value == 2
+
+    def test_rejection_counter(self):
+        reg = MetricsRegistry()
+        q = BoundedJobQueue(1, metrics=reg)
+        q.put(_record(0))
+        with pytest.raises(QueueFull):
+            q.put(_record(1))
+        assert reg.counter("svc.queue.rejected", volatile=True).value == 1
+
+    def test_bad_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedJobQueue(0)

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate, stdlib-only.
+
+Walks a source tree with :mod:`ast` and reports the fraction of
+documentable definitions — modules, classes, functions, and methods —
+that carry a docstring.  Exits non-zero when coverage falls below the
+threshold, so it can gate CI without third-party tools.
+
+Counting rules (the public-API convention, as ``interrogate`` defaults
+would count with ``--ignore-private --ignore-nested-functions``):
+
+* every module, every public class, and every public (async) function
+  or method definition counts once;
+* private names (single leading underscore) are exempt along with
+  everything defined inside them, and so are dunder methods
+  (``__init__``, ``__repr__``, ...) — the former are implementation
+  detail, the latter's contracts are the language's;
+* functions nested inside another function are exempt (closures and
+  local helpers are detail of their enclosing def);
+* a body that is only ``...``/``pass`` (an overload stub or protocol
+  member) is exempt.
+
+Usage::
+
+    python tools/check_docstrings.py [--fail-under 80] [--verbose] [ROOT...]
+
+``ROOT`` defaults to ``src/repro``.
+"""
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_ROOTS = ["src/repro"]
+DEFAULT_THRESHOLD = 80.0
+
+
+def _is_stub(node):
+    """A body that is only ``...`` or ``pass`` (after the docstring slot)."""
+    body = node.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+        body = body[1:]
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis)
+        for stmt in body
+    )
+
+
+def _is_dunder(name):
+    return name.startswith("__") and name.endswith("__")
+
+
+def _is_private(name):
+    return name.startswith("_") and not _is_dunder(name)
+
+
+def audit_file(path):
+    """Yield ``(qualname, lineno, has_docstring)`` per documentable node."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    yield "<module>", 1, ast.get_docstring(tree, clean=False) is not None
+
+    stack = [(tree, "", False)]
+    while stack:
+        node, prefix, in_function = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                qual = f"{prefix}{child.name}"
+                is_function = not isinstance(child, ast.ClassDef)
+                if _is_private(child.name):
+                    continue  # the whole subtree is implementation detail
+                exempt = is_function and (
+                    _is_dunder(child.name) or in_function or _is_stub(child)
+                )
+                if not exempt:
+                    has = ast.get_docstring(child, clean=False) is not None
+                    yield qual, child.lineno, has
+                stack.append((child, qual + ".", is_function or in_function))
+
+
+def main(argv=None):
+    """Audit the given roots; return the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("roots", nargs="*", default=DEFAULT_ROOTS,
+                        help="files or directories to audit (default: src/repro)")
+    parser.add_argument("--fail-under", type=float, default=DEFAULT_THRESHOLD,
+                        metavar="PCT", help="minimum coverage percentage")
+    parser.add_argument("--verbose", action="store_true",
+                        help="list every undocumented definition")
+    args = parser.parse_args(argv)
+
+    files = []
+    for root in args.roots:
+        p = Path(root)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+        else:
+            print(f"error: no such python source: {root}", file=sys.stderr)
+            return 2
+
+    total = documented = 0
+    missing = []
+    for path in files:
+        for qual, lineno, has in audit_file(path):
+            total += 1
+            documented += has
+            if not has:
+                missing.append(f"{path}:{lineno}: {qual}")
+
+    if total == 0:
+        print("error: nothing to audit", file=sys.stderr)
+        return 2
+
+    pct = 100.0 * documented / total
+    if args.verbose and missing:
+        print("undocumented definitions:")
+        for line in missing:
+            print(f"  {line}")
+    print(f"docstring coverage: {documented}/{total} = {pct:.1f}% "
+          f"(threshold {args.fail_under:.0f}%)")
+    if pct < args.fail_under:
+        worst = "\n  ".join(missing[:15])
+        print(f"FAIL: below threshold; first misses:\n  {worst}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the reproduction service, as CI runs it.
+
+Exercises the daemon exactly the way an operator would: start
+``python -m repro serve`` as a subprocess on an ephemeral port, submit
+one trial job through the CLI client, scrape ``/metrics`` for the
+operational surface (queue depth gauge, job latency histogram), send
+SIGTERM, and assert the drain is clean (exit code 0, port released).
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+
+Exits 0 on success, 1 with a diagnostic on any failure.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TIMEOUT = 90.0
+
+
+def fail(msg, proc=None):
+    """Print a diagnostic (plus daemon output, if any) and exit 1."""
+    print(f"serve-smoke FAIL: {msg}", file=sys.stderr)
+    if proc is not None:
+        proc.kill()
+        out, _ = proc.communicate(timeout=10)
+        print(f"daemon output:\n{out}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    """Run the smoke sequence; exits via sys.exit."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        port_file = Path(tmp) / "svc.port"
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--slots", "2", "--port-file", str(port_file)],
+            cwd=REPO, env=env, text=True,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            deadline = time.monotonic() + TIMEOUT
+            while not port_file.exists():
+                if daemon.poll() is not None or time.monotonic() > deadline:
+                    fail("daemon did not come up", daemon)
+                time.sleep(0.05)
+            port = int(port_file.read_text())
+            base = f"http://127.0.0.1:{port}"
+            print(f"daemon up on {base}")
+
+            submit = subprocess.run(
+                [sys.executable, "-m", "repro", "submit", "figure4", "error1",
+                 "--trials", "5", "--timeout", "0.2", "--server", base],
+                cwd=REPO, env=env, text=True, capture_output=True,
+                timeout=TIMEOUT,
+            )
+            if submit.returncode != 0:
+                fail(f"submit rc={submit.returncode}:\n{submit.stdout}"
+                     f"{submit.stderr}", daemon)
+            if "reproduced 5/5" not in submit.stdout:
+                fail(f"unexpected submit output:\n{submit.stdout}", daemon)
+            print("job submitted and reproduced 5/5")
+
+            with urllib.request.urlopen(f"{base}/metrics", timeout=10) as resp:
+                snap = json.load(resp)
+            for required in ("svc.queue.depth", "svc.job_latency_seconds",
+                             "svc.jobs.completed"):
+                if required not in snap:
+                    fail(f"/metrics missing {required}: {sorted(snap)}", daemon)
+            if snap["svc.job_latency_seconds"]["count"] < 1:
+                fail("latency histogram recorded nothing", daemon)
+            if snap["svc.jobs.completed"]["value"] < 1:
+                fail("completion counter recorded nothing", daemon)
+            print("metrics OK: queue depth gauge + latency histogram present")
+
+            daemon.send_signal(signal.SIGTERM)
+            try:
+                out, _ = daemon.communicate(timeout=TIMEOUT)
+            except subprocess.TimeoutExpired:
+                fail("daemon did not drain within the timeout", daemon)
+            if daemon.returncode != 0:
+                fail(f"daemon exited rc={daemon.returncode}:\n{out}")
+            if "drained" not in out:
+                fail(f"no drain confirmation in daemon output:\n{out}")
+            print("SIGTERM drain clean (rc=0)")
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+
+    print("serve-smoke OK")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
