@@ -5,8 +5,8 @@ TRIALS ?= 100
 # -1 = one worker per CPU
 WORKERS ?= -1
 
-.PHONY: install test test-par lint docstrings serve-smoke bench bench-par \
-	bench-explore bench-svc report examples all
+.PHONY: install test test-par test-cache lint docstrings serve-smoke bench \
+	bench-par bench-explore bench-svc bench-cache report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +20,11 @@ test-par:
 	$(PYTHON) -m pytest tests/harness/test_parallel_runner.py \
 	    tests/core/test_engine_invariants.py \
 	    tests/sim/test_kernel_determinism.py
+
+# The cache battery: fingerprint canonicalization properties, store
+# atomicity/corruption/eviction, and the cached == fresh differentials.
+test-cache:
+	$(PYTHON) -m pytest tests/cache/
 
 # Critical-error lint (same rule set as the CI lint job).
 lint:
@@ -54,6 +59,11 @@ bench-explore:
 bench-svc:
 	$(PYTHON) -m pytest benchmarks/bench_svc_throughput.py \
 	    --benchmark-only -s
+
+# Cache acceptance gate: warm sweep >= 10x cold, bit-identical results.
+bench-cache:
+	$(PYTHON) -m pytest benchmarks/bench_cache.py \
+	    --benchmark-only -s --benchmark-json=bench-cache.json
 
 report:
 	$(PYTHON) -m repro report --trials $(TRIALS) --out results.md

@@ -1,0 +1,73 @@
+"""The cache acceptance gate: a warm sweep is >=10x faster than cold.
+
+The content-addressed result cache exists to make re-running the
+paper's evaluation nearly free: the second ``repro report`` (or any
+repeated trial sweep) should be dominated by JSON decode, not by
+simulation.  This bench runs one moderately sized sweep cold (empty
+store, every trial simulated) and then warm (every seed served from
+the store), asserts the >=10x speedup bar from the PR, and re-checks
+the differential contract — cached and fresh stats are bit-identical —
+so the speed never comes at the cost of fidelity.
+"""
+
+import shutil
+import tempfile
+import time
+
+from repro.apps import get_app
+from repro.cache import ResultCache
+from repro.harness import run_trials
+
+from conftest import TRIALS, emit
+
+#: One sweep's worth of work; scaled by REPRO_TRIALS like every bench.
+APP, BUG, TIMEOUT = "figure4", "error1", 0.2
+N = max(TRIALS, 50)
+
+
+def _timed_sweep(cache):
+    t0 = time.perf_counter()
+    stats = run_trials(get_app(APP), n=N, bug=BUG, timeout=TIMEOUT, cache=cache)
+    return time.perf_counter() - t0, stats
+
+
+def test_warm_cache_at_least_10x_cold(benchmark):
+    root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cache = ResultCache(root)
+
+        def experiment():
+            cold_elapsed, cold = _timed_sweep(cache)
+            warm_elapsed, warm = _timed_sweep(cache)
+            return cold_elapsed, cold, warm_elapsed, warm
+
+        cold_elapsed, cold, warm_elapsed, warm = benchmark.pedantic(
+            experiment, rounds=1, iterations=1
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    speedup = cold_elapsed / max(warm_elapsed, 1e-9)
+    benchmark.extra_info["trials"] = N
+    benchmark.extra_info["cold_seconds"] = round(cold_elapsed, 4)
+    benchmark.extra_info["warm_seconds"] = round(warm_elapsed, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+
+    emit(
+        f"Result cache — cold vs warm, {N} trials of {APP}/{BUG}",
+        "\n".join(
+            [
+                f"{'cold (simulated)':>20}: {cold_elapsed:.3f}s",
+                f"{'warm (from store)':>20}: {warm_elapsed:.3f}s",
+                f"{'speedup':>20}: {speedup:.0f}x",
+            ]
+        ),
+    )
+
+    # The differential contract: speed never costs fidelity.
+    fresh = run_trials(get_app(APP), n=N, bug=BUG, timeout=TIMEOUT)
+    assert cold == fresh
+    assert warm == fresh
+
+    # The acceptance bar.
+    assert speedup >= 10.0, f"warm cache speedup {speedup:.1f}x below the 10x bar"

@@ -23,7 +23,16 @@ Commands:
   ``--port-file``);
 * ``submit APP [BUG]`` — submit one job to a running daemon and print
   the result exactly like the corresponding local command
-  (``--server``, ``--kind trials|explore``, ``--trials``, ``--seed``).
+  (``--server``, ``--kind trials|explore``, ``--trials``, ``--seed``);
+* ``cache stats|clear`` — inspect or empty the content-addressed result
+  cache (``--cache-dir``).
+
+Multi-trial and exploration commands accept ``--cache-dir DIR`` (or the
+``REPRO_CACHE_DIR`` environment variable) to memoize results in a
+content-addressed on-disk cache — cached answers are bit-identical to
+fresh ones — and ``--no-cache`` to bypass it; ``serve`` shares one cache
+across all jobs and surfaces ``cache.hit``/``cache.miss`` on
+``/metrics``.
 
 Multi-trial commands accept ``--workers N`` (0 = serial, the default;
 ``-1`` = one worker per CPU) to fan the seeded trials over a process
@@ -37,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.apps import ALL_APPS, AppConfig, get_app
@@ -71,6 +81,23 @@ def _workers_arg(args: argparse.Namespace):
     return "auto" if w < 0 else w
 
 
+def _cache_from_args(args: argparse.Namespace):
+    """Build the :class:`repro.cache.ResultCache` the flags select.
+
+    ``--cache-dir`` (or the ``REPRO_CACHE_DIR`` environment variable)
+    turns caching on; ``--no-cache`` wins over both.  Returns None when
+    caching is off.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir:
+        return None
+    from repro.cache import ResultCache
+
+    return ResultCache(cache_dir)
+
+
 def _write_metrics(path: str, snapshot) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(snapshot, fh, indent=2, sort_keys=True)
@@ -90,6 +117,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             cls, n=args.trials, bug=bug, timeout=args.timeout, base_seed=args.seed,
             workers=_workers_arg(args), trial_timeout=args.trial_timeout,
             collect_metrics=metrics_out is not None,
+            cache=_cache_from_args(args),
         )
         print(
             f"{args.app}/{args.bug}: reproduced {stats.bug_hits}/{stats.trials} "
@@ -136,7 +164,8 @@ _TABLES = {
 
 def _cmd_table(args: argparse.Namespace) -> int:
     builder, title = _TABLES[args.command]
-    rows = builder(n=args.trials, workers=_workers_arg(args))
+    rows = builder(n=args.trials, workers=_workers_arg(args),
+                   cache=_cache_from_args(args))
     print(title + f" ({args.trials} trials)")
     print(render(rows))
     return 0
@@ -162,6 +191,18 @@ def main(argv=None) -> int:
             help="per-trial wall-clock budget (requires --workers)",
         )
 
+    def _add_cache_flags(p):
+        p.add_argument(
+            "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+            metavar="DIR",
+            help="content-addressed result cache directory "
+                 "(default: $REPRO_CACHE_DIR; unset = caching off)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="bypass the result cache even when --cache-dir is set",
+        )
+
     run_p = sub.add_parser("run", help="run one app/bug")
     run_p.add_argument("app")
     run_p.add_argument("bug")
@@ -174,6 +215,7 @@ def main(argv=None) -> int:
     run_p.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="dump the run's metrics registry as JSON")
     _add_parallel_flags(run_p)
+    _add_cache_flags(run_p)
 
     exp_p = sub.add_parser(
         "explore",
@@ -198,6 +240,7 @@ def main(argv=None) -> int:
     exp_p.add_argument("--shard-depth", type=int, default=2)
     exp_p.add_argument("--witnesses", type=int, default=3, metavar="K",
                        help="print up to K bug-hitting schedules")
+    _add_cache_flags(exp_p)
 
     met_p = sub.add_parser("metrics", help="run under observability and print metrics JSON")
     met_p.add_argument("app")
@@ -210,6 +253,7 @@ def main(argv=None) -> int:
     met_p.add_argument("--out", default=None, metavar="FILE",
                        help="write JSON here instead of stdout")
     _add_parallel_flags(met_p)
+    _add_cache_flags(met_p)
 
     ex_p = sub.add_parser("export-trace",
                           help="record one run and export its trace")
@@ -238,6 +282,7 @@ def main(argv=None) -> int:
                        help="extra attempts for a job whose worker crashed")
     srv_p.add_argument("--port-file", default=None, metavar="FILE",
                        help="write the bound port here once listening")
+    _add_cache_flags(srv_p)
 
     sb_p = sub.add_parser("submit", help="submit one job to a running daemon")
     sb_p.add_argument("app")
@@ -258,6 +303,8 @@ def main(argv=None) -> int:
                       help="per-job wall-clock budget")
     sb_p.add_argument("--wait-timeout", type=float, default=None, metavar="SECONDS",
                       help="give up waiting for the result after this long")
+    sb_p.add_argument("--no-cache", action="store_true",
+                      help="ask the daemon to bypass its result cache for this job")
     _add_parallel_flags(sb_p)
 
     an_p = sub.add_parser("analyze", help="run all detectors over one traced execution")
@@ -276,11 +323,20 @@ def main(argv=None) -> int:
     report_p.add_argument("--metrics-out", default=None, metavar="FILE",
                           help="dump the merged metrics of every sweep as JSON")
     _add_parallel_flags(report_p)
+    _add_cache_flags(report_p)
 
     for name in _TABLES:
         tp = sub.add_parser(name, help=f"regenerate {name}")
         tp.add_argument("--trials", type=int, default=100)
         _add_parallel_flags(tp)
+        _add_cache_flags(tp)
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_p.add_argument("action", choices=("stats", "clear"),
+                         help="stats = entry count and size; clear = drop everything")
+    cache_p.add_argument("--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+                         metavar="DIR",
+                         help="cache directory (default: $REPRO_CACHE_DIR)")
 
     args = parser.parse_args(argv)
     if getattr(args, "trial_timeout", None) is not None and getattr(args, "workers", 0) == 0:
@@ -305,7 +361,29 @@ def main(argv=None) -> int:
         return _cmd_serve(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return _cmd_table(args)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import ResultCache
+
+    if not args.cache_dir:
+        print("error: no cache directory (pass --cache-dir or set REPRO_CACHE_DIR)")
+        return 2
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
+        return 0
+    st = cache.stats()
+    print(f"cache {st.root}:")
+    print(f"  entries     : {st.entries}")
+    print(f"  total bytes : {st.total_bytes}")
+    print(f"  size bound  : {st.max_bytes}")
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -318,6 +396,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slots=args.slots,
         job_timeout=args.job_timeout,
         max_job_retries=args.max_job_retries,
+        cache_dir=None if args.no_cache else args.cache_dir,
     ).start()
     return serve_forever(service, port_file=args.port_file)
 
@@ -333,6 +412,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             timeout=args.timeout, base_seed=args.seed,
             workers=max(0, getattr(args, "workers", 0)),
             trial_timeout=args.trial_timeout, job_timeout=args.job_timeout,
+            no_cache=args.no_cache,
         )
     else:
         spec = JobSpec(
@@ -341,6 +421,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             seed=args.seed, timeout=args.timeout,
             workers=max(0, getattr(args, "workers", 0)),
             job_timeout=args.job_timeout,
+            no_cache=args.no_cache,
         )
     try:
         job_id = client.submit(spec)
@@ -405,7 +486,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         collect_cm = contextlib.nullcontext()
     with collect_cm:
         text = generate_report(trials=args.trials, markdown=args.out is not None,
-                               workers=_workers_arg(args))
+                               workers=_workers_arg(args),
+                               cache=_cache_from_args(args))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text)
@@ -427,6 +509,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             cls, n=args.trials, bug=args.bug, timeout=args.timeout,
             base_seed=args.seed, workers=_workers_arg(args),
             trial_timeout=args.trial_timeout, collect_metrics=True,
+            cache=_cache_from_args(args),
         )
         snapshot = stats.metrics
     else:
@@ -444,7 +527,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
-    from repro.harness import explore_app, outcome_hit
+    from repro.harness import explore_summary
     from repro.obs import ObsContext
     from repro.sim.timeline import render_choice_path
 
@@ -458,9 +541,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
     obs_ctx = ObsContext.create()
     try:
-        res = explore_app(
+        res = explore_summary(
             args.app,
             args.bug,
+            witness_limit=args.witnesses,
+            cache=_cache_from_args(args),
             dpor=args.dpor,
             sleep_sets=args.sleep_sets,
             snapshots=args.snapshots,
@@ -476,22 +561,23 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         print(f"error: {exc}")
         return 2
 
-    ex = res.exploration
-    coverage = "complete" if ex.complete else f"capped at {args.max_schedules}"
+    coverage = "complete" if res.complete else f"capped at {args.max_schedules}"
     print(f"{args.app}" + (f"/{args.bug}" if args.bug else "") + ":")
-    print(f"  schedules      : {ex.count} explored ({coverage}, {res.pool_mode} pool)")
+    print(f"  schedules      : {res.schedules} explored ({coverage}, {res.pool_mode} pool)")
     print(
-        f"  bug hit        : {res.hits}/{ex.count} schedules "
+        f"  bug hit        : {res.hits}/{res.schedules} schedules "
         f"(fraction {res.hit_fraction:.4f}, weighted {res.hit_probability:.4f})"
     )
-    if res.dpor_stats is not None:
-        st = res.dpor_stats
+    if res.dpor is not None:
+        st = res.dpor
         print(
-            f"  dpor           : {st.branches_added} branches, "
-            f"{st.conservative_fallbacks} fallbacks, "
-            f"{st.sleep_set_prunes} sleep-set prunes, "
-            f"{st.executed_steps} steps executed"
+            f"  dpor           : {st['branches_added']} branches, "
+            f"{st['conservative_fallbacks']} fallbacks, "
+            f"{st['sleep_set_prunes']} sleep-set prunes, "
+            f"{st['executed_steps']} steps executed"
         )
+    # Pool counters only populate when the exploration actually ran in
+    # this process (a cache hit executes nothing).
     snap = obs_ctx.metrics.snapshot()
     pool_counters = {
         k.rsplit(".", 1)[-1]: v.get("value", 0)
@@ -501,7 +587,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     if pool_counters:
         parts = ", ".join(f"{k} {v}" for k, v in sorted(pool_counters.items()))
         print(f"  snapshot pool  : {parts}")
-    for choices in ex.witnesses(outcome_hit, limit=args.witnesses):
+    for choices in res.witnesses:
         print(f"  witness        : {render_choice_path(choices)}")
     return 0
 

@@ -129,6 +129,10 @@ class BaseApp(abc.ABC):
     horizon: float = 30.0
     #: Step budget per run (runaway guard; generous).
     max_steps: int = 400_000
+    #: Result-cache invalidation tag (:mod:`repro.cache`): bump whenever
+    #: the app's workload, oracle, or breakpoint placement changes in a
+    #: way that alters trial outcomes for the same ``(config, seed)``.
+    cache_version: str = "1"
 
     def __init__(self, cfg: Optional[AppConfig] = None) -> None:
         self.cfg = cfg if cfg is not None else AppConfig()

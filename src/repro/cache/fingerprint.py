@@ -1,0 +1,215 @@
+"""Canonical fingerprints: the cache's content addresses.
+
+A cached result is only valid if it was produced by *exactly* the same
+computation — trials are pure functions of ``(app spec + AppConfig,
+engine/breakpoint config, seed range, trial timeout)``, explorations of
+the analogous strategy tuple, so the cache key must cover every field
+that can change the result and nothing that cannot.  Two rules shape
+this module:
+
+* **Canonicalisation** — the fingerprint is the SHA-256 of a canonical
+  JSON rendering (sorted keys, no whitespace, containers normalised to
+  lists) of a plain config document, so two configs that are equal as
+  values hash identically no matter how their dicts were built or their
+  fields ordered (``tests/cache/test_fingerprint.py`` fuzzes this).
+* **Explicit invalidation** — every fingerprint-relevant field appears
+  in the document by name: mutate any one (seed base, pause time ``T``,
+  predicate refinements, app version tag, schema version, ...) and the
+  key changes, so stale entries can never be served.  Fields that are
+  contractually result-invariant — the worker count, retry budget,
+  chunking — are deliberately *absent*: the differential batteries
+  (``tests/harness/test_parallel_runner.py``, ``tests/svc/``) prove
+  results bit-identical across them, so a sweep computed at any worker
+  count may serve a request at any other.
+
+The app version tag is :attr:`repro.apps.base.BaseApp.cache_version`;
+bump it whenever an app's workload or oracle changes in a way that
+alters trial outcomes.  ``CACHE_SCHEMA`` versions the wire layout of
+the cache entries themselves — bumping it orphans (and thereby
+invalidates) every existing entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Mapping, Optional, Type
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "canonical_json",
+    "fingerprint_doc",
+    "trial_config_doc",
+    "trial_fingerprint",
+    "explore_config_doc",
+    "explore_fingerprint",
+]
+
+#: Version of the cache's on-disk entry layout; a bump invalidates all
+#: existing entries (they simply stop matching any key).
+CACHE_SCHEMA = 1
+
+
+def _normalize(obj: Any) -> Any:
+    """Reduce a config value to the JSON-compatible canonical form.
+
+    Tuples become lists, sets/frozensets become sorted lists, dict keys
+    are stringified (JSON object keys are strings anyway) — so a config
+    document equals its own JSON round-trip, which is what lets a loaded
+    cache entry's stored config be compared against a requested one with
+    plain ``==``.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, Mapping):
+        return {str(k): _normalize(obj[k]) for k in obj}
+    if isinstance(obj, (set, frozenset)):
+        return sorted(_normalize(v) for v in obj)
+    if isinstance(obj, (list, tuple)):
+        return [_normalize(v) for v in obj]
+    raise TypeError(
+        f"cannot canonicalise {type(obj).__name__!r} for a cache fingerprint: {obj!r}"
+    )
+
+
+def canonical_json(doc: Mapping[str, Any]) -> str:
+    """The canonical rendering two equal configs always share."""
+    return json.dumps(_normalize(doc), sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint_doc(doc: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of the canonical rendering of ``doc``."""
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+def _app_version(app_cls: Type) -> str:
+    return str(getattr(app_cls, "cache_version", "1"))
+
+
+def trial_config_doc(
+    app_cls: Type,
+    *,
+    bug: Optional[str],
+    timeout: float,
+    flip_order: bool,
+    use_policies: bool,
+    params: Optional[Dict[str, Any]],
+    collect_metrics: bool,
+    trial_timeout: Optional[float],
+    only_breakpoints: Optional[frozenset] = None,
+) -> Dict[str, Any]:
+    """The fingerprint-relevant fields of one trial-sweep configuration.
+
+    Everything here changes per-trial outcomes: the app (and its
+    version tag), which bug's breakpoints are armed, the pause time
+    ``T``, the resolution order, the Section 6.3 predicate refinements,
+    the workload params, whether metrics travel with the outcomes, and
+    the per-trial wall-clock budget (it decides which seeds can fail).
+    The seed range is *not* here — it keys the per-seed rows inside the
+    entry, which is what makes partial-range reuse possible.
+    """
+    return {
+        "schema": CACHE_SCHEMA,
+        "kind": "trials",
+        "app": app_cls.name,
+        "app_version": _app_version(app_cls),
+        "bug": bug,
+        "pause_timeout": float(timeout),
+        "flip_order": bool(flip_order),
+        "use_policies": bool(use_policies),
+        "only_breakpoints": only_breakpoints,
+        "params": dict(params or {}),
+        "collect_metrics": bool(collect_metrics),
+        "trial_timeout": trial_timeout,
+    }
+
+
+def trial_fingerprint(
+    app_cls: Type,
+    *,
+    bug: Optional[str],
+    timeout: float,
+    flip_order: bool = False,
+    use_policies: bool = True,
+    params: Optional[Dict[str, Any]] = None,
+    collect_metrics: bool = False,
+    trial_timeout: Optional[float] = None,
+    base_seed: int = 0,
+    n: int = 100,
+) -> str:
+    """Full content address of one ``(config, seed range)`` sweep.
+
+    This is the identity the property tests exercise: permuting field
+    or dict order leaves it unchanged, mutating any single field —
+    including ``base_seed`` and ``n`` — changes it.  (The store itself
+    groups entries by the config document alone so different seed
+    ranges of one config can share rows; see
+    :mod:`repro.cache.results`.)
+    """
+    doc = trial_config_doc(
+        app_cls,
+        bug=bug,
+        timeout=timeout,
+        flip_order=flip_order,
+        use_policies=use_policies,
+        params=params,
+        collect_metrics=collect_metrics,
+        trial_timeout=trial_timeout,
+    )
+    doc["base_seed"] = int(base_seed)
+    doc["trials"] = int(n)
+    return fingerprint_doc(doc)
+
+
+def explore_config_doc(
+    app_cls: Type,
+    *,
+    bug: Optional[str],
+    dpor: bool,
+    sleep_sets: bool,
+    snapshots: bool,
+    sharded: bool,
+    shard_depth: Optional[int],
+    max_schedules: int,
+    max_steps: Optional[int],
+    seed: int,
+    timeout: float,
+    use_policies: bool,
+    params: Optional[Dict[str, Any]],
+    witness_limit: int,
+) -> Dict[str, Any]:
+    """Fingerprint-relevant fields of one exploration summary.
+
+    ``dpor``/``sleep_sets`` select the reduction (the reported
+    :class:`~repro.sim.dpor.DporStats` differ across them), ``snapshots``
+    selects the pool (``pool_mode`` is part of the summary), and
+    ``sharded``/``shard_depth`` fix the frontier layout.  The *worker
+    count* is absent: the sharded merge is bit-identical for any count
+    (``tests/sim/test_snapshot_explore.py``).  ``max_steps`` must be
+    resolved by the caller (an explicit value equal to the app default
+    is the same computation and must hash the same).
+    """
+    return {
+        "schema": CACHE_SCHEMA,
+        "kind": "explore",
+        "app": app_cls.name,
+        "app_version": _app_version(app_cls),
+        "bug": bug,
+        "dpor": bool(dpor),
+        "sleep_sets": bool(sleep_sets),
+        "snapshots": bool(snapshots),
+        "sharded": bool(sharded),
+        "shard_depth": int(shard_depth) if sharded and shard_depth is not None else None,
+        "max_schedules": int(max_schedules),
+        "max_steps": max_steps,
+        "seed": int(seed),
+        "pause_timeout": float(timeout),
+        "use_policies": bool(use_policies),
+        "params": dict(params or {}),
+        "witness_limit": int(witness_limit),
+    }
+
+
+def explore_fingerprint(app_cls: Type, **fields: Any) -> str:
+    """Content address of one exploration-summary configuration."""
+    return fingerprint_doc(explore_config_doc(app_cls, **fields))

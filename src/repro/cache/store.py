@@ -1,0 +1,183 @@
+"""On-disk entry store: atomic writes, LRU eviction, corruption fallback.
+
+The store is deliberately dumb — it maps a hex fingerprint to one JSON
+document and knows nothing about trials or explorations.  Three
+robustness rules, each proven in ``tests/cache/test_store.py``:
+
+* **Atomic writes.**  Entries are written to a ``.tmp`` sibling and
+  published with :func:`os.replace`, so a crash mid-write can never
+  leave a half-written entry where a reader would find it.
+* **Corruption falls back to recompute.**  A file that fails to parse,
+  has the wrong schema, or whose embedded config document does not
+  match the requested one is deleted and reported as a miss — the
+  cache can be slow, it can never be wrong.
+* **LRU size bound.**  After every store the total byte size is checked
+  against ``max_bytes`` and the least-recently-used entries (by file
+  mtime; hits re-touch) are evicted until the bound holds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .fingerprint import CACHE_SCHEMA
+
+__all__ = ["CacheStore", "StoreStats", "DEFAULT_MAX_BYTES"]
+
+#: Default size bound — generous for this repo's JSON entries (a 1000-trial
+#: sweep with metrics is ~1 MB), small enough to exercise eviction in tests.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Point-in-time accounting of the on-disk store (``repro cache stats``)."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    max_bytes: int
+
+
+class CacheStore:
+    """Filesystem store of fingerprint-keyed JSON entries.
+
+    Layout is ``root/<key[:2]>/<key>.json`` — two-hex-char fan-out keeps
+    directory listings small without mattering for correctness.  The
+    store never raises on a bad entry; every failure mode degrades to a
+    miss (``on_event("corrupt")`` lets the owner count it).
+    """
+
+    def __init__(
+        self,
+        root: os.PathLike,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        on_event: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.max_bytes = int(max_bytes)
+        self._on_event = on_event
+
+    # -- internals ---------------------------------------------------------
+
+    def _event(self, name: str) -> None:
+        if self._on_event is not None:
+            self._on_event(name)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _entry_files(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return [p for p in self.root.glob("*/*.json") if p.is_file()]
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- read/write --------------------------------------------------------
+
+    def load(self, key: str, *, expect_config: Optional[Dict[str, Any]] = None) -> Optional[Dict[str, Any]]:
+        """Return the entry for ``key``, or ``None`` on any failure.
+
+        ``expect_config`` is hash-collision paranoia: the caller passes
+        the normalized config document it fingerprinted and the entry is
+        only served if the stored copy compares equal.  Unreadable,
+        unparsable, wrong-schema, and mismatched entries are deleted so
+        they cannot fail again.
+        """
+        path = self._path(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            doc = json.loads(raw)
+        except ValueError:
+            self._event("corrupt")
+            self._discard(path)
+            return None
+        if not isinstance(doc, dict) or doc.get("schema") != CACHE_SCHEMA:
+            self._event("corrupt")
+            self._discard(path)
+            return None
+        if expect_config is not None and doc.get("config") != expect_config:
+            self._event("corrupt")
+            self._discard(path)
+            return None
+        self.touch(key)
+        return doc
+
+    def store(self, key: str, doc: Dict[str, Any]) -> None:
+        """Atomically publish ``doc`` under ``key``, then enforce the bound."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(doc, separators=(",", ":")), encoding="utf-8")
+        os.replace(tmp, path)
+        self._event("store")
+        self._evict()
+
+    def touch(self, key: str) -> None:
+        """Refresh the entry's LRU position (mtime) after a hit."""
+        try:
+            os.utime(self._path(key))
+        except OSError:
+            pass
+
+    # -- maintenance -------------------------------------------------------
+
+    def _evict(self) -> int:
+        """Drop least-recently-used entries until the byte bound holds."""
+        files: List[Tuple[float, int, Path]] = []
+        total = 0
+        for p in self._entry_files():
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            files.append((st.st_mtime, st.st_size, p))
+            total += st.st_size
+        if total <= self.max_bytes:
+            return 0
+        evicted = 0
+        for _, size, p in sorted(files, key=lambda t: (t[0], str(t[2]))):
+            if total <= self.max_bytes:
+                break
+            self._discard(p)
+            total -= size
+            evicted += 1
+            self._event("evict")
+        return evicted
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for p in self._entry_files():
+            self._discard(p)
+            removed += 1
+        return removed
+
+    def stats(self) -> StoreStats:
+        """Entry count and byte total for ``repro cache stats``."""
+        files = self._entry_files()
+        total = 0
+        for p in files:
+            try:
+                total += p.stat().st_size
+            except OSError:
+                pass
+        return StoreStats(
+            root=str(self.root),
+            entries=len(files),
+            total_bytes=total,
+            max_bytes=self.max_bytes,
+        )

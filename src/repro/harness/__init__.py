@@ -6,7 +6,13 @@
 measurements next to the paper's numbers; ``render`` pretty-prints them.
 """
 
-from .exploration import AppExploration, explore_app, outcome_hit
+from .exploration import (
+    AppExploration,
+    ExplorationSummary,
+    explore_app,
+    explore_summary,
+    outcome_hit,
+)
 from .paperdata import SECTION5, SECTION62, TABLE1, TABLE2
 from .parallel import (
     ParallelExecutionError,
@@ -37,7 +43,9 @@ from .tables import (
 
 __all__ = [
     "AppExploration",
+    "ExplorationSummary",
     "explore_app",
+    "explore_summary",
     "outcome_hit",
     "SECTION5",
     "SECTION62",

@@ -19,14 +19,77 @@ reproduction-probability column.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.apps import AppConfig, get_app
 from repro.sim.dpor import DporStats, explore_dpor, explore_dpor_sharded
 from repro.sim.explore import Exploration, Outcome, explore
 from repro.sim.snapshot import fork_available
 
-__all__ = ["AppExploration", "explore_app", "outcome_hit"]
+__all__ = [
+    "AppExploration",
+    "ExplorationSummary",
+    "explore_app",
+    "explore_summary",
+    "outcome_hit",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExplorationSummary:
+    """The decision-relevant reduction of an :class:`AppExploration`.
+
+    This is what crosses process and storage boundaries: the svc wire
+    form and the result cache both carry it instead of the (unbounded)
+    outcome list.  ``witnesses`` keeps up to the requested number of
+    bug-hitting schedules as explicit choice lists — enough to replay a
+    witness locally.  ``to_wire``/``from_wire`` round-trip losslessly
+    through JSON.
+    """
+
+    app: str
+    bug: Optional[str]
+    schedules: int
+    complete: bool
+    hits: int
+    hit_fraction: float
+    hit_probability: float
+    pool_mode: str
+    #: ``dataclasses.asdict`` of the :class:`DporStats`, or None.
+    dpor: Optional[Dict[str, Any]]
+    witnesses: List[List[int]]
+
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON dict in the established ``repro.svc/1`` explore shape."""
+        return {
+            "type": "explore",
+            "app": self.app,
+            "bug": self.bug,
+            "schedules": self.schedules,
+            "complete": self.complete,
+            "hits": self.hits,
+            "hit_fraction": self.hit_fraction,
+            "hit_probability": self.hit_probability,
+            "pool_mode": self.pool_mode,
+            "dpor": self.dpor,
+            "witnesses": [list(c) for c in self.witnesses],
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Dict[str, Any]) -> "ExplorationSummary":
+        """Inverse of :meth:`to_wire`."""
+        return cls(
+            app=doc["app"],
+            bug=doc["bug"],
+            schedules=doc["schedules"],
+            complete=doc["complete"],
+            hits=doc["hits"],
+            hit_fraction=doc["hit_fraction"],
+            hit_probability=doc["hit_probability"],
+            pool_mode=doc["pool_mode"],
+            dpor=doc["dpor"],
+            witnesses=[list(c) for c in doc.get("witnesses", [])],
+        )
 
 
 @dataclasses.dataclass
@@ -45,6 +108,28 @@ class AppExploration:
     hit_fraction: float
     #: Branch-choice-weighted hit probability (see module docstring).
     hit_probability: float
+
+    def summary(self, witness_limit: int = 3) -> ExplorationSummary:
+        """Reduce to the bounded, serializable summary form."""
+        return ExplorationSummary(
+            app=self.app,
+            bug=self.bug,
+            schedules=self.exploration.count,
+            complete=self.exploration.complete,
+            hits=self.hits,
+            hit_fraction=self.hit_fraction,
+            hit_probability=self.hit_probability,
+            pool_mode=self.pool_mode,
+            dpor=(
+                dataclasses.asdict(self.dpor_stats)
+                if self.dpor_stats is not None
+                else None
+            ),
+            witnesses=[
+                list(c)
+                for c in self.exploration.witnesses(outcome_hit, limit=witness_limit)
+            ],
+        )
 
 
 def outcome_hit(outcome: Outcome) -> bool:
@@ -172,3 +257,26 @@ def explore_app(
         hit_fraction=exploration.probability(outcome_hit),
         hit_probability=exploration.probability(outcome_hit, weighted=True),
     )
+
+
+def explore_summary(
+    app_name: str,
+    bug: Optional[str] = None,
+    *,
+    witness_limit: int = 3,
+    cache: Optional[Any] = None,
+    **kwargs: Any,
+) -> ExplorationSummary:
+    """Summary-form exploration, served from ``cache`` when one is given.
+
+    Same keyword surface as :func:`explore_app`; with a
+    :class:`repro.cache.ResultCache` the summary comes from the
+    content-addressed store (running the exploration only on a miss),
+    without one it is computed directly — identical either way, which is
+    what ``tests/cache/test_differential.py`` asserts.
+    """
+    if cache is not None:
+        return cache.explore(
+            app_name, bug, witness_limit=witness_limit, **kwargs
+        )
+    return explore_app(app_name, bug, **kwargs).summary(witness_limit=witness_limit)

@@ -261,6 +261,7 @@ def run_trials_parallel(
     chunk_size: Optional[int] = None,
     trial_hook: Optional[Callable[[int, int], None]] = None,
     collect_metrics: bool = False,
+    on_outcome: Optional[Callable[[TrialOutcome], None]] = None,
 ) -> TrialStats:
     """Parallel, fault-tolerant equivalent of :func:`repro.harness.run_trials`.
 
@@ -269,7 +270,9 @@ def run_trials_parallel(
     the breakpoint pause ``timeout``, which is virtual time inside the
     simulation.  ``max_retries`` bounds additional attempts for a trial
     whose worker crashed or raised.  ``trial_hook`` is a picklable
-    fault-injection callable for tests.
+    fault-injection callable for tests.  ``on_outcome`` observes each
+    successful outcome parent-side as it streams in (failures never reach
+    it — the result cache relies on that to store only real results).
     """
     from repro.obs.context import current_sink
 
@@ -358,6 +361,8 @@ def run_trials_parallel(
                     w.begin_time = time.monotonic()
                 elif msg[0] == _MSG_OK:
                     agg.add(msg[3])
+                    if on_outcome is not None:
+                        on_outcome(msg[3])
                     w.done_seeds.add(msg[1])
                     w.current = None
                 elif msg[0] == _MSG_ERR:

@@ -32,15 +32,16 @@ def _md_table(rows, header) -> str:
     return out.getvalue()
 
 
-def generate_report(trials: int = 100, markdown: bool = True, workers=None) -> str:
+def generate_report(trials: int = 100, markdown: bool = True, workers=None,
+                    cache=None) -> str:
     """Run all table experiments and return the finished report."""
     fmt = _md_table if markdown else lambda rows, header: render(rows, header) + "\n"
 
-    t1 = build_table1(n=trials, workers=workers)
-    t2 = build_table2(n=trials, workers=workers)
-    s5 = build_section5(n=trials, workers=workers)
-    s62 = build_section62(n=trials, workers=workers)
-    s63 = build_section63(n=max(trials // 2, 10), workers=workers)
+    t1 = build_table1(n=trials, workers=workers, cache=cache)
+    t2 = build_table2(n=trials, workers=workers, cache=cache)
+    s5 = build_section5(n=trials, workers=workers, cache=cache)
+    s62 = build_section62(n=trials, workers=workers, cache=cache)
+    s63 = build_section63(n=max(trials // 2, 10), workers=workers, cache=cache)
 
     out = io.StringIO()
     out.write("# Concurrent Breakpoints — regenerated evaluation\n\n")

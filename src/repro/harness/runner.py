@@ -19,7 +19,7 @@ on.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Optional, Type, Union
+from typing import Any, Callable, Dict, Optional, Type, Union
 
 from repro.apps.base import AppConfig, BaseApp
 
@@ -38,7 +38,11 @@ def _resolve_workers(workers: Union[int, str, None]) -> int:
 
         return default_workers()
     w = int(workers)
-    return max(0, w)
+    if w < 0:
+        raise ValueError(
+            f"workers must be >= 0 (0 = serial) or 'auto', got {w}"
+        )
+    return w
 
 
 def run_trials(
@@ -54,6 +58,9 @@ def run_trials(
     trial_timeout: Optional[float] = None,
     max_retries: int = 2,
     collect_metrics: bool = False,
+    cache: Optional[Any] = None,
+    on_outcome: Optional[Callable[[Any], None]] = None,
+    trial_hook: Optional[Callable[[int, int], None]] = None,
 ) -> TrialStats:
     """Run ``n`` seeded executions of one configuration.
 
@@ -67,8 +74,34 @@ def run_trials(
     active (:func:`repro.obs.collecting`).  Merging happens in ascending
     seed order inside the aggregator, so the non-volatile metrics are
     bit-identical between the serial and parallel paths.
+
+    ``cache`` (a :class:`repro.cache.ResultCache`) serves the sweep from
+    the content-addressed store, running only seeds it has never seen —
+    the returned stats are bit-identical either way.  ``on_outcome``
+    observes each successful :class:`TrialOutcome` as it is aggregated
+    (how the cache captures fresh results for storage).  ``trial_hook``
+    is the parallel runner's fault-injection hook, forwarded verbatim
+    (tests only; requires workers, never part of the cache fingerprint).
     """
     n_workers = _resolve_workers(workers)
+    if trial_timeout is not None and not n_workers:
+        raise ValueError("trial_timeout requires workers (serial trials cannot be preempted)")
+    if cache is not None:
+        return cache.run_trials(
+            app_cls,
+            n=n,
+            bug=bug,
+            timeout=timeout,
+            flip_order=flip_order,
+            use_policies=use_policies,
+            base_seed=base_seed,
+            params=params,
+            workers=workers,
+            trial_timeout=trial_timeout,
+            max_retries=max_retries,
+            collect_metrics=collect_metrics,
+            trial_hook=trial_hook,
+        )
     if n_workers:
         return run_trials_parallel(
             app_cls,
@@ -83,9 +116,9 @@ def run_trials(
             trial_timeout=trial_timeout,
             max_retries=max_retries,
             collect_metrics=collect_metrics,
+            on_outcome=on_outcome,
+            trial_hook=trial_hook,
         )
-    if trial_timeout is not None:
-        raise ValueError("trial_timeout requires workers (serial trials cannot be preempted)")
     from repro.obs.context import current_sink
 
     collect = collect_metrics or current_sink() is not None
@@ -106,7 +139,10 @@ def run_trials(
         # see execute_trial for why reuse matters.
         reuse = ObsContext.create(bus_enabled=False)
     for i in range(n):
-        agg.add(execute_trial(app_cls, cfg, base_seed + i, reuse_obs=reuse))
+        outcome = execute_trial(app_cls, cfg, base_seed + i, reuse_obs=reuse)
+        agg.add(outcome)
+        if on_outcome is not None:
+            on_outcome(outcome)
     return agg.finalize()
 
 
@@ -139,16 +175,17 @@ def measure(
     params: Optional[Dict[str, Any]] = None,
     workers: Union[int, str, None] = None,
     trial_timeout: Optional[float] = None,
+    cache: Optional[Any] = None,
 ) -> OverheadRow:
     """Paired normal/with-breakpoints measurement for one bug."""
     plain = run_trials(
         app_cls, n=n, bug=None, base_seed=base_seed, params=params,
-        workers=workers, trial_timeout=trial_timeout,
+        workers=workers, trial_timeout=trial_timeout, cache=cache,
     )
     with_bp = run_trials(
         app_cls, n=n, bug=bug, timeout=timeout, use_policies=use_policies,
         base_seed=base_seed, params=params,
-        workers=workers, trial_timeout=trial_timeout,
+        workers=workers, trial_timeout=trial_timeout, cache=cache,
     )
     return OverheadRow(
         app=app_cls.name,

@@ -75,13 +75,14 @@ class Table1Row:
     ]
 
 
-def build_table1(n: int = 100, base_seed: int = 0, workers=None) -> List[Table1Row]:
+def build_table1(n: int = 100, base_seed: int = 0, workers=None, cache=None) -> List[Table1Row]:
     """Reproduce Table 1: every Java (app, bug) pair, n trials each."""
     rows: List[Table1Row] = []
     for app_name, bug in sorted(table1_bugs()):
         app_cls = get_app(app_name)
         cfg = TABLE1_CONFIG.get((app_name, bug), {})
-        m = measure(app_cls, bug, n=n, base_seed=base_seed, workers=workers, **cfg)
+        m = measure(app_cls, bug, n=n, base_seed=base_seed, workers=workers,
+                    cache=cache, **cfg)
         paper = paperdata.TABLE1.get((app_name, bug))
         spec = app_cls.bugs[bug]
         rows.append(
@@ -131,12 +132,13 @@ class Table2Row:
     HEADER = ["Benchmark", "LoC(orig)", "Error", "MTTE(s)", "Paper MTTE", "#CBR", "Prob.", "Comments"]
 
 
-def build_table2(n: int = 60, base_seed: int = 0, workers=None) -> List[Table2Row]:
+def build_table2(n: int = 60, base_seed: int = 0, workers=None, cache=None) -> List[Table2Row]:
     """Reproduce Table 2: the C/C++ server bugs, mean time to error."""
     rows: List[Table2Row] = []
     for app_name, bug in sorted(table2_bugs()):
         app_cls = get_app(app_name)
-        stats = run_trials(app_cls, n=n, bug=bug, base_seed=base_seed, workers=workers)
+        stats = run_trials(app_cls, n=n, bug=bug, base_seed=base_seed, workers=workers,
+                           cache=cache)
         paper = paperdata.TABLE2.get((app_name, bug))
         spec = app_cls.bugs[bug]
         rows.append(
@@ -177,12 +179,12 @@ class Section5Row:
     HEADER = ["Conflict resolve order", "Stall %", "Paper", "BP hit %", "Paper"]
 
 
-def build_section5(n: int = 100, base_seed: int = 0, workers=None) -> List[Section5Row]:
+def build_section5(n: int = 100, base_seed: int = 0, workers=None, cache=None) -> List[Section5Row]:
     """Reproduce the Section 5 log4j conflict-resolution table."""
     rows: List[Section5Row] = []
     for bug, flip, label in SECTION5_PAIRS:
         stats = run_trials(Log4jApp, n=n, bug=bug, flip_order=flip, base_seed=base_seed,
-                           workers=workers)
+                           workers=workers, cache=cache)
         stall = 100.0 * stats.bug_hits / stats.trials
         hit = 100.0 * stats.bp_hit_rate
         paper_stall, paper_hit = paperdata.SECTION5[label]
@@ -213,7 +215,7 @@ class ParamRow:
     HEADER = ["Configuration", "Prob.", "Paper", "Runtime(s)", "Note"]
 
 
-def build_section62(n: int = 100, base_seed: int = 0, workers=None) -> List[ParamRow]:
+def build_section62(n: int = 100, base_seed: int = 0, workers=None, cache=None) -> List[ParamRow]:
     """Section 6.2: probability and runtime vs pause time."""
     rows: List[ParamRow] = []
     for app_name, bug, wait in [
@@ -225,7 +227,8 @@ def build_section62(n: int = 100, base_seed: int = 0, workers=None) -> List[Para
         app_cls = get_app(app_name)
         use_pol = app_name != "swing"  # swing's Table 1 rows are unrefined
         stats = run_trials(app_cls, n=n, bug=bug, timeout=wait,
-                           use_policies=use_pol, base_seed=base_seed, workers=workers)
+                           use_policies=use_pol, base_seed=base_seed, workers=workers,
+                           cache=cache)
         rows.append(
             ParamRow(
                 label=f"{app_name}/{bug} wait={int(wait * 1000)}ms",
@@ -237,7 +240,7 @@ def build_section62(n: int = 100, base_seed: int = 0, workers=None) -> List[Para
     return rows
 
 
-def build_section63(n: int = 60, base_seed: int = 0, workers=None) -> List[ParamRow]:
+def build_section63(n: int = 60, base_seed: int = 0, workers=None, cache=None) -> List[ParamRow]:
     """Section 6.3: precision refinements on vs off.
 
     Three case studies: cache4j's ``ignoreFirst``, moldyn's ``bound``,
@@ -254,7 +257,7 @@ def build_section63(n: int = 60, base_seed: int = 0, workers=None) -> List[Param
         app_cls = get_app(app_name)
         for refined in (False, True):
             stats = run_trials(app_cls, n=n, bug=bug, use_policies=refined,
-                               base_seed=base_seed, workers=workers)
+                               base_seed=base_seed, workers=workers, cache=cache)
             rows.append(
                 ParamRow(
                     label=f"{app_name}/{bug} {'with' if refined else 'without'} {refinement}",

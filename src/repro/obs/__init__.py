@@ -29,7 +29,7 @@ export-trace <app> --seed S --format chrome|jsonl``, and
 """
 
 from .bus import NULL_SIGNAL, EventBus, NullSignal, ObsEvent, Signal
-from .context import ObsContext, collecting, current_sink
+from .context import ObsContext, collecting, current_sink, not_collecting
 from .metrics import (
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -62,6 +62,7 @@ __all__ = [
     "ObsContext",
     "collecting",
     "current_sink",
+    "not_collecting",
     "Counter",
     "Gauge",
     "Histogram",

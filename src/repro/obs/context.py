@@ -26,7 +26,7 @@ from typing import Iterator, Optional
 from .bus import EventBus
 from .metrics import MetricsRegistry
 
-__all__ = ["ObsContext", "collecting", "current_sink"]
+__all__ = ["ObsContext", "collecting", "current_sink", "not_collecting"]
 
 
 @dataclasses.dataclass
@@ -69,5 +69,24 @@ def collecting(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricsRe
     _SINK = reg
     try:
         yield reg
+    finally:
+        _SINK = prev
+
+
+@contextlib.contextmanager
+def not_collecting() -> Iterator[None]:
+    """Suppress the ambient sink for the dynamic extent.
+
+    Used by the result cache when it re-runs missing seed segments: each
+    inner sweep would otherwise fold its merged registry into the sink
+    *and* the cache's final re-aggregation would fold the same trials
+    again — suppressing the sink around the inner runs keeps every trial
+    counted exactly once.
+    """
+    global _SINK
+    prev = _SINK
+    _SINK = None
+    try:
+        yield
     finally:
         _SINK = prev

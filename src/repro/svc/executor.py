@@ -41,7 +41,7 @@ from typing import Any, Callable, List, Optional, Tuple
 from repro.harness.stats import TrialFailure
 from repro.obs.metrics import MetricsRegistry
 
-from .jobs import JobRecord, JobSpec, execute_job
+from .jobs import JobRecord, JobSpec, execute_job, try_cached_result
 from .queue import BoundedJobQueue
 
 __all__ = ["JobExecutor"]
@@ -62,17 +62,28 @@ def _job_child(
     spec: JobSpec,
     fault_hook: Optional[FaultHook],
     attempt: int,
+    cache: Optional[Any] = None,
 ) -> None:
-    """Child-process body: run one job, send back ``("ok", payload)``.
+    """Child-process body: run one job, send back ``("ok", payload, wire)``.
 
     An exception escaping the job body is reported as ``("err", msg)``
     and the child exits cleanly; a crash (no message, dead process) is
-    detected parent-side.
+    detected parent-side.  The child's ``cache.*`` counter increments
+    happen in forked memory the parent never sees, so the cache is
+    rebound to a fresh registry whose wire form travels back alongside
+    the payload for the parent to merge into the service metrics.
     """
+    cache_wire = None
     try:
         if fault_hook is not None:
             fault_hook(spec, attempt)
-        payload = execute_job(spec)
+        cache_reg = None
+        if cache is not None:
+            cache_reg = MetricsRegistry()
+            cache = cache.with_metrics(cache_reg)
+        payload = execute_job(spec, cache=cache)
+        if cache_reg is not None:
+            cache_wire = cache_reg.to_wire()
     except Exception as exc:  # noqa: BLE001 - forwarded as a structured failure
         try:
             conn.send(("err", f"{type(exc).__name__}: {exc}"))
@@ -80,7 +91,7 @@ def _job_child(
             pass
     else:
         try:
-            conn.send(("ok", payload))
+            conn.send(("ok", payload, cache_wire))
         except OSError:
             pass
     finally:
@@ -102,6 +113,7 @@ class JobExecutor:
         job_timeout: Optional[float] = None,
         max_job_retries: int = 1,
         fault_hook: Optional[FaultHook] = None,
+        cache: Optional[Any] = None,
     ) -> None:
         if slots <= 0:
             raise ValueError(f"executor slots must be positive, got {slots}")
@@ -111,6 +123,8 @@ class JobExecutor:
         self.job_timeout = job_timeout
         self.max_job_retries = max_job_retries
         self._fault_hook = fault_hook
+        #: Shared :class:`repro.cache.ResultCache` (None = caching off).
+        self.cache = cache
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
@@ -218,6 +232,13 @@ class JobExecutor:
                 self._metrics.histogram(
                     "svc.job_queue_wait_seconds", volatile=True
                 ).observe(wait)
+        cached = try_cached_result(self.cache, spec)
+        if cached is not None:
+            # Full cache coverage: no fork, no attempt — the lookup
+            # itself already counted cache.hit into the service registry.
+            record.finish(cached)
+            self._note_done(record, failed=False)
+            return
         budget = spec.job_timeout if spec.job_timeout is not None else self.job_timeout
         kind = "crash"
         message = ""
@@ -269,7 +290,7 @@ class JobExecutor:
         # Non-daemonic: the job may spawn its own harness.parallel pool.
         proc = self._ctx.Process(
             target=_job_child,
-            args=(child_conn, spec, self._fault_hook, attempt),
+            args=(child_conn, spec, self._fault_hook, attempt, self.cache),
             daemon=False,
         )
         proc.start()
@@ -289,6 +310,11 @@ class JobExecutor:
                     except (EOFError, OSError):
                         return False, None, "crash", "job worker died mid-job"
                     if msg[0] == "ok":
+                        if len(msg) > 2 and msg[2]:
+                            # Fold the child's cache.* counter deltas in
+                            # (forked memory — increments would be lost).
+                            with self._lock:
+                                self._metrics.merge_wire(msg[2])
                         return True, msg[1], None, None
                     return False, None, "exception", msg[1]
                 if not proc.is_alive() and not conn.poll():

@@ -38,6 +38,7 @@ __all__ = [
     "FAILED",
     "TERMINAL_STATES",
     "execute_job",
+    "try_cached_result",
     "stats_to_wire",
     "stats_from_wire",
     "failure_to_wire",
@@ -99,6 +100,10 @@ class JobSpec:
     witness_limit: int = 3
     # --- service-level knobs ---
     job_timeout: Optional[float] = None
+    #: Bypass the service's shared result cache for this job only
+    #: (results are bit-identical either way; this exists for
+    #: measurement and for forcing a recompute).
+    no_cache: bool = False
 
     def validate(self) -> "JobSpec":
         """Check the spec against the app registry; return self.
@@ -217,40 +222,29 @@ def _exploration_to_wire(res: Any, witness_limit: int) -> Dict[str, Any]:
     reduction stats) plus up to ``witness_limit`` bug-hitting schedules
     as explicit choice lists — enough to replay a witness locally.
     """
-    from repro.harness.exploration import outcome_hit
-
-    ex = res.exploration
-    dpor: Optional[Dict[str, Any]] = None
-    if res.dpor_stats is not None:
-        dpor = dataclasses.asdict(res.dpor_stats)
-    return {
-        "type": "explore",
-        "app": res.app,
-        "bug": res.bug,
-        "schedules": ex.count,
-        "complete": ex.complete,
-        "hits": res.hits,
-        "hit_fraction": res.hit_fraction,
-        "hit_probability": res.hit_probability,
-        "pool_mode": res.pool_mode,
-        "dpor": dpor,
-        "witnesses": [list(c) for c in ex.witnesses(outcome_hit, limit=witness_limit)],
-    }
+    return res.summary(witness_limit=witness_limit).to_wire()
 
 
-def execute_job(spec: JobSpec) -> Dict[str, Any]:
+def execute_job(spec: JobSpec, cache: Optional[Any] = None) -> Dict[str, Any]:
     """Run one job to completion and return its wire-form result.
 
     This runs inside the executor's job child process.  It is a thin
     dispatch onto the library entry points — the service adds no
     semantics here, which is exactly the differential battery's claim.
+    ``cache`` is the service's shared :class:`repro.cache.ResultCache`
+    (ignored when the spec opts out); cached and fresh results are
+    bit-identical by the cache's own contract.
     """
+    if spec.no_cache:
+        cache = None
     if spec.kind == "explore":
-        from repro.harness import explore_app
+        from repro.harness import explore_summary
 
-        res = explore_app(
+        summary = explore_summary(
             spec.app,
             spec.bug,
+            witness_limit=spec.witness_limit,
+            cache=cache,
             dpor=spec.dpor,
             sleep_sets=spec.sleep_sets,
             snapshots=spec.snapshots,
@@ -263,7 +257,7 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
             use_policies=spec.use_policies,
             params=dict(spec.params),
         )
-        return _exploration_to_wire(res, spec.witness_limit)
+        return summary.to_wire()
     from repro.harness import run_trials
 
     stats = run_trials(
@@ -279,8 +273,55 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
         trial_timeout=spec.trial_timeout,
         max_retries=spec.max_retries,
         collect_metrics=spec.collect_metrics,
+        cache=cache,
     )
     return stats_to_wire(stats)
+
+
+def try_cached_result(cache: Optional[Any], spec: JobSpec) -> Optional[Dict[str, Any]]:
+    """Parent-side full-coverage cache lookup for a job spec.
+
+    Returns the job's wire payload when the cache can serve it entirely
+    (letting the executor skip the job fork), or None when any part
+    would have to run — partial coverage is left to the job child, which
+    runs only the missing seeds.
+    """
+    if cache is None or spec.no_cache:
+        return None
+    try:
+        if spec.kind == "explore":
+            summary = cache.fetch_explore(
+                spec.app,
+                spec.bug,
+                dpor=spec.dpor,
+                sleep_sets=spec.sleep_sets,
+                snapshots=spec.snapshots,
+                workers=spec.workers or None,
+                shard_depth=spec.shard_depth,
+                max_schedules=spec.max_schedules,
+                max_steps=spec.max_steps,
+                seed=spec.seed,
+                timeout=spec.timeout,
+                use_policies=spec.use_policies,
+                params=dict(spec.params),
+                witness_limit=spec.witness_limit,
+            )
+            return None if summary is None else summary.to_wire()
+        stats = cache.fetch_trials(
+            get_app(spec.app),
+            n=spec.trials,
+            bug=spec.bug,
+            timeout=spec.timeout,
+            flip_order=spec.flip_order,
+            use_policies=spec.use_policies,
+            base_seed=spec.base_seed,
+            params=dict(spec.params),
+            trial_timeout=spec.trial_timeout,
+            collect_metrics=spec.collect_metrics,
+        )
+        return None if stats is None else stats_to_wire(stats)
+    except Exception:  # noqa: BLE001 - a broken cache must never fail a job
+        return None
 
 
 # ---------------------------------------------------------------------------

@@ -176,10 +176,18 @@ class ReproService:
         job_timeout: Optional[float] = None,
         max_job_retries: int = 1,
         fault_hook: Optional[FaultHook] = None,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.host = host
         self.requested_port = port
         self.metrics = MetricsRegistry()
+        self.cache = None
+        if cache_dir is not None:
+            from repro.cache import ResultCache
+
+            # One cache shared across every job; hit/miss/evict counters
+            # land in the service registry and surface on /metrics.
+            self.cache = ResultCache(cache_dir, metrics=self.metrics)
         self.queue = BoundedJobQueue(queue_size, metrics=self.metrics)
         self.executor = JobExecutor(
             self.queue,
@@ -188,6 +196,7 @@ class ReproService:
             job_timeout=job_timeout,
             max_job_retries=max_job_retries,
             fault_hook=fault_hook,
+            cache=self.cache,
         )
         self.queue._retry_hint = self.executor.retry_hint
         self._jobs: "collections.OrderedDict[str, JobRecord]" = collections.OrderedDict()

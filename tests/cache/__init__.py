@@ -1,0 +1,1 @@
+"""The cache battery: fingerprints, the store, and the differential tests."""

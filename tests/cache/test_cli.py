@@ -1,0 +1,66 @@
+"""The ``--cache-dir``/``--no-cache`` flags and the ``cache`` subcommand."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestRunWithCache:
+    def test_cached_rerun_prints_identical_result(self, capsys, tmp_path):
+        argv = ("run", "figure4", "error1", "--trials", "8",
+                "--cache-dir", str(tmp_path))
+        assert run_cli(*argv) == 0
+        cold = capsys.readouterr().out
+        assert run_cli(*argv) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert "reproduced 8/8" in warm
+
+    def test_no_cache_bypasses_the_store(self, capsys, tmp_path):
+        assert run_cli(
+            "run", "figure4", "error1", "--trials", "5",
+            "--cache-dir", str(tmp_path), "--no-cache",
+        ) == 0
+        capsys.readouterr()
+        assert list(tmp_path.rglob("*.json")) == []
+
+    def test_cache_dir_from_environment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert run_cli("run", "figure4", "error1", "--trials", "5") == 0
+        capsys.readouterr()
+        assert len(list(tmp_path.rglob("*.json"))) == 1
+
+
+class TestExploreWithCache:
+    def test_cached_explore_prints_identical_result(self, capsys, tmp_path):
+        argv = ("explore", "figure4", "error1", "--max-schedules", "100",
+                "--cache-dir", str(tmp_path))
+        assert run_cli(*argv) == 0
+        cold = capsys.readouterr().out
+        assert run_cli(*argv) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert "schedules" in warm
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, capsys, tmp_path):
+        assert run_cli("run", "figure4", "error1", "--trials", "5",
+                       "--cache-dir", str(tmp_path)) == 0
+        capsys.readouterr()
+        assert run_cli("cache", "stats", "--cache-dir", str(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "entries     : 1" in out
+        assert run_cli("cache", "clear", "--cache-dir", str(tmp_path)) == 0
+        assert "cleared 1" in capsys.readouterr().out
+        assert run_cli("cache", "stats", "--cache-dir", str(tmp_path)) == 0
+        assert "entries     : 0" in capsys.readouterr().out
+
+    def test_cache_command_without_a_dir_is_an_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert run_cli("cache", "stats") == 2
+        assert "cache" in capsys.readouterr().out.lower()

@@ -1,0 +1,143 @@
+"""The on-disk store: atomicity, corruption fallback, LRU eviction."""
+
+import json
+import os
+
+import pytest
+
+from repro.cache import CACHE_SCHEMA, CacheStore
+
+
+def _doc(payload="x"):
+    return {"schema": CACHE_SCHEMA, "kind": "trials", "config": {"app": payload},
+            "seeds": {}}
+
+
+def _key(i):
+    return f"{i:02x}" + "ab" * 31  # 64 hex chars, distinct shard dirs
+
+
+@pytest.fixture
+def events():
+    return []
+
+
+@pytest.fixture
+def store(tmp_path, events):
+    return CacheStore(str(tmp_path), on_event=events.append)
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, store, events):
+        store.store(_key(0), _doc())
+        assert store.load(_key(0)) == _doc()
+        assert "store" in events
+
+    def test_load_missing_is_none(self, store):
+        assert store.load(_key(9)) is None
+
+    def test_entries_shard_by_key_prefix(self, store, tmp_path):
+        store.store(_key(0), _doc())
+        shard = tmp_path / _key(0)[:2]
+        assert (shard / f"{_key(0)}.json").exists()
+
+    def test_no_tmp_files_left_behind(self, store, tmp_path):
+        for i in range(5):
+            store.store(_key(i), _doc(str(i)))
+        leftovers = [p for p in tmp_path.rglob("*") if p.suffix != ".json" and p.is_file()]
+        assert leftovers == []
+
+    def test_expect_config_match_serves(self, store):
+        store.store(_key(0), _doc("match"))
+        assert store.load(_key(0), expect_config={"app": "match"}) is not None
+
+
+class TestCorruptionFallback:
+    def _entry_path(self, store, key):
+        store.store(key, _doc())
+        return store._path(key)
+
+    def test_junk_bytes_are_a_miss_and_deleted(self, store, events):
+        path = self._entry_path(store, _key(0))
+        path.write_text("this is not json{{{")
+        assert store.load(_key(0)) is None
+        assert not path.exists()
+        assert "corrupt" in events
+
+    def test_truncated_file_is_a_miss(self, store, events):
+        path = self._entry_path(store, _key(1))
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) // 2])
+        assert store.load(_key(1)) is None
+        assert not path.exists()
+        assert "corrupt" in events
+
+    def test_schema_mismatch_is_a_miss(self, store, events):
+        path = self._entry_path(store, _key(2))
+        doc = _doc()
+        doc["schema"] = CACHE_SCHEMA + 1
+        path.write_text(json.dumps(doc))
+        assert store.load(_key(2)) is None
+        assert "corrupt" in events
+
+    def test_config_collision_is_a_miss(self, store, events):
+        # Same key, different stored config: treat as corrupt, recompute.
+        self._entry_path(store, _key(3))
+        assert store.load(_key(3), expect_config={"app": "other"}) is None
+        assert "corrupt" in events
+
+    def test_non_dict_payload_is_a_miss(self, store, events):
+        path = self._entry_path(store, _key(4))
+        path.write_text(json.dumps([1, 2, 3]))
+        assert store.load(_key(4)) is None
+        assert "corrupt" in events
+
+
+class TestEviction:
+    def test_lru_eviction_respects_size_bound(self, tmp_path, events):
+        store = CacheStore(str(tmp_path), max_bytes=2_000, on_event=events.append)
+        pad = "p" * 400
+        for i in range(8):
+            store.store(_key(i), _doc(f"{i}-{pad}"))
+            os.utime(store._path(_key(i)), (1_000_000 + i, 1_000_000 + i))
+            store._evict()
+        assert store.stats().total_bytes <= 2_000
+        assert "evict" in events
+        # The most recent entry always survives; the oldest are gone.
+        assert store.load(_key(7)) is not None
+        assert store.load(_key(0)) is None
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        store = CacheStore(str(tmp_path), max_bytes=2_000)
+        pad = "p" * 400
+        for i in range(3):
+            store.store(_key(i), _doc(f"{i}-{pad}"))
+            os.utime(store._path(_key(i)), (1_000_000 + i, 1_000_000 + i))
+        assert store.load(_key(0)) is not None  # touch: now the newest
+        now = os.stat(store._path(_key(0))).st_mtime
+        assert now > os.stat(store._path(_key(1))).st_mtime
+
+    def test_under_bound_evicts_nothing(self, store, events):
+        for i in range(4):
+            store.store(_key(i), _doc(str(i)))
+        assert "evict" not in events
+        assert store.stats().entries == 4
+
+
+class TestClearAndStats:
+    def test_clear_removes_everything(self, store):
+        for i in range(3):
+            store.store(_key(i), _doc(str(i)))
+        assert store.clear() == 3
+        assert store.stats().entries == 0
+        assert store.stats().total_bytes == 0
+
+    def test_stats_counts_bytes(self, store, tmp_path):
+        store.store(_key(0), _doc())
+        st = store.stats()
+        assert st.entries == 1
+        assert st.total_bytes == os.stat(store._path(_key(0))).st_size
+        assert st.root == str(tmp_path)
+
+    def test_clear_on_empty_root_is_zero(self, tmp_path):
+        assert CacheStore(str(tmp_path / "never-created")).clear() == 0

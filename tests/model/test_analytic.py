@@ -101,6 +101,54 @@ class TestBTriggerEffect:
             p_hit_btrigger(100, 5, 2, -1)  # negative T
 
 
+class TestHandComputedValues:
+    """Formula outputs checked against by-hand evaluations of the
+    paper's closed forms, including the ``m = 1`` and ``T = 0`` edges."""
+
+    def test_exact_small_case(self):
+        # 1 - C(4,2)/C(6,2) = 1 - 6/15.
+        assert p_hit(6, 2) == pytest.approx(1 - 6 / 15)
+
+    def test_upper_bound_value(self):
+        # 1 - (1 - 2/9)^2 = 1 - 49/81 = 32/81.
+        assert p_hit_upper(10, 2) == pytest.approx(32 / 81)
+
+    def test_approx_value(self):
+        # m^2/(N - m + 1) = 9/98.
+        assert p_hit_approx(100, 3) == pytest.approx(9 / 98)
+
+    def test_boost_factor_value(self):
+        # T(N - m + 1)/(N + MT - M) = 10*98/(100 + 50 - 5) = 980/145.
+        assert boost_factor(100, 5, 3, 10) == pytest.approx(980 / 145)
+
+    def test_btrigger_lower_bound_value(self):
+        # L = 100 + 50 - 10 = 140; 1 - (1 - 10/140)^2 = 27/196.
+        assert p_hit_btrigger_lower(100, 10, 2, 5) == pytest.approx(27 / 196)
+
+    def test_btrigger_approx_value(self):
+        # m^2 T / L = 4*5/140 = 1/7.
+        assert p_hit_btrigger_approx(100, 10, 2, 5) == pytest.approx(1 / 7)
+
+    def test_single_visit_btrigger_is_window_over_timeline(self):
+        # m = 1: exactly T of the L = 145 slots are covered.
+        assert p_hit_btrigger(100, 5, 1, 10) == pytest.approx(10 / 145)
+
+    def test_single_visit_zero_pause_keeps_one_slot(self):
+        # m = 1, T = 0: the paper's expression on the N - M timeline
+        # still blocks the single visited slot: P = 1/95.
+        assert p_hit_btrigger(100, 5, 1, 0) == pytest.approx(1 / 95)
+
+    def test_zero_pause_bounds_vanish(self):
+        assert p_hit_btrigger_lower(100, 5, 3, 0) == 0.0
+        assert p_hit_btrigger_approx(100, 5, 3, 0) == 0.0
+        assert boost_factor(100, 5, 3, 0) == 0.0
+
+    def test_zero_pause_exact_formula_on_shrunk_timeline(self):
+        # T = 0 keeps the paper's verbatim expression: timeline N - M = 7
+        # slots, m = 2 blocked: 1 - C(5,2)/C(7,2) = 11/21.
+        assert p_hit_btrigger(10, 3, 2, 0) == pytest.approx(11 / 21)
+
+
 @settings(max_examples=300, deadline=None)
 @given(
     N=st.integers(2, 200),
