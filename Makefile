@@ -6,7 +6,8 @@ TRIALS ?= 100
 WORKERS ?= -1
 
 .PHONY: install test test-par test-cache lint docstrings serve-smoke bench \
-	bench-par bench-explore bench-svc bench-cache report examples all
+	bench-par bench-explore bench-svc bench-cache bench-kernel golden report \
+	examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -64,6 +65,19 @@ bench-svc:
 bench-cache:
 	$(PYTHON) -m pytest benchmarks/bench_cache.py \
 	    --benchmark-only -s --benchmark-json=bench-cache.json
+
+# Kernel fast-path perf: emits benchmarks/BENCH_kernel.json and gates
+# the fast-vs-reference speedups against the committed baseline (no
+# --benchmark-only so the plain gate test runs too).
+bench-kernel:
+	PYTHONPATH=src $(PYTHON) -m pytest \
+	    benchmarks/bench_kernel_throughput.py benchmarks/bench_obs_overhead.py \
+	    -q -s
+
+# Re-record the golden trace corpus (only after a deliberate
+# trace-content change; the golden tests diff byte-for-byte).
+golden:
+	PYTHONPATH=src $(PYTHON) tools/record_golden.py
 
 report:
 	$(PYTHON) -m repro report --trials $(TRIALS) --out results.md

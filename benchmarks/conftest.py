@@ -19,9 +19,13 @@ the machine.  The chosen count is stamped into each benchmark's
 the bench JSON (``--benchmark-json``) and can be compared run over run.
 """
 
+import json
 import os
+from pathlib import Path
 
 import pytest
+
+from repro import perftrack
 
 #: Trials per configuration; the paper used 100.
 TRIALS = int(os.environ.get("REPRO_TRIALS", "100"))
@@ -73,3 +77,46 @@ def emit(title: str, body: str) -> None:
     """Print a finished table with a recognisable banner."""
     bar = "=" * max(len(title), 20)
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+# ---------------------------------------------------------------------------
+# BENCH_*.json trajectory documents (see src/repro/perftrack.py)
+# ---------------------------------------------------------------------------
+
+#: Directory the BENCH documents and their committed baselines live in.
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def bench_doc_path(name: str) -> Path:
+    """Where the ``name`` bench writes its ``BENCH_<name>.json`` artifact."""
+    return BENCH_DIR / f"BENCH_{name}.json"
+
+
+def bench_baseline_path(name: str) -> Path:
+    """The committed baseline the perf gate compares against."""
+    return BENCH_DIR / f"BENCH_{name}.baseline.json"
+
+
+def emit_bench_doc(name: str, metrics: dict, meta: dict = None) -> dict:
+    """Validate ``metrics``, write ``BENCH_<name>.json``, print a banner.
+
+    Returns the written document.  Validation happens in
+    :func:`repro.perftrack.make_doc`, so a malformed metric fails the
+    emitting benchmark rather than silently producing an ungateable file.
+    """
+    doc = perftrack.make_doc(name, metrics, meta=meta)
+    path = perftrack.write_doc(doc, bench_doc_path(name))
+    emit(
+        f"BENCH_{name}.json ({path})",
+        json.dumps(doc["metrics"], indent=2, sort_keys=True),
+    )
+    return doc
+
+
+def gate_bench_doc(doc: dict, name: str, tolerance: float = 0.15) -> list:
+    """Regression messages for ``doc`` vs the committed baseline
+    (empty list = gate passes).  Missing baseline is an error: the
+    trajectory must start with a committed file, not an implicit skip."""
+    return perftrack.compare(
+        doc, perftrack.load_doc(bench_baseline_path(name)), tolerance=tolerance
+    )

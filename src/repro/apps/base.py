@@ -268,6 +268,7 @@ class BaseApp(abc.ABC):
         scheduler: Optional[Scheduler] = None,
         record_trace: bool = False,
         obs: Any = None,
+        kernel_cls: type = Kernel,
     ) -> AppRun:
         """Execute the app once and evaluate its oracle.
 
@@ -275,8 +276,13 @@ class BaseApp(abc.ABC):
         and breakpoint engine record metrics and publish bus events into
         it.  Observability never changes scheduling, so instrumented and
         plain runs of the same seed are identical executions.
+
+        ``kernel_cls`` swaps the execution engine — the golden-trace
+        recorder and the differential battery run the same app under
+        :class:`~repro.sim._reference.ReferenceKernel` to prove the fast
+        path is bit-identical.
         """
-        kernel = Kernel(scheduler=scheduler, seed=seed, record_trace=record_trace, obs=obs)
+        kernel = kernel_cls(scheduler=scheduler, seed=seed, record_trace=record_trace, obs=obs)
         self.kernel = kernel
         if self.cfg.use_policies:
             self._policies = self.policies()

@@ -184,7 +184,10 @@ class MySQL4019App(BaseApp):
     def setup(self, kernel: Kernel) -> None:
         """Build shared state and spawn this subject's threads."""
         self.entry_valid = SharedCell(True, name="table_cache.valid")
-        self.entry_ptr = SharedCell(object(), name="table_cache.ptr")
+        # A stable token, not a bare object(): the cell value is repr'd
+        # into the trace, and an address-bearing repr would break the
+        # cross-process bit-identical-trace contract (golden corpus).
+        self.entry_ptr = SharedCell("TABLE*<entry>", name="table_cache.ptr")
         self.queries_served = 0
         #: flush arrives late in the uptime — the paper's 2.67 s MTTE.
         self.flush_at = self.param("flush_at", 2.4)

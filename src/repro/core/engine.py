@@ -147,18 +147,35 @@ class BreakpointEngine:
         self.total_hits = 0
         #: Observability context (duck-typed; ``None`` disables entirely).
         self.obs = obs
+        #: Assigned unconditionally (None when uninstrumented) to keep
+        #: one instance shape — see the matching note in
+        #: ``Kernel.__init__`` about CPython shared-keys dicts.
+        self._pause_log: Optional[List[float]] = None
+        self._sig_postpone = None
+        self._sig_match = None
+        self._sig_timeout = None
         if obs is not None:
             #: Pause durations of matched/expired entries, flushed into
             #: the ``engine.pause_seconds`` histogram at end of run.  The
             #: counters (arrivals, skips, ...) need no hot-path work at
             #: all — they are derived from :attr:`stats` at flush time.
-            self._pause_log: List[float] = []
-            self._sig_postpone = obs.bus.signal("bp.postpone")
-            self._sig_match = obs.bus.signal("bp.match")
-            self._sig_timeout = obs.bus.signal("bp.timeout")
+            self._pause_log = []
+            # Signal endpoints are get-or-create on the bus, so caching
+            # the three lookups on the context is free sharing — a sweep
+            # constructs one engine per trial against one reused context
+            # and skips the bus round trips after the first.
+            sigs = getattr(obs, "_engine_sigs", None)
+            if sigs is None:
+                sig = obs.bus.signal
+                sigs = (sig("bp.postpone"), sig("bp.match"), sig("bp.timeout"))
+                try:
+                    obs._engine_sigs = sigs
+                except AttributeError:  # exotic duck-typed context
+                    pass
+            self._sig_postpone, self._sig_match, self._sig_timeout = sigs
 
     # ------------------------------------------------------------------
-    def flush_metrics(self) -> None:
+    def flush_metrics(self, into: Optional[Dict[str, int]] = None) -> None:
         """Fold this run's breakpoint bookkeeping into the obs registry.
 
         Called once at end of run (the kernel's ``_flush_obs``).  The hot
@@ -168,6 +185,11 @@ class BreakpointEngine:
         no thread ever visited emits nothing: plain (no-breakpoint) runs
         pay zero engine-metric cost, and ``engine.*`` keys appearing in a
         snapshot means breakpoint code actually executed.
+
+        ``into`` lets the kernel collect the ``engine.*`` counters into
+        its own end-of-run counter dict (keys are disjoint by prefix) so
+        the whole run lands in one ``add_counters`` registry call;
+        without it the counters are registered directly.
         """
         if self.obs is None or not self.stats:
             return
@@ -179,17 +201,22 @@ class BreakpointEngine:
             postpones += st.postpones
             hits += st.hits
             timeouts += st.timeouts
-        m.add_counters({
+        counts = {
             "engine.arrivals": visits,
             "engine.local_skips": skips,
             "engine.postpones": postpones,
             "engine.matches": hits,
             "engine.timeouts": timeouts,
-        })
-        h = m.histogram("engine.pause_seconds")
-        for p in self._pause_log:
-            h.observe(p)
-        self._pause_log.clear()
+        }
+        if into is not None:
+            into.update(counts)
+        else:
+            m.add_counters(counts)
+        if self._pause_log:
+            h = m.histogram("engine.pause_seconds")
+            for p in self._pause_log:
+                h.observe(p)
+            self._pause_log.clear()
 
     # ------------------------------------------------------------------
     def stats_for(self, name: str) -> BreakpointStats:

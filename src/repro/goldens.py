@@ -1,0 +1,131 @@
+"""Golden-trace corpus: canonical per-app trace fingerprints.
+
+The fast-path kernel rewrite (and any future one) is held to a hard
+contract: *bit-identical traces* for the same ``(program, scheduler,
+seed)``.  This module defines the corpus that pins that contract —
+every registry app, run traced at a fixed seed set, plain and with its
+first declared bug active — and renders each app's entries to a
+canonical JSON document committed under ``tests/sim/golden/``.
+
+``tests/sim/test_golden_traces.py`` re-runs the corpus and compares the
+rendered document *byte-for-byte* against the committed file, so any
+divergence — one event field, one float, one reordering — fails loudly.
+``tools/record_golden.py`` (re)records the files; it accepts
+``--reference`` to record through the pre-rewrite
+:class:`~repro.sim._reference.ReferenceKernel`, which must produce the
+identical corpus (that equality is itself asserted by the differential
+battery in ``tests/sim/test_kernel_determinism.py``).
+
+Entries intentionally include the trace fingerprint *and* coarse run
+facts (steps, events, virtual time, termination flags): when a
+fingerprint diverges, the coarse fields usually localize why.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.apps.base import AppConfig, BaseApp
+from repro.apps.registry import ALL_APPS
+from repro.sim import primitives as _primitives
+from repro.sim.kernel import Kernel
+from repro.sim.trace import trace_fingerprint
+
+__all__ = [
+    "GOLDEN_DIR",
+    "GOLDEN_SEEDS",
+    "golden_cases",
+    "golden_entry",
+    "render_app_corpus",
+    "record_corpus",
+]
+
+#: Committed corpus location (repo-relative, resolved from this file).
+GOLDEN_DIR = Path(__file__).resolve().parents[2] / "tests" / "sim" / "golden"
+
+#: Fixed scheduler/app seeds the corpus pins.  Plain runs are recorded
+#: at every seed; the bug-active variant at the first seed only (it is
+#: the slow case — breakpoint pauses burn virtual-time timers).
+GOLDEN_SEEDS: Tuple[int, ...] = (1, 7)
+
+
+def golden_cases(app_cls: Type[BaseApp]) -> List[Tuple[int, Optional[str]]]:
+    """The ``(seed, bug)`` matrix recorded for one app."""
+    cases: List[Tuple[int, Optional[str]]] = [(seed, None) for seed in GOLDEN_SEEDS]
+    bugs = sorted(app_cls.bugs)
+    if bugs:
+        cases.append((GOLDEN_SEEDS[0], bugs[0]))
+    return cases
+
+
+@contextmanager
+def _fresh_primitive_ids():
+    """Run one golden case with the primitive uid counter pinned to 1.
+
+    Anonymous primitives are named from a process-global counter
+    (``lock{uid}``), and those names enter the trace fingerprint — so
+    without isolation a corpus entry would depend on how many
+    primitives happened to be created earlier in the process (test
+    order, recorder order).  Uids are only ever compared within one
+    run, so a per-case reset is safe; the ambient counter is restored
+    afterwards and keeps counting where it left off."""
+    saved = _primitives._ids
+    _primitives._ids = itertools.count(1)
+    try:
+        yield
+    finally:
+        _primitives._ids = saved
+
+
+def golden_entry(
+    app_cls: Type[BaseApp],
+    seed: int,
+    bug: Optional[str] = None,
+    kernel_cls: type = Kernel,
+) -> Dict[str, Any]:
+    """One traced run, reduced to its canonical corpus entry."""
+    with _fresh_primitive_ids():
+        app = app_cls(AppConfig(bug=bug))
+        run = app.run(seed=seed, record_trace=True, kernel_cls=kernel_cls)
+    r = run.result
+    assert r.trace is not None
+    return {
+        "app": app_cls.name,
+        "seed": seed,
+        "bug": bug,
+        "fingerprint": trace_fingerprint(r.trace),
+        "events": len(r.trace),
+        "steps": r.steps,
+        "time": repr(r.time),
+        "completed": r.completed,
+        "deadlocked": r.deadlocked,
+        "stalled": r.stalled,
+    }
+
+
+def render_app_corpus(app_cls: Type[BaseApp], kernel_cls: type = Kernel) -> str:
+    """The app's corpus document, canonically serialized."""
+    entries = [
+        golden_entry(app_cls, seed, bug, kernel_cls=kernel_cls)
+        for seed, bug in golden_cases(app_cls)
+    ]
+    return json.dumps(entries, indent=2, sort_keys=True) + "\n"
+
+
+def record_corpus(
+    out_dir: Path = GOLDEN_DIR, kernel_cls: type = Kernel, echo: bool = False
+) -> List[Path]:
+    """(Re)record the full corpus: one JSON file per registry app."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for app_cls in ALL_APPS.values():
+        path = out_dir / f"{app_cls.name}.json"
+        path.write_text(render_app_corpus(app_cls, kernel_cls=kernel_cls))
+        written.append(path)
+        if echo:
+            print(f"recorded {path}")
+    return written

@@ -21,17 +21,63 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
-from typing import Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from .bus import EventBus
 from .metrics import MetricsRegistry
 
-__all__ = ["ObsContext", "collecting", "current_sink", "not_collecting"]
+__all__ = ["ObsContext", "SlotCounters", "collecting", "current_sink", "not_collecting"]
+
+
+class SlotCounters:
+    """Flat-slot counter accumulation, folded into metrics at flush time.
+
+    The hot-path contract of per-action accounting (the kernel's syscall
+    mix, and any future per-event tally) is ``counts[slot] += 1`` — one
+    list subscript, no hashing, no metrics-registry call.  The mapping
+    from slot index to metric name lives here, applied once per run by
+    :meth:`fold_into` instead of once per action.
+
+    ``names`` is held by reference, not copied: callers that register
+    slots lazily (``Kernel._count_unslotted_syscall``) extend the shared
+    name list and the ``counts`` slab together, and the fold picks the
+    new slots up automatically.  ``counts`` may trail ``names`` in
+    length (slots named but never counted); it must never exceed it.
+    """
+
+    __slots__ = ("names", "counts")
+
+    def __init__(self, names: Sequence[str]) -> None:
+        self.names = names
+        self.counts: List[int] = [0] * len(names)
+
+    def fold_into(self, counters: Dict[str, int]) -> None:
+        """Add every non-zero slot into ``counters`` under its name."""
+        names = self.names
+        for idx, n in enumerate(self.counts):
+            if n:
+                counters[names[idx]] = counters.get(names[idx], 0) + n
+
+    def nonzero(self) -> Dict[str, int]:
+        """The counted slots as a fresh ``{name: count}`` dict."""
+        out: Dict[str, int] = {}
+        self.fold_into(out)
+        return out
 
 
 @dataclasses.dataclass
 class ObsContext:
-    """Event bus + metrics registry handed to instrumented components."""
+    """Event bus + metrics registry handed to instrumented components.
+
+    Instrumented components may cache construction-time scratch on the
+    context instance (undeclared private attributes such as the kernel's
+    ``_kernel_scratch`` slab pool and the breakpoint engine's
+    ``_engine_sigs`` signal tuple): a sweep reuses one context across
+    all its trials (``reuse_obs``), so per-trial instrumented setup
+    amortises to near zero.  The caches hold only bus signal endpoints
+    (get-or-create on the bus anyway) and zeroed counter slabs, so they
+    never change what a trial records.
+    """
 
     bus: EventBus
     metrics: MetricsRegistry

@@ -225,11 +225,10 @@ def load_jsonl(source: Union[str, io.TextIOBase]) -> LoadedTrace:
         if not line.strip():
             continue
         d = json.loads(line)
-        ev = event_from_dict(d, seq=len(trace.events))
+        ev = event_from_dict(d, seq=len(trace))
         if ev.seq != d.get("seq", ev.seq):
             raise ValueError(f"non-contiguous event sequence at line {i + 2}")
-        trace.events.append(ev)
-        trace._seq = len(trace.events)
+        trace.append(ev.time, ev.tid, ev.tname, ev.op, ev.obj, ev.loc, ev.extra, ev.step)
     declared = header.get("events")
     if declared is not None and declared != len(trace):
         raise ValueError(f"header declares {declared} events, file holds {len(trace)}")

@@ -1,0 +1,133 @@
+"""Performance trajectory documents (``BENCH_*.json``).
+
+The kernel's steps/sec bounds everything the harness can afford — more
+trials per table, deeper exploration, bigger apps — so its throughput is
+tracked as data, not folklore.  A *bench document* is a small JSON file
+a benchmark emits (``BENCH_kernel.json``), CI uploads as an artifact,
+and the perf gate compares against a committed baseline
+(``benchmarks/BENCH_kernel.baseline.json``).
+
+Design points:
+
+* **Schema-versioned** (``repro.bench/1``): the comparison logic
+  refuses documents it does not understand instead of mis-gating them.
+* **Per-metric gating**: every metric carries ``unit``, ``direction``
+  (``"higher"``/``"lower"`` = which way is better) and ``gate`` (bool).
+  Only gated metrics can fail CI; the rest are trajectory data.
+* **Machine-relative gates**: absolute steps/sec varies wildly across
+  runners, so the gated metrics are *ratios* measured in-process
+  (fast kernel vs the pre-rewrite reference kernel, interleaved on the
+  same machine in the same minute).  Ratios transfer across hardware;
+  raw rates are recorded ungated for the human trajectory.
+* **No timestamps inside the document**: content is a pure function of
+  code + machine, so two runs on one machine diff cleanly.  Provenance
+  (commit, runner) belongs in ``meta``, supplied by the caller.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SCHEMA", "make_doc", "write_doc", "load_doc", "compare"]
+
+SCHEMA = "repro.bench/1"
+
+_DIRECTIONS = ("higher", "lower")
+_METRIC_FIELDS = ("value", "unit", "direction", "gate")
+
+
+def make_doc(
+    name: str,
+    metrics: Dict[str, Dict[str, Any]],
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a validated bench document.
+
+    ``metrics`` maps metric name to ``{value, unit, direction, gate}``;
+    every field is required and validated here so a malformed emitter
+    fails at emit time, not at gate time.
+    """
+    if not name:
+        raise ValueError("bench document needs a non-empty name")
+    for mname, m in metrics.items():
+        missing = [f for f in _METRIC_FIELDS if f not in m]
+        if missing:
+            raise ValueError(f"metric {mname!r} missing fields {missing}")
+        if not isinstance(m["value"], (int, float)) or isinstance(m["value"], bool):
+            raise ValueError(f"metric {mname!r} value must be a number, got {m['value']!r}")
+        if m["direction"] not in _DIRECTIONS:
+            raise ValueError(
+                f"metric {mname!r} direction must be one of {_DIRECTIONS}, got {m['direction']!r}"
+            )
+        if not isinstance(m["gate"], bool):
+            raise ValueError(f"metric {mname!r} gate must be a bool")
+    return {
+        "schema": SCHEMA,
+        "name": name,
+        "metrics": {k: dict(v) for k, v in sorted(metrics.items())},
+        "meta": dict(meta) if meta else {},
+    }
+
+
+def write_doc(doc: Dict[str, Any], path: Path) -> Path:
+    """Serialize a document canonically (sorted keys, trailing newline)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_doc(path: Path) -> Dict[str, Any]:
+    """Load and schema-check a document."""
+    doc = json.loads(Path(path).read_text())
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(f"{path}: unsupported bench schema {schema!r} (want {SCHEMA!r})")
+    if "metrics" not in doc or not isinstance(doc["metrics"], dict):
+        raise ValueError(f"{path}: bench document has no metrics table")
+    return doc
+
+
+def compare(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.15,
+) -> List[str]:
+    """Gate ``current`` against ``baseline``; return regression messages.
+
+    For every *gated* baseline metric: a ``direction: higher`` metric
+    regresses when it falls below ``baseline * (1 - tolerance)``; a
+    ``direction: lower`` metric regresses when it rises above
+    ``baseline * (1 + tolerance)``.  A gated baseline metric missing
+    from ``current`` is itself a regression (the emitter shrank).
+    An empty return value means the gate passes.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must be in [0, 1)")
+    failures: List[str] = []
+    cur_metrics = current.get("metrics", {})
+    for mname, base in baseline.get("metrics", {}).items():
+        if not base.get("gate"):
+            continue
+        cur = cur_metrics.get(mname)
+        if cur is None:
+            failures.append(f"{mname}: gated metric missing from current document")
+            continue
+        bval, cval = base["value"], cur["value"]
+        if base["direction"] == "higher":
+            floor = bval * (1.0 - tolerance)
+            if cval < floor:
+                failures.append(
+                    f"{mname}: {cval:.4g} {base['unit']} < floor {floor:.4g} "
+                    f"(baseline {bval:.4g}, tolerance {tolerance:.0%})"
+                )
+        else:
+            ceil = bval * (1.0 + tolerance)
+            if cval > ceil:
+                failures.append(
+                    f"{mname}: {cval:.4g} {base['unit']} > ceiling {ceil:.4g} "
+                    f"(baseline {bval:.4g}, tolerance {tolerance:.0%})"
+                )
+    return failures

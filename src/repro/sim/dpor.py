@@ -38,11 +38,16 @@ Three orthogonal extensions on top of the base algorithm:
   been fully explored from a state, ``t`` enters the *sleep set* of the
   next sibling's subtree and stays there while execution only performs
   steps independent of ``t``'s pending transition (waking at the first
-  dependent one).  A backtrack tid that is asleep at its state is
-  provably redundant — its subtree is a commutation of one already
-  explored — and is pruned without running anything;
-  :class:`DporStats.sleep_set_prunes` counts these.  Sleep sets reduce
-  the number of *schedules executed*, never the set of distinct
+  dependent one).  A run whose free descent schedules a sleeping tid is
+  *sleep-set blocked*: everything below that step is a commutation of a
+  subtree explored earlier, so the outcome is dropped and the walk is
+  redirected; :class:`DporStats.sleep_set_prunes` counts these cuts.
+  Blocked runs are still *executed* and race-analyzed in full — DPOR
+  discovers backtrack points lazily from executed runs, so skipping a
+  covered subtree without running anything would also skip the race
+  analysis only its runs perform (races whose reversals reach *outside*
+  the covered subtree), losing behaviours.  Sleep sets therefore reduce
+  the number of *schedules counted*, never the set of distinct
   behaviours reached — the differential battery asserts behaviour-set
   equality against plain DPOR.
 * ``snapshots=True`` — schedules execute on the copy-on-branch fork
@@ -119,7 +124,9 @@ class DporStats:
     schedules: int
     branches_added: int
     conservative_fallbacks: int
-    #: Backtrack tids proven redundant by a sleep set and never run.
+    #: Sleep-set-blocked runs: executed for their race analysis but
+    #: proven redundant (their subtree is a commutation of an explored
+    #: one), so their outcomes are dropped from the schedule count.
     sleep_set_prunes: int = 0
     #: Kernel steps actually executed across all runs (suffix-only when
     #: snapshots are on) — the denominator of the work saved.
@@ -324,12 +331,18 @@ def explore_dpor(
             # reordering step j before step i may expose a different
             # behaviour, so tid_j joins the backtrack set of frame i.
             # Backtracking stays at depths >= base: below it, sibling
-            # shards own the alternatives.  Steps at or below a
-            # sleep-set cut belong to a covered subtree; the covering
-            # sibling finds the commuted images of their races.
-            for j in range(base + 1, n if ssb is None else ssb):
+            # shards own the alternatives.  The whole run is analyzed
+            # even past a sleep-set cut — the run executed either way,
+            # and races seen only beyond the cut can demand reversals
+            # at frames above it that no other run will request.  Race
+            # points below the cut have no frame; clamping the search
+            # to live frames lands the backtrack on an earlier
+            # dependent transition instead, which only widens the
+            # exploration (conservative, never unsound).
+            n_frames = len(frames)
+            for j in range(base + 1, n):
                 tid_j = choices[j]
-                for i in range(j - 1, base - 1, -1):
+                for i in range(min(j - 1, base + n_frames - 1), base - 1, -1):
                     if choices[i] == tid_j:
                         continue
                     if _dependent(foot[i], foot[j]):
@@ -363,17 +376,19 @@ def explore_dpor(
                 d = base + len(frames) - 1
                 t = min(cand)
                 fr.executed.add(t)
-                if sleep_sets and t in fr.sleep:
-                    # Asleep: every behaviour below state+[t] is a
-                    # commutation of one in an already-explored sibling
-                    # subtree.  Covered, skip the whole subtree.
-                    prunes += 1
-                    continue
+                # A backtrack tid that is asleep here is still taken:
+                # its subtree is behaviour-covered by an explored
+                # sibling, but only *running* it performs the race
+                # analysis that can add fresh (awake) tids to this
+                # frame's own backtrack set.  Its runs die fast — the
+                # descent below it is deep in sleeping territory and
+                # gets cut — and any duplicate outcomes are harmless
+                # to the behaviour set.
                 child: Set[int] = set()
                 if sleep_sets:
                     ft = pending(t, d)
                     if ft is not None:
-                        for x in fr.sleep | (fr.executed - {t}):
+                        for x in (fr.sleep | fr.executed) - {t}:
                             fx = pending(x, d)
                             if fx is not None and not _dependent(fx, ft):
                                 child.add(x)

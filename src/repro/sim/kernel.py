@@ -29,6 +29,33 @@ Key mechanics:
   Jigsaw example); exceeding ``max_time`` with live threads is a stall —
   the paper's "stalls due to missed notifications are detected by large
   timeouts".
+
+Fast path
+---------
+
+Steps/sec is the scaling limit for every trial, exploration, and
+service job, so the per-step loop is written for raw speed (see
+DESIGN.md "Kernel fast path"):
+
+* The runnable set is a **maintained tid-sorted list** (``_ready``),
+  updated at every state transition, instead of a per-step scan+sort of
+  all threads.  The scheduler receives the live list; by contract
+  (:class:`~repro.sim.scheduler.Scheduler.pick`) schedulers must not
+  retain or mutate it.
+* Syscall dispatch is a **precomputed class-keyed handler table**
+  (``_HANDLERS``), resolved once per syscall class instead of a 20-way
+  ``isinstance`` chain per step.
+* Trace append is **O(1) amortized into a flat slot buffer**
+  (:class:`~repro.sim.trace.Trace`); the hot handlers skip all record
+  work — including source-location frame walks — when tracing is off.
+* Scheduler noise is consulted only when the scheduler actually
+  overrides ``delay_after_pick`` (checked once per run, not per step).
+
+The pre-rewrite loop survives verbatim as
+:class:`repro.sim._reference.ReferenceKernel`: the differential battery
+asserts both kernels pick identical threads and emit bit-identical
+traces, and the golden corpus (``tests/sim/golden/``) pins fingerprints
+per app+seed.
 """
 
 from __future__ import annotations
@@ -48,7 +75,7 @@ from . import syscalls as sc
 from .errors import SimDeadlockError, SimSyscallError, ThreadFailure, ThreadInterrupted
 from .primitives import SimCondition, SimEvent, SimLock
 from .scheduler import RandomScheduler, Scheduler
-from .thread import SimThread, TState
+from .thread import SimThread, TState, current_location
 from .trace import OP, Trace
 
 __all__ = ["Kernel", "RunResult"]
@@ -78,6 +105,16 @@ def _assign_mix_slots() -> List[str]:
 
 
 _MIX_NAMES: List[str] = _assign_mix_slots()
+
+#: Zero slab matching the import-time slot count — the common case when
+#: re-zeroing a pooled :class:`SlotCounters` (slabs that grew lazy slots
+#: fall back to a fresh zero list of their own length).
+_MIX_ZEROS: List[int] = [0] * len(_MIX_NAMES)
+
+#: Lazily bound :class:`repro.obs.context.SlotCounters` — resolved on
+#: the first instrumented construction so the module keeps no static
+#: obs dependency.
+_SlotCounters = None
 
 
 @dataclasses.dataclass
@@ -149,12 +186,12 @@ class Kernel:
         Optional :class:`repro.obs.ObsContext` (duck-typed, no import
         dependency).  When given, the kernel counts steps, context
         switches, and the syscall mix into the metrics registry —
-        accumulated in plain ints/dicts during the run and flushed once
-        at the end, so the per-step cost stays inside the obs overhead
-        gate — and publishes low-frequency bus events (thread lifecycle,
-        deadlock/stall, run end).  Breakpoint instrumentation lives in
-        the shared :class:`BreakpointEngine`, which receives the same
-        context.
+        accumulated in a flat :class:`~repro.obs.context.SlotCounters`
+        slab during the run and folded once at the end, so the per-step
+        cost stays inside the obs overhead gate — and publishes
+        low-frequency bus events (thread lifecycle, deadlock/stall, run
+        end).  Breakpoint instrumentation lives in the shared
+        :class:`BreakpointEngine`, which receives the same context.
     """
 
     def __init__(
@@ -171,24 +208,80 @@ class Kernel:
         self.step = 0
         self.step_cost = step_cost
         self.trace: Optional[Trace] = Trace() if record_trace else None
+        #: Bound append of the trace (None when untraced): one attribute
+        #: load instead of two plus a bound-method build per hot event.
+        self._tappend = self.trace.append if record_trace else None
         self.obs = obs
         self.engine = BreakpointEngine(obs=obs)
         #: Scheduling steps where the picked thread differed from the
         #: previous one (tracked unconditionally; it is two attribute ops).
         self.ctx_switches = 0
         self._last_tid = -1
-        #: Per-syscall dispatch counts, indexed by each class's
-        #: ``_mix_idx`` slot (see :func:`_assign_mix_slots`); translated
-        #: to ``kernel.syscall.*`` counters at flush.
-        self._syscall_mix: Optional[List[int]] = (
-            [0] * len(_MIX_NAMES) if obs is not None else None
-        )
+        #: Per-syscall dispatch counts in a flat slot slab, indexed by
+        #: each class's ``_mix_idx`` (see :func:`_assign_mix_slots`);
+        #: folded into ``kernel.syscall.*`` counters at flush.
+        self._mix_counters = None
+        self._syscall_mix: Optional[List[int]] = None
+        self._obs_scratch = None
         self._obs_flushed = False
+        # Assigned unconditionally (None when uninstrumented) so plain
+        # and instrumented kernels materialise the *same* attribute set
+        # in the same order — divergent instance shapes would knock the
+        # class off CPython's shared-keys dicts and tax every attribute
+        # access in a mixed plain/instrumented sweep.
+        self._sig_spawn = None
+        self._sig_thread_end = None
+        self._sig_run_end = None
         if obs is not None:
-            self._sig_spawn = obs.bus.signal("kernel.spawn")
-            self._sig_thread_end = obs.bus.signal("kernel.thread_end")
-            self._sig_run_end = obs.bus.signal("kernel.run_end")
+            global _SlotCounters
+            if _SlotCounters is None:
+                # Deferred import: the kernel keeps no static obs
+                # dependency, and a caller passing ``obs`` has already
+                # imported the package.
+                from repro.obs.context import SlotCounters
+
+                _SlotCounters = SlotCounters
+            # Per-context construction scratch.  A sweep constructs one
+            # instrumented kernel per trial against a shared context
+            # (``reuse_obs``), so the signal endpoints — get-or-create
+            # on the bus anyway — and the slot slab are cached on the
+            # context: steady-state obs construction zeroes a short int
+            # list instead of re-walking import + allocation + bus
+            # lookups.  The slab is checked out here and checked back
+            # in by :meth:`_flush_obs`; a second kernel constructed
+            # before the first flushes just allocates a fresh slab.
+            scratch = getattr(obs, "_kernel_scratch", None)
+            if scratch is None:
+                sig = obs.bus.signal
+                scratch = [
+                    None,
+                    sig("kernel.spawn"),
+                    sig("kernel.thread_end"),
+                    sig("kernel.run_end"),
+                ]
+                try:
+                    obs._kernel_scratch = scratch
+                except AttributeError:  # exotic duck-typed context
+                    pass
+            mc = scratch[0]
+            if mc is not None:
+                mc.counts[:] = _MIX_ZEROS if len(mc.counts) == len(
+                    _MIX_ZEROS
+                ) else [0] * len(mc.counts)
+            else:
+                mc = _SlotCounters(_MIX_NAMES)
+            scratch[0] = None  # checked out until flush
+            self._obs_scratch = scratch
+            self._mix_counters = mc
+            self._syscall_mix = mc.counts
+            self._sig_spawn = scratch[1]
+            self._sig_thread_end = scratch[2]
+            self._sig_run_end = scratch[3]
         self.threads: List[SimThread] = []
+        #: Tid-sorted list of RUNNABLE threads — the scheduler's view.
+        #: Invariant: a thread appears here exactly when its state is
+        #: RUNNABLE; every transition in/out of RUNNABLE updates it.
+        self._ready: List[SimThread] = []
         self._live_foreground = 0  # alive non-daemon threads (run-loop gate)
         self._tids = itertools.count(0)
         self._timer_seq = itertools.count(0)
@@ -206,6 +299,25 @@ class Kernel:
         self._limit_hit = False
         self._stalled = False
         self._deadlock: Optional[SimDeadlockError] = None
+
+    # ------------------------------------------------------------------
+    # Ready-set maintenance
+    # ------------------------------------------------------------------
+    def _ready_add(self, t: SimThread) -> None:
+        """Insert ``t`` into the tid-sorted ready list."""
+        ready = self._ready
+        if not ready or ready[-1].tid < t.tid:
+            ready.append(t)
+            return
+        tid = t.tid
+        lo, hi = 0, len(ready)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if ready[mid].tid < tid:
+                lo = mid + 1
+            else:
+                hi = mid
+        ready.insert(lo, t)
 
     # ------------------------------------------------------------------
     # Thread management
@@ -232,8 +344,11 @@ class Kernel:
         if not daemon:
             self._live_foreground += 1
         self.threads.append(t)
+        # Tids are monotone, so a new thread always sorts last.
+        self._ready.append(t)
         self.scheduler.on_spawn(t)
-        self._record(OP.FORK, obj=t, loc=self.current.location() if self.current else "main")
+        if self.trace is not None:
+            self._record(OP.FORK, obj=t, loc=self.current.location() if self.current else "main")
         if self.obs is not None and self._sig_spawn.active:
             self._sig_spawn(tid=tid, name=t.name, daemon=daemon, time=self.now)
         return t
@@ -263,6 +378,7 @@ class Kernel:
             thread.wake_epoch += 1
             thread.state = TState.RUNNABLE
             thread.waiting_on = None
+            self._ready_add(thread)
         elif kind == "wait_timeout":
             cond: SimCondition = payload
             if thread in cond.waiters:
@@ -287,6 +403,7 @@ class Kernel:
             thread.wake_epoch += 1
             thread.state = TState.RUNNABLE
             thread.waiting_on = None
+            self._ready_add(thread)
             prev = self.current
             self.current = thread
             try:
@@ -311,9 +428,22 @@ class Kernel:
     def _wake(self, thread: SimThread, result: Any) -> None:
         """Move a blocked/sleeping thread back to the runnable set."""
         thread.wake_epoch += 1
+        if thread.state is not TState.RUNNABLE:
+            # Inlined _ready_add append fast path (hottest wake shape).
+            ready = self._ready
+            if not ready or ready[-1].tid < thread.tid:
+                ready.append(thread)
+            else:
+                self._ready_add(thread)
         thread.state = TState.RUNNABLE
         thread.waiting_on = None
         thread.pending = result
+
+    def _block(self, t: SimThread, state: TState, waiting_on: Any) -> None:
+        """Take a RUNNABLE thread out of the ready set."""
+        t.state = state
+        t.waiting_on = waiting_on
+        self._ready.remove(t)
 
     # ------------------------------------------------------------------
     # Lock plumbing (shared by Acquire, Release, Condition re-acquire)
@@ -324,7 +454,18 @@ class Kernel:
         lock.owner = thread
         lock.count = count
         thread.held_locks.append(lock)
-        self._record(OP.ACQUIRE, obj=lock, loc=loc or thread.location(), thread=thread)
+        ta = self._tappend
+        if ta is not None:
+            ta(
+                self.now,
+                thread.tid,
+                thread.name,
+                OP.ACQUIRE,
+                lock,
+                loc or current_location(thread.gen),
+                None,
+                self.step,
+            )
 
     def _begin_reacquire(self, thread: SimThread, lock: SimLock, count: int, result: Any) -> None:
         """A notified/timed-out waiter recontends for the monitor."""
@@ -332,21 +473,21 @@ class Kernel:
             self._grant_lock(lock, thread, count)
             self._wake(thread, result)
         else:
+            # The thread is already off the ready list (it was blocked on
+            # the condition/timeout that got it here).
             self._wait_ctx[thread] = ("wait_return", (lock, count, result))
             thread.waiting_on = lock
             thread.state = TState.BLOCKED
             lock.waiters.append(thread)
 
     def _release_lock_fully(self, lock: SimLock, thread: SimThread) -> None:
+        """Drop ownership and hand the lock to its next FIFO waiter,
+        honouring wait-returns (one frame: release + hand-off)."""
         lock.owner = None
         lock.count = 0
         if lock in thread.held_locks:
             thread.held_locks.remove(lock)
-        self._hand_off(lock)
-
-    def _hand_off(self, lock: SimLock) -> None:
-        """Grant a free lock to its next FIFO waiter, honouring wait-returns."""
-        if lock.owner is not None or not lock.waiters:
+        if not lock.waiters:
             return
         nxt = lock.waiters.pop(0)
         ctx = self._wait_ctx.pop(nxt, None)
@@ -370,28 +511,49 @@ class Kernel:
         extra: Any = None,
         thread: Optional[SimThread] = None,
     ) -> None:
-        if self.trace is None:
+        ta = self._tappend
+        if ta is None:
             return
         t = thread if thread is not None else self.current
         tid = t.tid if t else -1
         tname = t.name if t else "main"
         if loc is None:
-            loc = t.location() if t else "?"
-        self.trace.record(self.now, tid, tname, op, obj, loc, extra, step=self.step)
+            loc = current_location(t.gen) if t else "?"
+        ta(self.now, tid, tname, op, obj, loc, extra, self.step)
 
     def _loc(self, call: sc.Syscall, thread: SimThread) -> str:
         # Frame inspection is the single hottest non-essential operation
         # in the dispatch path; skip it entirely when nothing records.
         if self.trace is None:
             return call.loc or "?"
-        return call.loc if call.loc is not None else thread.location()
+        return call.loc if call.loc is not None else current_location(thread.gen)
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self, max_steps: int = 2_000_000, max_time: float = math.inf) -> RunResult:
         """Execute until all non-daemon threads finish, or a terminal
-        condition (deadlock, stall, step limit) is reached."""
+        condition (deadlock, stall, step limit) is reached.
+
+        The loop body is intentionally inlined (selection + step
+        execution in one frame): at ~10^5–10^6 steps/sec every Python
+        call boundary on the per-step path is measurable.  Semantics are
+        pinned step-for-step to :class:`ReferenceKernel` by the
+        differential battery.
+        """
+        scheduler = self.scheduler
+        pick = scheduler.pick
+        # Noise is an opt-in scheduler feature; resolve the override once
+        # instead of calling a no-op method every step.
+        noisy = type(scheduler).delay_after_pick is not Scheduler.delay_after_pick
+        ready = self._ready
+        pinned = self._pinned
+        step_cost = self.step_cost
+        runnable_state = TState.RUNNABLE
+        handlers = _HANDLERS
+        mix = self._syscall_mix
+        pre_dispatch = self.pre_dispatch
+
         while True:
             if self.step >= max_steps:
                 self._limit_hit = True
@@ -399,109 +561,121 @@ class Kernel:
             if self._live_foreground == 0:
                 break  # normal completion (daemons abandoned, as in CPython)
 
-            thread = self._next_thread(max_time)
+            # ---- selection ------------------------------------------
+            if self.now > max_time:
+                self._stalled = True
+                break
+            thread = None
+            if pinned:
+                while pinned:
+                    t = pinned.pop(0)
+                    if t.state is runnable_state:
+                        thread = t
+                        break
             if thread is None:
-                break  # deadlock or stall, flags already set
-            self._execute_step(thread)
+                if ready:
+                    thread = pick(ready, self.step)
+                elif self._advance_idle(max_time):
+                    continue  # timers fired; re-select
+                else:
+                    break  # deadlock or stall, flags already set
+
+            # ---- one step -------------------------------------------
+            self.current = thread
+            self.step += 1
+            thread.steps += 1
+            self.now += step_cost
+            if thread.tid != self._last_tid:
+                self.ctx_switches += 1
+                self._last_tid = thread.tid
+
+            pending, thread.pending = thread.pending, None
+            exc, thread.pending_exc = thread.pending_exc, None
+            try:
+                if exc is not None:
+                    item = thread.gen.throw(exc)
+                else:
+                    item = thread.gen.send(pending)
+            except StopIteration as stop:
+                self._finish(thread, getattr(stop, "value", None))
+            except BaseException as err:  # noqa: BLE001 - thread failure is data here
+                self._fail(thread, err)
+            else:
+                try:
+                    delay = None
+                    if pre_dispatch is not None and isinstance(item, sc.Syscall):
+                        delay = pre_dispatch(thread, item)
+                    if delay is not None and delay > 0:
+                        self._block(thread, TState.SLEEPING, "active-test pause")
+                        self._arm_timer(thread, delay, "retry", item)
+                    else:
+                        # Inlined _dispatch: one call frame per step saved.
+                        try:
+                            h = handlers[item.__class__]
+                        except KeyError:
+                            h = self._resolve_handler(thread, item)
+                        if mix is not None:
+                            try:
+                                mix[item._mix_idx] += 1
+                            except (AttributeError, IndexError):
+                                self._count_unslotted_syscall(item.__class__)
+                        h(self, thread, item)
+                except SimSyscallError as err:
+                    # Misuse of a primitive surfaces inside the offending thread.
+                    thread.pending_exc = RuntimeError(str(err))
+            # Breakpoint ordering: the first-action thread has now executed
+            # its next instruction; release partners parked on it.
+            if thread.order_waiters:
+                for w in thread.order_waiters:
+                    if w.state is TState.ORDER_WAIT:
+                        self._wake(w, True)
+                thread.order_waiters.clear()
+            # Scheduler-injected noise (ConTest baseline).  Uses the
+            # pending-preserving "noise" timer: the delayed thread may be
+            # carrying an undelivered syscall result.
+            if noisy and thread.state is runnable_state:
+                delay = scheduler.delay_after_pick(thread, self.step)
+                if delay > 0.0:
+                    self._block(thread, TState.SLEEPING, "noise")
+                    self._arm_timer(thread, delay, "noise")
+            self.current = None
 
         return self._result()
 
-    def _next_thread(self, max_time: float) -> Optional[SimThread]:
-        while True:
-            if self.now > max_time:
-                self._stalled = True
-                return None
-            while self._pinned:
-                t = self._pinned.pop(0)
-                if t.state is TState.RUNNABLE:
-                    return t
-            runnable = [t for t in self.threads if t.state is TState.RUNNABLE]
-            if runnable:
-                runnable.sort(key=lambda t: t.tid)
-                return self.scheduler.pick(runnable, self.step)
-            # Drop stale timers (their thread was woken by another path)
-            # before advancing the clock — otherwise a dead breakpoint
-            # timeout would postpone deadlock detection and inflate the
-            # reported stall time.
-            while self._timers:
-                _, _, th, epoch, _, _ = self._timers[0]
-                if epoch != th.wake_epoch or not th.alive:
-                    heapq.heappop(self._timers)
-                else:
-                    break
-            if self._timers:
-                deadline = self._timers[0][0]
-                if deadline > max_time:
-                    self.now = max_time
-                    self._stalled = any(t.alive for t in self.threads)
-                    return None
-                self.now = max(self.now, deadline)
-                self._fire_due_timers()
-                continue
-            # No runnable threads, no timers.
-            if any(t.alive for t in self.threads):
-                self._deadlock = self._diagnose_deadlock()
-                return None
-            return None
-
-    def _execute_step(self, thread: SimThread) -> None:
-        self.current = thread
-        self.step += 1
-        thread.steps += 1
-        self.now += self.step_cost
-        if thread.tid != self._last_tid:
-            self.ctx_switches += 1
-            self._last_tid = thread.tid
-        if thread.state is TState.NEW:
-            thread.state = TState.RUNNABLE
-
-        pending, thread.pending = thread.pending, None
-        exc, thread.pending_exc = thread.pending_exc, None
-        try:
-            if exc is not None:
-                item = thread.gen.throw(exc)
+    def _advance_idle(self, max_time: float) -> bool:
+        """Nothing runnable: advance the clock to the next live timer and
+        fire it, or diagnose deadlock/stall.  Returns True when timers
+        fired and selection should retry."""
+        # Drop stale timers (their thread was woken by another path)
+        # before advancing the clock — otherwise a dead breakpoint
+        # timeout would postpone deadlock detection and inflate the
+        # reported stall time.
+        timers = self._timers
+        while timers:
+            _, _, th, epoch, _, _ = timers[0]
+            if epoch != th.wake_epoch or not th.alive:
+                heapq.heappop(timers)
             else:
-                item = thread.gen.send(pending)
-        except StopIteration as stop:
-            self._finish(thread, getattr(stop, "value", None))
-        except BaseException as err:  # noqa: BLE001 - thread failure is data here
-            self._fail(thread, err)
-        else:
-            try:
-                delay = None
-                if self.pre_dispatch is not None and isinstance(item, sc.Syscall):
-                    delay = self.pre_dispatch(thread, item)
-                if delay is not None and delay > 0:
-                    thread.state = TState.SLEEPING
-                    thread.waiting_on = "active-test pause"
-                    self._arm_timer(thread, delay, "retry", item)
-                else:
-                    self._dispatch(thread, item)
-            except SimSyscallError as err:
-                # Misuse of a primitive surfaces inside the offending thread.
-                thread.pending_exc = RuntimeError(str(err))
-        # Breakpoint ordering: the first-action thread has now executed its
-        # next instruction; release partners parked on it.
-        if thread.order_waiters:
-            for w in thread.order_waiters:
-                if w.state is TState.ORDER_WAIT:
-                    self._wake(w, True)
-            thread.order_waiters.clear()
-        # Scheduler-injected noise (ConTest baseline).  Uses the
-        # pending-preserving "noise" timer: the delayed thread may be
-        # carrying an undelivered syscall result.
-        if thread.state is TState.RUNNABLE:
-            delay = self.scheduler.delay_after_pick(thread, self.step)
-            if delay > 0.0:
-                thread.state = TState.SLEEPING
-                thread.waiting_on = "noise"
-                self._arm_timer(thread, delay, "noise")
-        self.current = None
+                break
+        if timers:
+            deadline = timers[0][0]
+            if deadline > max_time:
+                self.now = max_time
+                self._stalled = any(t.alive for t in self.threads)
+                return False
+            self.now = max(self.now, deadline)
+            self._fire_due_timers()
+            return True
+        # No runnable threads, no timers.
+        if any(t.alive for t in self.threads):
+            self._deadlock = self._diagnose_deadlock()
+        return False
 
     def _finish(self, thread: SimThread, result: Any) -> None:
         thread.state = TState.DONE
         thread.result = result
         thread.finish_time = self.now
+        self._ready.remove(thread)
         if not thread.daemon:
             self._live_foreground -= 1
         self._record(OP.END, obj=thread, loc="?", thread=thread)
@@ -519,6 +693,7 @@ class Kernel:
         thread.state = TState.FAILED
         thread.exc = err
         thread.finish_time = self.now
+        self._ready.remove(thread)
         if not thread.daemon:
             self._live_foreground -= 1
         self.failures.append(ThreadFailure(thread.name, err, self.now, self.step))
@@ -537,79 +712,34 @@ class Kernel:
     # Syscall dispatch
     # ------------------------------------------------------------------
     def _dispatch(self, t: SimThread, call: Any) -> None:
-        if not isinstance(call, sc.Syscall):
-            raise SimSyscallError(f"thread {t.name} yielded non-syscall {call!r}")
+        """Apply one syscall's effect via the precomputed handler table."""
+        try:
+            h = _HANDLERS[call.__class__]
+        except KeyError:
+            h = self._resolve_handler(t, call)
         mix = self._syscall_mix
         if mix is not None:
             try:
                 mix[call._mix_idx] += 1
             except (AttributeError, IndexError):
                 self._count_unslotted_syscall(call.__class__)
-        loc = self._loc(call, t)
+        h(self, t, call)
 
-        if isinstance(call, sc.Acquire):
-            self._do_acquire(t, call.lock, loc)
-        elif isinstance(call, sc.Release):
-            self._do_release(t, call.lock, loc)
-        elif isinstance(call, sc.Wait):
-            self._do_wait(t, call.cond, call.timeout, loc)
-        elif isinstance(call, sc.Notify):
-            self._do_notify(t, call.cond, call.n, loc)
-        elif isinstance(call, sc.Sleep):
-            self._record(OP.SLEEP, obj=None, loc=loc, extra=call.duration)
-            if call.duration <= 0:
-                t.pending = None
-            else:
-                t.state = TState.SLEEPING
-                t.waiting_on = "sleep"
-                self._arm_timer(t, call.duration, "sleep")
-        elif isinstance(call, sc.Read):
-            value = call.cell.value
-            self._record(OP.READ, obj=call.cell, loc=loc, extra=value)
-            t.pending = value
-        elif isinstance(call, sc.Write):
-            call.cell.value = call.value
-            self._record(OP.WRITE, obj=call.cell, loc=loc, extra=call.value)
-        elif isinstance(call, sc.Yield):
-            t.pending = None
-        elif isinstance(call, sc.Now):
-            t.pending = self.now
-        elif isinstance(call, sc.Join):
-            self._do_join(t, call.thread, call.timeout, loc)
-        elif isinstance(call, sc.Interrupt):
-            t.pending = self.interrupt(call.thread, call.exc)
-        elif isinstance(call, sc.AcquireSem):
-            self._do_sem_p(t, call.sem, loc)
-        elif isinstance(call, sc.ReleaseSem):
-            self._do_sem_v(t, call.sem, loc)
-        elif isinstance(call, sc.BarrierWait):
-            self._do_barrier(t, call.barrier, loc)
-        elif isinstance(call, sc.EventWait):
-            self._do_event_wait(t, call.event, call.timeout, loc)
-        elif isinstance(call, sc.EventSet):
-            call.event.flag = True
-            self._record(OP.EVENT_SET, obj=call.event, loc=loc)
-            for w in call.event.waiters:
-                # EVENT_WAIT is recorded at wake time (after EVENT_SET in
-                # trace order) so the set -> wait-return edge is visible.
-                self._record(OP.EVENT_WAIT, obj=call.event, loc="?", thread=w)
-                self._wake(w, True)
-            call.event.waiters.clear()
-        elif isinstance(call, sc.EventClear):
-            call.event.flag = False
-        elif isinstance(call, sc.BeginAtomic):
-            self._record(OP.ATOMIC_BEGIN, obj=None, loc=loc, extra=call.label)
-        elif isinstance(call, sc.EndAtomic):
-            self._record(OP.ATOMIC_END, obj=None, loc=loc, extra=call.label)
-        elif isinstance(call, sc.Annotate):
-            self._record(OP.ANNOTATE, obj=None, loc=loc, extra={"kind": call.kind, "data": call.data})
-        elif isinstance(call, sc.Trigger):
-            self._do_trigger(t, call, loc)
-        else:  # pragma: no cover - defensive
-            raise SimSyscallError(f"unhandled syscall {call!r}")
+    def _resolve_handler(self, t: SimThread, call: Any) -> Callable[..., None]:
+        """Cold path of dispatch: validate the syscall and cache the
+        handler of its nearest handled base class."""
+        if not isinstance(call, sc.Syscall):
+            raise SimSyscallError(f"thread {t.name} yielded non-syscall {call!r}")
+        for base in call.__class__.__mro__:
+            h = _HANDLERS.get(base)
+            if h is not None:
+                _HANDLERS[call.__class__] = h
+                return h
+        raise SimSyscallError(f"unhandled syscall {call!r}")  # pragma: no cover - defensive
 
     # -- locks ----------------------------------------------------------
-    def _do_acquire(self, t: SimThread, lock: SimLock, loc: str) -> None:
+    def _h_acquire(self, t: SimThread, call: sc.Acquire) -> None:
+        lock = call.lock
         if lock.owner is t:
             if lock.reentrant:
                 # Nested monitor entry: no ownership transition, no event.
@@ -617,52 +747,82 @@ class Kernel:
                 t.pending = True
             else:
                 # Self-deadlock, like threading.Lock: block on ourselves.
+                loc = self._loc(call, t)
                 self._record(OP.ACQUIRE_REQ, obj=lock, loc=loc)
-                t.state = TState.BLOCKED
-                t.waiting_on = lock
+                self._block(t, TState.BLOCKED, lock)
                 lock.waiters.append(t)
                 self._wait_ctx[t] = ("acquire", loc)
         elif lock.owner is None and not lock.waiters:
-            self._grant_lock(lock, t, 1, loc=loc)
+            # Uncontended grant: the single hottest lock transition.
+            lock.owner = t
+            lock.count = 1
+            t.held_locks.append(lock)
+            ta = self._tappend
+            if ta is not None:
+                ta(
+                    self.now,
+                    t.tid,
+                    t.name,
+                    OP.ACQUIRE,
+                    lock,
+                    call.loc if call.loc is not None else current_location(t.gen),
+                    None,
+                    self.step,
+                )
             t.pending = True
         else:
+            loc = self._loc(call, t)
             self._record(OP.ACQUIRE_REQ, obj=lock, loc=loc)
-            t.state = TState.BLOCKED
-            t.waiting_on = lock
+            self._block(t, TState.BLOCKED, lock)
             lock.waiters.append(t)
             self._wait_ctx[t] = ("acquire", loc)
 
-    def _do_release(self, t: SimThread, lock: SimLock, loc: str) -> None:
+    def _h_release(self, t: SimThread, call: sc.Release) -> None:
+        lock = call.lock
         if lock.owner is not t:
             raise SimSyscallError(f"{t.name} released {lock.name} it does not hold")
         lock.count -= 1
         if lock.count > 0:
             return
-        self._record(OP.RELEASE, obj=lock, loc=loc)
+        ta = self._tappend
+        if ta is not None:
+            ta(
+                self.now,
+                t.tid,
+                t.name,
+                OP.RELEASE,
+                lock,
+                call.loc if call.loc is not None else current_location(t.gen),
+                None,
+                self.step,
+            )
         self._release_lock_fully(lock, t)
 
     # -- monitors ---------------------------------------------------------
-    def _do_wait(self, t: SimThread, cond: SimCondition, timeout: Optional[float], loc: str) -> None:
+    def _h_wait(self, t: SimThread, call: sc.Wait) -> None:
+        cond = call.cond
         lock = cond.lock
         if lock.owner is not t:
             raise SimSyscallError(f"{t.name} waits on {cond.name} without holding {lock.name}")
+        loc = self._loc(call, t)
         saved = lock.count
         self._record(OP.WAIT_ENTER, obj=cond, loc=loc)
         self._record(OP.RELEASE, obj=lock, loc=loc)
         lock.count = 0
         self._release_lock_fully(lock, t)
-        t.state = TState.BLOCKED
-        t.waiting_on = cond
+        self._block(t, TState.BLOCKED, cond)
         cond.waiters.append(t)
         self._wait_ctx[t] = ("wait_return", (lock, saved, True))
-        if timeout is not None:
-            self._arm_timer(t, timeout, "wait_timeout", cond)
+        if call.timeout is not None:
+            self._arm_timer(t, call.timeout, "wait_timeout", cond)
 
-    def _do_notify(self, t: SimThread, cond: SimCondition, n: Optional[int], loc: str) -> None:
+    def _h_notify(self, t: SimThread, call: sc.Notify) -> None:
+        cond = call.cond
+        n = call.n
         if cond.lock.owner is not t:
             raise SimSyscallError(f"{t.name} notifies {cond.name} without holding its lock")
         count = len(cond.waiters) if n is None else min(n, len(cond.waiters))
-        self._record(OP.NOTIFY, obj=cond, loc=loc, extra=count)
+        self._record(OP.NOTIFY, obj=cond, loc=self._loc(call, t), extra=count)
         for _ in range(count):
             w = cond.waiters.pop(0)
             w.wake_epoch += 1  # invalidate any wait_timeout timer
@@ -671,34 +831,75 @@ class Kernel:
             self._record(OP.WAIT_EXIT, obj=cond, loc="?", thread=w)
             self._begin_reacquire(w, lk, saved, True)
 
-    # -- join ------------------------------------------------------------
-    def _do_join(self, t: SimThread, target: SimThread, timeout: Optional[float], loc: str) -> None:
+    # -- time / memory / control ------------------------------------------
+    def _h_sleep(self, t: SimThread, call: sc.Sleep) -> None:
+        self._record(OP.SLEEP, obj=None, loc=self._loc(call, t), extra=call.duration)
+        if call.duration <= 0:
+            t.pending = None
+        else:
+            self._block(t, TState.SLEEPING, "sleep")
+            self._arm_timer(t, call.duration, "sleep")
+
+    def _h_read(self, t: SimThread, call: sc.Read) -> None:
+        cell = call.cell
+        value = cell.value
+        ta = self._tappend
+        if ta is not None:
+            ta(
+                self.now, t.tid, t.name, OP.READ, cell,
+                call.loc if call.loc is not None else current_location(t.gen), value, self.step,
+            )
+        t.pending = value
+
+    def _h_write(self, t: SimThread, call: sc.Write) -> None:
+        value = call.value
+        cell = call.cell
+        cell.value = value
+        ta = self._tappend
+        if ta is not None:
+            ta(
+                self.now, t.tid, t.name, OP.WRITE, cell,
+                call.loc if call.loc is not None else current_location(t.gen), value, self.step,
+            )
+
+    def _h_yield(self, t: SimThread, call: sc.Yield) -> None:
+        t.pending = None
+
+    def _h_now(self, t: SimThread, call: sc.Now) -> None:
+        t.pending = self.now
+
+    def _h_join(self, t: SimThread, call: sc.Join) -> None:
+        target = call.thread
+        loc = self._loc(call, t)
         self._record(OP.JOIN, obj=target, loc=loc)
         if not target.alive:
             self._record(OP.JOINED, obj=target, loc=loc)
             t.pending = True
             return
-        t.state = TState.BLOCKED
-        t.waiting_on = target
+        self._block(t, TState.BLOCKED, target)
         target.joiners.append(t)
-        if timeout is not None:
-            self._arm_timer(t, timeout, "join_timeout", target)
+        if call.timeout is not None:
+            self._arm_timer(t, call.timeout, "join_timeout", target)
+
+    def _h_interrupt(self, t: SimThread, call: sc.Interrupt) -> None:
+        t.pending = self.interrupt(call.thread, call.exc)
 
     # -- semaphores --------------------------------------------------------
-    def _do_sem_p(self, t: SimThread, sem: Any, loc: str) -> None:
+    def _h_sem_p(self, t: SimThread, call: sc.AcquireSem) -> None:
+        sem = call.sem
         if sem.value > 0:
             sem.value -= 1
             # SEM_P is recorded at *grant* time so the trace order gives
             # the happens-before edge V -> P.
-            self._record(OP.SEM_P, obj=sem, loc=loc)
+            self._record(OP.SEM_P, obj=sem, loc=self._loc(call, t))
             t.pending = True
         else:
-            t.state = TState.BLOCKED
-            t.waiting_on = sem
+            self._block(t, TState.BLOCKED, sem)
             sem.waiters.append(t)
 
-    def _do_sem_v(self, t: SimThread, sem: Any, loc: str) -> None:
-        self._record(OP.SEM_V, obj=sem, loc=loc)
+    def _h_sem_v(self, t: SimThread, call: sc.ReleaseSem) -> None:
+        sem = call.sem
+        self._record(OP.SEM_V, obj=sem, loc=self._loc(call, t))
         if sem.waiters:
             w = sem.waiters.pop(0)
             self._record(OP.SEM_P, obj=sem, loc="?", thread=w)
@@ -707,10 +908,11 @@ class Kernel:
             sem.value += 1
 
     # -- barriers -----------------------------------------------------------
-    def _do_barrier(self, t: SimThread, barrier: Any, loc: str) -> None:
+    def _h_barrier(self, t: SimThread, call: sc.BarrierWait) -> None:
+        barrier = call.barrier
         idx = barrier.count
         barrier.count += 1
-        self._record(OP.BARRIER, obj=barrier, loc=loc, extra=idx)
+        self._record(OP.BARRIER, obj=barrier, loc=self._loc(call, t), extra=idx)
         if barrier.count >= barrier.parties:
             for i, w in enumerate(barrier.waiters):
                 # Release events after the last arrival: every waiter's
@@ -722,30 +924,57 @@ class Kernel:
             barrier.generation += 1
             t.pending = idx
         else:
-            t.state = TState.BLOCKED
-            t.waiting_on = barrier
+            self._block(t, TState.BLOCKED, barrier)
             barrier.waiters.append(t)
 
     # -- events ---------------------------------------------------------------
-    def _do_event_wait(self, t: SimThread, event: Any, timeout: Optional[float], loc: str) -> None:
+    def _h_event_wait(self, t: SimThread, call: sc.EventWait) -> None:
+        event = call.event
         if event.flag:
-            self._record(OP.EVENT_WAIT, obj=event, loc=loc)
+            self._record(OP.EVENT_WAIT, obj=event, loc=self._loc(call, t))
             t.pending = True
             return
-        t.state = TState.BLOCKED
-        t.waiting_on = event
+        self._block(t, TState.BLOCKED, event)
         event.waiters.append(t)
-        if timeout is not None:
-            self._arm_timer(t, timeout, "event_timeout", event)
+        if call.timeout is not None:
+            self._arm_timer(t, call.timeout, "event_timeout", event)
+
+    def _h_event_set(self, t: SimThread, call: sc.EventSet) -> None:
+        event = call.event
+        event.flag = True
+        self._record(OP.EVENT_SET, obj=event, loc=self._loc(call, t))
+        for w in event.waiters:
+            # EVENT_WAIT is recorded at wake time (after EVENT_SET in
+            # trace order) so the set -> wait-return edge is visible.
+            self._record(OP.EVENT_WAIT, obj=event, loc="?", thread=w)
+            self._wake(w, True)
+        event.waiters.clear()
+
+    def _h_event_clear(self, t: SimThread, call: sc.EventClear) -> None:
+        call.event.flag = False
+
+    # -- annotations -------------------------------------------------------
+    def _h_begin_atomic(self, t: SimThread, call: sc.BeginAtomic) -> None:
+        self._record(OP.ATOMIC_BEGIN, obj=None, loc=self._loc(call, t), extra=call.label)
+
+    def _h_end_atomic(self, t: SimThread, call: sc.EndAtomic) -> None:
+        self._record(OP.ATOMIC_END, obj=None, loc=self._loc(call, t), extra=call.label)
+
+    def _h_annotate(self, t: SimThread, call: sc.Annotate) -> None:
+        self._record(
+            OP.ANNOTATE, obj=None, loc=self._loc(call, t),
+            extra={"kind": call.kind, "data": call.data},
+        )
 
     # -- concurrent breakpoints --------------------------------------------
-    def _do_trigger(self, t: SimThread, call: sc.Trigger, loc: str) -> None:
+    def _h_trigger(self, t: SimThread, call: sc.Trigger) -> None:
         from repro.core.config import GLOBAL
 
         inst = call.inst
         if not GLOBAL.enabled:
             t.pending = False
             return
+        loc = self._loc(call, t)
         self._record(OP.TRIGGER_VISIT, obj=inst, loc=loc, extra={"name": inst.name})
         runtimectx.push_held_locks(t.held_locks)
         try:
@@ -776,8 +1005,7 @@ class Kernel:
             t.pending = True
             self._pinned.append(threads[0])
             for prev, nxt in zip(threads, threads[1:]):
-                nxt.state = TState.ORDER_WAIT
-                nxt.waiting_on = prev
+                self._block(nxt, TState.ORDER_WAIT, prev)
                 prev.order_waiters.append(nxt)
             return
 
@@ -792,14 +1020,12 @@ class Kernel:
             self._wake(partner_thread, True)
             t.pending = True
             first_entry = result.entry if result.entry.acts_first else result.partner
-            second_entry = result.partner if result.entry.acts_first else result.entry
             first_thread = t if first_entry is result.entry else partner_thread
             second_thread = partner_thread if first_entry is result.entry else t
             # Exact Section 2 semantics: first thread's next instruction
             # runs before the second thread resumes.
             self._pinned.append(first_thread)
-            second_thread.state = TState.ORDER_WAIT
-            second_thread.waiting_on = first_thread
+            self._block(second_thread, TState.ORDER_WAIT, first_thread)
             first_thread.order_waiters.append(second_thread)
             return
 
@@ -807,8 +1033,7 @@ class Kernel:
         entry = result.entry
         entry.handle = t
         self._record(OP.TRIGGER_POSTPONE, obj=inst, loc=loc, extra={"name": inst.name})
-        t.state = TState.BLOCKED
-        t.waiting_on = ("breakpoint", entry)
+        self._block(t, TState.BLOCKED, ("breakpoint", entry))
         self._arm_timer(t, call.timeout, "trigger_timeout", entry)
 
     # ------------------------------------------------------------------
@@ -908,11 +1133,33 @@ class Kernel:
             mix.extend([0] * (idx + 1 - len(mix)))
         mix[idx] += 1
 
+    def _check_step_accounting(self) -> None:
+        """End-of-run consistency cross-check of the three independent
+        step counts: the kernel's global counter (what obs flush
+        reports), the per-thread counters (what ``sim.timeline`` /
+        ``RunResult.threads`` consumers re-derive totals from), and the
+        trace's final event step.  A mismatch means an accounting bug
+        that would silently skew every downstream metric, so it is a
+        hard error, not a warning."""
+        per_thread = sum(t.steps for t in self.threads)
+        if per_thread != self.step:
+            raise RuntimeError(
+                f"step accounting mismatch: kernel counted {self.step} steps "
+                f"but thread counters sum to {per_thread}"
+            )
+        if self.trace is not None:
+            last = self.trace.last_step()
+            if last > self.step:
+                raise RuntimeError(
+                    f"step accounting mismatch: trace records step {last} "
+                    f"but the kernel only counted {self.step}"
+                )
+
     def _flush_obs(self) -> None:
         """Fold the run's accumulated counts into the metrics registry.
 
         Called once from :meth:`_result`; hot-path accumulation uses
-        plain ints/dicts so instrumented runs stay within the <5 %
+        flat slot counters so instrumented runs stay within the <5 %
         obs-overhead gate (``benchmarks/bench_obs_overhead.py``).
         """
         obs = self.obs
@@ -926,11 +1173,8 @@ class Kernel:
             "kernel.ctx_switches": self.ctx_switches,
             "kernel.threads_spawned": len(self.threads),
         }
-        if self._syscall_mix is not None:
-            names = _MIX_NAMES
-            for idx, n in enumerate(self._syscall_mix):
-                if n:
-                    counts[names[idx]] = n
+        if self._mix_counters is not None:
+            self._mix_counters.fold_into(counts)
         if self.failures:
             counts["kernel.thread_failures"] = len(self.failures)
         if self._deadlock is not None:
@@ -939,9 +1183,11 @@ class Kernel:
             counts["kernel.stalls"] = 1
         if self._limit_hit:
             counts["kernel.step_limit_hits"] = 1
+        # The engine contributes its engine.* counters into the same
+        # dict so the run's counters land in one registry call.
+        self.engine.flush_metrics(into=counts)
         m.add_counters(counts)
         m.histogram("kernel.virtual_seconds").observe(self.now)
-        self.engine.flush_metrics()
         if self._sig_run_end.active:
             self._sig_run_end(
                 time=self.now,
@@ -950,9 +1196,20 @@ class Kernel:
                 stalled=self._stalled,
                 failures=len(self.failures),
             )
+        scratch = self._obs_scratch
+        if scratch is not None and scratch[0] is None:
+            # Check the slab back into the per-context pool.  This
+            # kernel is done counting (flush runs once); dropping the
+            # references makes any post-flush counting attempt a silent
+            # no-op instead of corrupting the next trial's slab.
+            scratch[0] = self._mix_counters
+            self._obs_scratch = None
+            self._mix_counters = None
+            self._syscall_mix = None
 
     def _result(self) -> RunResult:
         completed = all(not t.alive or t.daemon for t in self.threads)
+        self._check_step_accounting()
         self._flush_obs()
         return RunResult(
             time=self.now,
@@ -1037,3 +1294,31 @@ class Kernel:
             )
         )
         return hashlib.sha1(body.encode()).hexdigest()
+
+
+#: Class-keyed syscall dispatch table (the fast path of
+#: :meth:`Kernel._dispatch`).  Subclasses of handled syscalls are
+#: resolved through their MRO and cached here on first dispatch.
+_HANDLERS: Dict[type, Callable[..., None]] = {
+    sc.Acquire: Kernel._h_acquire,
+    sc.Release: Kernel._h_release,
+    sc.Wait: Kernel._h_wait,
+    sc.Notify: Kernel._h_notify,
+    sc.Sleep: Kernel._h_sleep,
+    sc.Read: Kernel._h_read,
+    sc.Write: Kernel._h_write,
+    sc.Yield: Kernel._h_yield,
+    sc.Now: Kernel._h_now,
+    sc.Join: Kernel._h_join,
+    sc.Interrupt: Kernel._h_interrupt,
+    sc.AcquireSem: Kernel._h_sem_p,
+    sc.ReleaseSem: Kernel._h_sem_v,
+    sc.BarrierWait: Kernel._h_barrier,
+    sc.EventWait: Kernel._h_event_wait,
+    sc.EventSet: Kernel._h_event_set,
+    sc.EventClear: Kernel._h_event_clear,
+    sc.BeginAtomic: Kernel._h_begin_atomic,
+    sc.EndAtomic: Kernel._h_end_atomic,
+    sc.Annotate: Kernel._h_annotate,
+    sc.Trigger: Kernel._h_trigger,
+}

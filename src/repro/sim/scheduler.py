@@ -40,13 +40,25 @@ __all__ = [
 
 
 class Scheduler:
-    """Interface.  ``pick`` receives runnable threads sorted by tid."""
+    """Interface.  ``pick`` receives runnable threads sorted by tid.
+
+    **Live-list contract**: the kernel's fast path passes its *internal*
+    tid-sorted ready list to :meth:`pick` — not a copy — so that the
+    hottest call in the system allocates nothing.  Implementations must
+    treat the sequence as read-only and borrowed: never mutate it, never
+    retain a reference past the call (the kernel updates it in place on
+    every block/wake).  Index, iterate, and pick; nothing else.  The
+    differential battery runs every scheduler against the pre-rewrite
+    reference kernel (which builds a fresh list per step), so a
+    violation shows up as a trace divergence.
+    """
 
     def on_spawn(self, thread: SimThread) -> None:
         """Called when a thread is created (priority assignment hooks)."""
 
     def pick(self, runnable: Sequence[SimThread], step: int) -> SimThread:
-        """Choose the next thread to run from ``runnable``."""
+        """Choose the next thread to run from ``runnable`` (borrowed,
+        read-only, tid-sorted; see the class docstring)."""
         raise NotImplementedError
 
     def delay_after_pick(self, thread: SimThread, step: int) -> float:

@@ -15,6 +15,7 @@ application call site of the primitive's own frame, whichever is tagged.
 from __future__ import annotations
 
 import enum
+from types import GeneratorType as _GEN_TYPE
 from typing import Any, Generator, List, Optional
 
 __all__ = ["TState", "SimThread", "current_location"]
@@ -32,24 +33,39 @@ class TState(enum.Enum):
     FAILED = "failed"
 
 
+#: ``(code object, line) -> "file:line"`` — the set of suspension points
+#: in a program is small and static, so the formatted labels are shared.
+_LOC_CACHE: dict = {}
+
+
 def current_location(gen: Generator) -> str:
     """``file:line`` of the innermost suspended frame of ``gen``.
 
     Walks the ``yield from`` delegation chain so that a syscall yielded
     inside ``SimLock.acquire`` is attributed to that helper's frame; the
     benchmarks tag paper-style locations explicitly where it matters.
+
+    Called once per traced event, so the walk uses direct slot loads
+    (real generators only) and the formatted label is cached.
     """
-    g = gen
-    while True:
-        sub = getattr(g, "gi_yieldfrom", None)
-        if sub is None or not hasattr(sub, "gi_frame"):
-            break
-        g = sub
-    frame = getattr(g, "gi_frame", None)
+    try:
+        g = gen
+        while True:
+            sub = g.gi_yieldfrom
+            if sub is None or type(sub) is not _GEN_TYPE:
+                break
+            g = sub
+        frame = g.gi_frame
+    except AttributeError:
+        return "?"
     if frame is None:
         return "?"
-    fname = frame.f_code.co_filename.rsplit("/", 1)[-1]
-    return f"{fname}:{frame.f_lineno}"
+    key = (frame.f_code, frame.f_lineno)
+    loc = _LOC_CACHE.get(key)
+    if loc is None:
+        fname = frame.f_code.co_filename.rsplit("/", 1)[-1]
+        loc = _LOC_CACHE[key] = f"{fname}:{frame.f_lineno}"
+    return loc
 
 
 class SimThread:

@@ -7,17 +7,24 @@ atomicity checks all consume this one format, mirroring how the paper's
 Methodology I/II leans on CalFuzzer/Eraser reports computed from dynamic
 observation.
 
-Events use ``__slots__`` and interned op-code strings: large runs generate
-hundreds of thousands of events, and the HPC guides' advice (measure,
-avoid gratuitous allocation) applies directly — trace recording is the
-kernel's main overhead and is off by default.
+Storage is a *flat slot buffer*, not a list of objects: large runs
+generate hundreds of thousands of events, and allocating an ``Event``
+per record made trace append the dominant cost of traced runs.
+:meth:`Trace.append` extends a flat Python list by the event's eight
+fields in one C-level operation at a fixed stride — amortized O(1) via
+the list's own geometric over-allocation — and defers :class:`Event`
+construction until somebody actually iterates the trace: the kernel's
+hot loop never pays for objects the detectors may never ask for.
+``seq`` is implicit (the slot index), so nothing is stored for it.
+Materialized views are cached keyed on length, so the usual
+record-everything-then-analyze flow materializes exactly once.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterator, List, Optional
 
-__all__ = ["Event", "Trace", "OP"]
+__all__ = ["Event", "Trace", "OP", "trace_fingerprint"]
 
 
 class OP:
@@ -96,12 +103,43 @@ class Event:
         )
 
 
+#: Fields per event slot: time, tid, tname, op, obj, loc, extra, step.
+_STRIDE = 8
+
+
 class Trace:
-    """An append-only sequence of :class:`Event` with small query helpers."""
+    """An append-only sequence of :class:`Event` with small query helpers.
+
+    Internally a flat slot buffer (see module docstring).  ``events``
+    materializes the :class:`Event` view lazily and caches it; the cache
+    is keyed on length, so :meth:`append` never touches it.
+    """
+
+    __slots__ = ("_flat", "_len", "_view")
 
     def __init__(self) -> None:
-        self.events: List[Event] = []
-        self._seq = 0
+        self._flat: List[Any] = []
+        self._len = 0
+        self._view: Optional[List[Event]] = None
+
+    def append(
+        self,
+        time: float,
+        tid: int,
+        tname: str,
+        op: str,
+        obj: Any = None,
+        loc: str = "?",
+        extra: Any = None,
+        step: int = -1,
+    ) -> None:
+        """Record one event: the kernel's O(1)-amortized hot path.
+
+        A single C-level extend of the flat buffer — list over-allocation
+        is the preallocation, so there is no Python-side capacity logic.
+        """
+        self._flat += (time, tid, tname, op, obj, loc, extra, step)
+        self._len += 1
 
     def record(
         self,
@@ -114,14 +152,41 @@ class Trace:
         extra: Any = None,
         step: int = -1,
     ) -> Event:
-        """Append one event (subject to the enabled filter)."""
-        ev = Event(self._seq, time, tid, tname, op, obj, loc, extra, step)
-        self._seq += 1
-        self.events.append(ev)
-        return ev
+        """Append one event and return its materialized view (compat
+        API; the kernel uses :meth:`append` and skips the object)."""
+        self.append(time, tid, tname, op, obj, loc, extra, step)
+        return self._event(self._len - 1)
+
+    def _event(self, seq: int) -> Event:
+        i = seq * _STRIDE
+        f = self._flat
+        return Event(
+            seq, f[i], f[i + 1], f[i + 2], f[i + 3], f[i + 4], f[i + 5], f[i + 6], f[i + 7]
+        )
+
+    @property
+    def events(self) -> List[Event]:
+        """Materialized event list (cached until the next append)."""
+        view = self._view
+        if view is None or len(view) != self._len:
+            view = self._view = [self._event(s) for s in range(self._len)]
+        return view
+
+    @property
+    def _seq(self) -> int:
+        # Back-compat: the old eager Trace exposed a running sequence
+        # counter; it is now just the length.
+        return self._len
+
+    def last_step(self) -> int:
+        """``step`` of the most recent event (-1 when empty) — events
+        arrive in nondecreasing step order, so this is the maximum."""
+        if self._len == 0:
+            return -1
+        return self._flat[(self._len - 1) * _STRIDE + 7]
 
     def __len__(self) -> int:
-        return len(self.events)
+        return self._len
 
     def __iter__(self) -> Iterator[Event]:
         return iter(self.events)
@@ -150,3 +215,31 @@ class Trace:
         """Human-readable dump (first ``limit`` events)."""
         rows = self.events if limit is None else self.events[:limit]
         return "\n".join(repr(e) for e in rows)
+
+
+def trace_fingerprint(trace: Any) -> str:
+    """Canonical SHA-256 of a trace's observable content.
+
+    The encoding covers every field of every event.  ``obj`` is
+    projected to ``(type name, .name)`` — identity is process-local and
+    must not leak into the fingerprint — and floats are ``repr``-ed so
+    the text is exact, not rounded.  Two runs fingerprint equal iff
+    their traces are bit-identical under this projection; the golden
+    corpus (``tests/sim/golden/``) pins these per app+seed.
+    """
+    import hashlib
+
+    h = hashlib.sha256()
+    for e in trace:
+        obj = e.obj
+        if obj is None:
+            objkey = "-"
+        else:
+            objkey = f"{type(obj).__name__}:{getattr(obj, 'name', None)}"
+        h.update(
+            (
+                f"{e.seq}|{e.time!r}|{e.tid}|{e.tname}|{e.op}|{objkey}|"
+                f"{e.loc}|{e.extra!r}|{e.step}\n"
+            ).encode()
+        )
+    return h.hexdigest()

@@ -1,0 +1,216 @@
+"""The perf gate is tested code: BENCH document schema + comparison.
+
+Covers :mod:`repro.perftrack` (make/write/load/compare) and the
+``benchmarks/conftest.py`` wrappers that the kernel throughput bench
+uses to emit ``BENCH_kernel.json`` and gate it against the committed
+baseline.  A perf gate that silently passes malformed documents is
+worse than no gate, so the failure modes get as much coverage as the
+happy path.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perftrack import SCHEMA, compare, load_doc, make_doc, write_doc
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _metric(value, unit="x", direction="higher", gate=True):
+    return {"value": value, "unit": unit, "direction": direction, "gate": gate}
+
+
+# ---------------------------------------------------------------------------
+# make_doc: schema validation at emit time
+# ---------------------------------------------------------------------------
+
+
+def test_make_doc_shape_and_canonical_order():
+    doc = make_doc("kernel", {"b": _metric(2.0), "a": _metric(1.0, gate=False)})
+    assert doc["schema"] == SCHEMA
+    assert doc["name"] == "kernel"
+    assert list(doc["metrics"]) == ["a", "b"]  # sorted, deterministic
+    assert doc["meta"] == {}
+
+
+def test_make_doc_copies_inputs():
+    m = _metric(1.0)
+    doc = make_doc("kernel", {"a": m}, meta={"k": "v"})
+    m["value"] = 99
+    assert doc["metrics"]["a"]["value"] == 1.0
+    assert doc["meta"] == {"k": "v"}
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"unit": "x", "direction": "higher", "gate": True},  # no value
+        {"value": 1.0, "direction": "higher", "gate": True},  # no unit
+        {"value": 1.0, "unit": "x", "gate": True},  # no direction
+        {"value": 1.0, "unit": "x", "direction": "higher"},  # no gate
+        {"value": "2", "unit": "x", "direction": "higher", "gate": True},  # str value
+        {"value": True, "unit": "x", "direction": "higher", "gate": True},  # bool value
+        {"value": 1.0, "unit": "x", "direction": "up", "gate": True},  # bad direction
+        {"value": 1.0, "unit": "x", "direction": "higher", "gate": 1},  # non-bool gate
+    ],
+)
+def test_make_doc_rejects_malformed_metric(bad):
+    with pytest.raises(ValueError):
+        make_doc("kernel", {"m": bad})
+
+
+def test_make_doc_rejects_empty_name():
+    with pytest.raises(ValueError):
+        make_doc("", {"m": _metric(1.0)})
+
+
+# ---------------------------------------------------------------------------
+# write_doc / load_doc: canonical serialization, schema check on load
+# ---------------------------------------------------------------------------
+
+
+def test_write_load_round_trip(tmp_path):
+    doc = make_doc("kernel", {"a": _metric(2.5)}, meta={"note": "n"})
+    path = write_doc(doc, tmp_path / "sub" / "BENCH_kernel.json")
+    assert load_doc(path) == doc
+
+
+def test_write_doc_is_byte_deterministic(tmp_path):
+    doc = make_doc("kernel", {"b": _metric(2.0), "a": _metric(1.0)})
+    p1 = write_doc(doc, tmp_path / "one.json")
+    p2 = write_doc(doc, tmp_path / "two.json")
+    text = p1.read_text()
+    assert text == p2.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text)["metrics"]["a"]["value"] == 1.0
+
+
+def test_load_doc_rejects_wrong_schema(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps({"schema": "repro.bench/999", "metrics": {}}))
+    with pytest.raises(ValueError, match="unsupported bench schema"):
+        load_doc(p)
+
+
+def test_load_doc_rejects_missing_metrics(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps({"schema": SCHEMA, "name": "kernel"}))
+    with pytest.raises(ValueError, match="no metrics table"):
+        load_doc(p)
+
+
+# ---------------------------------------------------------------------------
+# compare: tolerance handling, directions, missing metrics
+# ---------------------------------------------------------------------------
+
+
+def _docs(cur_value, base_value, direction="higher", gate=True):
+    cur = make_doc("kernel", {"m": _metric(cur_value, direction=direction, gate=gate)})
+    base = make_doc("kernel", {"m": _metric(base_value, direction=direction, gate=gate)})
+    return cur, base
+
+
+def test_compare_passes_within_tolerance():
+    cur, base = _docs(1.8, 2.0)  # -10%, inside the 15% tolerance
+    assert compare(cur, base, tolerance=0.15) == []
+
+
+def test_compare_fails_below_floor_for_higher_is_better():
+    cur, base = _docs(1.6, 2.0)  # -20%
+    failures = compare(cur, base, tolerance=0.15)
+    assert len(failures) == 1
+    assert "m:" in failures[0] and "floor" in failures[0]
+
+
+def test_compare_fails_above_ceiling_for_lower_is_better():
+    cur, base = _docs(1.3, 1.0, direction="lower")  # +30% where lower is better
+    failures = compare(cur, base, tolerance=0.15)
+    assert len(failures) == 1 and "ceiling" in failures[0]
+
+
+def test_compare_lower_is_better_passes_within_tolerance():
+    cur, base = _docs(1.1, 1.0, direction="lower")
+    assert compare(cur, base, tolerance=0.15) == []
+
+
+def test_compare_ignores_ungated_metrics():
+    cur, base = _docs(0.5, 2.0, gate=False)  # catastrophic but ungated
+    assert compare(cur, base) == []
+
+
+def test_compare_flags_missing_gated_metric():
+    base = make_doc("kernel", {"m": _metric(2.0)})
+    cur = make_doc("kernel", {"other": _metric(2.0)})
+    failures = compare(cur, base)
+    assert len(failures) == 1 and "missing" in failures[0]
+
+
+def test_compare_boundary_is_inclusive():
+    cur, base = _docs(1.7, 2.0)  # exactly the 15% floor
+    assert compare(cur, base, tolerance=0.15) == []
+
+
+def test_compare_rejects_bad_tolerance():
+    cur, base = _docs(2.0, 2.0)
+    for tol in (-0.1, 1.0, 2.0):
+        with pytest.raises(ValueError):
+            compare(cur, base, tolerance=tol)
+
+
+# ---------------------------------------------------------------------------
+# benchmarks/conftest.py wrappers + the committed kernel baseline
+# ---------------------------------------------------------------------------
+
+
+def _load_bench_conftest():
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", REPO / "benchmarks" / "conftest.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_bench_paths_follow_naming_convention():
+    bc = _load_bench_conftest()
+    assert bc.bench_doc_path("kernel").name == "BENCH_kernel.json"
+    assert bc.bench_baseline_path("kernel").name == "BENCH_kernel.baseline.json"
+    assert bc.bench_doc_path("kernel").parent == REPO / "benchmarks"
+
+
+def test_committed_kernel_baseline_is_valid_and_gated():
+    """The committed baseline must load under the current schema and
+    carry the gated machine-relative speedup metrics the perf job
+    depends on — with the ≥2x fast-path floor built in."""
+    bc = _load_bench_conftest()
+    base = load_doc(bc.bench_baseline_path("kernel"))
+    gated = {k: v for k, v in base["metrics"].items() if v["gate"]}
+    expected = {
+        f"speedup_vs_reference_{mode}_{label}"
+        for mode in ("untraced", "traced")
+        for label in ("t4", "t16")
+    }
+    assert set(gated) == expected
+    for name, m in gated.items():
+        assert m["direction"] == "higher"
+        assert m["value"] >= 2.0, f"{name}: baseline below the 2x rewrite floor"
+
+
+def test_gate_bench_doc_against_committed_baseline():
+    """End-to-end wrapper check with a synthetic current document: at
+    baseline level it passes; 20% below every gated value it fails."""
+    bc = _load_bench_conftest()
+    base = load_doc(bc.bench_baseline_path("kernel"))
+    ok = make_doc("kernel", base["metrics"])
+    assert bc.gate_bench_doc(ok, "kernel") == []
+    regressed_metrics = {
+        k: {**v, "value": v["value"] * 0.8} for k, v in base["metrics"].items()
+    }
+    regressed = make_doc("kernel", regressed_metrics)
+    failures = bc.gate_bench_doc(regressed, "kernel")
+    assert len(failures) == len(
+        [m for m in base["metrics"].values() if m["gate"]]
+    )

@@ -252,3 +252,35 @@ def test_result_summary_strings():
     k = Kernel()
     k.spawn(ok)
     assert "ok" in k.run().summary()
+
+
+def test_step_accounting_mismatch_is_a_hard_error():
+    """The end-of-run flush cross-checks the kernel's global step counter
+    against the per-thread counters; a thread that tampers with its own
+    count (standing in for an accounting bug) must fail the run loudly
+    rather than silently skew every steps-derived metric."""
+    k = Kernel()
+
+    def tamperer():
+        yield Yield()
+        # Corrupt this thread's step counter mid-run; the end-of-run
+        # consistency check must catch the divergence.
+        k.threads[0].steps += 5
+        yield Yield()
+
+    k.spawn(tamperer)
+    with pytest.raises(RuntimeError, match="step accounting mismatch"):
+        k.run()
+
+
+def test_step_accounting_check_passes_on_clean_run():
+    def worker():
+        for _ in range(3):
+            yield Yield()
+
+    k = Kernel()
+    k.spawn(worker)
+    k.spawn(worker)
+    result = k.run()
+    assert result.ok
+    assert sum(t.steps for t in result.threads) == result.steps

@@ -25,6 +25,15 @@ from repro.sim import (
     merge_shards,
     render_timeline,
 )
+from repro.sim._reference import ReferenceKernel
+from repro.sim.replay import RecordingScheduler
+from repro.sim.scheduler import (
+    NoiseScheduler,
+    PCTScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.sim.trace import trace_fingerprint
 
 # ---------------------------------------------------------------------------
 # Random program generation (plain seeded random: one program per seed)
@@ -202,6 +211,85 @@ def test_merge_shards_rejects_duplicates():
     assert [o.choices for o in merged.outcomes] == sorted(
         o.choices for o in ex.outcomes[:5]
     )
+
+
+# ---------------------------------------------------------------------------
+# Fast kernel vs pre-rewrite reference: the differential battery
+# ---------------------------------------------------------------------------
+
+_SCHEDULER_FACTORIES = {
+    "random": lambda seed: RandomScheduler(seed=seed),
+    "round_robin": lambda seed: RoundRobinScheduler(),
+    "pct": lambda seed: PCTScheduler(depth=3, steps_estimate=80, seed=seed),
+    "noise": lambda seed: NoiseScheduler(seed=seed, p=0.2, max_delay=0.002),
+}
+
+
+def _run_differential(kernel_cls, prog_seed, sched_factory, sched_seed):
+    rec = RecordingScheduler(sched_factory(sched_seed))
+    k = kernel_cls(scheduler=rec, seed=prog_seed, record_trace=True)
+    random_program(prog_seed)(k)
+    result = k.run()
+    return k, result, rec
+
+
+def _result_facts(r):
+    return (
+        round(r.time, 9),
+        r.steps,
+        r.completed,
+        r.deadlocked,
+        r.stalled,
+        r.limit_hit,
+        [(f.thread_name, repr(f.exc), f.step) for f in r.failures],
+    )
+
+
+@pytest.mark.parametrize("sched_kind", sorted(_SCHEDULER_FACTORIES))
+def test_fast_kernel_matches_reference(sched_kind):
+    """The rewritten hot path must be indistinguishable from the
+    pre-rewrite kernel: same scheduler choices (the scheduler sees the
+    same ready lists and consumes the same RNG), bit-identical traces,
+    same result facts, same end-of-run state signature."""
+    factory = _SCHEDULER_FACTORIES[sched_kind]
+    for prog_seed in range(10):
+        sched_seed = prog_seed * 13 + 5
+        kf, rf, recf = _run_differential(Kernel, prog_seed, factory, sched_seed)
+        kr, rr, recr = _run_differential(ReferenceKernel, prog_seed, factory, sched_seed)
+        assert recf.choices == recr.choices
+        assert _trace_tuples(rf.trace) == _trace_tuples(rr.trace)
+        assert trace_fingerprint(rf.trace) == trace_fingerprint(rr.trace)
+        assert _result_facts(rf) == _result_facts(rr)
+        assert kf.state_signature() == kr.state_signature()
+
+
+def test_fast_kernel_matches_reference_untraced_facts():
+    """Untraced runs (the production trial configuration) agree on every
+    observable run fact and on the kernel state signature."""
+    for prog_seed in range(10):
+        sched_seed = prog_seed * 31 + 3
+        kf = Kernel(scheduler=RandomScheduler(seed=sched_seed), seed=prog_seed)
+        random_program(prog_seed)(kf)
+        rf = kf.run()
+        kr = ReferenceKernel(scheduler=RandomScheduler(seed=sched_seed), seed=prog_seed)
+        random_program(prog_seed)(kr)
+        rr = kr.run()
+        assert _result_facts(rf) == _result_facts(rr)
+        assert kf.state_signature() == kr.state_signature()
+
+
+def test_fast_kernel_matches_reference_on_apps():
+    """App-level differential: full benchmark apps (breakpoints, timers,
+    policies) produce identical golden entries under both kernels."""
+    from repro.apps.registry import get_app
+    from repro.goldens import golden_entry
+
+    for app_name in ("bank", "figure4"):
+        app_cls = get_app(app_name)
+        for bug in [None] + sorted(app_cls.bugs)[:1]:
+            fast = golden_entry(app_cls, seed=3, bug=bug, kernel_cls=Kernel)
+            ref = golden_entry(app_cls, seed=3, bug=bug, kernel_cls=ReferenceKernel)
+            assert fast == ref, f"{app_name} bug={bug} diverged"
 
 
 def test_observe_snapshots_survive_sharding():

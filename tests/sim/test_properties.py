@@ -3,7 +3,20 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim import Kernel, RandomScheduler, SharedCell, SimLock, SimQueue, Sleep, Yield
+from repro.sim import (
+    Kernel,
+    RandomScheduler,
+    SharedCell,
+    SimEvent,
+    SimLock,
+    SimQueue,
+    SimSemaphore,
+    Sleep,
+    Yield,
+)
+from repro.sim._reference import ReferenceKernel
+from repro.sim.replay import RecordingScheduler
+from repro.sim.trace import trace_fingerprint
 
 
 @settings(max_examples=60, deadline=None)
@@ -127,3 +140,81 @@ def test_trace_determinism_for_any_seed(seed):
         return [(e.tid, e.op) for e in k.trace]
 
     assert run_once() == run_once()
+
+
+# ---------------------------------------------------------------------------
+# Fast kernel vs pre-rewrite reference (hypothesis-driven differential)
+# ---------------------------------------------------------------------------
+
+# One thread's plan: a list of small ops over shared locks/cells/sems/events.
+_op = st.one_of(
+    st.tuples(st.just("guarded_inc"), st.integers(0, 2)),
+    st.tuples(st.just("bare_inc"), st.integers(0, 2)),
+    st.tuples(st.just("sem"), st.integers(0, 1)),
+    st.tuples(st.just("event_set"), st.integers(0, 1)),
+    st.tuples(st.just("event_wait"), st.integers(0, 1)),
+    st.tuples(st.just("sleep"), st.integers(1, 3)),
+    st.tuples(st.just("yield"), st.integers(0, 0)),
+)
+_plans = st.lists(st.lists(_op, min_size=1, max_size=5), min_size=2, max_size=4)
+
+
+def _build_plan_program(plans):
+    """A program over the full primitive mix, driven by per-thread plans."""
+
+    def build(kernel):
+        locks = [SimLock(f"l{i}") for i in range(3)]
+        cells = [SharedCell(0, name=f"c{i}") for i in range(3)]
+        sems = [SimSemaphore(1, name=f"s{i}") for i in range(2)]
+        events = [SimEvent(name=f"e{i}") for i in range(2)]
+
+        def body(plan):
+            for op, arg in plan:
+                if op == "guarded_inc":
+                    yield from locks[arg].acquire()
+                    v = yield from cells[arg].get()
+                    yield from cells[arg].set(v + 1)
+                    yield from locks[arg].release()
+                elif op == "bare_inc":
+                    v = yield from cells[arg].get()
+                    yield from cells[arg].set(v + 1)
+                elif op == "sem":
+                    yield from sems[arg].acquire()
+                    yield Yield()
+                    yield from sems[arg].release()
+                elif op == "event_set":
+                    yield from events[arg].set()
+                elif op == "event_wait":
+                    # Timeout keeps unmatched waits from stalling the run.
+                    yield from events[arg].wait(timeout=0.01)
+                elif op == "sleep":
+                    yield Sleep(0.001 * arg)
+                else:
+                    yield Yield()
+
+        for plan in plans:
+            kernel.spawn(body, plan)
+
+    return build
+
+
+@settings(max_examples=50, deadline=None)
+@given(plans=_plans, seed=st.integers(0, 10_000))
+def test_fast_kernel_bit_identical_to_reference(plans, seed):
+    """Differential property: over randomized programs covering the full
+    primitive mix, the fast kernel and the pre-rewrite reference make
+    identical scheduler choices and emit bit-identical traces."""
+    build = _build_plan_program(plans)
+
+    def run(kernel_cls):
+        rec = RecordingScheduler(RandomScheduler(seed=seed))
+        k = kernel_cls(scheduler=rec, seed=seed, record_trace=True)
+        build(k)
+        r = k.run(max_steps=20_000)
+        return rec.choices, trace_fingerprint(r.trace), k.state_signature()
+
+    fast = run(Kernel)
+    ref = run(ReferenceKernel)
+    assert fast[0] == ref[0]  # same thread choices, step for step
+    assert fast[1] == ref[1]  # bit-identical traces
+    assert fast[2] == ref[2]  # same end-of-run kernel state
