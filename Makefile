@@ -5,9 +5,9 @@ TRIALS ?= 100
 # -1 = one worker per CPU
 WORKERS ?= -1
 
-.PHONY: install test test-par test-cache lint docstrings serve-smoke bench \
-	bench-par bench-explore bench-svc bench-cache bench-kernel golden report \
-	examples all
+.PHONY: install test test-par test-cache test-infer lint docstrings \
+	serve-smoke bench bench-par bench-explore bench-svc bench-cache \
+	bench-kernel bench-infer golden report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -26,6 +26,12 @@ test-par:
 # atomicity/corruption/eviction, and the cached == fresh differentials.
 test-cache:
 	$(PYTHON) -m pytest tests/cache/
+
+# The inference battery: candidate generation/matching units, the
+# end-to-end trace-to-confirmed-bug acceptance runs, report
+# serialization, and the cache/service/CLI differentials.
+test-infer:
+	$(PYTHON) -m pytest tests/infer/ tests/detect/test_reports_serialization.py
 
 # Critical-error lint (same rule set as the CI lint job).
 lint:
@@ -73,6 +79,12 @@ bench-kernel:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 	    benchmarks/bench_kernel_throughput.py benchmarks/bench_obs_overhead.py \
 	    -q -s
+
+# Inference throughput: candidates confirmed/sec cold vs warm store,
+# emits benchmarks/BENCH_infer.json.
+bench-infer:
+	$(PYTHON) -m pytest benchmarks/bench_infer.py \
+	    --benchmark-only -s
 
 # Re-record the golden trace corpus (only after a deliberate
 # trace-content change; the golden tests diff byte-for-byte).

@@ -18,7 +18,7 @@ from repro.apps import get_app
 from repro.cache import ResultCache
 from repro.harness import run_trials
 
-from conftest import TRIALS, emit
+from conftest import TRIALS, emit, emit_bench_doc
 
 #: One sweep's worth of work; scaled by REPRO_TRIALS like every bench.
 APP, BUG, TIMEOUT = "figure4", "error1", 0.2
@@ -71,3 +71,19 @@ def test_warm_cache_at_least_10x_cold(benchmark):
 
     # The acceptance bar.
     assert speedup >= 10.0, f"warm cache speedup {speedup:.1f}x below the 10x bar"
+
+    # Trajectory snapshot (machine-dependent, so informational; the 10x
+    # assertion above is the actual gate).
+    emit_bench_doc(
+        "cache",
+        {
+            "cold_seconds": {"value": round(cold_elapsed, 4), "unit": "s",
+                             "direction": "lower", "gate": False},
+            "warm_seconds": {"value": round(warm_elapsed, 4), "unit": "s",
+                             "direction": "lower", "gate": False},
+            "warm_speedup": {"value": round(speedup, 1), "unit": "x",
+                             "direction": "higher", "gate": False},
+        },
+        meta={"workload": f"{N} trials of {APP}/{BUG}, cold store then warm",
+              "method": "one cold sweep, one warm sweep, same store"},
+    )

@@ -1,0 +1,107 @@
+"""Supplementary — breakpoint inference throughput, cold vs warm.
+
+``repro infer`` turns one logged trace into confirmed breakpoints by
+sweeping every matched candidate through the trial harness — work the
+content-addressed cache memoizes at two levels (the whole report, and
+each inner sweep).  This bench measures the pipeline's candidate
+throughput on a representative slice of the registry (a pure-Python
+app, an atomicity app and a many-candidate Java app), cold (empty
+store) and warm (report served whole), asserts the warm path clears
+the same >=10x bar as the raw result cache, and re-checks the
+differential contract: cached, warm and fresh inference reports are
+bit-identical.
+"""
+
+import shutil
+import tempfile
+import time
+
+from repro.cache import ResultCache
+from repro.infer import infer_app, run_inference
+
+from conftest import TRIALS, emit, emit_bench_doc
+
+#: A registry slice covering the race / atomicity / deadlock routes.
+APPS = ("bank", "stringbuffer", "cache4j")
+N = max(10, TRIALS // 5)  # trials per candidate order
+TIMEOUT = 0.2
+
+
+def _timed_inference(cache):
+    t0 = time.perf_counter()
+    reports = {
+        app: infer_app(app, trials=N, timeout=TIMEOUT, cache=cache)
+        for app in APPS
+    }
+    return time.perf_counter() - t0, reports
+
+
+def test_inference_throughput_cold_vs_warm(benchmark):
+    root = tempfile.mkdtemp(prefix="repro-bench-infer-")
+    try:
+        cache = ResultCache(root)
+
+        def experiment():
+            cold_elapsed, cold = _timed_inference(cache)
+            warm_elapsed, warm = _timed_inference(cache)
+            return cold_elapsed, cold, warm_elapsed, warm
+
+        cold_elapsed, cold, warm_elapsed, warm = benchmark.pedantic(
+            experiment, rounds=1, iterations=1
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    candidates = sum(len(r.results) for r in cold.values())
+    confirmed = sum(len(r.confirmed) for r in cold.values())
+    cold_rate = confirmed / max(cold_elapsed, 1e-9)
+    warm_rate = confirmed / max(warm_elapsed, 1e-9)
+    speedup = cold_elapsed / max(warm_elapsed, 1e-9)
+    benchmark.extra_info["candidates"] = candidates
+    benchmark.extra_info["confirmed"] = confirmed
+    benchmark.extra_info["cold_confirmed_per_sec"] = round(cold_rate, 1)
+    benchmark.extra_info["warm_confirmed_per_sec"] = round(warm_rate, 1)
+    benchmark.extra_info["warm_speedup"] = round(speedup, 1)
+
+    emit(
+        f"Inference — {', '.join(APPS)} at {N} trials/candidate order",
+        "\n".join(
+            [
+                f"{'candidates':>24}: {candidates} generated, {confirmed} confirmed",
+                f"{'cold (simulated)':>24}: {cold_elapsed:.3f}s "
+                f"({cold_rate:.1f} confirmed/sec)",
+                f"{'warm (from store)':>24}: {warm_elapsed:.3f}s "
+                f"({warm_rate:.1f} confirmed/sec)",
+                f"{'speedup':>24}: {speedup:.0f}x",
+            ]
+        ),
+    )
+
+    # Every app in the slice must actually reproduce a known bug.
+    for app, report in cold.items():
+        assert report.confirmed_bugs, f"{app}: no bug confirmed"
+
+    # The differential contract: memoization is invisible.
+    for app in APPS:
+        fresh = run_inference(app, trials=N, timeout=TIMEOUT)
+        assert cold[app] == fresh
+        assert warm[app] == fresh
+
+    # The acceptance bar, inherited from the result cache.
+    assert speedup >= 10.0, f"warm inference speedup {speedup:.1f}x below the 10x bar"
+
+    emit_bench_doc(
+        "infer",
+        {
+            "candidates_confirmed": {"value": confirmed, "unit": "count",
+                                     "direction": "higher", "gate": False},
+            "cold_confirmed_per_sec": {"value": round(cold_rate, 1), "unit": "1/s",
+                                       "direction": "higher", "gate": False},
+            "warm_confirmed_per_sec": {"value": round(warm_rate, 1), "unit": "1/s",
+                                       "direction": "higher", "gate": False},
+            "warm_speedup": {"value": round(speedup, 1), "unit": "x",
+                             "direction": "higher", "gate": False},
+        },
+        meta={"workload": f"{', '.join(APPS)} at {N} trials/candidate order",
+              "method": "cold store then warm, whole-report memoization"},
+    )

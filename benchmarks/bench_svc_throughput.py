@@ -27,7 +27,7 @@ from repro.apps import get_app
 from repro.harness import run_trials
 from repro.sim.snapshot import fork_available
 
-from conftest import emit
+from conftest import emit, emit_bench_doc
 
 #: One job's worth of work, identical across CLI, service, and direct.
 APP, BUG, TRIALS_PER_JOB, TIMEOUT = "figure4", "error1", 5, 0.2
@@ -121,3 +121,19 @@ def test_service_throughput_vs_sequential_cli(benchmark):
     assert snapshot["svc.job_latency_seconds"]["type"] == "histogram"
     assert snapshot["svc.job_latency_seconds"]["count"] == JOBS
     assert snapshot["svc.jobs.completed"]["value"] == JOBS
+
+    # Trajectory snapshot (machine-dependent, so informational; the 2x
+    # assertion above is the actual gate).
+    emit_bench_doc(
+        "svc",
+        {
+            "cli_jobs_per_sec": {"value": round(cli_rate, 2), "unit": "jobs/s",
+                                 "direction": "higher", "gate": False},
+            "svc_jobs_per_sec": {"value": round(svc_rate, 2), "unit": "jobs/s",
+                                 "direction": "higher", "gate": False},
+            "svc_speedup": {"value": round(speedup, 2), "unit": "x",
+                            "direction": "higher", "gate": False},
+        },
+        meta={"workload": f"{JOBS} jobs x {TRIALS_PER_JOB} trials of {APP}/{BUG}",
+              "method": "sequential CLI subprocesses vs concurrent clients, 1 round"},
+    )

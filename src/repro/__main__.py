@@ -23,7 +23,14 @@ Commands:
   ``--port-file``);
 * ``submit APP [BUG]`` — submit one job to a running daemon and print
   the result exactly like the corresponding local command
-  (``--server``, ``--kind trials|explore``, ``--trials``, ``--seed``);
+  (``--server``, ``--kind trials|explore|infer``, ``--trials``,
+  ``--seed``);
+* ``analyze APP`` — run every detector over one traced execution and
+  print (or ``--json``-dump) the merged findings;
+* ``infer APP`` — the push-button pipeline: trace one run, generate
+  breakpoint candidates from the detector reports, confirm them through
+  trial sweeps and print the ranked reproduction report
+  (``--seed``, ``--trials``, ``--timeout``, ``--json``, ``--out``);
 * ``cache stats|clear`` — inspect or empty the content-addressed result
   cache (``--cache-dir``).
 
@@ -289,7 +296,9 @@ def main(argv=None) -> int:
     sb_p.add_argument("bug", nargs="?", default=None)
     sb_p.add_argument("--server", default="http://127.0.0.1:8642", metavar="URL",
                       help="daemon address (see 'repro serve')")
-    sb_p.add_argument("--kind", choices=("trials", "explore"), default="trials")
+    sb_p.add_argument("--kind", choices=("trials", "explore", "infer"), default="trials")
+    sb_p.add_argument("--steer-attempts", type=int, default=5, metavar="N",
+                      help="infer jobs: active-testing runs per unmatched candidate")
     sb_p.add_argument("--trials", type=int, default=100)
     sb_p.add_argument("--seed", type=int, default=0)
     sb_p.add_argument("--timeout", type=float, default=0.1, help="pause time T (s)")
@@ -311,6 +320,31 @@ def main(argv=None) -> int:
     an_p.add_argument("app")
     an_p.add_argument("--bug", default=None, help="activate a bug's breakpoints during the run")
     an_p.add_argument("--seed", type=int, default=0)
+    an_p.add_argument("--json", action="store_true",
+                      help="emit the findings as canonical JSON instead of text")
+    an_p.add_argument("--out", default=None, metavar="FILE",
+                      help="write the JSON here instead of stdout (implies --json)")
+
+    inf_p = sub.add_parser(
+        "infer",
+        help="trace one run, infer breakpoint candidates and confirm them",
+    )
+    inf_p.add_argument("app")
+    inf_p.add_argument("--seed", type=int, default=0,
+                       help="seed of the plain traced run the detectors analyse")
+    inf_p.add_argument("--trials", type=int, default=20,
+                       help="confirmation sweep size per candidate order")
+    inf_p.add_argument("--timeout", type=float, default=0.1, help="pause time T (s)")
+    inf_p.add_argument("--base-seed", type=int, default=0,
+                       help="first seed of each confirmation sweep")
+    inf_p.add_argument("--steer-attempts", type=int, default=5, metavar="N",
+                       help="active-testing runs per unmatched candidate")
+    inf_p.add_argument("--json", action="store_true",
+                       help="emit the wire-format report instead of text")
+    inf_p.add_argument("--out", default=None, metavar="FILE",
+                       help="write the JSON here instead of stdout (implies --json)")
+    _add_parallel_flags(inf_p)
+    _add_cache_flags(inf_p)
 
     suite_p = sub.add_parser("suite", help="print a bug's breakpoint suite")
     suite_p.add_argument("app")
@@ -347,6 +381,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "infer":
+        return _cmd_infer(args)
     if args.command == "suite":
         return _cmd_suite(args)
     if args.command == "report":
@@ -414,6 +450,15 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             trial_timeout=args.trial_timeout, job_timeout=args.job_timeout,
             no_cache=args.no_cache,
         )
+    elif args.kind == "infer":
+        spec = JobSpec(
+            kind="infer", app=args.app, bug=None, trials=args.trials,
+            timeout=args.timeout, base_seed=0, seed=args.seed,
+            steer_attempts=args.steer_attempts,
+            workers=max(0, getattr(args, "workers", 0)),
+            trial_timeout=args.trial_timeout, job_timeout=args.job_timeout,
+            no_cache=args.no_cache,
+        )
     else:
         spec = JobSpec(
             kind="explore", app=args.app, bug=bug, dpor=args.dpor,
@@ -436,7 +481,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"error: {exc}")
         return 2
     result = record["result"]
-    if result["type"] == "trials":
+    if result["type"] == "infer":
+        from repro.infer import InferenceReport
+
+        print(InferenceReport.from_wire(result).render())
+    elif result["type"] == "trials":
         from repro.svc import stats_from_wire
 
         stats = stats_from_wire(result)
@@ -629,8 +678,19 @@ def _cmd_export_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_json(doc, out: "str | None") -> None:
+    """Print (or write to ``out``) a wire document as canonical JSON."""
+    text = json.dumps(doc, sort_keys=True, indent=2)
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote JSON to {out}")
+    else:
+        print(text)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.detect import analyze
+    from repro.detect import analysis_to_dict, analyze
 
     if args.app not in ALL_APPS:
         print(f"error: unknown app {args.app!r}; known: {sorted(ALL_APPS)}")
@@ -642,8 +702,41 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     app = cls(AppConfig(bug=args.bug))
     run = app.run(seed=args.seed, record_trace=True)
     report = analyze(run.result.trace)
+    if args.json or args.out:
+        # The same serialization `repro infer --json` embeds, so the two
+        # commands' findings diff cleanly against each other.
+        _emit_json(analysis_to_dict(report), args.out)
+        return 0
     print(f"{args.app} seed={args.seed} bug={args.bug}: "
           f"{run.result.summary()}, {report.total_findings} finding(s)\n")
+    print(report.render())
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    from repro.infer import infer_app
+
+    if args.app not in ALL_APPS:
+        print(f"error: unknown app {args.app!r}; known: {sorted(ALL_APPS)}")
+        return 2
+    try:
+        report = infer_app(
+            args.app,
+            seed=args.seed,
+            trials=args.trials,
+            timeout=args.timeout,
+            base_seed=args.base_seed,
+            steer_attempts=args.steer_attempts,
+            workers=_workers_arg(args),
+            trial_timeout=args.trial_timeout,
+            cache=_cache_from_args(args),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.json or args.out:
+        _emit_json(report.to_wire(), args.out)
+        return 0
     print(report.render())
     return 0
 

@@ -155,6 +155,12 @@ def _make() -> Dict[Tuple[str, str], BreakpointSuite]:
         _pair("crash1:cbr2", "conflict", "sql/sql_base.cc:1214", "sql/sql_base.cc:561", bound=1),
         _pair("crash1:cbr3", "conflict", "sql/sql_base.cc:1218", "sql/sql_base.cc:565", bound=1))
 
+    # -- bank --------------------------------------------------------------
+    add("bank", "lost_update", "test fail",
+        _pair("lost_update", "conflict", "bank.py:deposit_fast", "bank.py:deposit",
+              predicate="t1.balance == t2.balance", bound=1),
+        desc="unsynchronised read-modify-write clobbers a locked deposit")
+
     # -- figure4 -----------------------------------------------------------
     add("figure4", "error1", "ERROR",
         _pair("error1", "conflict", "Figure4:8", "Figure4:10",

@@ -13,6 +13,8 @@ from .fingerprint import (
     explore_config_doc,
     explore_fingerprint,
     fingerprint_doc,
+    infer_config_doc,
+    infer_fingerprint,
     trial_config_doc,
     trial_fingerprint,
 )
@@ -29,6 +31,8 @@ __all__ = [
     "explore_config_doc",
     "explore_fingerprint",
     "fingerprint_doc",
+    "infer_config_doc",
+    "infer_fingerprint",
     "trial_config_doc",
     "trial_fingerprint",
 ]

@@ -43,6 +43,8 @@ __all__ = [
     "trial_fingerprint",
     "explore_config_doc",
     "explore_fingerprint",
+    "infer_config_doc",
+    "infer_fingerprint",
 ]
 
 #: Version of the cache's on-disk entry layout; a bump invalidates all
@@ -213,3 +215,50 @@ def explore_config_doc(
 def explore_fingerprint(app_cls: Type, **fields: Any) -> str:
     """Content address of one exploration-summary configuration."""
     return fingerprint_doc(explore_config_doc(app_cls, **fields))
+
+
+def infer_config_doc(
+    app_cls: Type,
+    *,
+    trace_seed: int,
+    trials: int,
+    base_seed: int,
+    timeout: float,
+    use_policies: bool,
+    params: Optional[Dict[str, Any]],
+    trial_timeout: Optional[float],
+    steer_attempts: int,
+    infer_version: int,
+) -> Dict[str, Any]:
+    """Fingerprint-relevant fields of one inference report.
+
+    An inference report is a pure function of the traced run
+    (``trace_seed`` and the app version tag fix the trace, hence the
+    detector findings and candidates), the confirmation sweep shape
+    (``trials``/``base_seed``/``timeout``/``use_policies``/``params``/
+    ``trial_timeout`` — the same fields a trial fingerprint covers),
+    the steering budget, and the pipeline's own heuristics version
+    (:data:`repro.infer.INFER_VERSION` — matching tiers and the
+    confirmation rule are part of the computation).  The worker count
+    is absent per the parallel == serial contract.
+    """
+    return {
+        "schema": CACHE_SCHEMA,
+        "kind": "infer",
+        "app": app_cls.name,
+        "app_version": _app_version(app_cls),
+        "trace_seed": int(trace_seed),
+        "trials": int(trials),
+        "base_seed": int(base_seed),
+        "pause_timeout": float(timeout),
+        "use_policies": bool(use_policies),
+        "params": dict(params or {}),
+        "trial_timeout": trial_timeout,
+        "steer_attempts": int(steer_attempts),
+        "infer_version": int(infer_version),
+    }
+
+
+def infer_fingerprint(app_cls: Type, **fields: Any) -> str:
+    """Content address of one inference-report configuration."""
+    return fingerprint_doc(infer_config_doc(app_cls, **fields))

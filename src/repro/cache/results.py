@@ -43,6 +43,7 @@ from .fingerprint import (
     canonical_json,
     explore_config_doc,
     fingerprint_doc,
+    infer_config_doc,
     trial_config_doc,
 )
 from .store import DEFAULT_MAX_BYTES, CacheStore, StoreStats
@@ -431,6 +432,108 @@ class ResultCache:
             return None
         self._count("cache.hit")
         return ExplorationSummary.from_wire(entry["summary"])
+
+    # -- inference reports -------------------------------------------------
+
+    def _infer_key(
+        self, app_name: str, **fields: Any
+    ) -> Tuple[str, Dict[str, Any], Type]:
+        from repro.apps import get_app
+        from repro.infer.pipeline import INFER_VERSION
+
+        cls = get_app(app_name)
+        doc = infer_config_doc(cls, infer_version=INFER_VERSION, **fields)
+        return fingerprint_doc(doc), _normalized(doc), cls
+
+    def infer(
+        self,
+        app_name: str,
+        *,
+        seed: int = 0,
+        trials: int = 20,
+        timeout: float = 0.100,
+        base_seed: int = 0,
+        use_policies: bool = True,
+        params: Optional[Dict[str, Any]] = None,
+        trial_timeout: Optional[float] = None,
+        steer_attempts: int = 5,
+        workers: Any = None,
+        obs: Any = None,
+    ):
+        """Cached inference report; runs the pipeline on a miss.
+
+        Two memoization layers compose here: a warm rerun is served
+        whole from the stored report (nothing executes), while a cold
+        run passes *this cache* down as the pipeline's trial cache, so
+        the per-candidate confirmation sweeps reuse — and extend — the
+        ordinary trial entries any ``repro run`` shares.
+        """
+        from repro.infer.pipeline import run_inference
+        from repro.infer.report import InferenceReport
+
+        key, config, _cls = self._infer_key(
+            app_name,
+            trace_seed=seed,
+            trials=trials,
+            base_seed=base_seed,
+            timeout=timeout,
+            use_policies=use_policies,
+            params=params,
+            trial_timeout=trial_timeout,
+            steer_attempts=steer_attempts,
+        )
+        entry = self.store.load(key, expect_config=config)
+        if entry is not None and isinstance(entry.get("report"), dict):
+            self._count("cache.hit")
+            return InferenceReport.from_wire(entry["report"])
+        self._count("cache.miss")
+        report = run_inference(
+            app_name,
+            seed=seed,
+            trials=trials,
+            timeout=timeout,
+            base_seed=base_seed,
+            use_policies=use_policies,
+            params=params,
+            workers=workers,
+            trial_timeout=trial_timeout,
+            steer_attempts=steer_attempts,
+            trial_cache=self,
+            obs=obs,
+        )
+        self.store.store(
+            key,
+            {
+                "schema": CACHE_SCHEMA,
+                "kind": "infer",
+                "config": config,
+                "report": report.to_wire(),
+            },
+        )
+        return report
+
+    def fetch_infer(self, app_name: str, **kwargs: Any):
+        """Hit-only inference lookup (svc fast path); None on a miss."""
+        from repro.infer.report import InferenceReport
+
+        kwargs.pop("obs", None)
+        kwargs.pop("workers", None)
+        key, config, _cls = self._infer_key(
+            app_name,
+            trace_seed=kwargs.get("seed", 0),
+            trials=kwargs.get("trials", 20),
+            base_seed=kwargs.get("base_seed", 0),
+            timeout=kwargs.get("timeout", 0.100),
+            use_policies=kwargs.get("use_policies", True),
+            params=kwargs.get("params"),
+            trial_timeout=kwargs.get("trial_timeout"),
+            steer_attempts=kwargs.get("steer_attempts", 5),
+        )
+        entry = self.store.load(key, expect_config=config)
+        if entry is None or not isinstance(entry.get("report"), dict):
+            return None
+        self._count("cache.hit")
+        return InferenceReport.from_wire(entry["report"])
 
     # -- maintenance -------------------------------------------------------
 

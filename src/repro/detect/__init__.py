@@ -11,7 +11,14 @@ insertion methodologies (Section 5):
   contention pair with a breakpoint in both resolution orders.
 """
 
-from .analyze import AnalysisReport, analyze
+from .analyze import (
+    AnalysisReport,
+    analysis_from_dict,
+    analysis_to_dict,
+    analyze,
+    atomizer_report_from_dict,
+    atomizer_report_to_dict,
+)
 from .atomicity import UNSERIALIZABLE, atomicity_violations
 from .atomizer import AtomizerReport, atomizer_violations
 from .contention import lock_contentions
@@ -25,13 +32,23 @@ from .reports import (
     DeadlockReport,
     Insertion,
     RaceReport,
+    canonical_report_key,
     dedupe,
+    report_from_dict,
+    report_to_dict,
 )
 from .vectorclock import VectorClock
 
 __all__ = [
     "AnalysisReport",
     "analyze",
+    "analysis_to_dict",
+    "analysis_from_dict",
+    "atomizer_report_to_dict",
+    "atomizer_report_from_dict",
+    "canonical_report_key",
+    "report_to_dict",
+    "report_from_dict",
     "UNSERIALIZABLE",
     "atomicity_violations",
     "AtomizerReport",

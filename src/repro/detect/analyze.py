@@ -5,12 +5,23 @@ happens-before, lock-order graph, lock contentions, AVIO atomicity and
 Atomizer reduction — and returns a structured :class:`AnalysisReport`.
 This is the "run the conflict detector" step of both methodologies as a
 single call, and the backend of ``python -m repro analyze``.
+
+Two derived views matter downstream:
+
+* :meth:`AnalysisReport.unique_findings` collapses cross-detector
+  duplicates (lockset and happens-before usually flag the same access
+  pair) under :func:`~repro.detect.reports.canonical_report_key`, in
+  canonical key order — the input of the :mod:`repro.infer` candidate
+  generator.
+* :func:`analysis_to_dict` / :func:`analysis_from_dict` are the one
+  JSON serialization shared by ``repro analyze --json`` and the
+  inference pipeline's cacheable reports.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List
+from typing import Any, Dict, List
 
 from repro.sim.trace import Trace
 
@@ -20,9 +31,28 @@ from .contention import lock_contentions
 from .hbrace import hb_races
 from .lockgraph import potential_deadlocks
 from .lockset import eraser_races
-from .reports import AtomicityReport, ContentionReport, DeadlockReport, RaceReport
+from .reports import (
+    AtomicityReport,
+    BugReport,
+    ContentionReport,
+    DeadlockReport,
+    RaceReport,
+    canonical_report_key,
+    report_from_dict,
+    report_to_dict,
+)
 
-__all__ = ["AnalysisReport", "analyze"]
+__all__ = [
+    "AnalysisReport",
+    "analyze",
+    "analysis_to_dict",
+    "analysis_from_dict",
+    "atomizer_report_to_dict",
+    "atomizer_report_from_dict",
+]
+
+#: Version of the ``analysis_to_dict`` wire layout.
+ANALYSIS_SCHEMA = 1
 
 
 @dataclasses.dataclass
@@ -54,6 +84,31 @@ class AnalysisReport:
         violations.  Contentions are Methodology II raw material."""
         return [*self.lockset_races, *self.deadlocks, *self.atomicity]
 
+    def unique_findings(self) -> List[BugReport]:
+        """All location-pair findings, deduplicated across detectors.
+
+        Lockset and vector-clock happens-before routinely report the
+        *same* access pair (they differ in the proof, not the race);
+        keying on :func:`~repro.detect.reports.canonical_report_key`
+        keeps one report per distinct conflict so a consumer — above
+        all the :mod:`repro.infer` candidate generator — never confirms
+        one bug twice.  The first-reporting detector's record wins
+        (scan order: lockset, happens-before, deadlocks, contentions,
+        AVIO); the result is sorted by canonical key, so it is a pure
+        function of the set of findings, independent of detector
+        emission order.
+        """
+        unique: Dict[tuple, BugReport] = {}
+        for report in (
+            *self.lockset_races,
+            *self.hb_races,
+            *self.deadlocks,
+            *self.contentions,
+            *self.atomicity,
+        ):
+            unique.setdefault(canonical_report_key(report), report)
+        return [unique[key] for key in sorted(unique)]
+
     def render(self) -> str:
         """Human-readable multi-section report text."""
         sections = [
@@ -82,4 +137,77 @@ def analyze(trace: Trace) -> AnalysisReport:
         contentions=list(lock_contentions(trace)),
         atomicity=list(atomicity_violations(trace)),
         reduction=list(atomizer_violations(trace)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# JSON serialization — shared by `repro analyze --json` and repro.infer
+# ---------------------------------------------------------------------------
+
+
+def atomizer_report_to_dict(report: AtomizerReport) -> Dict[str, Any]:
+    """One :class:`AtomizerReport` as a JSON dict (kind ``"reduction"``).
+
+    Atomizer reports are not :class:`~repro.detect.reports.BugReport`
+    subclasses (they carry one violating site, not a location pair), so
+    they get their own kind tag next to :func:`report_to_dict`'s.
+    """
+    doc = dataclasses.asdict(report)
+    doc["kind"] = "reduction"
+    return doc
+
+
+def atomizer_report_from_dict(doc: Dict[str, Any]) -> AtomizerReport:
+    """Inverse of :func:`atomizer_report_to_dict` (ValueError on junk)."""
+    data = dict(doc)
+    if data.pop("kind", None) != "reduction":
+        raise ValueError(f"not a reduction report: {doc!r}")
+    known = {f.name for f in dataclasses.fields(AtomizerReport)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown reduction report field(s): {sorted(unknown)}")
+    return AtomizerReport(**data)
+
+
+def analysis_to_dict(report: AnalysisReport) -> Dict[str, Any]:
+    """The whole :class:`AnalysisReport` as one JSON-able document.
+
+    Per-detector lists keep their (deterministic, trace-derived) order;
+    every element is the kind-tagged dict of
+    :func:`~repro.detect.reports.report_to_dict`, so the document is
+    canonical-JSON fingerprintable and round-trips losslessly through
+    :func:`analysis_from_dict`.  This is the payload of
+    ``repro analyze --json`` and the ``analysis`` section of an
+    inference report.
+    """
+    return {
+        "schema": ANALYSIS_SCHEMA,
+        "lockset_races": [report_to_dict(r) for r in report.lockset_races],
+        "hb_races": [report_to_dict(r) for r in report.hb_races],
+        "deadlocks": [report_to_dict(r) for r in report.deadlocks],
+        "contentions": [report_to_dict(r) for r in report.contentions],
+        "atomicity": [report_to_dict(r) for r in report.atomicity],
+        "reduction": [atomizer_report_to_dict(r) for r in report.reduction],
+    }
+
+
+def analysis_from_dict(doc: Dict[str, Any]) -> AnalysisReport:
+    """Inverse of :func:`analysis_to_dict` (ValueError on unknown shape)."""
+    schema = doc.get("schema")
+    if schema != ANALYSIS_SCHEMA:
+        raise ValueError(f"unsupported analysis schema {schema!r}")
+    known = {
+        "schema", "lockset_races", "hb_races", "deadlocks",
+        "contentions", "atomicity", "reduction",
+    }
+    unknown = set(doc) - known
+    if unknown:
+        raise ValueError(f"unknown analysis field(s): {sorted(unknown)}")
+    return AnalysisReport(
+        lockset_races=[report_from_dict(r) for r in doc.get("lockset_races", [])],
+        hb_races=[report_from_dict(r) for r in doc.get("hb_races", [])],
+        deadlocks=[report_from_dict(r) for r in doc.get("deadlocks", [])],
+        contentions=[report_from_dict(r) for r in doc.get("contentions", [])],
+        atomicity=[report_from_dict(r) for r in doc.get("atomicity", [])],
+        reduction=[atomizer_report_from_dict(r) for r in doc.get("reduction", [])],
     )

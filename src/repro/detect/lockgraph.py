@@ -60,17 +60,30 @@ class LockGraph:
         breakpoints pins the whole cycle.
         """
         out: List[DeadlockReport] = []
+        # Two-lock cycles are found by a direct edge scan rather than the
+        # generic cycle enumerator: simple_cycles walks identity-hashed
+        # node sets, so the orientation it returns a 2-cycle in varies
+        # run to run.  Edge insertion order is trace order, which makes
+        # the reported orientation the first direction the trace
+        # witnessed — a pure function of the trace.
+        seen_pairs: Set[Any] = set()
+        for l1, l2 in self.graph.edges:
+            if not self.graph.has_edge(l2, l1):
+                continue
+            pair = frozenset((l1, l2))
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
+            fwd = self._witnesses.get((l1, l2))
+            rev = self._witnesses.get((l2, l1))
+            if not fwd or not rev:
+                continue
+            (loc1, t1) = sorted(fwd)[0]
+            (loc2, t2) = sorted(rev)[0]
+            self._emit(out, l1, l2, loc1, loc2, t1, t2)
         for cycle in self.cycles():
             n = len(cycle)
-            if n == 2:
-                l1, l2 = cycle
-                fwd = self._witnesses.get((l1, l2))
-                rev = self._witnesses.get((l2, l1))
-                if not fwd or not rev:
-                    continue
-                (loc1, t1) = sorted(fwd)[0]
-                (loc2, t2) = sorted(rev)[0]
-                self._emit(out, l1, l2, loc1, loc2, t1, t2)
+            if n <= 2:
                 continue
             for i in range(n):
                 a, b, c = cycle[i], cycle[(i + 1) % n], cycle[(i + 2) % n]
@@ -81,7 +94,11 @@ class LockGraph:
                 (loc1, t1) = sorted(fwd)[0]
                 (loc2, t2) = sorted(nxt)[0]
                 self._emit(out, a, b, loc1, loc2, t1, t2)
-        return dedupe(out)  # type: ignore[return-value]
+        deduped: List[DeadlockReport] = dedupe(out)  # type: ignore[assignment]
+        # simple_cycles enumeration order is also identity-dependent, so
+        # canonicalise the list order too.
+        deduped.sort(key=lambda r: (r.name, r.loc1, r.loc2, r.thread1 or "", r.thread2 or ""))
+        return deduped
 
     @staticmethod
     def _emit(out: List[DeadlockReport], l1: Any, l2: Any, loc1: str, loc2: str, t1: str, t2: str) -> None:

@@ -22,6 +22,9 @@ __all__ = [
     "DeadlockReport",
     "ContentionReport",
     "AtomicityReport",
+    "canonical_report_key",
+    "report_to_dict",
+    "report_from_dict",
 ]
 
 
@@ -190,6 +193,73 @@ class AtomicityReport(BugReport):
             Insertion(self.loc_remote, True, "AtomicityTrigger", hint),
             Insertion(self.loc1, False, "AtomicityTrigger", hint),
         )
+
+
+def canonical_report_key(report: BugReport) -> Tuple:
+    """Detector-independent identity of one finding.
+
+    Lockset and vector-clock happens-before often flag the *same* access
+    pair (they differ in how they prove it racy, not in what is racing),
+    so the key deliberately excludes the reporting detector and the
+    report ``name`` prefix: a race is identified by its cell and its
+    unordered location pair, a deadlock by its lock pair and sites, an
+    atomicity violation by cell, region and the full site triple.
+    :func:`repro.detect.analyze.analyze` uses this to collapse
+    cross-detector duplicates so downstream consumers (the
+    :mod:`repro.infer` candidate generator above all) never confirm one
+    bug twice.
+    """
+    locs = tuple(sorted((report.loc1, report.loc2)))
+    if isinstance(report, RaceReport):
+        return ("race", report.cell) + locs
+    if isinstance(report, DeadlockReport):
+        return ("deadlock",) + tuple(sorted((report.lock1, report.lock2))) + locs
+    if isinstance(report, AtomicityReport):
+        return ("atomicity", report.cell, report.region, report.loc_remote) + locs
+    if isinstance(report, ContentionReport):
+        return ("contention", report.lock) + locs
+    return (report.kind, report.name) + locs
+
+
+#: Report kind tag -> concrete dataclass, for wire-form reconstruction.
+_REPORT_TYPES = {
+    "race": RaceReport,
+    "deadlock": DeadlockReport,
+    "contention": ContentionReport,
+    "atomicity": AtomicityReport,
+}
+
+
+def report_to_dict(report: BugReport) -> dict:
+    """One report as a JSON-able dict (``kind`` selects the type).
+
+    This is the single serialization shared by ``repro analyze --json``
+    and the :mod:`repro.infer` pipeline; every value is a JSON scalar or
+    a list of them, so the dict is canonical-JSON fingerprintable
+    (:func:`repro.cache.canonical_json`) and round-trips losslessly
+    through :func:`report_from_dict`.
+    """
+    doc = dataclasses.asdict(report)
+    doc["kind"] = report.kind
+    if isinstance(report, AtomicityReport):
+        doc["pattern"] = list(report.pattern)
+    return doc
+
+
+def report_from_dict(doc: dict) -> BugReport:
+    """Inverse of :func:`report_to_dict` (ValueError on unknown kind)."""
+    data = dict(doc)
+    kind = data.pop("kind", None)
+    cls = _REPORT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown report kind {kind!r}")
+    if cls is AtomicityReport and "pattern" in data:
+        data["pattern"] = tuple(data["pattern"])
+    known = {f.name for f in dataclasses.fields(cls) if f.init}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown {kind} report field(s): {sorted(unknown)}")
+    return cls(**data)
 
 
 def dedupe(reports: List[BugReport]) -> List[BugReport]:

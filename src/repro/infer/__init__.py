@@ -1,0 +1,46 @@
+"""``repro.infer`` — automatic breakpoint inference.
+
+The push-button closing of the paper's Methodology loop: one logged
+trace in, ranked *confirmed* concurrent breakpoints out, with zero
+hand-written ``trigger_here`` insertions along the way.  The stages —
+candidate generation from deduplicated detector reports, suite
+matching, batch confirmation through the ordinary trial harness,
+active-testing steering for unmatched candidates, probability/pause-
+cost ranking and atomic-region fix suggestion — live in the modules
+below; :func:`infer_app` runs them end to end and is what the
+``repro infer`` CLI command and the service's ``"infer"`` job kind
+call.
+"""
+
+from .candidates import (
+    BreakpointCandidate,
+    CandidateMatch,
+    generate_candidates,
+    match_candidate,
+)
+from .confirm import BugConfirmation, SteerOutcome, confirm_bug, steer_candidate
+from .fixes import AtomicRegionFix, suggest_fix
+from .pipeline import INFER_VERSION, infer_app, run_inference
+from .rank import pause_cost, rank_confirmed
+from .report import INFER_SCHEMA, CandidateResult, InferenceReport
+
+__all__ = [
+    "BreakpointCandidate",
+    "CandidateMatch",
+    "generate_candidates",
+    "match_candidate",
+    "BugConfirmation",
+    "SteerOutcome",
+    "confirm_bug",
+    "steer_candidate",
+    "AtomicRegionFix",
+    "suggest_fix",
+    "INFER_VERSION",
+    "infer_app",
+    "run_inference",
+    "pause_cost",
+    "rank_confirmed",
+    "INFER_SCHEMA",
+    "CandidateResult",
+    "InferenceReport",
+]

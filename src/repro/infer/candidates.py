@@ -1,0 +1,267 @@
+"""Candidate generation and matching — report to ``(l1, l2, phi)``.
+
+The first stage of the inference pipeline: every deduplicated detector
+finding (:meth:`~repro.detect.analyze.AnalysisReport.unique_findings`)
+becomes one :class:`BreakpointCandidate` — the declarative breakpoint
+the paper's developer would insert by hand after reading the report
+(Section 5's two methodologies):
+
+* race / atomicity reports map to ConflictTrigger/AtomicityTrigger
+  pairs at the reported access sites (Methodology I),
+* deadlock reports map to DeadlockTrigger pairs at the two inverted
+  acquisition sites (Methodology I),
+* lock contentions map to ConflictTrigger pairs to be tried in *both*
+  resolution orders (Methodology II's missed-notification probe).
+
+Candidates then get *matched* against the registry's declared suites
+(:data:`repro.apps.suites.SUITES`) to learn which known bug — and thus
+which oracle — a candidate denotes, via three tiers of decreasing
+precision (:func:`match_candidate`).  The match tier travels with the
+candidate into the report, so a consumer can tell an exact-site hit
+from a heuristic attribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.apps.suites import SUITES
+from repro.core.suite import BreakpointEntry
+from repro.detect.analyze import AnalysisReport
+from repro.detect.reports import (
+    AtomicityReport,
+    BugReport,
+    ContentionReport,
+    DeadlockReport,
+    RaceReport,
+    canonical_report_key,
+    report_from_dict,
+    report_to_dict,
+)
+
+__all__ = [
+    "BreakpointCandidate",
+    "CandidateMatch",
+    "generate_candidates",
+    "match_candidate",
+    "KIND_COMPAT",
+]
+
+#: Candidate kind -> suite entry kinds it may denote.  A race candidate
+#: can confirm a conflict *or* an atomicity suite (an unserializable
+#: region is evidenced by racy accesses at its boundary); a contention
+#: candidate likewise (Methodology II: the region's monitor contends);
+#: deadlock candidates only ever denote deadlock suites.
+KIND_COMPAT: Dict[str, frozenset] = {
+    "race": frozenset({"conflict", "atomicity"}),
+    "contention": frozenset({"conflict", "atomicity"}),
+    "atomicity": frozenset({"atomicity", "conflict"}),
+    "deadlock": frozenset({"deadlock"}),
+}
+
+#: Match tiers, most precise first (order is the ranking order).
+TIER_SITE = "site"  # shares >= 1 exact location with a suite entry
+TIER_FILE = "file"  # same file pair as a suite entry
+TIER_UNIQUE = "unique"  # only kind-compatible bug the app declares
+_TIER_ORDER = {TIER_SITE: 0, TIER_FILE: 1, TIER_UNIQUE: 2}
+
+
+def _file_of(loc: str) -> str:
+    """The file part of a ``file:line`` location label."""
+    return loc.rsplit(":", 1)[0]
+
+
+@dataclasses.dataclass(frozen=True)
+class CandidateMatch:
+    """Which declared bug a candidate denotes, and how surely.
+
+    ``tier`` is one of ``"site"`` (a reported location is literally a
+    declared insertion point), ``"file"`` (same file pair — detectors
+    often flag the statement *next to* the declared site), or
+    ``"unique"`` (no location overlap, but the app declares exactly one
+    kind-compatible bug, so the attribution is unambiguous).
+    """
+
+    bug: str
+    tier: str
+    entry_name: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form for the inference report wire."""
+        return {"bug": self.bug, "tier": self.tier, "entry": self.entry_name}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "CandidateMatch":
+        """Inverse of :meth:`to_dict`."""
+        return cls(bug=doc["bug"], tier=doc["tier"], entry_name=doc["entry"])
+
+
+@dataclasses.dataclass(frozen=True)
+class BreakpointCandidate:
+    """One inferred concurrent breakpoint ``(l1, l2, phi)``.
+
+    ``source`` is the originating report's kind-tagged wire dict
+    (:func:`~repro.detect.reports.report_to_dict`) so the candidate is
+    JSON-able end to end; ``name`` is a deterministic label derived
+    from the candidate's position in canonical-key order.
+    """
+
+    name: str
+    kind: str  # race | deadlock | atomicity | contention
+    loc1: str
+    loc2: str
+    predicate: str
+    source: Dict[str, Any]
+
+    @property
+    def key(self) -> Tuple:
+        """The originating report's canonical key (sorting identity)."""
+        return canonical_report_key(report_from_dict(self.source))
+
+    def entry(self, timeout: float = 0.100) -> BreakpointEntry:
+        """The suite-style record of this candidate.
+
+        Candidate kinds collapse onto trigger kinds the way the
+        reports' own ``insertions()`` do: races and contentions insert
+        ConflictTriggers, atomicity findings AtomicityTriggers,
+        deadlocks DeadlockTriggers.  ``bound=1`` mirrors the evaluated
+        suites' default Section 6.3 refinement.
+        """
+        trigger_kind = {
+            "race": "conflict",
+            "contention": "conflict",
+            "atomicity": "atomicity",
+            "deadlock": "deadlock",
+        }[self.kind]
+        return BreakpointEntry(
+            name=self.name,
+            kind=trigger_kind,
+            loc_first=self.loc1,
+            loc_second=self.loc2,
+            predicate=self.predicate,
+            timeout=timeout,
+            bound=1,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form for the inference report wire."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "loc1": self.loc1,
+            "loc2": self.loc2,
+            "predicate": self.predicate,
+            "source": dict(self.source),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "BreakpointCandidate":
+        """Inverse of :meth:`to_dict` (ValueError on unknown fields)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown candidate field(s): {sorted(unknown)}")
+        return cls(**doc)
+
+    def render(self) -> str:
+        """The paper-style one-liner."""
+        return f"{self.name} [{self.kind}] <{self.loc1}, {self.loc2}, {self.predicate}>"
+
+
+def _predicate_for(report: BugReport) -> str:
+    """The joint predicate phi the report implies."""
+    if isinstance(report, RaceReport):
+        return f"t1.{report.cell} == t2.{report.cell}"
+    if isinstance(report, DeadlockReport):
+        return f"t1 holds {report.lock1}, t2 holds {report.lock2}"
+    if isinstance(report, AtomicityReport):
+        return f"t2 inside region {report.region!r} on {report.cell}"
+    if isinstance(report, ContentionReport):
+        return f"t1.monitor == t2.monitor == {report.lock}"
+    return "t1.obj == t2.obj"
+
+
+def generate_candidates(analysis: AnalysisReport) -> List[BreakpointCandidate]:
+    """Every deduplicated finding as a breakpoint candidate.
+
+    Consumes :meth:`AnalysisReport.unique_findings` (canonical-key
+    order), so the output — including the ``cand-NNN`` names — is a
+    pure function of the set of findings.  Atomizer (reduction)
+    reports are deliberately absent: they name a single violating site,
+    not a pair; where they matter, the same region also surfaces as a
+    monitor contention, which *is* generated.
+    """
+    out: List[BreakpointCandidate] = []
+    for i, report in enumerate(analysis.unique_findings()):
+        out.append(
+            BreakpointCandidate(
+                name=f"cand-{i:03d}",
+                kind=report.kind,
+                loc1=report.loc1,
+                loc2=report.loc2,
+                predicate=_predicate_for(report),
+                source=report_to_dict(report),
+            )
+        )
+    return out
+
+
+def _suites_for(app_name: str):
+    """The declared suites of one app, as ``bug -> suite``."""
+    return {bug: s for (app, bug), s in SUITES.items() if app == app_name}
+
+
+def match_candidate(
+    candidate: BreakpointCandidate, app_cls: Type
+) -> Optional[CandidateMatch]:
+    """The declared bug ``candidate`` most plausibly denotes, if any.
+
+    Tiers, best first:
+
+    1. ``site`` — the candidate shares at least one exact location with
+       a kind-compatible suite entry (more shared locations win ties).
+    2. ``file`` — the candidate's file pair equals a kind-compatible
+       entry's file pair (detectors flag the racy statement, suites the
+       insertion point — usually lines apart in the same files).
+    3. ``unique`` — no location evidence, but the app declares exactly
+       one bug with kind-compatible entries, so the attribution cannot
+       be wrong about *which* bug.
+
+    Ties at one tier break on bug id then entry name, keeping the match
+    deterministic.  Returns None for apps with no compatible suites.
+    """
+    compat = KIND_COMPAT[candidate.kind]
+    cand_locs = {candidate.loc1, candidate.loc2}
+    cand_files = frozenset(_file_of(loc) for loc in cand_locs)
+    suites = _suites_for(app_cls.name)
+
+    best: Optional[Tuple[int, int, str, str]] = None  # (tier, -overlap, bug, entry)
+    for bug, suite in sorted(suites.items()):
+        for entry in suite.entries:
+            if entry.kind not in compat:
+                continue
+            entry_locs = {entry.loc_first, entry.loc_second}
+            overlap = len(cand_locs & entry_locs)
+            if overlap:
+                row = (_TIER_ORDER[TIER_SITE], -overlap, bug, entry.name)
+            elif cand_files == frozenset(_file_of(loc) for loc in entry_locs):
+                row = (_TIER_ORDER[TIER_FILE], 0, bug, entry.name)
+            else:
+                continue
+            if best is None or row < best:
+                best = row
+    if best is not None:
+        tier = TIER_SITE if best[0] == _TIER_ORDER[TIER_SITE] else TIER_FILE
+        return CandidateMatch(bug=best[2], tier=tier, entry_name=best[3])
+
+    compatible_bugs = sorted(
+        bug
+        for bug, suite in suites.items()
+        if any(entry.kind in compat for entry in suite.entries)
+    )
+    if len(compatible_bugs) == 1:
+        bug = compatible_bugs[0]
+        entry = next(e for e in suites[bug].entries if e.kind in compat)
+        return CandidateMatch(bug=bug, tier=TIER_UNIQUE, entry_name=entry.name)
+    return None

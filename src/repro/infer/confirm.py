@@ -1,0 +1,169 @@
+"""Batch confirmation — run inferred breakpoints until the bug reproduces.
+
+Two confirmation routes, mirroring the paper's workflow:
+
+* **Matched candidates** (:func:`confirm_bug`): the candidate denotes a
+  declared registry bug, so confirmation *is* the paper's 100-run
+  protocol — :func:`repro.harness.run_trials` with that bug's
+  breakpoints armed, parallel via ``workers`` and memoized via the
+  result cache.  A candidate is confirmed when the breakpoint fired
+  and the bug's own oracle reported the failure (``bp_hits > 0`` and
+  ``bug_hits > 0``).  Both resolution orders are tried (Section 5's
+  "resolve the contention in both ways"): plain order first, then
+  ``flip_order=True`` if the plain order did not confirm.
+* **Unmatched candidates** (:func:`steer_candidate`): no declared suite
+  to arm, so the pipeline falls back to CalFuzzer-style targeted
+  pausing (:class:`repro.activetest.ActiveTester`) at the candidate's
+  two sites over a small seed sweep — steering both threads into the
+  conflict window counts as an active-testing confirmation of the
+  *schedule*, reported as ``steered`` rather than ``confirmed``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Type
+
+from repro.activetest.base import ActiveTester
+from repro.apps.base import AppConfig
+from repro.harness.runner import run_trials
+from repro.harness.stats import TrialStats
+
+from .candidates import BreakpointCandidate
+
+__all__ = ["BugConfirmation", "SteerOutcome", "confirm_bug", "steer_candidate"]
+
+#: Candidate kind -> ActiveTester pause kind.  Contention sites are lock
+#: acquisitions, which the tester's deadlock mode pauses at.
+_STEER_KIND = {
+    "race": "race",
+    "atomicity": "atomicity",
+    "deadlock": "deadlock",
+    "contention": "deadlock",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class BugConfirmation:
+    """Outcome of the trial-sweep route for one (bug, order) choice.
+
+    ``stats`` is the sweep that decided the verdict: the first
+    resolution order that confirmed, else the plain-order sweep.
+    ``orders_tried`` records how many resolution orders ran (2 means
+    the plain order failed to confirm and the flipped order was also
+    swept).
+    """
+
+    bug: str
+    confirmed: bool
+    flip_order: bool
+    orders_tried: int
+    stats: TrialStats
+
+
+@dataclasses.dataclass(frozen=True)
+class SteerOutcome:
+    """Outcome of the active-testing fallback for one candidate."""
+
+    attempts: int
+    steered: int  # runs in which both threads reached the conflict window
+    first_threads: str = ""  # "t1 vs t2" of the first confirmation
+
+
+def _is_confirmed(stats: TrialStats) -> bool:
+    """The confirmation predicate: breakpoint fired *and* oracle failed."""
+    return stats.bp_hits > 0 and stats.bug_hits > 0
+
+
+def confirm_bug(
+    app_cls: Type,
+    bug: str,
+    *,
+    n: int,
+    timeout: float,
+    base_seed: int = 0,
+    use_policies: bool = True,
+    params: Optional[Dict[str, Any]] = None,
+    workers: Any = None,
+    trial_timeout: Optional[float] = None,
+    cache: Any = None,
+) -> BugConfirmation:
+    """Sweep ``bug``'s breakpoints in both orders until one confirms.
+
+    Runs through :func:`repro.harness.run_trials` — the exact code path
+    the hand-written suites use, which is what makes the differential
+    battery's bit-identity claim hold by construction, and what lets
+    the result cache serve warm reruns (the sweep fingerprint is the
+    ordinary trial fingerprint).
+    """
+    first: Optional[TrialStats] = None
+    for orders, flip in enumerate((False, True), start=1):
+        stats = run_trials(
+            app_cls,
+            n=n,
+            bug=bug,
+            timeout=timeout,
+            flip_order=flip,
+            use_policies=use_policies,
+            base_seed=base_seed,
+            params=params,
+            workers=workers,
+            trial_timeout=trial_timeout,
+            cache=cache,
+        )
+        if first is None:
+            first = stats
+        if _is_confirmed(stats):
+            return BugConfirmation(
+                bug=bug, confirmed=True, flip_order=flip, orders_tried=orders, stats=stats
+            )
+    return BugConfirmation(
+        bug=bug, confirmed=False, flip_order=False, orders_tried=2, stats=first
+    )
+
+
+def steer_candidate(
+    app_cls: Type,
+    candidate: BreakpointCandidate,
+    *,
+    attempts: int = 5,
+    base_seed: int = 0,
+    pause: float = 0.05,
+    params: Optional[Dict[str, Any]] = None,
+) -> SteerOutcome:
+    """Targeted-pause re-execution at the candidate's two sites.
+
+    Each attempt runs the *plain* app (no declared breakpoints armed)
+    under an :class:`ActiveTester` pausing threads that reach
+    ``loc1``/``loc2``; an attempt counts as steered when a second
+    thread arrives at the partner site during a pause — the conflicting
+    state the candidate describes was reached on demand.
+    """
+    steered = 0
+    first_threads = ""
+    for attempt in range(attempts):
+        tester = ActiveTester(
+            candidate.loc1,
+            candidate.loc2,
+            kind=_STEER_KIND[candidate.kind],
+            pause=pause,
+        )
+
+        def build(kernel) -> None:
+            app = app_cls(AppConfig(bug=None, params=dict(params or {})))
+            app.kernel = kernel
+            app._policies = {}  # noqa: SLF001 - mirrors BaseApp.run's setup
+            app.setup(kernel)
+
+        tester.run(
+            build,
+            seed=base_seed + attempt,
+            max_steps=app_cls.max_steps,
+            max_time=app_cls.horizon,
+        )
+        if tester.confirmations:
+            steered += 1
+            if not first_threads:
+                conf = tester.confirmations[0]
+                first_threads = f"{conf.thread1} vs {conf.thread2}"
+    return SteerOutcome(attempts=attempts, steered=steered, first_threads=first_threads)

@@ -1,0 +1,128 @@
+"""Fix suggestion — candidate atomic regions for confirmed violations.
+
+Following "Automatically finding atomic regions for fixing bugs in
+concurrent programs" (PAPERS.md), a *confirmed* atomicity violation
+implies a repair shape: make the violated region actually atomic by
+holding one lock across it.  This stage proposes that region — the two
+local access sites as the region boundary — and picks the lock:
+
+* the lock most often held at accesses to the violated cell elsewhere
+  in the logged trace (the codebase's existing discipline for that
+  cell), else
+* a new dedicated lock, when the trace shows the cell is never
+  consistently protected.
+
+The suggestion is advisory output in the :class:`InferenceReport`; it
+never feeds back into confirmation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Any, Dict, List, Optional
+
+from repro.sim.trace import OP, Trace
+
+from .candidates import BreakpointCandidate
+
+__all__ = ["AtomicRegionFix", "suggest_fix"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AtomicRegionFix:
+    """One proposed repair: hold ``lock`` across ``loc_start..loc_end``."""
+
+    cell: str
+    region: str
+    loc_start: str
+    loc_end: str
+    lock: str
+    #: True when ``lock`` already guards other accesses to the cell in
+    #: the logged trace; False means a new dedicated lock is proposed.
+    existing_lock: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form for the inference report wire."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "AtomicRegionFix":
+        """Inverse of :meth:`to_dict` (ValueError on unknown fields)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown fix field(s): {sorted(unknown)}")
+        return cls(**doc)
+
+    def render(self) -> str:
+        """Human-readable repair proposal."""
+        how = "existing lock" if self.existing_lock else "new dedicated lock"
+        scope = f" in region {self.region!r}" if self.region else ""
+        return (
+            f"fix: hold {self.lock} ({how}) across "
+            f"{self.loc_start}..{self.loc_end} to protect {self.cell}{scope}"
+        )
+
+
+def _name_of(obj: Any) -> str:
+    """The display name detectors use for cells and locks."""
+    return getattr(obj, "name", repr(obj))
+
+
+def _dominant_lock(trace: Trace, cell: str) -> Optional[str]:
+    """The lock most often held at accesses to ``cell`` in the trace."""
+    held: Dict[int, List[Any]] = {}
+    counts: Counter = Counter()
+    for ev in trace.events:
+        if ev.op == OP.ACQUIRE:
+            held.setdefault(ev.tid, []).append(ev.obj)
+        elif ev.op == OP.RELEASE:
+            stack = held.get(ev.tid)
+            if stack and ev.obj in stack:
+                stack.remove(ev.obj)
+        elif ev.op in (OP.READ, OP.WRITE) and _name_of(ev.obj) == cell:
+            for lock in held.get(ev.tid, ()):
+                counts[_name_of(lock)] += 1
+    if not counts:
+        return None
+    # Deterministic winner: highest count, then lexicographic name.
+    return min(counts, key=lambda name: (-counts[name], name))
+
+
+def suggest_fix(
+    candidate: BreakpointCandidate, trace: Trace
+) -> Optional[AtomicRegionFix]:
+    """A candidate atomic region for one confirmed atomicity candidate.
+
+    Returns None for non-atomicity candidates — races and deadlocks
+    have different repair shapes the pipeline does not guess at.
+    Contention-derived candidates whose source names a lock propose
+    extending that lock's critical section instead of inventing one.
+    """
+    source = candidate.source
+    kind = source.get("kind")
+    if kind == "atomicity":
+        cell = source.get("cell", "")
+        lock = _dominant_lock(trace, cell)
+        return AtomicRegionFix(
+            cell=cell,
+            region=source.get("region", ""),
+            loc_start=candidate.loc1,
+            loc_end=candidate.loc2,
+            lock=lock if lock is not None else f"new_lock({cell})",
+            existing_lock=lock is not None,
+        )
+    if kind == "contention" and candidate.kind == "contention":
+        lock = source.get("lock", "")
+        if not lock:
+            return None
+        return AtomicRegionFix(
+            cell=lock,
+            region="",
+            loc_start=candidate.loc1,
+            loc_end=candidate.loc2,
+            lock=lock,
+            existing_lock=True,
+        )
+    return None

@@ -1,0 +1,58 @@
+"""Ranking — order confirmed breakpoints by usefulness.
+
+Following the localization idea of "Error Invariants for Concurrent
+Traces" (PAPERS.md): the best reproduction artefact is the one that
+hits the bug most often and distorts the execution least.  The ranker
+orders confirmed candidates by
+
+1. reproduction probability, descending (the paper's "Prob." column),
+2. breakpoint hit rate, descending (ties: prefer the trigger that
+   actually fires),
+3. pause cost, ascending — the mean virtual-runtime overhead of the
+   armed sweep over the plain baseline sweep, i.e. how much the
+   breakpoint's pauses stretch the execution,
+4. candidate name (deterministic tie-break).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.harness.stats import TrialStats
+
+__all__ = ["pause_cost", "rank_confirmed"]
+
+
+def pause_cost(stats: TrialStats, baseline: TrialStats) -> float:
+    """Mean virtual-runtime overhead of an armed sweep vs the baseline.
+
+    Negative values are kept (a breakpoint that makes runs *end
+    earlier* — e.g. by forcing a fast crash — costs nothing), so the
+    value is informative, not clamped.
+    """
+    return stats.mean_runtime - baseline.mean_runtime
+
+
+def rank_confirmed(
+    rows: List[Tuple[str, TrialStats, float]],
+) -> List[int]:
+    """Rank positions for ``(name, stats, pause_cost)`` rows.
+
+    Returns, for each input row, its 1-based rank under the ordering in
+    the module docstring.  Pure and deterministic: equal inputs always
+    rank identically, which keeps cached and fresh reports
+    bit-identical.
+    """
+    order = sorted(
+        range(len(rows)),
+        key=lambda i: (
+            -rows[i][1].probability,
+            -rows[i][1].bp_hit_rate,
+            rows[i][2],
+            rows[i][0],
+        ),
+    )
+    ranks = [0] * len(rows)
+    for position, index in enumerate(order, start=1):
+        ranks[index] = position
+    return ranks

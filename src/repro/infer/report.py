@@ -1,0 +1,220 @@
+"""The structured inference report — what ``repro infer`` emits.
+
+An :class:`InferenceReport` is the pipeline's complete, serialisable
+answer: the analysis the candidates came from, every candidate with its
+match, confirmation verdict, rank and fix suggestion, and the plain
+baseline sweep the pause costs are measured against.  The wire form
+(:meth:`InferenceReport.to_wire` / :meth:`~InferenceReport.from_wire`)
+is lossless — floats travel through ``repr`` exactly like the service's
+:func:`~repro.svc.jobs.stats_to_wire` — so a report served from the
+result cache or over the daemon is bit-identical to a fresh one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.harness.stats import TrialStats
+from repro.svc.jobs import stats_from_wire, stats_to_wire
+
+from .candidates import BreakpointCandidate, CandidateMatch
+from .confirm import SteerOutcome
+from .fixes import AtomicRegionFix
+
+__all__ = ["CandidateResult", "InferenceReport", "INFER_SCHEMA"]
+
+#: Version of the inference report wire layout.
+INFER_SCHEMA = 1
+
+#: Candidate verdicts, in report order strength.
+CONFIRMED = "confirmed"  # suite sweep reproduced the bug
+UNCONFIRMED = "unconfirmed"  # matched a bug but no sweep confirmed it
+STEERED = "steered"  # unmatched; active testing reached the conflict
+UNMATCHED = "unmatched"  # unmatched and steering never connected
+
+
+@dataclasses.dataclass(frozen=True)
+class CandidateResult:
+    """One candidate's journey through the pipeline."""
+
+    candidate: BreakpointCandidate
+    status: str
+    match: Optional[CandidateMatch] = None
+    flip_order: bool = False
+    orders_tried: int = 0
+    stats: Optional[TrialStats] = None
+    steer: Optional[SteerOutcome] = None
+    fix: Optional[AtomicRegionFix] = None
+    #: 1-based position among confirmed candidates (None otherwise).
+    rank: Optional[int] = None
+    #: Mean virtual-runtime overhead of the armed sweep vs the baseline.
+    pause_cost: Optional[float] = None
+
+    @property
+    def probability(self) -> Optional[float]:
+        """Reproduction probability of the deciding sweep, if any."""
+        return self.stats.probability if self.stats is not None else None
+
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON dict, lossless on round-trip."""
+        return {
+            "candidate": self.candidate.to_dict(),
+            "status": self.status,
+            "match": self.match.to_dict() if self.match is not None else None,
+            "flip_order": self.flip_order,
+            "orders_tried": self.orders_tried,
+            "trials": stats_to_wire(self.stats) if self.stats is not None else None,
+            "steer": dataclasses.asdict(self.steer) if self.steer is not None else None,
+            "fix": self.fix.to_dict() if self.fix is not None else None,
+            "rank": self.rank,
+            "pause_cost": self.pause_cost,
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Dict[str, Any]) -> "CandidateResult":
+        """Inverse of :meth:`to_wire` (ValueError on unknown fields)."""
+        known = {
+            "candidate", "status", "match", "flip_order", "orders_tried",
+            "trials", "steer", "fix", "rank", "pause_cost",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown candidate result field(s): {sorted(unknown)}")
+        return cls(
+            candidate=BreakpointCandidate.from_dict(doc["candidate"]),
+            status=doc["status"],
+            match=(
+                CandidateMatch.from_dict(doc["match"])
+                if doc.get("match") is not None
+                else None
+            ),
+            flip_order=bool(doc.get("flip_order", False)),
+            orders_tried=int(doc.get("orders_tried", 0)),
+            stats=(
+                stats_from_wire(doc["trials"])
+                if doc.get("trials") is not None
+                else None
+            ),
+            steer=(
+                SteerOutcome(**doc["steer"]) if doc.get("steer") is not None else None
+            ),
+            fix=(
+                AtomicRegionFix.from_dict(doc["fix"])
+                if doc.get("fix") is not None
+                else None
+            ),
+            rank=doc.get("rank"),
+            pause_cost=doc.get("pause_cost"),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class InferenceReport:
+    """Everything ``repro infer <app>`` learned from one logged trace."""
+
+    app: str
+    trace_seed: int
+    trials: int
+    base_seed: int
+    timeout: float
+    #: :func:`repro.detect.analysis_to_dict` of the trace analysis.
+    analysis: Dict[str, Any]
+    #: Wire form of the plain (no breakpoints) sweep — pause-cost basis.
+    baseline: Dict[str, Any]
+    results: Tuple[CandidateResult, ...]
+
+    @property
+    def confirmed(self) -> List[CandidateResult]:
+        """Confirmed candidates in rank order."""
+        out = [r for r in self.results if r.status == CONFIRMED]
+        out.sort(key=lambda r: r.rank if r.rank is not None else len(out))
+        return out
+
+    @property
+    def confirmed_bugs(self) -> List[str]:
+        """Distinct bug ids the pipeline reproduced, sorted."""
+        return sorted({r.match.bug for r in self.confirmed if r.match is not None})
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The JSON document (cache entry payload, svc result body)."""
+        return {
+            "type": "infer",
+            "schema": INFER_SCHEMA,
+            "app": self.app,
+            "trace_seed": self.trace_seed,
+            "trials": self.trials,
+            "base_seed": self.base_seed,
+            "pause_timeout": self.timeout,
+            "analysis": self.analysis,
+            "baseline": self.baseline,
+            "candidates": [r.to_wire() for r in self.results],
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Dict[str, Any]) -> "InferenceReport":
+        """Inverse of :meth:`to_wire` (ValueError on unknown shape)."""
+        schema = doc.get("schema")
+        if schema != INFER_SCHEMA:
+            raise ValueError(f"unsupported inference report schema {schema!r}")
+        known = {
+            "type", "schema", "app", "trace_seed", "trials", "base_seed",
+            "pause_timeout", "analysis", "baseline", "candidates",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown inference report field(s): {sorted(unknown)}")
+        return cls(
+            app=doc["app"],
+            trace_seed=int(doc["trace_seed"]),
+            trials=int(doc["trials"]),
+            base_seed=int(doc["base_seed"]),
+            timeout=doc["pause_timeout"],
+            analysis=doc["analysis"],
+            baseline=doc["baseline"],
+            results=tuple(CandidateResult.from_wire(r) for r in doc["candidates"]),
+        )
+
+    def render(self) -> str:
+        """Human-readable report: ranked confirmations, then the rest."""
+        counts: Dict[str, int] = {}
+        for r in self.results:
+            counts[r.status] = counts.get(r.status, 0) + 1
+        head = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+        lines = [
+            f"Inference report: {self.app} "
+            f"(trace seed {self.trace_seed}, {self.trials} trials/candidate)",
+            f"  candidates: {len(self.results)} ({head})" if self.results
+            else "  candidates: 0",
+        ]
+        for r in self.confirmed:
+            stats = r.stats
+            bug = r.match.bug if r.match is not None else "?"
+            order = "flipped" if r.flip_order else "plain"
+            lines.append(
+                f"  #{r.rank} {r.candidate.render()}"
+            )
+            lines.append(
+                f"      -> CONFIRMED {bug} ({r.match.tier} match, {order} order): "
+                f"prob={stats.probability:.2f} bp={stats.bp_hit_rate:.2f} "
+                f"pause_cost={r.pause_cost:+.3f}s"
+            )
+            if r.fix is not None:
+                lines.append(f"      {r.fix.render()}")
+        for r in self.results:
+            if r.status == CONFIRMED:
+                continue
+            lines.append(f"  -  {r.candidate.render()}")
+            if r.status == UNCONFIRMED and r.match is not None:
+                lines.append(
+                    f"      -> unconfirmed against {r.match.bug} "
+                    f"({r.orders_tried} order(s) swept)"
+                )
+            elif r.status == STEERED and r.steer is not None:
+                lines.append(
+                    f"      -> steered {r.steer.steered}/{r.steer.attempts} "
+                    f"({r.steer.first_threads})"
+                )
+            else:
+                lines.append("      -> unmatched (no suite, steering never connected)")
+        return "\n".join(lines)

@@ -269,3 +269,43 @@ class ReproClient:
         )
         record = self.wait(self.submit(spec), timeout=wait_timeout)
         return record["result"]
+
+    def infer(
+        self,
+        app: str,
+        *,
+        seed: int = 0,
+        trials: int = 20,
+        timeout: float = 0.100,
+        base_seed: int = 0,
+        use_policies: bool = True,
+        params: Optional[Dict[str, Any]] = None,
+        workers: int = 0,
+        steer_attempts: int = 5,
+        job_timeout: Optional[float] = None,
+        wait_timeout: Optional[float] = None,
+    ):
+        """Remote :func:`repro.infer.infer_app`: submit, wait, decode.
+
+        Returns the reconstructed
+        :class:`~repro.infer.report.InferenceReport`, bit-identical to
+        the direct in-process call with the same arguments (the wire
+        form is lossless; ``tests/infer/`` enforces the differential).
+        """
+        from repro.infer.report import InferenceReport
+
+        spec = JobSpec(
+            kind="infer",
+            app=app,
+            seed=seed,
+            trials=trials,
+            timeout=timeout,
+            base_seed=base_seed,
+            use_policies=use_policies,
+            params=dict(params or {}),
+            workers=workers,
+            steer_attempts=steer_attempts,
+            job_timeout=job_timeout,
+        )
+        record = self.wait(self.submit(spec), timeout=wait_timeout)
+        return InferenceReport.from_wire(record["result"])

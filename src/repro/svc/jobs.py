@@ -78,6 +78,9 @@ class JobSpec:
     kind: str = "trials"
     app: str = ""
     bug: Optional[str] = None
+    # --- inference parameters (repro.infer.infer_app; reuses trials/
+    # base_seed/timeout/seed/params/workers/trial_timeout above+below) ---
+    steer_attempts: int = 5
     # --- trials parameters (repro.harness.run_trials) ---
     trials: int = 100
     base_seed: int = 0
@@ -111,9 +114,10 @@ class JobSpec:
         Raises :class:`JobValidationError` with a client-presentable
         message — the server maps it to HTTP 400.
         """
-        if self.kind not in ("trials", "explore"):
+        if self.kind not in ("trials", "explore", "infer"):
             raise JobValidationError(
-                f"unknown job kind {self.kind!r} (expected 'trials' or 'explore')"
+                f"unknown job kind {self.kind!r} "
+                "(expected 'trials', 'explore' or 'infer')"
             )
         try:
             cls = get_app(self.app)
@@ -123,10 +127,18 @@ class JobSpec:
             raise JobValidationError(
                 f"{self.app} has no bug {self.bug!r}; known: {list(cls.bugs)}"
             )
-        if self.kind == "trials" and self.trials <= 0:
+        if self.kind in ("trials", "infer") and self.trials <= 0:
             raise JobValidationError(f"trials must be positive, got {self.trials}")
         if self.kind == "trials" and self.trial_timeout is not None and self.workers == 0:
             raise JobValidationError("trial_timeout requires workers > 0")
+        if self.kind == "infer" and self.bug is not None:
+            raise JobValidationError(
+                "infer jobs take no bug: the pipeline discovers bugs itself"
+            )
+        if self.kind == "infer" and self.steer_attempts < 0:
+            raise JobValidationError(
+                f"steer_attempts must be >= 0, got {self.steer_attempts}"
+            )
         if self.kind == "explore" and self.max_schedules <= 0:
             raise JobValidationError(
                 f"max_schedules must be positive, got {self.max_schedules}"
@@ -237,6 +249,23 @@ def execute_job(spec: JobSpec, cache: Optional[Any] = None) -> Dict[str, Any]:
     """
     if spec.no_cache:
         cache = None
+    if spec.kind == "infer":
+        from repro.infer import infer_app
+
+        report = infer_app(
+            spec.app,
+            seed=spec.seed,
+            trials=spec.trials,
+            timeout=spec.timeout,
+            base_seed=spec.base_seed,
+            use_policies=spec.use_policies,
+            params=dict(spec.params),
+            workers=spec.workers or None,
+            trial_timeout=spec.trial_timeout,
+            steer_attempts=spec.steer_attempts,
+            cache=cache,
+        )
+        return report.to_wire()
     if spec.kind == "explore":
         from repro.harness import explore_summary
 
@@ -289,6 +318,19 @@ def try_cached_result(cache: Optional[Any], spec: JobSpec) -> Optional[Dict[str,
     if cache is None or spec.no_cache:
         return None
     try:
+        if spec.kind == "infer":
+            report = cache.fetch_infer(
+                spec.app,
+                seed=spec.seed,
+                trials=spec.trials,
+                timeout=spec.timeout,
+                base_seed=spec.base_seed,
+                use_policies=spec.use_policies,
+                params=dict(spec.params),
+                trial_timeout=spec.trial_timeout,
+                steer_attempts=spec.steer_attempts,
+            )
+            return None if report is None else report.to_wire()
         if spec.kind == "explore":
             summary = cache.fetch_explore(
                 spec.app,

@@ -1,0 +1,1 @@
+"""Tests for the automatic breakpoint inference subsystem."""

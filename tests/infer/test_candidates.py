@@ -1,0 +1,166 @@
+"""Candidate generation and suite matching — the pipeline's first stage."""
+
+import json
+
+import pytest
+
+from repro.apps import AppConfig, get_app
+from repro.detect import AnalysisReport, analyze
+from repro.detect.reports import (
+    AtomicityReport,
+    ContentionReport,
+    DeadlockReport,
+    RaceReport,
+)
+from repro.infer import BreakpointCandidate, generate_candidates, match_candidate
+from repro.infer.candidates import TIER_FILE, TIER_SITE, TIER_UNIQUE
+
+
+def _analysis(**lists):
+    empty = dict(lockset_races=[], hb_races=[], deadlocks=[],
+                 contentions=[], atomicity=[], reduction=[])
+    empty.update(lists)
+    return AnalysisReport(**empty)
+
+
+RACE = RaceReport("race:x", "a.py:1", "b.py:2", cell="x")
+DEADLOCK = DeadlockReport("d", "a.py:3", "b.py:4", lock1="L", lock2="M")
+CONTENTION = ContentionReport("c", "a.py:5", "b.py:6", lock="L")
+ATOMICITY = AtomicityReport("a", "a.py:7", "a.py:9", cell="x", region="r",
+                            loc_remote="b.py:8")
+
+
+class TestGeneration:
+    def test_every_unique_finding_becomes_one_candidate(self):
+        analysis = _analysis(lockset_races=[RACE], deadlocks=[DEADLOCK],
+                             contentions=[CONTENTION], atomicity=[ATOMICITY])
+        cands = generate_candidates(analysis)
+        assert len(cands) == 4
+        assert {c.kind for c in cands} == {"race", "deadlock", "contention", "atomicity"}
+        assert [c.name for c in cands] == [f"cand-{i:03d}" for i in range(4)]
+
+    def test_cross_detector_duplicates_collapse_to_one_candidate(self):
+        """Lockset and HB reporting the same access pair (locs swapped)
+        must produce a single candidate."""
+        twin = RaceReport("hb:x", "b.py:2", "a.py:1", cell="x", thread1="other")
+        cands = generate_candidates(_analysis(lockset_races=[RACE], hb_races=[twin]))
+        assert len(cands) == 1
+
+    def test_names_are_independent_of_detector_emission_order(self):
+        a = generate_candidates(_analysis(lockset_races=[RACE], deadlocks=[DEADLOCK]))
+        b = generate_candidates(_analysis(hb_races=[RACE], deadlocks=[DEADLOCK]))
+        assert a == b
+
+    def test_candidates_carry_a_joint_predicate_and_source(self):
+        (cand,) = generate_candidates(_analysis(lockset_races=[RACE]))
+        assert "x" in cand.predicate
+        assert cand.source["kind"] == "race"
+
+    def test_wire_round_trip_and_unknown_field_rejection(self):
+        (cand,) = generate_candidates(_analysis(atomicity=[ATOMICITY]))
+        doc = json.loads(json.dumps(cand.to_dict()))
+        assert BreakpointCandidate.from_dict(doc) == cand
+        doc["confidence"] = 0.9
+        with pytest.raises(ValueError, match="confidence"):
+            BreakpointCandidate.from_dict(doc)
+
+    @pytest.mark.parametrize("report,trigger", [
+        (RACE, "conflict"), (CONTENTION, "conflict"),
+        (ATOMICITY, "atomicity"), (DEADLOCK, "deadlock"),
+    ], ids=lambda x: x if isinstance(x, str) else x.kind)
+    def test_entry_maps_candidate_kind_to_trigger_kind(self, report, trigger):
+        (cand,) = generate_candidates(
+            _analysis(**{{"race": "lockset_races", "contention": "contentions",
+                          "atomicity": "atomicity",
+                          "deadlock": "deadlocks"}[report.kind]: [report]}))
+        entry = cand.entry(timeout=0.2)
+        assert entry.kind == trigger
+        assert entry.timeout == 0.2
+        assert entry.bound == 1  # the evaluated suites' default refinement
+
+    def test_reduction_reports_do_not_generate_candidates(self):
+        """Atomizer findings name one site, not a pair — the region's
+        monitor contention stands in for them."""
+        run = get_app("stringbuffer")(AppConfig()).run(seed=0, record_trace=True)
+        analysis = analyze(run.result.trace)
+        assert analysis.reduction  # the premise: Atomizer did fire
+        cands = generate_candidates(analysis)
+        assert all(c.source["kind"] != "reduction" for c in cands)
+
+
+class TestMatching:
+    def test_site_tier_exact_location_overlap(self):
+        cand = BreakpointCandidate(
+            name="c", kind="race", loc1="bank.py:deposit_fast", loc2="bank.py:other",
+            predicate="", source={"kind": "race", "name": "r", "loc1": "bank.py:deposit_fast",
+                                  "loc2": "bank.py:other", "cell": "balance",
+                                  "thread1": "", "thread2": "",
+                                  "op1": "write", "op2": "read"})
+        match = match_candidate(cand, get_app("bank"))
+        assert match is not None
+        assert (match.bug, match.tier) == ("lost_update", TIER_SITE)
+
+    def test_file_tier_same_files_different_lines(self):
+        """Detectors flag the racy statement, suites the insertion point
+        — usually lines apart in the same file pair."""
+        cand = BreakpointCandidate(
+            name="c", kind="race", loc1="CacheImpl.java:96", loc2="CacheImpl.java:97",
+            predicate="", source={"kind": "race", "name": "r", "loc1": "CacheImpl.java:96",
+                                  "loc2": "CacheImpl.java:97", "cell": "x",
+                                  "thread1": "", "thread2": "",
+                                  "op1": "write", "op2": "read"})
+        match = match_candidate(cand, get_app("cache4j"))
+        assert match is not None
+        assert match.tier == TIER_FILE
+        assert match.bug in ("race1", "race2", "race3")
+
+    def test_unique_tier_only_compatible_bug_wins(self):
+        """No location overlap at all, but logging declares exactly one
+        deadlock bug — the attribution cannot be wrong about which."""
+        cand = BreakpointCandidate(
+            name="c", kind="deadlock", loc1="Elsewhere.java:1", loc2="Elsewhere.java:2",
+            predicate="", source={"kind": "deadlock", "name": "d",
+                                  "loc1": "Elsewhere.java:1", "loc2": "Elsewhere.java:2",
+                                  "lock1": "L", "lock2": "M",
+                                  "thread1": "", "thread2": ""})
+        match = match_candidate(cand, get_app("logging"))
+        assert match is not None
+        assert (match.bug, match.tier) == ("deadlock1", TIER_UNIQUE)
+
+    def test_kind_compatibility_is_enforced(self):
+        """A deadlock candidate never matches an app with only conflict
+        suites, however unique they are."""
+        cand = BreakpointCandidate(
+            name="c", kind="deadlock", loc1="bank.py:deposit", loc2="bank.py:deposit_fast",
+            predicate="", source={"kind": "deadlock", "name": "d",
+                                  "loc1": "bank.py:deposit", "loc2": "bank.py:deposit_fast",
+                                  "lock1": "L", "lock2": "M",
+                                  "thread1": "", "thread2": ""})
+        assert match_candidate(cand, get_app("bank")) is None
+
+    def test_site_tier_beats_unique_tier(self):
+        """jigsaw declares two deadlock bugs (no unique tier); an exact
+        acquisition-site hit still resolves to the right one."""
+        cand = BreakpointCandidate(
+            name="c", kind="deadlock", loc1="SocketClientFactory.java:626",
+            loc2="SocketClientFactory.java:872",
+            predicate="", source={"kind": "deadlock", "name": "d",
+                                  "loc1": "SocketClientFactory.java:626",
+                                  "loc2": "SocketClientFactory.java:872",
+                                  "lock1": "csList", "lock2": "SocketClientFactory",
+                                  "thread1": "", "thread2": ""})
+        match = match_candidate(cand, get_app("jigsaw"))
+        assert match is not None
+        assert (match.bug, match.tier) == ("deadlock1", TIER_SITE)
+
+    def test_every_registry_app_matches_at_least_one_candidate(self):
+        """The acceptance floor: one logged trace gives every app at
+        least one candidate attributed to a declared bug."""
+        from repro.apps import ALL_APPS
+
+        for name in sorted(ALL_APPS):
+            cls = ALL_APPS[name]
+            run = cls(AppConfig()).run(seed=0, record_trace=True)
+            cands = generate_candidates(analyze(run.result.trace))
+            assert cands, name
+            assert any(match_candidate(c, cls) for c in cands), name
