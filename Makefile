@@ -6,8 +6,8 @@ TRIALS ?= 100
 WORKERS ?= -1
 
 .PHONY: install test test-par test-cache test-infer lint docstrings \
-	serve-smoke bench bench-par bench-explore bench-svc bench-cache \
-	bench-kernel bench-infer golden report examples all
+	serve-smoke fleet-smoke bench bench-par bench-explore bench-svc \
+	bench-cache bench-kernel bench-infer golden report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -46,6 +46,12 @@ docstrings:
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
 
+# Fleet smoke: two cache-backed shards + the consistent-hash router as
+# separate processes, mixed run/explore/infer jobs routed cross-shard
+# and checked against direct in-process calls (same sequence as CI).
+fleet-smoke:
+	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py --fleet
+
 bench:
 	REPRO_TRIALS=$(TRIALS) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
@@ -62,10 +68,13 @@ bench-explore:
 	    benchmarks/bench_exploration.py benchmarks/bench_explore_scaling.py \
 	    --benchmark-only -s --benchmark-json=bench-explore.json
 
-# Service scaling gate: 8 concurrent clients vs 8 sequential CLI runs.
+# Service scaling gates: daemon vs sequential CLI, client keep-alive,
+# and the 64-client fleet vs single daemon; emits BENCH_svc.json and
+# gates the speedups against the committed baseline (no
+# --benchmark-only so the plain gate test runs too).
 bench-svc:
-	$(PYTHON) -m pytest benchmarks/bench_svc_throughput.py \
-	    --benchmark-only -s
+	PYTHONPATH=src $(PYTHON) -m pytest \
+	    benchmarks/bench_svc_throughput.py -q -s
 
 # Cache acceptance gate: warm sweep >= 10x cold, bit-identical results.
 bench-cache:

@@ -289,7 +289,27 @@ def main(argv=None) -> int:
                        help="extra attempts for a job whose worker crashed")
     srv_p.add_argument("--port-file", default=None, metavar="FILE",
                        help="write the bound port here once listening")
+    srv_p.add_argument("--peers", nargs="+", default=None, metavar="URL",
+                       help="run as a fleet router over these daemons instead "
+                            "of a single daemon (alias for 'repro route')")
     _add_cache_flags(srv_p)
+
+    rt_p = sub.add_parser(
+        "route",
+        help="run a fleet router consistent-hashing jobs across daemons",
+    )
+    rt_p.add_argument("--peers", nargs="+", required=True, metavar="URL",
+                      help="daemon base URLs (http://host:port), one per shard")
+    rt_p.add_argument("--host", default="127.0.0.1")
+    rt_p.add_argument("--port", type=int, default=8640,
+                      help="TCP port (0 = ephemeral; see --port-file)")
+    rt_p.add_argument("--replicas", type=int, default=64, metavar="N",
+                      help="virtual ring nodes per peer")
+    rt_p.add_argument("--forwarders", type=int, default=64, metavar="N",
+                      help="max concurrent shard-forwarding threads "
+                           "(elastic: grown on demand)")
+    rt_p.add_argument("--port-file", default=None, metavar="FILE",
+                      help="write the bound port here once listening")
 
     sb_p = sub.add_parser("submit", help="submit one job to a running daemon")
     sb_p.add_argument("app")
@@ -395,6 +415,8 @@ def main(argv=None) -> int:
         return _cmd_export_trace(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "route":
+        return _cmd_route(args)
     if args.command == "submit":
         return _cmd_submit(args)
     if args.command == "cache":
@@ -425,6 +447,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.svc import ReproService, serve_forever
 
+    if getattr(args, "peers", None):
+        # `repro serve --peers ...` is the router spelled differently.
+        return _cmd_route(args)
     service = ReproService(
         host=args.host,
         port=args.port,
@@ -435,6 +460,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
     ).start()
     return serve_forever(service, port_file=args.port_file)
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.svc import FleetRouter, serve_forever
+
+    router = FleetRouter(
+        list(args.peers),
+        host=args.host,
+        port=args.port,
+        replicas=getattr(args, "replicas", 64),
+        forwarders=getattr(args, "forwarders", 64),
+    ).start()
+    return serve_forever(router, port_file=args.port_file)
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:

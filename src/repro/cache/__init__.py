@@ -15,6 +15,8 @@ from .fingerprint import (
     fingerprint_doc,
     infer_config_doc,
     infer_fingerprint,
+    storage_config_doc,
+    storage_fingerprint,
     trial_config_doc,
     trial_fingerprint,
 )
@@ -33,6 +35,8 @@ __all__ = [
     "fingerprint_doc",
     "infer_config_doc",
     "infer_fingerprint",
+    "storage_config_doc",
+    "storage_fingerprint",
     "trial_config_doc",
     "trial_fingerprint",
 ]

@@ -45,6 +45,8 @@ __all__ = [
     "explore_fingerprint",
     "infer_config_doc",
     "infer_fingerprint",
+    "storage_config_doc",
+    "storage_fingerprint",
 ]
 
 #: Version of the cache's on-disk entry layout; a bump invalidates all
@@ -262,3 +264,44 @@ def infer_config_doc(
 def infer_fingerprint(app_cls: Type, **fields: Any) -> str:
     """Content address of one inference-report configuration."""
     return fingerprint_doc(infer_config_doc(app_cls, **fields))
+
+
+def storage_config_doc(kind: str, app_name: str, **fields: Any) -> Dict[str, Any]:
+    """The *storage-level* config document for any cacheable kind.
+
+    This is the exact document :class:`~repro.cache.results.ResultCache`
+    groups entries under — the seed range is deliberately absent for
+    trials (it keys rows *inside* an entry), ``max_steps=None`` resolves
+    to the app default for explorations, and the pipeline version is
+    folded in for inference.  Exposed publicly because the fleet router
+    (:mod:`repro.svc.router`) hashes jobs onto shards by this same
+    identity: two jobs that could share a cache entry — e.g. overlapping
+    seed ranges of one trial config — must land on the same shard for
+    its cache to stay hot, so routing *must* use the storage key, not the
+    full content address.
+
+    ``fields`` are the keyword arguments of the matching
+    ``*_config_doc`` helper; the app is resolved through the registry
+    (``KeyError`` on an unknown name).
+    """
+    from repro.apps import get_app
+
+    cls = get_app(app_name)
+    if kind == "trials":
+        return trial_config_doc(cls, **fields)
+    if kind == "explore":
+        if fields.get("max_steps") is None:
+            fields["max_steps"] = cls.max_steps
+        return explore_config_doc(cls, **fields)
+    if kind == "infer":
+        if fields.get("infer_version") is None:
+            from repro.infer.pipeline import INFER_VERSION
+
+            fields["infer_version"] = INFER_VERSION
+        return infer_config_doc(cls, **fields)
+    raise ValueError(f"unknown cacheable kind {kind!r}")
+
+
+def storage_fingerprint(kind: str, app_name: str, **fields: Any) -> str:
+    """SHA-256 content address of :func:`storage_config_doc`."""
+    return fingerprint_doc(storage_config_doc(kind, app_name, **fields))

@@ -41,9 +41,8 @@ from repro.obs.metrics import MetricsRegistry
 from .fingerprint import (
     CACHE_SCHEMA,
     canonical_json,
-    explore_config_doc,
     fingerprint_doc,
-    infer_config_doc,
+    storage_config_doc,
     trial_config_doc,
 )
 from .store import DEFAULT_MAX_BYTES, CacheStore, StoreStats
@@ -319,9 +318,9 @@ class ResultCache:
         cls = get_app(app_name)
         if bug is not None and bug not in cls.bugs:
             raise KeyError(f"{app_name} has no bug {bug!r}; known: {list(cls.bugs)}")
-        if fields.get("max_steps") is None:
-            fields["max_steps"] = cls.max_steps
-        doc = explore_config_doc(cls, bug=bug, **fields)
+        # The shared storage-key builder resolves max_steps=None to the
+        # app default — the router hashes on the identical document.
+        doc = storage_config_doc("explore", app_name, bug=bug, **fields)
         return fingerprint_doc(doc), _normalized(doc), cls
 
     def explore(
@@ -439,10 +438,11 @@ class ResultCache:
         self, app_name: str, **fields: Any
     ) -> Tuple[str, Dict[str, Any], Type]:
         from repro.apps import get_app
-        from repro.infer.pipeline import INFER_VERSION
 
         cls = get_app(app_name)
-        doc = infer_config_doc(cls, infer_version=INFER_VERSION, **fields)
+        # The shared storage-key builder folds INFER_VERSION in — the
+        # router hashes on the identical document.
+        doc = storage_config_doc("infer", app_name, **fields)
         return fingerprint_doc(doc), _normalized(doc), cls
 
     def infer(

@@ -12,10 +12,16 @@ local HTTP/JSON protocol and executes them on the existing harness:
   serialization (the bit-identity layer);
 * :mod:`repro.svc.queue` — bounded admission queue with
   reject-with-retry-after backpressure;
-* :mod:`repro.svc.executor` — slot threads running each job in a child
-  process with wall-clock timeouts and bounded crash retry;
+* :mod:`repro.svc.http` — the selectors-based async HTTP frontend
+  (thousands of keep-alive connections, parked long-polls, one thread);
+* :mod:`repro.svc.pool` — the persistent pre-forked worker pool
+  (import once, serve many jobs, recycle after N or on crash);
+* :mod:`repro.svc.executor` — slot threads feeding queued jobs to the
+  pool with wall-clock timeouts and bounded crash retry;
 * :mod:`repro.svc.server` — the HTTP daemon, ``/health`` + ``/metrics``
   introspection, graceful SIGTERM drain;
+* :mod:`repro.svc.router` — the fleet router: cache-affine
+  consistent-hash sharding across many daemons;
 * :mod:`repro.svc.client` — the client library (``ReproClient``).
 
 The service is a **transport layer, never a semantics layer**: a job is
@@ -28,6 +34,7 @@ differential battery; DESIGN.md documents the argument).
 
 from .client import BackpressureError, JobFailed, ReproClient, ServiceError
 from .executor import JobExecutor
+from .http import AsyncHTTPFrontend
 from .jobs import (
     JobRecord,
     JobSpec,
@@ -36,8 +43,10 @@ from .jobs import (
     stats_from_wire,
     stats_to_wire,
 )
+from .pool import WorkerPool
 from .protocol import PROTOCOL
 from .queue import BoundedJobQueue, QueueClosed, QueueFull
+from .router import ConsistentHashRing, FleetRouter, routing_fingerprint
 from .server import ReproService, ServiceDraining, serve_forever
 
 __all__ = [
@@ -46,7 +55,9 @@ __all__ = [
     "JobFailed",
     "ReproClient",
     "ServiceError",
+    "AsyncHTTPFrontend",
     "JobExecutor",
+    "WorkerPool",
     "JobRecord",
     "JobSpec",
     "JobValidationError",
@@ -56,6 +67,9 @@ __all__ = [
     "BoundedJobQueue",
     "QueueClosed",
     "QueueFull",
+    "ConsistentHashRing",
+    "FleetRouter",
+    "routing_fingerprint",
     "ReproService",
     "ServiceDraining",
     "serve_forever",

@@ -13,9 +13,20 @@ API, so moving a workload onto the daemon is a one-line change::
 
 Backpressure is handled transparently: a ``503`` with a retry hint
 sleeps and resubmits (bounded attempts), so a burst of clients behaves
-like a queue, not like an error storm.  Each request uses a fresh
-connection — a client that disconnects mid-wait loses nothing, because
-results live on the server until evicted and ``wait`` simply re-polls.
+like a queue, not like an error storm.
+
+The client keeps **one persistent keep-alive connection** to the
+service (the async frontend holds it open across requests), so a
+submit/poll/poll/... sequence pays one TCP handshake, not one per
+request — the difference shows up in the throughput bench's client
+micro-section.  A request that fails on a *reused* socket (the server
+restarted, the connection idled out) is transparently retried exactly
+once on a fresh connection — a stale socket cannot have delivered the
+request, so the retry is safe; a fresh connection failing propagates.
+A client that disconnects mid-wait still loses nothing: results live on
+the server until evicted and ``wait`` simply re-polls.  One client
+instance drives one connection and is **not thread-safe** — give each
+thread its own (they are cheap: no socket until the first request).
 """
 
 from __future__ import annotations
@@ -78,10 +89,47 @@ class ReproClient:
         self.host = parsed.hostname
         self.port = parsed.port or 80
         self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def close(self) -> None:
+        """Drop the cached keep-alive connection (reopened on demand)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
+    def _connect(self, timeout: float) -> http.client.HTTPConnection:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+        conn.connect()
+        return conn
+
+    def _once(
+        self,
+        conn: http.client.HTTPConnection,
+        method: str,
+        path: str,
+        payload: Optional[bytes],
+        headers: Dict[str, str],
+        timeout: float,
+    ) -> tuple:
+        """One request/response on ``conn``; returns ``(resp, raw)``."""
+        if conn.sock is not None:
+            # Per-request deadline: a reused connection keeps its socket,
+            # so the constructor timeout alone would go stale.
+            conn.sock.settimeout(timeout)
+        conn.request(method, path, body=payload, headers=headers)
+        resp = conn.getresponse()
+        raw = resp.read()  # fully drain so the connection is reusable
+        return resp, raw
+
     def _request(
         self,
         method: str,
@@ -89,19 +137,38 @@ class ReproClient:
         body: Optional[Dict[str, Any]] = None,
         timeout: Optional[float] = None,
     ) -> tuple:
-        """One request/response cycle; returns ``(status, doc)``."""
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=timeout if timeout is not None else self.timeout
-        )
+        """One request/response cycle; returns ``(status, doc)``.
+
+        Reuses the cached keep-alive connection when one exists.  If the
+        attempt on a *reused* socket fails before a response arrives, the
+        socket was stale (closed server-side since the last request) and
+        the request never reached the service — retry exactly once on a
+        fresh connection.  A fresh connection failing propagates.
+        """
+        budget = timeout if timeout is not None else self.timeout
+        payload = protocol.dumps(body) if body is not None else None
+        headers = {"Content-Type": protocol.CONTENT_TYPE} if payload else {}
+        conn, reused = self._conn, self._conn is not None
+        self._conn = None
+        if conn is None:
+            conn = self._connect(budget)
         try:
-            payload = protocol.dumps(body) if body is not None else None
-            headers = {"Content-Type": protocol.CONTENT_TYPE} if payload else {}
-            conn.request(method, path, body=payload, headers=headers)
-            resp = conn.getresponse()
-            raw = resp.read()
-            return resp.status, protocol.loads(raw) if raw else {}
-        finally:
+            resp, raw = self._once(conn, method, path, payload, headers, budget)
+        except (http.client.HTTPException, OSError):
             conn.close()
+            if not reused:
+                raise
+            conn = self._connect(budget)
+            try:
+                resp, raw = self._once(conn, method, path, payload, headers, budget)
+            except Exception:
+                conn.close()
+                raise
+        if resp.will_close:
+            conn.close()
+        else:
+            self._conn = conn
+        return resp.status, protocol.loads(raw) if raw else {}
 
     @staticmethod
     def _check(status: int, doc: Dict[str, Any]) -> Dict[str, Any]:
@@ -159,14 +226,22 @@ class ReproClient:
             self._check(status, doc)
             raise ServiceError(status, f"unexpected submission response {doc!r}")
 
-    def result(self, job_id: str, wait: Optional[float] = None) -> Dict[str, Any]:
-        """``GET /jobs/<id>`` — one poll, optionally long (``wait`` s)."""
+    def result_raw(self, job_id: str, wait: Optional[float] = None) -> tuple:
+        """``GET /jobs/<id>`` returning ``(status, doc)`` without raising.
+
+        The fleet router forwards upstream responses verbatim, so it
+        needs the status code even (especially) when it is not 2xx.
+        """
         path = f"/jobs/{urllib.parse.quote(job_id)}"
         timeout = self.timeout
         if wait is not None:
             path += f"?wait={wait:g}"
             timeout = max(self.timeout, wait + 10.0)
-        return self._check(*self._request("GET", path, timeout=timeout))
+        return self._request("GET", path, timeout=timeout)
+
+    def result(self, job_id: str, wait: Optional[float] = None) -> Dict[str, Any]:
+        """``GET /jobs/<id>`` — one poll, optionally long (``wait`` s)."""
+        return self._check(*self.result_raw(job_id, wait=wait))
 
     def wait(
         self,

@@ -1,108 +1,58 @@
-"""Job executor: slot threads driving per-job worker processes.
+"""Job executor: slot threads driving the persistent worker pool.
 
 Each of ``slots`` executor threads pulls one job at a time off the
-bounded queue and runs it in a **fresh child process** (fork where
-available, mirroring :mod:`repro.harness.parallel`).  The child calls
-:func:`repro.svc.jobs.execute_job` — the same library entry points a
-direct caller uses — and streams the wire-form result back over a
-private pipe.  Process isolation is what makes the service's fault
-model identical to the harness's:
+bounded queue and runs it on that slot's **pre-forked worker process**
+(:class:`~repro.svc.pool.WorkerPool`).  Workers import once and serve
+many jobs over a pipe — the fork + import tax the old
+fork-per-job-attempt model paid on every attempt is gone — while the
+fault model is byte-for-byte the harness's:
 
-* **Per-job wall-clock timeout** — a child that exceeds the job's
-  budget is killed and the job fails with ``kind="timeout"``; timeouts
-  are *not* retried (the job is deterministic — it would stall again),
-  exactly the parallel runner's rule.
-* **Bounded crash retry** — a child that dies (segfault, ``os._exit``)
-  or raises costs one attempt; the job is re-run up to
-  ``max_job_retries`` extra times, then accounted as a
+* **Per-job wall-clock timeout** — a worker that exceeds the job's
+  budget is killed (and respawned) and the job fails with
+  ``kind="timeout"``; timeouts are *not* retried (the job is
+  deterministic — it would stall again), exactly the parallel runner's
+  rule.
+* **Bounded crash retry** — a worker that dies (segfault, ``os._exit``)
+  or a job that raises costs one attempt; the job is re-run up to
+  ``max_job_retries`` extra times (on a freshly spawned worker after a
+  crash), then accounted as a
   :class:`~repro.harness.stats.TrialFailure` with the harness's kind
   vocabulary.  Because a job is a pure function of its spec, a retried
   job returns a bit-identical result — re-execution is invisible to the
   client (the differential battery injects crashes to prove it).
 * **Utilization metrics** — every transition updates the ``svc.*``
   families (busy gauge, latency and queue-wait histograms, completion
-  and retry counters), all volatile: they describe service operation,
-  never reproduction results.
+  and retry counters) plus the pool's ``svc.pool.*`` family, all
+  volatile: they describe service operation, never reproduction
+  results.
 
 Jobs may themselves fan trials over the existing
-:mod:`repro.harness.parallel` pool (``spec.workers > 0``); job children
-are therefore started non-daemonic so they can own nested worker
-processes, and the executor kills any still-running children on hard
-shutdown.
+:mod:`repro.harness.parallel` pool (``spec.workers > 0``); pool workers
+are therefore non-daemonic so they can own nested worker processes, and
+the executor kills any still-running workers on hard shutdown.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import threading
 import time
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, List, Optional
 
 from repro.harness.stats import TrialFailure
 from repro.obs.metrics import MetricsRegistry
 
-from .jobs import JobRecord, JobSpec, execute_job, try_cached_result
+from .jobs import JobRecord, try_cached_result
+from .pool import FaultHook, WorkerPool
 from .queue import BoundedJobQueue
 
 __all__ = ["JobExecutor"]
 
-#: Pipe poll period while a job child runs (seconds).
-_POLL = 0.05
-
 #: Exponential-moving-average weight for the latency-based retry hint.
 _EMA_ALPHA = 0.3
 
-#: Fault-injection hook type: ``hook(spec, attempt)`` runs in the child
-#: before the job body (raise → exception; ``os._exit`` → crash).
-FaultHook = Callable[[JobSpec, int], None]
-
-
-def _job_child(
-    conn,
-    spec: JobSpec,
-    fault_hook: Optional[FaultHook],
-    attempt: int,
-    cache: Optional[Any] = None,
-) -> None:
-    """Child-process body: run one job, send back ``("ok", payload, wire)``.
-
-    An exception escaping the job body is reported as ``("err", msg)``
-    and the child exits cleanly; a crash (no message, dead process) is
-    detected parent-side.  The child's ``cache.*`` counter increments
-    happen in forked memory the parent never sees, so the cache is
-    rebound to a fresh registry whose wire form travels back alongside
-    the payload for the parent to merge into the service metrics.
-    """
-    cache_wire = None
-    try:
-        if fault_hook is not None:
-            fault_hook(spec, attempt)
-        cache_reg = None
-        if cache is not None:
-            cache_reg = MetricsRegistry()
-            cache = cache.with_metrics(cache_reg)
-        payload = execute_job(spec, cache=cache)
-        if cache_reg is not None:
-            cache_wire = cache_reg.to_wire()
-    except Exception as exc:  # noqa: BLE001 - forwarded as a structured failure
-        try:
-            conn.send(("err", f"{type(exc).__name__}: {exc}"))
-        except OSError:
-            pass
-    else:
-        try:
-            conn.send(("ok", payload, cache_wire))
-        except OSError:
-            pass
-    finally:
-        try:
-            conn.close()
-        except OSError:
-            pass
-
 
 class JobExecutor:
-    """Pool of slot threads executing queued jobs in child processes."""
+    """Slot threads feeding queued jobs to the persistent worker pool."""
 
     def __init__(
         self,
@@ -114,6 +64,7 @@ class JobExecutor:
         max_job_retries: int = 1,
         fault_hook: Optional[FaultHook] = None,
         cache: Optional[Any] = None,
+        worker_max_jobs: int = 256,
     ) -> None:
         if slots <= 0:
             raise ValueError(f"executor slots must be positive, got {slots}")
@@ -122,15 +73,16 @@ class JobExecutor:
         self.slots = slots
         self.job_timeout = job_timeout
         self.max_job_retries = max_job_retries
-        self._fault_hook = fault_hook
         #: Shared :class:`repro.cache.ResultCache` (None = caching off).
         self.cache = cache
-        methods = multiprocessing.get_all_start_methods()
-        self._ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn"
+        self.pool = WorkerPool(
+            metrics,
+            slots=slots,
+            fault_hook=fault_hook,
+            cache=cache,
+            max_jobs_per_worker=worker_max_jobs,
         )
         self._threads: List[threading.Thread] = []
-        self._current_procs: List[Optional[Any]] = [None] * slots
         self._busy = 0
         self._ema_latency: Optional[float] = None
         self._stop = False
@@ -141,9 +93,14 @@ class JobExecutor:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Spawn the slot threads (idempotent per executor)."""
+        """Pre-fork the worker pool, then spawn the slot threads.
+
+        Workers are forked before the slot threads (and before the HTTP
+        event loop) exist, so every worker starts from a quiet image.
+        """
         if self._threads:
             raise RuntimeError("executor already started")
+        self.pool.start()
         for i in range(self.slots):
             t = threading.Thread(
                 target=self._slot_loop, args=(i,), name=f"svc-slot-{i}", daemon=True
@@ -188,23 +145,26 @@ class JobExecutor:
         return True
 
     def shutdown(self, kill: bool = False, timeout: float = 10.0) -> None:
-        """Stop the slot threads; ``kill`` also terminates running jobs."""
+        """Stop the slot threads and retire the worker pool.
+
+        ``kill`` terminates in-flight jobs (their workers die and the
+        jobs account as crashes without further retries); otherwise
+        workers get a graceful exit message once their slot thread
+        stops feeding them.
+        """
         self._queue.close()
         self._stop = True
         if kill:
-            with self._lock:
-                procs = list(self._current_procs)
-            for proc in procs:
-                if proc is not None and proc.is_alive():
-                    proc.kill()
+            self.pool.kill_running()
         for t in self._threads:
             t.join(timeout=timeout)
+        self.pool.shutdown(kill=kill)
 
     # ------------------------------------------------------------------
     # Slot machinery
     # ------------------------------------------------------------------
     def _slot_loop(self, slot: int) -> None:
-        """One slot thread: dequeue, execute, account, repeat."""
+        """One slot thread: dequeue, execute on the slot's worker, repeat."""
         while True:
             record = self._queue.get(timeout=0.2)
             if record is None:
@@ -220,7 +180,6 @@ class JobExecutor:
                 with self._lock:
                     self._busy -= 1
                     self._metrics.gauge("svc.workers.busy", volatile=True).set(self._busy)
-                    self._current_procs[slot] = None
 
     def _run_job(self, slot: int, record: JobRecord) -> None:
         """Drive one job through its bounded attempts to a terminal state."""
@@ -234,98 +193,50 @@ class JobExecutor:
                 ).observe(wait)
         cached = try_cached_result(self.cache, spec)
         if cached is not None:
-            # Full cache coverage: no fork, no attempt — the lookup
-            # itself already counted cache.hit into the service registry.
-            record.finish(cached)
+            # Full cache coverage: no pipe round-trip, no attempt — the
+            # lookup itself already counted cache.hit into the registry.
             self._note_done(record, failed=False)
+            record.finish(cached)
             return
         budget = spec.job_timeout if spec.job_timeout is not None else self.job_timeout
         kind = "crash"
         message = ""
         for attempt in range(self.max_job_retries + 1):
             record.attempts = attempt + 1
-            ok, payload, kind, message = self._run_attempt(slot, spec, attempt, budget)
+            ok, payload, kind, message = self.pool.run(slot, spec, attempt, budget)
             if ok:
-                record.finish(payload)
                 self._note_done(record, failed=False)
+                record.finish(payload)
                 return
             if kind == "timeout":
                 break  # deterministic job: re-running would stall again
+            if self._stop:
+                break  # shutting down: don't burn retries on killed workers
             if attempt < self.max_job_retries:
                 with self._lock:
                     self._metrics.counter("svc.jobs.retries", volatile=True).inc()
         seed = spec.seed if spec.kind == "explore" else spec.base_seed
+        self._note_done(record, failed=True)
         record.fail(
             TrialFailure(seed=seed, kind=kind, attempts=record.attempts, message=message)
         )
-        self._note_done(record, failed=True)
 
     def _note_done(self, record: JobRecord, failed: bool) -> None:
-        """Fold a terminal job into the metrics and the latency EMA."""
-        latency = record.latency()
+        """Fold a finishing job into the metrics and the latency EMA.
+
+        Runs *before* the record turns terminal: completing the record
+        wakes parked long-polls, and a client acting on the response
+        (e.g. scraping ``/metrics``, as the endpoint tests do) must see
+        this job already accounted.
+        """
+        latency = time.monotonic() - record.submitted_at
         with self._lock:
             name = "svc.jobs.failed" if failed else "svc.jobs.completed"
             self._metrics.counter(name, volatile=True).inc()
-            if latency is not None:
-                self._metrics.histogram(
-                    "svc.job_latency_seconds", volatile=True
-                ).observe(latency)
-                if self._ema_latency is None:
-                    self._ema_latency = latency
-                else:
-                    self._ema_latency += _EMA_ALPHA * (latency - self._ema_latency)
-
-    def _run_attempt(
-        self,
-        slot: int,
-        spec: JobSpec,
-        attempt: int,
-        budget: Optional[float],
-    ) -> Tuple[bool, Optional[dict], Optional[str], Optional[str]]:
-        """Run one attempt in a child process under the wall-clock budget.
-
-        Returns ``(ok, payload, failure_kind, failure_message)``.
-        """
-        conn, child_conn = self._ctx.Pipe(duplex=False)
-        # Non-daemonic: the job may spawn its own harness.parallel pool.
-        proc = self._ctx.Process(
-            target=_job_child,
-            args=(child_conn, spec, self._fault_hook, attempt, self.cache),
-            daemon=False,
-        )
-        proc.start()
-        child_conn.close()
-        with self._lock:
-            self._current_procs[slot] = proc
-        deadline = None if budget is None else time.monotonic() + budget
-        try:
-            while True:
-                remaining = None if deadline is None else deadline - time.monotonic()
-                if remaining is not None and remaining <= 0 and not conn.poll():
-                    return False, None, "timeout", f"exceeded job_timeout={budget}s"
-                poll = _POLL if remaining is None else max(0.0, min(_POLL, remaining))
-                if conn.poll(poll):
-                    try:
-                        msg = conn.recv()
-                    except (EOFError, OSError):
-                        return False, None, "crash", "job worker died mid-job"
-                    if msg[0] == "ok":
-                        if len(msg) > 2 and msg[2]:
-                            # Fold the child's cache.* counter deltas in
-                            # (forked memory — increments would be lost).
-                            with self._lock:
-                                self._metrics.merge_wire(msg[2])
-                        return True, msg[1], None, None
-                    return False, None, "exception", msg[1]
-                if not proc.is_alive() and not conn.poll():
-                    return False, None, "crash", "job worker exited without a result"
-        finally:
-            if proc.is_alive():
-                proc.kill()
-            proc.join(timeout=5)
-            try:
-                conn.close()
-            except OSError:
-                pass
-            with self._lock:
-                self._current_procs[slot] = None
+            self._metrics.histogram(
+                "svc.job_latency_seconds", volatile=True
+            ).observe(latency)
+            if self._ema_latency is None:
+                self._ema_latency = latency
+            else:
+                self._ema_latency += _EMA_ALPHA * (latency - self._ema_latency)

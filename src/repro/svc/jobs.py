@@ -392,6 +392,8 @@ class JobRecord:
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self._done = threading.Event()
+        self._subs_lock = threading.Lock()
+        self._subs: list = []
 
     # -- transitions (executor slot thread) -----------------------------
     def mark_running(self) -> None:
@@ -405,6 +407,7 @@ class JobRecord:
         self.state = DONE
         self.finished_at = time.monotonic()
         self._done.set()
+        self._notify_subscribers()
 
     def fail(self, failure: TrialFailure) -> None:
         """Running → failed with a :class:`TrialFailure` account."""
@@ -412,6 +415,40 @@ class JobRecord:
         self.state = FAILED
         self.finished_at = time.monotonic()
         self._done.set()
+        self._notify_subscribers()
+
+    def _notify_subscribers(self) -> None:
+        """Fire-and-clear every completion callback exactly once."""
+        with self._subs_lock:
+            subs, self._subs = self._subs, []
+        for cb in subs:
+            try:
+                cb()
+            except Exception:  # noqa: BLE001 - a waiter must not break others
+                pass
+
+    def subscribe(self, callback) -> None:
+        """Register ``callback()`` to run once the job turns terminal.
+
+        The async frontend's long-polls ride this instead of blocking a
+        thread in :meth:`wait`.  A record that is already terminal calls
+        back immediately (same thread); otherwise the callback runs on
+        whichever executor thread completes the job — subscribers must
+        marshal back to their own event loop.
+        """
+        with self._subs_lock:
+            if not self.terminal:
+                self._subs.append(callback)
+                return
+        callback()
+
+    def unsubscribe(self, callback) -> None:
+        """Remove a pending completion callback (no-op if already fired)."""
+        with self._subs_lock:
+            try:
+                self._subs.remove(callback)
+            except ValueError:
+                pass
 
     # -- readers (HTTP handler threads) ---------------------------------
     @property

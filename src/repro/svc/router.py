@@ -1,0 +1,553 @@
+"""Fleet router: cache-affine consistent-hash sharding across daemons.
+
+One :class:`ReproService` daemon scales to its worker pool; a *fleet*
+scales to many daemons — if jobs land on shards so that each shard's
+content-addressed :class:`~repro.cache.ResultCache` stays hot.  The
+router is a thin HTTP tier (same ``repro.svc/1`` protocol, same
+:class:`~repro.svc.http.AsyncHTTPFrontend` event loop) in front of N
+independent daemons ("peers"), and its one load-bearing decision is the
+placement key:
+
+* **Jobs are hashed by their cache storage fingerprint**
+  (:func:`routing_fingerprint` →
+  :func:`repro.cache.storage_fingerprint`), *not* by job id or round
+  robin.  The storage key is the identity the cache groups entries
+  under — for trial sweeps it deliberately excludes the seed range, so
+  overlapping ranges of one config land on one shard and extend one
+  entry; resubmits of any cached config are answered from that shard's
+  warm cache without a single cross-shard read.  This is also why the
+  fleet preserves the parallel == serial contract: a job runs (or is
+  served from cache) on exactly one daemon through exactly the same
+  code path as a direct call, and the router never splits, merges, or
+  re-orders result payloads.
+* **Placement is a consistent-hash ring** (:class:`ConsistentHashRing`,
+  SHA-256 points, ``replicas`` virtual nodes per peer), so adding or
+  removing a daemon remaps only ~1/N of the key space instead of
+  reshuffling every shard's cache.
+
+Client-visible job ids are ``s<peer>:<upstream-id>`` so a later
+``GET /jobs/<id>`` needs no routing table — the id *is* the route.
+Long-polls are forwarded in bounded chunks by an elastic pool of
+forwarder threads (grown on demand up to ``forwarders``, each holding
+per-peer keep-alive :class:`~repro.svc.client.ReproClient`
+connections), while the router's own event loop parks the downstream
+connection for free — past the cap, waiters time-slice poll chunks
+instead of failing.
+
+Operational surface (``GET /metrics``): ``svc.router.jobs.routed``,
+``svc.router.forwarded``, ``svc.router.upstream_errors``, and a
+``svc.router.peer.<i>.jobs`` counter per peer — the throughput bench
+asserts shard affinity (warm resubmits revisit the same peer) straight
+off these counters.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import queue as _queue
+import threading
+import time
+import urllib.parse
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cache import storage_fingerprint
+from repro.obs.metrics import MetricsRegistry
+
+from . import protocol
+from .client import ReproClient
+from .http import DEFERRED, AsyncHTTPFrontend, Request, Response
+from .jobs import JobSpec, JobValidationError
+
+__all__ = ["ConsistentHashRing", "routing_fingerprint", "FleetRouter"]
+
+#: Upstream long-polls are chunked so a forwarder thread is never held
+#: for a client's full wait budget (seconds).
+_POLL_CHUNK = 1.0
+
+
+def routing_fingerprint(spec: JobSpec) -> str:
+    """The placement key of one job: its cache *storage* fingerprint.
+
+    Mirrors the key construction inside
+    :class:`repro.cache.ResultCache` exactly (both call
+    :func:`repro.cache.storage_config_doc`), so two jobs share a
+    routing key if and only if they could share a cache entry.  Raises
+    ``KeyError`` for an unknown app — the router answers 400 before
+    routing anything.
+    """
+    if spec.kind == "explore":
+        sharded = bool(spec.dpor and spec.workers)
+        return storage_fingerprint(
+            "explore",
+            spec.app,
+            bug=spec.bug,
+            dpor=spec.dpor,
+            sleep_sets=spec.sleep_sets,
+            snapshots=spec.snapshots,
+            sharded=sharded,
+            shard_depth=spec.shard_depth if sharded else None,
+            max_schedules=spec.max_schedules,
+            max_steps=spec.max_steps,
+            seed=spec.seed,
+            timeout=spec.timeout,
+            use_policies=spec.use_policies,
+            params=dict(spec.params),
+            witness_limit=spec.witness_limit,
+        )
+    if spec.kind == "infer":
+        return storage_fingerprint(
+            "infer",
+            spec.app,
+            trace_seed=spec.seed,
+            trials=spec.trials,
+            base_seed=spec.base_seed,
+            timeout=spec.timeout,
+            use_policies=spec.use_policies,
+            params=dict(spec.params),
+            trial_timeout=spec.trial_timeout,
+            steer_attempts=spec.steer_attempts,
+        )
+    return storage_fingerprint(
+        "trials",
+        spec.app,
+        bug=spec.bug,
+        timeout=spec.timeout,
+        flip_order=spec.flip_order,
+        use_policies=spec.use_policies,
+        params=dict(spec.params),
+        collect_metrics=spec.collect_metrics,
+        trial_timeout=spec.trial_timeout,
+    )
+
+
+class ConsistentHashRing:
+    """A classic consistent-hash ring over peer indices.
+
+    Each peer contributes ``replicas`` virtual nodes at
+    ``sha256(f"{peer}#{i}")`` points; a key maps to the first node at or
+    after its own SHA-256 point (wrapping).  Properties the tests pin
+    down: deterministic (same peers → same placements), balanced (no
+    peer starves with enough replicas), and *stable* — removing one peer
+    moves only the keys that pointed at it.
+    """
+
+    def __init__(self, peers: List[str], replicas: int = 64) -> None:
+        if not peers:
+            raise ValueError("consistent-hash ring needs at least one peer")
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        self.peers = list(peers)
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for idx, peer in enumerate(self.peers):
+            for i in range(replicas):
+                digest = hashlib.sha256(f"{peer}#{i}".encode("utf-8")).hexdigest()
+                points.append((int(digest, 16), idx))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [o for _, o in points]
+
+    def lookup(self, key: str) -> int:
+        """Peer index owning ``key``."""
+        point = int(hashlib.sha256(key.encode("utf-8")).hexdigest(), 16)
+        i = bisect.bisect_right(self._points, point)
+        if i == len(self._points):
+            i = 0  # wrap around the ring
+        return self._owners[i]
+
+
+class _Forwarders:
+    """Elastic thread pool running upstream HTTP calls off the event loop.
+
+    Threads are spawned on demand — a task submitted while no thread is
+    idle grows the pool, up to ``max_threads`` — so an upstream
+    long-poll can hold a thread for its whole chunk without starving
+    other waiters of poll slots.  Past the cap, tasks queue and waiters
+    degrade gracefully to time-sliced chunks.  Each thread keeps one
+    keep-alive :class:`ReproClient` per peer (clients are not
+    thread-safe, so they are thread-local); tasks are plain thunks and
+    may re-enqueue themselves (chunked long-polls).
+    """
+
+    def __init__(self, peers: List[str], max_threads: int, timeout: float) -> None:
+        self._peers = peers
+        self._timeout = timeout
+        self._max = max(1, max_threads)
+        self._tasks: "_queue.Queue[Optional[Callable[[], None]]]" = _queue.Queue()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._idle = 0
+        self._stopping = False
+
+    def client(self, idx: int) -> ReproClient:
+        """This thread's keep-alive client for peer ``idx``."""
+        clients = getattr(self._local, "clients", None)
+        if clients is None:
+            clients = self._local.clients = {}
+        if idx not in clients:
+            clients[idx] = ReproClient(self._peers[idx], timeout=self._timeout)
+        return clients[idx]
+
+    def submit(self, task: Callable[[], None]) -> None:
+        with self._lock:
+            if self._stopping:
+                return
+            if self._idle == 0 and len(self._threads) < self._max:
+                t = threading.Thread(
+                    target=self._run,
+                    name=f"svc-fwd-{len(self._threads)}",
+                    daemon=True,
+                )
+                self._threads.append(t)
+                t.start()
+        self._tasks.put(task)
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                self._idle += 1
+            try:
+                task = self._tasks.get()
+            finally:
+                with self._lock:
+                    self._idle -= 1
+            if task is None:
+                return
+            try:
+                task()
+            except Exception:  # noqa: BLE001 - a bad forward must not kill the pool
+                pass
+
+    def stop(self, timeout: float = 5.0) -> None:
+        with self._lock:
+            self._stopping = True
+            threads = list(self._threads)
+        for _ in threads:
+            self._tasks.put(None)
+        for t in threads:
+            t.join(timeout=timeout)
+
+
+class FleetRouter:
+    """The fleet's front door: one address, N cache-affine shards.
+
+    Speaks the daemon's own protocol, so every existing client — the
+    CLI, :class:`ReproClient`, the bench — points at a router URL
+    unchanged.  ``peers`` are daemon base URLs (``http://host:port``).
+    """
+
+    def __init__(
+        self,
+        peers: List[str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        replicas: int = 64,
+        forwarders: int = 64,
+        upstream_timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.requested_port = port
+        self.metrics = MetricsRegistry()
+        self.ring = ConsistentHashRing(peers, replicas=replicas)
+        self.peers = self.ring.peers
+        self._forwarders_n = forwarders
+        self._upstream_timeout = upstream_timeout
+        self._forwarders: Optional[_Forwarders] = None
+        self._frontend: Optional[AsyncHTTPFrontend] = None
+        self._draining = False
+        self._lock = threading.Lock()
+        self.metrics.gauge("svc.router.peers").set(len(self.peers))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "FleetRouter":
+        """Start the forwarder pool and bind the async frontend."""
+        self._forwarders = _Forwarders(
+            self.peers, self._forwarders_n, self._upstream_timeout
+        )
+        self._frontend = AsyncHTTPFrontend(
+            self._handle,
+            self.host,
+            self.requested_port,
+            metrics=self.metrics,
+            on_disconnect=self._on_parked_disconnect,
+            name="svc-router",
+        ).start()
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        assert self._frontend is not None, "router not started"
+        return self._frontend.port
+
+    @property
+    def address(self) -> str:
+        """Base URL clients should use."""
+        return f"http://{self.host}:{self.port}"
+
+    def describe(self) -> str:
+        """One-line banner for ``repro route``."""
+        return (
+            f"repro.svc fleet router on {self.address} "
+            f"({len(self.peers)} shard(s): {', '.join(self.peers)})"
+        )
+
+    def __enter__(self) -> "FleetRouter":
+        if self._frontend is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop intake, fan ``/drain`` out to every peer, stop serving."""
+        with self._lock:
+            self._draining = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for idx in range(len(self.peers)):
+            try:
+                remaining = self._upstream_timeout
+                if deadline is not None:
+                    remaining = max(0.1, deadline - time.monotonic())
+                ReproClient(self.peers[idx], timeout=remaining).drain()
+            except Exception:  # noqa: BLE001 - a dead peer is already drained
+                pass
+        self.close()
+        return True
+
+    def close(self) -> None:
+        """Stop the frontend and the forwarder pool (peers keep running)."""
+        if self._frontend is not None:
+            self._frontend.stop()
+            self._frontend = None
+        if self._forwarders is not None:
+            self._forwarders.stop()
+            self._forwarders = None
+
+    # ------------------------------------------------------------------
+    # HTTP handling (event-loop thread — must not block)
+    # ------------------------------------------------------------------
+    def _handle(self, request: Request, token: Any):
+        path = request.path
+        if request.method == "GET":
+            if path == "/health":
+                return self._defer(token, self._health_task)
+            if path == "/metrics":
+                return Response(200, self.metrics.snapshot())
+            if path == "/jobs":
+                return self._defer(token, self._list_task)
+            if path.startswith("/jobs/"):
+                return self._handle_get_job(request, token)
+            return Response(404, protocol.error_body(f"no such endpoint {path!r}"))
+        if request.method == "POST":
+            if path == "/jobs":
+                return self._handle_submit(request, token)
+            if path == "/drain":
+                with self._lock:
+                    self._draining = True
+                self._fan_out(lambda client: client.drain())
+                return Response(
+                    202, {"draining": True, "protocol": protocol.PROTOCOL}
+                )
+            return Response(404, protocol.error_body(f"no such endpoint {path!r}"))
+        return Response(404, protocol.error_body(f"unsupported method {request.method}"))
+
+    def _on_parked_disconnect(self, token: Any) -> None:
+        with self._lock:
+            self.metrics.counter("svc.http.disconnects", volatile=True).inc()
+
+    def _defer(self, token: Any, task: Callable[[Any], None]):
+        """Park the connection and hand the slow work to a forwarder."""
+        assert self._forwarders is not None
+        self._forwarders.submit(lambda: task(token))
+        return DEFERRED
+
+    def _complete(self, token: Any, response: Response) -> None:
+        frontend = self._frontend
+        if frontend is not None:
+            frontend.complete(token, response)
+
+    def _count(self, name: str) -> None:
+        with self._lock:
+            self.metrics.counter(name, volatile=True).inc()
+
+    # ------------------------------------------------------------------
+    # Submission routing
+    # ------------------------------------------------------------------
+    def _handle_submit(self, request: Request, token: Any):
+        with self._lock:
+            if self._draining:
+                return Response(
+                    503, protocol.error_body("service is draining", draining=True)
+                )
+        try:
+            spec = JobSpec.from_json(protocol.loads(request.body)).validate()
+            idx = self.ring.lookup(routing_fingerprint(spec))
+        except (ValueError, JobValidationError, KeyError) as exc:
+            return Response(400, protocol.error_body(str(exc)))
+        self._count("svc.router.jobs.routed")
+        self._count(f"svc.router.peer.{idx}.jobs")
+        body = spec.to_json()
+
+        def task(tok: Any = token) -> None:
+            assert self._forwarders is not None
+            client = self._forwarders.client(idx)
+            try:
+                status, doc = client._request("POST", "/jobs", body=body)
+            except Exception as exc:  # noqa: BLE001 - any upstream failure → 502
+                self._count("svc.router.upstream_errors")
+                self._complete(
+                    tok,
+                    Response(
+                        502,
+                        protocol.error_body(
+                            f"upstream shard {self.peers[idx]} unreachable: {exc}"
+                        ),
+                    ),
+                )
+                return
+            self._count("svc.router.forwarded")
+            if status == 202 and "id" in doc:
+                doc["id"] = f"s{idx}:{doc['id']}"
+                self._complete(tok, Response(202, doc))
+                return
+            headers = None
+            if status == 503 and doc.get("retry_after") is not None:
+                headers = {"Retry-After": f"{float(doc['retry_after']):.3f}"}
+            self._complete(tok, Response(status, doc, headers=headers))
+
+        return self._defer(token, lambda tok: task(tok))
+
+    # ------------------------------------------------------------------
+    # Result forwarding (chunked upstream long-polls)
+    # ------------------------------------------------------------------
+    def _parse_routed_id(self, raw: str) -> Optional[Tuple[int, str]]:
+        """Split ``s<peer>:<id>`` (quoted or not) into its parts."""
+        job_id = urllib.parse.unquote(raw)
+        if not job_id.startswith("s"):
+            return None
+        head, sep, rest = job_id.partition(":")
+        if not sep or not rest:
+            return None
+        try:
+            idx = int(head[1:])
+        except ValueError:
+            return None
+        if not 0 <= idx < len(self.peers):
+            return None
+        return idx, rest
+
+    def _handle_get_job(self, request: Request, token: Any):
+        routed = self._parse_routed_id(request.path[len("/jobs/"):])
+        if routed is None:
+            return Response(
+                404,
+                protocol.error_body(
+                    "no such job (fleet ids look like 's<shard>:<job-id>')"
+                ),
+            )
+        idx, upstream_id = routed
+        wait, err = protocol.parse_wait(request.query)
+        if err is not None:
+            return Response(400, protocol.error_body(err))
+        deadline = None if wait is None else time.monotonic() + wait
+
+        def task(tok: Any = token) -> None:
+            assert self._forwarders is not None
+            client = self._forwarders.client(idx)
+            # A parked downstream conn that died is a wasted upstream
+            # poll — stop early (complete() on it is a no-op anyway).
+            if getattr(tok, "dead", False):
+                return
+            remaining = None if deadline is None else deadline - time.monotonic()
+            chunk = None
+            if remaining is not None and remaining > 0:
+                chunk = min(_POLL_CHUNK, remaining)
+            try:
+                status, doc = client.result_raw(upstream_id, wait=chunk)
+            except Exception as exc:  # noqa: BLE001 - any upstream failure → 502
+                self._count("svc.router.upstream_errors")
+                self._complete(
+                    tok,
+                    Response(
+                        502,
+                        protocol.error_body(
+                            f"upstream shard {self.peers[idx]} unreachable: {exc}"
+                        ),
+                    ),
+                )
+                return
+            self._count("svc.router.forwarded")
+            if status == 200 and "id" in doc:
+                doc["id"] = f"s{idx}:{doc['id']}"
+            terminal = doc.get("state") in ("done", "failed")
+            out_of_time = remaining is None or remaining - (chunk or 0.0) <= 0
+            if status != 200 or terminal or out_of_time:
+                self._complete(tok, Response(status, doc))
+                return
+            # Still running and wait budget left: re-enqueue so the
+            # forwarder thread is freed between chunks.
+            assert self._forwarders is not None
+            self._forwarders.submit(lambda: task(tok))
+
+        return self._defer(token, lambda tok: task(tok))
+
+    # ------------------------------------------------------------------
+    # Aggregated endpoints (run on a forwarder thread)
+    # ------------------------------------------------------------------
+    def _fan_out(self, call: Callable[[ReproClient], Any]) -> None:
+        """Run ``call`` against every peer on a forwarder thread."""
+        assert self._forwarders is not None
+
+        def task() -> None:
+            assert self._forwarders is not None
+            for idx in range(len(self.peers)):
+                try:
+                    call(self._forwarders.client(idx))
+                except Exception:  # noqa: BLE001 - best-effort broadcast
+                    self._count("svc.router.upstream_errors")
+
+        self._forwarders.submit(task)
+
+    def _health_task(self, token: Any) -> None:
+        assert self._forwarders is not None
+        shards = []
+        all_ok = True
+        for idx in range(len(self.peers)):
+            entry: Dict[str, Any] = {"url": self.peers[idx], "shard": idx}
+            try:
+                entry["health"] = self._forwarders.client(idx).health()
+                entry["ok"] = entry["health"].get("status") in ("ok", "draining")
+            except Exception as exc:  # noqa: BLE001 - a dead peer is reported, not raised
+                self._count("svc.router.upstream_errors")
+                entry["ok"] = False
+                entry["error"] = str(exc)
+            all_ok = all_ok and entry["ok"]
+            shards.append(entry)
+        with self._lock:
+            draining = self._draining
+        body = {
+            "status": "draining" if draining else ("ok" if all_ok else "degraded"),
+            "protocol": protocol.PROTOCOL,
+            "role": "router",
+            "shards": shards,
+        }
+        self._complete(token, Response(200, body))
+
+    def _list_task(self, token: Any) -> None:
+        assert self._forwarders is not None
+        jobs: List[Dict[str, Any]] = []
+        for idx in range(len(self.peers)):
+            try:
+                for rec in self._forwarders.client(idx).jobs():
+                    rec["id"] = f"s{idx}:{rec['id']}"
+                    jobs.append(rec)
+            except Exception:  # noqa: BLE001 - skip unreachable shards in listings
+                self._count("svc.router.upstream_errors")
+        self._complete(token, Response(200, {"jobs": jobs}))

@@ -1,45 +1,52 @@
-"""The reproduction daemon: HTTP front end, lifecycle, graceful drain.
+"""The reproduction daemon: async HTTP front end, lifecycle, drain.
 
 :class:`ReproService` wires the pieces together — a bounded
 :class:`~repro.svc.queue.BoundedJobQueue`, a
-:class:`~repro.svc.executor.JobExecutor`, a metrics registry
-(:mod:`repro.obs`) and a threaded stdlib HTTP server bound to loopback.
-The endpoint surface is small and documented in
-:mod:`repro.svc.protocol`; everything interesting lives in the
-lifecycle:
+:class:`~repro.svc.executor.JobExecutor` driving the pre-forked
+:class:`~repro.svc.pool.WorkerPool`, a metrics registry
+(:mod:`repro.obs`) and the selectors-based
+:class:`~repro.svc.http.AsyncHTTPFrontend`.  The endpoint surface is
+small and documented in :mod:`repro.svc.protocol`; everything
+interesting lives in the lifecycle:
 
 * **Admission** — ``POST /jobs`` validates the spec against the app
   registry, assigns an id, and enqueues; a full queue is answered with
   ``503`` + ``Retry-After`` (bounded backpressure, never unbounded
   buffering).
 * **Results** — ``GET /jobs/<id>`` returns the record, optionally
-  long-polling with ``?wait=SECONDS``; results stay readable after
+  long-polling with ``?wait=SECONDS``.  A long-poll *parks* the
+  connection in the event loop (no thread, no stack) until the job's
+  completion callback or the deadline timer fires — thousands of
+  waiting clients cost one loop thread.  Results stay readable after
   completion (a client that disconnected mid-wait just asks again — the
   job is never re-run).
 * **Graceful drain** — SIGTERM (installed by :func:`serve_forever`) or
   ``POST /drain`` closes the queue (new submissions refused with
   ``503 draining``), lets queued and running jobs finish, then stops
-  the executor and the HTTP listener.  Accepted work always completes.
+  the worker pool and the HTTP listener.  Accepted work always
+  completes.
 * **Introspection** — ``GET /health`` (status, queue depth, slot
   utilization) and ``GET /metrics`` (the full ``svc.*`` registry
-  snapshot: queue depth gauge, job latency histogram, worker
-  utilization) are what the smoke test and the throughput bench scrape.
+  snapshot incl. the ``svc.pool.*`` worker-pool and ``svc.http.*``
+  frontend families) are what the smoke test and the throughput bench
+  scrape.
 """
 
 from __future__ import annotations
 
 import collections
-import json
 import signal
 import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+import urllib.parse
 from typing import Any, Dict, Optional
 
 from repro.obs.metrics import MetricsRegistry
 
 from . import protocol
-from .executor import FaultHook, JobExecutor
+from .executor import JobExecutor
+from .http import DEFERRED, AsyncHTTPFrontend, Request, Response
 from .jobs import JobRecord, JobSpec, JobValidationError
+from .pool import FaultHook
 from .queue import BoundedJobQueue, QueueClosed, QueueFull
 
 __all__ = ["ServiceDraining", "ReproService", "serve_forever"]
@@ -50,105 +57,6 @@ _HISTORY_LIMIT = 1024
 
 class ServiceDraining(Exception):
     """Submission refused: the service is shutting down."""
-
-
-class _ServiceHTTPServer(ThreadingHTTPServer):
-    """Threading HTTP server carrying a reference to its service."""
-
-    daemon_threads = True
-    allow_reuse_address = True
-    service: "ReproService"
-
-
-class _Handler(BaseHTTPRequestHandler):
-    """Request handler: routes the ``repro.svc/1`` endpoint surface."""
-
-    server: _ServiceHTTPServer
-    protocol_version = "HTTP/1.1"
-
-    # -- plumbing -------------------------------------------------------
-    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        """Silence the default stderr access log (metrics cover it)."""
-
-    def _send(
-        self,
-        status: int,
-        body: Dict[str, Any],
-        headers: Optional[Dict[str, str]] = None,
-    ) -> None:
-        """Write one JSON response, tolerating a vanished client."""
-        payload = protocol.dumps(body)
-        try:
-            self.send_response(status)
-            self.send_header("Content-Type", protocol.CONTENT_TYPE)
-            self.send_header("Content-Length", str(len(payload)))
-            for key, value in (headers or {}).items():
-                self.send_header(key, value)
-            self.end_headers()
-            self.wfile.write(payload)
-        except (BrokenPipeError, ConnectionResetError):
-            self.server.service.note_disconnect()
-
-    def _read_body(self) -> Dict[str, Any]:
-        """Read and decode the request body (may raise ``ValueError``)."""
-        length = int(self.headers.get("Content-Length", "0"))
-        raw = self.rfile.read(length) if length else b""
-        return protocol.loads(raw)
-
-    # -- routes ---------------------------------------------------------
-    def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
-        """``/health``, ``/metrics``, ``/jobs``, ``/jobs/<id>``."""
-        svc = self.server.service
-        path, _, query = self.path.partition("?")
-        if path == "/health":
-            self._send(200, svc.health())
-        elif path == "/metrics":
-            self._send(200, svc.metrics.snapshot())
-        elif path == "/jobs":
-            self._send(200, {"jobs": svc.list_jobs()})
-        elif path.startswith("/jobs/"):
-            job_id = path[len("/jobs/"):]
-            record = svc.get_job(job_id)
-            if record is None:
-                self._send(404, protocol.error_body(f"no such job {job_id!r}"))
-                return
-            wait, err = protocol.parse_wait(query)
-            if err is not None:
-                self._send(400, protocol.error_body(err))
-                return
-            if wait is not None and not record.terminal:
-                record.wait(wait)
-            self._send(200, record.to_json())
-        else:
-            self._send(404, protocol.error_body(f"no such endpoint {path!r}"))
-
-    def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
-        """``/jobs`` (submit) and ``/drain``."""
-        svc = self.server.service
-        path = self.path.partition("?")[0]
-        if path == "/jobs":
-            try:
-                spec = JobSpec.from_json(self._read_body())
-                record = svc.submit(spec)
-            except (ValueError, JobValidationError) as exc:
-                self._send(400, protocol.error_body(str(exc)))
-            except QueueFull as exc:
-                self._send(
-                    503,
-                    protocol.error_body(str(exc), retry_after=exc.retry_after),
-                    headers={"Retry-After": f"{exc.retry_after:.3f}"},
-                )
-            except (QueueClosed, ServiceDraining):
-                self._send(
-                    503, protocol.error_body("service is draining", draining=True)
-                )
-            else:
-                self._send(202, record.to_json(include_result=False))
-        elif path == "/drain":
-            svc.begin_drain()
-            self._send(202, {"draining": True, "protocol": protocol.PROTOCOL})
-        else:
-            self._send(404, protocol.error_body(f"no such endpoint {path!r}"))
 
 
 class ReproService:
@@ -163,7 +71,8 @@ class ReproService:
     ``port=0`` (the default) binds an ephemeral port, read back from
     :attr:`port` — tests and the bench never fight over a fixed one.
     ``fault_hook`` is a picklable fault-injection callable forwarded to
-    the executor's job children (tests only).
+    the executor's pool workers (tests only).  ``worker_max_jobs``
+    bounds how many jobs one pool worker serves before being recycled.
     """
 
     def __init__(
@@ -177,6 +86,7 @@ class ReproService:
         max_job_retries: int = 1,
         fault_hook: Optional[FaultHook] = None,
         cache_dir: Optional[str] = None,
+        worker_max_jobs: int = 256,
     ) -> None:
         self.host = host
         self.requested_port = port
@@ -197,6 +107,7 @@ class ReproService:
             max_job_retries=max_job_retries,
             fault_hook=fault_hook,
             cache=self.cache,
+            worker_max_jobs=worker_max_jobs,
         )
         self.queue._retry_hint = self.executor.retry_hint
         self._jobs: "collections.OrderedDict[str, JobRecord]" = collections.OrderedDict()
@@ -204,46 +115,130 @@ class ReproService:
         self._lock = threading.Lock()
         self._draining = False
         self._drained = threading.Event()
-        self._httpd: Optional[_ServiceHTTPServer] = None
-        self._http_thread: Optional[threading.Thread] = None
+        self._frontend: Optional[AsyncHTTPFrontend] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "ReproService":
-        """Bind the socket, start the executor and the HTTP thread."""
-        self._httpd = _ServiceHTTPServer((self.host, self.requested_port), _Handler)
-        self._httpd.service = self
+        """Fork the worker pool, then bind the async frontend.
+
+        Pool workers are forked *before* the event-loop thread exists so
+        every worker starts from a quiet, single-threaded image.
+        """
         self.executor.start()
-        self._http_thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            kwargs={"poll_interval": 0.05},
+        self._frontend = AsyncHTTPFrontend(
+            self._handle,
+            self.host,
+            self.requested_port,
+            metrics=self.metrics,
+            on_disconnect=self._on_parked_disconnect,
             name="svc-http",
-            daemon=True,
-        )
-        self._http_thread.start()
+        ).start()
         return self
 
     @property
     def port(self) -> int:
         """The bound TCP port (after :meth:`start`)."""
-        assert self._httpd is not None, "service not started"
-        return self._httpd.server_address[1]
+        assert self._frontend is not None, "service not started"
+        return self._frontend.port
 
     @property
     def address(self) -> str:
         """Base URL clients should use."""
         return f"http://{self.host}:{self.port}"
 
+    def describe(self) -> str:
+        """One-line banner for ``repro serve``."""
+        return (
+            f"repro.svc listening on {self.address} "
+            f"(pool={self.executor.slots} workers, queue={self.queue.maxsize})"
+        )
+
     def __enter__(self) -> "ReproService":
         """Context-manager entry: starts the service if not yet started."""
-        if self._httpd is None:
+        if self._frontend is None:
             self.start()
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
         """Context-manager exit: hard close."""
         self.close()
+
+    # ------------------------------------------------------------------
+    # HTTP handling (event-loop thread)
+    # ------------------------------------------------------------------
+    def _handle(self, request: Request, token: Any):
+        """Route one request; returns a Response or parks a long-poll."""
+        path = request.path
+        if request.method == "GET":
+            if path == "/health":
+                return Response(200, self.health())
+            if path == "/metrics":
+                return Response(200, self.metrics.snapshot())
+            if path == "/jobs":
+                return Response(200, {"jobs": self.list_jobs()})
+            if path.startswith("/jobs/"):
+                return self._handle_get_job(request, token)
+            return Response(404, protocol.error_body(f"no such endpoint {path!r}"))
+        if request.method == "POST":
+            if path == "/jobs":
+                return self._handle_submit(request)
+            if path == "/drain":
+                self.begin_drain()
+                return Response(
+                    202, {"draining": True, "protocol": protocol.PROTOCOL}
+                )
+            return Response(404, protocol.error_body(f"no such endpoint {path!r}"))
+        return Response(404, protocol.error_body(f"unsupported method {request.method}"))
+
+    def _handle_get_job(self, request: Request, token: Any):
+        job_id = urllib.parse.unquote(request.path[len("/jobs/"):])
+        record = self.get_job(job_id)
+        if record is None:
+            return Response(404, protocol.error_body(f"no such job {job_id!r}"))
+        wait, err = protocol.parse_wait(request.query)
+        if err is not None:
+            return Response(400, protocol.error_body(err))
+        if wait is None or record.terminal:
+            return Response(200, record.to_json())
+        # Long-poll: park the connection; respond on completion or
+        # deadline, whichever fires first (both marshal onto the loop,
+        # and complete() on an already-answered conn is a no-op).
+        frontend = self._frontend
+        assert frontend is not None
+        timer = frontend.call_later(
+            wait, lambda: frontend.complete(token, Response(200, record.to_json()))
+        )
+
+        def on_terminal() -> None:
+            frontend.schedule(timer.cancel)
+            frontend.complete(token, Response(200, record.to_json()))
+
+        record.subscribe(on_terminal)
+        return DEFERRED
+
+    def _handle_submit(self, request: Request) -> Response:
+        try:
+            spec = JobSpec.from_json(protocol.loads(request.body))
+            record = self.submit(spec)
+        except (ValueError, JobValidationError) as exc:
+            return Response(400, protocol.error_body(str(exc)))
+        except QueueFull as exc:
+            return Response(
+                503,
+                protocol.error_body(str(exc), retry_after=exc.retry_after),
+                headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            )
+        except (QueueClosed, ServiceDraining):
+            return Response(
+                503, protocol.error_body("service is draining", draining=True)
+            )
+        return Response(202, record.to_json(include_result=False))
+
+    def _on_parked_disconnect(self, token: Any) -> None:
+        """A long-polling client vanished before its response."""
+        self.note_disconnect()
 
     # ------------------------------------------------------------------
     # Job admission and lookup
@@ -343,12 +338,9 @@ class ReproService:
         return self._drained.wait(timeout)
 
     def _stop_http(self) -> None:
-        """Stop the listener thread and release the socket."""
-        if self._httpd is not None:
-            self._httpd.shutdown()
-            self._httpd.server_close()
-        if self._http_thread is not None:
-            self._http_thread.join(timeout=5)
+        """Stop the event loop and release the socket."""
+        if self._frontend is not None:
+            self._frontend.stop()
 
     def close(self) -> None:
         """Hard stop: kill running jobs, stop threads, free the port."""
@@ -361,17 +353,20 @@ class ReproService:
 
 
 def serve_forever(
-    service: ReproService,
+    service: Any,
     *,
     port_file: Optional[str] = None,
     quiet: bool = False,
 ) -> int:
     """Run a started service until SIGTERM/SIGINT, then drain gracefully.
 
-    This is the body of ``repro serve``: it installs the signal
-    handlers, optionally writes the bound port to ``port_file`` (how the
-    smoke test finds an ephemerally-bound daemon), and blocks.  Returns
-    0 after a clean drain.
+    This is the body of ``repro serve`` and ``repro route``: it installs
+    the signal handlers, optionally writes the bound port to
+    ``port_file`` (how the smoke test finds an ephemerally-bound
+    daemon), and blocks.  ``service`` is anything with ``port`` /
+    ``describe()`` / ``drain()`` / ``close()`` — a
+    :class:`ReproService` or a :class:`~repro.svc.router.FleetRouter`.
+    Returns 0 after a clean drain.
     """
     stop = threading.Event()
 
@@ -385,8 +380,7 @@ def serve_forever(
         with open(port_file, "w", encoding="utf-8") as fh:
             fh.write(f"{service.port}\n")
     if not quiet:
-        print(f"repro.svc listening on {service.address} "
-              f"(slots={service.executor.slots}, queue={service.queue.maxsize})")
+        print(service.describe())
         print("send SIGTERM (or POST /drain) for a graceful drain")
     try:
         stop.wait()

@@ -1,10 +1,12 @@
-"""Bounded queue semantics: FIFO, backpressure, drain."""
+"""Bounded queue semantics: FIFO, backpressure, drain, concurrency."""
 
 import threading
+import time
 
 import pytest
 
 from repro.obs.metrics import MetricsRegistry
+from repro.svc.executor import JobExecutor
 from repro.svc.jobs import JobRecord, JobSpec
 from repro.svc.queue import BoundedJobQueue, QueueClosed, QueueFull
 
@@ -87,3 +89,134 @@ class TestBoundedJobQueue:
     def test_bad_maxsize_rejected(self):
         with pytest.raises(ValueError):
             BoundedJobQueue(0)
+
+
+class TestConcurrentSubmitters:
+    def test_per_submitter_admission_order_is_preserved(self):
+        """Many threads race put(); each thread's records stay FIFO.
+
+        The queue serialises admissions under one lock, so whatever
+        global interleaving the race produces, the per-producer order —
+        the property clients observe — must survive.
+        """
+        producers, per_thread = 8, 25
+        q = BoundedJobQueue(producers * per_thread)
+        barrier = threading.Barrier(producers)
+
+        def produce(tid):
+            barrier.wait()
+            for seq in range(per_thread):
+                q.put(_record(tid * 1000 + seq))
+
+        threads = [
+            threading.Thread(target=produce, args=(tid,)) for tid in range(producers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        drained = []
+        while (rec := q.get(timeout=0.1)) is not None:
+            drained.append(rec.id)
+        assert len(drained) == producers * per_thread
+        for tid in range(producers):
+            mine = [i for i in drained if i.startswith(f"job-00{tid}")]
+            assert mine == sorted(mine)
+
+    def test_overloaded_queue_rejects_every_excess_submitter(self):
+        """Sustained overload: exactly capacity admissions, rest rejected
+        with positive, finite Retry-After hints."""
+        reg = MetricsRegistry()
+        q = BoundedJobQueue(4, metrics=reg)
+        admitted, rejected, hints = [], [], []
+        lock = threading.Lock()
+        barrier = threading.Barrier(16)
+
+        def submit(i):
+            barrier.wait()
+            try:
+                q.put(_record(i))
+                with lock:
+                    admitted.append(i)
+            except QueueFull as exc:
+                with lock:
+                    rejected.append(i)
+                    hints.append(exc.retry_after)
+
+        threads = [threading.Thread(target=submit, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(admitted) == 4
+        assert len(rejected) == 12
+        assert all(0 < h <= 30.0 for h in hints)
+        assert reg.counter("svc.queue.rejected", volatile=True).value == 12
+
+    def test_retry_hints_grow_monotonically_with_the_latency_ema(self):
+        """Under sustained overload the executor's EMA tracks rising job
+        latencies, so successive Retry-After hints never shrink while
+        latencies climb — clients back off harder, not softer."""
+        q = BoundedJobQueue(4)
+        ex = JobExecutor(q, MetricsRegistry(), slots=2)
+        hints = []
+        for latency in (0.2, 0.5, 1.0, 2.0, 4.0):
+            rec = _record(0)
+            rec.submitted_at = time.monotonic() - latency
+            ex._note_done(rec, failed=False)
+            hints.append(ex.retry_hint())
+        assert hints == sorted(hints)
+        assert hints[-1] > hints[0]
+        assert all(0 < h <= 30.0 for h in hints)
+
+    def test_close_while_full(self):
+        """Closing a full queue: puts flip from QueueFull to QueueClosed,
+        the backlog drains in order, then getters see the exit signal."""
+        q = BoundedJobQueue(3)
+        for i in range(3):
+            q.put(_record(i))
+        with pytest.raises(QueueFull):
+            q.put(_record(3))
+        q.close()
+        with pytest.raises(QueueClosed):  # closed now wins over full
+            q.put(_record(4))
+        assert [q.get(timeout=0.1).id for _ in range(3)] == [
+            "job-000000", "job-000001", "job-000002",
+        ]
+        assert q.get(timeout=0.1) is None
+
+    def test_concurrent_close_while_submitters_race(self):
+        """close() during a submission storm: every put() resolves to
+        admitted, QueueFull, or QueueClosed — never a hang or a leak —
+        and the drained backlog matches the admissions exactly."""
+        q = BoundedJobQueue(8)
+        outcomes = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(12 + 1)
+
+        def submit(i):
+            barrier.wait()
+            try:
+                q.put(_record(i))
+                with lock:
+                    outcomes.append("ok")
+            except QueueFull:
+                with lock:
+                    outcomes.append("full")
+            except QueueClosed:
+                with lock:
+                    outcomes.append("closed")
+
+        threads = [threading.Thread(target=submit, args=(i,)) for i in range(12)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        q.close()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(outcomes) == 12
+        admitted = outcomes.count("ok")
+        drained = 0
+        while q.get(timeout=0.1) is not None:
+            drained += 1
+        assert drained == admitted <= 8

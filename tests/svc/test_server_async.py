@@ -1,0 +1,206 @@
+"""Async frontend semantics: keep-alive, pipelining, mass long-polls.
+
+These tests poke the event loop with raw sockets — the concurrency
+properties under test (many parked connections, pipelined requests, a
+single reused socket) are exactly what an HTTP client library would
+paper over.
+"""
+
+import os
+import socket
+import time
+
+import pytest
+
+from repro.svc import JobSpec, ReproClient, ReproService
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork") and not hasattr(os, "posix_spawn"),
+    reason="service tests need a POSIX process model",
+)
+
+
+def _slow_hook(spec, attempt):
+    """Fault hook: stretch every job to ~1s (module-level, picklable)."""
+    time.sleep(1.0)
+
+
+def _recv_response(sock_file):
+    """Read one HTTP/1.1 response off a socket file; returns (status, body)."""
+    status_line = sock_file.readline().decode("latin-1")
+    status = int(status_line.split(" ")[1])
+    length = 0
+    while True:
+        line = sock_file.readline().decode("latin-1").strip()
+        if not line:
+            break
+        key, _, value = line.partition(":")
+        if key.strip().lower() == "content-length":
+            length = int(value)
+    return status, sock_file.read(length)
+
+
+@pytest.fixture()
+def service():
+    svc = ReproService(slots=2, queue_size=8).start()
+    yield svc
+    svc.close()
+
+
+class TestKeepAlive:
+    def test_connection_reused_across_requests(self, service):
+        sock = socket.create_connection((service.host, service.port), timeout=5)
+        try:
+            f = sock.makefile("rb")
+            for _ in range(3):
+                sock.sendall(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n")
+                status, body = _recv_response(f)
+                assert status == 200
+                assert b'"status": "ok"' in body
+        finally:
+            sock.close()
+
+    def test_pipelined_requests_served_in_order(self, service):
+        sock = socket.create_connection((service.host, service.port), timeout=5)
+        try:
+            # Two requests in one write: the loop must answer both, in order.
+            sock.sendall(
+                b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n"
+                b"GET /jobs HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            f = sock.makefile("rb")
+            status1, body1 = _recv_response(f)
+            status2, body2 = _recv_response(f)
+            assert (status1, status2) == (200, 200)
+            assert b'"status"' in body1 and b'"jobs"' in body2
+        finally:
+            sock.close()
+
+    def test_connection_close_honored(self, service):
+        sock = socket.create_connection((service.host, service.port), timeout=5)
+        try:
+            sock.sendall(
+                b"GET /health HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+            )
+            f = sock.makefile("rb")
+            status, _body = _recv_response(f)
+            assert status == 200
+            assert f.read() == b""  # server closed after the response
+        finally:
+            sock.close()
+
+    def test_client_reuses_and_reconnects_transparently(self, service):
+        client = ReproClient(service.address)
+        client.health()
+        conn = client._conn
+        assert conn is not None  # keep-alive connection cached
+        client.health()
+        assert client._conn is conn  # ... and reused
+        # Stale socket: the next request must reconnect and succeed.
+        conn.sock.shutdown(socket.SHUT_RDWR)
+        assert client.health()["status"] == "ok"
+        assert client._conn is not conn
+        client.close()
+
+
+class TestMalformedRequests:
+    def test_bad_request_line_400(self, service):
+        sock = socket.create_connection((service.host, service.port), timeout=5)
+        try:
+            sock.sendall(b"NONSENSE\r\n\r\n")
+            status, _ = _recv_response(sock.makefile("rb"))
+            assert status == 400
+        finally:
+            sock.close()
+
+    def test_oversized_headers_413(self, service):
+        sock = socket.create_connection((service.host, service.port), timeout=5)
+        try:
+            # Just past the 64 KiB cap: the server drains everything we
+            # sent before erroring, so the close is a clean FIN and the
+            # 413 is reliably readable (no RST from unread bytes).
+            sock.sendall(b"GET / HTTP/1.1\r\nX-Junk: " + b"a" * 66_000)
+            status, _ = _recv_response(sock.makefile("rb"))
+            assert status == 413
+        finally:
+            sock.close()
+
+
+class TestMassLongPolls:
+    def test_many_parked_connections_on_one_job(self):
+        """64 clients long-poll one slow job; all wake on completion.
+
+        Under the old thread-per-connection frontend this cost 64
+        blocked threads; the event loop parks them all and completes
+        them from the job's subscriber callback.
+        """
+        svc = ReproService(slots=1, queue_size=8, fault_hook=_slow_hook).start()
+        try:
+            client = ReproClient(svc.address)
+            job_id = client.submit(
+                JobSpec(app="figure4", bug="error1", trials=1, timeout=0.2)
+            )
+            socks = []
+            req = (
+                f"GET /jobs/{job_id}?wait=30 HTTP/1.1\r\nHost: x\r\n\r\n"
+            ).encode()
+            for _ in range(64):
+                s = socket.create_connection((svc.host, svc.port), timeout=60)
+                s.sendall(req)
+                socks.append(s)
+            # All 64 are parked now; the job finishes ~1s in and every
+            # waiter gets the same terminal record.
+            done = 0
+            for s in socks:
+                status, body = _recv_response(s.makefile("rb"))
+                assert status == 200
+                assert b'"state": "done"' in body
+                done += 1
+                s.close()
+            assert done == 64
+        finally:
+            svc.close()
+
+    def test_disconnected_waiter_is_counted_and_job_survives(self):
+        svc = ReproService(slots=1, queue_size=8, fault_hook=_slow_hook).start()
+        try:
+            client = ReproClient(svc.address)
+            job_id = client.submit(
+                JobSpec(app="figure4", bug="error1", trials=2, timeout=0.2)
+            )
+            # The slow hook holds the job ~1s, so this waiter really parks.
+            s = socket.create_connection((svc.host, svc.port), timeout=5)
+            s.sendall(
+                f"GET /jobs/{job_id}?wait=30 HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+            )
+            time.sleep(0.2)  # let the loop park the connection
+            s.close()  # vanish mid-wait
+            record = client.wait(job_id, timeout=60)
+            assert record["state"] == "done"
+            deadline = time.monotonic() + 5
+            snap = {}
+            while time.monotonic() < deadline:
+                snap = client.metrics()
+                if snap.get("svc.http.disconnects", {}).get("value", 0) >= 1:
+                    break
+                time.sleep(0.05)
+            assert snap["svc.http.disconnects"]["value"] >= 1
+        finally:
+            svc.close()
+
+    def test_long_poll_timeout_returns_nonterminal_record(self):
+        svc = ReproService(slots=1, queue_size=8, fault_hook=_slow_hook).start()
+        try:
+            client = ReproClient(svc.address)
+            job_id = client.submit(
+                JobSpec(app="figure4", bug="error1", trials=1, timeout=0.2)
+            )
+            t0 = time.monotonic()
+            record = client.result(job_id, wait=0.2)
+            elapsed = time.monotonic() - t0
+            assert record["state"] in ("queued", "running")
+            assert elapsed < 1.0  # the timer fired, not the job
+            final = client.wait(job_id, timeout=60)
+            assert final["state"] == "done"
+        finally:
+            svc.close()

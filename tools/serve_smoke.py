@@ -1,19 +1,32 @@
 #!/usr/bin/env python3
 """End-to-end smoke test of the reproduction service, as CI runs it.
 
-Exercises the daemon exactly the way an operator would: start
-``python -m repro serve`` as a subprocess on an ephemeral port, submit
-one trial job through the CLI client, scrape ``/metrics`` for the
-operational surface (queue depth gauge, job latency histogram), send
-SIGTERM, and assert the drain is clean (exit code 0, port released).
+Two modes, selected by ``--fleet``:
+
+**Single daemon** (default) exercises the daemon exactly the way an
+operator would: start ``python -m repro serve`` as a subprocess on an
+ephemeral port, submit one trial job through the CLI client, scrape
+``/metrics`` for the operational surface (queue depth gauge, job
+latency histogram), send SIGTERM, and assert the drain is clean (exit
+code 0, port released).
+
+**Fleet** boots two cache-backed daemons plus the consistent-hash
+router (``python -m repro route``) as three separate processes, routes
+a mixed batch of run/explore/infer jobs through the router, and
+asserts every cross-shard result equals the direct in-process library
+call — the differential contract, held across process and shard
+boundaries.  A warm resubmit must be served from the owning shard's
+cache (``cache.hit``), and a SIGTERM to the router must drain the
+whole fleet cleanly.
 
 Usage::
 
-    PYTHONPATH=src python tools/serve_smoke.py
+    PYTHONPATH=src python tools/serve_smoke.py [--fleet]
 
 Exits 0 on success, 1 with a diagnostic on any failure.
 """
 
+import argparse
 import json
 import os
 import signal
@@ -28,43 +41,70 @@ REPO = Path(__file__).resolve().parent.parent
 TIMEOUT = 90.0
 
 
-def fail(msg, proc=None):
+def fail(msg, *procs):
     """Print a diagnostic (plus daemon output, if any) and exit 1."""
     print(f"serve-smoke FAIL: {msg}", file=sys.stderr)
-    if proc is not None:
+    for proc in procs:
+        if proc is None:
+            continue
         proc.kill()
         out, _ = proc.communicate(timeout=10)
-        print(f"daemon output:\n{out}", file=sys.stderr)
+        print(f"--- output of pid {proc.pid} ---\n{out}", file=sys.stderr)
     sys.exit(1)
 
 
-def main():
-    """Run the smoke sequence; exits via sys.exit."""
+def _env():
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src")
+    return env
 
+
+def _spawn(argv):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO, env=_env(), text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+
+
+def _await_port(port_file, proc, *others):
+    """Block until ``proc`` writes its bound port; returns a base URL."""
+    deadline = time.monotonic() + TIMEOUT
+    while not port_file.exists() or not port_file.read_text().strip():
+        if proc.poll() is not None or time.monotonic() > deadline:
+            fail("daemon did not come up", proc, *others)
+        time.sleep(0.05)
+    return f"http://127.0.0.1:{int(port_file.read_text())}"
+
+
+def _terminate_clean(proc, name, *others):
+    """SIGTERM ``proc`` and assert a clean drain (rc 0, 'drained')."""
+    proc.send_signal(signal.SIGTERM)
+    try:
+        out, _ = proc.communicate(timeout=TIMEOUT)
+    except subprocess.TimeoutExpired:
+        fail(f"{name} did not drain within the timeout", proc, *others)
+    if proc.returncode != 0:
+        fail(f"{name} exited rc={proc.returncode}:\n{out}", *others)
+    if "drained" not in out:
+        fail(f"no drain confirmation in {name} output:\n{out}", *others)
+    print(f"{name}: SIGTERM drain clean (rc=0)")
+
+
+def single_smoke():
+    """The original single-daemon sequence."""
     with tempfile.TemporaryDirectory() as tmp:
         port_file = Path(tmp) / "svc.port"
-        daemon = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", "--port", "0",
-             "--slots", "2", "--port-file", str(port_file)],
-            cwd=REPO, env=env, text=True,
-            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
-        )
+        daemon = _spawn(["serve", "--port", "0", "--slots", "2",
+                         "--port-file", str(port_file)])
         try:
-            deadline = time.monotonic() + TIMEOUT
-            while not port_file.exists():
-                if daemon.poll() is not None or time.monotonic() > deadline:
-                    fail("daemon did not come up", daemon)
-                time.sleep(0.05)
-            port = int(port_file.read_text())
-            base = f"http://127.0.0.1:{port}"
+            base = _await_port(port_file, daemon)
             print(f"daemon up on {base}")
 
             submit = subprocess.run(
                 [sys.executable, "-m", "repro", "submit", "figure4", "error1",
                  "--trials", "5", "--timeout", "0.2", "--server", base],
-                cwd=REPO, env=env, text=True, capture_output=True,
+                cwd=REPO, env=_env(), text=True, capture_output=True,
                 timeout=TIMEOUT,
             )
             if submit.returncode != 0:
@@ -86,22 +126,127 @@ def main():
                 fail("completion counter recorded nothing", daemon)
             print("metrics OK: queue depth gauge + latency histogram present")
 
-            daemon.send_signal(signal.SIGTERM)
-            try:
-                out, _ = daemon.communicate(timeout=TIMEOUT)
-            except subprocess.TimeoutExpired:
-                fail("daemon did not drain within the timeout", daemon)
-            if daemon.returncode != 0:
-                fail(f"daemon exited rc={daemon.returncode}:\n{out}")
-            if "drained" not in out:
-                fail(f"no drain confirmation in daemon output:\n{out}")
-            print("SIGTERM drain clean (rc=0)")
+            _terminate_clean(daemon, "daemon")
         finally:
             if daemon.poll() is None:
                 daemon.kill()
 
     print("serve-smoke OK")
     sys.exit(0)
+
+
+def fleet_smoke():
+    """Two shards + router: mixed jobs, cross-shard differential, drain."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.apps import get_app
+    from repro.harness import explore_summary, run_trials
+    from repro.infer import infer_app
+    from repro.svc import ReproClient
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        shards, procs = [], []
+        try:
+            for i in range(2):
+                pf = tmp / f"shard{i}.port"
+                proc = _spawn([
+                    "serve", "--port", "0", "--slots", "2",
+                    "--port-file", str(pf),
+                    "--cache-dir", str(tmp / f"cache{i}"),
+                ])
+                procs.append(proc)
+                shards.append(_await_port(pf, proc, *procs[:-1]))
+            router_pf = tmp / "router.port"
+            router_proc = _spawn([
+                "route", "--peers", *shards,
+                "--port", "0", "--port-file", str(router_pf),
+            ])
+            procs.append(router_proc)
+            base = _await_port(router_pf, router_proc, *procs[:-1])
+            print(f"fleet up: router {base} -> shards {', '.join(shards)}")
+
+            client = ReproClient(base)
+            health = client.health()
+            if health.get("role") != "router" or health.get("status") != "ok":
+                fail(f"router health not ok: {health}", *procs)
+            if not all(s.get("ok") for s in health.get("shards", [])):
+                fail(f"unhealthy shard in {health['shards']}", *procs)
+            print("router health OK (2 shards reachable)")
+
+            # Operator path: the stock CLI submits through the router.
+            submit = subprocess.run(
+                [sys.executable, "-m", "repro", "submit", "figure4", "error1",
+                 "--trials", "5", "--timeout", "0.2", "--server", base],
+                cwd=REPO, env=_env(), text=True, capture_output=True,
+                timeout=TIMEOUT,
+            )
+            if submit.returncode != 0 or "reproduced 5/5" not in submit.stdout:
+                fail(f"CLI submit through router rc={submit.returncode}:\n"
+                     f"{submit.stdout}{submit.stderr}", *procs)
+            print("CLI submit through router: reproduced 5/5")
+
+            # Mixed job batch, each checked against the direct in-process
+            # call — the fleet is a transport, not a semantics.
+            remote_trials = client.run_trials("figure4", bug="error1", n=5,
+                                              timeout=0.2)
+            direct_trials = run_trials(get_app("figure4"), n=5, bug="error1",
+                                       timeout=0.2)
+            if remote_trials != direct_trials:
+                fail("routed trials result differs from direct call", *procs)
+
+            remote_explore = client.explore("figure4", "error1",
+                                            max_schedules=50)
+            direct_explore = explore_summary("figure4", "error1",
+                                             max_schedules=50).to_wire()
+            if remote_explore != direct_explore:
+                fail("routed explore result differs from direct call", *procs)
+
+            remote_infer = client.infer("bank", trials=10, timeout=0.2)
+            direct_infer = infer_app("bank", trials=10, timeout=0.2)
+            if remote_infer.to_wire() != direct_infer.to_wire():
+                fail("routed infer result differs from direct call", *procs)
+            print("mixed run/explore/infer results == direct in-process calls")
+
+            # Every fleet id names its shard; the second identical trials
+            # submission above was a warm hit on the owning shard's cache.
+            if not all(j["id"].startswith("s") for j in client.jobs()):
+                fail("fleet job ids are not shard-prefixed", *procs)
+            snap = client.metrics()
+            routed = snap.get("svc.router.jobs.routed", {}).get("value", 0)
+            if routed < 4:
+                fail(f"router routed {routed} jobs, expected >= 4", *procs)
+            hits = 0
+            for url in shards:
+                with urllib.request.urlopen(f"{url}/metrics", timeout=10) as r:
+                    hits += json.load(r).get("cache.hit", {}).get("value", 0)
+            if hits < 1:
+                fail("warm resubmit was not served from a shard cache", *procs)
+            print(f"shard caches OK ({hits} warm hit(s)); "
+                  f"{routed} jobs routed")
+
+            # SIGTERM to the router drains it; each shard then drains on
+            # its own SIGTERM (fast: its queue is already closed).
+            _terminate_clean(router_proc, "router", *procs[:-1])
+            for i, proc in enumerate(procs[:-1]):
+                _terminate_clean(proc, f"shard{i}")
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+
+    print("serve-smoke (fleet) OK")
+    sys.exit(0)
+
+
+def main():
+    """Run the smoke sequence; exits via sys.exit."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fleet", action="store_true",
+                        help="smoke two shards + the consistent-hash router")
+    args = parser.parse_args()
+    if args.fleet:
+        fleet_smoke()
+    single_smoke()
 
 
 if __name__ == "__main__":
