@@ -19,10 +19,12 @@ The client keeps **one persistent keep-alive connection** to the
 service (the async frontend holds it open across requests), so a
 submit/poll/poll/... sequence pays one TCP handshake, not one per
 request — the difference shows up in the throughput bench's client
-micro-section.  A request that fails on a *reused* socket (the server
+micro-section.  A *GET* that fails on a reused socket (the server
 restarted, the connection idled out) is transparently retried exactly
-once on a fresh connection — a stale socket cannot have delivered the
-request, so the retry is safe; a fresh connection failing propagates.
+once on a fresh connection — GETs are idempotent, so the retry is safe
+even if the server had processed the original.  Non-idempotent
+requests (``POST /jobs``) are never auto-retried: the failure may have
+struck after the job was accepted, and a replay would submit it twice.
 A client that disconnects mid-wait still loses nothing: results live on
 the server until evicted and ``wait`` simply re-polls.  One client
 instance drives one connection and is **not thread-safe** — give each
@@ -139,11 +141,14 @@ class ReproClient:
     ) -> tuple:
         """One request/response cycle; returns ``(status, doc)``.
 
-        Reuses the cached keep-alive connection when one exists.  If the
-        attempt on a *reused* socket fails before a response arrives, the
-        socket was stale (closed server-side since the last request) and
-        the request never reached the service — retry exactly once on a
-        fresh connection.  A fresh connection failing propagates.
+        Reuses the cached keep-alive connection when one exists.  If a
+        *GET* on a *reused* socket fails, retry exactly once on a fresh
+        connection — GETs are idempotent, so even a request the server
+        did process (the failure hit while reading the response, not
+        the stale socket) is safe to replay.  Non-GET failures always
+        propagate: retrying a ``POST /jobs`` whose response was lost
+        would double-submit the job.  A fresh connection failing also
+        propagates.
         """
         budget = timeout if timeout is not None else self.timeout
         payload = protocol.dumps(body) if body is not None else None
@@ -156,7 +161,7 @@ class ReproClient:
             resp, raw = self._once(conn, method, path, payload, headers, budget)
         except (http.client.HTTPException, OSError):
             conn.close()
-            if not reused:
+            if not reused or method != "GET":
                 raise
             conn = self._connect(budget)
             try:

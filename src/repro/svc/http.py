@@ -127,11 +127,32 @@ class _Timer:
         return self.when < other.when
 
 
+class _ParkToken:
+    """Identity of one deferred request on one connection.
+
+    :meth:`AsyncHTTPFrontend.complete` matches on this token, never on
+    the connection, so a stale callback left over from an earlier
+    long-poll round can never deliver its response to a *later* request
+    riding the same keep-alive socket.
+    """
+
+    __slots__ = ("conn", "answered")
+
+    def __init__(self, conn: "_Conn") -> None:
+        self.conn = conn
+        self.answered = False
+
+    @property
+    def dead(self) -> bool:
+        """True once this request can no longer receive a response."""
+        return self.answered or self.conn.dead
+
+
 class _Conn:
     """Per-connection state: buffers + incremental request parser."""
 
     __slots__ = (
-        "sock", "rbuf", "wbuf", "parked", "closing", "dead",
+        "sock", "rbuf", "wbuf", "park", "closing", "dead", "pumping",
         "_need_body", "_headers", "_reqline", "want_write",
     )
 
@@ -139,12 +160,15 @@ class _Conn:
         self.sock = sock
         self.rbuf = bytearray()
         self.wbuf = bytearray()
-        #: A handler deferred the response; the conn waits for complete().
-        self.parked = False
+        #: A handler deferred the response; the conn waits for a
+        #: complete() carrying exactly this token.
+        self.park: Optional[_ParkToken] = None
         #: Close once the write buffer drains.
         self.closing = False
         #: The socket is gone; every further operation is a no-op.
         self.dead = False
+        #: _pump_requests re-entrancy guard (see that method).
+        self.pumping = False
         self._need_body: Optional[int] = None
         self._headers: Optional[Dict[str, str]] = None
         self._reqline: Optional[Tuple[str, str, str]] = None
@@ -294,9 +318,12 @@ class AsyncHTTPFrontend:
     def complete(self, token: Any, response: Response) -> None:
         """Deliver the response of a previously deferred request.
 
-        Callable from any thread.  A token whose connection already
-        vanished (client disconnect, shutdown) is silently dropped — the
-        job result itself lives on the service, never on the socket.
+        Callable from any thread.  Matching is by the per-request
+        token, so a token that was already answered (deadline raced
+        completion) or whose connection vanished (client disconnect,
+        shutdown) is silently dropped — it can never answer a later
+        request on the same socket.  The job result itself lives on the
+        service, never on the socket.
         """
         self.schedule(lambda: self._complete_on_loop(token, response))
 
@@ -310,10 +337,13 @@ class AsyncHTTPFrontend:
         return timer
 
     def _complete_on_loop(self, token: Any, response: Response) -> None:
-        conn = token
-        if not isinstance(conn, _Conn) or conn.dead or not conn.parked:
+        if not isinstance(token, _ParkToken) or token.dead:
             return
-        conn.parked = False
+        conn = token.conn
+        if conn.park is not token:
+            return
+        token.answered = True
+        conn.park = None
         self._send_response(conn, response)
 
     # ------------------------------------------------------------------
@@ -342,10 +372,13 @@ class AsyncHTTPFrontend:
                         pass
                 else:
                     conn: _Conn = key.data
-                    if mask & selectors.EVENT_WRITE:
-                        self._flush(conn)
-                    if mask & selectors.EVENT_READ and not conn.dead:
-                        self._read(conn)
+                    try:
+                        if mask & selectors.EVENT_WRITE:
+                            self._flush(conn)
+                        if mask & selectors.EVENT_READ and not conn.dead:
+                            self._read(conn)
+                    except Exception:  # noqa: BLE001 - one broken conn must not kill the loop
+                        self._close_conn(conn)
             while True:
                 with self._pending_lock:
                     if not self._pending:
@@ -410,8 +443,8 @@ class AsyncHTTPFrontend:
         if conn.dead:
             return
         conn.dead = True
-        was_parked = conn.parked
-        conn.parked = False
+        parked_token = conn.park
+        conn.park = None
         try:
             self._selector.unregister(conn.sock)  # type: ignore[union-attr]
         except (KeyError, ValueError):
@@ -425,9 +458,9 @@ class AsyncHTTPFrontend:
             self._metrics.gauge("svc.http.connections", volatile=True).set(
                 len(self._conns)
             )
-        if notify and was_parked and self._on_disconnect is not None:
+        if notify and parked_token is not None and self._on_disconnect is not None:
             try:
-                self._on_disconnect(conn)
+                self._on_disconnect(parked_token)
             except Exception:  # noqa: BLE001
                 pass
 
@@ -447,35 +480,49 @@ class AsyncHTTPFrontend:
         self._pump_requests(conn)
 
     def _pump_requests(self, conn: _Conn) -> None:
-        """Serve every complete request buffered on ``conn`` in order."""
-        while not conn.dead and not conn.parked and not conn.closing:
-            try:
-                request = conn.next_request()
-            except ValueError as exc:
-                status = 413 if "too large" in str(exc) else 400
-                self._send_response(
-                    conn,
-                    Response(status, protocol.error_body(str(exc)), close=True),
-                )
-                return
-            if request is None:
-                return
-            if self._metrics is not None:
-                self._metrics.counter("svc.http.requests", volatile=True).inc()
-            wants_close = request.headers.get("connection", "").lower() == "close"
-            try:
-                result = self._handler(request, conn)
-            except Exception as exc:  # noqa: BLE001 - handler bug → 500, not loop death
-                result = Response(
-                    500, protocol.error_body(f"internal error: {exc}")
-                )
-            if result is DEFERRED:
-                conn.parked = True
-                conn.closing = wants_close
-                return
-            assert isinstance(result, Response)
-            result.close = result.close or wants_close
-            self._send_response(conn, result)
+        """Serve every complete request buffered on ``conn`` in order.
+
+        Re-entrancy guarded: ``_send_response`` → ``_flush`` lands back
+        here whenever the write buffer drains on a keep-alive conn, so
+        without the guard N pipelined requests buffered in one recv
+        would recurse ~3 frames per request and a few hundred small
+        requests could blow the stack on the loop thread.
+        """
+        if conn.pumping:
+            return
+        conn.pumping = True
+        try:
+            while not conn.dead and conn.park is None and not conn.closing:
+                try:
+                    request = conn.next_request()
+                except ValueError as exc:
+                    status = 413 if "too large" in str(exc) else 400
+                    self._send_response(
+                        conn,
+                        Response(status, protocol.error_body(str(exc)), close=True),
+                    )
+                    return
+                if request is None:
+                    return
+                if self._metrics is not None:
+                    self._metrics.counter("svc.http.requests", volatile=True).inc()
+                wants_close = request.headers.get("connection", "").lower() == "close"
+                token = _ParkToken(conn)
+                try:
+                    result = self._handler(request, token)
+                except Exception as exc:  # noqa: BLE001 - handler bug → 500, not loop death
+                    result = Response(
+                        500, protocol.error_body(f"internal error: {exc}")
+                    )
+                if result is DEFERRED:
+                    conn.park = token
+                    conn.closing = wants_close
+                    return
+                assert isinstance(result, Response)
+                result.close = result.close or wants_close
+                self._send_response(conn, result)
+        finally:
+            conn.pumping = False
 
     # -- writing --------------------------------------------------------
     def _send_response(self, conn: _Conn, response: Response) -> None:

@@ -178,6 +178,9 @@ class _Forwarders:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._threads: List[threading.Thread] = []
+        #: Every client ever handed out, so stop() can close their
+        #: keep-alive sockets (thread-locals are unreachable from stop).
+        self._clients: List[ReproClient] = []
         self._idle = 0
         self._stopping = False
 
@@ -187,7 +190,10 @@ class _Forwarders:
         if clients is None:
             clients = self._local.clients = {}
         if idx not in clients:
-            clients[idx] = ReproClient(self._peers[idx], timeout=self._timeout)
+            created = ReproClient(self._peers[idx], timeout=self._timeout)
+            with self._lock:
+                self._clients.append(created)
+            clients[idx] = created
         return clients[idx]
 
     def submit(self, task: Callable[[], None]) -> None:
@@ -228,6 +234,16 @@ class _Forwarders:
             self._tasks.put(None)
         for t in threads:
             t.join(timeout=timeout)
+        # Close upstream keep-alive sockets after the workers exit —
+        # including clients created by tasks that were already dequeued
+        # when _stopping flipped.
+        with self._lock:
+            clients, self._clients = list(self._clients), []
+        for c in clients:
+            try:
+                c.close()
+            except Exception:  # noqa: BLE001 - closing a dead socket is fine
+                pass
 
 
 class FleetRouter:

@@ -204,17 +204,24 @@ class ReproService:
             return Response(200, record.to_json())
         # Long-poll: park the connection; respond on completion or
         # deadline, whichever fires first (both marshal onto the loop,
-        # and complete() on an already-answered conn is a no-op).
+        # and complete() matches the per-request token, so the loser —
+        # or any stale callback from an earlier round — is a no-op).
         frontend = self._frontend
         assert frontend is not None
-        timer = frontend.call_later(
-            wait, lambda: frontend.complete(token, Response(200, record.to_json()))
-        )
 
         def on_terminal() -> None:
             frontend.schedule(timer.cancel)
             frontend.complete(token, Response(200, record.to_json()))
 
+        def on_deadline() -> None:
+            # Drop the subscription before answering: a client polling
+            # a still-running job in wait-chunks must not accumulate
+            # one dead closure per round, and the callback must never
+            # outlive the request it was registered for.
+            record.unsubscribe(on_terminal)
+            frontend.complete(token, Response(200, record.to_json()))
+
+        timer = frontend.call_later(wait, on_deadline)
         record.subscribe(on_terminal)
         return DEFERRED
 

@@ -96,11 +96,60 @@ class TestKeepAlive:
         assert conn is not None  # keep-alive connection cached
         client.health()
         assert client._conn is conn  # ... and reused
-        # Stale socket: the next request must reconnect and succeed.
+        # Stale socket: the next GET must reconnect and succeed.
         conn.sock.shutdown(socket.SHUT_RDWR)
         assert client.health()["status"] == "ok"
         assert client._conn is not conn
         client.close()
+
+    def test_stale_socket_post_is_not_retried(self, service):
+        """A POST on a stale socket raises instead of silently replaying.
+
+        The failure may strike after the server accepted the job, so an
+        automatic resend would double-submit; only idempotent GETs get
+        the transparent one-shot retry.
+        """
+        client = ReproClient(service.address)
+        client.health()
+        conn = client._conn
+        assert conn is not None
+        conn.sock.shutdown(socket.SHUT_RDWR)
+        with pytest.raises(OSError):
+            client._request(
+                "POST",
+                "/jobs",
+                body=JobSpec(
+                    app="figure4", bug="error1", trials=1, timeout=0.2
+                ).to_json(),
+            )
+        assert service.list_jobs() == []  # nothing was submitted twice (or once)
+        # The client recovers on the next request with a fresh socket.
+        assert client.health()["status"] == "ok"
+        client.close()
+
+    def test_deep_pipelining_does_not_blow_the_stack(self, service):
+        """500 pipelined requests in one write are all answered in order.
+
+        The write-drain path re-enters the request pump; without its
+        re-entrancy guard this recursed a few frames per buffered
+        request and a burst like this killed the event-loop thread with
+        RecursionError.
+        """
+        n = 500
+        sock = socket.create_connection((service.host, service.port), timeout=30)
+        try:
+            sock.sendall(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n" * n)
+            f = sock.makefile("rb")
+            for _ in range(n):
+                status, body = _recv_response(f)
+                assert status == 200
+                assert b'"status": "ok"' in body
+            # The loop is still alive and the connection still usable.
+            sock.sendall(b"GET /jobs HTTP/1.1\r\nHost: x\r\n\r\n")
+            status, body = _recv_response(f)
+            assert status == 200 and b'"jobs"' in body
+        finally:
+            sock.close()
 
 
 class TestMalformedRequests:
@@ -185,6 +234,45 @@ class TestMassLongPolls:
                     break
                 time.sleep(0.05)
             assert snap["svc.http.disconnects"]["value"] >= 1
+        finally:
+            svc.close()
+
+    def test_timed_out_poll_never_answers_a_later_request(self):
+        """A stale long-poll callback must not misdeliver across requests.
+
+        Sequence on ONE keep-alive socket: long-poll job A with a short
+        wait (deadline answers "running"), then park a long long-poll
+        for job B.  When A later completes, its completion callback must
+        be gone (unsubscribed at the deadline) — and even a straggler
+        can only match its own request token — so the parked request
+        gets *B's* terminal record, never A's.
+        """
+        svc = ReproService(slots=1, queue_size=8, fault_hook=_slow_hook).start()
+        try:
+            client = ReproClient(svc.address)
+            spec = JobSpec(app="figure4", bug="error1", trials=1, timeout=0.2)
+            job_a = client.submit(spec)
+            job_b = client.submit(spec)  # queued behind A on the single slot
+            sock = socket.create_connection((svc.host, svc.port), timeout=60)
+            try:
+                f = sock.makefile("rb")
+                sock.sendall(
+                    f"GET /jobs/{job_a}?wait=0.2 HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+                )
+                status, body = _recv_response(f)
+                assert status == 200
+                assert b'"state": "done"' not in body  # deadline fired first
+                sock.sendall(
+                    f"GET /jobs/{job_b}?wait=30 HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+                )
+                # A finishes (~1s) while B's poll is parked; the answer
+                # must wait for B (~2s) and carry B's record.
+                status, body = _recv_response(f)
+                assert status == 200
+                assert f'"id": "{job_b}"'.encode() in body
+                assert b'"state": "done"' in body
+            finally:
+                sock.close()
         finally:
             svc.close()
 
