@@ -37,9 +37,11 @@ test-infer:
 lint:
 	$(PYTHON) -m ruff check src tests benchmarks examples
 
-# Docstring-coverage gate on the library (ast-based, stdlib-only).
+# Docstring-coverage gates on the library (ast-based, stdlib-only):
+# >=80% repo-wide, 100% on the operational service layer.
 docstrings:
 	$(PYTHON) tools/check_docstrings.py
+	$(PYTHON) tools/check_docstrings.py --fail-under 100 src/repro/svc
 
 # End-to-end service smoke: start the daemon, submit a job, scrape
 # /metrics, SIGTERM, assert a clean drain (same sequence as CI).
@@ -48,7 +50,8 @@ serve-smoke:
 
 # Fleet smoke: two cache-backed shards + the consistent-hash router as
 # separate processes, mixed run/explore/infer jobs routed cross-shard
-# and checked against direct in-process calls (same sequence as CI).
+# and checked against direct in-process calls, then the chaos phase —
+# SIGKILL a shard mid-batch and repair the ring live (same as CI).
 fleet-smoke:
 	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py --fleet
 

@@ -22,6 +22,10 @@ quantifies both steps of that ladder:
   touching a worker (``svc.pool.jobs`` stays at the cold-round count).
   Acceptance bar: >=2x sustained jobs/sec vs the single cache-less
   daemon at the same concurrency.
+* **Failover overhead** — the same warm round through the hardened
+  router (failover tracking, routed-job table — the default) vs a
+  ``failover=False`` legacy router over the same shards.  Acceptance
+  bar: at most 1.25x wall clock (the fault-free path is ~free).
 
 Because the service is a transport and not a semantics, every section
 also checks concurrently-produced results against the direct library
@@ -391,12 +395,96 @@ def test_fleet_throughput_vs_single_daemon(benchmark, tmp_path):
     )
 
 
+def test_fleet_failover_overhead(benchmark, tmp_path):
+    """Satellite: the failover machinery prices the happy path at ~zero.
+
+    The hardened router (PR 9: routed-job table, health strikes, tenant
+    accounting — the default) serves the same warm round as a legacy
+    router (``failover=False``, PR-8 semantics) against the same two
+    cache-backed shards.  Warm rounds are served shard-locally from
+    cache, so wall clock is pure transport plus router bookkeeping —
+    exactly the overhead under test.  Acceptance bar: the hardened
+    router costs at most 25% over legacy (in practice it is noise).
+    """
+    if not fork_available():
+        pytest.skip("the service executor forks pool workers")
+    from repro.svc import FleetRouter, ReproService
+
+    configs = _fleet_configs()
+    rounds = 2  # per router flavour, summed: averages out scheduler noise
+
+    def experiment():
+        shards = [
+            ReproService(slots=1, queue_size=2 * FLEET_CLIENTS,
+                         cache_dir=str(tmp_path / f"fshard{i}")).start()
+            for i in range(2)
+        ]
+        try:
+            hardened = FleetRouter(
+                [s.address for s in shards], probe_interval=0
+            ).start()
+            try:
+                _run_round(hardened.address, configs)  # cold: fill caches
+                t_hard, hard_results = 0.0, None
+                for _ in range(rounds):
+                    elapsed, hard_results = _run_round(
+                        hardened.address, configs)
+                    t_hard += elapsed
+            finally:
+                hardened.close()
+            legacy = FleetRouter(
+                [s.address for s in shards], probe_interval=0, failover=False
+            ).start()
+            try:
+                t_legacy, legacy_results = 0.0, None
+                for _ in range(rounds):
+                    elapsed, legacy_results = _run_round(
+                        legacy.address, configs)
+                    t_legacy += elapsed
+            finally:
+                legacy.close()
+        finally:
+            for s in shards:
+                s.close()
+        return t_hard, t_legacy, hard_results, legacy_results
+
+    t_hard, t_legacy, hard_results, legacy_results = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    overhead = t_hard / t_legacy
+    jobs = rounds * FLEET_CLIENTS
+    benchmark.extra_info["fleet_failover_overhead"] = round(overhead, 2)
+    emit(
+        "Service — failover machinery overhead on the warm happy path",
+        "\n".join(
+            [
+                f"{'legacy router':>24}: {jobs} warm jobs in {t_legacy:.2f}s "
+                f"({jobs / t_legacy:.2f} jobs/sec)",
+                f"{'hardened router':>24}: {jobs} warm jobs in {t_hard:.2f}s "
+                f"({jobs / t_hard:.2f} jobs/sec)",
+                f"{'overhead':>24}: {overhead:.2f}x wall clock",
+            ]
+        ),
+    )
+    # Both flavours are transports over the same caches: bit-identical.
+    assert hard_results == legacy_results
+    # The acceptance bar: hardening must not tax the fault-free path.
+    assert overhead <= 1.25, (
+        f"failover bookkeeping costs {overhead:.2f}x on the happy path"
+    )
+    _DOC_METRICS["fleet_failover_overhead"] = {
+        "value": round(overhead, 2), "unit": "x",
+        "direction": "lower", "gate": True,
+    }
+
+
 def test_bench_svc_doc_and_gate():
     """Assemble ``BENCH_svc.json`` from the sections above and gate the
     machine-relative speedups against the committed baseline."""
     if not fork_available():
         pytest.skip("the service executor forks pool workers")
-    required = ("svc_speedup", "fleet_speedup", "keepalive_speedup")
+    required = ("svc_speedup", "fleet_speedup", "keepalive_speedup",
+                "fleet_failover_overhead")
     missing = [m for m in required if m not in _DOC_METRICS]
     if missing:
         pytest.skip(

@@ -21,10 +21,15 @@ Commands:
   ``/health`` + ``/metrics`` endpoints, and graceful SIGTERM drain
   (``--port``, ``--slots``, ``--queue-size``, ``--job-timeout``,
   ``--port-file``);
+* ``route`` — run the fleet router: consistent-hash jobs across many
+  daemons with shard failover and per-tenant shedding
+  (``--peers``, ``--replicas``, ``--probe-interval``, ``--eject-after``,
+  ``--tenant-inflight-limit``), or administer a running router's ring
+  (``--admin status|add|remove --peer URL --server URL``);
 * ``submit APP [BUG]`` — submit one job to a running daemon and print
   the result exactly like the corresponding local command
   (``--server``, ``--kind trials|explore|infer``, ``--trials``,
-  ``--seed``);
+  ``--seed``, ``--tenant``);
 * ``analyze APP`` — run every detector over one traced execution and
   print (or ``--json``-dump) the merged findings;
 * ``infer APP`` — the push-button pipeline: trace one run, generate
@@ -296,10 +301,12 @@ def main(argv=None) -> int:
 
     rt_p = sub.add_parser(
         "route",
-        help="run a fleet router consistent-hashing jobs across daemons",
+        help="run a fleet router consistent-hashing jobs across daemons, "
+             "or administer a running one (--admin)",
     )
-    rt_p.add_argument("--peers", nargs="+", required=True, metavar="URL",
-                      help="daemon base URLs (http://host:port), one per shard")
+    rt_p.add_argument("--peers", nargs="+", default=None, metavar="URL",
+                      help="daemon base URLs (http://host:port), one per shard "
+                           "(required unless --admin)")
     rt_p.add_argument("--host", default="127.0.0.1")
     rt_p.add_argument("--port", type=int, default=8640,
                       help="TCP port (0 = ephemeral; see --port-file)")
@@ -308,8 +315,28 @@ def main(argv=None) -> int:
     rt_p.add_argument("--forwarders", type=int, default=64, metavar="N",
                       help="max concurrent shard-forwarding threads "
                            "(elastic: grown on demand)")
+    rt_p.add_argument("--probe-interval", type=float, default=2.0, metavar="SECONDS",
+                      help="health-probe period for ejection/re-admission "
+                           "(0 disables the background prober)")
+    rt_p.add_argument("--eject-after", type=int, default=3, metavar="N",
+                      help="consecutive upstream failures before a shard is "
+                           "ejected from placement")
+    rt_p.add_argument("--tenant-inflight-limit", type=int, default=0, metavar="N",
+                      help="shed any tenant holding N unfinished fleet jobs "
+                           "with 429 (0 = off)")
     rt_p.add_argument("--port-file", default=None, metavar="FILE",
                       help="write the bound port here once listening")
+    rt_p.add_argument("--admin", choices=("status", "add", "remove"), default=None,
+                      help="administer a running router instead of serving: "
+                           "status = print ring membership; add/remove = live "
+                           "rebalancing (needs --peer)")
+    rt_p.add_argument("--peer", default=None, metavar="URL",
+                      help="the shard URL --admin add/remove operates on")
+    rt_p.add_argument("--server", default="http://127.0.0.1:8640", metavar="URL",
+                      help="running router address for --admin verbs")
+    rt_p.add_argument("--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+                      help="--admin remove: how long to wait for the departing "
+                           "shard's in-flight jobs")
 
     sb_p = sub.add_parser("submit", help="submit one job to a running daemon")
     sb_p.add_argument("app")
@@ -334,6 +361,9 @@ def main(argv=None) -> int:
                       help="give up waiting for the result after this long")
     sb_p.add_argument("--no-cache", action="store_true",
                       help="ask the daemon to bypass its result cache for this job")
+    sb_p.add_argument("--tenant", default="anon", metavar="NAME",
+                      help="fair-share accounting label (multi-tenant fleets); "
+                           "never affects results or cache identity")
     _add_parallel_flags(sb_p)
 
     an_p = sub.add_parser("analyze", help="run all detectors over one traced execution")
@@ -463,6 +493,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
+    if getattr(args, "admin", None):
+        return _cmd_route_admin(args)
+    if not getattr(args, "peers", None):
+        print("error: --peers is required when serving (or pass --admin)")
+        return 2
     from repro.svc import FleetRouter, serve_forever
 
     router = FleetRouter(
@@ -471,8 +506,47 @@ def _cmd_route(args: argparse.Namespace) -> int:
         port=args.port,
         replicas=getattr(args, "replicas", 64),
         forwarders=getattr(args, "forwarders", 64),
+        probe_interval=getattr(args, "probe_interval", 2.0),
+        eject_after=getattr(args, "eject_after", 3),
+        tenant_inflight_limit=getattr(args, "tenant_inflight_limit", 0),
     ).start()
     return serve_forever(router, port_file=args.port_file)
+
+
+def _cmd_route_admin(args: argparse.Namespace) -> int:
+    from repro.svc import ReproClient, ServiceError
+
+    client = ReproClient(args.server)
+    try:
+        if args.admin == "status":
+            doc = client.ring()
+            print(f"ring of {args.server} ({doc['replicas']} replicas/shard):")
+            for s in doc["shards"]:
+                state = "member" if s["member"] else "removed"
+                if s["draining"]:
+                    state = "draining"
+                liveness = "up" if s["alive"] else "DOWN"
+                print(f"  s{s['shard']}: {s['url']} [{state}, {liveness}, "
+                      f"{s['inflight']} in flight, {s['failures']} strike(s)]")
+            return 0
+        if not args.peer:
+            print(f"error: --admin {args.admin} requires --peer URL")
+            return 2
+        if args.admin == "add":
+            doc = client.ring_add(args.peer)
+            print(f"added {doc['added']} to {args.server} as shard s{doc['shard']}")
+            return 0
+        doc = client.ring_remove(args.peer, drain_timeout=args.drain_timeout)
+        drained = "drained" if doc["drained"] else "NOT fully drained (timed out)"
+        print(f"removed {doc['removed']} (shard s{doc['shard']}) "
+              f"from {args.server}: {drained}")
+        return 0
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.server}: {exc}")
+        return 2
+    except ServiceError as exc:
+        print(f"error: {exc}")
+        return 2
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -480,13 +554,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
     client = ReproClient(args.server)
     bug = None if getattr(args, "no_bp", False) else args.bug
+    tenant = getattr(args, "tenant", "anon")
     if args.kind == "trials":
         spec = JobSpec(
             kind="trials", app=args.app, bug=bug, trials=args.trials,
             timeout=args.timeout, base_seed=args.seed,
             workers=max(0, getattr(args, "workers", 0)),
             trial_timeout=args.trial_timeout, job_timeout=args.job_timeout,
-            no_cache=args.no_cache,
+            no_cache=args.no_cache, tenant=tenant,
         )
     elif args.kind == "infer":
         spec = JobSpec(
@@ -495,7 +570,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             steer_attempts=args.steer_attempts,
             workers=max(0, getattr(args, "workers", 0)),
             trial_timeout=args.trial_timeout, job_timeout=args.job_timeout,
-            no_cache=args.no_cache,
+            no_cache=args.no_cache, tenant=tenant,
         )
     else:
         spec = JobSpec(
@@ -504,7 +579,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             seed=args.seed, timeout=args.timeout,
             workers=max(0, getattr(args, "workers", 0)),
             job_timeout=args.job_timeout,
-            no_cache=args.no_cache,
+            no_cache=args.no_cache, tenant=tenant,
         )
     try:
         job_id = client.submit(spec)

@@ -11,7 +11,8 @@ local HTTP/JSON protocol and executes them on the existing harness:
 * :mod:`repro.svc.jobs` — job specs, records, and lossless result
   serialization (the bit-identity layer);
 * :mod:`repro.svc.queue` — bounded admission queue with
-  reject-with-retry-after backpressure;
+  reject-with-retry-after backpressure and weighted-fair per-tenant
+  lanes (greedy tenants shed with 429, polite tenants unharmed);
 * :mod:`repro.svc.http` — the selectors-based async HTTP frontend
   (thousands of keep-alive connections, parked long-polls, one thread);
 * :mod:`repro.svc.pool` — the persistent pre-forked worker pool
@@ -21,7 +22,8 @@ local HTTP/JSON protocol and executes them on the existing harness:
 * :mod:`repro.svc.server` — the HTTP daemon, ``/health`` + ``/metrics``
   introspection, graceful SIGTERM drain;
 * :mod:`repro.svc.router` — the fleet router: cache-affine
-  consistent-hash sharding across many daemons;
+  consistent-hash sharding across many daemons, with shard failover,
+  health tracking, and live ring rebalancing (``/ring``);
 * :mod:`repro.svc.client` — the client library (``ReproClient``).
 
 The service is a **transport layer, never a semantics layer**: a job is
@@ -45,7 +47,7 @@ from .jobs import (
 )
 from .pool import WorkerPool
 from .protocol import PROTOCOL
-from .queue import BoundedJobQueue, QueueClosed, QueueFull
+from .queue import BoundedJobQueue, QueueClosed, QueueFull, TenantOverShare
 from .router import ConsistentHashRing, FleetRouter, routing_fingerprint
 from .server import ReproService, ServiceDraining, serve_forever
 
@@ -67,6 +69,7 @@ __all__ = [
     "BoundedJobQueue",
     "QueueClosed",
     "QueueFull",
+    "TenantOverShare",
     "ConsistentHashRing",
     "FleetRouter",
     "routing_fingerprint",

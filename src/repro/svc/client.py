@@ -56,10 +56,20 @@ class ServiceError(RuntimeError):
 
 
 class BackpressureError(ServiceError):
-    """The queue stayed full past the client's submission budget."""
+    """The service kept shedding this client past its submission budget.
 
-    def __init__(self, message: str, retry_after: Optional[float]) -> None:
-        super().__init__(503, message)
+    ``status`` distinguishes the global signal (503: the queue itself is
+    full) from the tenant-local one (429: this tenant is over its fair
+    share while other tenants are active).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after: Optional[float],
+        status: int = 503,
+    ) -> None:
+        super().__init__(status, message)
         self.retry_after = retry_after
 
 
@@ -201,6 +211,46 @@ class ReproClient:
         """``POST /drain`` — ask the service to drain gracefully."""
         return self._check(*self._request("POST", "/drain"))
 
+    # -- router ring administration (fleet only) -----------------------
+    def ring(self) -> Dict[str, Any]:
+        """``GET /ring`` — the router's ring membership document."""
+        return self._check(*self._request("GET", "/ring"))
+
+    def ring_add(self, peer: str) -> Dict[str, Any]:
+        """``POST /ring`` add: join ``peer`` to a running router's ring.
+
+        The router probes the peer's ``/health`` before admitting it, so
+        a typo'd or dead URL fails loudly (502) instead of black-holing
+        a slice of the key space.
+        """
+        return self._check(
+            *self._request("POST", "/ring", body={"action": "add", "peer": peer})
+        )
+
+    def ring_remove(
+        self, peer: str, drain_timeout: float = 30.0
+    ) -> Dict[str, Any]:
+        """``POST /ring`` remove: drain ``peer``'s in-flight jobs, then
+        drop it from the ring.
+
+        The router stops routing *new* jobs to the peer immediately and
+        waits up to ``drain_timeout`` seconds for jobs already routed
+        there to finish — zero dropped jobs.  The response's
+        ``"drained"`` flag reports whether the wait completed.
+        """
+        return self._check(
+            *self._request(
+                "POST",
+                "/ring",
+                body={
+                    "action": "remove",
+                    "peer": peer,
+                    "drain_timeout": drain_timeout,
+                },
+                timeout=max(self.timeout, drain_timeout + 10.0),
+            )
+        )
+
     def submit(
         self,
         spec: JobSpec,
@@ -209,10 +259,12 @@ class ReproClient:
     ) -> str:
         """Submit one job, riding out backpressure; returns the job id.
 
-        A ``503 + retry_after`` response sleeps the hinted interval and
-        resubmits until ``max_wait`` seconds have been burned, then
-        raises :class:`BackpressureError`.  A draining service raises
-        immediately (retrying a shutdown is pointless).
+        A ``503 + retry_after`` (queue full) or ``429 + retry_after``
+        (tenant over its fair share) response sleeps the hinted interval
+        and resubmits until ``max_wait`` seconds have been burned, then
+        raises :class:`BackpressureError` carrying the status.  A
+        draining service raises immediately (retrying a shutdown is
+        pointless).
         """
         body = spec.to_json()
         deadline = time.monotonic() + max_wait
@@ -222,10 +274,12 @@ class ReproClient:
                 return doc["id"]
             if status == 503 and doc.get("draining"):
                 raise BackpressureError("service is draining", None)
-            if status == 503:
+            if status in (503, 429):
                 hint = float(doc.get("retry_after", 0.5))
                 if time.monotonic() + hint > deadline:
-                    raise BackpressureError(doc.get("error", "queue full"), hint)
+                    raise BackpressureError(
+                        doc.get("error", "queue full"), hint, status=status
+                    )
                 time.sleep(hint)
                 continue
             self._check(status, doc)
@@ -292,6 +346,7 @@ class ReproClient:
         collect_metrics: bool = False,
         job_timeout: Optional[float] = None,
         wait_timeout: Optional[float] = None,
+        tenant: str = "anon",
     ) -> TrialStats:
         """Remote :func:`repro.harness.run_trials`: submit, wait, decode.
 
@@ -313,6 +368,7 @@ class ReproClient:
             trial_timeout=trial_timeout,
             collect_metrics=collect_metrics,
             job_timeout=job_timeout,
+            tenant=tenant,
         )
         record = self.wait(self.submit(spec), timeout=wait_timeout)
         return stats_from_wire(record["result"])
@@ -331,6 +387,7 @@ class ReproClient:
         timeout: float = 0.100,
         job_timeout: Optional[float] = None,
         wait_timeout: Optional[float] = None,
+        tenant: str = "anon",
     ) -> Dict[str, Any]:
         """Remote :func:`repro.harness.explore_app`; returns the summary
         dict (schedule counts, hit fractions, DPOR stats, witnesses)."""
@@ -346,6 +403,7 @@ class ReproClient:
             seed=seed,
             timeout=timeout,
             job_timeout=job_timeout,
+            tenant=tenant,
         )
         record = self.wait(self.submit(spec), timeout=wait_timeout)
         return record["result"]
@@ -364,6 +422,7 @@ class ReproClient:
         steer_attempts: int = 5,
         job_timeout: Optional[float] = None,
         wait_timeout: Optional[float] = None,
+        tenant: str = "anon",
     ):
         """Remote :func:`repro.infer.infer_app`: submit, wait, decode.
 
@@ -386,6 +445,7 @@ class ReproClient:
             workers=workers,
             steer_attempts=steer_attempts,
             job_timeout=job_timeout,
+            tenant=tenant,
         )
         record = self.wait(self.submit(spec), timeout=wait_timeout)
         return InferenceReport.from_wire(record["result"])

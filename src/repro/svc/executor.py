@@ -171,6 +171,9 @@ class JobExecutor:
                 if self._stop or self._queue.closed:
                     return
                 continue
+            # In-flight tenant accounting brackets the whole execution:
+            # a tenant's running jobs count against its fair share.
+            self._queue.note_running(record)
             with self._lock:
                 self._busy += 1
                 self._metrics.gauge("svc.workers.busy", volatile=True).set(self._busy)
@@ -180,6 +183,7 @@ class JobExecutor:
                 with self._lock:
                     self._busy -= 1
                     self._metrics.gauge("svc.workers.busy", volatile=True).set(self._busy)
+                self._queue.note_finished(record)
 
     def _run_job(self, slot: int, record: JobRecord) -> None:
         """Drive one job through its bounded attempts to a terminal state."""

@@ -64,6 +64,8 @@ _REASONS = {
     202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
+    409: "Conflict",
+    429: "Too Many Requests",
     413: "Payload Too Large",
     500: "Internal Server Error",
     502: "Bad Gateway",

@@ -21,6 +21,7 @@ way a `run_trials` caller reads per-trial failures.
 from __future__ import annotations
 
 import dataclasses
+import re
 import threading
 import time
 from typing import Any, Dict, Optional
@@ -52,6 +53,9 @@ DONE = "done"
 FAILED = "failed"
 #: States after which a record never changes again.
 TERMINAL_STATES = frozenset({DONE, FAILED})
+
+#: Legal tenant names: short, metric-key-safe identifiers.
+_TENANT_RE = re.compile(r"[A-Za-z0-9._-]{1,64}")
 
 class JobValidationError(ValueError):
     """The submitted job spec is malformed or names unknown entities."""
@@ -107,6 +111,12 @@ class JobSpec:
     #: (results are bit-identical either way; this exists for
     #: measurement and for forcing a recompute).
     no_cache: bool = False
+    #: Fair-share accounting identity (multi-tenant fleets).  Purely an
+    #: admission-control label: it feeds the queue's weighted-fair
+    #: dequeue and per-tenant shedding but never the result, the cache
+    #: key, or the routing fingerprint — two tenants submitting the same
+    #: config share one cache entry and one shard.
+    tenant: str = "anon"
 
     def validate(self) -> "JobSpec":
         """Check the spec against the app registry; return self.
@@ -145,6 +155,13 @@ class JobSpec:
             )
         if self.job_timeout is not None and self.job_timeout <= 0:
             raise JobValidationError(f"job_timeout must be positive, got {self.job_timeout}")
+        if (
+            not isinstance(self.tenant, str)
+            or not _TENANT_RE.fullmatch(self.tenant)
+        ):
+            raise JobValidationError(
+                f"tenant must match [A-Za-z0-9._-]{{1,64}}, got {self.tenant!r}"
+            )
         return self
 
     def to_json(self) -> Dict[str, Any]:
@@ -480,6 +497,7 @@ class JobRecord:
             "kind": self.spec.kind,
             "app": self.spec.app,
             "bug": self.spec.bug,
+            "tenant": self.spec.tenant,
             "attempts": self.attempts,
             "queue_wait_seconds": self.queue_wait(),
             "latency_seconds": self.latency(),

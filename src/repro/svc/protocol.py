@@ -7,13 +7,19 @@ is the single place where the wire shapes are named, so the server
 drift apart:
 
 * **Endpoints** — ``GET /health``, ``GET /metrics``, ``GET /jobs``,
-  ``GET /jobs/<id>[?wait=SECONDS]``, ``POST /jobs``, ``POST /drain``.
+  ``GET /jobs/<id>[?wait=SECONDS]``, ``POST /jobs``, ``POST /drain``;
+  the fleet router additionally serves ``GET /ring`` (membership) and
+  ``POST /ring`` (``{"action": "add"|"remove", "peer": URL}``, remove
+  optionally carrying ``"drain_timeout"`` seconds) for live
+  rebalancing.
 * **Job payloads** — a submission is a :class:`~repro.svc.jobs.JobSpec`
   JSON object; a response is a job-record object (see
   :meth:`~repro.svc.jobs.JobRecord.to_json`).
 * **Backpressure** — a full queue answers ``503`` with a ``Retry-After``
-  header and a body carrying the same hint; a draining service answers
-  ``503`` with ``"draining": true`` and no hint (retrying is pointless).
+  header and a body carrying the same hint; a tenant over its fair
+  share (while other tenants are active) answers ``429`` with the same
+  ``Retry-After`` shape; a draining service answers ``503`` with
+  ``"draining": true`` and no hint (retrying is pointless).
 
 Everything that crosses the socket is JSON whose floats are produced by
 Python's ``repr`` round-trip, so numeric results survive the transport

@@ -47,7 +47,7 @@ from .executor import JobExecutor
 from .http import DEFERRED, AsyncHTTPFrontend, Request, Response
 from .jobs import JobRecord, JobSpec, JobValidationError
 from .pool import FaultHook
-from .queue import BoundedJobQueue, QueueClosed, QueueFull
+from .queue import BoundedJobQueue, QueueClosed, QueueFull, TenantOverShare
 
 __all__ = ["ServiceDraining", "ReproService", "serve_forever"]
 
@@ -73,6 +73,8 @@ class ReproService:
     ``fault_hook`` is a picklable fault-injection callable forwarded to
     the executor's pool workers (tests only).  ``worker_max_jobs``
     bounds how many jobs one pool worker serves before being recycled.
+    ``tenant_weights`` maps tenant name to a positive dequeue weight for
+    the fair queue (unlisted tenants weigh 1).
     """
 
     def __init__(
@@ -87,6 +89,7 @@ class ReproService:
         fault_hook: Optional[FaultHook] = None,
         cache_dir: Optional[str] = None,
         worker_max_jobs: int = 256,
+        tenant_weights: Optional[Dict[str, int]] = None,
     ) -> None:
         self.host = host
         self.requested_port = port
@@ -98,7 +101,9 @@ class ReproService:
             # One cache shared across every job; hit/miss/evict counters
             # land in the service registry and surface on /metrics.
             self.cache = ResultCache(cache_dir, metrics=self.metrics)
-        self.queue = BoundedJobQueue(queue_size, metrics=self.metrics)
+        self.queue = BoundedJobQueue(
+            queue_size, metrics=self.metrics, tenant_weights=tenant_weights
+        )
         self.executor = JobExecutor(
             self.queue,
             self.metrics,
@@ -231,6 +236,14 @@ class ReproService:
             record = self.submit(spec)
         except (ValueError, JobValidationError) as exc:
             return Response(400, protocol.error_body(str(exc)))
+        except TenantOverShare as exc:
+            # Tenant-local shedding: 429, not 503 — the queue has room,
+            # just not for this tenant while others are waiting.
+            return Response(
+                429,
+                protocol.error_body(str(exc), retry_after=exc.retry_after),
+                headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            )
         except QueueFull as exc:
             return Response(
                 503,
@@ -314,6 +327,7 @@ class ReproService:
             "slots": self.executor.slots,
             "busy": self.executor.busy,
             "jobs": dict(states),
+            "tenants": self.queue.tenants_snapshot(),
         }
 
     # ------------------------------------------------------------------

@@ -1,0 +1,517 @@
+"""Fleet fault tolerance: failover, health tracking, tenancy, rebalancing.
+
+The claims under test are the hard ones from the operations runbook
+(``docs/operations.md``):
+
+* a job whose shard dies — before acceptance or mid-run — still
+  completes, with a result **bit-identical** to a direct in-process
+  call (determinism makes re-execution invisible);
+* failover never double-submits: a failed ``POST`` is moved to a
+  *different* shard, never replayed against the same one (the PR-8
+  idempotency rule, extended across the fleet);
+* the ejection / re-admission state machine and the startup probe keep
+  ``/health`` honest about per-shard liveness;
+* per-tenant fairness: a greedy tenant is shed with ``429`` +
+  ``Retry-After`` while a polite tenant's jobs flow, and single-tenant
+  semantics stay byte-for-byte the old FIFO queue;
+* live ring rebalancing (``POST /ring``) adds and removes shards with
+  zero dropped jobs.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.apps import get_app
+from repro.harness import run_trials
+from repro.svc import (
+    BackpressureError,
+    BoundedJobQueue,
+    ConsistentHashRing,
+    FleetRouter,
+    JobRecord,
+    JobSpec,
+    QueueFull,
+    ReproClient,
+    ReproService,
+    ServiceError,
+    TenantOverShare,
+    routing_fingerprint,
+)
+from repro.svc.jobs import stats_to_wire
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork") and not hasattr(os, "posix_spawn"),
+    reason="service tests need a POSIX process model",
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: A base URL nothing listens on (port 9 is reserved/discard).
+DEAD = "http://127.0.0.1:9"
+
+
+def _sleep_hook(spec, attempt):
+    """Fault hook: make every job attempt slow (picklable, module-level)."""
+    time.sleep(0.4)
+
+
+def _record(i, tenant="anon"):
+    return JobRecord(
+        f"job-{i:06d}",
+        JobSpec(app="figure4", bug="error1", trials=1, tenant=tenant),
+    )
+
+
+def _spec_owned_by(router, target_idx, trials=3):
+    """A trials spec whose routing key lands on shard ``target_idx``.
+
+    Jitters the pause time until the ring agrees — mirrors how the
+    bench constructs distinct cache/routing identities.
+    """
+    for i in range(200):
+        t = round(0.2 + i * 1e-3, 4)
+        spec = JobSpec(app="figure4", bug="error1", trials=trials, timeout=t)
+        if router.ring.lookup(routing_fingerprint(spec)) == target_idx:
+            return spec
+    raise AssertionError("no spec hashed onto the target shard in 200 tries")
+
+
+class TestRingPreference:
+    def test_preference_starts_at_lookup_and_covers_all_peers(self):
+        peers = [f"http://127.0.0.1:{p}" for p in (1001, 1002, 1003)]
+        ring = ConsistentHashRing(peers)
+        for i in range(50):
+            order = list(ring.preference(f"key-{i}"))
+            assert order[0] == ring.lookup(f"key-{i}")
+            assert sorted(order) == [0, 1, 2]  # distinct, exhaustive
+
+    def test_adding_a_peer_moves_keys_only_onto_it(self):
+        peers = [f"http://127.0.0.1:{p}" for p in (1001, 1002, 1003)]
+        before = ConsistentHashRing(peers[:2])
+        after = ConsistentHashRing(peers)
+        moved = 0
+        for i in range(1000):
+            k = f"key-{i}"
+            if after.lookup(k) != before.lookup(k):
+                # A key may move only TO the newcomer, never between
+                # survivors — the live-rebalancing guarantee.
+                assert after.lookup(k) == 2
+                moved += 1
+        assert moved > 0
+
+    def test_failover_order_matches_removal(self):
+        """The ring successor is the peer that would own the key if the
+        dead shard were removed outright — failover placement and a
+        permanent rebalance agree, so rescued cache entries stay warm
+        after the operator retires the dead shard for real."""
+        peers = [f"http://127.0.0.1:{p}" for p in (1001, 1002, 1003)]
+        full = ConsistentHashRing(peers)
+        for i in range(200):
+            k = f"key-{i}"
+            order = list(full.preference(k))
+            survivors = [p for j, p in enumerate(peers) if j != order[0]]
+            reduced = ConsistentHashRing(survivors)
+            assert survivors[reduced.lookup(k)] == peers[order[1]]
+
+
+class TestEjectionStateMachine:
+    def test_strikes_accumulate_then_eject_then_readmit(self):
+        router = FleetRouter([DEAD, "http://127.0.0.1:10"], probe_interval=0)
+        router._note_peer_failure(0)
+        router._note_peer_failure(0)
+        assert router._shards[0].alive  # under the eject_after=3 default
+        router._note_peer_failure(0)
+        assert not router._shards[0].alive
+        snap = router.metrics.snapshot()
+        assert snap["svc.router.failover.ejections"]["value"] == 1
+        assert snap["svc.router.peer.0.alive"]["value"] == 0
+        router._note_peer_ok(0)
+        assert router._shards[0].alive and router._shards[0].failures == 0
+        snap = router.metrics.snapshot()
+        assert snap["svc.router.failover.readmissions"]["value"] == 1
+        assert snap["svc.router.peer.0.alive"]["value"] == 1
+
+    def test_probe_failure_ejects_immediately(self):
+        router = FleetRouter([DEAD, "http://127.0.0.1:10"], probe_interval=0)
+        router._note_peer_down(1)
+        assert not router._shards[1].alive
+        router._note_peer_failure(1)  # further strikes don't double-count
+        assert router.metrics.snapshot()["svc.router.failover.ejections"]["value"] == 1
+
+    def test_success_resets_strike_count(self):
+        router = FleetRouter([DEAD], probe_interval=0)
+        router._note_peer_failure(0)
+        router._note_peer_failure(0)
+        router._note_peer_ok(0)
+        router._note_peer_failure(0)
+        assert router._shards[0].alive  # consecutive, not cumulative
+
+
+class TestStartupProbe:
+    def test_dead_peer_is_degraded_from_the_first_health(self, tmp_path):
+        """The PR-8 router reported an aggregated-healthy fleet without
+        ever contacting the peers at startup; now ``start()`` probes
+        synchronously and ``/health`` carries per-shard liveness."""
+        svc = ReproService(slots=1, queue_size=4).start()
+        router = FleetRouter([svc.address, DEAD], probe_interval=0).start()
+        try:
+            assert not router._shards[1].alive  # marked dead before serving
+            doc = ReproClient(router.address).health()
+            assert doc["status"] == "degraded"
+            by_shard = {s["shard"]: s for s in doc["shards"]}
+            assert by_shard[0]["ok"] and by_shard[0]["alive"]
+            assert not by_shard[1]["ok"] and not by_shard[1]["alive"]
+            ring_doc = ReproClient(router.address).ring()
+            assert [s["alive"] for s in ring_doc["shards"]] == [True, False]
+            assert "(DOWN)" in router.describe()
+        finally:
+            router.close()
+            svc.close()
+
+
+class TestSubmitFailover:
+    def test_dead_owner_fails_over_bit_identically_without_double_submit(self):
+        # The victim must start *after* the survivor: a service's pool
+        # workers are forked at start() and inherit every listening
+        # socket already open in this process, which would keep the
+        # victim's port half-alive after close().  (Real deployments
+        # are immune — each daemon is its own exec'd process.)
+        survivor = ReproService(slots=1, queue_size=8).start()
+        victim = ReproService(slots=1, queue_size=8).start()
+        router = FleetRouter(
+            [victim.address, survivor.address], probe_interval=0
+        ).start()
+        try:
+            spec = _spec_owned_by(router, 0)  # owned by the victim
+            victim.close()  # SIGKILL-equivalent for an in-process shard
+            client = ReproClient(router.address)
+            job_id = client.submit(spec)
+            record = client.wait(job_id, timeout=120)
+            direct = run_trials(
+                get_app("figure4"), n=spec.trials, bug="error1",
+                timeout=spec.timeout,
+            )
+            assert record["result"] == stats_to_wire(direct)
+            # Exactly one upstream submission: the failed POST moved to
+            # the survivor, it was never replayed against the victim.
+            assert len(ReproClient(survivor.address).jobs()) == 1
+            snap = router.metrics.snapshot()
+            assert snap["svc.router.failover.submit_reroutes"]["value"] == 1
+            assert snap["svc.router.peer.1.jobs"]["value"] == 1
+            assert "svc.router.peer.0.jobs" not in snap
+        finally:
+            router.close()
+            victim.close()
+            survivor.close()
+
+    def test_all_shards_dead_is_502_and_exhausted(self):
+        router = FleetRouter([DEAD], probe_interval=0).start()
+        try:
+            with pytest.raises(ServiceError) as exc:
+                ReproClient(router.address).submit(
+                    JobSpec(app="figure4", bug="error1", trials=1), max_wait=5
+                )
+            assert exc.value.status == 502
+            snap = router.metrics.snapshot()
+            assert snap["svc.router.failover.exhausted"]["value"] >= 1
+        finally:
+            router.close()
+
+
+class TestSigkillMidJob:
+    def test_job_survives_shard_sigkill_bit_identically(self, tmp_path):
+        """The tentpole scenario: two real daemons, one SIGKILLed while
+        running the job; the router rescues the job onto the survivor
+        and the client sees one id, one result, bit-identical to a
+        direct call."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        procs, urls = [], []
+        router = None
+        try:
+            for i in range(2):
+                pf = tmp_path / f"shard{i}.port"
+                procs.append(subprocess.Popen(
+                    [sys.executable, "-m", "repro", "serve", "--port", "0",
+                     "--slots", "1", "--port-file", str(pf)],
+                    cwd=REPO, env=env, text=True,
+                    stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                ))
+                deadline = time.monotonic() + 90
+                while not pf.exists() or not pf.read_text().strip():
+                    assert procs[i].poll() is None, "daemon died on startup"
+                    assert time.monotonic() < deadline, "daemon startup timeout"
+                    time.sleep(0.05)
+                urls.append(f"http://127.0.0.1:{int(pf.read_text())}")
+            router = FleetRouter(urls, probe_interval=0.5).start()
+            spec = _spec_owned_by(router, 0, trials=6)
+            client = ReproClient(router.address)
+            job_id = client.submit(spec)
+            # Wait for the owner to actually start executing, then kill
+            # it mid-run (SIGKILL: no drain, no goodbye).
+            owner = ReproClient(urls[0])
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if owner.metrics().get("svc.workers.busy", {}).get("value", 0) >= 1:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("owning shard never started the job")
+            procs[0].send_signal(signal.SIGKILL)
+            procs[0].wait(timeout=30)
+            record = client.wait(job_id, timeout=120)
+            assert record["state"] == "done"
+            assert record["id"] == job_id  # the visible id never changed
+            direct = run_trials(
+                get_app("figure4"), n=spec.trials, bug="error1",
+                timeout=spec.timeout,
+            )
+            assert record["result"] == stats_to_wire(direct)
+            snap = router.metrics.snapshot()
+            assert snap["svc.router.failover.job_reroutes"]["value"] >= 1
+        finally:
+            if router is not None:
+                router.close()
+            for p in procs:
+                if p.poll() is None:
+                    p.kill()
+                    p.wait(timeout=30)
+
+
+class TestTenantFairQueue:
+    def test_weighted_round_robin_interleaves_lanes(self):
+        q = BoundedJobQueue(16)
+        greedy = [_record(i, "greedy") for i in range(4)]
+        polite = _record(9, "polite")
+        for r in greedy:
+            q.put(r)
+        q.put(polite)
+        served = [q.get(timeout=1) for _ in range(5)]
+        # 4:1 greedy/polite mix: the polite job is served second, not
+        # fifth — it waits behind one greedy job, not four.
+        assert served[0] is greedy[0]
+        assert served[1] is polite
+        assert served[2:] == greedy[1:]
+
+    def test_configured_weight_buys_extra_turns(self):
+        q = BoundedJobQueue(16, tenant_weights={"greedy": 2})
+        greedy = [_record(i, "greedy") for i in range(3)]
+        polite = _record(9, "polite")
+        for r in greedy:
+            q.put(r)
+        q.put(polite)
+        served = [q.get(timeout=1) for _ in range(4)]
+        assert served[:2] == greedy[:2]  # weight 2 → two jobs per turn
+        assert served[2] is polite
+
+    def test_greedy_tenant_is_shed_at_fair_share(self):
+        q = BoundedJobQueue(4)
+        q.put(_record(0, "greedy"))
+        q.put(_record(1, "greedy"))
+        q.put(_record(2, "polite"))
+        with pytest.raises(TenantOverShare) as exc:
+            q.put(_record(3, "greedy"))  # share = 4 // 2 tenants = 2
+        assert exc.value.tenant == "greedy"
+        assert exc.value.share == 2
+        assert exc.value.retry_after > 0
+        q.put(_record(4, "polite"))  # the polite tenant still has room
+
+    def test_inflight_occupancy_counts_against_share(self):
+        q = BoundedJobQueue(4)
+        running = _record(0, "greedy")
+        q.put(running)
+        assert q.get(timeout=1) is running
+        q.note_running(running)  # dequeued but executing: still greedy's
+        q.put(_record(1, "greedy"))
+        q.put(_record(2, "polite"))
+        with pytest.raises(TenantOverShare):
+            q.put(_record(3, "greedy"))
+        q.note_finished(running)
+        q.put(_record(4, "greedy"))  # share freed once the job finished
+
+    def test_single_tenant_keeps_plain_fifo_semantics(self):
+        q = BoundedJobQueue(4)
+        records = [_record(i) for i in range(4)]
+        for r in records:
+            q.put(r)
+        with pytest.raises(QueueFull):  # never TenantOverShare alone
+            q.put(_record(9))
+        assert [q.get(timeout=1) for _ in range(4)] == records
+
+    def test_tenants_snapshot_reports_occupancy(self):
+        q = BoundedJobQueue(8)
+        q.put(_record(0, "a"))
+        q.put(_record(1, "a"))
+        q.put(_record(2, "b"))
+        assert q.tenants_snapshot() == {
+            "a": {"queued": 2, "inflight": 0},
+            "b": {"queued": 1, "inflight": 0},
+        }
+
+
+class TestTenantFairnessEndToEnd:
+    def test_greedy_tenant_gets_429_polite_tenant_flows(self):
+        # The sleep hook keeps each job in the worker long enough for
+        # occupancy (queued + inflight) to build up; bare jobs finish in
+        # milliseconds and would never trip the share check.
+        svc = ReproService(slots=1, queue_size=4,
+                           fault_hook=_sleep_hook).start()
+        try:
+            client = ReproClient(svc.address)
+
+            def spec(i, tenant):
+                # no_cache + distinct seeds: every job really executes.
+                return JobSpec(app="figure4", bug="error1", trials=1,
+                               timeout=0.2, base_seed=i, no_cache=True,
+                               tenant=tenant)
+
+            ids = [client.submit(spec(0, "greedy"))]
+            for _ in range(100):  # first greedy job occupies the slot
+                if client.health()["busy"] == 1:
+                    break
+                time.sleep(0.02)
+            ids.append(client.submit(spec(1, "greedy")))
+            ids.append(client.submit(spec(0, "polite")))
+            with pytest.raises(BackpressureError) as exc:
+                client.submit(spec(2, "greedy"), max_wait=0)
+            assert exc.value.status == 429
+            assert exc.value.retry_after is not None
+            # The polite job and the accepted greedy jobs all finish.
+            for job_id in ids:
+                assert client.wait(job_id, timeout=120)["state"] == "done"
+            snap = client.metrics()
+            assert snap["svc.tenant.shed"]["value"] >= 1
+            assert "tenants" in client.health()
+        finally:
+            svc.close()
+
+    def test_router_tenant_inflight_limit_sheds_with_429(self):
+        svc = ReproService(slots=1, queue_size=8).start()
+        router = FleetRouter(
+            [svc.address], probe_interval=0, tenant_inflight_limit=1
+        ).start()
+        try:
+            client = ReproClient(router.address)
+            spec = JobSpec(app="figure4", bug="error1", trials=2,
+                           timeout=0.2, no_cache=True, tenant="greedy")
+            job_id = client.submit(spec)
+            with pytest.raises(BackpressureError) as exc:
+                client.submit(
+                    JobSpec(app="figure4", bug="error1", trials=2,
+                            timeout=0.25, no_cache=True, tenant="greedy"),
+                    max_wait=0,
+                )
+            assert exc.value.status == 429
+            # Observing the terminal state releases the tenant's slot.
+            assert client.wait(job_id, timeout=120)["state"] == "done"
+            assert client.submit(
+                JobSpec(app="figure4", bug="error1", trials=2,
+                        timeout=0.3, no_cache=True, tenant="greedy")
+            )
+        finally:
+            router.close()
+            svc.close()
+
+
+class TestRingRebalancing:
+    def test_add_and_remove_with_zero_dropped_jobs(self, tmp_path):
+        shards = [
+            ReproService(slots=1, queue_size=16,
+                         cache_dir=str(tmp_path / f"c{i}")).start()
+            for i in range(2)
+        ]
+        spare = ReproService(slots=1, queue_size=16,
+                             cache_dir=str(tmp_path / "c2")).start()
+        router = FleetRouter(
+            [s.address for s in shards], probe_interval=0
+        ).start()
+        try:
+            client = ReproClient(router.address)
+            added = client.ring_add(spare.address)
+            assert added["shard"] == 2
+            assert len(router.peers) == 3
+
+            def spec(i):
+                return JobSpec(app="figure4", bug="error1", trials=2,
+                               timeout=round(0.2 + i * 1e-3, 4), no_cache=True)
+
+            ids = [(client.submit(spec(i)), spec(i)) for i in range(6)]
+            # Retire shard 0 while its routed jobs may still be in
+            # flight: removal must wait them out, not drop them.
+            removed = client.ring_remove(shards[0].address, drain_timeout=60)
+            assert removed["drained"] is True
+            assert len(router.peers) == 2
+            for job_id, s in ids:
+                record = client.wait(job_id, timeout=120)
+                assert record["state"] == "done"
+                direct = run_trials(get_app("figure4"), n=s.trials,
+                                    bug="error1", timeout=s.timeout)
+                assert record["result"] == stats_to_wire(direct)
+            # New work no longer lands on the removed shard.
+            n_before = len(ReproClient(shards[0].address).jobs())
+            for i in range(6, 10):
+                client.wait(client.submit(spec(i)), timeout=120)
+            assert len(ReproClient(shards[0].address).jobs()) == n_before
+            snap = router.metrics.snapshot()
+            assert snap["svc.router.ring.added"]["value"] == 1
+            assert snap["svc.router.ring.removed"]["value"] == 1
+        finally:
+            router.close()
+            for s in shards + [spare]:
+                s.close()
+
+    def test_add_refuses_unreachable_peer(self):
+        svc = ReproService(slots=1, queue_size=4).start()
+        router = FleetRouter([svc.address], probe_interval=0).start()
+        try:
+            client = ReproClient(router.address)
+            with pytest.raises(ServiceError) as exc:
+                client.ring_add(DEAD)
+            assert exc.value.status == 502
+            with pytest.raises(ServiceError) as exc:
+                client.ring_add(svc.address)  # already a member
+            assert exc.value.status == 409
+        finally:
+            router.close()
+            svc.close()
+
+    def test_remove_refuses_last_shard_and_unknown_peer(self):
+        svc = ReproService(slots=1, queue_size=4).start()
+        router = FleetRouter([svc.address], probe_interval=0).start()
+        try:
+            client = ReproClient(router.address)
+            with pytest.raises(ServiceError) as exc:
+                client.ring_remove(svc.address)
+            assert exc.value.status == 400
+            with pytest.raises(ServiceError) as exc:
+                client.ring_remove(DEAD)
+            assert exc.value.status == 404
+        finally:
+            router.close()
+            svc.close()
+
+    def test_rejoining_shard_keeps_its_stable_index(self):
+        shards = [ReproService(slots=1, queue_size=4).start() for _ in range(2)]
+        router = FleetRouter(
+            [s.address for s in shards], probe_interval=0
+        ).start()
+        try:
+            client = ReproClient(router.address)
+            client.ring_remove(shards[1].address, drain_timeout=5)
+            rejoined = client.ring_add(shards[1].address)
+            assert rejoined["shard"] == 1  # not a fresh index
+            doc = client.ring()
+            assert [s["shard"] for s in doc["shards"]] == [0, 1]
+            assert all(s["member"] for s in doc["shards"])
+        finally:
+            router.close()
+            for s in shards:
+                s.close()

@@ -16,8 +16,12 @@ a mixed batch of run/explore/infer jobs through the router, and
 asserts every cross-shard result equals the direct in-process library
 call — the differential contract, held across process and shard
 boundaries.  A warm resubmit must be served from the owning shard's
-cache (``cache.hit``), and a SIGTERM to the router must drain the
-whole fleet cleanly.
+cache (``cache.hit``).  A **chaos phase** then SIGKILLs one shard with
+a batch in flight, admits a spare daemon via ``POST /ring``, retires
+the corpse, and asserts every job in the batch still completes
+bit-identically to the direct call (the router's failover path).
+Finally a SIGTERM to the router must drain the surviving fleet
+cleanly.
 
 Usage::
 
@@ -136,12 +140,18 @@ def single_smoke():
 
 
 def fleet_smoke():
-    """Two shards + router: mixed jobs, cross-shard differential, drain."""
+    """Two shards + router: mixed jobs, differential, chaos, drain."""
     sys.path.insert(0, str(REPO / "src"))
     from repro.apps import get_app
     from repro.harness import explore_summary, run_trials
     from repro.infer import infer_app
-    from repro.svc import ReproClient
+    from repro.svc import (
+        ConsistentHashRing,
+        JobSpec,
+        ReproClient,
+        routing_fingerprint,
+    )
+    from repro.svc.jobs import stats_to_wire
 
     with tempfile.TemporaryDirectory() as tmp:
         tmp = Path(tmp)
@@ -224,11 +234,74 @@ def fleet_smoke():
             print(f"shard caches OK ({hits} warm hit(s)); "
                   f"{routed} jobs routed")
 
-            # SIGTERM to the router drains it; each shard then drains on
-            # its own SIGTERM (fast: its queue is already closed).
-            _terminate_clean(router_proc, "router", *procs[:-1])
-            for i, proc in enumerate(procs[:-1]):
-                _terminate_clean(proc, f"shard{i}")
+            # --- Chaos phase: kill a shard mid-batch, repair the ring. ---
+            spare_pf = tmp / "spare.port"
+            spare_proc = _spawn([
+                "serve", "--port", "0", "--slots", "2",
+                "--port-file", str(spare_pf),
+                "--cache-dir", str(tmp / "cache-spare"),
+            ])
+            procs.append(spare_proc)
+            spare = _await_port(spare_pf, spare_proc, *procs[:-1])
+
+            # Build a batch that provably splits across both shards (the
+            # local ring mirrors the router's: same URLs, same order).
+            ring = ConsistentHashRing(shards)
+            chaos, owners = [], []
+            for i in range(500):
+                if len(chaos) == 8:
+                    break
+                spec = JobSpec(app="figure4", bug="error1", trials=5,
+                               timeout=round(0.21 + i * 1e-3, 4))
+                owner = ring.lookup(routing_fingerprint(spec))
+                if owners.count(owner) >= 4:
+                    continue
+                chaos.append(spec)
+                owners.append(owner)
+            if sorted(set(owners)) != [0, 1]:
+                fail(f"chaos batch did not split across shards: {owners}",
+                     *procs)
+
+            ids = [client.submit(spec) for spec in chaos]
+            procs[0].kill()  # SIGKILL shard 0 with the batch in flight
+            procs[0].wait()
+            added = client.ring_add(spare)
+            print(f"chaos: shard0 SIGKILLed mid-batch; spare {spare} "
+                  f"admitted as shard {added['shard']}")
+
+            for job_id, spec in zip(ids, chaos):
+                doc = client.wait(job_id, timeout=TIMEOUT)
+                if doc["state"] != "done":
+                    fail(f"chaos job {job_id} ended {doc['state']}: {doc}",
+                         *procs)
+                direct = run_trials(get_app(spec.app), n=spec.trials,
+                                    bug=spec.bug, timeout=spec.timeout)
+                if doc["result"] != stats_to_wire(direct):
+                    fail(f"chaos job {job_id} differs from the direct call",
+                         *procs)
+            snap = client.metrics()
+            rescued = sum(
+                snap.get(f"svc.router.failover.{k}", {}).get("value", 0)
+                for k in ("submit_reroutes", "job_reroutes"))
+            if rescued < 1:
+                fail(f"no failover recorded for the killed shard: "
+                     f"{sorted(k for k in snap if 'failover' in k)}", *procs)
+            print(f"chaos: all 8 jobs bit-identical to direct calls "
+                  f"({rescued} failover reroute(s))")
+
+            # Retire the corpse; the fleet must report healthy again.
+            client.ring_remove(shards[0])
+            health = client.health()
+            if health.get("status") != "ok" or len(health["shards"]) != 2:
+                fail(f"fleet not healthy after ring repair: {health}", *procs)
+            print("chaos: dead shard retired via POST /ring; fleet healthy")
+
+            # SIGTERM to the router drains it; each surviving shard then
+            # drains on its own SIGTERM (shard 0 died in the chaos phase).
+            _terminate_clean(router_proc, "router",
+                             *[p for p in procs if p is not router_proc])
+            _terminate_clean(procs[1], "shard1", spare_proc)
+            _terminate_clean(spare_proc, "spare")
         finally:
             for proc in procs:
                 if proc.poll() is None:
