@@ -5,9 +5,10 @@ TRIALS ?= 100
 # -1 = one worker per CPU
 WORKERS ?= -1
 
-.PHONY: install test test-par test-cache test-infer lint docstrings \
-	serve-smoke fleet-smoke bench bench-par bench-explore bench-svc \
-	bench-cache bench-kernel bench-infer golden report examples all
+.PHONY: install test test-par test-cache test-infer test-bounded lint \
+	docstrings serve-smoke fleet-smoke bench bench-par bench-explore \
+	bench-svc bench-cache bench-kernel bench-infer bench-bounding \
+	golden report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -32,6 +33,12 @@ test-cache:
 # serialization, and the cache/service/CLI differentials.
 test-infer:
 	$(PYTHON) -m pytest tests/infer/ tests/detect/test_reports_serialization.py
+
+# The bounded-search battery: the bounded == unbounded differential
+# equivalence tests, the accounting/monotonicity properties, and the
+# large-scale app family (bounded DPOR + PCT fallback).
+test-bounded:
+	$(PYTHON) -m pytest tests/sim/test_bounding.py tests/apps/test_large_apps.py
 
 # Critical-error lint (same rule set as the CI lint job).
 lint:
@@ -97,6 +104,13 @@ bench-kernel:
 bench-infer:
 	$(PYTHON) -m pytest benchmarks/bench_infer.py \
 	    --benchmark-only -s
+
+# Bounded-search reduction gate on the large app family: emits
+# benchmarks/BENCH_bounding.json (projected >=5x schedule reduction at
+# equal bug-finding) and gates it against the committed baseline.
+bench-bounding:
+	PYTHONPATH=src $(PYTHON) -m pytest \
+	    benchmarks/bench_explore_bounding.py --benchmark-only -s
 
 # Re-record the golden trace corpus (only after a deliberate
 # trace-content change; the golden tests diff byte-for-byte).

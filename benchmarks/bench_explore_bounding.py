@@ -1,0 +1,113 @@
+"""Bounded search — schedule reduction on the large-scale app family.
+
+For each large subject (``threadpool``, ``mesh``, ``connpool``) two
+unaided DPOR walks run at the family's shared exploration workload
+(:data:`repro.apps.large.EXPLORE_PARAMS`):
+
+* **bounded** — preemption bound <= 2 per app; the walk *completes*
+  and finds the declared bug;
+* **unbounded** — capped at ``UNBOUNDED_CAP`` schedules; at the cap it
+  has neither completed nor found anything.
+
+The gated metric is the per-app projected reduction at equal
+bug-finding: the unbounded walk provably needs more than
+``UNBOUNDED_CAP`` schedules to reach its first hit, so
+``UNBOUNDED_CAP / bounded_schedules`` is a *lower bound* on the true
+reduction factor.  The acceptance floor is 5x; the walks are
+deterministic, so the emitted values are machine-independent.
+
+Emits ``BENCH_bounding.json`` and gates it against the committed
+baseline (``tools/perfgate.py`` consumes the same document in CI).
+"""
+
+import time
+
+from repro.apps.large import EXPLORE_PARAMS
+from repro.harness import explore_app
+from repro.sim import Bound
+
+from conftest import emit, emit_bench_doc, gate_bench_doc
+
+#: app -> preemption bound that suffices (all <= 2 by design).
+BOUNDS = {"threadpool": 1, "mesh": 2, "connpool": 1}
+
+#: Unbounded-walk schedule cap: the projection denominator.
+UNBOUNDED_CAP = 2000
+
+#: Acceptance floor for the projected reduction at equal bug-finding.
+MIN_REDUCTION = 5.0
+
+
+def _walk(app_name, bound, cap):
+    t0 = time.perf_counter()
+    res = explore_app(
+        app_name,
+        dpor=True,
+        bound=bound,
+        max_schedules=cap,
+        params=EXPLORE_PARAMS[app_name],
+    )
+    return res, time.perf_counter() - t0
+
+
+def test_bounding_reduction(benchmark):
+    def experiment():
+        rows = []
+        for app_name, pb in BOUNDS.items():
+            bounded, b_secs = _walk(app_name, Bound(preemptions=pb), UNBOUNDED_CAP)
+            unbounded, u_secs = _walk(app_name, None, UNBOUNDED_CAP)
+            rows.append((app_name, pb, bounded, b_secs, unbounded, u_secs))
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    body, metrics = [], {}
+    for app_name, pb, bounded, b_secs, unbounded, u_secs in rows:
+        bex, uex = bounded.exploration, unbounded.exploration
+        # The value proposition, asserted before anything is emitted:
+        # the bounded walk exhausts its space and finds the bug; the
+        # unbounded walk at the cap has done neither.
+        assert bex.complete and bounded.hits > 0, f"{app_name}: bound too tight"
+        assert not uex.complete and unbounded.hits == 0, (
+            f"{app_name}: unbounded walk no longer needs the bound; "
+            f"re-tune the subject"
+        )
+        reduction = UNBOUNDED_CAP / bex.count
+        assert reduction >= MIN_REDUCTION, (
+            f"{app_name}: projected reduction {reduction:.1f}x below the "
+            f"{MIN_REDUCTION}x acceptance floor"
+        )
+        body.append(
+            f"{app_name:>11}: pb<={pb} -> {bex.count} schedules "
+            f"(complete, {bounded.hits} hits, {bex.preemption_cuts} cuts, "
+            f"{b_secs:.1f}s) vs unbounded≥{UNBOUNDED_CAP} "
+            f"(0 hits, {u_secs:.1f}s) = ≥{reduction:.1f}x reduction"
+        )
+        metrics[f"{app_name}_reduction_x"] = {
+            "value": round(reduction, 2),
+            "unit": "x",
+            "direction": "higher",
+            "gate": True,
+        }
+        metrics[f"{app_name}_bounded_schedules"] = {
+            "value": bex.count,
+            "unit": "schedules",
+            "direction": "lower",
+            "gate": False,
+        }
+    emit("Exploration — bounded-search reduction (large app family)",
+         "\n".join(body))
+
+    doc = emit_bench_doc(
+        "bounding",
+        metrics,
+        meta={
+            "workload": "unaided DPOR at EXPLORE_PARAMS; bounds "
+            + ", ".join(f"{a}<={p}" for a, p in BOUNDS.items())
+            + f"; unbounded capped at {UNBOUNDED_CAP}",
+            "note": "reductions are lower bounds (unbounded first hit "
+            "lies beyond the cap) and the walks are deterministic",
+        },
+    )
+    failures = gate_bench_doc(doc, "bounding")
+    assert not failures, "\n".join(failures)

@@ -252,6 +252,12 @@ def main(argv=None) -> int:
     exp_p.add_argument("--shard-depth", type=int, default=2)
     exp_p.add_argument("--witnesses", type=int, default=3, metavar="K",
                        help="print up to K bug-hitting schedules")
+    exp_p.add_argument("--bound-preemptions", type=int, default=None, metavar="N",
+                       help="cut schedules needing more than N preemptions "
+                            "(bounded systematic search)")
+    exp_p.add_argument("--bound-variables", type=int, default=None, metavar="N",
+                       help="cut schedules whose preemptions touch more than "
+                            "N distinct synchronisation variables")
     _add_cache_flags(exp_p)
 
     met_p = sub.add_parser("metrics", help="run under observability and print metrics JSON")
@@ -355,6 +361,12 @@ def main(argv=None) -> int:
     sb_p.add_argument("--sleep-sets", action="store_true",
                       help="exploration jobs: sleep-set pruning (requires --dpor)")
     sb_p.add_argument("--max-schedules", type=int, default=2000, metavar="K")
+    sb_p.add_argument("--bound-preemptions", type=int, default=None, metavar="N",
+                      help="exploration jobs: cut schedules needing more than "
+                           "N preemptions")
+    sb_p.add_argument("--bound-variables", type=int, default=None, metavar="N",
+                      help="exploration jobs: cut schedules whose preemptions "
+                           "touch more than N distinct variables")
     sb_p.add_argument("--job-timeout", type=float, default=None, metavar="SECONDS",
                       help="per-job wall-clock budget")
     sb_p.add_argument("--wait-timeout", type=float, default=None, metavar="SECONDS",
@@ -578,6 +590,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             sleep_sets=args.sleep_sets, max_schedules=args.max_schedules,
             seed=args.seed, timeout=args.timeout,
             workers=max(0, getattr(args, "workers", 0)),
+            bound_preemptions=args.bound_preemptions,
+            bound_variables=args.bound_variables,
             job_timeout=args.job_timeout,
             no_cache=args.no_cache, tenant=tenant,
         )
@@ -619,14 +633,32 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             f"(fraction {result['hit_fraction']:.4f}, "
             f"weighted {result['hit_probability']:.4f})"
         )
+        if result.get("bound") is not None:
+            limits = ", ".join(
+                f"{k} <= {v}"
+                for k, v in sorted(result["bound"].items())
+                if v is not None
+            )
+            cuts = result.get("cuts") or {}
+            print(
+                f"  bounding       : {limits}; cuts: "
+                f"{cuts.get('preemption_cuts', 0)} preemption, "
+                f"{cuts.get('variable_cuts', 0)} variable"
+            )
         if result["dpor"] is not None:
             st = result["dpor"]
-            print(
+            line = (
                 f"  dpor           : {st['branches_added']} branches, "
                 f"{st['conservative_fallbacks']} fallbacks, "
                 f"{st['sleep_set_prunes']} sleep-set prunes, "
                 f"{st['executed_steps']} steps executed"
             )
+            if st.get("preemption_cuts") or st.get("variable_cuts"):
+                line += (
+                    f", {st.get('preemption_cuts', 0)} preemption cuts, "
+                    f"{st.get('variable_cuts', 0)} variable cuts"
+                )
+            print(line)
     print(f"  job            : {record['id']} ({record['attempts']} attempt(s), "
           f"{record['latency_seconds']:.2f}s end-to-end)")
     return 0
@@ -691,6 +723,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 def _cmd_explore(args: argparse.Namespace) -> int:
     from repro.harness import explore_summary
     from repro.obs import ObsContext
+    from repro.sim.explore import Bound
     from repro.sim.timeline import render_choice_path
 
     cls = get_app(args.app)
@@ -700,6 +733,12 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     if (args.sleep_sets or args.workers) and not args.dpor:
         print("error: --sleep-sets and --workers require --dpor")
         return 2
+    for name in ("bound_preemptions", "bound_variables"):
+        val = getattr(args, name)
+        if val is not None and val < 0:
+            print(f"error: --{name.replace('_', '-')} must be >= 0, got {val}")
+            return 2
+    bound = Bound.from_values(args.bound_preemptions, args.bound_variables)
 
     obs_ctx = ObsContext.create()
     try:
@@ -717,6 +756,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             max_steps=args.max_steps,
             seed=args.seed,
             timeout=args.timeout,
+            bound=bound,
             obs=obs_ctx,
         )
     except ValueError as exc:
@@ -730,14 +770,30 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         f"  bug hit        : {res.hits}/{res.schedules} schedules "
         f"(fraction {res.hit_fraction:.4f}, weighted {res.hit_probability:.4f})"
     )
+    if res.bound is not None:
+        limits = ", ".join(
+            f"{k} <= {v}" for k, v in sorted(res.bound.items()) if v is not None
+        )
+        cuts = res.cuts or {}
+        print(
+            f"  bounding       : {limits}; cuts: "
+            f"{cuts.get('preemption_cuts', 0)} preemption, "
+            f"{cuts.get('variable_cuts', 0)} variable"
+        )
     if res.dpor is not None:
         st = res.dpor
-        print(
+        line = (
             f"  dpor           : {st['branches_added']} branches, "
             f"{st['conservative_fallbacks']} fallbacks, "
             f"{st['sleep_set_prunes']} sleep-set prunes, "
             f"{st['executed_steps']} steps executed"
         )
+        if st.get("preemption_cuts") or st.get("variable_cuts"):
+            line += (
+                f", {st.get('preemption_cuts', 0)} preemption cuts, "
+                f"{st.get('variable_cuts', 0)} variable cuts"
+            )
+        print(line)
     # Pool counters only populate when the exploration actually ran in
     # this process (a cache hit executes nothing).
     snap = obs_ctx.metrics.snapshot()

@@ -1,0 +1,371 @@
+"""Large-scale untimed subjects for bounded systematic exploration.
+
+The ``bank`` subject proves the explorers correct on a two-thread
+program; these three subjects prove bounded search *useful* at scale.
+Each spawns tens to hundreds of threads contending on a small set of
+shared locks and counters — enough commutative interleaving that
+unbounded DPOR drowns in schedules — while the declared bug itself
+needs only one or two preemptions to manifest, which is exactly the
+regime preemption bounding targets (Musuvathi & Qadeer's observation
+that real concurrency bugs have tiny preemption depth).
+
+All three share the ``bank`` bug shape: one protagonist thread performs
+a single unguarded read-modify-write on a *dedicated, rarely written*
+cell, racing exactly one partner thread whose (properly locked) update
+of the same cell lands only after a stretch of private warm-up work.
+Under random scheduling the two windows almost never overlap — with
+hundreds of runnable threads the partner would have to win every
+scheduling slot through its warm-up while the protagonist wins none —
+so baseline runs stay clean; systematic exploration with a preemption
+budget of two reaches the losing interleaving deterministically.
+
+No timed operations anywhere (the DPOR explorer rejects them); every
+primitive and cell is named so variable bounding has stable,
+process-portable keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.sim.kernel import Kernel, RunResult
+from repro.sim.memory import SharedCell
+from repro.sim.primitives import SimLock, SimSemaphore
+
+from .base import BaseApp, BugSpec
+
+__all__ = ["ThreadPoolApp", "MeshApp", "ConnPoolApp", "EXPLORE_PARAMS"]
+
+#: Scaled-down workload overrides under which systematic exploration of
+#: each subject is tractable (the full-size defaults are for trial
+#: sweeps and PCT runs; DPOR on two hundred threads is not a test).
+#: Shared by ``tests/apps/test_large_apps.py`` and the bounding
+#: benchmark so both argue about the same schedule space.
+EXPLORE_PARAMS: Dict[str, Dict[str, Any]] = {
+    "threadpool": {"workers": 3, "tasks": 3, "audit_work": 1, "pre_work": 1},
+    "mesh": {"pairs": 2, "rounds": 1, "audit_work": 1, "pre_work": 1},
+    "connpool": {"clients": 3, "conns": 2, "grow_work": 1, "pre_work": 1},
+}
+
+
+class ThreadPoolApp(BaseApp):
+    """A task-dispatch thread pool with an unguarded audit counter.
+
+    ``workers`` threads claim task indices from a shared cursor under
+    the dispatch lock and tally completions under the same lock — heavy
+    commutative contention.  Worker 0 additionally bumps the pool's
+    audit counter *outside* the lock as its very first action; the
+    supervisor (spawned last) bumps it under the lock after its private
+    warm-up.  When the supervisor's locked increment lands inside worker
+    0's get→set window, worker 0's stale write erases it.
+    """
+
+    name = "threadpool"
+    paper_loc = "-"
+    horizon = 30.0
+    bugs: Dict[str, BugSpec] = {
+        "audit_race": BugSpec(
+            id="audit_race",
+            kind="race",
+            error="test fail",
+            description="worker 0 bumps the audit counter outside the "
+            "dispatch lock; the supervisor's locked bump lands in the "
+            "window and is lost",
+            comments="untimed large subject; needs one preemption",
+            oracle_mode="error",
+        ),
+    }
+
+    def setup(self, kernel: Kernel) -> None:
+        """Spawn the worker threads and the auditing supervisor."""
+        workers = self.param("workers", 200)
+        tasks = self.param("tasks", 300)
+        work = self.param("work", 1)
+        audit_work = self.param("audit_work", 6)
+        pre_work = self.param("pre_work", 10)
+        self.audit = SharedCell(0, name="audit")
+        self.done = SharedCell(0, name="done")
+        next_task = SharedCell(0, name="next_task")
+        dispatch = SimLock("dispatch")
+        self.tasks = tasks
+
+        def worker(me: int, scratch: SharedCell):
+            racy = me == 0
+
+            def body():
+                if racy:
+                    # Private warm-up longer than the supervisor's: in a
+                    # typical run the supervisor's locked bump lands
+                    # well before this window opens, so the two overlap
+                    # only when the scheduler starves the supervisor for
+                    # the whole stretch (or a breakpoint holds the
+                    # window open).
+                    for _ in range(pre_work):
+                        v = yield from scratch.get()
+                        yield from scratch.set(v + 1)
+                    a = yield from self.audit.get(loc="large.py:audit_fast")
+                    yield from self.cb_conflict(
+                        "audit_race",
+                        self.audit,
+                        first=True,
+                        loc="large.py:audit_fast",
+                    )
+                    yield from self.audit.set(a + 1, loc="large.py:audit_fast")
+                while True:
+                    yield from dispatch.acquire()
+                    t = yield from next_task.get(loc="large.py:claim")
+                    if t >= tasks:
+                        yield from dispatch.release()
+                        break
+                    yield from next_task.set(t + 1, loc="large.py:claim")
+                    yield from dispatch.release()
+                    for _ in range(work):
+                        v = yield from scratch.get()
+                        yield from scratch.set(v + 1)
+                    yield from dispatch.acquire()
+                    d = yield from self.done.get(loc="large.py:done")
+                    yield from self.done.set(d + 1, loc="large.py:done")
+                    yield from dispatch.release()
+
+            return body
+
+        def supervisor(scratch: SharedCell):
+            def body():
+                for _ in range(audit_work):
+                    v = yield from scratch.get()
+                    yield from scratch.set(v + 1)
+                yield from dispatch.acquire()
+                a = yield from self.audit.get(loc="large.py:audit")
+                yield from self.cb_conflict(
+                    "audit_race", self.audit, first=False, loc="large.py:audit"
+                )
+                yield from self.audit.set(a + 1, loc="large.py:audit")
+                yield from dispatch.release()
+
+            return body
+
+        for me in range(workers):
+            scratch = SharedCell(0, name=f"wscratch{me}")
+            kernel.spawn(worker(me, scratch), name=f"worker{me}")
+        kernel.spawn(supervisor(SharedCell(0, name="sscratch")), name="supervisor")
+
+    def oracle(self, result: RunResult) -> Optional[str]:
+        """Both audit bumps must survive."""
+        if result.deadlocked:
+            return "stall"
+        if self.audit.peek() != 2:
+            return "audit-mismatch"
+        return None
+
+
+class MeshApp(BaseApp):
+    """A producer/consumer mesh losing one tally update.
+
+    ``pairs`` producers feed ``pairs`` semaphore channels round-robin;
+    ``pairs`` consumers drain a fixed quota from their own channel and
+    tally consumption under the totals lock.  Consumer 0 also bumps the
+    shared tally cell *outside* the lock right after its first receive;
+    the auditor's locked bump races it exactly as in ``threadpool``.
+    """
+
+    name = "mesh"
+    paper_loc = "-"
+    horizon = 30.0
+    bugs: Dict[str, BugSpec] = {
+        "lost_item": BugSpec(
+            id="lost_item",
+            kind="race",
+            error="test fail",
+            description="consumer 0 bumps the item tally outside the "
+            "totals lock; the auditor's locked bump lands in the window "
+            "and is lost",
+            comments="untimed large subject; needs two preemptions",
+            oracle_mode="error",
+        ),
+    }
+
+    def setup(self, kernel: Kernel) -> None:
+        """Spawn producers, consumers, and the auditing thread."""
+        pairs = self.param("pairs", 60)
+        rounds = self.param("rounds", 2)
+        work = self.param("work", 1)
+        audit_work = self.param("audit_work", 6)
+        pre_work = self.param("pre_work", 10)
+        self.tally = SharedCell(0, name="tally")
+        self.consumed = SharedCell(0, name="consumed")
+        totals = SimLock("totals")
+        chans = [SimSemaphore(0, name=f"chan{j}") for j in range(pairs)]
+
+        def producer(i: int):
+            def body():
+                # Round-robin fan-out: channel j receives exactly
+                # ``rounds`` items in total, matching its consumer's
+                # quota, so the mesh always drains.
+                for r in range(rounds):
+                    yield from chans[(i + r) % pairs].release()
+
+            return body
+
+        def consumer(j: int, scratch: SharedCell):
+            def body():
+                for r in range(rounds):
+                    yield from chans[j].acquire()
+                    if j == 0 and r == 0:
+                        for _ in range(pre_work):
+                            v = yield from scratch.get()
+                            yield from scratch.set(v + 1)
+                        t = yield from self.tally.get(loc="large.py:tally_fast")
+                        yield from self.cb_conflict(
+                            "lost_item",
+                            self.tally,
+                            first=True,
+                            loc="large.py:tally_fast",
+                        )
+                        yield from self.tally.set(t + 1, loc="large.py:tally_fast")
+                    for _ in range(work):
+                        v = yield from scratch.get()
+                        yield from scratch.set(v + 1)
+                    yield from totals.acquire()
+                    c = yield from self.consumed.get(loc="large.py:consumed")
+                    yield from self.consumed.set(c + 1, loc="large.py:consumed")
+                    yield from totals.release()
+
+            return body
+
+        def auditor(scratch: SharedCell):
+            def body():
+                for _ in range(audit_work):
+                    v = yield from scratch.get()
+                    yield from scratch.set(v + 1)
+                yield from totals.acquire()
+                t = yield from self.tally.get(loc="large.py:tally")
+                yield from self.cb_conflict(
+                    "lost_item", self.tally, first=False, loc="large.py:tally"
+                )
+                yield from self.tally.set(t + 1, loc="large.py:tally")
+                yield from totals.release()
+
+            return body
+
+        for i in range(pairs):
+            kernel.spawn(producer(i), name=f"producer{i}")
+        for j in range(pairs):
+            scratch = SharedCell(0, name=f"cscratch{j}")
+            kernel.spawn(consumer(j, scratch), name=f"consumer{j}")
+        kernel.spawn(auditor(SharedCell(0, name="ascratch")), name="auditor")
+
+    def oracle(self, result: RunResult) -> Optional[str]:
+        """Both tally bumps must survive."""
+        if result.deadlocked:
+            return "stall"
+        if self.tally.peek() != 2:
+            return "tally-mismatch"
+        return None
+
+
+class ConnPoolApp(BaseApp):
+    """A connection-pooled server under client load.
+
+    ``clients`` threads lease and return connections through a counting
+    semaphore plus a locked free-count — the hot, always-locked traffic
+    that makes unbounded exploration explode.  The race lives on the
+    *spare-connection tally*, a dedicated cell only two threads ever
+    write: client 0 bumps it outside the pool lock on its first lease
+    (recording the connection it will donate back), and the scaler bumps
+    it under the lock after its warm-up.  The scaler's bump landing
+    inside client 0's get→set window is lost.
+    """
+
+    name = "connpool"
+    paper_loc = "-"
+    horizon = 30.0
+    bugs: Dict[str, BugSpec] = {
+        "grow_race": BugSpec(
+            id="grow_race",
+            kind="race",
+            error="test fail",
+            description="client 0 bumps the spare-connection tally "
+            "outside the pool lock; the scaler's locked grow-by-one "
+            "lands in the window and is lost",
+            comments="untimed large subject; needs one preemption",
+            oracle_mode="error",
+        ),
+    }
+
+    def setup(self, kernel: Kernel) -> None:
+        """Spawn the client threads and the pool scaler."""
+        clients = self.param("clients", 180)
+        conns = self.param("conns", 8)
+        work = self.param("work", 1)
+        grow_work = self.param("grow_work", 6)
+        pre_work = self.param("pre_work", 10)
+        self.spare = SharedCell(0, name="spare")
+        free = SharedCell(conns, name="free")
+        permits = SimSemaphore(conns, name="permits")
+        pool = SimLock("pool")
+
+        def client(me: int, scratch: SharedCell):
+            # Client 0 rides the pool's reserved warm connection: no
+            # permit needed, so it always reaches its racy bookkeeping
+            # even when the permit holders are queued on the pool lock.
+            racy = me == 0
+
+            def body():
+                if racy:
+                    for _ in range(pre_work):
+                        v = yield from scratch.get()
+                        yield from scratch.set(v + 1)
+                    s = yield from self.spare.get(loc="large.py:spare_fast")
+                    yield from self.cb_conflict(
+                        "grow_race",
+                        self.spare,
+                        first=True,
+                        loc="large.py:spare_fast",
+                    )
+                    yield from self.spare.set(s + 1, loc="large.py:spare_fast")
+                else:
+                    yield from permits.acquire()
+                yield from pool.acquire()
+                f = yield from free.get(loc="large.py:lease")
+                yield from free.set(f - 1, loc="large.py:lease")
+                yield from pool.release()
+                for _ in range(work):
+                    v = yield from scratch.get()
+                    yield from scratch.set(v + 1)
+                yield from pool.acquire()
+                f = yield from free.get(loc="large.py:unlease")
+                yield from free.set(f + 1, loc="large.py:unlease")
+                yield from pool.release()
+                if not racy:
+                    yield from permits.release()
+
+            return body
+
+        def scaler(scratch: SharedCell):
+            def body():
+                for _ in range(grow_work):
+                    v = yield from scratch.get()
+                    yield from scratch.set(v + 1)
+                yield from pool.acquire()
+                s = yield from self.spare.get(loc="large.py:grow")
+                yield from self.cb_conflict(
+                    "grow_race", self.spare, first=False, loc="large.py:grow"
+                )
+                yield from self.spare.set(s + 1, loc="large.py:grow")
+                yield from pool.release()
+                yield from permits.release()
+
+            return body
+
+        for me in range(clients):
+            scratch = SharedCell(0, name=f"clscratch{me}")
+            kernel.spawn(client(me, scratch), name=f"client{me}")
+        kernel.spawn(scaler(SharedCell(0, name="gscratch")), name="scaler")
+
+    def oracle(self, result: RunResult) -> Optional[str]:
+        """Both spare-tally bumps must survive."""
+        if result.deadlocked:
+            return "stall"
+        if self.spare.peek() != 2:
+            return "pool-corrupt"
+        return None

@@ -16,6 +16,7 @@ from .figure4 import Figure4App
 from .hedc import HedcApp
 from .httpd import HttpdApp
 from .jigsaw import JigsawApp
+from .large import ConnPoolApp, MeshApp, ThreadPoolApp
 from .log4j import Log4jApp
 from .logging_app import LoggingApp
 from .lucene import LuceneApp
@@ -63,12 +64,16 @@ C_APPS: Dict[str, Type[BaseApp]] = {
 }
 
 #: Everything explorable/runnable by name: the table subjects plus the
-#: Figure 4 walkthrough and the untimed ``bank`` exploration subject.
+#: Figure 4 walkthrough, the untimed ``bank`` exploration subject, and
+#: the large-scale bounded-search subjects (:mod:`repro.apps.large`).
 ALL_APPS: Dict[str, Type[BaseApp]] = {
     **JAVA_APPS,
     **C_APPS,
     Figure4App.name: Figure4App,
     BankApp.name: BankApp,
+    ThreadPoolApp.name: ThreadPoolApp,
+    MeshApp.name: MeshApp,
+    ConnPoolApp.name: ConnPoolApp,
 }
 
 

@@ -161,6 +161,20 @@ def _make() -> Dict[Tuple[str, str], BreakpointSuite]:
               predicate="t1.balance == t2.balance", bound=1),
         desc="unsynchronised read-modify-write clobbers a locked deposit")
 
+    # -- large-scale bounded-search subjects -------------------------------
+    add("threadpool", "audit_race", "test fail",
+        _pair("audit_race", "conflict", "large.py:audit_fast", "large.py:audit",
+              predicate="t1.audit == t2.audit", bound=1),
+        desc="unguarded audit-counter bump clobbers the supervisor's locked bump")
+    add("mesh", "lost_item", "test fail",
+        _pair("lost_item", "conflict", "large.py:tally_fast", "large.py:tally",
+              predicate="t1.tally == t2.tally", bound=1),
+        desc="unguarded item-tally bump clobbers the auditor's locked bump")
+    add("connpool", "grow_race", "test fail",
+        _pair("grow_race", "conflict", "large.py:spare_fast", "large.py:grow",
+              predicate="t1.spare == t2.spare", bound=1),
+        desc="unguarded spare-tally bump loses the scaler's grow-by-one")
+
     # -- figure4 -----------------------------------------------------------
     add("figure4", "error1", "ERROR",
         _pair("error1", "conflict", "Figure4:8", "Figure4:10",

@@ -181,6 +181,7 @@ def explore_config_doc(
     use_policies: bool,
     params: Optional[Dict[str, Any]],
     witness_limit: int,
+    bound: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Fingerprint-relevant fields of one exploration summary.
 
@@ -191,7 +192,11 @@ def explore_config_doc(
     count* is absent: the sharded merge is bit-identical for any count
     (``tests/sim/test_snapshot_explore.py``).  ``max_steps`` must be
     resolved by the caller (an explicit value equal to the app default
-    is the same computation and must hash the same).
+    is the same computation and must hash the same).  ``bound`` is the
+    doc form of the :class:`~repro.sim.explore.Bound` applied — bounding
+    cuts schedules, so it is result-relevant and must key the entry
+    (``None`` = unbounded; an *active* bound equal in effect to
+    unbounded still hashes separately, which only costs a re-run).
     """
     return {
         "schema": CACHE_SCHEMA,
@@ -211,6 +216,7 @@ def explore_config_doc(
         "use_policies": bool(use_policies),
         "params": dict(params or {}),
         "witness_limit": int(witness_limit),
+        "bound": dict(bound) if bound else None,
     }
 
 

@@ -341,15 +341,20 @@ class ResultCache:
         params: Optional[Dict[str, Any]] = None,
         witness_limit: int = 3,
         obs: Any = None,
+        bound: Optional[Any] = None,
     ):
         """Cached exploration summary; runs :func:`explore_app` on a miss.
 
         Only the summary (counts, DPOR stats, bounded witness list) is
         stored — the full outcome list is unbounded and cheap to
-        regenerate when actually needed.
+        regenerate when actually needed.  ``bound`` (a
+        :class:`~repro.sim.explore.Bound` or None) cuts schedules, so it
+        is part of the entry's content address.
         """
         from repro.harness.exploration import ExplorationSummary, explore_app
 
+        if bound is not None and not bound.active:
+            bound = None
         sharded = bool(dpor and workers)
         key, config, _cls = self._explore_key(
             app_name,
@@ -366,6 +371,7 @@ class ResultCache:
             use_policies=use_policies,
             params=params,
             witness_limit=witness_limit,
+            bound=bound.to_doc() if bound is not None else None,
         )
         entry = self.store.load(key, expect_config=config)
         if entry is not None and isinstance(entry.get("summary"), dict):
@@ -387,6 +393,7 @@ class ResultCache:
             use_policies=use_policies,
             params=params,
             obs=obs,
+            bound=bound,
         )
         summary = res.summary(witness_limit=witness_limit)
         self.store.store(
@@ -410,6 +417,9 @@ class ResultCache:
         shard_depth = kwargs.pop("shard_depth", 2)
         dpor = kwargs.get("dpor", False)
         sharded = bool(dpor and workers)
+        bound = kwargs.pop("bound", None)
+        if bound is not None and not bound.active:
+            bound = None
         key, config, _cls = self._explore_key(
             app_name,
             bug,
@@ -425,6 +435,7 @@ class ResultCache:
             use_policies=kwargs.get("use_policies", True),
             params=kwargs.get("params"),
             witness_limit=kwargs.get("witness_limit", 3),
+            bound=bound.to_doc() if bound is not None else None,
         )
         entry = self.store.load(key, expect_config=config)
         if entry is None or not isinstance(entry.get("summary"), dict):

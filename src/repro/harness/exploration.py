@@ -23,7 +23,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.apps import AppConfig, get_app
 from repro.sim.dpor import DporStats, explore_dpor, explore_dpor_sharded
-from repro.sim.explore import Exploration, Outcome, explore
+from repro.sim.explore import Bound, Exploration, Outcome, explore
 from repro.sim.snapshot import fork_available
 
 __all__ = [
@@ -58,6 +58,12 @@ class ExplorationSummary:
     #: ``dataclasses.asdict`` of the :class:`DporStats`, or None.
     dpor: Optional[Dict[str, Any]]
     witnesses: List[List[int]]
+    #: Doc form of the :class:`~repro.sim.explore.Bound` applied
+    #: (``Bound.to_doc()``), or None when unbounded.
+    bound: Optional[Dict[str, Any]] = None
+    #: ``{"preemption_cuts": n, "variable_cuts": n}`` when a bound was
+    #: applied (any explorer mode), else None.
+    cuts: Optional[Dict[str, int]] = None
 
     def to_wire(self) -> Dict[str, Any]:
         """JSON dict in the established ``repro.svc/1`` explore shape."""
@@ -73,6 +79,8 @@ class ExplorationSummary:
             "pool_mode": self.pool_mode,
             "dpor": self.dpor,
             "witnesses": [list(c) for c in self.witnesses],
+            "bound": self.bound,
+            "cuts": self.cuts,
         }
 
     @classmethod
@@ -89,6 +97,8 @@ class ExplorationSummary:
             pool_mode=doc["pool_mode"],
             dpor=doc["dpor"],
             witnesses=[list(c) for c in doc.get("witnesses", [])],
+            bound=doc.get("bound"),
+            cuts=doc.get("cuts"),
         )
 
 
@@ -108,6 +118,8 @@ class AppExploration:
     hit_fraction: float
     #: Branch-choice-weighted hit probability (see module docstring).
     hit_probability: float
+    #: The bound applied to the walk (None = unbounded).
+    bound: Optional[Bound] = None
 
     def summary(self, witness_limit: int = 3) -> ExplorationSummary:
         """Reduce to the bounded, serializable summary form."""
@@ -129,6 +141,15 @@ class AppExploration:
                 list(c)
                 for c in self.exploration.witnesses(outcome_hit, limit=witness_limit)
             ],
+            bound=self.bound.to_doc() if self.bound is not None else None,
+            cuts=(
+                {
+                    "preemption_cuts": self.exploration.preemption_cuts,
+                    "variable_cuts": self.exploration.variable_cuts,
+                }
+                if self.bound is not None
+                else None
+            ),
         )
 
 
@@ -185,6 +206,7 @@ def explore_app(
     use_policies: bool = True,
     params: Optional[Dict[str, Any]] = None,
     obs: Any = None,
+    bound: Optional[Bound] = None,
 ) -> AppExploration:
     """Explore an app's schedule space and evaluate its oracle per leaf.
 
@@ -193,8 +215,13 @@ def explore_app(
     > 0 additionally shards the DPOR tree over forked worker processes.
     ``sleep_sets``/``snapshots`` select the reduction and execution
     strategies; snapshots silently fall back to stateless replay on
-    platforms without ``fork``.
+    platforms without ``fork``.  ``bound`` applies the composable
+    preemption/variable cut strategies of
+    :class:`~repro.sim.explore.Bound` in every explorer mode (the bound
+    is result-relevant: it joins the cache fingerprint).
     """
+    if bound is not None and not bound.active:
+        bound = None
     if bug is not None:
         spec_cls = get_app(app_name)
         if bug not in spec_cls.bugs:
@@ -222,6 +249,7 @@ def explore_app(
             shard_depth=shard_depth,
             sleep_sets=sleep_sets,
             snapshots=snapshots,
+            bound=bound,
         )
     elif dpor:
         exploration, stats = explore_dpor(
@@ -233,6 +261,7 @@ def explore_app(
             sleep_sets=sleep_sets,
             snapshots=snapshots,
             obs=obs,
+            bound=bound,
         )
     else:
         exploration = explore(
@@ -244,6 +273,7 @@ def explore_app(
             snapshots=snapshots,
             max_time=cls.horizon,
             obs=obs,
+            bound=bound,
         )
 
     hits = sum(1 for o in exploration.outcomes if outcome_hit(o))
@@ -256,6 +286,7 @@ def explore_app(
         hits=hits,
         hit_fraction=exploration.probability(outcome_hit),
         hit_probability=exploration.probability(outcome_hit, weighted=True),
+        bound=bound,
     )
 
 

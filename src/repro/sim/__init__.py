@@ -69,10 +69,12 @@ from .dpor import DporStats, explore_dpor, explore_dpor_sharded
 from .explore import Exploration, Outcome, explore, explore_sharded, merge_shards
 from .replay import RecordingScheduler, ReplayDivergence, ReplayScheduler
 from .snapshot import (
+    Bound,
     ForkSnapshotPool,
     PoolStats,
     RunRecord,
     StatelessPool,
+    count_preemptions,
     fork_available,
     make_pool,
 )
@@ -102,6 +104,8 @@ __all__ = [
     "RecordingScheduler",
     "ReplayScheduler",
     "ReplayDivergence",
+    "Bound",
+    "count_preemptions",
     "Exploration",
     "Outcome",
     "explore",

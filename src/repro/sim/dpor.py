@@ -84,13 +84,18 @@ from typing import (
 )
 
 from .explore import (
+    Bound,
     Exploration,
     Outcome,
+    _cut_verdict,
     _fan_out,
     _flush_explore_obs,
     _frontier,
+    _name_footprints,
+    _preemption_prefix_counts,
     _sanitize_outcome,
     _schedule_weight,
+    _variable_charges,
     merge_shards,
 )
 from .kernel import Kernel
@@ -131,6 +136,10 @@ class DporStats:
     #: Kernel steps actually executed across all runs (suffix-only when
     #: snapshots are on) — the denominator of the work saved.
     executed_steps: int = 0
+    #: Backtrack branches cut by the preemption bound (0 unbounded).
+    preemption_cuts: int = 0
+    #: Backtrack branches cut by the variable bound (0 unbounded).
+    variable_cuts: int = 0
 
 
 def _step_footprints(trace, n_choices: int) -> List[Set[Tuple[int, str]]]:
@@ -177,6 +186,15 @@ def _footprint_extras(kernel: Kernel, sched) -> dict:
     return {"foot": _step_footprints(kernel.trace, len(sched.choices))}
 
 
+def _footprint_extras_named(kernel: Kernel, sched) -> dict:
+    """Footprints plus the name-keyed variant variable bounding charges
+    against (names, unlike ``id`` keys, survive process restarts — the
+    variable-bound subset must be deterministic across them)."""
+    extras = _footprint_extras(kernel, sched)
+    extras["vfoot"] = _name_footprints(kernel.trace, len(sched.choices))
+    return extras
+
+
 @dataclasses.dataclass
 class _Frame:
     """DFS state for one depth of the current path.
@@ -202,6 +220,7 @@ def explore_dpor(
     snapshots: bool = False,
     prefix: Sequence[int] = (),
     obs: Any = None,
+    bound: Optional[Bound] = None,
 ) -> Tuple[Exploration, DporStats]:
     """DPOR-reduced schedule exploration.
 
@@ -216,7 +235,15 @@ def explore_dpor(
     exactly what :func:`explore_dpor_sharded`'s exhaustive frontier
     guarantees.  ``sleep_sets``/``snapshots``/``obs`` are documented in
     the module docstring.
+
+    ``bound`` (a :class:`~repro.sim.explore.Bound`) cuts over-budget
+    backtrack branches before they are taken — counted per strategy in
+    :class:`DporStats` — and caps preemptions in the free descent; a
+    large-enough bound is bit-identical to ``bound=None``.
     """
+    if bound is not None and not bound.active:
+        bound = None
+    want_vars = bound is not None and bound.variables is not None
     base = len(prefix)
     pool = make_pool(
         build,
@@ -225,11 +252,13 @@ def explore_dpor(
         max_steps=max_steps,
         record_trace=True,
         observe=observe,
-        postprocess=_footprint_extras,
+        postprocess=_footprint_extras_named if want_vars else _footprint_extras,
+        bound=bound,
     )
     branches_added = 0
     fallbacks = 0
     prunes = 0
+    pcuts = vcuts = 0
     try:
         outcomes: List[Outcome] = []
         frames: List[_Frame] = []  # frames[k] is the state at depth base+k
@@ -250,12 +279,23 @@ def explore_dpor(
                     rec.result,
                     rec.observed,
                     _schedule_weight(rec.runnable_sets),
+                    rec.preemptions,
                 )
             )
             choices = list(rec.choices)
             runnables = rec.runnable_sets
             foot = (rec.extras or {}).get("foot", [])
             n = len(choices)
+            cum_p = (
+                _preemption_prefix_counts(choices, runnables)
+                if bound is not None
+                else None
+            )
+            charges = (
+                _variable_charges(choices, runnables, rec.extras["vfoot"])
+                if want_vars
+                else None
+            )
 
             occ: Dict[int, List[int]] = {}
             for d, t in enumerate(choices):
@@ -376,6 +416,21 @@ def explore_dpor(
                 d = base + len(frames) - 1
                 t = min(cand)
                 fr.executed.add(t)
+                # Bounded search: a backtrack branch whose schedule
+                # would exceed the budget is cut here, before it runs.
+                # The frame lies on the current run's path, so the
+                # current run's prefix-count/charge arrays describe the
+                # branch's shared prefix exactly.
+                if bound is not None:
+                    verdict = _cut_verdict(
+                        bound, cum_p, charges, choices, runnables, d, t
+                    )
+                    if verdict == "p":
+                        pcuts += 1
+                        continue
+                    if verdict == "v":
+                        vcuts += 1
+                        continue
                 # A backtrack tid that is asleep here is still taken:
                 # its subtree is behaviour-covered by an explored
                 # sibling, but only *running* it performs the race
@@ -407,8 +462,18 @@ def explore_dpor(
             conservative_fallbacks=fallbacks,
             sleep_set_prunes=prunes,
             executed_steps=pool.stats.executed_steps,
+            preemption_cuts=pcuts,
+            variable_cuts=vcuts,
         )
-        return Exploration(outcomes=outcomes, complete=complete), stats
+        return (
+            Exploration(
+                outcomes=outcomes,
+                complete=complete,
+                preemption_cuts=pcuts,
+                variable_cuts=vcuts,
+            ),
+            stats,
+        )
     finally:
         pool.close()
         _flush_explore_obs(
@@ -418,6 +483,8 @@ def explore_dpor(
                 "explore.dpor.branches_added": branches_added,
                 "explore.dpor.conservative_fallbacks": fallbacks,
                 "explore.dpor.sleep_set_prunes": prunes,
+                "explore.dpor.preemption_cuts": pcuts,
+                "explore.dpor.variable_cuts": vcuts,
             },
         )
 
@@ -434,6 +501,7 @@ def _strip_outcome(outcome: Outcome) -> Outcome:
             dataclasses.replace(outcome.result, trace=None),
             outcome.observed,
             outcome.weight,
+            outcome.preemptions,
         )
     return outcome
 
@@ -450,6 +518,7 @@ def explore_dpor_sharded(
     sleep_sets: bool = False,
     snapshots: bool = False,
     fault_hook: Optional[Callable[[int, int], None]] = None,
+    bound: Optional[Bound] = None,
 ) -> Tuple[Exploration, DporStats]:
     """DPOR over disjoint prefix shards across forked workers.
 
@@ -476,7 +545,9 @@ def explore_dpor_sharded(
     ``max_schedules`` bounds each shard's walk, so a capped sharded
     exploration can visit more schedules than a capped serial one.
     """
-    shards, direct = _frontier(build, shard_depth, max_steps, seed, observe)
+    shards, direct, (front_p, front_v) = _frontier(
+        build, shard_depth, max_steps, seed, observe, bound
+    )
     direct = [_strip_outcome(o) for o in direct]
 
     def task(idx: int, shard_prefix: List[int]):
@@ -489,6 +560,7 @@ def explore_dpor_sharded(
             sleep_sets=sleep_sets,
             snapshots=snapshots,
             prefix=shard_prefix,
+            bound=bound,
         )
         return ([_strip_outcome(o) for o in ex.outcomes], ex.complete, st)
 
@@ -501,15 +573,28 @@ def explore_dpor_sharded(
         conservative_fallbacks=0,
         sleep_set_prunes=0,
         executed_steps=0,
+        preemption_cuts=front_p,
+        variable_cuts=front_v,
     )
     for i in range(len(shards)):
         outs, shard_complete, st = results[i]
-        shard_exs.append(Exploration(outcomes=outs, complete=shard_complete))
+        shard_exs.append(
+            Exploration(
+                outcomes=outs,
+                complete=shard_complete,
+                preemption_cuts=st.preemption_cuts,
+                variable_cuts=st.variable_cuts,
+            )
+        )
         total.branches_added += st.branches_added
         total.conservative_fallbacks += st.conservative_fallbacks
         total.sleep_set_prunes += st.sleep_set_prunes
         total.executed_steps += st.executed_steps
+        total.preemption_cuts += st.preemption_cuts
+        total.variable_cuts += st.variable_cuts
     shard_exs.append(Exploration(outcomes=direct, complete=True))
     merged = merge_shards(shard_exs)
+    merged.preemption_cuts += front_p
+    merged.variable_cuts += front_v
     total.schedules = merged.count
     return merged, total

@@ -29,15 +29,24 @@ schedule tree is exponential, so ``max_schedules`` caps the walk (the
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import math
 import multiprocessing
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from .kernel import Kernel, RunResult
-from .snapshot import PoolStats, _DFSScheduler, make_pool
+from .snapshot import Bound, PoolStats, _DFSScheduler, count_preemptions, make_pool
 
-__all__ = ["Outcome", "Exploration", "explore", "explore_sharded", "merge_shards"]
+__all__ = [
+    "Bound",
+    "Outcome",
+    "Exploration",
+    "count_preemptions",
+    "explore",
+    "explore_sharded",
+    "merge_shards",
+]
 
 
 @dataclasses.dataclass
@@ -53,6 +62,9 @@ class Outcome:
     #: schedule: the product of ``1/len(runnable)`` over every
     #: scheduling point (see :meth:`Exploration.probability`).
     weight: float = 1.0
+    #: Preemptive context switches this schedule performed (see
+    #: :func:`repro.sim.snapshot.count_preemptions`).
+    preemptions: int = 0
 
 
 @dataclasses.dataclass
@@ -61,6 +73,10 @@ class Exploration:
 
     outcomes: List[Outcome]
     complete: bool  # False iff max_schedules stopped the walk
+    #: Branches cut by the preemption bound (0 when unbounded).
+    preemption_cuts: int = 0
+    #: Branches cut by the variable bound (0 when unbounded).
+    variable_cuts: int = 0
 
     @property
     def count(self) -> int:
@@ -112,6 +128,125 @@ def _schedule_weight(runnable_sets: Sequence[Tuple[int, ...]]) -> float:
     return w
 
 
+# ---------------------------------------------------------------------------
+# Bounded search: cut-strategy helpers shared by explore() and the DPOR loop
+# ---------------------------------------------------------------------------
+
+
+def _preemption_prefix_counts(
+    choices: Sequence[int], runnable_sets: Sequence[Tuple[int, ...]]
+) -> List[int]:
+    """``out[d]`` = preemptive switches within ``choices[:d]`` (so
+    ``out[len(choices)] == count_preemptions(...)``)."""
+    out = [0] * (len(choices) + 1)
+    acc = 0
+    for d in range(1, len(choices) + 1):
+        prev = choices[d - 1 - 1] if d >= 2 else None
+        if d >= 2 and choices[d - 1] != prev and prev in runnable_sets[d - 1]:
+            acc += 1
+        out[d] = acc
+    return out
+
+
+def _var_key(obj: Any) -> str:
+    """Process-portable identity of a shared object for variable
+    bounding: ``Type:name``.  Every sim primitive carries a stable
+    ``name`` (auto-assigned in creation order), so the key set is
+    deterministic across process restarts — unlike ``id()``."""
+    return f"{type(obj).__name__}:{getattr(obj, 'name', '')}"
+
+
+def _name_footprints(trace: Sequence[Any], n_choices: int) -> List[FrozenSet[str]]:
+    """Per-scheduling-point sets of shared-object keys touched by the
+    chosen transition.  Tolerates every op (including timed SLEEPs,
+    which carry no object) since plain ``explore`` accepts timed apps."""
+    foot: List[set] = [set() for _ in range(n_choices)]
+    for ev in trace:
+        idx = ev.step - 1
+        if 0 <= idx < n_choices and ev.obj is not None:
+            foot[idx].add(_var_key(ev.obj))
+    return [frozenset(s) for s in foot]
+
+
+def _var_footprint_extras(kernel: Kernel, sched: _DFSScheduler) -> dict:
+    """Pool postprocess hook: name-keyed footprints for variable
+    bounding (computed in-process — the trace holds live objects)."""
+    return {"vfoot": _name_footprints(kernel.trace, len(sched.choices))}
+
+
+def _variable_charges(
+    choices: Sequence[int],
+    runnable_sets: Sequence[Tuple[int, ...]],
+    vfoot: Sequence[FrozenSet[str]],
+) -> Tuple[List[FrozenSet[str]], List[FrozenSet[str]]]:
+    """Charge preemptions to the variables of the preempted transition.
+
+    Returns ``(charged, extra)``: ``charged[d]`` is the union of keys
+    charged by preemptions within ``choices[:d]``; ``extra[d]`` is the
+    charge a preemption *at* depth ``d`` would add — the pending
+    transition of ``choices[d-1]`` (its next occurrence at or after
+    ``d``), empty when unknowable (the thread never runs again in this
+    schedule — conservative: uncharged).
+    """
+    n = len(choices)
+    occ: Dict[int, List[int]] = {}
+    for d, t in enumerate(choices):
+        occ.setdefault(t, []).append(d)
+
+    def pending_vars(t: int, d: int) -> FrozenSet[str]:
+        lst = occ.get(t)
+        if not lst:
+            return frozenset()
+        k = bisect.bisect_left(lst, d)
+        return vfoot[lst[k]] if k < len(lst) else frozenset()
+
+    charged: List[FrozenSet[str]] = [frozenset()] * (n + 1)
+    extra: List[FrozenSet[str]] = [frozenset()] * n
+    cur: FrozenSet[str] = frozenset()
+    for d in range(n):
+        charged[d] = cur
+        if d >= 1 and choices[d - 1] in runnable_sets[d]:
+            ch = pending_vars(choices[d - 1], d)
+            extra[d] = ch
+            if choices[d] != choices[d - 1]:
+                cur = cur | ch
+    charged[n] = cur
+    return charged, extra
+
+
+def _cut_verdict(
+    bound: Bound,
+    cum_p: Sequence[int],
+    charges: Optional[Tuple[List[FrozenSet[str]], List[FrozenSet[str]]]],
+    choices: Sequence[int],
+    runnable_sets: Sequence[Tuple[int, ...]],
+    depth: int,
+    alt: int,
+) -> Optional[str]:
+    """Would branching to ``alt`` at ``depth`` exceed the budget?
+
+    Returns ``"p"`` (preemption bound), ``"v"`` (variable bound) or
+    None.  All arrays describe the *current* run, which is valid because
+    the branch shares its first ``depth`` choices with it.
+    """
+    preempt = (
+        depth >= 1
+        and alt != choices[depth - 1]
+        and choices[depth - 1] in runnable_sets[depth]
+    )
+    if bound.preemptions is not None:
+        if cum_p[depth] + (1 if preempt else 0) > bound.preemptions:
+            return "p"
+    if bound.variables is not None and charges is not None:
+        charged, extra = charges
+        c = charged[depth]
+        if preempt:
+            c = c | extra[depth]
+        if len(c) > bound.variables:
+            return "v"
+    return None
+
+
 def _flush_explore_obs(obs: Any, stats: PoolStats, extra: Optional[Dict[str, int]] = None) -> None:
     """Fold executor counters into an ``ObsContext`` metrics registry
     (``explore.*`` namespace; zero counts are skipped like the kernel's
@@ -141,6 +276,7 @@ def explore(
     snapshots: bool = False,
     max_time: float = math.inf,
     obs: Any = None,
+    bound: Optional[Bound] = None,
 ) -> Exploration:
     """Enumerate the program's schedule tree by DFS.
 
@@ -169,7 +305,17 @@ def explore(
 
     ``obs`` (an :class:`repro.obs.ObsContext`) collects ``explore.*``
     counters: schedules, steps executed, snapshot parks/restores.
+
+    ``bound`` applies the composable cut strategies of :class:`Bound`:
+    branches whose schedule would exceed the preemption or variable
+    budget are cut (counted in ``Exploration.preemption_cuts`` /
+    ``variable_cuts``) and the free descent beyond a forced prefix
+    never preempts past the budget.  A large-enough bound explores the
+    bit-identical outcome set in the identical order as ``bound=None``.
     """
+    if bound is not None and not bound.active:
+        bound = None
+    want_vars = bound is not None and bound.variables is not None
     pool = make_pool(
         build,
         snapshots=snapshots,
@@ -177,7 +323,11 @@ def explore(
         max_steps=max_steps,
         max_time=max_time,
         observe=observe,
+        bound=bound,
+        record_trace=want_vars,
+        postprocess=_var_footprint_extras if want_vars else None,
     )
+    pcuts = vcuts = 0
     try:
         outcomes: List[Outcome] = []
         stack: List[List[int]] = [list(prefix)]
@@ -188,29 +338,76 @@ def explore(
                 break
             prefix = stack.pop()
             rec = pool.run(prefix)
+            result = rec.result
+            if want_vars and result.trace is not None:
+                # The trace exists only to compute variable footprints;
+                # strip it so bounded output matches unbounded exactly.
+                result = dataclasses.replace(result, trace=None)
             outcomes.append(
                 Outcome(
                     rec.choices,
-                    rec.result,
+                    result,
                     rec.observed,
                     _schedule_weight(rec.runnable_sets),
+                    rec.preemptions,
                 )
             )
             # Unexplored siblings: at each depth at or beyond this
-            # prefix, every runnable tid greater than the chosen one
-            # starts a branch nobody has visited yet.  Push
-            # shallow-first so the DFS pops the deepest branch next
-            # (keeps the stack small — and keeps the pop adjacent to
-            # the deepest parked snapshots in fork mode).
-            for depth in range(len(prefix), len(rec.choices)):
-                chosen = rec.choices[depth]
-                for alt in rec.runnable_sets[depth]:
-                    if alt > chosen:
-                        stack.append(list(rec.choices[:depth]) + [alt])
-        return Exploration(outcomes=outcomes, complete=complete)
+            # prefix, every runnable tid other than the chosen one
+            # starts a branch nobody has visited yet (unbounded descent
+            # always picks the minimum, so "other than" reduces to
+            # "greater than" there).  Push shallow-first so the DFS
+            # pops the deepest branch next (keeps the stack small — and
+            # keeps the pop adjacent to the deepest parked snapshots in
+            # fork mode).
+            if bound is None:
+                for depth in range(len(prefix), len(rec.choices)):
+                    chosen = rec.choices[depth]
+                    for alt in rec.runnable_sets[depth]:
+                        if alt > chosen:
+                            stack.append(list(rec.choices[:depth]) + [alt])
+            else:
+                cum_p = _preemption_prefix_counts(rec.choices, rec.runnable_sets)
+                charges = (
+                    _variable_charges(
+                        rec.choices, rec.runnable_sets, rec.extras["vfoot"]
+                    )
+                    if want_vars
+                    else None
+                )
+                for depth in range(len(prefix), len(rec.choices)):
+                    chosen = rec.choices[depth]
+                    for alt in rec.runnable_sets[depth]:
+                        if alt == chosen:
+                            continue
+                        verdict = _cut_verdict(
+                            bound,
+                            cum_p,
+                            charges,
+                            rec.choices,
+                            rec.runnable_sets,
+                            depth,
+                            alt,
+                        )
+                        if verdict == "p":
+                            pcuts += 1
+                        elif verdict == "v":
+                            vcuts += 1
+                        else:
+                            stack.append(list(rec.choices[:depth]) + [alt])
+        return Exploration(
+            outcomes=outcomes,
+            complete=complete,
+            preemption_cuts=pcuts,
+            variable_cuts=vcuts,
+        )
     finally:
         pool.close()
-        _flush_explore_obs(obs, pool.stats)
+        _flush_explore_obs(
+            obs,
+            pool.stats,
+            {"explore.preemption_cuts": pcuts, "explore.variable_cuts": vcuts},
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -232,7 +429,9 @@ def _sanitize_outcome(outcome: Outcome) -> Outcome:
     res = outcome.result
     if res.threads or res.deadlock is not None:
         res = dataclasses.replace(res, threads=[], deadlock=None)
-    return Outcome(outcome.choices, res, outcome.observed, outcome.weight)
+    return Outcome(
+        outcome.choices, res, outcome.observed, outcome.weight, outcome.preemptions
+    )
 
 
 def merge_shards(shards: Sequence[Exploration]) -> Exploration:
@@ -257,7 +456,10 @@ def merge_shards(shards: Sequence[Exploration]) -> Exploration:
             merged.append(outcome)
     merged.sort(key=lambda o: o.choices)
     return Exploration(
-        outcomes=merged, complete=all(s.complete for s in shards)
+        outcomes=merged,
+        complete=all(s.complete for s in shards),
+        preemption_cuts=sum(s.preemption_cuts for s in shards),
+        variable_cuts=sum(s.variable_cuts for s in shards),
     )
 
 
@@ -267,7 +469,8 @@ def _frontier(
     max_steps: int,
     seed: int,
     observe: Optional[Callable[[Kernel], object]],
-) -> Tuple[List[List[int]], List[Outcome]]:
+    bound: Optional[Bound] = None,
+) -> Tuple[List[List[int]], List[Outcome], Tuple[int, int]]:
     """Enumerate all choice prefixes of length ``shard_depth``.
 
     Runs that terminate before making ``shard_depth`` choices are
@@ -278,33 +481,77 @@ def _frontier(
     shard depth, it is exhaustive there — which is also what makes
     restricting per-shard DPOR backtracking to depths >= ``shard_depth``
     sound in :func:`repro.sim.dpor.explore_dpor_sharded`.
+
+    With a ``bound``, over-budget prefix expansions are cut exactly like
+    :func:`explore` cuts branches (the descent-chosen continuation is
+    always kept); returns the ``(preemption_cuts, variable_cuts)`` pair
+    as the third element.
     """
+    if bound is not None and not bound.active:
+        bound = None
+    want_vars = bound is not None and bound.variables is not None
     prefixes: List[List[int]] = [[]]
     direct: List[Outcome] = []
+    pcuts = vcuts = 0
     for _ in range(shard_depth):
         nxt: List[List[int]] = []
         for p in prefixes:
-            sched = _DFSScheduler(p)
-            kernel = Kernel(scheduler=sched, seed=seed)
+            sched = _DFSScheduler(p, bound=bound)
+            kernel = Kernel(scheduler=sched, seed=seed, record_trace=want_vars)
             build(kernel)
             result = kernel.run(max_steps=max_steps)
             if len(sched.choices) <= len(p):
                 observed = observe(kernel) if observe is not None else None
+                if want_vars and result.trace is not None:
+                    result = dataclasses.replace(result, trace=None)
                 direct.append(
                     Outcome(
                         tuple(sched.choices),
                         result,
                         observed,
                         _schedule_weight(sched.runnable_sets),
+                        sched.preemptions,
                     )
                 )
-            else:
+            elif bound is None:
                 for tid in sched.runnable_sets[len(p)]:
                     nxt.append(p + [tid])
+            else:
+                depth = len(p)
+                chosen = sched.choices[depth]
+                cum_p = _preemption_prefix_counts(sched.choices, sched.runnable_sets)
+                charges = (
+                    _variable_charges(
+                        sched.choices,
+                        sched.runnable_sets,
+                        _name_footprints(kernel.trace, len(sched.choices)),
+                    )
+                    if want_vars
+                    else None
+                )
+                for tid in sched.runnable_sets[depth]:
+                    if tid == chosen:
+                        nxt.append(p + [tid])
+                        continue
+                    verdict = _cut_verdict(
+                        bound,
+                        cum_p,
+                        charges,
+                        sched.choices,
+                        sched.runnable_sets,
+                        depth,
+                        tid,
+                    )
+                    if verdict == "p":
+                        pcuts += 1
+                    elif verdict == "v":
+                        vcuts += 1
+                    else:
+                        nxt.append(p + [tid])
         prefixes = nxt
         if not prefixes:
             break
-    return prefixes, direct
+    return prefixes, direct, (pcuts, vcuts)
 
 
 def _fan_worker(conn, task, assigned, fault_hook, wid):
@@ -391,6 +638,7 @@ def explore_sharded(
     observe: Optional[Callable[[Kernel], object]] = None,
     workers: Optional[int] = None,
     shard_depth: int = 2,
+    bound: Optional[Bound] = None,
 ) -> Exploration:
     """Schedule-tree enumeration over disjoint prefix shards.
 
@@ -411,7 +659,9 @@ def explore_sharded(
     Outcomes are returned in lexicographic choice order, a canonical
     order independent of worker count and timing.
     """
-    shards, direct = _frontier(build, shard_depth, max_steps, seed, observe)
+    shards, direct, (front_p, front_v) = _frontier(
+        build, shard_depth, max_steps, seed, observe, bound
+    )
     direct = [_sanitize_outcome(o) for o in direct]
 
     def task(idx: int, prefix: List[int]) -> Exploration:
@@ -422,13 +672,19 @@ def explore_sharded(
             seed=seed,
             observe=observe,
             prefix=prefix,
+            bound=bound,
         )
         return Exploration(
             outcomes=[_sanitize_outcome(o) for o in ex.outcomes],
             complete=ex.complete,
+            preemption_cuts=ex.preemption_cuts,
+            variable_cuts=ex.variable_cuts,
         )
 
     results = _fan_out(task, shards, workers)
     shard_results = [results[i] for i in range(len(shards))]
     shard_results.append(Exploration(outcomes=direct, complete=True))
-    return merge_shards(shard_results)
+    merged = merge_shards(shard_results)
+    merged.preemption_cuts += front_p
+    merged.variable_cuts += front_v
+    return merged

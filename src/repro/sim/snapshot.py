@@ -67,23 +67,116 @@ from .scheduler import Scheduler
 from .thread import SimThread
 
 __all__ = [
+    "Bound",
     "RunRecord",
     "PoolStats",
     "StatelessPool",
     "ForkSnapshotPool",
+    "count_preemptions",
     "make_pool",
     "fork_available",
 ]
 
 
+@dataclasses.dataclass(frozen=True)
+class Bound:
+    """Composable cut-strategy configuration for bounded exploration.
+
+    ``preemptions`` caps the number of *preemptive* context switches per
+    schedule (a switch away from a thread that is still runnable — a
+    forced switch off a blocked or finished thread is always free);
+    ``variables`` caps the number of distinct shared objects, keyed by
+    their process-portable ``Type:name`` identity, that preemptions are
+    charged against across a schedule's prefix.  ``None`` disables that
+    strategy; a bound with both fields ``None`` is a no-op everywhere.
+
+    The bound is **result-relevant**: it is part of the exploration cache
+    fingerprint, and a sufficiently large finite bound is bit-identical
+    to no bound at all (the differential battery in
+    ``tests/sim/test_bounding.py`` asserts this across every registry
+    app).
+    """
+
+    preemptions: Optional[int] = None
+    variables: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for field in ("preemptions", "variables"):
+            v = getattr(self, field)
+            if v is None:
+                continue
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                raise ValueError(
+                    f"Bound.{field} must be a non-negative int or None, got {v!r}"
+                )
+
+    @property
+    def active(self) -> bool:
+        """Does this bound actually constrain anything?"""
+        return self.preemptions is not None or self.variables is not None
+
+    def to_doc(self) -> Optional[Dict[str, Optional[int]]]:
+        """JSON-able form (None when inactive) for wire/cache documents."""
+        if not self.active:
+            return None
+        return {"preemptions": self.preemptions, "variables": self.variables}
+
+    @classmethod
+    def from_doc(cls, doc: Optional[Dict[str, Optional[int]]]) -> Optional["Bound"]:
+        """Inverse of :meth:`to_doc` (None stays None)."""
+        if not doc:
+            return None
+        return cls(
+            preemptions=doc.get("preemptions"), variables=doc.get("variables")
+        )
+
+    @classmethod
+    def from_values(
+        cls, preemptions: Optional[int] = None, variables: Optional[int] = None
+    ) -> Optional["Bound"]:
+        """Build a bound, collapsing the both-None case to None."""
+        if preemptions is None and variables is None:
+            return None
+        return cls(preemptions=preemptions, variables=variables)
+
+
+def count_preemptions(
+    choices: Sequence[int], runnable_sets: Sequence[Tuple[int, ...]]
+) -> int:
+    """Preemptive switches in one schedule: depth ``d`` switched away
+    from a thread that was still runnable there.  This is the reference
+    recomputation the scheduler's incremental accounting is property-
+    tested against."""
+    n = 0
+    for d in range(1, len(choices)):
+        prev = choices[d - 1]
+        if choices[d] != prev and prev in runnable_sets[d]:
+            n += 1
+    return n
+
+
 class _DFSScheduler(Scheduler):
     """Follows a forced prefix, then always picks the lowest tid, and
-    records the runnable set at every scheduling point."""
+    records the runnable set at every scheduling point.
 
-    def __init__(self, prefix: Sequence[int]) -> None:
+    With a preemption :class:`Bound`, the free descent additionally
+    refuses to *preempt* once the budget is spent: when the lowest-tid
+    pick would switch away from a still-runnable previous thread and
+    ``preemptions`` are exhausted, the scheduler stays on the previous
+    thread instead (always legal — it is runnable).  At ``bound=None``
+    or any budget the run never reaches, behaviour is bit-identical to
+    the unbounded scheduler.  ``self.preemptions`` counts preemptive
+    switches incrementally (forced-prefix ones included), a pure
+    function of ``(choices, runnable_sets)`` — which is what keeps the
+    count consistent when a forked snapshot resumes mid-schedule.
+    """
+
+    def __init__(self, prefix: Sequence[int], bound: Optional["Bound"] = None) -> None:
         self.prefix = list(prefix)
         self.choices: List[int] = []
         self.runnable_sets: List[Tuple[int, ...]] = []
+        self.bound = bound
+        self.preemptions = 0
 
     def pick(self, runnable: Sequence[SimThread], step: int) -> SimThread:
         tids = tuple(t.tid for t in runnable)  # kernel pre-sorts by tid
@@ -93,6 +186,20 @@ class _DFSScheduler(Scheduler):
             chosen = next(t for t in runnable if t.tid == wanted)
         else:
             chosen = runnable[0]
+            b = self.bound
+            if (
+                b is not None
+                and b.preemptions is not None
+                and self.choices
+                and self.preemptions >= b.preemptions
+            ):
+                prev = self.choices[-1]
+                if chosen.tid != prev and prev in tids:
+                    chosen = next(t for t in runnable if t.tid == prev)
+        if self.choices:
+            prev = self.choices[-1]
+            if chosen.tid != prev and prev in tids:
+                self.preemptions += 1
         self.choices.append(chosen.tid)
         self.runnable_sets.append(tids)
         return chosen
@@ -129,6 +236,9 @@ class RunRecord:
     suffix_steps: int
     #: Forced choices re-fed beyond the serving snapshot's depth.
     replayed_choices: int
+    #: Preemptive context switches in this schedule (see
+    #: :func:`count_preemptions`, of which this is the incremental form).
+    preemptions: int = 0
 
 
 @dataclasses.dataclass
@@ -158,6 +268,7 @@ class StatelessPool:
         observe: Optional[Callable[[Kernel], object]] = None,
         postprocess: Optional[Callable[[Kernel, _DFSScheduler], dict]] = None,
         sanitize: bool = False,
+        bound: Optional[Bound] = None,
     ) -> None:
         self._build = build
         self._seed = seed
@@ -167,11 +278,12 @@ class StatelessPool:
         self._observe = observe
         self._postprocess = postprocess
         self._sanitize = sanitize
+        self._bound = bound
         self.stats = PoolStats(mode="stateless")
 
     def run(self, prefix: Sequence[int]) -> RunRecord:
         """Execute one schedule from scratch (O(depth) replay)."""
-        sched = _DFSScheduler(prefix)
+        sched = _DFSScheduler(prefix, bound=self._bound)
         kernel = Kernel(
             scheduler=sched, seed=self._seed, record_trace=self._record_trace
         )
@@ -197,6 +309,7 @@ class StatelessPool:
             extras=extras,
             suffix_steps=kernel.step,
             replayed_choices=len(sched.prefix),
+            preemptions=sched.preemptions,
         )
 
     def close(self) -> None:
@@ -304,6 +417,8 @@ class _ChildCtx:
         max_steps: int,
         max_time: float,
         record_trace: bool,
+        bound: Optional[Bound] = None,
+        park_budget: int = 48,
     ) -> None:
         self.addr = addr
         self.build = build
@@ -313,6 +428,13 @@ class _ChildCtx:
         self.max_steps = max_steps
         self.max_time = max_time
         self.record_trace = record_trace
+        self.bound = bound
+        # The pool evicts down to its holder cap after every run, so
+        # parking more than the cap *within* one run is pure waste — on
+        # deep, wide trees (hundreds of branch points per schedule) it
+        # used to fork an unbounded holder chain and thrash the machine.
+        self.park_budget_init = park_budget
+        self.park_budget = park_budget
         # Rebound per run:
         self.conn: Optional[socket.socket] = None
         self.run_id = -1
@@ -326,7 +448,7 @@ class _ChildCtx:
         """At a branch point: fork; the parent parks as the snapshot
         holder for the current choice prefix, the child continues."""
         depth = len(sched.choices)
-        if depth in self.skip:
+        if depth in self.skip or self.park_budget <= 0:
             return
         self.skip.add(depth)
         try:
@@ -334,6 +456,7 @@ class _ChildCtx:
         except OSError:
             return  # cannot snapshot here; the run continues unparked
         if pid == 0:
+            self.park_budget -= 1
             return  # child: carry on executing the schedule
         # Parent: park.  The blocked recv below is the snapshot at rest.
         try:
@@ -357,6 +480,7 @@ class _ChildCtx:
         self.conn = conn
         self.run_id = run_id
         self.skip = set(skip)
+        self.park_budget = self.park_budget_init
         assert self.kernel is not None
         self.steps_base = self.kernel.step
         self.replayed = len(prefix) - depth
@@ -369,7 +493,7 @@ class _ForkDFSScheduler(_DFSScheduler):
     branch point before choosing."""
 
     def __init__(self, prefix: Sequence[int], ctx: _ChildCtx) -> None:
-        super().__init__(prefix)
+        super().__init__(prefix, bound=ctx.bound)
         self.ctx = ctx
 
     def pick(self, runnable: Sequence[SimThread], step: int) -> SimThread:
@@ -425,6 +549,7 @@ def _finish_run(ctx: _ChildCtx, result: RunResult) -> None:
         extras=extras,
         suffix_steps=kernel.step - ctx.steps_base,
         replayed_choices=ctx.replayed,
+        preemptions=sched.preemptions,
     )
     _send_safe(ctx.conn, ("result", ctx.run_id, rec))
 
@@ -451,6 +576,7 @@ def _child_main(ctx: _ChildCtx, inherited: List[socket.socket]) -> None:
     ctx.conn = conn
     ctx.run_id = run_id
     ctx.skip = set(skip)
+    ctx.park_budget = ctx.park_budget_init
     _send_safe(conn, ("begin", run_id, os.getpid()))
     try:
         sched = _ForkDFSScheduler(prefix, ctx)
@@ -528,6 +654,7 @@ class ForkSnapshotPool:
         observe: Optional[Callable[[Kernel], object]] = None,
         postprocess: Optional[Callable[[Kernel, _DFSScheduler], dict]] = None,
         max_holders: int = 48,
+        bound: Optional[Bound] = None,
     ) -> None:
         if not fork_available():
             raise RuntimeError("ForkSnapshotPool requires os.fork and AF_UNIX")
@@ -542,6 +669,7 @@ class ForkSnapshotPool:
             observe=observe,
             postprocess=postprocess,
             sanitize=True,
+            bound=bound,
         )
         self._dir = tempfile.mkdtemp(prefix="repro-snap-")
         self._addr = os.path.join(self._dir, "ctl.sock")
@@ -567,6 +695,8 @@ class ForkSnapshotPool:
             max_steps,
             max_time,
             record_trace,
+            bound=bound,
+            park_budget=max_holders,
         )
         pid = os.fork()
         if pid == 0:
@@ -827,6 +957,7 @@ def make_pool(
     observe: Optional[Callable[[Kernel], object]] = None,
     postprocess: Optional[Callable[[Kernel, _DFSScheduler], dict]] = None,
     max_holders: int = 48,
+    bound: Optional[Bound] = None,
 ):
     """Pick the executor: fork-based snapshots when requested and
     available, the seed stateless replayer otherwise."""
@@ -840,6 +971,7 @@ def make_pool(
             observe=observe,
             postprocess=postprocess,
             max_holders=max_holders,
+            bound=bound,
         )
     return StatelessPool(
         build,
@@ -850,4 +982,5 @@ def make_pool(
         observe=observe,
         postprocess=postprocess,
         sanitize=snapshots,
+        bound=bound,
     )

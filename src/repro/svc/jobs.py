@@ -105,6 +105,13 @@ class JobSpec:
     max_steps: Optional[int] = None
     seed: int = 0
     witness_limit: int = 3
+    #: Preemption-bounded search: cut schedules needing more than this
+    #: many preemptions (None = unbounded).  Result-relevant — joins the
+    #: cache fingerprint and the routing fingerprint.
+    bound_preemptions: Optional[int] = None
+    #: Variable-bounded search: cut schedules whose preemptions touch
+    #: more than this many distinct synchronisation variables.
+    bound_variables: Optional[int] = None
     # --- service-level knobs ---
     job_timeout: Optional[float] = None
     #: Bypass the service's shared result cache for this job only
@@ -152,6 +159,14 @@ class JobSpec:
         if self.kind == "explore" and self.max_schedules <= 0:
             raise JobValidationError(
                 f"max_schedules must be positive, got {self.max_schedules}"
+            )
+        if self.bound_preemptions is not None and self.bound_preemptions < 0:
+            raise JobValidationError(
+                f"bound_preemptions must be >= 0, got {self.bound_preemptions}"
+            )
+        if self.bound_variables is not None and self.bound_variables < 0:
+            raise JobValidationError(
+                f"bound_variables must be >= 0, got {self.bound_variables}"
             )
         if self.job_timeout is not None and self.job_timeout <= 0:
             raise JobValidationError(f"job_timeout must be positive, got {self.job_timeout}")
@@ -254,7 +269,11 @@ def _exploration_to_wire(res: Any, witness_limit: int) -> Dict[str, Any]:
     return res.summary(witness_limit=witness_limit).to_wire()
 
 
-def execute_job(spec: JobSpec, cache: Optional[Any] = None) -> Dict[str, Any]:
+def execute_job(
+    spec: JobSpec,
+    cache: Optional[Any] = None,
+    metrics: Optional[Any] = None,
+) -> Dict[str, Any]:
     """Run one job to completion and return its wire-form result.
 
     This runs inside the executor's job child process.  It is a thin
@@ -262,7 +281,10 @@ def execute_job(spec: JobSpec, cache: Optional[Any] = None) -> Dict[str, Any]:
     semantics here, which is exactly the differential battery's claim.
     ``cache`` is the service's shared :class:`repro.cache.ResultCache`
     (ignored when the spec opts out); cached and fresh results are
-    bit-identical by the cache's own contract.
+    bit-identical by the cache's own contract.  ``metrics`` is an
+    optional :class:`~repro.obs.metrics.MetricsRegistry` the explore
+    path flushes its cut counters into (``explore.dpor.*``) — purely
+    observational, never result-affecting.
     """
     if spec.no_cache:
         cache = None
@@ -285,7 +307,14 @@ def execute_job(spec: JobSpec, cache: Optional[Any] = None) -> Dict[str, Any]:
         return report.to_wire()
     if spec.kind == "explore":
         from repro.harness import explore_summary
+        from repro.sim.explore import Bound
 
+        obs = None
+        if metrics is not None:
+            from repro.obs.bus import EventBus
+            from repro.obs.context import ObsContext
+
+            obs = ObsContext(bus=EventBus(enabled=False), metrics=metrics)
         summary = explore_summary(
             spec.app,
             spec.bug,
@@ -302,6 +331,8 @@ def execute_job(spec: JobSpec, cache: Optional[Any] = None) -> Dict[str, Any]:
             timeout=spec.timeout,
             use_policies=spec.use_policies,
             params=dict(spec.params),
+            bound=Bound.from_values(spec.bound_preemptions, spec.bound_variables),
+            obs=obs,
         )
         return summary.to_wire()
     from repro.harness import run_trials
@@ -349,9 +380,14 @@ def try_cached_result(cache: Optional[Any], spec: JobSpec) -> Optional[Dict[str,
             )
             return None if report is None else report.to_wire()
         if spec.kind == "explore":
+            from repro.sim.explore import Bound
+
             summary = cache.fetch_explore(
                 spec.app,
                 spec.bug,
+                bound=Bound.from_values(
+                    spec.bound_preemptions, spec.bound_variables
+                ),
                 dpor=spec.dpor,
                 sleep_sets=spec.sleep_sets,
                 snapshots=spec.snapshots,

@@ -78,16 +78,16 @@ def _worker_main(
         try:
             if fault_hook is not None:
                 fault_hook(spec, attempt)
-            job_cache = cache
-            cache_reg = None
-            if job_cache is not None:
-                # Fresh registry per job: increments in forked memory
-                # would be lost, so the deltas travel back on the wire.
-                cache_reg = MetricsRegistry()
-                job_cache = job_cache.with_metrics(cache_reg)
-            payload = execute_job(spec, cache=job_cache)
-            if cache_reg is not None:
-                cache_wire = cache_reg.to_wire()
+            # Fresh registry per job: increments in forked memory would
+            # be lost, so the deltas travel back on the wire.  It holds
+            # both cache.* counters and the explore path's own counters
+            # (explore.dpor.* cut accounting).
+            job_reg = MetricsRegistry()
+            job_cache = cache.with_metrics(job_reg) if cache is not None else None
+            payload = execute_job(spec, cache=job_cache, metrics=job_reg)
+            wire = job_reg.to_wire()
+            if wire:
+                cache_wire = wire
         except Exception as exc:  # noqa: BLE001 - forwarded as a structured failure
             try:
                 conn.send(("err", f"{type(exc).__name__}: {exc}"))

@@ -140,6 +140,15 @@ def routing_fingerprint(spec: JobSpec) -> str:
             use_policies=spec.use_policies,
             params=dict(spec.params),
             witness_limit=spec.witness_limit,
+            bound=(
+                {
+                    "preemptions": spec.bound_preemptions,
+                    "variables": spec.bound_variables,
+                }
+                if spec.bound_preemptions is not None
+                or spec.bound_variables is not None
+                else None
+            ),
         )
     if spec.kind == "infer":
         return storage_fingerprint(

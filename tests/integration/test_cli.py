@@ -256,6 +256,14 @@ class TestServeAndSubmit:
         out = capsys.readouterr().out
         assert "schedules" in out and "sleep-set prunes" in out
 
+    def test_submit_bounded_explore_prints_bounding(self, service, capsys):
+        assert run_cli("submit", "bank", "lost_update", "--kind", "explore",
+                       "--dpor", "--bound-preemptions", "1",
+                       "--server", service.address) == 0
+        out = capsys.readouterr().out
+        assert "bounding" in out and "preemptions <= 1" in out
+        assert "preemption cuts" in out
+
     def test_submit_unknown_bug_is_an_error(self, service, capsys):
         assert run_cli("submit", "figure4", "nope", "--server",
                        service.address) == 2
@@ -302,3 +310,38 @@ class TestExplore:
 
     def test_unknown_bug_is_an_error(self, capsys):
         assert run_cli("explore", "bank", "nope") == 2
+
+    def test_bounded_exploration_reports_cuts(self, capsys):
+        assert run_cli("explore", "bank", "lost_update", "--dpor",
+                       "--bound-preemptions", "1",
+                       "--max-schedules", "2000") == 0
+        out = capsys.readouterr().out
+        assert "bounding" in out and "preemptions <= 1" in out
+        assert "preemption cuts" in out
+
+    def test_variable_bound_flag(self, capsys):
+        assert run_cli("explore", "bank", "lost_update", "--dpor",
+                       "--bound-variables", "0",
+                       "--max-schedules", "2000") == 0
+        out = capsys.readouterr().out
+        assert "variables <= 0" in out and "variable" in out
+
+    def test_huge_bound_output_matches_unbounded_counts(self, capsys):
+        assert run_cli("explore", "bank", "lost_update", "--dpor",
+                       "--max-schedules", "2000") == 0
+        plain = capsys.readouterr().out
+        assert run_cli("explore", "bank", "lost_update", "--dpor",
+                       "--bound-preemptions", "1000000",
+                       "--max-schedules", "2000") == 0
+        bounded = capsys.readouterr().out
+        pick = lambda out: [l for l in out.splitlines()
+                            if "schedules" in l or "bug hit" in l]
+        assert pick(bounded) == pick(plain)
+        assert "cuts: 0 preemption, 0 variable" in bounded
+
+    def test_negative_bound_is_an_error(self, capsys):
+        assert run_cli("explore", "bank", "lost_update",
+                       "--bound-preemptions", "-1") == 2
+        assert "error" in capsys.readouterr().out
+        assert run_cli("explore", "bank", "lost_update",
+                       "--bound-variables", "-2") == 2

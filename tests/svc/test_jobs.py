@@ -105,6 +105,52 @@ class TestExecuteJob:
         assert payload["witnesses"]  # at least one bug-hitting choice list
 
 
+class TestBoundedJobs:
+    def test_bound_round_trips_through_json(self):
+        spec = JobSpec(kind="explore", app="bank", bug="lost_update",
+                       dpor=True, bound_preemptions=1, bound_variables=4)
+        assert JobSpec.from_json(loads(dumps(spec.to_json()))) == spec
+
+    @pytest.mark.parametrize("field", ["bound_preemptions", "bound_variables"])
+    def test_negative_bound_rejected(self, field):
+        with pytest.raises(JobValidationError, match="must be >= 0"):
+            JobSpec(kind="explore", app="bank", bug="lost_update",
+                    **{field: -1}).validate()
+
+    def test_bounded_explore_job_reports_bound_and_cuts(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        spec = JobSpec(kind="explore", app="bank", bug="lost_update",
+                       dpor=True, max_schedules=2000, bound_preemptions=1)
+        payload = execute_job(spec, metrics=reg)
+        assert payload["bound"] == {"preemptions": 1, "variables": None}
+        assert payload["cuts"]["preemption_cuts"] > 0
+        # The cut accounting lands in the job's metrics registry, which
+        # the worker pool ships back to the service's /metrics.
+        snap = reg.snapshot()
+        assert (
+            snap["explore.dpor.preemption_cuts"]["value"]
+            == payload["cuts"]["preemption_cuts"]
+        )
+
+    def test_cache_keys_on_the_bound(self, tmp_path):
+        from repro.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        bounded = JobSpec(kind="explore", app="bank", bug="lost_update",
+                          dpor=True, max_schedules=2000, bound_preemptions=1)
+        first = execute_job(bounded, cache=cache)
+        again = execute_job(bounded, cache=cache)
+        assert again == first  # bounded entry served bit-identically
+        unbounded = dataclasses.replace(bounded, bound_preemptions=None)
+        other = execute_job(unbounded, cache=cache)
+        # The bound is result-relevant: the unbounded spec must never be
+        # served the bounded walk's entry.
+        assert other["bound"] is None
+        assert other["schedules"] != first["schedules"]
+
+
 class TestJobRecord:
     def test_lifecycle_and_wire_shape(self):
         rec = JobRecord("job-000007", JobSpec(app="figure4", bug="error1", trials=1))

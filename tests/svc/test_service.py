@@ -65,6 +65,24 @@ class TestEndpoints:
         again = client.result(job_id)
         assert again["result"] == record["result"]
 
+    def test_bounded_explore_job_surfaces_cuts_in_metrics(self, client):
+        job_id = client.submit(JobSpec(kind="explore", app="bank",
+                                       bug="lost_update", dpor=True,
+                                       max_schedules=2000,
+                                       bound_preemptions=1))
+        record = client.wait(job_id, timeout=60)
+        assert record["state"] == "done"
+        result = record["result"]
+        assert result["bound"] == {"preemptions": 1, "variables": None}
+        assert result["cuts"]["preemption_cuts"] > 0
+        # The worker's cut accounting crossed the fork boundary into the
+        # service registry.
+        snap = client.metrics()
+        assert (
+            snap["explore.dpor.preemption_cuts"]["value"]
+            >= result["cuts"]["preemption_cuts"]
+        )
+
     def test_jobs_listing(self, client):
         job_id = client.submit(JobSpec(app="figure4", bug="error1", trials=1,
                                        timeout=0.2))
